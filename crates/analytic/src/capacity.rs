@@ -1,0 +1,196 @@
+//! Exact orbital-plane capacity distribution P(k) — Figure 7.
+//!
+//! Under the scheduled ground-spare deployment policy, every deterministic
+//! cycle of length φ begins with the plane restored to full complement, so
+//! cycles are regeneration cycles and
+//!
+//! ```text
+//! P(K = k)  =  (1/φ) ∫₀^φ P(K(t) = k) dt
+//! ```
+//!
+//! where `K(t)` is the within-cycle capacity process: a pure death process
+//! (failures at rate k·λ, the first `spares` failures absorbed by in-orbit
+//! spares) pinned at the threshold η by the threshold-triggered policy.
+//! The transient integral is computed exactly (to solver tolerance) by
+//! uniformization over the small death-process CTMC, via `oaq-san`.
+
+use oaq_san::ctmc::{Ctmc, CtmcError};
+use oaq_san::model::{Delay, Marking, SanBuilder};
+
+/// Parameters of the capacity model (time unit: hours).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityParams {
+    /// Full active capacity (14).
+    pub capacity: u32,
+    /// In-orbit spares (2).
+    pub spares: u32,
+    /// Per-satellite failure rate λ, per hour.
+    pub lambda: f64,
+    /// Scheduled-deployment period φ, hours.
+    pub phi: f64,
+    /// Threshold η at which ground replenishment pins the plane.
+    pub eta: u32,
+}
+
+impl CapacityParams {
+    /// Reference plane (14 + 2 spares).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive λ/φ or `eta >= capacity`.
+    #[must_use]
+    pub fn reference(lambda: f64, phi: f64, eta: u32) -> Self {
+        let p = CapacityParams {
+            capacity: 14,
+            spares: 2,
+            lambda,
+            phi,
+            eta,
+        };
+        p.validate();
+        p
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.lambda.is_finite() && self.lambda > 0.0,
+            "lambda must be positive"
+        );
+        assert!(self.phi.is_finite() && self.phi > 0.0, "phi must be positive");
+        assert!(self.eta < self.capacity, "eta must be below capacity");
+    }
+
+    /// Computes `P(K = k)` for `k = 0..=capacity` (entries below η are
+    /// exactly zero under the pinning policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC solver failures (the model itself is a few dozen
+    /// states, so exploration cannot realistically overflow).
+    pub fn distribution(&self) -> Result<Vec<f64>, CtmcError> {
+        self.validate();
+        let cfg = *self;
+        let mut b = SanBuilder::new();
+        let active = b.add_place("active", cfg.capacity);
+        let spares = b.add_place("spares", cfg.spares);
+        let lambda = cfg.lambda;
+        b.add_activity(
+            "satellite_failure",
+            Delay::exponential_with(move |m: &Marking| lambda * f64::from(m.tokens(active))),
+            move |m: &Marking| {
+                m.tokens(active) > 0 && (m.tokens(spares) > 0 || m.tokens(active) > cfg.eta)
+            },
+            move |m: &mut Marking| {
+                if m.tokens(spares) > 0 {
+                    m.remove_tokens(spares, 1);
+                } else {
+                    m.remove_tokens(active, 1);
+                }
+            },
+        );
+        let model = b.build();
+        let ctmc = Ctmc::explore(&model, 10_000)?;
+        // Simpson panels: enough that the integral error is far below the
+        // differences the experiments care about.
+        let avg = ctmc.time_average(cfg.phi, 256)?;
+        Ok(ctmc.classify_distribution(
+            &avg,
+            |m| m.tokens(active) as usize,
+            cfg.capacity as usize + 1,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaq_san::plane::PlaneModelConfig;
+    use oaq_san::sim::SteadyStateOptions;
+
+    const PHI: f64 = 30_000.0;
+
+    #[test]
+    fn distribution_is_proper_and_pinned() {
+        let p = CapacityParams::reference(5e-5, PHI, 10);
+        let d = p.distribution().unwrap();
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (k, &p) in d.iter().enumerate().take(10) {
+            assert_eq!(p, 0.0, "k = {k} unreachable under pinning");
+        }
+    }
+
+    #[test]
+    fn figure7_shape_full_capacity_dominates_at_low_lambda() {
+        let d = CapacityParams::reference(1e-5, PHI, 10)
+            .distribution()
+            .unwrap();
+        assert!(d[14] > 0.6, "P(14) = {}", d[14]);
+        assert!(d[10] < 0.1, "P(10) = {}", d[10]);
+    }
+
+    #[test]
+    fn figure7_shape_threshold_dominates_at_high_lambda() {
+        let d = CapacityParams::reference(1e-4, PHI, 10)
+            .distribution()
+            .unwrap();
+        assert!(d[10] > 0.5, "P(10) = {}", d[10]);
+        assert!(d[10] > d[14], "threshold overtakes full capacity");
+    }
+
+    #[test]
+    fn p_threshold_is_monotone_in_lambda() {
+        let mut last = 0.0;
+        for i in 1..=10 {
+            let lambda = 1e-5 * f64::from(i);
+            let d = CapacityParams::reference(lambda, PHI, 10)
+                .distribution()
+                .unwrap();
+            assert!(d[10] >= last - 1e-9, "lambda = {lambda}");
+            last = d[10];
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_san_simulation() {
+        // The independent check the paper could not do: our exact
+        // regeneration-cycle integral vs the full SAN (deterministic clock)
+        // long-run simulation.
+        let lambda = 5e-5;
+        let exact = CapacityParams::reference(lambda, PHI, 10)
+            .distribution()
+            .unwrap();
+        let sim = PlaneModelConfig::reference(lambda, PHI, 10)
+            .build_sim()
+            .capacity_distribution_sim(&SteadyStateOptions {
+                warmup: 5.0 * PHI,
+                horizon: 600.0 * PHI,
+                seed: 21,
+            });
+        for k in 10..=14 {
+            assert!(
+                (exact[k] - sim[k]).abs() < 0.02,
+                "k={k}: exact {} vs sim {}",
+                exact[k],
+                sim[k]
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_cycle_raises_full_capacity_mass() {
+        let long = CapacityParams::reference(5e-5, 30_000.0, 10)
+            .distribution()
+            .unwrap();
+        let short = CapacityParams::reference(5e-5, 10_000.0, 10)
+            .distribution()
+            .unwrap();
+        assert!(short[14] > long[14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be below capacity")]
+    fn bad_eta_rejected() {
+        let _ = CapacityParams::reference(1e-5, PHI, 20);
+    }
+}

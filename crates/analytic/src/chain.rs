@@ -1,0 +1,189 @@
+//! Distribution of the coordination-chain length (new analysis).
+//!
+//! The paper bounds the number of satellites that consecutively capture a
+//! signal by `M[k]` (Eq. 2) but never derives the *distribution* of the
+//! chain length `N`. It follows from the same timing diagram (Figure 6b):
+//! in the underlapping regime, satellite `n ≥ 2` of the chain reaches the
+//! target `w + (n−2)·L1` after the initial detection (where `w` is the
+//! first revisit wait), measures only if the signal is still alive then,
+//! and only if that arrival precedes the deadline τ.
+//!
+//! Idealizations (matching the spirit of the paper's Eq. 4): computation is
+//! instantaneous relative to the waits (ν → ∞) and messaging overheads δ,
+//! Tg vanish. The protocol simulator cross-validates the result with large
+//! ν and small δ (experiment E14).
+
+use crate::geometry::PlaneGeometry;
+
+/// `P(N ≥ n)`: the probability that at least `n` satellites contribute
+/// measurements to the delivered result, for underlapping geometry.
+///
+/// `N = 0` means the target escaped surveillance; `N = 1` is a
+/// single-coverage result; `N ≥ 2` are the sequential-multiple-coverage
+/// results of the paper's Section 3.1.
+///
+/// Returns `None` for overlapping geometry (there the chain is determined
+/// by the simultaneous-coverage mechanism, not by revisit waits).
+///
+/// # Panics
+///
+/// Panics if `n == 0` (trivially 1), or on non-positive `tau`/`mu`.
+#[must_use]
+pub fn chain_ccdf(geom: &PlaneGeometry, tau: f64, mu: f64, n: usize) -> Option<f64> {
+    assert!(n >= 1, "P(N >= 0) is trivially 1");
+    assert!(tau.is_finite() && tau > 0.0, "tau must be positive");
+    assert!(mu.is_finite() && mu > 0.0, "mu must be positive");
+    if geom.is_overlapping() {
+        return None;
+    }
+    let l1 = geom.l1();
+    let l2 = geom.l2();
+    let tc = geom.tc();
+
+    if n == 1 {
+        // Detected at all: born covered, or born in the gap and surviving
+        // to the next footprint.
+        let gap_detect = if l2 > 0.0 {
+            (1.0 - (-mu * l2).exp()) / mu
+        } else {
+            0.0
+        };
+        return Some((tc + gap_detect) / l1);
+    }
+
+    // Case A: born inside a coverage window, first revisit wait
+    // w ∈ [L2, L1]; satellite n arrives w + (n−2)·L1 after detection.
+    let shift = (n - 2) as f64 * l1;
+    let upper = l1.min(tau - shift);
+    let case_a = if upper > l2 {
+        (-mu * shift).exp() * ((-mu * l2).exp() - (-mu * upper).exp()) / mu
+    } else {
+        0.0
+    };
+
+    // Case B: born in the gap at distance d from the next footprint; the
+    // detector's window starts at detection, so satellite n arrives
+    // (n−1)·L1 later.
+    let arrival_b = (n - 1) as f64 * l1;
+    let case_b = if l2 > 0.0 && arrival_b < tau {
+        ((1.0 - (-mu * l2).exp()) / mu) * (-mu * arrival_b).exp()
+    } else {
+        0.0
+    };
+
+    Some((case_a + case_b) / l1)
+}
+
+/// Expected chain length `E[N] = Σ_{n≥1} P(N ≥ n)` (underlapping only).
+///
+/// # Panics
+///
+/// Panics on non-positive `tau`/`mu`.
+#[must_use]
+pub fn expected_chain_length(geom: &PlaneGeometry, tau: f64, mu: f64) -> Option<f64> {
+    let bound = geom.sequential_chain_bound(tau)?;
+    let mut total = 0.0;
+    for n in 1..=bound as usize {
+        total += chain_ccdf(geom, tau, mu, n).expect("underlap checked via bound");
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_ends_exactly_at_m_of_k() {
+        // k = 9: L1 = 10, L2 = 1; M[k] = 2 + floor((τ−1)/10).
+        let g = PlaneGeometry::reference(9);
+        for tau in [5.0, 12.0, 25.0, 33.0] {
+            let m = g.sequential_chain_bound(tau).unwrap() as usize;
+            assert!(
+                chain_ccdf(&g, tau, 0.1, m).unwrap() > 0.0,
+                "tau={tau}: P(N >= M) must be positive"
+            );
+            assert_eq!(
+                chain_ccdf(&g, tau, 0.1, m + 1).unwrap(),
+                0.0,
+                "tau={tau}: P(N >= M+1) must vanish"
+            );
+        }
+    }
+
+    #[test]
+    fn ccdf_is_monotone_in_n_and_tau() {
+        let g = PlaneGeometry::reference(9);
+        let mut last = 1.0;
+        for n in 1..=5 {
+            let p = chain_ccdf(&g, 35.0, 0.1, n).unwrap();
+            assert!(p <= last + 1e-12, "n={n}");
+            last = p;
+        }
+        for n in 1..=3 {
+            let narrow = chain_ccdf(&g, 12.0, 0.1, n).unwrap();
+            let wide = chain_ccdf(&g, 30.0, 0.1, n).unwrap();
+            assert!(wide >= narrow - 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn n1_matches_detection_probability() {
+        // 1 − P(N ≥ 1) must equal the miss probability of the QoS model.
+        use crate::qos::{miss_probability, QosParams};
+        for k in [9u32, 10] {
+            let g = PlaneGeometry::reference(k);
+            for mu in [0.1, 0.5, 2.0] {
+                let q = QosParams { tau: 5.0, mu, nu: 30.0 };
+                let p1 = chain_ccdf(&g, 5.0, mu, 1).unwrap();
+                let miss = miss_probability(&g, &q);
+                assert!((p1 + miss - 1.0).abs() < 1e-12, "k={k} mu={mu}");
+            }
+        }
+    }
+
+    #[test]
+    fn n2_matches_g2_in_the_instant_computation_limit() {
+        // With ν → ∞, G2 (level-2 probability) equals P(N ≥ 2) when the
+        // chain cannot exceed 2 (τ small): every 2-chain yields level 2.
+        use crate::qos::{g2_oaq, QosParams};
+        for k in [9u32, 10] {
+            let g = PlaneGeometry::reference(k);
+            for tau in [3.0, 5.0, 8.0] {
+                let mu = 0.3;
+                let q = QosParams { tau, mu, nu: 1e7 };
+                let p2 = chain_ccdf(&g, tau, mu, 2).unwrap();
+                let g2 = g2_oaq(&g, &q);
+                assert!(
+                    (p2 - g2).abs() < 1e-6,
+                    "k={k} tau={tau}: P(N>=2)={p2} vs G2={g2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_returns_none() {
+        let g = PlaneGeometry::reference(12);
+        assert!(chain_ccdf(&g, 5.0, 0.2, 2).is_none());
+        assert!(expected_chain_length(&g, 5.0, 0.2).is_none());
+    }
+
+    #[test]
+    fn expected_length_grows_with_tau_and_signal_length() {
+        let g = PlaneGeometry::reference(9);
+        let short = expected_chain_length(&g, 5.0, 0.2).unwrap();
+        let long = expected_chain_length(&g, 35.0, 0.2).unwrap();
+        assert!(long > short);
+        let brief = expected_chain_length(&g, 35.0, 2.0).unwrap();
+        assert!(long > brief, "longer signals sustain deeper chains");
+    }
+
+    #[test]
+    fn tangent_case_has_no_gap_terms() {
+        // k = 10: L2 = 0, so P(N ≥ 1) = 1 and only case A contributes.
+        let g = PlaneGeometry::reference(10);
+        assert_eq!(chain_ccdf(&g, 5.0, 0.2, 1).unwrap(), 1.0);
+        assert!(chain_ccdf(&g, 5.0, 0.2, 2).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Composition of the QoS measure (paper Eq. 3):
+//! `P(Y ≥ y) = Σ_y Σ_k P(Y = y | k) · P(k)`.
+
+use crate::capacity::CapacityParams;
+use crate::geometry::PlaneGeometry;
+use crate::qos::{conditional_qos, QosParams};
+pub use crate::qos::Scheme;
+use oaq_san::ctmc::CtmcError;
+
+/// The unconditional QoS-level distribution `P(Y = y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosDistribution {
+    p: [f64; 4],
+}
+
+impl QosDistribution {
+    /// `P(Y = y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3`.
+    #[must_use]
+    pub fn p(&self, y: usize) -> f64 {
+        self.p[y]
+    }
+
+    /// The QoS measure `P(Y ≥ y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3`.
+    #[must_use]
+    pub fn p_at_least(&self, y: usize) -> f64 {
+        assert!(y <= 3, "QoS levels are 0..=3");
+        self.p[y..].iter().sum()
+    }
+
+    /// `[P(Y=0), …, P(Y=3)]`.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 4] {
+        self.p
+    }
+}
+
+/// A complete evaluation configuration: constellation geometry, QoS
+/// parameters and the plane-capacity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationConfig {
+    /// Orbit period θ, minutes.
+    pub theta: f64,
+    /// Coverage time Tc, minutes.
+    pub tc: f64,
+    /// QoS parameters (τ, µ, ν).
+    pub qos: QosParams,
+    /// Plane-capacity parameters (λ, φ, η; time in hours).
+    pub capacity: CapacityParams,
+}
+
+impl EvaluationConfig {
+    /// The paper's Figure 9 configuration: θ = 90, Tc = 9, τ = 5, µ = 0.2,
+    /// ν = 30, φ = 30000 h, η = 10, with λ supplied.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid λ.
+    #[must_use]
+    pub fn paper_defaults(lambda: f64) -> Self {
+        EvaluationConfig {
+            theta: 90.0,
+            tc: 9.0,
+            qos: QosParams::paper_defaults(0.2),
+            capacity: CapacityParams::reference(lambda, 30_000.0, 10),
+        }
+    }
+
+    /// The conditional distribution `P(Y = y | k)` for this configuration.
+    #[must_use]
+    pub fn conditional(&self, scheme: Scheme, k: u32) -> crate::qos::ConditionalQos {
+        conditional_qos(
+            scheme,
+            &PlaneGeometry::new(self.theta, self.tc, k),
+            &self.qos,
+        )
+    }
+
+    /// The composed distribution `P(Y = y)` (Eq. 3). The sum runs over the
+    /// reachable capacities `k = η..=capacity` (the paper's k = 9..14 with
+    /// the terms below η "extremely unlikely" — here exactly zero under the
+    /// pinning policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity-model solver failures.
+    pub fn qos_distribution(&self, scheme: Scheme) -> Result<QosDistribution, CtmcError> {
+        let pk = self.capacity.distribution()?;
+        let mut p = [0.0; 4];
+        for (k, &prob) in pk.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            let cond = self.conditional(scheme, k as u32);
+            for (y, slot) in p.iter_mut().enumerate() {
+                *slot += prob * cond.p(y);
+            }
+        }
+        Ok(QosDistribution { p })
+    }
+
+    /// Convenience: the QoS measure `P(Y ≥ y)` for all `y` at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity-model solver failures.
+    pub fn qos_ccdf(&self, scheme: Scheme) -> Result<QosDistribution, CtmcError> {
+        self.qos_distribution(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four in-text Figure 9 values. These are the headline numbers of
+    /// the paper's evaluation; tolerances are a few hundredths because the
+    /// paper reports two digits.
+    #[test]
+    fn figure9_quoted_values() {
+        let low = EvaluationConfig::paper_defaults(1e-5);
+        let high = EvaluationConfig::paper_defaults(1e-4);
+
+        let oaq_low = low.qos_ccdf(Scheme::Oaq).unwrap().p_at_least(2);
+        let baq_low = low.qos_ccdf(Scheme::Baq).unwrap().p_at_least(2);
+        assert!((oaq_low - 0.75).abs() < 0.03, "OAQ @1e-5: {oaq_low}");
+        assert!((baq_low - 0.33).abs() < 0.03, "BAQ @1e-5: {baq_low}");
+
+        let oaq_high = high.qos_ccdf(Scheme::Oaq).unwrap().p_at_least(2);
+        let baq_high = high.qos_ccdf(Scheme::Baq).unwrap().p_at_least(2);
+        assert!((oaq_high - 0.41).abs() < 0.03, "OAQ @1e-4: {oaq_high}");
+        assert!((baq_high - 0.04).abs() < 0.02, "BAQ @1e-4: {baq_high}");
+    }
+
+    #[test]
+    fn p_at_least_one_is_one_for_both_schemes() {
+        // Figure 9: "the values of P(Y ≥ 1) are always equal for the two
+        // schemes (both equal to 1 over the domain of λ)".
+        for lambda in [1e-5, 5e-5, 1e-4] {
+            let cfg = EvaluationConfig::paper_defaults(lambda);
+            for scheme in [Scheme::Oaq, Scheme::Baq] {
+                let d = cfg.qos_ccdf(scheme).unwrap();
+                assert!(
+                    (d.p_at_least(1) - 1.0).abs() < 1e-6,
+                    "{scheme:?} λ={lambda}: {}",
+                    d.p_at_least(1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oaq_dominates_baq_across_lambda() {
+        for lambda in [1e-5, 3e-5, 6e-5, 1e-4] {
+            let cfg = EvaluationConfig::paper_defaults(lambda);
+            let oaq = cfg.qos_ccdf(Scheme::Oaq).unwrap();
+            let baq = cfg.qos_ccdf(Scheme::Baq).unwrap();
+            for y in 1..=3 {
+                assert!(
+                    oaq.p_at_least(y) >= baq.p_at_least(y) - 1e-12,
+                    "λ={lambda}, y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_proper() {
+        let cfg = EvaluationConfig::paper_defaults(5e-5);
+        for scheme in [Scheme::Oaq, Scheme::Baq] {
+            let d = cfg.qos_distribution(scheme).unwrap();
+            let total: f64 = d.as_array().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{scheme:?}");
+            assert!((d.p_at_least(0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qos_degrades_with_lambda() {
+        // More failures → less overlap → lower P(Y ≥ 3) for both schemes.
+        let mut last_oaq = 1.0;
+        let mut last_baq = 1.0;
+        for lambda in [1e-5, 3e-5, 6e-5, 1e-4] {
+            let cfg = EvaluationConfig::paper_defaults(lambda);
+            let oaq = cfg.qos_ccdf(Scheme::Oaq).unwrap().p_at_least(3);
+            let baq = cfg.qos_ccdf(Scheme::Baq).unwrap().p_at_least(3);
+            assert!(oaq <= last_oaq + 1e-12);
+            assert!(baq <= last_baq + 1e-12);
+            last_oaq = oaq;
+            last_baq = baq;
+        }
+    }
+
+    #[test]
+    fn eta12_restricts_to_overlap_levels() {
+        // Figure 8's configuration (η = 12) keeps every reachable capacity
+        // overlapping, so Y = 2 has zero probability and P(Y≥2) = P(Y=3).
+        let mut cfg = EvaluationConfig::paper_defaults(5e-5);
+        cfg.capacity = CapacityParams::reference(5e-5, 30_000.0, 12);
+        let d = cfg.qos_distribution(Scheme::Oaq).unwrap();
+        assert_eq!(d.p(2), 0.0);
+        assert_eq!(d.p(0), 0.0);
+        assert!((d.p_at_least(2) - d.p(3)).abs() < 1e-12);
+    }
+}

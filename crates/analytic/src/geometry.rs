@@ -1,0 +1,218 @@
+//! Geometric parameters of a (possibly degraded) orbital plane.
+//!
+//! All quantities in minutes, matching the paper: θ = 90 (orbit period),
+//! Tc = 9 (coverage time). For a plane with `k` active satellites the
+//! revisit time is `Tr[k] = θ/k`; overlap holds iff `Tr[k] < Tc` (paper
+//! Figure 5, Eq. 1).
+
+/// Geometry of one orbital plane at a given capacity.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_analytic::PlaneGeometry;
+/// let g = PlaneGeometry::reference(12);
+/// assert!(g.is_overlapping());
+/// assert!((g.l2() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneGeometry {
+    theta: f64,
+    tc: f64,
+    k: u32,
+}
+
+impl PlaneGeometry {
+    /// Creates the geometry for a plane with period `theta`, coverage time
+    /// `tc` and `k` active satellites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` or `tc` are not positive, `tc >= theta`,
+    /// `k == 0`, or the capacity is so high that `Tr[k] ≤ Tc/2` — there a
+    /// point can be covered by *three or more* footprints at once and the
+    /// paper's dual-coverage QoS spectrum no longer describes the system
+    /// (the reference design tops out at k = 14, Tr = 6.43 > 4.5).
+    #[must_use]
+    pub fn new(theta: f64, tc: f64, k: u32) -> Self {
+        assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+        assert!(
+            tc.is_finite() && tc > 0.0 && tc < theta,
+            "need 0 < Tc < theta"
+        );
+        assert!(k > 0, "capacity must be positive");
+        assert!(
+            theta / f64::from(k) > tc / 2.0,
+            "Tr[k] must exceed Tc/2: k = {k} implies triple coverage,              outside the model's dual-coverage domain"
+        );
+        PlaneGeometry { theta, tc, k }
+    }
+
+    /// The reference constellation (θ = 90, Tc = 9) at capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn reference(k: u32) -> Self {
+        PlaneGeometry::new(90.0, 9.0, k)
+    }
+
+    /// Active satellites `k`.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.k
+    }
+
+    /// Orbit period θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Coverage time Tc.
+    #[must_use]
+    pub fn tc(&self) -> f64 {
+        self.tc
+    }
+
+    /// Revisit time `Tr[k] = θ/k`.
+    #[must_use]
+    pub fn tr(&self) -> f64 {
+        self.theta / f64::from(self.k)
+    }
+
+    /// `L1[k] = Tr[k]` — the footprint-pattern period along the track.
+    #[must_use]
+    pub fn l1(&self) -> f64 {
+        self.tr()
+    }
+
+    /// `L2[k] = |Tc − Tr[k]|` — overlap length (overlapping) or coverage
+    /// gap (underlapping).
+    #[must_use]
+    pub fn l2(&self) -> f64 {
+        (self.tc - self.tr()).abs()
+    }
+
+    /// The indicator `I[k]` (paper Eq. 1): `true` iff `Tr[k] < Tc`.
+    #[must_use]
+    pub fn is_overlapping(&self) -> bool {
+        self.tr() < self.tc
+    }
+
+    /// Upper bound `M[k]` on the number of satellites that consecutively
+    /// capture a signal in the underlapping case (paper Eq. 2), given the
+    /// alert deadline `tau`.
+    ///
+    /// Returns `None` for overlapping geometry, where the bound is not
+    /// defined by the paper (coordination there terminates at the first
+    /// simultaneous coverage instead).
+    #[must_use]
+    pub fn sequential_chain_bound(&self, tau: f64) -> Option<u32> {
+        if self.is_overlapping() {
+            return None;
+        }
+        let l1 = self.l1();
+        let l2 = self.l2();
+        Some(if tau > l2 {
+            2 + ((tau - l2) / l1).floor() as u32
+        } else {
+            1
+        })
+    }
+
+    /// `L̂[k] = min{L1 − L2, τ}` — the opportunity-window length feeding
+    /// Eq. 4 (overlapping case).
+    #[must_use]
+    pub fn l_hat(&self, tau: f64) -> f64 {
+        (self.l1() - self.l2()).min(tau)
+    }
+
+    /// `L̃[k] = min{L1, τ}` — the window length for Theorem 2's sequential
+    /// coverage condition (underlapping case).
+    #[must_use]
+    pub fn l_tilde(&self, tau: f64) -> f64 {
+        self.l1().min(tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values_match_paper() {
+        // Paper Section 4.2.1: underlapping begins below k = 11.
+        assert!(PlaneGeometry::reference(11).is_overlapping());
+        assert!(!PlaneGeometry::reference(10).is_overlapping());
+        // k = 12: Tr = 7.5, L2 = 1.5.
+        let g = PlaneGeometry::reference(12);
+        assert!((g.tr() - 7.5).abs() < 1e-12);
+        assert!((g.l1() - 7.5).abs() < 1e-12);
+        assert!((g.l2() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k10_is_the_tangent_case() {
+        let g = PlaneGeometry::reference(10);
+        assert_eq!(g.tr(), 9.0);
+        assert_eq!(g.l2(), 0.0);
+        assert!(!g.is_overlapping(), "Tr = Tc counts as underlapping");
+    }
+
+    #[test]
+    fn chain_bound_is_two_for_paper_deadlines() {
+        // Paper: with τ < 9 min the sequential-coverage bound is 2.
+        for k in [9, 10] {
+            let g = PlaneGeometry::reference(k);
+            assert_eq!(g.sequential_chain_bound(5.0), Some(2), "k = {k}");
+        }
+        assert_eq!(PlaneGeometry::reference(12).sequential_chain_bound(5.0), None);
+    }
+
+    #[test]
+    fn chain_bound_degenerates_to_one_for_tiny_deadline() {
+        // k = 9: L2 = 1; τ ≤ L2 leaves no time for a second satellite.
+        let g = PlaneGeometry::reference(9);
+        assert_eq!(g.sequential_chain_bound(0.5), Some(1));
+        assert_eq!(g.sequential_chain_bound(1.0), Some(1));
+        assert_eq!(g.sequential_chain_bound(1.1), Some(2));
+    }
+
+    #[test]
+    fn chain_bound_grows_with_deadline() {
+        let g = PlaneGeometry::reference(9); // L1 = 10, L2 = 1
+        assert_eq!(g.sequential_chain_bound(11.5), Some(3));
+        assert_eq!(g.sequential_chain_bound(21.5), Some(4));
+    }
+
+    #[test]
+    fn windows_clamp_to_tau() {
+        let g = PlaneGeometry::reference(12); // L1 - L2 = 6
+        assert_eq!(g.l_hat(5.0), 5.0);
+        assert_eq!(g.l_hat(8.0), 6.0);
+        let u = PlaneGeometry::reference(9); // L1 = 10
+        assert_eq!(u.l_tilde(5.0), 5.0);
+        assert_eq!(u.l_tilde(12.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < Tc < theta")]
+    fn coverage_exceeding_period_rejected() {
+        let _ = PlaneGeometry::new(90.0, 95.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "triple coverage")]
+    fn triple_coverage_capacity_rejected() {
+        // k = 20: Tr = 4.5 = Tc/2 — three footprints can meet.
+        let _ = PlaneGeometry::reference(20);
+    }
+
+    #[test]
+    fn highest_valid_capacity_accepted() {
+        let g = PlaneGeometry::reference(19);
+        assert!(g.l1() - g.l2() > 0.0);
+    }
+}

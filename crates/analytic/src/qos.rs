@@ -1,0 +1,438 @@
+//! The conditional QoS distribution `P(Y = y | k)` (paper Section 4.2).
+//!
+//! QoS spectrum (paper Table 1): `Y = 3` simultaneous dual coverage
+//! (overlapping geometry only), `Y = 2` sequential dual coverage
+//! (underlapping only, OAQ only), `Y = 1` single coverage, `Y = 0` missed
+//! target (underlapping only).
+//!
+//! With PASTA, a Poisson-arriving signal lands uniformly in one geometric
+//! period `L1[k]`; its duration is Exp(µ) and the iterative geolocation
+//! computation time is Exp(ν). `G3[k]` below is the paper's Eq. 4
+//! verbatim; `G2[k]` and the miss probability follow from Theorems 1–2 by
+//! the identical construction. Functions suffixed `_with` take arbitrary
+//! survival/CDF curves and evaluate the defining integrals numerically —
+//! the property tests pin the closed forms to them.
+
+use crate::geometry::PlaneGeometry;
+use crate::integrate::adaptive_simpson;
+
+/// Model parameters of the QoS evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosParams {
+    /// Alert-message delivery deadline τ, minutes.
+    pub tau: f64,
+    /// Signal termination rate µ (mean duration `1/µ` minutes).
+    pub mu: f64,
+    /// Iterative-computation completion rate ν.
+    pub nu: f64,
+}
+
+impl QosParams {
+    /// The paper's evaluation defaults: τ = 5, ν = 30, with µ supplied
+    /// (the paper uses 0.5 and 0.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all rates are positive and finite.
+    #[must_use]
+    pub fn paper_defaults(mu: f64) -> Self {
+        let p = QosParams {
+            tau: 5.0,
+            mu,
+            nu: 30.0,
+        };
+        p.validate();
+        p
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tau`, `mu` and `nu` are positive and finite.
+    pub fn validate(&self) {
+        assert!(
+            self.tau.is_finite() && self.tau > 0.0,
+            "tau must be positive"
+        );
+        assert!(self.mu.is_finite() && self.mu > 0.0, "mu must be positive");
+        assert!(self.nu.is_finite() && self.nu > 0.0, "nu must be positive");
+    }
+
+    fn compute_cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.nu * t).exp()
+        }
+    }
+}
+
+/// `∫_{lo}^{hi} e^{−µw} · H(τ − w) dw` with `H(t) = 1 − e^{−νt}`: the
+/// probability mass of "signal survives the wait `w`, then the computation
+/// finishes inside the remaining deadline", integrated over a wait window.
+fn wait_then_compute(q: &QosParams, lo: f64, hi: f64) -> f64 {
+    let hi = hi.min(q.tau);
+    if hi <= lo {
+        return 0.0;
+    }
+    let (mu, nu, tau) = (q.mu, q.nu, q.tau);
+    let first = ((-mu * lo).exp() - (-mu * hi).exp()) / mu;
+    // The correction term e^{−ντ}·∫ e^{(ν−µ)w} dw is folded into single
+    // exponents e^{ν(w−τ) − µw} (each ≤ 0 since w ≤ τ), so large ν cannot
+    // overflow into a 0·∞ NaN.
+    let second = if (nu - mu).abs() < 1e-12 {
+        (-nu * tau).exp() * (hi - lo)
+    } else {
+        ((nu * (hi - tau) - mu * hi).exp() - (nu * (lo - tau) - mu * lo).exp()) / (nu - mu)
+    };
+    first - second
+}
+
+/// `G3[k]` — paper Eq. 4: probability of a level-3 result (simultaneous
+/// dual coverage, OAQ scheme), given overlapping geometry.
+///
+/// Returns 0 for underlapping geometry.
+#[must_use]
+pub fn g3_oaq(geom: &PlaneGeometry, q: &QosParams) -> f64 {
+    if !geom.is_overlapping() {
+        return 0.0;
+    }
+    let l1 = geom.l1();
+    let l2 = geom.l2();
+    let l_hat = geom.l_hat(q.tau);
+    // Term 1: signal born in the opportunity window of α, waits for the
+    // overlapped footprints (wait w ∈ [0, L̂]).
+    let term1 = wait_then_compute(q, 0.0, l_hat);
+    // Term 2: signal born inside β — simultaneous coverage immediately.
+    let term2 = l2 * q.compute_cdf(q.tau);
+    (term1 + term2) / l1
+}
+
+/// `G3` under the BAQ baseline: only signals born inside the overlapped
+/// interval β reach level 3 (no withholding of preliminary results).
+#[must_use]
+pub fn g3_baq(geom: &PlaneGeometry, q: &QosParams) -> f64 {
+    if !geom.is_overlapping() {
+        return 0.0;
+    }
+    geom.l2() / geom.l1() * q.compute_cdf(q.tau)
+}
+
+/// `G2[k]` — probability of a level-2 result (sequential dual coverage,
+/// OAQ only), given underlapping geometry: the signal is born inside the
+/// coverage interval α at wait `w ∈ [L2, min(L1, τ)]` from the next
+/// satellite's arrival (paper Theorem 2, first condition), survives the
+/// wait, and the second iteration completes inside the deadline.
+///
+/// Returns 0 for overlapping geometry or `τ ≤ L2`.
+#[must_use]
+pub fn g2_oaq(geom: &PlaneGeometry, q: &QosParams) -> f64 {
+    if geom.is_overlapping() || q.tau <= geom.l2() {
+        return 0.0;
+    }
+    wait_then_compute(q, geom.l2(), geom.l_tilde(q.tau)) / geom.l1()
+}
+
+/// Probability the target escapes surveillance (level 0): born inside the
+/// coverage gap γ and terminating before the next footprint arrives.
+/// Identical under OAQ and BAQ; zero for overlapping geometry.
+#[must_use]
+pub fn miss_probability(geom: &PlaneGeometry, q: &QosParams) -> f64 {
+    if geom.is_overlapping() {
+        return 0.0;
+    }
+    let l2 = geom.l2();
+    if l2 == 0.0 {
+        return 0.0;
+    }
+    (l2 - (1.0 - (-q.mu * l2).exp()) / q.mu) / geom.l1()
+}
+
+/// The QoS-enhancement scheme being evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Opportunity-adaptive QoS enhancement (the paper's contribution).
+    Oaq,
+    /// Basic fault-adaptive QoS enhancement: spares and deployment policies
+    /// only, no opportunity-driven coordination; level 2 is unreachable.
+    Baq,
+}
+
+/// The distribution of the QoS level `Y` conditioned on plane capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConditionalQos {
+    p: [f64; 4],
+}
+
+impl ConditionalQos {
+    /// `P(Y = y | k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3`.
+    #[must_use]
+    pub fn p(&self, y: usize) -> f64 {
+        self.p[y]
+    }
+
+    /// `P(Y ≥ y | k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3`.
+    #[must_use]
+    pub fn p_at_least(&self, y: usize) -> f64 {
+        assert!(y <= 3, "QoS levels are 0..=3");
+        self.p[y..].iter().sum()
+    }
+
+    /// The four probabilities `[P(Y=0), …, P(Y=3)]`.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 4] {
+        self.p
+    }
+}
+
+/// Computes `P(Y = y | k)` for a scheme, geometry and parameter set.
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid (see [`QosParams::validate`]).
+#[must_use]
+pub fn conditional_qos(scheme: Scheme, geom: &PlaneGeometry, q: &QosParams) -> ConditionalQos {
+    q.validate();
+    let mut p = [0.0; 4];
+    if geom.is_overlapping() {
+        let p3 = match scheme {
+            Scheme::Oaq => g3_oaq(geom, q),
+            Scheme::Baq => g3_baq(geom, q),
+        };
+        p[3] = p3;
+        p[1] = 1.0 - p3;
+    } else {
+        let p0 = miss_probability(geom, q);
+        let p2 = match scheme {
+            Scheme::Oaq => g2_oaq(geom, q),
+            Scheme::Baq => 0.0,
+        };
+        p[0] = p0;
+        p[2] = p2;
+        p[1] = 1.0 - p0 - p2;
+    }
+    debug_assert!(p.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+    ConditionalQos { p }
+}
+
+// ---------------------------------------------------------------------------
+// Numerical (distribution-agnostic) versions of the defining integrals.
+// ---------------------------------------------------------------------------
+
+/// `G3` evaluated from the defining integral (Eq. 4) with arbitrary signal
+/// survival `W(t) = P(duration > t)` and computation CDF `H(t)`.
+#[must_use]
+pub fn g3_oaq_with(
+    geom: &PlaneGeometry,
+    tau: f64,
+    signal_survival: &dyn Fn(f64) -> f64,
+    compute_cdf: &dyn Fn(f64) -> f64,
+) -> f64 {
+    if !geom.is_overlapping() {
+        return 0.0;
+    }
+    let l_hat = geom.l_hat(tau);
+    let term1 = adaptive_simpson(
+        &|x| signal_survival(l_hat - x) * compute_cdf(tau - (l_hat - x)),
+        0.0,
+        l_hat,
+        1e-10,
+    );
+    let term2 = geom.l2() * compute_cdf(tau);
+    (term1 + term2) / geom.l1()
+}
+
+/// `G2` evaluated from its defining integral with arbitrary distributions.
+#[must_use]
+pub fn g2_oaq_with(
+    geom: &PlaneGeometry,
+    tau: f64,
+    signal_survival: &dyn Fn(f64) -> f64,
+    compute_cdf: &dyn Fn(f64) -> f64,
+) -> f64 {
+    if geom.is_overlapping() || tau <= geom.l2() {
+        return 0.0;
+    }
+    adaptive_simpson(
+        &|w| signal_survival(w) * compute_cdf(tau - w),
+        geom.l2(),
+        geom.l_tilde(tau),
+        1e-10,
+    ) / geom.l1()
+}
+
+/// Miss probability from its defining integral with an arbitrary signal
+/// survival curve.
+#[must_use]
+pub fn miss_probability_with(
+    geom: &PlaneGeometry,
+    signal_survival: &dyn Fn(f64) -> f64,
+) -> f64 {
+    if geom.is_overlapping() || geom.l2() == 0.0 {
+        return 0.0;
+    }
+    adaptive_simpson(&|d| 1.0 - signal_survival(d), 0.0, geom.l2(), 1e-10) / geom.l1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Section 4.3: P(Y=3 | k=12) with τ=5, µ=0.5, ν=30 is 0.44
+    /// under OAQ and 0.20 under BAQ.
+    #[test]
+    fn paper_quoted_values_for_k12() {
+        let g = PlaneGeometry::reference(12);
+        let q = QosParams::paper_defaults(0.5);
+        let oaq = g3_oaq(&g, &q);
+        let baq = g3_baq(&g, &q);
+        assert!((oaq - 0.44).abs() < 0.01, "OAQ G3[12] = {oaq}");
+        assert!((baq - 0.20).abs() < 0.005, "BAQ G3[12] = {baq}");
+    }
+
+    #[test]
+    fn closed_forms_match_quadrature_exponential() {
+        for k in [9, 10, 11, 12, 13, 14] {
+            let g = PlaneGeometry::reference(k);
+            for mu in [0.2, 0.5, 1.0] {
+                for tau in [2.0, 5.0, 8.0] {
+                    let q = QosParams { tau, mu, nu: 30.0 };
+                    let surv = move |t: f64| (-mu * t.max(0.0)).exp();
+                    let cdf = move |t: f64| {
+                        if t <= 0.0 {
+                            0.0
+                        } else {
+                            1.0 - (-30.0 * t).exp()
+                        }
+                    };
+                    assert!(
+                        (g3_oaq(&g, &q) - g3_oaq_with(&g, tau, &surv, &cdf)).abs() < 1e-8,
+                        "g3 k={k} mu={mu} tau={tau}"
+                    );
+                    assert!(
+                        (g2_oaq(&g, &q) - g2_oaq_with(&g, tau, &surv, &cdf)).abs() < 1e-8,
+                        "g2 k={k} mu={mu} tau={tau}"
+                    );
+                    assert!(
+                        (miss_probability(&g, &q) - miss_probability_with(&g, &surv)).abs()
+                            < 1e-8,
+                        "miss k={k} mu={mu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nu_equal_mu_branch_is_continuous() {
+        let g = PlaneGeometry::reference(12);
+        let exact = g3_oaq(&g, &QosParams { tau: 5.0, mu: 0.5, nu: 0.5 });
+        let near = g3_oaq(
+            &g,
+            &QosParams {
+                tau: 5.0,
+                mu: 0.5,
+                nu: 0.5 + 1e-9,
+            },
+        );
+        assert!((exact - near).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oaq_dominates_baq_in_overlap() {
+        let q = QosParams::paper_defaults(0.2);
+        for k in 11..=14 {
+            let g = PlaneGeometry::reference(k);
+            assert!(g3_oaq(&g, &q) > g3_baq(&g, &q), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn longer_signals_help_oaq_but_not_baq() {
+        // Paper Figure 8's headline: decreasing µ raises OAQ's P(Y=3) and
+        // leaves BAQ's unchanged.
+        let g = PlaneGeometry::reference(12);
+        let short = QosParams::paper_defaults(0.5);
+        let long = QosParams::paper_defaults(0.2);
+        assert!(g3_oaq(&g, &long) > g3_oaq(&g, &short));
+        assert!((g3_baq(&g, &long) - g3_baq(&g, &short)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_distributions_are_proper() {
+        for scheme in [Scheme::Oaq, Scheme::Baq] {
+            for k in 9..=14 {
+                let g = PlaneGeometry::reference(k);
+                let q = QosParams::paper_defaults(0.2);
+                let c = conditional_qos(scheme, &g, &q);
+                let total: f64 = c.as_array().iter().sum();
+                assert!((total - 1.0).abs() < 1e-12, "{scheme:?} k={k}");
+                assert!(c.as_array().iter().all(|&p| (0.0..=1.0).contains(&p)));
+                assert!((c.p_at_least(0) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn level_reachability_matches_table_1() {
+        let q = QosParams::paper_defaults(0.2);
+        // Overlapping (k = 12): Y ∈ {1, 3}; no misses, no sequential dual.
+        let over = conditional_qos(Scheme::Oaq, &PlaneGeometry::reference(12), &q);
+        assert_eq!(over.p(0), 0.0);
+        assert_eq!(over.p(2), 0.0);
+        assert!(over.p(3) > 0.0);
+        // Underlapping (k = 9): Y ∈ {0, 1, 2}; no simultaneous dual.
+        let under = conditional_qos(Scheme::Oaq, &PlaneGeometry::reference(9), &q);
+        assert_eq!(under.p(3), 0.0);
+        assert!(under.p(2) > 0.0);
+        assert!(under.p(0) > 0.0);
+        // BAQ in underlap: Y ∈ {0, 1} only.
+        let baq = conditional_qos(Scheme::Baq, &PlaneGeometry::reference(9), &q);
+        assert_eq!(baq.p(2), 0.0);
+        assert_eq!(baq.p(3), 0.0);
+    }
+
+    #[test]
+    fn tangent_case_k10_has_no_misses_but_sequential_gain() {
+        let q = QosParams::paper_defaults(0.2);
+        let c = conditional_qos(Scheme::Oaq, &PlaneGeometry::reference(10), &q);
+        assert_eq!(c.p(0), 0.0, "L2 = 0 leaves no coverage gap");
+        assert!(c.p(2) > 0.3, "sequential dual is the dominant gain");
+    }
+
+    #[test]
+    fn tiny_deadline_kills_sequential_coverage() {
+        let g = PlaneGeometry::reference(9); // L2 = 1
+        let q = QosParams {
+            tau: 0.8,
+            mu: 0.2,
+            nu: 30.0,
+        };
+        assert_eq!(g2_oaq(&g, &q), 0.0);
+    }
+
+    #[test]
+    fn deadline_growth_is_monotone() {
+        let g = PlaneGeometry::reference(12);
+        let mut last = 0.0;
+        for tau10 in 1..=80 {
+            let q = QosParams {
+                tau: f64::from(tau10) * 0.1,
+                mu: 0.2,
+                nu: 30.0,
+            };
+            let v = g3_oaq(&g, &q);
+            assert!(v >= last - 1e-12, "tau = {}", q.tau);
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Bench: closed-form vs quadrature G-functions, and one full Figure 9 row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_analytic::compose::{EvaluationConfig, Scheme};
+use oaq_analytic::geometry::PlaneGeometry;
+use oaq_analytic::qos::{g3_oaq, g3_oaq_with, QosParams};
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic_model");
+    let geom = PlaneGeometry::reference(12);
+    let q = QosParams::paper_defaults(0.2);
+    g.bench_function("g3_closed_form", |b| b.iter(|| g3_oaq(&geom, &q)));
+    g.bench_function("g3_quadrature", |b| {
+        let surv = |t: f64| (-0.2 * t.max(0.0)).exp();
+        let cdf = |t: f64| if t <= 0.0 { 0.0 } else { 1.0 - (-30.0 * t).exp() };
+        b.iter(|| g3_oaq_with(&geom, 5.0, &surv, &cdf));
+    });
+    g.bench_function("figure9_single_lambda", |b| {
+        b.iter(|| {
+            EvaluationConfig::paper_defaults(5e-5)
+                .qos_ccdf(Scheme::Oaq)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Substrate bench: iterative weighted least squares and sequential
+//! localization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_orbit::units::Degrees;
+use oaq_orbit::GroundPoint;
+use oaq_sim::SimRng;
+
+fn bench_geoloc(c: &mut Criterion) {
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(10.0)),
+        400.0e6,
+    );
+    let scenario = PassScenario::reference(&emitter);
+    let mut g = c.benchmark_group("geolocation");
+    g.bench_function("wls_two_passes", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed_from(5);
+                let mut loc = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+                loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+                loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+                loc
+            },
+            |mut loc| loc.estimate().unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("synthesize_pass", |b| {
+        let mut rng = SimRng::seed_from(6);
+        b.iter(|| scenario.synthesize_pass(0, &mut rng));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_geoloc);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate bench: discrete-event kernel throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oaq_sim::{Context, Model, SimDuration, SimTime, Simulation};
+
+struct Churn {
+    remaining: u64,
+}
+
+enum Ev {
+    Tick,
+}
+
+impl Model for Churn {
+    type Event = Ev;
+    fn handle(&mut self, _ev: Ev, ctx: &mut Context<Ev>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let d = ctx.rng().exp(1.0);
+            ctx.schedule_in(SimDuration::new(d), Ev::Tick);
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(Churn { remaining: 100_000 }, 1);
+                sim.schedule_at(SimTime::ZERO, Ev::Tick);
+                sim
+            },
+            |mut sim| sim.run_to_completion(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = oaq_sim::EventQueue::new();
+            for i in 0..10_000u32 {
+                q.push(SimTime::new(f64::from((i * 7919) % 10_000)), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

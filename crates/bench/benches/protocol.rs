@@ -1,0 +1,34 @@
+//! Bench: OAQ episode simulation rate (the Monte-Carlo workhorse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+use oaq_core::protocol::Episode;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    let oaq = ProtocolConfig::reference(10, Scheme::Oaq);
+    g.bench_function("single_episode_underlap", |b| {
+        b.iter(|| Episode::new(&oaq, 3).run(6.0, 12.0));
+    });
+    let overlap = ProtocolConfig::reference(12, Scheme::Oaq);
+    g.bench_function("single_episode_overlap", |b| {
+        b.iter(|| Episode::new(&overlap, 3).run(4.0, 12.0));
+    });
+    g.bench_function("monte_carlo_500_episodes", |b| {
+        b.iter(|| {
+            estimate_conditional_qos(
+                &oaq,
+                &MonteCarloOptions {
+                    episodes: 500,
+                    mu: 0.2,
+                    seed: 9,
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

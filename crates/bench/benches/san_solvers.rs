@@ -1,0 +1,35 @@
+//! Substrate bench: SAN simulation vs CTMC solution of the plane model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_analytic::capacity::CapacityParams;
+use oaq_san::plane::PlaneModelConfig;
+use oaq_san::sim::SteadyStateOptions;
+
+fn bench_san(c: &mut Criterion) {
+    let mut g = c.benchmark_group("san_solvers");
+    g.bench_function("plane_sim_50_cycles", |b| {
+        let model = PlaneModelConfig::reference(5e-5, 30_000.0, 10).build_sim();
+        b.iter(|| {
+            model.capacity_distribution_sim(&SteadyStateOptions {
+                warmup: 30_000.0,
+                horizon: 1_500_000.0,
+                seed: 3,
+            })
+        });
+    });
+    g.bench_function("plane_ctmc_erlang25", |b| {
+        let model = PlaneModelConfig::reference(5e-5, 30_000.0, 10).build_markov(25);
+        b.iter(|| model.capacity_distribution_markov(100_000).unwrap());
+    });
+    g.bench_function("capacity_closed_form", |b| {
+        b.iter(|| {
+            CapacityParams::reference(5e-5, 30_000.0, 10)
+                .distribution()
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_san);
+criterion_main!(benches);

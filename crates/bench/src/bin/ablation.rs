@@ -1,0 +1,121 @@
+//! Experiment E11 — ablations of the modeling and design choices DESIGN.md
+//! calls out:
+//!   1. spare-policy reading (pin-at-threshold vs full-restore-after-delay);
+//!   2. Erlang order approximating the deterministic scheduled restore;
+//!   3. done-chain vs backward messaging under fail-silent recruits.
+
+use oaq_analytic::capacity::CapacityParams;
+use oaq_bench::{banner, tsv_header, tsv_row};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::QosLevel;
+use oaq_san::plane::{PlaneModelConfig, SparePolicy};
+use oaq_san::sim::SteadyStateOptions;
+
+const PHI: f64 = 30_000.0;
+
+fn main() {
+    banner("Ablation 1: spare-policy reading (lambda = 1e-4, eta = 10)");
+    let opts = SteadyStateOptions {
+        warmup: 5.0 * PHI,
+        horizon: 400.0 * PHI,
+        seed: 13,
+    };
+    let pin = PlaneModelConfig::reference(1e-4, PHI, 10)
+        .build_sim()
+        .capacity_distribution_sim(&opts);
+    let launch = PlaneModelConfig {
+        policy: SparePolicy::FullRestoreAfterDelay {
+            mean_delay_hours: 5_000.0,
+            erlang_shape: 2,
+        },
+        ..PlaneModelConfig::reference(1e-4, PHI, 10)
+    }
+    .build_sim()
+    .capacity_distribution_sim(&opts);
+    tsv_header(&["k", "pin_at_threshold", "full_restore_5000h"]);
+    for k in (8..=14).rev() {
+        tsv_row(k as f64, &[pin[k], launch[k]]);
+    }
+    println!("Only pin-at-threshold reproduces Figure 7's shape (no mass");
+    println!("below eta, threshold mass dominant at high lambda).");
+
+    banner("Ablation 2: Erlang order vs exact deterministic clock (lambda = 5e-5)");
+    let exact = CapacityParams::reference(5e-5, PHI, 10)
+        .distribution()
+        .expect("solves");
+    tsv_header(&["erlang_shape", "max_abs_err_P(k)"]);
+    for shape in [1u32, 2, 4, 8, 16, 32, 64] {
+        let d = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .build_markov(shape)
+            .capacity_distribution_markov(200_000)
+            .expect("solves");
+        let err = (10..=14)
+            .map(|k| (d[k] - exact[k]).abs())
+            .fold(0.0_f64, f64::max);
+        tsv_row(f64::from(shape), &[err]);
+    }
+    println!("Error falls roughly as 1/shape: the CV of Erlang(m) is 1/sqrt(m).");
+
+    banner("Ablation 3: done-chain vs backward messaging, fail-silent recruit");
+    let fwd = ProtocolConfig::reference(10, Scheme::Oaq);
+    let mut bwd = fwd;
+    bwd.backward_messaging = true;
+    fwd.validate();
+    let trials: u64 = 2000;
+    for (label, cfg) in [("done-chain", fwd), ("backward", bwd)] {
+        let mut lost = 0;
+        let mut msgs = 0u64;
+        for seed in 0..trials {
+            let out = Episode::new(&cfg, seed)
+                .with_failure(1, 8.0)
+                .run(6.0, 20.0);
+            msgs += out.messages_sent;
+            if out.level == QosLevel::Missed {
+                lost += 1;
+            }
+        }
+        println!(
+            "{label:>11}: lost alerts {}/{trials}, mean messages {:.2}",
+            lost,
+            msgs as f64 / trials as f64
+        );
+    }
+    println!("The done-chain never loses an alert; backward messaging trades");
+    println!("that guarantee for fewer messages (the paper's stated trade-off).");
+
+    banner("Ablation 4: messaging-overhead gap vs the analytic idealization");
+    // The analytic model sets δ = Tg = 0; the protocol pays them. Sweep δ
+    // and watch the P(Y>=2 | k=10) gap grow.
+    use oaq_analytic::geometry::PlaneGeometry;
+    use oaq_analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
+    use oaq_core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+    let exact = conditional_qos(
+        AScheme::Oaq,
+        &PlaneGeometry::reference(10),
+        &QosParams::paper_defaults(0.2),
+    )
+    .p_at_least(2);
+    tsv_header(&["delta_min", "protocol_P(Y>=2)", "analytic", "gap"]);
+    for delta in [0.01, 0.1, 0.5, 1.0, 2.0] {
+        let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+        cfg.delta = delta;
+        let est = estimate_conditional_qos(
+            &cfg,
+            &MonteCarloOptions {
+                episodes: 20_000,
+                mu: 0.2,
+                seed: 4004,
+            },
+        );
+        println!(
+            "{delta}\t{:.4}\t{:.4}\t{:.4}",
+            est.p_at_least(2),
+            exact,
+            (est.p_at_least(2) - exact).abs()
+        );
+    }
+    println!("The idealization costs little at realistic crosslink delays");
+    println!("(delta ~ 0.1 min) and visibly more as delta eats the deadline");
+    println!("budget tau - (n*delta + Tg).");
+}

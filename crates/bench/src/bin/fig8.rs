@@ -1,0 +1,41 @@
+//! Experiment E3 — paper Figure 8: P(Y = 3) as a function of λ for OAQ vs
+//! BAQ at µ ∈ {0.2, 0.5} (τ = 5, ν = 30, η = 12, φ = 30000 h).
+
+use oaq_analytic::compose::Scheme;
+use oaq_analytic::sweep::{figure8, paper_lambda_grid};
+use oaq_bench::{banner, tsv_header, tsv_row};
+
+fn main() {
+    let grid = paper_lambda_grid();
+    banner("Figure 8: P(Y=3) vs lambda (tau=5, eta=12, phi=30000h)");
+    tsv_header(&[
+        "lambda",
+        "OAQ(mu=0.2)",
+        "OAQ(mu=0.5)",
+        "BAQ(mu=0.2)",
+        "BAQ(mu=0.5)",
+    ]);
+    let oaq02 = figure8(Scheme::Oaq, 0.2, &grid).expect("solves");
+    let oaq05 = figure8(Scheme::Oaq, 0.5, &grid).expect("solves");
+    let baq02 = figure8(Scheme::Baq, 0.2, &grid).expect("solves");
+    let baq05 = figure8(Scheme::Baq, 0.5, &grid).expect("solves");
+    let mut max_gain: f64 = 0.0;
+    for i in 0..grid.len() {
+        tsv_row(
+            grid[i],
+            &[
+                oaq02[i].p_ge_3,
+                oaq05[i].p_ge_3,
+                baq02[i].p_ge_3,
+                baq05[i].p_ge_3,
+            ],
+        );
+        max_gain = max_gain.max(oaq02[i].p_ge_3 / oaq05[i].p_ge_3 - 1.0);
+    }
+    println!(
+        "\nOAQ gain from mu 0.5 -> 0.2: up to {:.0}% (paper reports up to 38%).",
+        max_gain * 100.0
+    );
+    println!("BAQ columns are identical across mu: the baseline cannot exploit");
+    println!("longer signals (paper's Figure 8 discussion).");
+}

@@ -1,0 +1,54 @@
+//! Experiment E10 — sequential-localization accuracy: error vs number of
+//! coordinating satellites and vs measurement noise. This is the physical
+//! basis for the QoS spectrum (the paper's refs [4, 5]).
+
+use oaq_bench::{banner, tsv_header, tsv_row};
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_orbit::units::Degrees;
+use oaq_orbit::GroundPoint;
+use oaq_sim::stats::Tally;
+use oaq_sim::SimRng;
+
+fn run_trials(sigma_hz: f64, passes: usize, trials: u64) -> (f64, f64) {
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(25.0)),
+        400.0e6,
+    );
+    let scenario = PassScenario::reference(&emitter).with_sigma_hz(sigma_hz);
+    let mut actual = Tally::new();
+    let mut reported = Tally::new();
+    for seed in 0..trials {
+        let mut rng = SimRng::seed_from(1000 + seed);
+        let mut loc = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+        for p in 0..passes {
+            loc.add_pass(scenario.synthesize_pass(p, &mut rng));
+        }
+        if let Ok(est) = loc.estimate() {
+            actual.record(est.position_error_km(&emitter.position()));
+            reported.record(est.error_radius_km());
+        }
+    }
+    (actual.mean(), reported.mean())
+}
+
+fn main() {
+    banner("Sequential localization: error vs passes (sigma = 1 Hz, 30 trials)");
+    tsv_header(&["passes", "mean_actual_km", "mean_reported_km"]);
+    for passes in 1..=4 {
+        let (actual, reported) = run_trials(1.0, passes, 30);
+        tsv_row(passes as f64, &[actual, reported]);
+    }
+
+    banner("Error vs Doppler noise (2 passes, 30 trials)");
+    tsv_header(&["sigma_hz", "mean_actual_km", "mean_reported_km"]);
+    for sigma in [0.1, 0.5, 1.0, 2.0, 5.0] {
+        let (actual, reported) = run_trials(sigma, 2, 30);
+        tsv_row(sigma, &[actual, reported]);
+    }
+
+    println!("\nThe single-pass row carries the classic cross-track ambiguity");
+    println!("(reported error far above the multi-pass rows); the second pass");
+    println!("collapses it — the accuracy jump OAQ converts into QoS level 2.");
+}

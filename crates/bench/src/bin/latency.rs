@@ -1,0 +1,72 @@
+//! Experiment E13 (analysis) — the alert-latency side of the
+//! imprecise-computation trade-off (paper Section 3.3): OAQ buys quality
+//! with waiting time inside the window of opportunity; BAQ ships the first
+//! result it has. Latency measured from signal birth to alert delivery.
+
+use oaq_bench::{banner, tsv_header};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::QosLevel;
+use oaq_sim::stats::{P2Quantile, Tally};
+use oaq_sim::SimRng;
+
+fn latency_profile(cfg: &ProtocolConfig, mu: f64, episodes: u64) -> (Tally, f64, f64, f64) {
+    let mut rng = SimRng::seed_from(9090);
+    let mut tally = Tally::new();
+    let mut median = P2Quantile::new(0.5);
+    let mut p95 = P2Quantile::new(0.95);
+    let mut quality = 0u64;
+    let mut detected = 0u64;
+    for seed in 0..episodes {
+        let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
+        let duration = rng.exp(mu);
+        let out = Episode::new(cfg, seed).run(birth, duration);
+        if out.level > QosLevel::Missed {
+            detected += 1;
+            if out.level >= QosLevel::SequentialDual {
+                quality += 1;
+            }
+            if let Some(at) = out.delivered_at {
+                let latency = at - birth;
+                tally.record(latency);
+                median.record(latency);
+                p95.record(latency);
+            }
+        }
+    }
+    (
+        tally,
+        median.estimate().unwrap_or(0.0),
+        p95.estimate().unwrap_or(0.0),
+        if detected == 0 {
+            0.0
+        } else {
+            quality as f64 / detected as f64
+        },
+    )
+}
+
+fn main() {
+    let episodes = 20_000;
+    let mu = 0.2;
+    banner("Alert latency (birth -> delivery, minutes) vs quality, 20k episodes");
+    tsv_header(&["k", "scheme", "mean", "median", "p95", "max", "P(Y>=2|detected)"]);
+    for k in [9usize, 10, 12, 14] {
+        for (label, scheme) in [("OAQ", Scheme::Oaq), ("BAQ", Scheme::Baq)] {
+            let cfg = ProtocolConfig::reference(k, scheme);
+            let (t, med, p95, q) = latency_profile(&cfg, mu, episodes);
+            println!(
+                "{k}\t{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                t.mean(),
+                med,
+                p95,
+                t.max().unwrap_or(0.0),
+                q
+            );
+        }
+    }
+    println!("\nOAQ's latency is bounded by the deadline discipline (max <= tau");
+    println!("plus the detection wait) and is spent buying the quality column;");
+    println!("BAQ delivers almost immediately and leaves the budget unused —");
+    println!("the imprecise-computation trade-off the paper's Section 3.3 draws.");
+}

@@ -1,0 +1,91 @@
+//! Experiment E15 (analysis) — dependability of the OAQ protocol itself:
+//! quality and timeliness under crosslink message loss and fail-silent
+//! satellites. The paper argues the done-chain guarantees timely delivery
+//! "with high probability"; this experiment quantifies that claim.
+
+use oaq_bench::{banner, tsv_header};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::QosLevel;
+use oaq_sim::SimRng;
+
+struct Row {
+    detected: u64,
+    timely: u64,
+    quality: u64,
+    missed: u64,
+}
+
+fn run_grid(cfg: &ProtocolConfig, failed: &[usize], episodes: u64) -> Row {
+    let mut rng = SimRng::seed_from(1515);
+    let mut row = Row {
+        detected: 0,
+        timely: 0,
+        quality: 0,
+        missed: 0,
+    };
+    for seed in 0..episodes {
+        // Failures break the pattern's symmetry, so births must sample the
+        // FULL period θ (not one revisit slice as in the fault-free
+        // experiments) to weight every satellite's window fairly.
+        let birth = cfg.theta + rng.uniform(0.0, cfg.theta);
+        let duration = rng.exp(0.2);
+        let mut ep = Episode::new(cfg, seed);
+        for &f in failed {
+            ep = ep.with_failure(f, 0.0);
+        }
+        let out = ep.run(birth, duration);
+        if out.level == QosLevel::Missed {
+            row.missed += 1;
+        } else {
+            row.detected += 1;
+            if out.deadline_met {
+                row.timely += 1;
+            }
+            if out.level >= QosLevel::SequentialDual {
+                row.quality += 1;
+            }
+        }
+    }
+    row
+}
+
+fn main() {
+    let episodes = 10_000;
+    banner("OAQ dependability: k = 10, tau = 5, mu = 0.2, 10k episodes/cell");
+    tsv_header(&[
+        "loss",
+        "failed_sats",
+        "P(detected)",
+        "timeliness",
+        "P(Y>=2|detected)",
+    ]);
+    for loss in [0.0, 0.1, 0.3, 0.5] {
+        for failed in [vec![], vec![1], vec![1, 2], vec![1, 3, 5]] {
+            let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+            cfg.message_loss = loss;
+            let r = run_grid(&cfg, &failed, episodes);
+            let total = r.detected + r.missed;
+            println!(
+                "{loss}\t{}\t{:.4}\t{:.4}\t{:.4}",
+                failed.len(),
+                r.detected as f64 / total as f64,
+                if r.detected == 0 {
+                    1.0
+                } else {
+                    r.timely as f64 / r.detected as f64
+                },
+                if r.detected == 0 {
+                    0.0
+                } else {
+                    r.quality as f64 / r.detected as f64
+                },
+            );
+        }
+    }
+    println!("\nTimeliness holds at 1.0 whenever the *detecting* satellite");
+    println!("survives: message loss and dead recruits only strip quality,");
+    println!("never the alert. Dead satellites also open coverage holes,");
+    println!("which shows up as P(detected) < 1 — a constellation-level");
+    println!("effect the spare-deployment policies (Figure 7) exist to bound.");
+}

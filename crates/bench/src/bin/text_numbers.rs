@@ -1,0 +1,60 @@
+//! Experiment E5 — every number quoted in the paper's running text,
+//! recomputed (and, for the conditional ones, re-simulated).
+
+use oaq_analytic::compose::{EvaluationConfig, Scheme};
+use oaq_analytic::geometry::PlaneGeometry;
+use oaq_analytic::qos::{g3_baq, g3_oaq, QosParams};
+use oaq_bench::banner;
+use oaq_core::config::{ProtocolConfig, Scheme as PScheme};
+use oaq_core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+
+fn main() {
+    banner("Section 4.3 in-text values");
+
+    let g12 = PlaneGeometry::reference(12);
+    let q05 = QosParams::paper_defaults(0.5);
+    println!("P(Y=3 | k=12), tau=5, mu=0.5, nu=30:");
+    println!("  paper OAQ = 0.44   computed = {:.4}", g3_oaq(&g12, &q05));
+    println!("  paper BAQ = 0.20   computed = {:.4}", g3_baq(&g12, &q05));
+
+    let opts = MonteCarloOptions {
+        episodes: 20_000,
+        mu: 0.5,
+        seed: 11,
+    };
+    let sim_oaq =
+        estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Oaq), &opts);
+    let sim_baq =
+        estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Baq), &opts);
+    println!(
+        "  protocol simulation: OAQ = {:.4} +/- {:.4}, BAQ = {:.4} +/- {:.4}",
+        sim_oaq.p[3],
+        sim_oaq.ci95(sim_oaq.p[3]),
+        sim_baq.p[3],
+        sim_baq.ci95(sim_baq.p[3]),
+    );
+
+    println!();
+    println!("P(Y>=2) anchors (tau=5, mu=0.2, eta=10, phi=30000h):");
+    for (lambda, p_oaq, p_baq) in [(1e-5, 0.75, 0.33), (1e-4, 0.41, 0.04)] {
+        let cfg = EvaluationConfig::paper_defaults(lambda);
+        let oaq = cfg.qos_ccdf(Scheme::Oaq).expect("solves").p_at_least(2);
+        let baq = cfg.qos_ccdf(Scheme::Baq).expect("solves").p_at_least(2);
+        println!(
+            "  lambda={lambda:.0e}: paper OAQ {p_oaq:.2} / computed {oaq:.4}; paper BAQ {p_baq:.2} / computed {baq:.4}"
+        );
+    }
+
+    println!();
+    println!("Underlap threshold: Tr[k] >= Tc first at k = 10 (paper: k < 11).");
+    println!(
+        "  Tr[11] = {:.3} < 9;  Tr[10] = {:.3} >= 9",
+        PlaneGeometry::reference(11).tr(),
+        PlaneGeometry::reference(10).tr()
+    );
+    println!(
+        "Chain bound with tau < 9: M[10] = {:?}, M[9] = {:?} (paper: 2)",
+        PlaneGeometry::reference(10).sequential_chain_bound(5.0),
+        PlaneGeometry::reference(9).sequential_chain_bound(5.0)
+    );
+}

@@ -1,0 +1,59 @@
+//! # oaq-bench — experiment harness for the OAQ reproduction
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md`'s experiment
+//! index and `EXPERIMENTS.md` for recorded results):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — QoS levels vs geometric properties |
+//! | `fig7` | Figure 7 — P(K = k) vs λ |
+//! | `fig8` | Figure 8 — P(Y = 3) vs λ, OAQ vs BAQ, µ ∈ {0.2, 0.5} |
+//! | `fig9` | Figure 9 — P(Y ≥ y) vs λ |
+//! | `text_numbers` | §4.3 in-text values |
+//! | `tau_sweep` | §4.3 QoS vs deadline τ |
+//! | `mu_sweep` | §4.3 QoS vs mean signal duration |
+//! | `geometry_report` | Figures 2/5/6 — geometric regimes |
+//! | `validate_protocol` | E9 — protocol simulation vs analytic model |
+//! | `geoloc_accuracy` | E10 — sequential-localization accuracy |
+//! | `ablation` | E11 — spare policies, Erlang order, messaging variants |
+//! | `membership` | E12 (extension) — membership service + assisted recruitment |
+//! | `latency` | E13 (analysis) — alert latency vs quality trade-off |
+//! | `chain_depth` | E14 (analysis) — coordination-chain-length distribution |
+//! | `robustness` | E15 (analysis) — dependability under loss × fail-silence |
+//!
+//! The Criterion benches (`benches/`) measure the computational substrates
+//! themselves (kernel, SAN solvers, WLS, analytic evaluation, protocol
+//! episodes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a TSV header row.
+pub fn tsv_header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Prints one TSV data row of floats with 6 significant digits.
+pub fn tsv_row(x: f64, values: &[f64]) {
+    let mut s = format!("{x:.6e}");
+    for v in values {
+        s.push('\t');
+        s.push_str(&format!("{v:.6}"));
+    }
+    println!("{s}");
+}
+
+/// A section banner for experiment output.
+pub fn banner(title: &str) {
+    println!("\n# {title}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        super::tsv_header(&["a", "b"]);
+        super::tsv_row(1e-5, &[0.5, 0.25]);
+        super::banner("smoke");
+    }
+}

@@ -1,0 +1,72 @@
+//! The coordination message vocabulary (paper Figure 3).
+
+/// A peer-to-peer coordination message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoordMessage {
+    /// `Sn → Sn+1`: join the coordinated iterative geolocation. Carries the
+    /// accumulated measurements and the preliminary result (abstracted here
+    /// to the bookkeeping the protocol needs).
+    Request {
+        /// Time of the initial detection `t0`.
+        t0: f64,
+        /// The requester's ordinal position `n` in the chain (the receiver
+        /// becomes `n + 1`).
+        requester_pos: usize,
+        /// Number of measurement passes accumulated so far.
+        passes: usize,
+        /// The requester's reported error, km.
+        reported_error_km: f64,
+    },
+    /// `Sn+1 → Sn`: coordination has terminated; release and propagate
+    /// downstream.
+    ///
+    /// Under the backward-messaging variant this message is never sent:
+    /// the `Request` itself transfers responsibility for the requester's
+    /// result to the receiver (paper Section 3.2, last paragraph).
+    Done,
+}
+
+impl CoordMessage {
+    /// A short wire tag for the message kind (diagnostics, wire encoding).
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            CoordMessage::Request { .. } => 1,
+            CoordMessage::Done => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_fields_roundtrip() {
+        let r = CoordMessage::Request {
+            t0: 4.5,
+            requester_pos: 2,
+            passes: 2,
+            reported_error_km: 7.5,
+        };
+        if let CoordMessage::Request { t0, requester_pos, passes, reported_error_km } = r {
+            assert_eq!(t0, 4.5);
+            assert_eq!(requester_pos, 2);
+            assert_eq!(passes, 2);
+            assert_eq!(reported_error_km, 7.5);
+        } else {
+            panic!("variant mismatch");
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let r = CoordMessage::Request {
+            t0: 0.0,
+            requester_pos: 1,
+            passes: 1,
+            reported_error_km: 50.0,
+        };
+        assert_eq!([r.tag(), CoordMessage::Done.tag()], [1, 2]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Monte-Carlo estimation of the conditional QoS distribution.
+//!
+//! Experiment E9: the empirical `P(Y = y | k)` produced by the *protocol
+//! simulation* is compared against the closed-form `oaq-analytic` model —
+//! two fully independent derivations of the same quantity (the paper only
+//! has the analytic one).
+
+use oaq_sim::SimRng;
+
+use crate::config::ProtocolConfig;
+use crate::protocol::Episode;
+use crate::qos_level::QosLevel;
+
+/// Monte-Carlo options.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloOptions {
+    /// Number of signal episodes.
+    pub episodes: usize,
+    /// Signal termination rate µ (durations are Exp(µ), minutes).
+    pub mu: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// The empirical conditional QoS distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosEstimate {
+    /// `P(Y = y | k)` for `y = 0..=3`.
+    pub p: [f64; 4],
+    /// Episodes simulated.
+    pub episodes: usize,
+    /// Fraction of episodes whose alert met the deadline (conditioned on
+    /// detection).
+    pub timeliness: f64,
+    /// Mean crosslink messages per episode.
+    pub mean_messages: f64,
+    /// Mean alert latency (delivery time − detection-window start) over
+    /// detected episodes, minutes. OAQ trades latency for quality — the
+    /// imprecise-computation flavor the paper notes in Section 3.3.
+    pub mean_alert_latency: f64,
+}
+
+impl QosEstimate {
+    /// `P(Y ≥ y | k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3`.
+    #[must_use]
+    pub fn p_at_least(&self, y: usize) -> f64 {
+        assert!(y <= 3, "QoS levels are 0..=3");
+        self.p[y..].iter().sum()
+    }
+
+    /// The 95% Monte-Carlo half-width for a probability estimate `p̂`.
+    #[must_use]
+    pub fn ci95(&self, p_hat: f64) -> f64 {
+        1.96 * (p_hat * (1.0 - p_hat) / self.episodes as f64).sqrt()
+    }
+}
+
+/// Estimates `P(Y = y | k)` by simulating `episodes` independent signals.
+///
+/// Signal births are uniform over one revisit period (PASTA) and durations
+/// exponential with rate `mu`, matching the analytic model's assumptions.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0` or `mu <= 0`, or on invalid `cfg`.
+#[must_use]
+pub fn estimate_conditional_qos(
+    cfg: &ProtocolConfig,
+    opts: &MonteCarloOptions,
+) -> QosEstimate {
+    assert!(opts.episodes > 0, "need at least one episode");
+    assert!(opts.mu.is_finite() && opts.mu > 0.0, "mu must be positive");
+    cfg.validate();
+    let mut rng = SimRng::seed_from(opts.seed);
+    let mut counts = [0usize; 4];
+    let mut timely = 0usize;
+    let mut detected = 0usize;
+    let mut messages = 0u64;
+    let mut latency_sum = 0.0f64;
+    for i in 0..opts.episodes {
+        // Offset births away from t = 0 so pre-birth coverage history is
+        // well-defined for every satellite.
+        let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
+        let duration = rng.exp(opts.mu);
+        let out = Episode::new(cfg, opts.seed.wrapping_add(i as u64 * 7919 + 1))
+            .run(birth, duration);
+        counts[out.level.as_y()] += 1;
+        messages += out.messages_sent;
+        if out.level > QosLevel::Missed {
+            detected += 1;
+            if out.deadline_met {
+                timely += 1;
+            }
+            if let Some(at) = out.delivered_at {
+                latency_sum += at - birth;
+            }
+        }
+    }
+    let n = opts.episodes as f64;
+    QosEstimate {
+        p: [
+            counts[0] as f64 / n,
+            counts[1] as f64 / n,
+            counts[2] as f64 / n,
+            counts[3] as f64 / n,
+        ],
+        episodes: opts.episodes,
+        timeliness: if detected == 0 {
+            1.0
+        } else {
+            timely as f64 / detected as f64
+        },
+        mean_messages: messages as f64 / n,
+        mean_alert_latency: if detected == 0 {
+            0.0
+        } else {
+            latency_sum / detected as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn opts(mu: f64, episodes: usize) -> MonteCarloOptions {
+        MonteCarloOptions {
+            episodes,
+            mu,
+            seed: 1234,
+        }
+    }
+
+    #[test]
+    fn distribution_is_proper_and_timely() {
+        let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+        let est = estimate_conditional_qos(&cfg, &opts(0.2, 2000));
+        let total: f64 = est.p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(
+            est.timeliness > 0.999,
+            "fault-free runs must always meet the deadline, got {}",
+            est.timeliness
+        );
+    }
+
+    #[test]
+    fn oaq_beats_baq_in_underlap() {
+        let oaq = estimate_conditional_qos(
+            &ProtocolConfig::reference(10, Scheme::Oaq),
+            &opts(0.2, 3000),
+        );
+        let baq = estimate_conditional_qos(
+            &ProtocolConfig::reference(10, Scheme::Baq),
+            &opts(0.2, 3000),
+        );
+        assert!(oaq.p_at_least(2) > 0.25, "OAQ P(Y>=2) = {}", oaq.p_at_least(2));
+        assert_eq!(baq.p[2], 0.0, "BAQ cannot reach sequential dual");
+        assert!(oaq.mean_messages > baq.mean_messages);
+        assert!(
+            oaq.mean_alert_latency > baq.mean_alert_latency,
+            "OAQ trades latency for quality: {} vs {}",
+            oaq.mean_alert_latency,
+            baq.mean_alert_latency
+        );
+    }
+
+    #[test]
+    fn tangent_case_has_no_misses() {
+        // k = 10: L2 = 0, no coverage gap.
+        let est = estimate_conditional_qos(
+            &ProtocolConfig::reference(10, Scheme::Oaq),
+            &opts(0.5, 1500),
+        );
+        assert_eq!(est.p[0], 0.0);
+    }
+
+    #[test]
+    fn gap_case_misses_some_targets() {
+        // k = 9: 1-minute gaps; with µ = 2.0 (30-second signals) some die
+        // inside the gap.
+        let est = estimate_conditional_qos(
+            &ProtocolConfig::reference(9, Scheme::Oaq),
+            &opts(2.0, 1500),
+        );
+        assert!(est.p[0] > 0.01, "expected misses, got {}", est.p[0]);
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let cfg = ProtocolConfig::reference(12, Scheme::Oaq);
+        let a = estimate_conditional_qos(&cfg, &opts(0.5, 500));
+        let b = estimate_conditional_qos(&cfg, &opts(0.5, 500));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_shrinks_with_episodes() {
+        let cfg = ProtocolConfig::reference(12, Scheme::Oaq);
+        let small = estimate_conditional_qos(&cfg, &opts(0.5, 200));
+        let large = estimate_conditional_qos(&cfg, &opts(0.5, 2000));
+        assert!(large.ci95(0.5) < small.ci95(0.5));
+    }
+}

@@ -1,0 +1,181 @@
+//! Full-stack episodes: the protocol driving the *real* geolocation
+//! estimator.
+//!
+//! The Monte-Carlo experiments use an abstract accuracy model for speed;
+//! this module wires a coordination chain to `oaq-geoloc`'s sequential
+//! localizer so an episode produces an actual iterative weighted
+//! least-squares track of the error — the end-to-end demonstration the
+//! examples and experiment E10 use.
+
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_orbit::units::{Degrees, Minutes};
+use oaq_orbit::GroundPoint;
+use oaq_sim::SimRng;
+
+use crate::config::ProtocolConfig;
+
+/// One accuracy-improvement iteration of a full-stack episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationReport {
+    /// Chain position (1 = detecting satellite).
+    pub chain_pos: usize,
+    /// When the pass's computation completed, minutes from detection.
+    pub completed_at: f64,
+    /// True great-circle error of the estimate, km.
+    pub actual_error_km: f64,
+    /// The estimator's own 1-σ error radius, km (what TC-1 thresholds).
+    pub reported_error_km: f64,
+}
+
+/// The result of a full-stack coordinated localization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullStackReport {
+    /// Per-iteration error track, in chain order.
+    pub iterations: Vec<IterationReport>,
+    /// Where the emitter actually was.
+    pub emitter_position: (f64, f64),
+}
+
+impl FullStackReport {
+    /// The error track improved monotonically in its reported uncertainty.
+    #[must_use]
+    pub fn reported_errors_decrease(&self) -> bool {
+        self.iterations
+            .windows(2)
+            .all(|w| w[1].reported_error_km <= w[0].reported_error_km * 1.001)
+    }
+
+    /// The final actual error, km.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty.
+    #[must_use]
+    pub fn final_error_km(&self) -> f64 {
+        self.iterations
+            .last()
+            .expect("report has at least one iteration")
+            .actual_error_km
+    }
+}
+
+/// Runs a coordinated sequential localization over a real emitter with
+/// `chain_length` satellites revisiting every `Tr[k]` minutes, under the
+/// timing of `cfg`.
+///
+/// # Panics
+///
+/// Panics if `chain_length == 0` or the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_core::config::{ProtocolConfig, Scheme};
+/// use oaq_core::fullstack::run_fullstack_chain;
+///
+/// let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+/// cfg.tau = 25.0; // allow a 3-deep chain
+/// let report = run_fullstack_chain(&cfg, 3, 7);
+/// assert_eq!(report.iterations.len(), 3);
+/// assert!(report.final_error_km() < report.iterations[0].actual_error_km);
+/// ```
+#[must_use]
+pub fn run_fullstack_chain(
+    cfg: &ProtocolConfig,
+    chain_length: usize,
+    seed: u64,
+) -> FullStackReport {
+    assert!(chain_length >= 1, "need at least one satellite");
+    cfg.validate();
+    let mut rng = SimRng::seed_from(seed);
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(rng.uniform(-60.0, 60.0))),
+        400.0e6,
+    );
+    let scenario = PassScenario::new(
+        &emitter,
+        Degrees(85.0).to_radians(),
+        Minutes(cfg.theta),
+        Minutes(cfg.tc / 2.0),
+        Minutes(cfg.tr()),
+    );
+    let mut localizer = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+    let mut iterations = Vec::with_capacity(chain_length);
+    let t0 = scenario.overflight_time(0).value();
+    for pos in 0..chain_length {
+        localizer.add_pass(scenario.synthesize_pass(pos, &mut rng));
+        let est = localizer
+            .estimate()
+            .expect("reference scenario geometry is solvable");
+        let compute = rng.exp(cfg.nu);
+        iterations.push(IterationReport {
+            chain_pos: pos + 1,
+            completed_at: scenario.overflight_time(pos).value() - t0 + compute,
+            actual_error_km: est.position_error_km(&emitter.position()),
+            reported_error_km: est.error_radius_km(),
+        });
+    }
+    FullStackReport {
+        iterations,
+        emitter_position: (
+            emitter.position().lat().to_degrees().value(),
+            emitter.position().lon().to_degrees().value(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn deep_cfg() -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+        cfg.tau = 30.0;
+        cfg
+    }
+
+    #[test]
+    fn chain_iterations_reduce_reported_error() {
+        let report = run_fullstack_chain(&deep_cfg(), 3, 11);
+        assert_eq!(report.iterations.len(), 3);
+        assert!(
+            report.reported_errors_decrease(),
+            "reported error track: {:?}",
+            report
+                .iterations
+                .iter()
+                .map(|i| i.reported_error_km)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn second_pass_collapses_single_pass_ambiguity() {
+        let report = run_fullstack_chain(&deep_cfg(), 2, 12);
+        let first = report.iterations[0].reported_error_km;
+        let second = report.iterations[1].reported_error_km;
+        assert!(
+            second < first / 5.0,
+            "expected large collapse: {first} -> {second}"
+        );
+    }
+
+    #[test]
+    fn timestamps_are_spaced_by_revisit() {
+        let cfg = deep_cfg();
+        let report = run_fullstack_chain(&cfg, 3, 13);
+        let dt = report.iterations[1].completed_at - report.iterations[0].completed_at;
+        // Within computation jitter of Tr.
+        assert!((dt - cfg.tr()).abs() < 1.0, "spacing {dt}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_fullstack_chain(&deep_cfg(), 2, 5);
+        let b = run_fullstack_chain(&deep_cfg(), 2, 5);
+        assert_eq!(a, b);
+    }
+}

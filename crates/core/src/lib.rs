@@ -1,0 +1,69 @@
+//! # oaq-core — the OAQ protocol
+//!
+//! The paper's primary contribution: **opportunity-adaptive QoS
+//! enhancement**, a leaderless peer-to-peer protocol by which the
+//! satellites of a (possibly degraded) constellation coordinate to deliver
+//! signal-geolocation results with the best quality a dynamically
+//! determined window of opportunity allows.
+//!
+//! The protocol (paper Section 3.2), implemented here as an event-driven
+//! distributed simulation on `oaq-sim`/`oaq-net`:
+//!
+//! * the first satellite `S1` that detects a signal computes a preliminary
+//!   geolocation; if it sees further opportunity it sends a
+//!   **coordination request** (measurements + preliminary result) to the
+//!   peer expected to visit the target next;
+//! * each satellite `Sn` that completes an accuracy-improvement iteration
+//!   checks the termination conditions — **TC-1** (estimated error below
+//!   threshold), **TC-2** (elapsed time exceeds the local threshold
+//!   `τ − (nδ + Tg)`), **TC-3** (signal stopped) — and either extends the
+//!   chain or finalizes: it sends the alert to the ground and a
+//!   **coordination done** message downstream;
+//! * a satellite that requested coordination waits for "done" only until
+//!   `τ − (n−1)δ`; on timeout it assumes TC-3 (or a fail-silent peer) and
+//!   delivers its own result, guaranteeing a timely alert;
+//! * the **backward-messaging** variant instead makes `Sn+1` responsible
+//!   for `Sn`'s result, trading the done-chain for weaker fail-silence
+//!   coverage.
+//!
+//! Module map: [`config`] (parameters and the OAQ/BAQ scheme switch),
+//! [`signal`] (target coverage geometry and signal episodes),
+//! [`coordination`] (the message vocabulary), [`satellite`] (per-satellite
+//! protocol state), [`protocol`] (the event-driven episode simulator),
+//! [`qos_level`] (the 4-level QoS spectrum and outcome records),
+//! [`experiment`] (Monte-Carlo estimation of `P(Y ≥ y | k)`, validated
+//! against `oaq-analytic` by this workspace's integration tests), and
+//! [`fullstack`] (an episode driver wired to the real `oaq-geoloc`
+//! estimator instead of the abstract accuracy model).
+//!
+//! ## Example
+//!
+//! ```
+//! use oaq_core::config::{ProtocolConfig, Scheme};
+//! use oaq_core::protocol::Episode;
+//! use oaq_core::qos_level::QosLevel;
+//!
+//! // A degraded plane (k = 10 → underlapping footprints), OAQ scheme.
+//! let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+//! let outcome = Episode::new(&cfg, 42).run(2.0, 6.0); // birth at 2 min, 6-min signal
+//! assert!(outcome.level >= QosLevel::Single);
+//! assert!(outcome.deadline_met);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod config;
+pub mod coordination;
+pub mod experiment;
+pub mod fullstack;
+pub mod mission;
+pub mod protocol;
+pub mod qos_level;
+pub mod satellite;
+pub mod signal;
+
+pub use config::{ProtocolConfig, Scheme};
+pub use protocol::{Episode, TraceEntry, TraceEvent};
+pub use qos_level::{EpisodeOutcome, QosLevel};

@@ -1,0 +1,310 @@
+//! Long-horizon mission simulation.
+//!
+//! The per-episode simulator ([`crate::protocol`]) answers `P(Y = y | k)`;
+//! a *mission* couples it with the plane's availability process: satellites
+//! fail over months (rate λ per hour), in-orbit spares deploy, the ground
+//! replenishes at the threshold η and restores the full complement every φ
+//! hours, while signals keep arriving as a Poisson stream. The mission
+//! report is the operational analogue of the paper's Eq. 3 composition —
+//! the two are compared in this module's tests and in the
+//! `surveillance_mission` example.
+
+use oaq_sim::SimRng;
+
+use crate::config::{ProtocolConfig, Scheme};
+use crate::protocol::Episode;
+use crate::qos_level::QosLevel;
+
+/// Mission-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissionConfig {
+    /// Protocol parameters (the per-plane geometry and timing); the `k`
+    /// field is ignored — capacity evolves with the availability process.
+    pub protocol: ProtocolConfig,
+    /// Full plane capacity (14 in the reference design).
+    pub capacity: u32,
+    /// In-orbit spares (2 in the reference design).
+    pub spares: u32,
+    /// Per-satellite failure rate λ, per **hour**.
+    pub lambda_per_hour: f64,
+    /// Scheduled full-restore period φ, hours.
+    pub phi_hours: f64,
+    /// Replenishment threshold η.
+    pub eta: u32,
+    /// Signal arrival rate, per **hour** (Poisson stream).
+    pub signal_rate_per_hour: f64,
+    /// Signal termination rate µ, per **minute**.
+    pub mu: f64,
+    /// Mission length, hours.
+    pub mission_hours: f64,
+}
+
+impl MissionConfig {
+    /// The reference mission: paper plane (14 + 2, η = 10, φ = 30000 h),
+    /// τ = 5, µ = 0.2, one signal every 10 hours, for `mission_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    #[must_use]
+    pub fn reference(scheme: Scheme, lambda_per_hour: f64, mission_hours: f64) -> Self {
+        let mut protocol = ProtocolConfig::reference(14, scheme);
+        protocol.tau = 5.0;
+        let cfg = MissionConfig {
+            protocol,
+            capacity: 14,
+            spares: 2,
+            lambda_per_hour,
+            phi_hours: 30_000.0,
+            eta: 10,
+            signal_rate_per_hour: 0.1,
+            mu: 0.2,
+            mission_hours,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates/horizons or `eta >= capacity`.
+    pub fn validate(&self) {
+        self.protocol.validate();
+        assert!(self.capacity > 0, "capacity must be positive");
+        assert!(self.eta < self.capacity, "eta must be below capacity");
+        assert!(
+            self.lambda_per_hour > 0.0 && self.lambda_per_hour.is_finite(),
+            "bad lambda"
+        );
+        assert!(
+            self.phi_hours > 0.0 && self.phi_hours.is_finite(),
+            "bad phi"
+        );
+        assert!(
+            self.signal_rate_per_hour > 0.0 && self.signal_rate_per_hour.is_finite(),
+            "bad signal rate"
+        );
+        assert!(self.mu > 0.0 && self.mu.is_finite(), "bad mu");
+        assert!(
+            self.mission_hours > 0.0 && self.mission_hours.is_finite(),
+            "bad mission length"
+        );
+    }
+}
+
+/// What a mission run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionReport {
+    /// Signals handled.
+    pub signals: usize,
+    /// Count of episodes per QoS level `y = 0..=3`.
+    pub level_counts: [usize; 4],
+    /// Fraction of mission time spent at each capacity `k = 0..=capacity`.
+    pub capacity_fractions: Vec<f64>,
+    /// Satellite failures over the mission (including spare-absorbed ones).
+    pub failures: u64,
+    /// Scheduled full restores performed.
+    pub scheduled_restores: u64,
+    /// Threshold replenishments performed.
+    pub replenishments: u64,
+    /// Fraction of detected signals whose alert met the deadline.
+    pub timeliness: f64,
+}
+
+impl MissionReport {
+    /// Empirical `P(Y = y)` over the mission's signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mission saw no signals.
+    #[must_use]
+    pub fn qos_distribution(&self) -> [f64; 4] {
+        assert!(self.signals > 0, "no signals in mission");
+        let n = self.signals as f64;
+        [
+            self.level_counts[0] as f64 / n,
+            self.level_counts[1] as f64 / n,
+            self.level_counts[2] as f64 / n,
+            self.level_counts[3] as f64 / n,
+        ]
+    }
+
+    /// Empirical `P(Y ≥ y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y > 3` or the mission saw no signals.
+    #[must_use]
+    pub fn p_at_least(&self, y: usize) -> f64 {
+        assert!(y <= 3, "QoS levels are 0..=3");
+        let d = self.qos_distribution();
+        d[y..].iter().sum()
+    }
+}
+
+/// Runs a mission.
+///
+/// The availability process advances in continuous (hour-scale) time; each
+/// Poisson signal arrival freezes the current capacity `k` and plays a
+/// (minute-scale) protocol episode at that capacity — the time-scale
+/// separation the paper's decomposition (Eq. 3) relies on, made explicit.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+#[must_use]
+pub fn run_mission(cfg: &MissionConfig, seed: u64) -> MissionReport {
+    cfg.validate();
+    let mut rng = SimRng::seed_from(seed);
+    let mut episode_rng = rng.fork();
+
+    let mut k = cfg.capacity;
+    let mut spares = cfg.spares;
+    let mut now_h = 0.0_f64;
+    let mut next_restore = cfg.phi_hours;
+    let mut failures = 0u64;
+    let mut scheduled_restores = 0u64;
+    let mut replenishments = 0u64;
+    let mut capacity_time = vec![0.0f64; cfg.capacity as usize + 1];
+
+    let mut level_counts = [0usize; 4];
+    let mut signals = 0usize;
+    let mut timely = 0usize;
+    let mut detected = 0usize;
+
+    while now_h < cfg.mission_hours {
+        // Competing exponentials: next failure vs next signal; the restore
+        // clock is deterministic.
+        let fail_rate = cfg.lambda_per_hour * f64::from(k);
+        let t_fail = now_h + rng.exp(fail_rate);
+        let t_signal = now_h + rng.exp(cfg.signal_rate_per_hour);
+        let t_next = t_fail.min(t_signal).min(next_restore).min(cfg.mission_hours);
+        capacity_time[k as usize] += t_next - now_h;
+        now_h = t_next;
+        if now_h >= cfg.mission_hours {
+            break;
+        }
+        if now_h == next_restore {
+            k = cfg.capacity;
+            spares = cfg.spares;
+            scheduled_restores += 1;
+            next_restore += cfg.phi_hours;
+        } else if now_h == t_fail {
+            failures += 1;
+            if spares > 0 {
+                spares -= 1;
+            } else if k > cfg.eta {
+                k -= 1;
+            } else {
+                // Threshold policy: ground replaces one-for-one.
+                replenishments += 1;
+            }
+        } else {
+            // A signal arrives: play one episode at the frozen capacity.
+            signals += 1;
+            let mut pcfg = cfg.protocol;
+            pcfg.k = k as usize;
+            let birth = pcfg.theta + episode_rng.uniform(0.0, pcfg.tr());
+            let duration = episode_rng.exp(cfg.mu);
+            let out = Episode::new(&pcfg, seed.wrapping_add(signals as u64 * 6151))
+                .run(birth, duration);
+            level_counts[out.level.as_y()] += 1;
+            if out.level > QosLevel::Missed {
+                detected += 1;
+                if out.deadline_met {
+                    timely += 1;
+                }
+            }
+        }
+    }
+
+    let total: f64 = capacity_time.iter().sum();
+    MissionReport {
+        signals,
+        level_counts,
+        capacity_fractions: capacity_time.iter().map(|t| t / total).collect(),
+        failures,
+        scheduled_restores,
+        replenishments,
+        timeliness: if detected == 0 {
+            1.0
+        } else {
+            timely as f64 / detected as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mission_conserves_signals_and_time() {
+        let cfg = MissionConfig::reference(Scheme::Oaq, 5e-5, 200_000.0);
+        let r = run_mission(&cfg, 1);
+        assert_eq!(r.level_counts.iter().sum::<usize>(), r.signals);
+        assert!(r.signals > 10_000, "~0.1/h over 200k h: {}", r.signals);
+        let frac_total: f64 = r.capacity_fractions.iter().sum();
+        assert!((frac_total - 1.0).abs() < 1e-9);
+        assert!(r.timeliness > 0.999);
+    }
+
+    #[test]
+    fn restores_follow_the_schedule() {
+        let cfg = MissionConfig::reference(Scheme::Oaq, 5e-5, 95_000.0);
+        let r = run_mission(&cfg, 2);
+        assert_eq!(r.scheduled_restores, 3, "phi = 30000 in 95000 h");
+    }
+
+    #[test]
+    fn capacity_never_leaves_the_pinned_band() {
+        let cfg = MissionConfig::reference(Scheme::Oaq, 2e-4, 150_000.0);
+        let r = run_mission(&cfg, 3);
+        for k in 0..cfg.eta as usize {
+            assert_eq!(r.capacity_fractions[k], 0.0, "k = {k} must be pinned out");
+        }
+        assert!(r.replenishments > 0, "high lambda must hit the threshold");
+    }
+
+    #[test]
+    fn mission_matches_analytic_composition() {
+        // The mission-level empirical P(Y>=2) should agree with Eq. 3
+        // (capacity distribution x conditional QoS) within noise.
+        let lambda = 5e-5;
+        let cfg = MissionConfig::reference(Scheme::Oaq, lambda, 1_500_000.0);
+        let r = run_mission(&cfg, 4);
+        let analytic = oaq_analytic::compose::EvaluationConfig::paper_defaults(lambda)
+            .qos_ccdf(oaq_analytic::compose::Scheme::Oaq)
+            .unwrap()
+            .p_at_least(2);
+        let mission = r.p_at_least(2);
+        assert!(
+            (mission - analytic).abs() < 0.03,
+            "mission {mission:.4} vs Eq.3 {analytic:.4}"
+        );
+    }
+
+    #[test]
+    fn oaq_mission_beats_baq_mission() {
+        let oaq = run_mission(&MissionConfig::reference(Scheme::Oaq, 8e-5, 400_000.0), 5);
+        let baq = run_mission(&MissionConfig::reference(Scheme::Baq, 8e-5, 400_000.0), 5);
+        assert!(oaq.p_at_least(2) > baq.p_at_least(2) + 0.1);
+        assert!((oaq.p_at_least(1) - baq.p_at_least(1)).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MissionConfig::reference(Scheme::Oaq, 5e-5, 50_000.0);
+        assert_eq!(run_mission(&cfg, 9), run_mission(&cfg, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be below capacity")]
+    fn invalid_mission_rejected() {
+        let mut cfg = MissionConfig::reference(Scheme::Oaq, 5e-5, 1000.0);
+        cfg.eta = 14;
+        cfg.validate();
+    }
+}

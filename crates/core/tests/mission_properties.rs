@@ -1,0 +1,44 @@
+//! Property-based tests of the mission simulator.
+
+use oaq_core::config::Scheme;
+use oaq_core::mission::{run_mission, MissionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn missions_conserve_probability_and_time(
+        lambda_e in 1u32..20,
+        scheme_oaq in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let scheme = if scheme_oaq { Scheme::Oaq } else { Scheme::Baq };
+        let cfg = MissionConfig::reference(scheme, f64::from(lambda_e) * 1e-5, 60_000.0);
+        let r = run_mission(&cfg, seed);
+        prop_assert_eq!(r.level_counts.iter().sum::<usize>(), r.signals);
+        let mass: f64 = r.capacity_fractions.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        // Pinning: no time below eta.
+        for k in 0..cfg.eta as usize {
+            prop_assert_eq!(r.capacity_fractions[k], 0.0);
+        }
+        // Fault-free protocol: every detected alert on time.
+        prop_assert!(r.timeliness > 0.999);
+        if r.signals > 0 {
+            prop_assert!((r.p_at_least(0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_lambda_means_more_threshold_time(
+        seed in any::<u64>(),
+    ) {
+        let low = run_mission(
+            &MissionConfig::reference(Scheme::Oaq, 1e-5, 120_000.0), seed);
+        let high = run_mission(
+            &MissionConfig::reference(Scheme::Oaq, 1e-4, 120_000.0), seed);
+        prop_assert!(high.capacity_fractions[10] > low.capacity_fractions[10]);
+        prop_assert!(high.failures > low.failures);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of protocol-level invariants, across randomized
+//! capacities, timings, signals and fault injections.
+
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::QosLevel;
+use oaq_core::signal::CoverageGeometry;
+use proptest::prelude::*;
+
+fn any_cfg() -> impl Strategy<Value = ProtocolConfig> {
+    (2usize..16, 1.0f64..8.0, any::<bool>(), any::<bool>()).prop_map(
+        |(k, tau, oaq, backward)| {
+            let mut cfg = ProtocolConfig::reference(
+                k,
+                if oaq { Scheme::Oaq } else { Scheme::Baq },
+            );
+            cfg.tau = tau;
+            cfg.backward_messaging = backward;
+            cfg
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn level_respects_regime_table(
+        cfg in any_cfg(),
+        birth in 0.0f64..90.0,
+        duration in 0.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let out = Episode::new(&cfg, seed).run(birth, duration);
+        match out.level {
+            QosLevel::SimultaneousDual => prop_assert!(cfg.is_overlapping()),
+            QosLevel::SequentialDual => prop_assert!(!cfg.is_overlapping()),
+            QosLevel::Missed => prop_assert!(
+                !cfg.is_overlapping() || out.delivered_at.is_none()
+            ),
+            QosLevel::Single => {}
+        }
+    }
+
+    #[test]
+    fn fault_free_alerts_meet_the_deadline(
+        cfg in any_cfg(),
+        birth in 0.0f64..90.0,
+        duration in 0.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let out = Episode::new(&cfg, seed).run(birth, duration);
+        // Without injected faults, any detected signal yields a delivery
+        // within τ of detection — the protocol's core guarantee, for both
+        // schemes and both messaging variants.
+        if out.level > QosLevel::Missed {
+            prop_assert!(out.deadline_met, "late alert: {out:?}");
+            prop_assert!(out.delivered_at.is_some());
+        }
+        prop_assert!(out.s1_released || out.level == QosLevel::Missed);
+    }
+
+    #[test]
+    fn overlap_never_misses(
+        k in 11usize..15,
+        birth in 0.0f64..90.0,
+        duration in 0.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::reference(k, Scheme::Oaq);
+        let out = Episode::new(&cfg, seed).run(birth, duration);
+        prop_assert!(
+            out.level >= QosLevel::Single,
+            "overlapping geometry always covers: {out:?}"
+        );
+    }
+
+    #[test]
+    fn chain_length_bounded_by_eq2(
+        k in 9usize..11,
+        tau in 1.0f64..30.0,
+        birth in 0.0f64..90.0,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ProtocolConfig::reference(k, Scheme::Oaq);
+        cfg.tau = tau;
+        let out = Episode::new(&cfg, seed).run(birth, 60.0);
+        let l1 = cfg.tr();
+        let l2 = (cfg.tc - l1).abs();
+        let m_bound = if tau > l2 { 2 + ((tau - l2) / l1).floor() as usize } else { 1 };
+        prop_assert!(
+            out.chain_length <= m_bound.min(k),
+            "chain {} exceeds M[k] = {} (k={k}, tau={tau})",
+            out.chain_length,
+            m_bound
+        );
+    }
+
+    #[test]
+    fn oaq_level_weakly_dominates_baq_per_episode(
+        k in 9usize..15,
+        birth in 0.0f64..90.0,
+        duration in 0.5f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let oaq = Episode::new(&ProtocolConfig::reference(k, Scheme::Oaq), seed)
+            .run(birth, duration);
+        let baq = Episode::new(&ProtocolConfig::reference(k, Scheme::Baq), seed)
+            .run(birth, duration);
+        // Identical world (same seed => same detection and computation
+        // draws for S1): OAQ's delivered level is never worse.
+        prop_assert!(
+            oaq.level >= baq.level,
+            "OAQ {:?} < BAQ {:?}",
+            oaq.level,
+            baq.level
+        );
+    }
+
+    #[test]
+    fn arbitrary_window_patterns_respect_protocol_invariants(
+        offsets in prop::collection::vec(0.0f64..90.0, 2..8),
+        durations in prop::collection::vec(1.0f64..12.0, 2..8),
+        birth in 0.0f64..180.0,
+        duration in 0.5f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        // A fully irregular multi-plane sweep: random window starts and
+        // lengths. The protocol's guarantees must hold regardless.
+        let k = offsets.len().min(durations.len());
+        prop_assume!(k >= 2);
+        let windows: Vec<(f64, f64)> = offsets[..k]
+            .iter()
+            .zip(&durations[..k])
+            .map(|(&o, &d)| (o, d))
+            .collect();
+        let geom = CoverageGeometry::with_windows(windows.clone(), 90.0);
+        let cfg = ProtocolConfig::reference(k, Scheme::Oaq);
+        let out = Episode::new(&cfg, seed)
+            .with_geometry(geom)
+            .run(birth, duration);
+        // Timeliness: any detection yields an on-time alert (fault-free).
+        if out.level > QosLevel::Missed {
+            prop_assert!(out.deadline_met, "{out:?}");
+        }
+        // Simultaneous dual requires two windows that actually intersect
+        // somewhere in the periodic pattern.
+        if out.level == QosLevel::SimultaneousDual {
+            let intersects = |a: (f64, f64), b: (f64, f64)| -> bool {
+                // Compare on the circle of circumference 90.
+                let gap = (b.0 - a.0).rem_euclid(90.0);
+                gap < a.1 || (90.0 - gap) < b.1
+            };
+            let some_overlap = (0..k).any(|i| {
+                (0..k).any(|j| i != j && intersects(windows[i], windows[j]))
+            });
+            prop_assert!(some_overlap, "Y=3 without overlapping windows: {windows:?}");
+        }
+    }
+
+    #[test]
+    fn deliveries_never_precede_detection_plus_computation(
+        cfg in any_cfg(),
+        birth in 0.0f64..90.0,
+        duration in 0.1f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let out = Episode::new(&cfg, seed).run(birth, duration);
+        if let Some(at) = out.delivered_at {
+            prop_assert!(at >= birth, "delivered before the signal existed");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Accuracy summaries derived from estimate covariances.
+
+use oaq_linalg::Matrix;
+use oaq_orbit::geo::EARTH_RADIUS;
+
+/// The horizontal (north/east) error description of a position estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizontalAccuracy {
+    /// 1-σ north error, km.
+    pub sigma_north_km: f64,
+    /// 1-σ east error, km.
+    pub sigma_east_km: f64,
+    /// North–east error correlation coefficient in `[-1, 1]`.
+    pub correlation: f64,
+}
+
+impl HorizontalAccuracy {
+    /// Extracts horizontal accuracy from a `[lat, lon, f0]` covariance at
+    /// the given latitude (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covariance is smaller than 2×2.
+    #[must_use]
+    pub fn from_covariance(cov: &Matrix, lat_rad: f64) -> Self {
+        assert!(
+            cov.rows() >= 2 && cov.cols() >= 2,
+            "need at least the 2x2 position block"
+        );
+        let r = EARTH_RADIUS.value();
+        let sn = (cov[(0, 0)].max(0.0)).sqrt() * r;
+        let se = (cov[(1, 1)].max(0.0)).sqrt() * r * lat_rad.cos();
+        let denom = (cov[(0, 0)] * cov[(1, 1)]).sqrt();
+        let rho = if denom > 0.0 {
+            (cov[(0, 1)] / denom).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+        HorizontalAccuracy {
+            sigma_north_km: sn,
+            sigma_east_km: se,
+            correlation: rho,
+        }
+    }
+
+    /// The 1-σ error radius `√(σ_N² + σ_E²)`, the scalar the OAQ protocol
+    /// thresholds (TC-1).
+    #[must_use]
+    pub fn error_radius_km(&self) -> f64 {
+        (self.sigma_north_km.powi(2) + self.sigma_east_km.powi(2)).sqrt()
+    }
+
+    /// Circular error probable (50th percentile radius), using the standard
+    /// two-sigma approximation `CEP ≈ 0.59 (σ_N + σ_E)` valid for moderate
+    /// eccentricity.
+    #[must_use]
+    pub fn cep_km(&self) -> f64 {
+        0.59 * (self.sigma_north_km + self.sigma_east_km)
+    }
+
+    /// Semi-axes of the 1-σ error ellipse (km), major first.
+    #[must_use]
+    pub fn error_ellipse_km(&self) -> (f64, f64) {
+        let a = self.sigma_north_km.powi(2);
+        let b = self.sigma_east_km.powi(2);
+        let c = self.correlation * self.sigma_north_km * self.sigma_east_km;
+        let tr = a + b;
+        let det = a * b - c * c;
+        let disc = ((tr * tr / 4.0 - det).max(0.0)).sqrt();
+        let l1 = (tr / 2.0 + disc).max(0.0).sqrt();
+        let l2 = (tr / 2.0 - disc).max(0.0).sqrt();
+        (l1, l2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_cov(var_lat: f64, var_lon: f64) -> Matrix {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = var_lat;
+        m[(1, 1)] = var_lon;
+        m[(2, 2)] = 1.0;
+        m
+    }
+
+    #[test]
+    fn equatorial_diagonal_case() {
+        // 1e-6 rad sigma each ≈ 6.371 km on the ground at the equator.
+        let cov = diag_cov(1e-12, 1e-12);
+        let h = HorizontalAccuracy::from_covariance(&cov, 0.0);
+        assert!((h.sigma_north_km - 6.371e-3).abs() < 1e-6);
+        assert!((h.sigma_east_km - 6.371e-3).abs() < 1e-6);
+        assert_eq!(h.correlation, 0.0);
+        let (major, minor) = h.error_ellipse_km();
+        assert!((major - minor).abs() < 1e-9, "circular case");
+    }
+
+    #[test]
+    fn east_error_shrinks_with_latitude() {
+        let cov = diag_cov(1e-12, 1e-12);
+        let eq = HorizontalAccuracy::from_covariance(&cov, 0.0);
+        let hi = HorizontalAccuracy::from_covariance(&cov, 1.0);
+        assert!(hi.sigma_east_km < eq.sigma_east_km);
+        assert_eq!(hi.sigma_north_km, eq.sigma_north_km);
+    }
+
+    #[test]
+    fn radius_and_cep_ordering() {
+        let cov = diag_cov(4e-12, 1e-12);
+        let h = HorizontalAccuracy::from_covariance(&cov, 0.5);
+        assert!(h.error_radius_km() > h.sigma_north_km);
+        assert!(h.cep_km() < h.error_radius_km());
+    }
+
+    #[test]
+    fn correlated_errors_rotate_the_ellipse() {
+        let mut cov = diag_cov(1e-12, 1e-12);
+        cov[(0, 1)] = 0.9e-12;
+        cov[(1, 0)] = 0.9e-12;
+        let h = HorizontalAccuracy::from_covariance(&cov, 0.0);
+        assert!((h.correlation - 0.9).abs() < 1e-12);
+        let (major, minor) = h.error_ellipse_km();
+        assert!(major > minor, "correlation elongates the ellipse");
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2")]
+    fn tiny_covariance_rejected() {
+        let m = Matrix::zeros(1, 1);
+        let _ = HorizontalAccuracy::from_covariance(&m, 0.0);
+    }
+}

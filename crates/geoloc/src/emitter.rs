@@ -1,0 +1,137 @@
+//! Ground RF emitters.
+
+use oaq_orbit::geo::{GroundPoint, EARTH_RADIUS};
+use oaq_orbit::units::{Degrees, Radians};
+
+/// A stationary ground RF source whose position (and carrier frequency) the
+/// constellation estimates.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_geoloc::Emitter;
+/// use oaq_orbit::{GroundPoint, Degrees};
+/// let e = Emitter::new(GroundPoint::from_degrees(Degrees(30.0), Degrees(0.0)), 400.0e6);
+/// assert_eq!(e.frequency_hz(), 400.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Emitter {
+    position: GroundPoint,
+    frequency_hz: f64,
+}
+
+impl Emitter {
+    /// Creates an emitter at `position` transmitting at `frequency_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive and finite.
+    #[must_use]
+    pub fn new(position: GroundPoint, frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "frequency must be positive"
+        );
+        Emitter {
+            position,
+            frequency_hz,
+        }
+    }
+
+    /// True position.
+    #[must_use]
+    pub fn position(&self) -> GroundPoint {
+        self.position
+    }
+
+    /// True carrier frequency in Hz.
+    #[must_use]
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Earth-centered position vector in km.
+    #[must_use]
+    pub fn position_ecef_km(&self) -> [f64; 3] {
+        let u = self.position.unit_vector();
+        [
+            u[0] * EARTH_RADIUS.value(),
+            u[1] * EARTH_RADIUS.value(),
+            u[2] * EARTH_RADIUS.value(),
+        ]
+    }
+
+    /// A plausible initial state-vector guess `offset_deg` degrees away from
+    /// the true position (what a coarse single-footprint detection provides:
+    /// "somewhere inside this footprint").
+    ///
+    /// The frequency component of the guess is the nominal band center,
+    /// deliberately offset from the true carrier.
+    #[must_use]
+    pub fn initial_guess_nearby(&self, offset_deg: f64) -> [f64; 3] {
+        let lat = self.position.lat().to_degrees().value() + offset_deg;
+        let lon = self.position.lon().to_degrees().value() + offset_deg;
+        let p = GroundPoint::from_degrees(Degrees(lat.clamp(-89.0, 89.0)), Degrees(lon));
+        [
+            p.lat().value(),
+            p.lon().value(),
+            self.frequency_hz * (1.0 - 2e-7),
+        ]
+    }
+
+    /// Interprets a state vector `[lat, lon, f0]` as a ground point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latitude component is out of range (see
+    /// [`GroundPoint::new`]).
+    #[must_use]
+    pub fn state_to_point(state: &[f64; 3]) -> GroundPoint {
+        GroundPoint::new(Radians(state[0]), Radians(state[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emitter() -> Emitter {
+        Emitter::new(
+            GroundPoint::from_degrees(Degrees(30.0), Degrees(45.0)),
+            400.0e6,
+        )
+    }
+
+    #[test]
+    fn ecef_is_on_sphere() {
+        let p = emitter().position_ecef_km();
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        assert!((r - EARTH_RADIUS.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guess_is_near_but_not_exact() {
+        let e = emitter();
+        let g = e.initial_guess_nearby(1.0);
+        let gp = Emitter::state_to_point(&g);
+        let d = gp.great_circle_distance(&e.position()).value();
+        assert!(d > 10.0 && d < 300.0, "offset distance {d} km");
+        assert_ne!(g[2], e.frequency_hz());
+    }
+
+    #[test]
+    fn guess_clamps_polar_latitudes() {
+        let e = Emitter::new(
+            GroundPoint::from_degrees(Degrees(89.5), Degrees(0.0)),
+            100.0e6,
+        );
+        let g = e.initial_guess_nearby(5.0);
+        assert!(g[0].to_degrees() <= 89.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = Emitter::new(GroundPoint::from_degrees(Degrees(0.0), Degrees(0.0)), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Satellite position/velocity states in earth-centered coordinates.
+
+use oaq_orbit::geo::EARTH_RADIUS;
+use oaq_orbit::orbit::CircularOrbit;
+use oaq_orbit::units::{Km, Minutes, Radians};
+
+use crate::MU_EARTH;
+
+/// A satellite's instantaneous kinematic state: position (km) and velocity
+/// (km/s), earth-centered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatelliteState {
+    /// Position in km, earth-centered (x toward lon 0, z toward north pole).
+    pub position_km: [f64; 3],
+    /// Inertial velocity in km/s.
+    pub velocity_km_s: [f64; 3],
+}
+
+/// The altitude a circular orbit of the given period must have (Kepler's
+/// third law): `a = (µ (T/2π)²)^{1/3} − R`.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_geoloc::satstate::altitude_for_period;
+/// use oaq_orbit::units::Minutes;
+/// let h = altitude_for_period(Minutes(90.0));
+/// assert!((h.value() - 282.0).abs() < 10.0); // ~280 km for a 90-min orbit
+/// ```
+#[must_use]
+pub fn altitude_for_period(period: Minutes) -> Km {
+    let t_s = period.value() * 60.0;
+    let a = (MU_EARTH * (t_s / std::f64::consts::TAU).powi(2)).cbrt();
+    Km(a - EARTH_RADIUS.value())
+}
+
+impl SatelliteState {
+    /// Kinematic state of a satellite on `orbit` with initial phase
+    /// `phase0`, at time `t`, flying at the Keplerian altitude implied by
+    /// the orbit period.
+    ///
+    /// Earth rotation is ignored for the velocity (the Doppler contribution
+    /// of earth surface rotation is second-order for LEO passes and the
+    /// synthetic measurements and the estimator share the same model, which
+    /// is what the estimator tests require).
+    #[must_use]
+    pub fn on_orbit(orbit: &CircularOrbit, phase0: Radians, t: Minutes) -> Self {
+        let a = EARTH_RADIUS.value() + altitude_for_period(orbit.period()).value();
+        let u = orbit.phase_at(phase0, t).value();
+        let i = orbit.inclination().value();
+        let raan = orbit.raan().value();
+        // Position in the orbital plane, rotated by inclination then RAAN.
+        let (su, cu) = u.sin_cos();
+        let (si, ci) = i.sin_cos();
+        let (sr, cr) = raan.sin_cos();
+        let x_orb = [cu, su * ci, su * si];
+        let position_km = [
+            a * (x_orb[0] * cr - x_orb[1] * sr),
+            a * (x_orb[0] * sr + x_orb[1] * cr),
+            a * x_orb[2],
+        ];
+        // Velocity = d(position)/du · du/dt, |v| = 2πa/T.
+        let rate = std::f64::consts::TAU / (orbit.period().value() * 60.0); // rad/s
+        let dx_orb = [-su, cu * ci, cu * si];
+        let velocity_km_s = [
+            a * rate * (dx_orb[0] * cr - dx_orb[1] * sr),
+            a * rate * (dx_orb[0] * sr + dx_orb[1] * cr),
+            a * rate * dx_orb[2],
+        ];
+        SatelliteState {
+            position_km,
+            velocity_km_s,
+        }
+    }
+
+    /// Slant range to a ground point given as an earth-centered position (km).
+    #[must_use]
+    pub fn range_to(&self, target_km: &[f64; 3]) -> f64 {
+        let d = [
+            self.position_km[0] - target_km[0],
+            self.position_km[1] - target_km[1],
+            self.position_km[2] - target_km[2],
+        ];
+        (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+    }
+
+    /// Range rate (km/s) toward the target: the projection of the satellite
+    /// velocity on the satellite→target line of sight. Negative while
+    /// approaching.
+    #[must_use]
+    pub fn range_rate_to(&self, target_km: &[f64; 3]) -> f64 {
+        let d = [
+            self.position_km[0] - target_km[0],
+            self.position_km[1] - target_km[1],
+            self.position_km[2] - target_km[2],
+        ];
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        if r == 0.0 {
+            return 0.0;
+        }
+        (self.velocity_km_s[0] * d[0]
+            + self.velocity_km_s[1] * d[1]
+            + self.velocity_km_s[2] * d[2])
+            / r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaq_orbit::units::Degrees;
+
+    fn orbit() -> CircularOrbit {
+        CircularOrbit::new(Degrees(85.0).to_radians(), Radians(0.2), Minutes(90.0))
+            .with_earth_rotation(false)
+    }
+
+    #[test]
+    fn radius_is_constant() {
+        let o = orbit();
+        let a = EARTH_RADIUS.value() + altitude_for_period(Minutes(90.0)).value();
+        for i in 0..10 {
+            let s = SatelliteState::on_orbit(&o, Radians(0.3), Minutes(i as f64 * 7.0));
+            let r = (s.position_km[0].powi(2) + s.position_km[1].powi(2)
+                + s.position_km[2].powi(2))
+            .sqrt();
+            assert!((r - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn speed_matches_circular_orbit() {
+        let o = orbit();
+        let a = EARTH_RADIUS.value() + altitude_for_period(Minutes(90.0)).value();
+        let expected = std::f64::consts::TAU * a / (90.0 * 60.0);
+        let s = SatelliteState::on_orbit(&o, Radians(1.0), Minutes(13.0));
+        let v = (s.velocity_km_s[0].powi(2)
+            + s.velocity_km_s[1].powi(2)
+            + s.velocity_km_s[2].powi(2))
+        .sqrt();
+        assert!((v - expected).abs() < 1e-9);
+        // ~7.6 km/s for LEO.
+        assert!((v - 7.6).abs() < 0.3, "LEO speed sanity: {v}");
+    }
+
+    #[test]
+    fn velocity_is_tangential() {
+        let o = orbit();
+        let s = SatelliteState::on_orbit(&o, Radians(0.0), Minutes(5.0));
+        let dot = s.position_km[0] * s.velocity_km_s[0]
+            + s.position_km[1] * s.velocity_km_s[1]
+            + s.position_km[2] * s.velocity_km_s[2];
+        assert!(dot.abs() < 1e-6, "r·v = {dot} must vanish");
+    }
+
+    #[test]
+    fn range_rate_sign_flips_at_closest_approach() {
+        let o = orbit();
+        // Target at the sub-satellite point of t = 10 min.
+        let gp = o.subsatellite_point(Radians(0.0), Minutes(10.0));
+        let u = gp.unit_vector();
+        let target = [u[0] * 6371.0, u[1] * 6371.0, u[2] * 6371.0];
+        let before = SatelliteState::on_orbit(&o, Radians(0.0), Minutes(8.0));
+        let after = SatelliteState::on_orbit(&o, Radians(0.0), Minutes(12.0));
+        assert!(before.range_rate_to(&target) < 0.0, "approaching");
+        assert!(after.range_rate_to(&target) > 0.0, "receding");
+    }
+
+    #[test]
+    fn subsatellite_point_agrees_with_orbit_crate() {
+        let o = orbit();
+        let s = SatelliteState::on_orbit(&o, Radians(0.7), Minutes(21.0));
+        let from_state = oaq_orbit::GroundPoint::from_vector(s.position_km);
+        let from_orbit = o.subsatellite_point(Radians(0.7), Minutes(21.0));
+        assert!(from_state.central_angle(&from_orbit).value() < 1e-9);
+    }
+
+    #[test]
+    fn altitude_for_longer_period_is_higher() {
+        assert!(altitude_for_period(Minutes(100.0)) > altitude_for_period(Minutes(90.0)));
+    }
+}

@@ -1,0 +1,385 @@
+//! Synthetic revisit scenarios: successive satellites of one plane flying
+//! over an emitter.
+//!
+//! The frame convention: the earth is frozen (emitters have fixed
+//! earth-centered positions) and the westward drift of successive ground
+//! tracks that earth rotation would produce is modeled as a per-pass RAAN
+//! shift of `ω_⊕ · Tr`. This is geometrically equivalent for the short
+//! horizons of a geolocation episode and keeps the synthesizer and the
+//! estimator in a single consistent frame.
+
+use oaq_orbit::orbit::{CircularOrbit, EARTH_ROTATION_RATE};
+use oaq_orbit::units::{Degrees, Minutes, Radians};
+use oaq_sim::SimRng;
+
+use crate::doppler::DopplerMeasurement;
+use crate::emitter::Emitter;
+use crate::satstate::SatelliteState;
+use crate::toa::ToaMeasurement;
+
+/// Generator of measurement batches ("passes") for successive revisits of an
+/// emitter, the workload of the paper's sequential-localization mechanism.
+///
+/// See the crate-level example for end-to-end use.
+#[derive(Debug, Clone)]
+pub struct PassScenario {
+    emitter: Emitter,
+    inclination: Radians,
+    period: Minutes,
+    base_raan: Radians,
+    phase_at_crossing: Radians,
+    first_overflight: Minutes,
+    revisit: Minutes,
+    samples_per_pass: usize,
+    window: Minutes,
+    sigma_hz: f64,
+}
+
+impl PassScenario {
+    /// A scenario matching the reference constellation in its underlapping
+    /// regime: θ = 90 min, 85° inclination, revisits every Tr = 9 min,
+    /// 9 Doppler samples per pass over ±2 min, 1 Hz measurement noise.
+    #[must_use]
+    pub fn reference(emitter: &Emitter) -> Self {
+        PassScenario::new(
+            emitter,
+            Degrees(85.0).to_radians(),
+            Minutes(90.0),
+            Minutes(10.0),
+            Minutes(9.0),
+        )
+    }
+
+    /// Creates a scenario with explicit orbit geometry and revisit interval.
+    ///
+    /// The base orbit is positioned so that the first satellite crosses the
+    /// emitter's latitude directly over the emitter at `first_overflight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emitter latitude exceeds the inclination (no ascending
+    /// crossing exists) or the revisit interval is non-positive.
+    #[must_use]
+    pub fn new(
+        emitter: &Emitter,
+        inclination: Radians,
+        period: Minutes,
+        first_overflight: Minutes,
+        revisit: Minutes,
+    ) -> Self {
+        assert!(revisit.value() > 0.0, "revisit interval must be positive");
+        let lat = emitter.position().lat().value();
+        let i = inclination.value();
+        let sin_u = lat.sin() / i.sin();
+        assert!(
+            sin_u.abs() <= 1.0,
+            "emitter latitude unreachable at this inclination"
+        );
+        let u_e = sin_u.asin();
+        // Longitude of the ascending-pass crossing relative to the node.
+        let dlon = (i.cos() * u_e.sin()).atan2(u_e.cos());
+        let base_raan = Radians(emitter.position().lon().value() - dlon).wrap_two_pi();
+        PassScenario {
+            emitter: *emitter,
+            inclination,
+            period,
+            base_raan,
+            phase_at_crossing: Radians(u_e),
+            first_overflight,
+            revisit,
+            samples_per_pass: 9,
+            window: Minutes(2.0),
+            sigma_hz: 1.0,
+        }
+    }
+
+    /// Overrides the number of samples per pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_samples_per_pass(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples per pass");
+        self.samples_per_pass = n;
+        self
+    }
+
+    /// Overrides the Doppler noise level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_hz <= 0`.
+    #[must_use]
+    pub fn with_sigma_hz(mut self, sigma_hz: f64) -> Self {
+        assert!(sigma_hz > 0.0, "sigma must be positive");
+        self.sigma_hz = sigma_hz;
+        self
+    }
+
+    /// The emitter this scenario observes.
+    #[must_use]
+    pub fn emitter(&self) -> &Emitter {
+        &self.emitter
+    }
+
+    /// When pass `j` crosses the emitter latitude.
+    #[must_use]
+    pub fn overflight_time(&self, pass: usize) -> Minutes {
+        Minutes(self.first_overflight.value() + self.revisit.value() * pass as f64)
+    }
+
+    /// The orbit of the satellite performing pass `j`: shared plane geometry
+    /// with the per-pass RAAN drift described in the module docs.
+    #[must_use]
+    pub fn pass_orbit(&self, pass: usize) -> CircularOrbit {
+        let drift = EARTH_ROTATION_RATE * self.revisit.value() * pass as f64;
+        CircularOrbit::new(
+            self.inclination,
+            Radians(self.base_raan.value() - drift).wrap_two_pi(),
+            self.period,
+        )
+        .with_earth_rotation(false)
+    }
+
+    fn pass_phase0(&self, pass: usize) -> Radians {
+        let orbit = self.pass_orbit(pass);
+        Radians(
+            self.phase_at_crossing.value()
+                - orbit.mean_motion() * self.overflight_time(pass).value(),
+        )
+        .wrap_two_pi()
+    }
+
+    /// Satellite state during pass `j` at absolute time `t`.
+    #[must_use]
+    pub fn satellite_state(&self, pass: usize, t: Minutes) -> SatelliteState {
+        SatelliteState::on_orbit(&self.pass_orbit(pass), self.pass_phase0(pass), t)
+    }
+
+    /// Sample instants of pass `j` (uniform over the overflight window).
+    #[must_use]
+    pub fn sample_times(&self, pass: usize) -> Vec<Minutes> {
+        let t0 = self.overflight_time(pass).value() - self.window.value();
+        let span = 2.0 * self.window.value();
+        (0..self.samples_per_pass)
+            .map(|s| Minutes(t0 + span * s as f64 / (self.samples_per_pass - 1) as f64))
+            .collect()
+    }
+
+    /// Synthesizes the Doppler measurements of pass `j`.
+    #[must_use]
+    pub fn synthesize_pass(&self, pass: usize, rng: &mut SimRng) -> Vec<DopplerMeasurement> {
+        self.sample_times(pass)
+            .into_iter()
+            .map(|t| {
+                DopplerMeasurement::synthesize(
+                    self.satellite_state(pass, t),
+                    &self.emitter,
+                    self.sigma_hz,
+                    rng,
+                )
+            })
+            .collect()
+    }
+
+    /// Synthesizes a *simultaneous dual-coverage* measurement set: two
+    /// satellites on cross-track-offset orbits observe the emitter over the
+    /// same time window (the paper's QoS level 3 situation, where
+    /// overlapped footprints co-visit the target). The second satellite
+    /// flies the same plane geometry shifted by `cross_track` radians of
+    /// RAAN, trailing by `lag` minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass` timing underflows the lag (use small lags).
+    #[must_use]
+    pub fn synthesize_simultaneous_pair(
+        &self,
+        pass: usize,
+        cross_track: Radians,
+        lag: Minutes,
+        rng: &mut SimRng,
+    ) -> Vec<DopplerMeasurement> {
+        let mut out = self.synthesize_pass(pass, rng);
+        let partner_orbit = CircularOrbit::new(
+            self.inclination,
+            Radians(self.pass_orbit(pass).raan().value() - cross_track.value()).wrap_two_pi(),
+            self.period,
+        )
+        .with_earth_rotation(false);
+        let partner_phase = Radians(
+            self.phase_at_crossing.value()
+                - partner_orbit.mean_motion()
+                    * (self.overflight_time(pass).value() + lag.value()),
+        )
+        .wrap_two_pi();
+        for t in self.sample_times(pass) {
+            let state = SatelliteState::on_orbit(&partner_orbit, partner_phase, t);
+            out.push(DopplerMeasurement::synthesize(
+                state,
+                &self.emitter,
+                self.sigma_hz,
+                rng,
+            ));
+        }
+        out
+    }
+
+    /// Synthesizes slant-range (TOA) measurements of pass `j` with the given
+    /// range noise.
+    #[must_use]
+    pub fn synthesize_toa_pass(
+        &self,
+        pass: usize,
+        sigma_km: f64,
+        rng: &mut SimRng,
+    ) -> Vec<ToaMeasurement> {
+        self.sample_times(pass)
+            .into_iter()
+            .map(|t| {
+                ToaMeasurement::synthesize(
+                    self.satellite_state(pass, t),
+                    &self.emitter,
+                    sigma_km,
+                    rng,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wls::Observation;
+    use oaq_orbit::GroundPoint;
+
+    fn emitter() -> Emitter {
+        Emitter::new(
+            GroundPoint::from_degrees(Degrees(30.0), Degrees(15.0)),
+            400.0e6,
+        )
+    }
+
+    #[test]
+    fn pass_zero_overflies_the_emitter() {
+        let e = emitter();
+        let s = PassScenario::reference(&e);
+        let at_overflight = s.satellite_state(0, s.overflight_time(0));
+        let sub = GroundPoint::from_vector(at_overflight.position_km);
+        let miss = sub.great_circle_distance(&e.position()).value();
+        assert!(miss < 1.0, "pass 0 closest approach misses by {miss} km");
+    }
+
+    #[test]
+    fn later_passes_drift_cross_track() {
+        let e = emitter();
+        let s = PassScenario::reference(&e);
+        let miss = |j: usize| {
+            let st = s.satellite_state(j, s.overflight_time(j));
+            GroundPoint::from_vector(st.position_km)
+                .great_circle_distance(&e.position())
+                .value()
+        };
+        assert!(miss(1) > miss(0));
+        assert!(miss(2) > miss(1));
+        // ω_⊕ · 9 min ≈ 2.26° ≈ 250 km at the equator, less at 30°.
+        assert!(miss(1) > 100.0 && miss(1) < 400.0, "drift {} km", miss(1));
+    }
+
+    #[test]
+    fn sample_times_span_the_window() {
+        let s = PassScenario::reference(&emitter());
+        let ts = s.sample_times(0);
+        assert_eq!(ts.len(), 9);
+        assert!((ts[0].value() - 8.0).abs() < 1e-9);
+        assert!((ts[8].value() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doppler_sweeps_from_blue_to_red() {
+        let e = emitter();
+        let s = PassScenario::reference(&e).with_sigma_hz(1e-6);
+        let mut rng = SimRng::seed_from(5);
+        let pass = s.synthesize_pass(0, &mut rng);
+        let first = pass.first().unwrap().observed();
+        let last = pass.last().unwrap().observed();
+        assert!(first > e.frequency_hz(), "approaching at window start");
+        assert!(last < e.frequency_hz(), "receding at window end");
+    }
+
+    #[test]
+    fn toa_minimum_near_overflight() {
+        let e = emitter();
+        let s = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(6);
+        let pass = s.synthesize_toa_pass(0, 1e-6, &mut rng);
+        let ranges: Vec<f64> = pass.iter().map(crate::wls::Observation::observed).collect();
+        let min_idx = ranges
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_idx, 4, "range minimum at the window center");
+    }
+
+    #[test]
+    fn simultaneous_pair_doubles_the_measurements() {
+        let e = emitter();
+        let s = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(9);
+        let pair = s.synthesize_simultaneous_pair(
+            0,
+            Degrees(3.0).to_radians(),
+            Minutes(0.5),
+            &mut rng,
+        );
+        assert_eq!(pair.len(), 18, "both satellites' samples");
+    }
+
+    #[test]
+    fn simultaneous_dual_beats_single_pass_accuracy() {
+        // The physical basis of QoS level 3: co-visiting satellites give
+        // instant geometric diversity, collapsing the single-pass ambiguity
+        // without waiting for a revisit.
+        use crate::sequential::SequentialLocalizer;
+        let e = emitter();
+        let s = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(10);
+
+        let mut single = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        single.add_pass(s.synthesize_pass(0, &mut rng));
+        let single_err = single.estimate().unwrap().error_radius_km();
+
+        let mut dual = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        dual.add_pass(s.synthesize_simultaneous_pair(
+            0,
+            Degrees(3.0).to_radians(),
+            Minutes(0.5),
+            &mut rng,
+        ));
+        let dual_err = dual.estimate().unwrap().error_radius_km();
+        assert!(
+            dual_err < single_err / 10.0,
+            "simultaneous dual {dual_err} must crush single {single_err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn polar_emitter_with_low_inclination_rejected() {
+        let e = Emitter::new(
+            GroundPoint::from_degrees(Degrees(80.0), Degrees(0.0)),
+            100.0e6,
+        );
+        let _ = PassScenario::new(
+            &e,
+            Degrees(45.0).to_radians(),
+            Minutes(90.0),
+            Minutes(5.0),
+            Minutes(9.0),
+        );
+    }
+}

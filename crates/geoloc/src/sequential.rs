@@ -1,0 +1,243 @@
+//! Sequential localization: accumulate passes, re-solve, track error.
+//!
+//! This is the computational core of the paper's QoS-enhancement loop: each
+//! satellite that joins the coordination contributes its measurements, the
+//! estimate is recomputed from the accumulated set, and the resulting
+//! *estimated error* is what termination condition TC-1 compares against an
+//! accuracy threshold.
+
+use crate::wls::{Estimate, Observation, SolveError, WlsSolver, STATE_DIM};
+
+/// Accumulates measurement passes and re-estimates after each.
+///
+/// See the crate-level example for end-to-end use.
+pub struct SequentialLocalizer {
+    observations: Vec<Box<dyn Observation + Send>>,
+    passes: Vec<usize>,
+    initial_guess: [f64; STATE_DIM],
+    solver: WlsSolver,
+    history: Vec<Estimate>,
+}
+
+impl std::fmt::Debug for SequentialLocalizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequentialLocalizer")
+            .field("observations", &self.observations.len())
+            .field("passes", &self.passes.len())
+            .field("estimates", &self.history.len())
+            .finish()
+    }
+}
+
+impl SequentialLocalizer {
+    /// Creates a localizer that will start its first solve from
+    /// `initial_guess` (e.g. the footprint center of the detecting
+    /// satellite).
+    #[must_use]
+    pub fn new(initial_guess: [f64; STATE_DIM]) -> Self {
+        SequentialLocalizer {
+            observations: Vec::new(),
+            passes: Vec::new(),
+            initial_guess,
+            solver: WlsSolver::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Replaces the solver configuration.
+    #[must_use]
+    pub fn with_solver(mut self, solver: WlsSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Adds one pass worth of measurements.
+    pub fn add_pass<O>(&mut self, pass: Vec<O>)
+    where
+        O: Observation + Send + 'static,
+    {
+        self.passes.push(pass.len());
+        self.observations
+            .extend(pass.into_iter().map(|o| Box::new(o) as Box<dyn Observation + Send>));
+    }
+
+    /// Number of passes accumulated.
+    #[must_use]
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Total measurements accumulated.
+    #[must_use]
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Re-solves over all accumulated measurements, warm-starting from the
+    /// previous estimate when one exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the underlying WLS solve.
+    pub fn estimate(&mut self) -> Result<Estimate, SolveError> {
+        let start = self
+            .history
+            .last()
+            .map_or(self.initial_guess, |e| e.state);
+        let refs: Vec<&dyn Observation> = self
+            .observations
+            .iter()
+            .map(|b| b.as_ref() as &dyn Observation)
+            .collect();
+        let est = self.solver.solve(&refs, start)?;
+        self.history.push(est.clone());
+        Ok(est)
+    }
+
+    /// The estimates produced so far, in order.
+    #[must_use]
+    pub fn history(&self) -> &[Estimate] {
+        &self.history
+    }
+
+    /// The 1-σ error radii of the estimates so far (km) — the sequence the
+    /// OAQ protocol watches for TC-1.
+    #[must_use]
+    pub fn error_radius_history_km(&self) -> Vec<f64> {
+        self.history.iter().map(Estimate::error_radius_km).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emitter::Emitter;
+    use crate::scenario::PassScenario;
+    use oaq_orbit::units::Degrees;
+    use oaq_orbit::GroundPoint;
+    use oaq_sim::SimRng;
+
+    fn emitter() -> Emitter {
+        Emitter::new(
+            GroundPoint::from_degrees(Degrees(30.0), Degrees(20.0)),
+            400.0e6,
+        )
+    }
+
+    #[test]
+    fn sequential_passes_reduce_error() {
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(11);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+
+        let mut actual_errors = Vec::new();
+        let mut reported_errors = Vec::new();
+        for pass in 0..3 {
+            loc.add_pass(scenario.synthesize_pass(pass, &mut rng));
+            let est = loc.estimate().expect("solve");
+            actual_errors.push(est.position_error_km(&e.position()));
+            reported_errors.push(est.error_radius_km());
+        }
+        assert!(
+            actual_errors[1] < actual_errors[0],
+            "second pass improves: {actual_errors:?}"
+        );
+        assert!(
+            reported_errors[2] < reported_errors[0],
+            "reported error shrinks: {reported_errors:?}"
+        );
+        assert_eq!(loc.num_passes(), 3);
+        assert_eq!(loc.num_observations(), 27);
+    }
+
+    #[test]
+    fn reported_error_is_credible() {
+        // Over several seeds the actual error should rarely exceed a few
+        // multiples of the reported 1-σ radius.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut within = 0;
+        let n = 10;
+        for seed in 0..n {
+            let mut rng = SimRng::seed_from(100 + seed);
+            let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+            loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+            loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+            let est = loc.estimate().expect("solve");
+            if est.position_error_km(&e.position()) <= 4.0 * est.error_radius_km() {
+                within += 1;
+            }
+        }
+        assert!(within >= n - 2, "only {within}/{n} within 4 sigma");
+    }
+
+    #[test]
+    fn estimate_without_passes_is_underdetermined() {
+        let e = emitter();
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        assert!(matches!(
+            loc.estimate(),
+            Err(SolveError::Underdetermined { observations: 0 })
+        ));
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(3);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+        loc.estimate().unwrap();
+        loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+        loc.estimate().unwrap();
+        assert_eq!(loc.history().len(), 2);
+        assert_eq!(loc.error_radius_history_km().len(), 2);
+    }
+
+    #[test]
+    fn single_center_line_pass_is_ambiguous() {
+        // Pass 0 overflies the emitter dead-center, so the Doppler curve has
+        // no first-order cross-track sensitivity — the literature's
+        // "ambiguity problem". The reported uncertainty must be honest about
+        // it (enormous), and a second, offset pass must collapse it.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(42);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+        let one = loc.estimate().unwrap().error_radius_km();
+        loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+        let two = loc.estimate().unwrap().error_radius_km();
+        assert!(one > 100.0, "degenerate geometry must report huge error, got {one}");
+        assert!(two < one / 10.0, "offset pass collapses ambiguity: {one} -> {two}");
+    }
+
+    #[test]
+    fn mixed_doppler_and_toa_improves_over_doppler_alone() {
+        // Use the well-conditioned two-pass base, then add a TOA pass.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let solve_with = |use_toa: bool, seed: u64| -> f64 {
+            let mut rng = SimRng::seed_from(seed);
+            let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+            loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+            loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+            if use_toa {
+                loc.add_pass(scenario.synthesize_toa_pass(1, 0.5, &mut rng));
+            }
+            loc.estimate().unwrap().error_radius_km()
+        };
+        // Reported uncertainty must shrink when adding an independent
+        // modality, whatever the noise realization.
+        assert!(solve_with(true, 42) < solve_with(false, 42));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let loc = SequentialLocalizer::new([0.5, 0.5, 4.0e8]);
+        let s = format!("{loc:?}");
+        assert!(s.contains("SequentialLocalizer"));
+    }
+}

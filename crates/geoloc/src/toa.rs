@@ -1,0 +1,143 @@
+//! Time-of-arrival (slant-range) measurements.
+//!
+//! A complement to Doppler: some payload configurations timestamp signal
+//! arrival against a synchronized clock, which after multiplying by the
+//! speed of light is a slant-range observation. Range observations are
+//! insensitive to the carrier frequency (their Jacobian's `f0` component is
+//! zero), so mixing TOA with Doppler improves the conditioning of the joint
+//! estimate — one of the "diverse information sources" the paper's Section 3
+//! overview refers to.
+
+use oaq_orbit::geo::EARTH_RADIUS;
+use oaq_orbit::units::Radians;
+use oaq_sim::SimRng;
+
+use crate::emitter::Emitter;
+use crate::satstate::SatelliteState;
+use crate::wls::{Observation, STATE_DIM};
+
+/// One slant-range observation, in km.
+#[derive(Debug, Clone, Copy)]
+pub struct ToaMeasurement {
+    satellite: SatelliteState,
+    observed_km: f64,
+    sigma_km: f64,
+}
+
+impl ToaMeasurement {
+    /// Wraps an already-measured range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_km` is not strictly positive.
+    #[must_use]
+    pub fn new(satellite: SatelliteState, observed_km: f64, sigma_km: f64) -> Self {
+        assert!(
+            sigma_km.is_finite() && sigma_km > 0.0,
+            "sigma must be positive"
+        );
+        ToaMeasurement {
+            satellite,
+            observed_km,
+            sigma_km,
+        }
+    }
+
+    /// Synthesizes a noisy range measurement of `emitter`.
+    #[must_use]
+    pub fn synthesize(
+        satellite: SatelliteState,
+        emitter: &Emitter,
+        sigma_km: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let truth = satellite.range_to(&emitter.position_ecef_km());
+        ToaMeasurement::new(satellite, rng.normal(truth, sigma_km), sigma_km)
+    }
+}
+
+impl Observation for ToaMeasurement {
+    fn predict(&self, x: &[f64; STATE_DIM]) -> f64 {
+        let lat = x[0].clamp(
+            -std::f64::consts::FRAC_PI_2 + 1e-12,
+            std::f64::consts::FRAC_PI_2 - 1e-12,
+        );
+        let p = oaq_orbit::GroundPoint::new(Radians(lat), Radians(x[1]));
+        let u = p.unit_vector();
+        let r = EARTH_RADIUS.value();
+        self.satellite
+            .range_to(&[u[0] * r, u[1] * r, u[2] * r])
+    }
+
+    fn observed(&self) -> f64 {
+        self.observed_km
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaq_orbit::orbit::CircularOrbit;
+    use oaq_orbit::units::{Degrees, Minutes};
+    use oaq_orbit::GroundPoint;
+
+    fn setup() -> (Emitter, SatelliteState) {
+        let emitter = Emitter::new(
+            GroundPoint::from_degrees(Degrees(30.0), Degrees(0.0)),
+            400.0e6,
+        );
+        let orbit = CircularOrbit::new(Degrees(85.0).to_radians(), Radians(0.0), Minutes(90.0))
+            .with_earth_rotation(false);
+        (
+            emitter,
+            SatelliteState::on_orbit(&orbit, Radians(0.0), Minutes(6.0)),
+        )
+    }
+
+    #[test]
+    fn range_prediction_matches_truth() {
+        let (emitter, sat) = setup();
+        let mut rng = SimRng::seed_from(0);
+        let m = ToaMeasurement::synthesize(sat, &emitter, 1e-9, &mut rng);
+        let x = [
+            emitter.position().lat().value(),
+            emitter.position().lon().value(),
+            emitter.frequency_hz(),
+        ];
+        assert!((m.predict(&x) - m.observed()).abs() < 1e-6);
+        // LEO slant range is hundreds to thousands of km.
+        assert!(m.observed() > 200.0 && m.observed() < 5000.0);
+    }
+
+    #[test]
+    fn frequency_insensitive() {
+        let (emitter, sat) = setup();
+        let mut rng = SimRng::seed_from(1);
+        let m = ToaMeasurement::synthesize(sat, &emitter, 0.1, &mut rng);
+        let x = emitter.initial_guess_nearby(0.3);
+        let row = m.jacobian_row(&x);
+        assert_eq!(row[2], 0.0, "range does not depend on carrier frequency");
+        assert!(row[0].abs() > 0.0);
+    }
+
+    #[test]
+    fn noise_perturbs_observation() {
+        let (emitter, sat) = setup();
+        let mut rng = SimRng::seed_from(2);
+        let clean = sat.range_to(&emitter.position_ecef_km());
+        let m = ToaMeasurement::synthesize(sat, &emitter, 5.0, &mut rng);
+        assert_ne!(m.observed(), clean);
+        assert!((m.observed() - clean).abs() < 50.0, "within 10 sigma");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn negative_sigma_rejected() {
+        let (_, sat) = setup();
+        let _ = ToaMeasurement::new(sat, 1000.0, -1.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Damped Gauss–Newton iterative weighted least squares.
+//!
+//! The estimator behind sequential localization: given any mix of
+//! [`Observation`]s (Doppler, TOA, …) it refines the state vector
+//! `x = [latitude (rad), longitude (rad), carrier frequency (Hz)]` by
+//! solving the weighted normal equations `(JᵀWJ + λD) δ = JᵀW r` with
+//! Levenberg–Marquardt damping, and reports the posterior covariance
+//! `(JᵀWJ)⁻¹` from which the paper's "estimated error" (TC-1) is derived.
+
+use oaq_linalg::{Cholesky, LinalgError, Matrix};
+use oaq_orbit::geo::EARTH_RADIUS;
+use oaq_orbit::GroundPoint;
+
+use crate::emitter::Emitter;
+
+/// Dimension of the estimation state `[lat, lon, f0]`.
+pub const STATE_DIM: usize = 3;
+
+/// A single scalar measurement usable by the WLS solver.
+///
+/// Implementors provide the predicted value and its gradient; the solver
+/// works with residuals `observed − predicted`.
+pub trait Observation {
+    /// Predicted measurement value at state `x`.
+    fn predict(&self, x: &[f64; STATE_DIM]) -> f64;
+
+    /// Observed (noisy) measurement value.
+    fn observed(&self) -> f64;
+
+    /// Measurement standard deviation (same unit as the value).
+    fn sigma(&self) -> f64;
+
+    /// Gradient of the prediction with respect to the state. The default
+    /// implementation uses central finite differences with per-component
+    /// steps suited to radians/radians/hertz.
+    fn jacobian_row(&self, x: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        const STEPS: [f64; STATE_DIM] = [1e-7, 1e-7, 1e-2];
+        let mut row = [0.0; STATE_DIM];
+        for (j, step) in STEPS.iter().enumerate() {
+            let mut hi = *x;
+            let mut lo = *x;
+            hi[j] += step;
+            lo[j] -= step;
+            row[j] = (self.predict(&hi) - self.predict(&lo)) / (2.0 * step);
+        }
+        row
+    }
+
+    /// Weight `1/σ²`.
+    fn weight(&self) -> f64 {
+        let s = self.sigma();
+        1.0 / (s * s)
+    }
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// Fewer observations than state parameters.
+    Underdetermined {
+        /// Number of observations supplied.
+        observations: usize,
+    },
+    /// The normal equations were singular even under maximum damping.
+    Degenerate(LinalgError),
+    /// The iteration failed to reduce the cost within the iteration budget.
+    NoConvergence {
+        /// Final (best) cost reached.
+        cost: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Underdetermined { observations } => {
+                write!(f, "underdetermined: {observations} observations for {STATE_DIM} states")
+            }
+            SolveError::Degenerate(e) => write!(f, "degenerate normal equations: {e}"),
+            SolveError::NoConvergence { cost } => {
+                write!(f, "no convergence (final cost {cost:.3e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Degenerate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A converged WLS estimate.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated state `[lat (rad), lon (rad), f0 (Hz)]`.
+    pub state: [f64; STATE_DIM],
+    /// Posterior covariance `(JᵀWJ)⁻¹` at the solution.
+    pub covariance: Matrix,
+    /// Final weighted cost `rᵀWr`.
+    pub cost: f64,
+    /// Gauss–Newton iterations used.
+    pub iterations: u32,
+}
+
+impl Estimate {
+    /// The estimated emitter position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latitude component left its valid range (the solver
+    /// clamps it, so this indicates misuse of the struct).
+    #[must_use]
+    pub fn position(&self) -> GroundPoint {
+        Emitter::state_to_point(&self.state)
+    }
+
+    /// Great-circle distance from the estimate to `truth`, in km.
+    #[must_use]
+    pub fn position_error_km(&self, truth: &GroundPoint) -> f64 {
+        self.position().great_circle_distance(truth).value()
+    }
+
+    /// The 1-σ horizontal error radius implied by the covariance, in km:
+    /// `√(σ_N² + σ_E²)` with `σ_N = σ_lat·R`, `σ_E = σ_lon·R·cos(lat)`.
+    ///
+    /// This is the quantity OAQ's termination condition TC-1 compares to an
+    /// accuracy threshold.
+    #[must_use]
+    pub fn error_radius_km(&self) -> f64 {
+        let r = EARTH_RADIUS.value();
+        let var_n = self.covariance[(0, 0)] * r * r;
+        let cos_lat = self.state[0].cos();
+        let var_e = self.covariance[(1, 1)] * (r * cos_lat).powi(2);
+        (var_n + var_e).sqrt()
+    }
+}
+
+/// Solver configuration (builder-style setters).
+#[derive(Debug, Clone, Copy)]
+pub struct WlsSolver {
+    max_iterations: u32,
+    step_tolerance: f64,
+    initial_damping: f64,
+}
+
+impl Default for WlsSolver {
+    fn default() -> Self {
+        WlsSolver {
+            max_iterations: 50,
+            step_tolerance: 1e-10,
+            initial_damping: 1e-3,
+        }
+    }
+}
+
+impl WlsSolver {
+    /// Creates a solver with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the convergence tolerance on the scaled step norm.
+    #[must_use]
+    pub fn with_step_tolerance(mut self, tol: f64) -> Self {
+        self.step_tolerance = tol;
+        self
+    }
+
+    fn cost(obs: &[&dyn Observation], x: &[f64; STATE_DIM]) -> f64 {
+        obs.iter()
+            .map(|o| {
+                let r = o.observed() - o.predict(x);
+                o.weight() * r * r
+            })
+            .sum()
+    }
+
+    /// Solves for the state starting from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Underdetermined`] with fewer than [`STATE_DIM`]
+    ///   observations.
+    /// * [`SolveError::Degenerate`] when the measurement geometry leaves the
+    ///   normal equations singular.
+    /// * [`SolveError::NoConvergence`] if the damped iteration cannot reduce
+    ///   the cost.
+    pub fn solve(
+        &self,
+        observations: &[&dyn Observation],
+        x0: [f64; STATE_DIM],
+    ) -> Result<Estimate, SolveError> {
+        if observations.len() < STATE_DIM {
+            return Err(SolveError::Underdetermined {
+                observations: observations.len(),
+            });
+        }
+        let mut x = x0;
+        let mut lambda = self.initial_damping;
+        let mut cost = Self::cost(observations, &x);
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut last_jtwj: Option<Matrix> = None;
+
+        while iterations < self.max_iterations && !converged {
+            iterations += 1;
+            // Assemble JᵀWJ and JᵀWr.
+            let mut jtwj = Matrix::zeros(STATE_DIM, STATE_DIM);
+            let mut jtwr = [0.0; STATE_DIM];
+            for o in observations {
+                let row = o.jacobian_row(&x);
+                let w = o.weight();
+                let r = o.observed() - o.predict(&x);
+                for a in 0..STATE_DIM {
+                    jtwr[a] += w * row[a] * r;
+                    for b in 0..STATE_DIM {
+                        jtwj[(a, b)] += w * row[a] * row[b];
+                    }
+                }
+            }
+            last_jtwj = Some(jtwj.clone());
+
+            // Levenberg–Marquardt inner loop: grow damping until the step
+            // reduces the cost.
+            let mut accepted = false;
+            for _ in 0..12 {
+                let mut damped = jtwj.clone();
+                for d in 0..STATE_DIM {
+                    // Marquardt scaling keeps the damping meaningful across
+                    // the wildly different parameter units.
+                    damped[(d, d)] += lambda * jtwj[(d, d)].max(1e-30);
+                }
+                let delta = match Cholesky::factor(&damped).and_then(|ch| ch.solve(&jtwr)) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        if lambda > 1e8 {
+                            return Err(SolveError::Degenerate(e));
+                        }
+                        lambda *= 10.0;
+                        continue;
+                    }
+                };
+                let mut x_new = x;
+                for (xi, di) in x_new.iter_mut().zip(&delta) {
+                    *xi += di;
+                }
+                // Keep latitude physical.
+                x_new[0] = x_new[0].clamp(
+                    -std::f64::consts::FRAC_PI_2 + 1e-9,
+                    std::f64::consts::FRAC_PI_2 - 1e-9,
+                );
+                let new_cost = Self::cost(observations, &x_new);
+                if new_cost <= cost {
+                    // Scaled step norm for convergence: radians vs hertz.
+                    let step = (delta[0].powi(2) + delta[1].powi(2)).sqrt()
+                        + delta[2].abs() / x[2].abs().max(1.0);
+                    x = x_new;
+                    cost = new_cost;
+                    lambda = (lambda * 0.3).max(1e-12);
+                    accepted = true;
+                    if step < self.step_tolerance {
+                        converged = true;
+                    }
+                    break;
+                }
+                lambda *= 10.0;
+            }
+            if !accepted {
+                // Damping maxed out without improvement: we are at a local
+                // minimum (or the model cannot fit better).
+                break;
+            }
+        }
+
+        let jtwj = last_jtwj.expect("at least one iteration ran");
+        let covariance = jtwj
+            .inverse()
+            .map_err(SolveError::Degenerate)?;
+        Ok(Estimate {
+            state: x,
+            covariance,
+            cost,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linear pseudo-observation `y = a·x + noise` for solver unit tests.
+    struct LinearObs {
+        a: [f64; STATE_DIM],
+        y: f64,
+        sigma: f64,
+    }
+
+    impl Observation for LinearObs {
+        fn predict(&self, x: &[f64; STATE_DIM]) -> f64 {
+            self.a.iter().zip(x).map(|(ai, xi)| ai * xi).sum()
+        }
+        fn observed(&self) -> f64 {
+            self.y
+        }
+        fn sigma(&self) -> f64 {
+            self.sigma
+        }
+    }
+
+    fn linear_problem(truth: [f64; 3], sigmas: [f64; 3]) -> Vec<LinearObs> {
+        let rows: [[f64; 3]; 4] = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
+        rows.iter()
+            .enumerate()
+            .map(|(i, a)| LinearObs {
+                a: *a,
+                y: a.iter().zip(&truth).map(|(ai, ti)| ai * ti).sum(),
+                sigma: sigmas[i % 3],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_system_recovered_exactly() {
+        let truth = [0.5, -0.2, 100.0];
+        let obs = linear_problem(truth, [1.0, 1.0, 1.0]);
+        let refs: Vec<&dyn Observation> = obs.iter().map(|o| o as &dyn Observation).collect();
+        let est = WlsSolver::new().solve(&refs, [0.0, 0.0, 1.0]).unwrap();
+        for (e, t) in est.state.iter().zip(&truth) {
+            assert!((e - t).abs() < 1e-6, "{e} vs {t}");
+        }
+        assert!(est.cost < 1e-10);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let obs = linear_problem([0.0; 3], [1.0; 3]);
+        let refs: Vec<&dyn Observation> = obs[..2].iter().map(|o| o as &dyn Observation).collect();
+        assert!(matches!(
+            WlsSolver::new().solve(&refs, [0.0; 3]),
+            Err(SolveError::Underdetermined { observations: 2 })
+        ));
+    }
+
+    #[test]
+    fn degenerate_geometry_detected() {
+        // Three copies of the same row: rank-1 normal equations.
+        let obs: Vec<LinearObs> = (0..3)
+            .map(|_| LinearObs {
+                a: [1.0, 0.0, 0.0],
+                y: 1.0,
+                sigma: 1.0,
+            })
+            .collect();
+        let refs: Vec<&dyn Observation> = obs.iter().map(|o| o as &dyn Observation).collect();
+        let r = WlsSolver::new().solve(&refs, [0.0; 3]);
+        assert!(matches!(r, Err(SolveError::Degenerate(_))), "{r:?}");
+    }
+
+    #[test]
+    fn covariance_scales_with_noise() {
+        let truth = [0.1, 0.2, 10.0];
+        let low = linear_problem(truth, [0.1, 0.1, 0.1]);
+        let high = linear_problem(truth, [10.0, 10.0, 10.0]);
+        let solve = |obs: &[LinearObs]| {
+            let refs: Vec<&dyn Observation> = obs.iter().map(|o| o as &dyn Observation).collect();
+            WlsSolver::new().solve(&refs, [0.0; 3]).unwrap()
+        };
+        let e_low = solve(&low);
+        let e_high = solve(&high);
+        assert!(e_high.covariance[(0, 0)] > e_low.covariance[(0, 0)] * 100.0);
+    }
+
+    #[test]
+    fn weights_downrank_noisy_observations() {
+        // Two conflicting observations of x0; the tight one must dominate.
+        let obs = [
+            LinearObs {
+                a: [1.0, 0.0, 0.0],
+                y: 1.0,
+                sigma: 0.01,
+            },
+            LinearObs {
+                a: [1.0, 0.0, 0.0],
+                y: 2.0,
+                sigma: 1.0,
+            },
+            LinearObs {
+                a: [0.0, 1.0, 0.0],
+                y: 0.0,
+                sigma: 1.0,
+            },
+            LinearObs {
+                a: [0.0, 0.0, 1.0],
+                y: 0.0,
+                sigma: 1.0,
+            },
+        ];
+        let refs: Vec<&dyn Observation> = obs.iter().map(|o| o as &dyn Observation).collect();
+        let est = WlsSolver::new().solve(&refs, [0.0; 3]).unwrap();
+        assert!((est.state[0] - 1.0).abs() < 0.01, "got {}", est.state[0]);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = SolveError::Underdetermined { observations: 1 };
+        assert!(e.to_string().contains("underdetermined"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the measurement models and estimator.
+
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_geoloc::wls::Observation;
+use oaq_orbit::units::Degrees;
+use oaq_orbit::GroundPoint;
+use oaq_sim::SimRng;
+use proptest::prelude::*;
+
+fn emitter_strategy() -> impl Strategy<Value = Emitter> {
+    (-55.0f64..55.0, -170.0f64..170.0, 1.0f64..10.0).prop_map(|(lat, lon, f_hundreds_mhz)| {
+        Emitter::new(
+            GroundPoint::from_degrees(Degrees(lat), Degrees(lon)),
+            f_hundreds_mhz * 1e8,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn noiseless_prediction_matches_observation(e in emitter_strategy(), seed in any::<u64>()) {
+        let scenario = PassScenario::reference(&e).with_sigma_hz(1e-9);
+        let mut rng = SimRng::seed_from(seed);
+        let truth = [
+            e.position().lat().value(),
+            e.position().lon().value(),
+            e.frequency_hz(),
+        ];
+        for m in scenario.synthesize_pass(0, &mut rng) {
+            prop_assert!((m.predict(&truth) - m.observed()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn two_pass_estimate_lands_near_truth(e in emitter_strategy(), seed in any::<u64>()) {
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(seed);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+        loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+        let est = loc.estimate().unwrap();
+        prop_assert!(
+            est.position_error_km(&e.position()) < 25.0,
+            "error {} km at {:?}",
+            est.position_error_km(&e.position()),
+            e
+        );
+    }
+
+    #[test]
+    fn adding_a_pass_never_inflates_reported_error_much(
+        e in emitter_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(seed);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+        loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+        let two = loc.estimate().unwrap().error_radius_km();
+        loc.add_pass(scenario.synthesize_pass(2, &mut rng));
+        let three = loc.estimate().unwrap().error_radius_km();
+        // More information cannot make the reported uncertainty much worse
+        // (tiny slack for the state-dependent Jacobian).
+        prop_assert!(three <= two * 1.05, "{two} -> {three}");
+    }
+
+    #[test]
+    fn doppler_shift_bounded_by_orbital_speed(e in emitter_strategy(), seed in any::<u64>()) {
+        let scenario = PassScenario::reference(&e).with_sigma_hz(1e-9);
+        let mut rng = SimRng::seed_from(seed);
+        let beta_max = 8.0 / 299_792.458; // LEO speed ~7.6 km/s, margin
+        for m in scenario.synthesize_pass(0, &mut rng) {
+            let shift = (m.observed() - e.frequency_hz()).abs();
+            prop_assert!(shift <= e.frequency_hz() * beta_max);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors returned by matrix constructors, factorizations and solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. multiplying 2×3 by 2×2).
+    DimensionMismatch {
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) so the operation
+    /// cannot proceed.
+    Singular,
+    /// Cholesky factorization requires a symmetric positive-definite input.
+    NotPositiveDefinite,
+    /// A constructor was given ragged rows or an empty shape.
+    InvalidShape(String),
+    /// A non-finite value (NaN/∞) was encountered where one is not allowed.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive-definite")
+            }
+            LinalgError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            LinalgError::NonFinite => write!(f, "non-finite value encountered"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (2, 2),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: 2x3 vs 2x2");
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<LinalgError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! QR factorization (Householder reflections) for least-squares problems.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A QR factorization of a (possibly tall) matrix, for solving
+/// over-determined least-squares systems without forming normal equations.
+///
+/// Used by the geolocation crate as a numerically robust alternative to the
+/// Cholesky normal-equation path when measurement geometry is poor.
+///
+/// Householder vectors are normalized so their leading entry is 1 and stored
+/// below the diagonal of the packed matrix; `R` lives on and above it.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_linalg::{Matrix, Qr};
+/// # fn main() -> Result<(), oaq_linalg::LinalgError> {
+/// // Fit y = a + b t to three points on a line.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let x = Qr::factor(&a)?.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    packed: Matrix,
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a` (requires `rows >= cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidShape`] if `rows < cols`.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidShape(
+                "QR least squares requires rows >= cols".to_string(),
+            ));
+        }
+        let mut r = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = r[(k, k)] - alpha;
+            // Normalize v so its leading entry is 1: v = (1, r[k+1.., k]/v0).
+            // beta = 2 / (vᵀ v) for the normalized vector.
+            let mut vtv = 1.0;
+            for i in (k + 1)..m {
+                let vi = r[(i, k)] / v0;
+                r[(i, k)] = vi;
+                vtv += vi * vi;
+            }
+            let beta = 2.0 / vtv;
+            // Apply H = I − beta v vᵀ to the trailing columns (j > k).
+            for j in (k + 1)..n {
+                let mut dot = r[(k, j)];
+                for i in (k + 1)..m {
+                    dot += r[(i, k)] * r[(i, j)];
+                }
+                let s = beta * dot;
+                r[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vi = r[(i, k)];
+                    r[(i, j)] -= s * vi;
+                }
+            }
+            // Column k of R collapses to alpha on the diagonal.
+            r[(k, k)] = alpha;
+            betas.push(beta);
+        }
+        Ok(Qr { packed: r, betas })
+    }
+
+    /// Solves `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] on RHS length mismatch.
+    /// * [`LinalgError::Singular`] if `R` has a vanishing diagonal (rank
+    ///   deficiency).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        // y <- Qᵀ b by applying each reflector in order.
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.packed[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let scale = self.packed.max_norm().max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let diag = self.packed[(i, i)];
+            if diag.abs() < 1e-13 * scale {
+                return Err(LinalgError::Singular);
+            }
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = sum / diag;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (top `n × n` block).
+    #[must_use]
+    pub fn r(&self) -> Matrix {
+        let n = self.packed.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.packed[(i, j)] } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = Qr::factor(&a)
+            .unwrap()
+            .solve_least_squares(&[3.0, 5.0])
+            .unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // y = 2 + 3t with symmetric noise that cancels in the LS sense.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [2.1, 4.9, 8.1, 10.9];
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 0.2);
+        assert!((x[1] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.2],
+            &[0.3, 2.0, 0.1],
+            &[0.1, 0.4, 1.5],
+            &[0.9, 0.9, 0.9],
+            &[0.2, 0.1, 0.7],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x_qr = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let at = a.transpose();
+        let ata = (&at * &a).unwrap();
+        let atb = at.mul_vec(&b).unwrap();
+        let x_ne = ata.solve(&atb).unwrap();
+        for (q, n) in x_qr.iter().zip(&x_ne) {
+            assert!((q - n).abs() < 1e-9, "{q} vs {n}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a).unwrap_err(),
+            LinalgError::InvalidShape(_)
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let r = Qr::factor(&a).unwrap().r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // RᵀR must equal AᵀA (Q orthogonal).
+        let rtr = (&r.transpose() * &r).unwrap();
+        let ata = (&a.transpose() * &a).unwrap();
+        assert!((&rtr - &ata).unwrap().max_norm() < 1e-10);
+    }
+
+    #[test]
+    fn wrong_rhs_length_errors() {
+        let a = Matrix::identity(2);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the linear-algebra kernels.
+
+use oaq_linalg::{Cholesky, Matrix, Qr};
+use proptest::prelude::*;
+
+/// A well-conditioned square matrix: diagonally dominant by construction.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-1.0f64..1.0, n), n).prop_map(move |rows| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = rows[i][j];
+            }
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_has_small_residual(a in dominant_matrix(5), b in vector(5)) {
+        let x = a.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-9, "residual {}", (axi - bi).abs());
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips(a in dominant_matrix(4)) {
+        let inv = a.inverse().unwrap();
+        let prod = (&a * &inv).unwrap();
+        let diff = (&prod - &Matrix::identity(4)).unwrap();
+        prop_assert!(diff.max_norm() < 1e-9);
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in dominant_matrix(3), b in dominant_matrix(3)) {
+        let ab = (&a * &b).unwrap();
+        let lhs = ab.det().unwrap();
+        let rhs = a.det().unwrap() * b.det().unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in dominant_matrix(4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd(a in dominant_matrix(4), b in vector(4)) {
+        // AᵀA + I is symmetric positive definite.
+        let at = a.transpose();
+        let spd = (&(&at * &a).unwrap() + &Matrix::identity(4)).unwrap();
+        let x_ch = Cholesky::factor(&spd).unwrap().solve(&b).unwrap();
+        let x_lu = spd.solve(&b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            prop_assert!((c - l).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        a in dominant_matrix(3),
+        extra in prop::collection::vec(-1.0f64..1.0, 3),
+        b in vector(4),
+    ) {
+        // Build a 4x3 tall matrix from a square dominant one + extra row.
+        let tall = Matrix::from_fn(4, 3, |i, j| if i < 3 { a[(i, j)] } else { extra[j] });
+        let x = Qr::factor(&tall).unwrap().solve_least_squares(&b).unwrap();
+        // Residual r = b − Ax must satisfy Aᵀ r ≈ 0.
+        let ax = tall.mul_vec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let atr = tall.transpose().mul_vec(&r).unwrap();
+        for v in atr {
+            prop_assert!(v.abs() < 1e-8, "normal residual {v}");
+        }
+    }
+
+    #[test]
+    fn vec_mul_matches_transpose_mul_vec(a in dominant_matrix(4), x in vector(4)) {
+        let left = a.vec_mul(&x).unwrap();
+        let right = a.transpose().mul_vec(&x).unwrap();
+        for (l, r) in left.iter().zip(&right) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+}

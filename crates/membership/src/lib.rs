@@ -1,0 +1,52 @@
+//! # oaq-membership — group membership for satellite constellations
+//!
+//! The OAQ paper closes by pointing at its authors' next step: *"adapting
+//! group membership management techniques to the applications in the
+//! environments of distributed autonomous mobile computing."* This crate
+//! implements that extension: a heartbeat-and-gossip membership service
+//! running over the same crosslink substrate (`oaq-net`) as the OAQ
+//! protocol, so a satellite can know — without any ground intervention —
+//! which of its peers are still ready to serve.
+//!
+//! ## Protocol
+//!
+//! * every alive node multicasts a **heartbeat** to its crosslink
+//!   neighbors every `interval` minutes (starts staggered to avoid
+//!   synchronization artifacts);
+//! * a node **suspects** a neighbor it has not heard from for
+//!   `suspicion_multiplier × interval`;
+//! * heartbeats piggyback the sender's *suspicion records* (peer,
+//!   suspected-since timestamp), so suspicion of a dead satellite spreads
+//!   transitively through the ring even to nodes that never link to it;
+//! * **fresh direct evidence wins**: a node that has heard from `X` more
+//!   recently than a gossiped suspicion of `X` rejects the rumor, which
+//!   makes loss-induced false suspicions self-healing.
+//!
+//! The service's payoff for OAQ: with a membership view, a coordinating
+//! satellite recruits the next *live* peer instead of burning its deadline
+//! budget waiting for a fail-silent one (see
+//! `oaq_core::config::ProtocolConfig::membership_detection_latency` and the
+//! integration tests of the umbrella crate).
+//!
+//! ## Example
+//!
+//! ```
+//! use oaq_membership::{MembershipConfig, MembershipSim};
+//!
+//! let mut sim = MembershipSim::new(&MembershipConfig::plane(10), 7);
+//! sim.fail_node(3, 50.0);
+//! sim.run_until(80.0);
+//! // Every surviving node eventually suspects node 3...
+//! assert!(sim.all_alive_suspect(3));
+//! // ...and nobody falsely suspects a live node.
+//! assert_eq!(sim.false_suspicions(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod view;
+
+pub use service::{MembershipConfig, MembershipSim};
+pub use view::{MembershipView, PeerStatus};

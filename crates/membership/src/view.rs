@@ -1,0 +1,163 @@
+//! Per-node membership views.
+
+use std::collections::HashMap;
+
+/// What one node believes about one peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeerStatus {
+    /// No evidence either way yet (start-up).
+    Unknown,
+    /// Believed alive (heard directly or no standing suspicion).
+    Alive,
+    /// Suspected failed since the contained time.
+    Suspected {
+        /// When the suspicion was (first) raised, minutes.
+        since: f64,
+    },
+}
+
+/// One node's view of the group.
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    /// Most recent *direct* evidence (heartbeat received) per peer; only
+    /// direct silence raises suspicions.
+    last_direct: HashMap<usize, f64>,
+    /// Most recent evidence from *any* source (direct or gossiped) per
+    /// peer; used to reject stale suspicion rumors, so rehabilitation
+    /// propagates as far as suspicion does.
+    last_evidence: HashMap<usize, f64>,
+    /// Standing suspicions: peer → suspected-since.
+    suspected: HashMap<usize, f64>,
+}
+
+impl MembershipView {
+    /// An empty view.
+    #[must_use]
+    pub fn new() -> Self {
+        MembershipView {
+            last_direct: HashMap::new(),
+            last_evidence: HashMap::new(),
+            suspected: HashMap::new(),
+        }
+    }
+
+    /// Records a heartbeat received directly from `peer` at `now`; clears
+    /// any suspicion older than this evidence.
+    pub fn record_direct(&mut self, peer: usize, now: f64) {
+        let e = self.last_direct.entry(peer).or_insert(now);
+        *e = e.max(now);
+        self.record_evidence(peer, now);
+    }
+
+    /// Records gossiped evidence that `peer` was alive at `t`; clears any
+    /// suspicion older than the evidence.
+    pub fn record_evidence(&mut self, peer: usize, t: f64) {
+        let e = self.last_evidence.entry(peer).or_insert(t);
+        *e = e.max(t);
+        if let Some(&since) = self.suspected.get(&peer) {
+            if *e > since {
+                self.suspected.remove(&peer);
+            }
+        }
+    }
+
+    /// Raises a suspicion of `peer` as of `since`, unless fresher evidence
+    /// (direct or gossiped) contradicts it. Returns `true` if the suspicion
+    /// stands.
+    pub fn suspect(&mut self, peer: usize, since: f64) -> bool {
+        if self.last_evidence.get(&peer).is_some_and(|&d| d > since) {
+            return false;
+        }
+        let e = self.suspected.entry(peer).or_insert(since);
+        *e = e.min(since);
+        true
+    }
+
+    /// The freshest evidence records (for gossip piggybacking).
+    #[must_use]
+    pub fn evidence(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> =
+            self.last_evidence.iter().map(|(&p, &t)| (p, t)).collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v
+    }
+
+    /// Current status of `peer`.
+    #[must_use]
+    pub fn status(&self, peer: usize) -> PeerStatus {
+        if let Some(&since) = self.suspected.get(&peer) {
+            PeerStatus::Suspected { since }
+        } else if self.last_direct.contains_key(&peer) {
+            PeerStatus::Alive
+        } else {
+            PeerStatus::Unknown
+        }
+    }
+
+    /// `true` when `peer` is currently suspected.
+    #[must_use]
+    pub fn is_suspected(&self, peer: usize) -> bool {
+        matches!(self.status(peer), PeerStatus::Suspected { .. })
+    }
+
+    /// The standing suspicion records (for gossip piggybacking).
+    #[must_use]
+    pub fn suspicions(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.suspected.iter().map(|(&p, &t)| (p, t)).collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v
+    }
+
+    /// Most recent direct-contact time with `peer`, if any.
+    #[must_use]
+    pub fn last_direct(&self, peer: usize) -> Option<f64> {
+        self.last_direct.get(&peer).copied()
+    }
+}
+
+impl Default for MembershipView {
+    fn default() -> Self {
+        MembershipView::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_evidence_beats_older_rumor() {
+        let mut v = MembershipView::new();
+        v.record_direct(3, 10.0);
+        assert!(!v.suspect(3, 9.0), "stale rumor rejected");
+        assert_eq!(v.status(3), PeerStatus::Alive);
+        assert!(v.suspect(3, 11.0), "fresher suspicion stands");
+        assert!(v.is_suspected(3));
+    }
+
+    #[test]
+    fn fresh_direct_contact_clears_suspicion() {
+        let mut v = MembershipView::new();
+        v.suspect(5, 4.0);
+        assert!(v.is_suspected(5));
+        v.record_direct(5, 6.0);
+        assert_eq!(v.status(5), PeerStatus::Alive);
+    }
+
+    #[test]
+    fn earliest_suspicion_time_is_kept() {
+        let mut v = MembershipView::new();
+        v.suspect(1, 8.0);
+        v.suspect(1, 5.0);
+        assert_eq!(v.status(1), PeerStatus::Suspected { since: 5.0 });
+        assert_eq!(v.suspicions(), vec![(1, 5.0)]);
+    }
+
+    #[test]
+    fn unknown_until_first_evidence() {
+        let v = MembershipView::new();
+        assert_eq!(v.status(9), PeerStatus::Unknown);
+        assert!(!v.is_suspected(9));
+        assert_eq!(v.last_direct(9), None);
+    }
+}

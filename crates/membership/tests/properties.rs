@@ -1,0 +1,83 @@
+//! Property-based tests of the membership service across randomized group
+//! sizes, failure schedules and loss rates.
+
+use oaq_membership::{MembershipConfig, MembershipSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dead_nodes_are_always_detected_within_the_bound(
+        n in 4usize..16,
+        victim_frac in 0.0f64..1.0,
+        fail_at in 10.0f64..60.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MembershipConfig::plane(n);
+        let victim = ((victim_frac * n as f64) as usize).min(n - 1);
+        let mut sim = MembershipSim::new(&cfg, seed);
+        sim.fail_node(victim, fail_at);
+        sim.run_until(fail_at + cfg.detection_bound());
+        prop_assert!(sim.all_alive_suspect(victim), "n={n} victim={victim}");
+        prop_assert_eq!(sim.false_suspicions(), 0);
+    }
+
+    #[test]
+    fn healthy_groups_never_accumulate_suspicion(
+        n in 4usize..14,
+        horizon in 20.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MembershipConfig::plane(n);
+        let mut sim = MembershipSim::new(&cfg, seed);
+        sim.run_until(horizon);
+        prop_assert_eq!(sim.false_suspicions(), 0);
+    }
+
+    #[test]
+    fn loss_never_permanently_poisons_views(
+        n in 4usize..10,
+        loss in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        // Under loss, *transient* false suspicions are expected at any
+        // snapshot; the property that matters is that evidence gossip keeps
+        // healing them, so their count shows no upward trend over time.
+        let mut cfg = MembershipConfig::plane(n);
+        cfg.loss = loss;
+        let mut sim = MembershipSim::new(&cfg, seed);
+        let mut early = 0usize;
+        let mut late = 0usize;
+        for i in 1..=10 {
+            sim.run_until(200.0 * f64::from(i));
+            if i <= 5 {
+                early += sim.false_suspicions();
+            } else {
+                late += sim.false_suspicions();
+            }
+        }
+        prop_assert!(
+            late <= early + 3 * n,
+            "loss={loss}: suspicions trend up: early {early} vs late {late}"
+        );
+        // And a lossless group must be exactly clean.
+        if loss == 0.0 {
+            prop_assert_eq!(sim.false_suspicions(), 0);
+        }
+    }
+
+    #[test]
+    fn two_failures_both_detected(
+        n in 6usize..14,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MembershipConfig::plane(n);
+        let mut sim = MembershipSim::new(&cfg, seed);
+        sim.fail_node(1, 20.0);
+        sim.fail_node(n - 2, 35.0);
+        sim.run_until(35.0 + cfg.detection_bound());
+        prop_assert!(sim.all_alive_suspect(1));
+        prop_assert!(sim.all_alive_suspect(n - 2));
+    }
+}

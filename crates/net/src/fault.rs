@@ -1,0 +1,102 @@
+//! Fail-silent fault injection.
+
+use std::collections::HashMap;
+
+use oaq_sim::SimTime;
+
+use crate::message::NodeId;
+
+/// A schedule of fail-silent node failures.
+///
+/// A fail-silent node stops sending and receiving at its failure instant and
+/// never recovers (the paper's assumed satellite failure mode; its
+/// backward-messaging option exists precisely to tolerate a peer going
+/// fail-silent mid-computation).
+///
+/// # Examples
+///
+/// ```
+/// use oaq_net::fault::FaultPlan;
+/// use oaq_net::NodeId;
+/// use oaq_sim::SimTime;
+///
+/// let mut plan = FaultPlan::new();
+/// plan.fail_at(NodeId(3), SimTime::new(10.0));
+/// assert!(!plan.is_failed(NodeId(3), SimTime::new(9.9)));
+/// assert!(plan.is_failed(NodeId(3), SimTime::new(10.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    failures: HashMap<NodeId, SimTime>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `node` to go fail-silent at `at`. If the node already has a
+    /// failure time the earlier one wins.
+    pub fn fail_at(&mut self, node: NodeId, at: SimTime) {
+        self.failures
+            .entry(node)
+            .and_modify(|t| *t = (*t).min(at))
+            .or_insert(at);
+    }
+
+    /// `true` if `node` has failed at or before `now`.
+    #[must_use]
+    pub fn is_failed(&self, node: NodeId, now: SimTime) -> bool {
+        self.failures.get(&node).is_some_and(|&t| t <= now)
+    }
+
+    /// The failure time of `node`, if scheduled.
+    #[must_use]
+    pub fn failure_time(&self, node: NodeId) -> Option<SimTime> {
+        self.failures.get(&node).copied()
+    }
+
+    /// Number of scheduled failures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// `true` when no failures are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscheduled_nodes_never_fail() {
+        let plan = FaultPlan::new();
+        assert!(!plan.is_failed(NodeId(0), SimTime::new(1e9)));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn earlier_failure_wins() {
+        let mut plan = FaultPlan::new();
+        plan.fail_at(NodeId(1), SimTime::new(5.0));
+        plan.fail_at(NodeId(1), SimTime::new(3.0));
+        plan.fail_at(NodeId(1), SimTime::new(9.0));
+        assert_eq!(plan.failure_time(NodeId(1)), Some(SimTime::new(3.0)));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut plan = FaultPlan::new();
+        plan.fail_at(NodeId(2), SimTime::new(4.0));
+        assert!(plan.is_failed(NodeId(2), SimTime::new(4.0)));
+        assert!(!plan.is_failed(NodeId(2), SimTime::new(3.999_999)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Link delay and loss models.
+
+use oaq_sim::{SimDuration, SimRng};
+
+/// Per-hop link behavior: a uniformly distributed delay in
+/// `[min_delay, max_delay]` and an independent loss probability.
+///
+/// The paper's protocol analysis depends only on δ, the *maximum*
+/// inter-satellite message-delivery delay (it appears in TC-2's local
+/// threshold `τ − (nδ + Tg)`), so the delay distribution is bounded by
+/// construction and [`LinkSpec::max_delay`] is exactly that δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    min_delay: f64,
+    max_delay: f64,
+    loss_probability: f64,
+}
+
+/// Error constructing a [`LinkSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidLinkSpec(String);
+
+impl std::fmt::Display for InvalidLinkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid link spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLinkSpec {}
+
+impl LinkSpec {
+    /// Creates a lossless link with delay in `[min_delay, max_delay]`
+    /// minutes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLinkSpec`] when `0 ≤ min ≤ max` is violated or the
+    /// bounds are non-finite.
+    pub fn new(min_delay: f64, max_delay: f64) -> Result<Self, InvalidLinkSpec> {
+        if !(min_delay.is_finite() && max_delay.is_finite()) {
+            return Err(InvalidLinkSpec("delays must be finite".to_string()));
+        }
+        if min_delay < 0.0 || min_delay > max_delay {
+            return Err(InvalidLinkSpec(format!(
+                "need 0 <= min <= max, got [{min_delay}, {max_delay}]"
+            )));
+        }
+        Ok(LinkSpec {
+            min_delay,
+            max_delay,
+            loss_probability: 0.0,
+        })
+    }
+
+    /// A fixed-delay lossless link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or non-finite.
+    #[must_use]
+    pub fn fixed(delay: f64) -> Self {
+        LinkSpec::new(delay, delay).expect("fixed delay must be non-negative and finite")
+    }
+
+    /// Sets the per-message loss probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLinkSpec`] if `p` is outside `[0, 1)`. (Probability
+    /// 1 would make every send a silent no-op, which is never what a model
+    /// wants; use a [`crate::fault::FaultPlan`] to kill a node instead.)
+    pub fn with_loss(mut self, p: f64) -> Result<Self, InvalidLinkSpec> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(InvalidLinkSpec(format!("loss probability {p} not in [0,1)")));
+        }
+        self.loss_probability = p;
+        Ok(self)
+    }
+
+    /// The maximum delay δ this link can impose.
+    #[must_use]
+    pub fn max_delay(&self) -> SimDuration {
+        SimDuration::new(self.max_delay)
+    }
+
+    /// The minimum delay.
+    #[must_use]
+    pub fn min_delay(&self) -> SimDuration {
+        SimDuration::new(self.min_delay)
+    }
+
+    /// The per-message loss probability.
+    #[must_use]
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Samples one message delay.
+    pub fn sample_delay(&self, rng: &mut SimRng) -> SimDuration {
+        if self.min_delay == self.max_delay {
+            return SimDuration::new(self.min_delay);
+        }
+        SimDuration::new(rng.uniform(self.min_delay, self.max_delay))
+    }
+
+    /// Samples whether one message is lost.
+    pub fn sample_loss(&self, rng: &mut SimRng) -> bool {
+        self.loss_probability > 0.0 && rng.chance(self.loss_probability)
+    }
+}
+
+impl Default for LinkSpec {
+    /// A lossless link with delay uniform in `[0.02, 0.10]` minutes
+    /// (1.2–6 s), a plausible crosslink store-and-forward budget; its
+    /// `max_delay` is the δ = 0.1 min used throughout the workspace's
+    /// default protocol configuration.
+    fn default() -> Self {
+        LinkSpec::new(0.02, 0.10).expect("default bounds are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_respect_bounds() {
+        let spec = LinkSpec::new(0.05, 0.2).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let d = spec.sample_delay(&mut rng).as_minutes();
+            assert!((0.05..=0.2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn fixed_delay_is_deterministic() {
+        let spec = LinkSpec::fixed(0.1);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(spec.sample_delay(&mut rng).as_minutes(), 0.1);
+        assert_eq!(spec.max_delay().as_minutes(), 0.1);
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let spec = LinkSpec::fixed(0.1).with_loss(0.3).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        let lost = (0..10_000).filter(|_| spec.sample_loss(&mut rng)).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn lossless_never_drops() {
+        let spec = LinkSpec::fixed(0.1);
+        let mut rng = SimRng::seed_from(4);
+        assert!((0..100).all(|_| !spec.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(LinkSpec::new(-0.1, 0.2).is_err());
+        assert!(LinkSpec::new(0.3, 0.2).is_err());
+        assert!(LinkSpec::new(0.0, f64::NAN).is_err());
+        assert!(LinkSpec::fixed(0.1).with_loss(1.0).is_err());
+        assert!(LinkSpec::fixed(0.1).with_loss(-0.1).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LinkSpec::new(2.0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("invalid link spec"));
+    }
+}

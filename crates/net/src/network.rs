@@ -1,0 +1,396 @@
+//! The network facade: topology + links + faults + delivery accounting.
+
+use oaq_sim::{SimRng, SimTime};
+
+use crate::fault::FaultPlan;
+use crate::link::LinkSpec;
+use crate::message::{Envelope, NodeId};
+use crate::topology::Topology;
+
+/// What happened to one send attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendOutcome<P> {
+    /// The message will arrive; schedule `envelope.arrival` in your event
+    /// queue.
+    Delivered(Envelope<P>),
+    /// The sender had already gone fail-silent.
+    SenderFailed,
+    /// The receiver is fail-silent: the message vanishes (fail-silent nodes
+    /// cannot NACK — this is what the protocol's wait-timeout covers).
+    ReceiverFailed,
+    /// No crosslink exists between the two nodes.
+    NotLinked,
+    /// The link dropped the message.
+    Lost,
+}
+
+impl<P> SendOutcome<P> {
+    /// The envelope, if the message will be delivered.
+    #[must_use]
+    pub fn delivered(self) -> Option<Envelope<P>> {
+        match self {
+            SendOutcome::Delivered(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// `true` when the message will arrive.
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, SendOutcome::Delivered(_))
+    }
+}
+
+/// Cumulative network counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Send attempts.
+    pub attempts: u64,
+    /// Messages that will be (or were) delivered.
+    pub delivered: u64,
+    /// Messages lost on the link.
+    pub lost: u64,
+    /// Sends blocked by a failed endpoint.
+    pub endpoint_failures: u64,
+    /// Sends between unlinked nodes.
+    pub unlinked: u64,
+}
+
+/// A simulated crosslink network.
+///
+/// See the [crate-level example](crate) for usage. The type parameter `P` is
+/// the application payload carried by [`Envelope`]s.
+#[derive(Debug, Clone)]
+pub struct Network<P> {
+    topology: Topology,
+    link: LinkSpec,
+    faults: FaultPlan,
+    stats: NetworkStats,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P> Network<P> {
+    /// Creates a fault-free network.
+    #[must_use]
+    pub fn new(topology: Topology, link: LinkSpec) -> Self {
+        Network {
+            topology,
+            link,
+            faults: FaultPlan::new(),
+            stats: NetworkStats::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access (e.g. to unlink a deorbited satellite).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The link model shared by all links.
+    #[must_use]
+    pub fn link(&self) -> &LinkSpec {
+        &self.link
+    }
+
+    /// The fault plan.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable fault-plan access (to inject failures mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Attempts to send `payload` from `src` to `dst` at time `now`.
+    ///
+    /// On success the returned envelope carries the arrival time; the caller
+    /// schedules the delivery in its own event queue. Failure outcomes are
+    /// silent at the protocol level (no NACKs), mirroring real crosslinks.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> SendOutcome<P> {
+        self.stats.attempts += 1;
+        if self.faults.is_failed(src, now) {
+            self.stats.endpoint_failures += 1;
+            return SendOutcome::SenderFailed;
+        }
+        if !self.topology.are_linked(src, dst) {
+            self.stats.unlinked += 1;
+            return SendOutcome::NotLinked;
+        }
+        if self.link.sample_loss(rng) {
+            self.stats.lost += 1;
+            return SendOutcome::Lost;
+        }
+        let arrival = now + self.link.sample_delay(rng);
+        // Fail-silence is evaluated at arrival: a receiver that dies while
+        // the message is in flight never processes it.
+        if self.faults.is_failed(dst, arrival) {
+            self.stats.endpoint_failures += 1;
+            return SendOutcome::ReceiverFailed;
+        }
+        self.stats.delivered += 1;
+        SendOutcome::Delivered(Envelope {
+            src,
+            dst,
+            sent_at: now,
+            arrival,
+            payload,
+        })
+    }
+}
+
+impl<P> Network<P> {
+    /// Attempts a multi-hop send: finds the shortest path from `src` to
+    /// `dst` through nodes that are alive *now*, samples an independent
+    /// delay (and loss) per hop, and returns the end-to-end envelope.
+    ///
+    /// Intermediate relays that die while the message is in transit are
+    /// checked at their per-hop arrival instants, so a relay failing
+    /// mid-route loses the message — store-and-forward semantics.
+    pub fn send_routed(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> SendOutcome<P> {
+        self.stats.attempts += 1;
+        if self.faults.is_failed(src, now) {
+            self.stats.endpoint_failures += 1;
+            return SendOutcome::SenderFailed;
+        }
+        let Some(path) = self.alive_path(src, dst, now) else {
+            self.stats.unlinked += 1;
+            return SendOutcome::NotLinked;
+        };
+        let mut t = now;
+        for window in path.windows(2) {
+            let (hop_src, hop_dst) = (window[0], window[1]);
+            if self.faults.is_failed(hop_src, t) {
+                // The relay died before forwarding.
+                self.stats.endpoint_failures += 1;
+                return SendOutcome::ReceiverFailed;
+            }
+            if self.link.sample_loss(rng) {
+                self.stats.lost += 1;
+                return SendOutcome::Lost;
+            }
+            t += self.link.sample_delay(rng);
+            if self.faults.is_failed(hop_dst, t) {
+                self.stats.endpoint_failures += 1;
+                return SendOutcome::ReceiverFailed;
+            }
+        }
+        self.stats.delivered += 1;
+        SendOutcome::Delivered(Envelope {
+            src,
+            dst,
+            sent_at: now,
+            arrival: t,
+            payload,
+        })
+    }
+
+    /// Shortest path from `src` to `dst` over nodes alive at `now` (BFS);
+    /// `None` when the live subgraph is disconnected.
+    fn alive_path(&self, src: NodeId, dst: NodeId, now: SimTime) -> Option<Vec<NodeId>> {
+        use std::collections::{HashMap, VecDeque};
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut frontier = VecDeque::from([src]);
+        while let Some(node) = frontier.pop_front() {
+            for nb in self.topology.neighbors(node) {
+                if nb == src || parent.contains_key(&nb) || self.faults.is_failed(nb, now) {
+                    continue;
+                }
+                parent.insert(nb, node);
+                if nb == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                frontier.push_back(nb);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(loss: f64) -> Network<u32> {
+        let link = LinkSpec::new(0.02, 0.1)
+            .unwrap()
+            .with_loss(loss)
+            .unwrap();
+        Network::new(Topology::ring(6), link)
+    }
+
+    #[test]
+    fn adjacent_send_is_delivered_within_delta() {
+        let mut n = net(0.0);
+        let mut rng = SimRng::seed_from(1);
+        let out = n.send(NodeId(0), NodeId(1), 7, SimTime::new(5.0), &mut rng);
+        let e = out.delivered().expect("delivered");
+        assert_eq!(e.payload, 7);
+        assert!(e.latency().as_minutes() <= 0.1);
+        assert!(e.arrival >= SimTime::new(5.02));
+        assert_eq!(n.stats().delivered, 1);
+    }
+
+    #[test]
+    fn non_adjacent_send_fails() {
+        let mut n = net(0.0);
+        let mut rng = SimRng::seed_from(2);
+        let out = n.send(NodeId(0), NodeId(3), 0, SimTime::ZERO, &mut rng);
+        assert_eq!(out, SendOutcome::NotLinked);
+        assert_eq!(n.stats().unlinked, 1);
+    }
+
+    #[test]
+    fn failed_sender_cannot_send() {
+        let mut n = net(0.0);
+        n.faults_mut().fail_at(NodeId(0), SimTime::new(1.0));
+        let mut rng = SimRng::seed_from(3);
+        let before = n.send(NodeId(0), NodeId(1), 0, SimTime::new(0.5), &mut rng);
+        assert!(before.is_delivered());
+        let after = n.send(NodeId(0), NodeId(1), 0, SimTime::new(1.5), &mut rng);
+        assert_eq!(after, SendOutcome::SenderFailed);
+    }
+
+    #[test]
+    fn receiver_failing_in_flight_loses_message() {
+        let mut n = net(0.0);
+        // Receiver dies 0.01 min after the send: every delay >= 0.02 min, so
+        // the message is always in flight when the failure hits.
+        n.faults_mut().fail_at(NodeId(1), SimTime::new(1.01));
+        let mut rng = SimRng::seed_from(4);
+        let out = n.send(NodeId(0), NodeId(1), 0, SimTime::new(1.0), &mut rng);
+        assert_eq!(out, SendOutcome::ReceiverFailed);
+    }
+
+    #[test]
+    fn loss_statistics_accumulate() {
+        let mut n = net(0.5);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let _ = n.send(NodeId(2), NodeId(3), 0, SimTime::ZERO, &mut rng);
+        }
+        let s = n.stats();
+        assert_eq!(s.attempts, 1000);
+        assert_eq!(s.delivered + s.lost, 1000);
+        assert!((s.lost as f64 - 500.0).abs() < 60.0, "lost {}", s.lost);
+    }
+
+    #[test]
+    fn routed_send_crosses_the_ring() {
+        let mut n = net(0.0);
+        let mut rng = SimRng::seed_from(10);
+        let out = n.send_routed(NodeId(0), NodeId(3), 9, SimTime::new(1.0), &mut rng);
+        let e = out.delivered().expect("3 hops exist");
+        // 3 hops, each within [0.02, 0.1].
+        let lat = e.latency().as_minutes();
+        assert!((0.06..=0.3).contains(&lat), "latency {lat}");
+        assert_eq!(e.payload, 9);
+    }
+
+    #[test]
+    fn routed_send_avoids_dead_relays() {
+        let mut n = net(0.0);
+        // Kill node 1: the 0→2 route must go the long way (0-5-4-3-2).
+        n.faults_mut().fail_at(NodeId(1), SimTime::ZERO);
+        let mut rng = SimRng::seed_from(11);
+        let out = n.send_routed(NodeId(0), NodeId(2), 0, SimTime::new(1.0), &mut rng);
+        let e = out.delivered().expect("long-way route exists");
+        assert!(e.latency().as_minutes() >= 4.0 * 0.02, "four hops minimum");
+    }
+
+    #[test]
+    fn routed_send_fails_when_partitioned() {
+        let mut n = net(0.0);
+        n.faults_mut().fail_at(NodeId(1), SimTime::ZERO);
+        n.faults_mut().fail_at(NodeId(5), SimTime::ZERO);
+        let mut rng = SimRng::seed_from(12);
+        let out = n.send_routed(NodeId(0), NodeId(3), 0, SimTime::new(1.0), &mut rng);
+        assert_eq!(out, SendOutcome::NotLinked);
+    }
+
+    #[test]
+    fn routed_send_to_self_is_instant() {
+        let mut n = net(0.0);
+        let mut rng = SimRng::seed_from(13);
+        let e = n
+            .send_routed(NodeId(2), NodeId(2), 7, SimTime::new(3.0), &mut rng)
+            .delivered()
+            .unwrap();
+        assert_eq!(e.arrival, SimTime::new(3.0));
+    }
+
+    #[test]
+    fn routed_loss_applies_per_hop() {
+        let mut n = net(0.3);
+        let mut rng = SimRng::seed_from(14);
+        let mut delivered = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if n
+                .send_routed(NodeId(0), NodeId(3), 0, SimTime::new(1.0), &mut rng)
+                .is_delivered()
+            {
+                delivered += 1;
+            }
+        }
+        // Three hops at 70% each ≈ 34%.
+        let rate = f64::from(delivered) / f64::from(trials);
+        assert!((rate - 0.343).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn unlinking_partitions() {
+        let mut n = net(0.0);
+        n.topology_mut().unlink(NodeId(0), NodeId(1));
+        let mut rng = SimRng::seed_from(6);
+        assert_eq!(
+            n.send(NodeId(0), NodeId(1), 0, SimTime::ZERO, &mut rng),
+            SendOutcome::NotLinked
+        );
+    }
+}

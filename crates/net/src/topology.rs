@@ -1,0 +1,258 @@
+//! Crosslink topologies.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::message::NodeId;
+
+/// An undirected adjacency structure over [`NodeId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_net::topology::Topology;
+/// use oaq_net::NodeId;
+/// let t = Topology::ring(5);
+/// assert!(t.are_linked(NodeId(0), NodeId(4))); // wraps around
+/// assert_eq!(t.neighbors(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    adjacency: HashMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// A ring of `n` nodes `0..n` — one orbital plane's in-plane crosslinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn ring(n: u32) -> Self {
+        assert!(n >= 2, "a ring needs at least two nodes");
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.link(NodeId(i), NodeId((i + 1) % n));
+        }
+        t
+    }
+
+    /// A ring of `n` nodes where each node also links to peers up to
+    /// `max_skip` positions away (chords). Crosslink ranges usually span
+    /// more than the adjacent satellite; chords let coordination skip over
+    /// a fail-silent peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `max_skip == 0`.
+    #[must_use]
+    pub fn ring_with_chords(n: u32, max_skip: u32) -> Self {
+        assert!(n >= 2, "a ring needs at least two nodes");
+        assert!(max_skip >= 1, "need at least adjacent links");
+        let mut t = Topology::new();
+        for i in 0..n {
+            for skip in 1..=max_skip.min(n - 1) {
+                t.link(NodeId(i), NodeId((i + skip) % n));
+            }
+        }
+        t
+    }
+
+    /// A constellation grid: `planes` rings of `per_plane` nodes each, with
+    /// each node additionally linked to the same-slot node in the adjacent
+    /// planes (left and right). Node numbering: `plane * per_plane + slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes == 0` or `per_plane < 2`.
+    #[must_use]
+    pub fn constellation_grid(planes: u32, per_plane: u32) -> Self {
+        assert!(planes > 0, "need at least one plane");
+        assert!(per_plane >= 2, "need at least two satellites per plane");
+        let mut t = Topology::new();
+        let id = |p: u32, s: u32| NodeId(p * per_plane + s);
+        for p in 0..planes {
+            for s in 0..per_plane {
+                t.link(id(p, s), id(p, (s + 1) % per_plane));
+                if planes > 1 {
+                    t.link(id(p, s), id((p + 1) % planes, s));
+                }
+            }
+        }
+        t
+    }
+
+    /// Adds an undirected link (idempotent; self-links are ignored).
+    pub fn link(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Removes a link if present.
+    pub fn unlink(&mut self, a: NodeId, b: NodeId) {
+        if let Some(s) = self.adjacency.get_mut(&a) {
+            s.remove(&b);
+        }
+        if let Some(s) = self.adjacency.get_mut(&b) {
+            s.remove(&a);
+        }
+    }
+
+    /// `true` when `a` and `b` share a link.
+    #[must_use]
+    pub fn are_linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(&a)
+            .is_some_and(|s| s.contains(&b))
+    }
+
+    /// Neighbors of `a` in ascending id order.
+    #[must_use]
+    pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
+        self.adjacency
+            .get(&a)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All nodes that appear in any link.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.adjacency.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Hop count of the shortest path from `a` to `b` (BFS), or `None` when
+    /// disconnected or either node is unknown.
+    #[must_use]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if !self.adjacency.contains_key(&a) || !self.adjacency.contains_key(&b) {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let mut seen: HashSet<NodeId> = HashSet::from([a]);
+        let mut frontier = VecDeque::from([(a, 0usize)]);
+        while let Some((node, d)) = frontier.pop_front() {
+            for &n in &self.adjacency[&node] {
+                if n == b {
+                    return Some(d + 1);
+                }
+                if seen.insert(n) {
+                    frontier.push_back((n, d + 1));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::ring(6);
+        assert!(t.are_linked(NodeId(5), NodeId(0)));
+        assert!(!t.are_linked(NodeId(0), NodeId(3)));
+        assert_eq!(t.node_count(), 6);
+    }
+
+    #[test]
+    fn grid_links_in_and_across_planes() {
+        let t = Topology::constellation_grid(3, 4);
+        assert_eq!(t.node_count(), 12);
+        // In-plane ring: node 0 and 3 are adjacent (wrap).
+        assert!(t.are_linked(NodeId(0), NodeId(3)));
+        // Cross-plane: node 0 (plane 0, slot 0) and node 4 (plane 1, slot 0).
+        assert!(t.are_linked(NodeId(0), NodeId(4)));
+        // Plane wrap: plane 2 links back to plane 0.
+        assert!(t.are_linked(NodeId(8), NodeId(0)));
+    }
+
+    #[test]
+    fn single_plane_grid_has_no_cross_links() {
+        let t = Topology::constellation_grid(1, 4);
+        assert_eq!(t.neighbors(NodeId(0)), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn self_links_ignored() {
+        let mut t = Topology::new();
+        t.link(NodeId(1), NodeId(1));
+        assert_eq!(t.node_count(), 0);
+    }
+
+    #[test]
+    fn unlink_removes_both_directions() {
+        let mut t = Topology::ring(3);
+        t.unlink(NodeId(0), NodeId(1));
+        assert!(!t.are_linked(NodeId(0), NodeId(1)));
+        assert!(!t.are_linked(NodeId(1), NodeId(0)));
+        assert!(t.are_linked(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn hop_distance_on_ring() {
+        let t = Topology::ring(8);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(1)), Some(1));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(6)), Some(2));
+    }
+
+    #[test]
+    fn hop_distance_disconnected() {
+        let mut t = Topology::new();
+        t.link(NodeId(0), NodeId(1));
+        t.link(NodeId(2), NodeId(3));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(3)), None);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(9)), None);
+    }
+
+    #[test]
+    fn chords_extend_reach() {
+        let t = Topology::ring_with_chords(8, 3);
+        assert!(t.are_linked(NodeId(0), NodeId(3)));
+        assert!(!t.are_linked(NodeId(0), NodeId(4)));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(4)), Some(2));
+    }
+
+    #[test]
+    fn chords_saturate_to_clique() {
+        let t = Topology::ring_with_chords(4, 9);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    assert!(t.are_linked(NodeId(a), NodeId(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_sorted() {
+        let t = Topology::ring(4);
+        assert_eq!(
+            t.nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+}

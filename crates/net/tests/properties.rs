@@ -1,0 +1,92 @@
+//! Property-based tests of topologies and the network facade.
+
+use oaq_net::fault::FaultPlan;
+use oaq_net::link::LinkSpec;
+use oaq_net::message::WirePayload;
+use oaq_net::topology::Topology;
+use oaq_net::{Network, NodeId};
+use oaq_sim::{SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ring_distance_is_min_of_two_ways(n in 3u32..40, a in 0u32..40, b in 0u32..40) {
+        prop_assume!(a < n && b < n);
+        let t = Topology::ring(n);
+        let d = t.hop_distance(NodeId(a), NodeId(b)).unwrap();
+        let fwd = (b + n - a) % n;
+        let expected = fwd.min(n - fwd) as usize;
+        prop_assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn grid_degree_is_bounded(planes in 2u32..6, per in 3u32..8) {
+        let t = Topology::constellation_grid(planes, per);
+        for node in t.nodes() {
+            let deg = t.neighbors(node).len();
+            // 2 in-plane + up to 2 cross-plane.
+            prop_assert!((2..=4).contains(&deg), "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn wire_payload_roundtrips(tag in any::<u8>(), body in prop::collection::vec(any::<u8>(), 0..256)) {
+        let p = WirePayload::new(tag, body);
+        let decoded = WirePayload::decode(&p.encode()).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn delivery_latency_respects_link_bounds(
+        lo in 0.0f64..0.5,
+        width in 0.001f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + width;
+        let spec = LinkSpec::new(lo, hi).unwrap();
+        let mut net: Network<u8> = Network::new(Topology::ring(4), spec);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            let out = net.send(NodeId(0), NodeId(1), 0, SimTime::new(1.0), &mut rng);
+            let env = out.delivered().unwrap();
+            let lat = env.latency().as_minutes();
+            prop_assert!(lat >= lo - 1e-12 && lat <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_partition_attempts(
+        loss in 0.0f64..0.9,
+        seed in any::<u64>(),
+        sends in 1usize..300,
+    ) {
+        let spec = LinkSpec::fixed(0.1).with_loss(loss).unwrap();
+        let mut net: Network<u8> = Network::new(Topology::ring(5), spec);
+        net.faults_mut().fail_at(NodeId(2), SimTime::new(0.0));
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..sends {
+            let (src, dst) = match i % 3 {
+                0 => (NodeId(0), NodeId(1)), // linked
+                1 => (NodeId(0), NodeId(3)), // not linked
+                _ => (NodeId(1), NodeId(2)), // dead receiver
+            };
+            let _ = net.send(src, dst, 0, SimTime::new(1.0), &mut rng);
+        }
+        let s = net.stats();
+        prop_assert_eq!(
+            s.delivered + s.lost + s.endpoint_failures + s.unlinked,
+            s.attempts
+        );
+        prop_assert_eq!(s.attempts, sends as u64);
+    }
+
+    #[test]
+    fn earliest_failure_time_wins(times in prop::collection::vec(0.0f64..100.0, 1..20)) {
+        let mut plan = FaultPlan::new();
+        for &t in &times {
+            plan.fail_at(NodeId(9), SimTime::new(t));
+        }
+        let min = times.iter().copied().fold(f64::MAX, f64::min);
+        prop_assert_eq!(plan.failure_time(NodeId(9)), Some(SimTime::new(min)));
+    }
+}

@@ -1,0 +1,54 @@
+//! # oaq-orbit — constellation geometry for the OAQ reference system
+//!
+//! The paper evaluates OAQ on a JPL reference constellation: 7 orbital
+//! planes, 14 active micro-satellites plus 2 in-orbit spares per plane,
+//! orbit period θ = 90 min, single-satellite coverage time Tc = 9 min.
+//! The authors probed its geometry with the proprietary Satellite Orbit
+//! Analysis Program (SOAP); this crate implements the subset of that
+//! functionality the evaluation actually uses, from scratch, on a
+//! spherical-earth circular-orbit model:
+//!
+//! * [`orbit::CircularOrbit`] — sub-satellite ground tracks;
+//! * [`footprint::Footprint`] — coverage cones, coverage time Tc;
+//! * [`plane::OrbitalPlane`] — satellites in a plane, failures, in-orbit
+//!   spares, and the paper's *phasing adjustment* (survivors redistribute
+//!   evenly, so the revisit time is `Tr[k] ≈ θ/k`);
+//! * [`constellation::Constellation`] — the full 7 × (14 + 2) system;
+//! * [`coverage::CoverageAnalysis`] — grid sampling of single/overlapped
+//!   coverage by latitude, reproducing the qualitative claims of the
+//!   paper's Figure 1 discussion;
+//! * [`revisit`] — the `Tr[k]/Tc` overlap–underlap classification driving
+//!   the QoS spectrum (paper Figures 2 and 5).
+//!
+//! ## Example
+//!
+//! ```
+//! use oaq_orbit::constellation::Constellation;
+//! use oaq_orbit::revisit::{classify, Regime};
+//!
+//! let c = Constellation::reference();
+//! assert_eq!(c.num_planes(), 7);
+//! assert_eq!(c.total_active(), 98);
+//! // With all 14 satellites active the plane footprints overlap...
+//! assert_eq!(classify(c.plane(0).revisit_time(), c.coverage_time()), Regime::Overlapping);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constellation;
+pub mod coverage;
+pub mod footprint;
+pub mod geo;
+pub mod orbit;
+pub mod plane;
+pub mod revisit;
+pub mod units;
+pub mod visibility;
+
+pub use constellation::Constellation;
+pub use footprint::Footprint;
+pub use geo::GroundPoint;
+pub use orbit::CircularOrbit;
+pub use plane::OrbitalPlane;
+pub use units::{Degrees, Km, Minutes, Radians};

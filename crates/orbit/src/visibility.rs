@@ -1,0 +1,289 @@
+//! Ground-station visibility and contact-window prediction.
+//!
+//! The OAQ protocol ends with an alert sent "to the ground"; a real
+//! deployment needs to know *when* a satellite can reach a ground station.
+//! This module predicts contact windows: intervals during which a satellite
+//! is above a site's minimum elevation angle.
+
+use crate::geo::{GroundPoint, EARTH_RADIUS};
+use crate::orbit::CircularOrbit;
+use crate::units::{Km, Minutes, Radians};
+
+/// Elevation angle of a satellite at altitude `altitude` whose sub-satellite
+/// point is `central_angle` away from the observer (spherical earth):
+///
+/// `tan ε = (cos γ − R/(R+h)) / sin γ`.
+///
+/// Returns −π/2 at the antipode limit; π/2 directly overhead.
+///
+/// # Panics
+///
+/// Panics if the altitude is non-positive or the angle is outside `[0, π]`.
+#[must_use]
+pub fn elevation_angle(central_angle: Radians, altitude: Km) -> Radians {
+    assert!(altitude.value() > 0.0, "altitude must be positive");
+    let g = central_angle.value();
+    assert!(
+        (0.0..=std::f64::consts::PI).contains(&g),
+        "central angle out of [0, π]"
+    );
+    if g == 0.0 {
+        return Radians(std::f64::consts::FRAC_PI_2);
+    }
+    let rho = EARTH_RADIUS.value() / (EARTH_RADIUS.value() + altitude.value());
+    Radians(((g.cos() - rho) / g.sin()).atan())
+}
+
+/// The maximum central angle at which a satellite at `altitude` is still at
+/// or above `min_elevation` — the visibility cone's ground radius.
+///
+/// # Panics
+///
+/// Panics on non-positive altitude or elevation outside `[0, π/2)`.
+#[must_use]
+pub fn visibility_radius(altitude: Km, min_elevation: Radians) -> Radians {
+    assert!(altitude.value() > 0.0, "altitude must be positive");
+    let e = min_elevation.value();
+    assert!(
+        (0.0..std::f64::consts::FRAC_PI_2).contains(&e),
+        "elevation out of [0, π/2)"
+    );
+    let rho = EARTH_RADIUS.value() / (EARTH_RADIUS.value() + altitude.value());
+    Radians((rho * e.cos()).acos() - e)
+}
+
+/// One predicted contact between a satellite and a ground site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactWindow {
+    /// Rise time (elevation crosses the mask upward).
+    pub rise: Minutes,
+    /// Set time.
+    pub set: Minutes,
+    /// Maximum elevation reached during the contact.
+    pub max_elevation: Radians,
+}
+
+impl ContactWindow {
+    /// Contact duration.
+    #[must_use]
+    pub fn duration(&self) -> Minutes {
+        Minutes(self.set.value() - self.rise.value())
+    }
+}
+
+/// Predicts the contact windows of one satellite over `site` within
+/// `[0, horizon]`, for a satellite flying `altitude` above the (spherical)
+/// earth with elevation mask `min_elevation`.
+///
+/// Scans at `step` resolution and refines each crossing by bisection to
+/// ~1e-6 min. Windows clipped by the horizon are reported as seen.
+///
+/// # Panics
+///
+/// Panics on non-positive horizon/step or invalid altitude/elevation.
+#[must_use]
+pub fn predict_contacts(
+    orbit: &CircularOrbit,
+    phase0: Radians,
+    site: &GroundPoint,
+    altitude: Km,
+    min_elevation: Radians,
+    horizon: Minutes,
+    step: Minutes,
+) -> Vec<ContactWindow> {
+    assert!(horizon.value() > 0.0, "horizon must be positive");
+    assert!(step.value() > 0.0, "step must be positive");
+    let max_angle = visibility_radius(altitude, min_elevation).value();
+    let visible = |t: f64| -> bool {
+        let sub = orbit.subsatellite_point(phase0, Minutes(t));
+        sub.central_angle(site).value() <= max_angle
+    };
+    let elevation_at = |t: f64| -> f64 {
+        let sub = orbit.subsatellite_point(phase0, Minutes(t));
+        elevation_angle(sub.central_angle(site), altitude).value()
+    };
+    let refine = |mut lo: f64, mut hi: f64| -> f64 {
+        // Invariant: visibility differs between lo and hi.
+        let lo_vis = visible(lo);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if visible(mid) == lo_vis {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    let mut windows = Vec::new();
+    let mut t = 0.0;
+    let mut was_visible = visible(0.0);
+    let mut rise = if was_visible { Some(0.0) } else { None };
+    while t < horizon.value() {
+        let next = (t + step.value()).min(horizon.value());
+        let now_visible = visible(next);
+        if now_visible != was_visible {
+            let crossing = refine(t, next);
+            if now_visible {
+                rise = Some(crossing);
+            } else if let Some(r) = rise.take() {
+                windows.push((r, crossing));
+            }
+            was_visible = now_visible;
+        }
+        t = next;
+    }
+    if let Some(r) = rise {
+        windows.push((r, horizon.value()));
+    }
+
+    windows
+        .into_iter()
+        .map(|(r, s)| {
+            // Peak elevation by coarse scan inside the window.
+            let mut best = f64::MIN;
+            let n = 32;
+            for i in 0..=n {
+                let tt = r + (s - r) * f64::from(i) / f64::from(n);
+                best = best.max(elevation_at(tt));
+            }
+            ContactWindow {
+                rise: Minutes(r),
+                set: Minutes(s),
+                max_elevation: Radians(best),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Degrees;
+
+    const ALT: Km = Km(780.0);
+
+    #[test]
+    fn overhead_is_ninety_degrees() {
+        let e = elevation_angle(Radians(0.0), ALT);
+        assert!((e.value() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elevation_decreases_with_distance() {
+        let mut last = std::f64::consts::FRAC_PI_2;
+        for deg in [1.0, 5.0, 10.0, 20.0, 40.0] {
+            let e = elevation_angle(Degrees(deg).to_radians(), ALT).value();
+            assert!(e < last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn visibility_radius_roundtrips_elevation() {
+        // The elevation exactly at the visibility-cone edge must equal the
+        // mask angle that defined it.
+        for mask_deg in [0.0, 5.0, 10.0, 30.0] {
+            let mask = Degrees(mask_deg).to_radians();
+            let radius = visibility_radius(ALT, mask);
+            let e = elevation_angle(radius, ALT);
+            assert!(
+                (e.value() - mask.value()).abs() < 1e-9,
+                "mask {mask_deg}: edge elevation {}",
+                e.value()
+            );
+        }
+    }
+
+    #[test]
+    fn polar_orbit_contacts_a_polar_site_every_revolution() {
+        let orbit = CircularOrbit::new(Degrees(90.0).to_radians(), Radians(0.0), Minutes(100.0))
+            .with_earth_rotation(false);
+        let site = GroundPoint::from_degrees(Degrees(85.0), Degrees(0.0));
+        let contacts = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            ALT,
+            Degrees(5.0).to_radians(),
+            Minutes(500.0),
+            Minutes(0.5),
+        );
+        assert_eq!(contacts.len(), 5, "one pass per 100-minute revolution");
+        for c in &contacts {
+            assert!(c.duration().value() > 1.0 && c.duration().value() < 20.0);
+            assert!(c.max_elevation.value() > Degrees(5.0).to_radians().value());
+        }
+        // Passes are spaced by the orbit period.
+        let spacing = contacts[1].rise.value() - contacts[0].rise.value();
+        assert!((spacing - 100.0).abs() < 0.5, "spacing {spacing}");
+    }
+
+    #[test]
+    fn equatorial_site_unseen_by_this_polar_pass_geometry() {
+        // A site 90° of longitude away from a non-rotating polar track is
+        // never within a LEO footprint.
+        let orbit = CircularOrbit::new(Degrees(90.0).to_radians(), Radians(0.0), Minutes(100.0))
+            .with_earth_rotation(false);
+        let site = GroundPoint::from_degrees(Degrees(0.0), Degrees(90.0));
+        let contacts = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            ALT,
+            Degrees(5.0).to_radians(),
+            Minutes(300.0),
+            Minutes(0.5),
+        );
+        assert!(contacts.is_empty());
+    }
+
+    #[test]
+    fn higher_mask_shortens_contacts() {
+        let orbit = CircularOrbit::new(Degrees(90.0).to_radians(), Radians(0.0), Minutes(100.0))
+            .with_earth_rotation(false);
+        let site = GroundPoint::from_degrees(Degrees(80.0), Degrees(0.0));
+        let long = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            ALT,
+            Degrees(5.0).to_radians(),
+            Minutes(100.0),
+            Minutes(0.25),
+        );
+        let short = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            ALT,
+            Degrees(25.0).to_radians(),
+            Minutes(100.0),
+            Minutes(0.25),
+        );
+        assert!(!long.is_empty() && !short.is_empty());
+        assert!(short[0].duration().value() < long[0].duration().value());
+    }
+
+    #[test]
+    fn window_clipped_at_horizon_is_reported() {
+        let orbit = CircularOrbit::new(Degrees(90.0).to_radians(), Radians(0.0), Minutes(100.0))
+            .with_earth_rotation(false);
+        // The satellite starts at the equator ascending node; a site right
+        // there sees it immediately.
+        let site = GroundPoint::from_degrees(Degrees(0.0), Degrees(0.0));
+        let contacts = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            ALT,
+            Degrees(5.0).to_radians(),
+            Minutes(2.0),
+            Minutes(0.25),
+        );
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].rise.value(), 0.0);
+        assert_eq!(contacts[0].set.value(), 2.0, "clipped at the horizon");
+    }
+}

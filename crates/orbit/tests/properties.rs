@@ -1,0 +1,89 @@
+//! Property-based tests of geodesy and constellation geometry invariants.
+
+use oaq_orbit::footprint::Footprint;
+use oaq_orbit::geo::GroundPoint;
+use oaq_orbit::orbit::CircularOrbit;
+use oaq_orbit::revisit::{classify, min_overlapping_capacity, revisit_time, Regime};
+use oaq_orbit::units::{Degrees, Minutes, Radians};
+use proptest::prelude::*;
+
+fn ground_point() -> impl Strategy<Value = GroundPoint> {
+    (-89.9f64..89.9, -180.0f64..180.0)
+        .prop_map(|(lat, lon)| GroundPoint::from_degrees(Degrees(lat), Degrees(lon)))
+}
+
+proptest! {
+    #[test]
+    fn central_angle_triangle_inequality(a in ground_point(), b in ground_point(), c in ground_point()) {
+        let ab = a.central_angle(&b).value();
+        let bc = b.central_angle(&c).value();
+        let ac = a.central_angle(&c).value();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn central_angle_symmetry_and_identity(a in ground_point(), b in ground_point()) {
+        prop_assert!((a.central_angle(&b).value() - b.central_angle(&a).value()).abs() < 1e-12);
+        prop_assert!(a.central_angle(&a).value() < 1e-12);
+    }
+
+    #[test]
+    fn unit_vector_roundtrip(p in ground_point()) {
+        let q = GroundPoint::from_vector(p.unit_vector());
+        prop_assert!(p.central_angle(&q).value() < 1e-9);
+    }
+
+    #[test]
+    fn ground_track_latitude_bounded_by_inclination(
+        inc_deg in 10.0f64..90.0,
+        phase in 0.0f64..std::f64::consts::TAU,
+        t in 0.0f64..500.0,
+    ) {
+        let orbit = CircularOrbit::new(
+            Degrees(inc_deg).to_radians(),
+            Radians(0.0),
+            Minutes(90.0),
+        )
+        .with_earth_rotation(false);
+        let p = orbit.subsatellite_point(Radians(phase), Minutes(t));
+        prop_assert!(p.lat().to_degrees().value().abs() <= inc_deg + 1e-6);
+    }
+
+    #[test]
+    fn footprint_coverage_time_roundtrips(tc in 0.5f64..40.0, theta in 85.0f64..200.0) {
+        prop_assume!(tc < theta / 2.0);
+        let fp = Footprint::from_coverage_time(Minutes(tc), Minutes(theta));
+        prop_assert!((fp.coverage_time(Minutes(theta)).value() - tc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_coverage_never_exceeds_center_line(
+        tc in 1.0f64..40.0,
+        offset_frac in 0.0f64..2.0,
+    ) {
+        let theta = Minutes(90.0);
+        prop_assume!(tc < 44.0);
+        let fp = Footprint::from_coverage_time(Minutes(tc), theta);
+        let offset = Radians(fp.half_angle().value() * offset_frac);
+        let t = fp.coverage_time_at_offset(offset, theta);
+        prop_assert!(t.value() <= tc + 1e-9);
+        if offset_frac >= 1.0 {
+            prop_assert_eq!(t.value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn regime_threshold_is_consistent(theta_i in 60u32..200, tc_i in 2u32..30) {
+        let theta = Minutes(f64::from(theta_i));
+        let tc = Minutes(f64::from(tc_i));
+        prop_assume!(tc.value() < theta.value() / 2.0);
+        let kmin = min_overlapping_capacity(theta, tc);
+        prop_assert_eq!(classify(revisit_time(theta, kmin), tc), Regime::Overlapping);
+        if kmin > 1 {
+            prop_assert_eq!(
+                classify(revisit_time(theta, kmin - 1), tc),
+                Regime::Underlapping
+            );
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The paper's orbital-plane availability model (Figure 7's P(k)).
+//!
+//! One orbital plane holds `capacity` active satellites plus in-orbit
+//! `spares`. Satellites fail independently at rate λ each; a failure
+//! consumes a spare while any remain, then reduces the active capacity `k`.
+//! The constellation is protected by two ground-spare deployment policies
+//! (paper Section 4.1):
+//!
+//! * **Scheduled deployment** — every φ hours (deterministic) the plane is
+//!   restored to its full complement.
+//! * **Threshold-triggered deployment at k = η** — the paper does not fully
+//!   specify the mechanics; we model it as one-for-one replenishment that
+//!   pins the plane at `k = η` until the next scheduled restore
+//!   ([`SparePolicy::PinAtThreshold`]). This is the reading that reproduces
+//!   Figure 7's reported shape: P(η) negligible at λ = 1e-5 and rapidly
+//!   dominant as λ grows. The alternative reading — a full restore
+//!   launched after a deployment delay — is also implemented
+//!   ([`SparePolicy::FullRestoreAfterDelay`]) and compared in the ablation
+//!   experiment (E11).
+//!
+//! Time unit: **hours** (matching the paper's λ and φ).
+
+use crate::ctmc::{Ctmc, CtmcError};
+use crate::model::{Delay, Marking, PlaceId, SanBuilder, SanModel};
+use crate::phase_type::erlang_stage_rate;
+use crate::sim::{steady_state_distribution, SteadyStateOptions};
+
+/// How ground spares respond to the threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparePolicy {
+    /// Failures at `k = η` (with in-orbit spares exhausted) are replaced
+    /// one-for-one from the ground, pinning the plane at the threshold until
+    /// the scheduled restore.
+    PinAtThreshold,
+    /// Hitting `k = η` triggers a full-restore launch that completes after a
+    /// random delay (Erlang-distributed; shape 1 is exponential). Failures
+    /// continue during the delay.
+    FullRestoreAfterDelay {
+        /// Mean launch-to-restore delay in hours.
+        mean_delay_hours: f64,
+        /// Erlang shape of the delay distribution.
+        erlang_shape: u32,
+    },
+}
+
+/// Parameters of one orbital plane's availability model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneModelConfig {
+    /// Full active capacity (14 in the reference design).
+    pub capacity: u32,
+    /// In-orbit spares (2 in the reference design).
+    pub spares: u32,
+    /// Per-satellite failure rate, per hour.
+    pub lambda: f64,
+    /// Scheduled ground-spare deployment period φ, hours.
+    pub phi: f64,
+    /// Threshold capacity η.
+    pub eta: u32,
+    /// Threshold-policy mechanics.
+    pub policy: SparePolicy,
+}
+
+impl PlaneModelConfig {
+    /// The reference plane (14 + 2) with the pin-at-threshold policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive λ or φ, or `eta >= capacity`.
+    #[must_use]
+    pub fn reference(lambda: f64, phi: f64, eta: u32) -> Self {
+        let cfg = PlaneModelConfig {
+            capacity: 14,
+            spares: 2,
+            lambda,
+            phi,
+            eta,
+            policy: SparePolicy::PinAtThreshold,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.lambda.is_finite() && self.lambda > 0.0,
+            "lambda must be positive"
+        );
+        assert!(self.phi.is_finite() && self.phi > 0.0, "phi must be positive");
+        assert!(
+            self.eta < self.capacity,
+            "threshold must be below capacity"
+        );
+        assert!(self.capacity > 0, "capacity must be positive");
+        if let SparePolicy::FullRestoreAfterDelay {
+            mean_delay_hours,
+            erlang_shape,
+        } = self.policy
+        {
+            assert!(
+                mean_delay_hours.is_finite() && mean_delay_hours > 0.0,
+                "delay must be positive"
+            );
+            assert!(erlang_shape > 0, "Erlang shape must be >= 1");
+        }
+    }
+
+    /// Builds the simulation variant (deterministic scheduled-restore
+    /// clock).
+    #[must_use]
+    pub fn build_sim(&self) -> PlaneModel {
+        self.build(RestoreClock::Deterministic)
+    }
+
+    /// Builds the Markov variant: the deterministic clock becomes an
+    /// Erlang(`erlang_shape`) stage chain so the model is a CTMC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `erlang_shape == 0`.
+    #[must_use]
+    pub fn build_markov(&self, erlang_shape: u32) -> PlaneModel {
+        assert!(erlang_shape > 0, "Erlang shape must be >= 1");
+        self.build(RestoreClock::ErlangStages(erlang_shape))
+    }
+
+    fn build(&self, clock: RestoreClock) -> PlaneModel {
+        self.validate();
+        let cfg = *self;
+        let mut b = SanBuilder::new();
+        let active = b.add_place("active", cfg.capacity);
+        let spares = b.add_place("spares", cfg.spares);
+
+        // --- Satellite failures -----------------------------------------
+        let failure_enabled = move |m: &Marking| {
+            let k = m.tokens(active);
+            if k == 0 {
+                return false;
+            }
+            match cfg.policy {
+                // Failures at the pinned threshold are replaced instantly:
+                // model them as disabled (they would be CTMC self-loops).
+                SparePolicy::PinAtThreshold => m.tokens(spares) > 0 || k > cfg.eta,
+                SparePolicy::FullRestoreAfterDelay { .. } => true,
+            }
+        };
+        // Failures strike active satellites (rate k·λ); dormant in-orbit
+        // spares are assumed not to fail, consistent with the paper's
+        // "14 active plus 2 in-orbit spares" accounting.
+        let lambda = cfg.lambda;
+        let failure_rate = move |m: &Marking| lambda * f64::from(m.tokens(active));
+        b.add_activity(
+            "satellite_failure",
+            Delay::exponential_with(failure_rate),
+            failure_enabled,
+            move |m| {
+                if m.tokens(spares) > 0 {
+                    // The failed unit is replaced in place by an in-orbit
+                    // spare; active capacity is preserved.
+                    m.remove_tokens(spares, 1);
+                } else {
+                    m.remove_tokens(active, 1);
+                }
+            },
+        );
+
+        // --- Scheduled ground-spare deployment (period φ) -----------------
+        let restore = move |m: &mut Marking| {
+            m.set_tokens(active, cfg.capacity);
+            m.set_tokens(spares, cfg.spares);
+        };
+        let mut stage_place = None;
+        match clock {
+            RestoreClock::Deterministic => {
+                b.add_activity(
+                    "scheduled_restore",
+                    Delay::deterministic(cfg.phi),
+                    |_| true,
+                    restore,
+                );
+            }
+            RestoreClock::ErlangStages(shape) => {
+                let stage = b.add_place("restore_stage", 0);
+                stage_place = Some(stage);
+                let rate = erlang_stage_rate(shape, cfg.phi);
+                b.add_activity(
+                    "restore_stage_tick",
+                    Delay::exponential_rate(rate),
+                    |_| true,
+                    move |m| {
+                        let s = m.tokens(stage) + 1;
+                        if s >= shape {
+                            m.set_tokens(stage, 0);
+                            restore(m);
+                        } else {
+                            m.set_tokens(stage, s);
+                        }
+                    },
+                );
+            }
+        }
+
+        // --- Threshold-triggered launch (full-restore variant) -----------
+        if let SparePolicy::FullRestoreAfterDelay {
+            mean_delay_hours,
+            erlang_shape,
+        } = cfg.policy
+        {
+            let launch_stage = b.add_place("launch_stage", 0);
+            let rate = erlang_stage_rate(erlang_shape, mean_delay_hours);
+            let below_threshold =
+                move |m: &Marking| m.tokens(active) <= cfg.eta && m.tokens(spares) == 0;
+            b.add_activity(
+                "launch_stage_tick",
+                Delay::exponential_rate(rate),
+                below_threshold,
+                move |m| {
+                    let s = m.tokens(launch_stage) + 1;
+                    if s >= erlang_shape {
+                        m.set_tokens(launch_stage, 0);
+                        restore(m);
+                    } else {
+                        m.set_tokens(launch_stage, s);
+                    }
+                },
+            );
+        }
+
+        PlaneModel {
+            model: b.build(),
+            active,
+            spares,
+            stage_place,
+            config: cfg,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RestoreClock {
+    Deterministic,
+    ErlangStages(u32),
+}
+
+/// A built plane model with handles to its places.
+#[derive(Debug)]
+pub struct PlaneModel {
+    model: SanModel,
+    active: PlaceId,
+    spares: PlaceId,
+    stage_place: Option<PlaceId>,
+    config: PlaneModelConfig,
+}
+
+impl PlaneModel {
+    /// The underlying SAN.
+    #[must_use]
+    pub fn san(&self) -> &SanModel {
+        &self.model
+    }
+
+    /// The configuration the model was built from.
+    #[must_use]
+    pub fn config(&self) -> &PlaneModelConfig {
+        &self.config
+    }
+
+    /// The place holding the active-satellite count `k`.
+    #[must_use]
+    pub fn active_place(&self) -> PlaceId {
+        self.active
+    }
+
+    /// The place holding the remaining in-orbit spares.
+    #[must_use]
+    pub fn spares_place(&self) -> PlaceId {
+        self.spares
+    }
+
+    /// Active capacity `k` in a marking.
+    #[must_use]
+    pub fn capacity_of(&self, m: &Marking) -> u32 {
+        m.tokens(self.active)
+    }
+
+    /// Estimates `P(K = k)` for `k = 0..=capacity` by long-run simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent options (see
+    /// [`steady_state_distribution`]).
+    #[must_use]
+    pub fn capacity_distribution_sim(&self, options: &SteadyStateOptions) -> Vec<f64> {
+        let active = self.active;
+        steady_state_distribution(
+            &self.model,
+            move |m| m.tokens(active) as usize,
+            self.config.capacity as usize + 1,
+            options,
+        )
+    }
+
+    /// Computes `P(K = k)` exactly for the Markov variant.
+    ///
+    /// # Errors
+    ///
+    /// Fails on models built with [`PlaneModelConfig::build_sim`] (the
+    /// deterministic clock is not Markovian) or if exploration exceeds
+    /// `max_states`.
+    pub fn capacity_distribution_markov(&self, max_states: usize) -> Result<Vec<f64>, CtmcError> {
+        let ctmc = Ctmc::explore(&self.model, max_states)?;
+        let pi = ctmc.stationary()?;
+        let active = self.active;
+        Ok(ctmc.classify_distribution(
+            &pi,
+            |m| m.tokens(active) as usize,
+            self.config.capacity as usize + 1,
+        ))
+    }
+
+    /// Whether this model has the Erlang stage clock (Markov variant).
+    #[must_use]
+    pub fn is_markovian(&self) -> bool {
+        self.stage_place.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PHI: f64 = 30_000.0;
+
+    fn sim_opts(seed: u64) -> SteadyStateOptions {
+        SteadyStateOptions {
+            warmup: 5.0 * PHI,
+            horizon: 400.0 * PHI,
+            seed,
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_respects_threshold() {
+        let cfg = PlaneModelConfig::reference(5e-5, PHI, 10);
+        let dist = cfg.build_sim().capacity_distribution_sim(&sim_opts(1));
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (k, &p) in dist.iter().enumerate().take(10) {
+            assert_eq!(p, 0.0, "pinning forbids k={k}");
+        }
+    }
+
+    #[test]
+    fn low_failure_rate_keeps_full_capacity() {
+        let cfg = PlaneModelConfig::reference(1e-6, PHI, 10);
+        let dist = cfg.build_sim().capacity_distribution_sim(&sim_opts(2));
+        assert!(dist[14] > 0.95, "P(14) = {}", dist[14]);
+    }
+
+    #[test]
+    fn high_failure_rate_pins_at_threshold() {
+        let cfg = PlaneModelConfig::reference(1e-4, PHI, 10);
+        let dist = cfg.build_sim().capacity_distribution_sim(&sim_opts(3));
+        assert!(
+            dist[10] > dist[14],
+            "threshold should dominate: P(10)={} P(14)={}",
+            dist[10],
+            dist[14]
+        );
+        assert!(dist[10] > 0.5, "P(10) = {}", dist[10]);
+    }
+
+    #[test]
+    fn markov_variant_matches_simulation() {
+        let cfg = PlaneModelConfig::reference(5e-5, PHI, 10);
+        let sim_dist = cfg.build_sim().capacity_distribution_sim(&sim_opts(4));
+        let markov = cfg.build_markov(25);
+        assert!(markov.is_markovian());
+        let exact = markov.capacity_distribution_markov(50_000).unwrap();
+        for k in 10..=14 {
+            assert!(
+                (sim_dist[k] - exact[k]).abs() < 0.03,
+                "k={k}: sim {} vs markov {}",
+                sim_dist[k],
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn full_restore_policy_allows_below_threshold() {
+        let cfg = PlaneModelConfig {
+            capacity: 14,
+            spares: 2,
+            lambda: 2e-4,
+            phi: PHI,
+            eta: 10,
+            policy: SparePolicy::FullRestoreAfterDelay {
+                mean_delay_hours: 2000.0,
+                erlang_shape: 1,
+            },
+        };
+        let dist = cfg.build_sim().capacity_distribution_sim(&sim_opts(5));
+        let below: f64 = dist[..10].iter().sum();
+        assert!(below > 0.0, "launch delay exposes k < eta");
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spare_consumption_shields_capacity() {
+        // With spares, brief capacity excursions below 14 require 3+
+        // failures inside one cycle; compare against a spare-less plane.
+        let with_spares = PlaneModelConfig::reference(2e-5, PHI, 10);
+        let without = PlaneModelConfig {
+            spares: 0,
+            ..with_spares
+        };
+        let d_with = with_spares
+            .build_sim()
+            .capacity_distribution_sim(&sim_opts(6));
+        let d_without = without.build_sim().capacity_distribution_sim(&sim_opts(6));
+        assert!(
+            d_with[14] > d_without[14] + 0.05,
+            "spares must raise P(14): {} vs {}",
+            d_with[14],
+            d_without[14]
+        );
+    }
+
+    #[test]
+    fn sim_and_markov_reject_mismatched_solvers() {
+        let cfg = PlaneModelConfig::reference(5e-5, PHI, 10);
+        let sim_model = cfg.build_sim();
+        assert!(!sim_model.is_markovian());
+        assert!(sim_model.capacity_distribution_markov(10_000).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be below capacity")]
+    fn invalid_threshold_rejected() {
+        let _ = PlaneModelConfig::reference(1e-5, PHI, 14);
+    }
+}

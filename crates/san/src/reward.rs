@@ -1,0 +1,274 @@
+//! Reward variables (the UltraSAN performance-variable formalism).
+//!
+//! A reward variable earns *rate rewards* while the SAN sits in a marking
+//! and *impulse rewards* when specific activities fire. Steady-state
+//! expected reward rates come from the CTMC solution; accumulated rewards
+//! over an interval come from simulation. The paper's P(k) is itself a
+//! rate reward (the indicator of capacity k); this module generalizes it.
+
+use std::collections::HashMap;
+
+use crate::ctmc::{Ctmc, CtmcError};
+use crate::model::{ActivityId, Delay, Marking, SanModel};
+use crate::sim::SanSimulation;
+
+type RateFn = Box<dyn Fn(&Marking) -> f64 + Send + Sync>;
+
+/// A reward structure over a SAN.
+pub struct RewardSpec {
+    rate: Option<RateFn>,
+    impulses: HashMap<ActivityId, RateFn>,
+}
+
+impl std::fmt::Debug for RewardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewardSpec")
+            .field("has_rate", &self.rate.is_some())
+            .field("impulses", &self.impulses.len())
+            .finish()
+    }
+}
+
+impl RewardSpec {
+    /// An empty (zero) reward structure.
+    #[must_use]
+    pub fn new() -> Self {
+        RewardSpec {
+            rate: None,
+            impulses: HashMap::new(),
+        }
+    }
+
+    /// Sets the rate reward earned per unit time in a marking.
+    #[must_use]
+    pub fn with_rate(mut self, rate: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
+        self.rate = Some(Box::new(rate));
+        self
+    }
+
+    /// Adds an impulse reward earned each time `activity` fires, evaluated
+    /// on the marking *before* the firing.
+    #[must_use]
+    pub fn with_impulse(
+        mut self,
+        activity: ActivityId,
+        reward: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.impulses.insert(activity, Box::new(reward));
+        self
+    }
+
+    fn rate_at(&self, m: &Marking) -> f64 {
+        self.rate.as_ref().map_or(0.0, |r| r(m))
+    }
+}
+
+impl Default for RewardSpec {
+    fn default() -> Self {
+        RewardSpec::new()
+    }
+}
+
+/// Steady-state expected reward *rate*: `Σ_s π(s)·rate(s)` plus, for each
+/// impulse on activity `a`, `Σ_s π(s)·λ_a(s)·impulse(s)` (the impulse value
+/// times the activity's steady-state firing frequency).
+///
+/// # Errors
+///
+/// Propagates CTMC solver failures; fails for non-exponential activities
+/// carrying impulses.
+///
+/// # Panics
+///
+/// Panics if `pi` has the wrong length.
+pub fn steady_state_reward_rate(
+    model: &SanModel,
+    ctmc: &Ctmc,
+    pi: &[f64],
+    spec: &RewardSpec,
+) -> Result<f64, CtmcError> {
+    assert_eq!(pi.len(), ctmc.num_states(), "distribution length mismatch");
+    let mut total = 0.0;
+    for (s, &p) in pi.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let marking = ctmc.state(s);
+        total += p * spec.rate_at(marking);
+        for (&activity, impulse) in &spec.impulses {
+            if !model.is_enabled(activity, marking) {
+                continue;
+            }
+            let Delay::Exponential(rate) = &model.activities[activity.0] .delay else {
+                return Err(CtmcError::NonMarkovianActivity {
+                    activity: model.activity_name(activity).to_string(),
+                });
+            };
+            total += p * rate(marking) * impulse(marking);
+        }
+    }
+    Ok(total)
+}
+
+/// Simulates the reward accumulated over `[0, horizon]`: the time integral
+/// of the rate reward plus every impulse earned.
+///
+/// # Panics
+///
+/// Panics on a non-positive horizon.
+#[must_use]
+pub fn simulate_accumulated_reward(
+    model: &SanModel,
+    spec: &RewardSpec,
+    horizon: f64,
+    seed: u64,
+) -> f64 {
+    assert!(horizon.is_finite() && horizon > 0.0, "bad horizon");
+    let mut sim = SanSimulation::new(model, seed);
+    let mut total = 0.0;
+    let mut last_t = 0.0;
+    let mut last_rate = spec.rate_at(sim.marking());
+    loop {
+        let before = sim.marking().clone();
+        let Some((t, fired)) = sim.step() else {
+            break;
+        };
+        let t = t.as_minutes();
+        if t > horizon {
+            // The firing lies beyond the horizon: accumulate the tail and
+            // drop the firing's impulse.
+            total += last_rate * (horizon - last_t);
+            return total;
+        }
+        total += last_rate * (t - last_t);
+        if let Some(impulse) = spec.impulses.get(&fired) {
+            total += impulse(&before);
+        }
+        last_t = t;
+        last_rate = spec.rate_at(sim.marking());
+    }
+    total + last_rate * (horizon - last_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Delay, SanBuilder};
+
+    /// Birth–death on {0..3}, λ=1, µ=2 (π ∝ 0.5^k).
+    fn birth_death() -> (SanModel, crate::model::PlaceId, ActivityId, ActivityId) {
+        let mut b = SanBuilder::new();
+        let n = b.add_place("n", 0);
+        let arrive = b.add_activity(
+            "arrive",
+            Delay::exponential_rate(1.0),
+            move |m| m.tokens(n) < 3,
+            move |m| m.add_tokens(n, 1),
+        );
+        let serve = b.add_activity(
+            "serve",
+            Delay::exponential_rate(2.0),
+            move |m| m.tokens(n) > 0,
+            move |m| m.remove_tokens(n, 1),
+        );
+        (b.build(), n, arrive, serve)
+    }
+
+    #[test]
+    fn rate_reward_is_mean_queue_length() {
+        let (model, n, _, _) = birth_death();
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let pi = ctmc.stationary().unwrap();
+        let spec = RewardSpec::new().with_rate(move |m| f64::from(m.tokens(n)));
+        let mean = steady_state_reward_rate(&model, &ctmc, &pi, &spec).unwrap();
+        // Σ k π_k = (0·8 + 4 + 4 + 3)/15 = 11/15.
+        assert!((mean - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impulse_reward_is_throughput() {
+        let (model, _, _, serve) = birth_death();
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let pi = ctmc.stationary().unwrap();
+        // One unit per service completion → steady-state throughput.
+        let spec = RewardSpec::new().with_impulse(serve, |_| 1.0);
+        let throughput = steady_state_reward_rate(&model, &ctmc, &pi, &spec).unwrap();
+        // Served rate = arrival rate accepted = λ·P(n<3) = 1·(1−π_3) = 14/15.
+        assert!((throughput - 14.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_accumulation_matches_steady_state() {
+        let (model, n, arrive, _) = birth_death();
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let pi = ctmc.stationary().unwrap();
+        let spec = || {
+            RewardSpec::new()
+                .with_rate(move |m: &Marking| f64::from(m.tokens(n)))
+                .with_impulse(arrive, |_| 0.5)
+        };
+        let exact = steady_state_reward_rate(&model, &ctmc, &pi, &spec()).unwrap();
+        let horizon = 200_000.0;
+        let sim = simulate_accumulated_reward(&model, &spec(), horizon, 3) / horizon;
+        assert!(
+            (sim - exact).abs() < 0.02,
+            "simulated rate {sim} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn horizon_clips_rate_accumulation() {
+        // A model whose first firing is far beyond the horizon: the reward
+        // is exactly rate(initial) · horizon.
+        let mut b = SanBuilder::new();
+        let p = b.add_place("p", 2);
+        b.add_activity(
+            "slow",
+            Delay::exponential_rate(1e-9),
+            |_| true,
+            move |m| m.remove_tokens(p, 1),
+        );
+        let model = b.build();
+        let spec = RewardSpec::new().with_rate(move |m| f64::from(m.tokens(p)));
+        let total = simulate_accumulated_reward(&model, &spec, 100.0, 1);
+        assert!((total - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_spec_earns_nothing() {
+        let (model, _, _, _) = birth_death();
+        let total = simulate_accumulated_reward(&model, &RewardSpec::new(), 50.0, 2);
+        assert_eq!(total, 0.0);
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let pi = ctmc.stationary().unwrap();
+        assert_eq!(
+            steady_state_reward_rate(&model, &ctmc, &pi, &RewardSpec::new()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deterministic_impulse_activity_is_rejected_in_steady_state() {
+        let mut b = SanBuilder::new();
+        let p = b.add_place("p", 0);
+        let tick = b.add_activity(
+            "tick",
+            Delay::exponential_rate(1.0),
+            |_| true,
+            move |m| m.set_tokens(p, (m.tokens(p) + 1) % 2),
+        );
+        let det = b.add_activity(
+            "det",
+            Delay::deterministic(5.0),
+            |_| true,
+            |_| {},
+        );
+        let model = b.build();
+        let _ = tick;
+        // CTMC exploration itself refuses deterministic activities; the
+        // reward API surfaces the same error for impulse specs evaluated
+        // against a hand-built chain. Here exploration fails first:
+        assert!(Ctmc::explore(&model, 100).is_err());
+        let _ = det;
+    }
+}

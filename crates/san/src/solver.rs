@@ -1,0 +1,315 @@
+//! Numerical solvers on explicit generator matrices.
+
+use oaq_linalg::{LinalgError, Matrix};
+
+/// Errors from the Markov solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// The generator matrix is not square or rows do not sum to ~0.
+    InvalidGenerator(String),
+    /// The linear solve failed (e.g. reducible chain).
+    Numeric(LinalgError),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::InvalidGenerator(msg) => write!(f, "invalid generator: {msg}"),
+            SolverError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Numeric(e) => Some(e),
+            SolverError::InvalidGenerator(_) => None,
+        }
+    }
+}
+
+fn validate_generator(q: &Matrix) -> Result<(), SolverError> {
+    if !q.is_square() {
+        return Err(SolverError::InvalidGenerator(format!(
+            "generator must be square, got {}x{}",
+            q.rows(),
+            q.cols()
+        )));
+    }
+    let scale = q.max_norm().max(1.0);
+    for i in 0..q.rows() {
+        let row_sum: f64 = (0..q.cols()).map(|j| q[(i, j)]).sum();
+        if row_sum.abs() > 1e-8 * scale {
+            return Err(SolverError::InvalidGenerator(format!(
+                "row {i} sums to {row_sum}, expected 0"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Solves `π Q = 0`, `Σπ = 1` for an irreducible CTMC generator `Q` by a
+/// direct dense solve (the normalization replaces the last column of `Qᵀ`).
+///
+/// # Errors
+///
+/// * [`SolverError::InvalidGenerator`] if `Q` is malformed.
+/// * [`SolverError::Numeric`] if the system is singular (reducible chain).
+///
+/// # Examples
+///
+/// ```
+/// use oaq_linalg::Matrix;
+/// use oaq_san::solver::stationary_distribution;
+/// // Two-state chain: rate 1 up->down, rate 4 down->up → π = (0.8, 0.2).
+/// let q = Matrix::from_rows(&[&[-1.0, 1.0], &[4.0, -4.0]]).unwrap();
+/// let pi = stationary_distribution(&q).unwrap();
+/// assert!((pi[0] - 0.8).abs() < 1e-12);
+/// ```
+pub fn stationary_distribution(q: &Matrix) -> Result<Vec<f64>, SolverError> {
+    validate_generator(q)?;
+    let n = q.rows();
+    // Build A = Qᵀ with the last row replaced by the normalization Σπ = 1.
+    let mut a = q.transpose();
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let pi = a.solve(&b).map_err(SolverError::Numeric)?;
+    // Clean tiny negative round-off and renormalize.
+    let cleaned: Vec<f64> = pi.iter().map(|&x| x.max(0.0)).collect();
+    oaq_linalg::vec_ops::normalize_prob(&cleaned)
+        .ok_or_else(|| SolverError::InvalidGenerator("zero stationary mass".to_string()))
+}
+
+/// Transient distribution `p(t) = p0 · e^{Qt}` by uniformization, accurate
+/// to `tol` in total variation.
+///
+/// # Errors
+///
+/// * [`SolverError::InvalidGenerator`] if `Q` is malformed or `p0` has the
+///   wrong length / is not a distribution.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_linalg::Matrix;
+/// use oaq_san::solver::transient_distribution;
+/// let q = Matrix::from_rows(&[&[-1.0, 1.0], &[4.0, -4.0]]).unwrap();
+/// let p = transient_distribution(&q, &[1.0, 0.0], 100.0, 1e-12).unwrap();
+/// assert!((p[0] - 0.8).abs() < 1e-9); // converged to stationary
+/// ```
+pub fn transient_distribution(
+    q: &Matrix,
+    p0: &[f64],
+    t: f64,
+    tol: f64,
+) -> Result<Vec<f64>, SolverError> {
+    validate_generator(q)?;
+    let n = q.rows();
+    if p0.len() != n {
+        return Err(SolverError::InvalidGenerator(format!(
+            "p0 length {} does not match {n} states",
+            p0.len()
+        )));
+    }
+    let mass: f64 = p0.iter().sum();
+    if p0.iter().any(|&x| x < -1e-12) || (mass - 1.0).abs() > 1e-9 {
+        return Err(SolverError::InvalidGenerator(
+            "p0 is not a probability vector".to_string(),
+        ));
+    }
+    if t < 0.0 || !t.is_finite() {
+        return Err(SolverError::InvalidGenerator(format!("bad time {t}")));
+    }
+    if t == 0.0 {
+        return Ok(p0.to_vec());
+    }
+    // Uniformization: P = I + Q/Λ with Λ ≥ max |q_ii|.
+    let lambda = (0..n)
+        .map(|i| -q[(i, i)])
+        .fold(0.0_f64, f64::max)
+        .max(1e-12)
+        * 1.000_001;
+    let mut p_mat = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            p_mat[(i, j)] += q[(i, j)] / lambda;
+        }
+    }
+    let lt = lambda * t;
+    // Accumulate Σ_k Poisson(lt; k) · p0 Pᵏ with scaled Poisson weights.
+    let mut term = p0.to_vec(); // p0 Pᵏ
+    let mut out = vec![0.0; n];
+    // Poisson weights computed iteratively in log space to avoid overflow.
+    // Truncation: stop when the accumulated mass reaches 1 − tol, or —
+    // because rounding can leave the numeric sum permanently short of it —
+    // when k is safely past the Poisson bulk (mean lt, sd √lt) and the
+    // current weight has fallen below tol. The discarded tail is
+    // renormalized away below.
+    let k_bulk = lt + 10.0 * lt.sqrt() + 50.0;
+    let mut log_weight = -lt; // log Poisson(0)
+    let mut accumulated = 0.0;
+    let mut k: u64 = 0;
+    loop {
+        let w = log_weight.exp();
+        if w > 0.0 {
+            for (o, x) in out.iter_mut().zip(&term) {
+                *o += w * x;
+            }
+            accumulated += w;
+        }
+        if accumulated >= 1.0 - tol || (k as f64 > k_bulk && w < tol) {
+            break;
+        }
+        k += 1;
+        if k > 10_000_000 {
+            return Err(SolverError::InvalidGenerator(
+                "uniformization failed to converge".to_string(),
+            ));
+        }
+        log_weight += (lt / k as f64).ln();
+        term = p_mat.vec_mul(&term).map_err(SolverError::Numeric)?;
+    }
+    // The truncated tail (≤ tol) is discarded; renormalize.
+    Ok(oaq_linalg::vec_ops::normalize_prob(&out).unwrap_or(out))
+}
+
+/// Integral `∫₀ᵀ p(t) dt / T`: the expected fraction of time spent in each
+/// state over `[0, T]`, computed by Simpson quadrature on the transient
+/// distribution with `intervals` panels (rounded up to even).
+///
+/// This is the quantity the paper's P(k) reduces to under the deterministic
+/// scheduled-deployment cycle: the time-average of the capacity process over
+/// one cycle of length φ.
+///
+/// # Errors
+///
+/// Propagates [`SolverError`] from the transient solves.
+pub fn time_average_distribution(
+    q: &Matrix,
+    p0: &[f64],
+    horizon: f64,
+    intervals: usize,
+) -> Result<Vec<f64>, SolverError> {
+    if horizon <= 0.0 || !horizon.is_finite() {
+        return Err(SolverError::InvalidGenerator(format!(
+            "bad horizon {horizon}"
+        )));
+    }
+    let m = intervals.max(2).next_multiple_of(2);
+    let n = q.rows();
+    let h = horizon / m as f64;
+    let mut acc = vec![0.0; n];
+    for s in 0..=m {
+        let p = transient_distribution(q, p0, h * s as f64, 1e-12)?;
+        let w = if s == 0 || s == m {
+            1.0
+        } else if s % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        for (a, x) in acc.iter_mut().zip(&p) {
+            *a += w * x;
+        }
+    }
+    let scale = h / 3.0 / horizon;
+    for a in &mut acc {
+        *a *= scale;
+    }
+    Ok(oaq_linalg::vec_ops::normalize_prob(&acc).unwrap_or(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Matrix {
+        Matrix::from_rows(&[&[-1.0, 1.0], &[4.0, -4.0]]).unwrap()
+    }
+
+    #[test]
+    fn stationary_two_state() {
+        let pi = stationary_distribution(&two_state()).unwrap();
+        assert!((pi[0] - 0.8).abs() < 1e-12);
+        assert!((pi[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_birth_death_matches_closed_form() {
+        // Birth 1, death 2 on {0,1,2,3}: π ∝ 0.5^k.
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0, 0.0],
+            &[2.0, -3.0, 1.0, 0.0],
+            &[0.0, 2.0, -3.0, 1.0],
+            &[0.0, 0.0, 2.0, -2.0],
+        ])
+        .unwrap();
+        let pi = stationary_distribution(&q).unwrap();
+        let expected = [8.0 / 15.0, 4.0 / 15.0, 2.0 / 15.0, 1.0 / 15.0];
+        for (p, e) in pi.iter().zip(&expected) {
+            assert!((p - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_generator_rejected() {
+        let q = Matrix::from_rows(&[&[-1.0, 2.0], &[4.0, -4.0]]).unwrap();
+        assert!(matches!(
+            stationary_distribution(&q),
+            Err(SolverError::InvalidGenerator(_))
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(stationary_distribution(&rect).is_err());
+    }
+
+    #[test]
+    fn transient_at_zero_is_initial() {
+        let p = transient_distribution(&two_state(), &[0.3, 0.7], 0.0, 1e-12).unwrap();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn transient_matches_closed_form() {
+        // Two-state: p0(t) = π0 + (1-π0) e^{-(a+b)t} starting in state 0.
+        let q = two_state();
+        for &t in &[0.1, 0.5, 1.0, 2.0] {
+            let p = transient_distribution(&q, &[1.0, 0.0], t, 1e-13).unwrap();
+            let expected = 0.8 + 0.2 * (-5.0_f64 * t).exp();
+            assert!((p[0] - expected).abs() < 1e-9, "t={t}: {} vs {expected}", p[0]);
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_stationary() {
+        let p = transient_distribution(&two_state(), &[0.0, 1.0], 50.0, 1e-12).unwrap();
+        assert!((p[0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_rejects_bad_p0() {
+        let q = two_state();
+        assert!(transient_distribution(&q, &[1.0], 1.0, 1e-9).is_err());
+        assert!(transient_distribution(&q, &[0.7, 0.7], 1.0, 1e-9).is_err());
+        assert!(transient_distribution(&q, &[1.0, 0.0], f64::NAN, 1e-9).is_err());
+    }
+
+    #[test]
+    fn time_average_matches_analytic() {
+        // ∫₀ᵀ p0(t) dt / T with p0(t) = 0.8 + 0.2 e^{-5t}.
+        let q = two_state();
+        let horizon = 2.0;
+        let avg = time_average_distribution(&q, &[1.0, 0.0], horizon, 64).unwrap();
+        let expected = 0.8 + 0.2 * (1.0 - (-5.0_f64 * horizon).exp()) / (5.0 * horizon);
+        assert!((avg[0] - expected).abs() < 1e-6, "{} vs {expected}", avg[0]);
+    }
+
+    #[test]
+    fn time_average_rejects_bad_horizon() {
+        assert!(time_average_distribution(&two_state(), &[1.0, 0.0], 0.0, 8).is_err());
+    }
+}

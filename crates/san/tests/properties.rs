@@ -1,0 +1,125 @@
+//! Property-based tests: SAN solvers and the plane availability model.
+
+use oaq_san::ctmc::Ctmc;
+use oaq_san::model::{Delay, SanBuilder, SanModel};
+use oaq_san::phase_type::{erlang_cdf, erlang_stage_rate};
+use oaq_san::plane::PlaneModelConfig;
+use oaq_san::solver::{stationary_distribution, transient_distribution};
+use oaq_linalg::Matrix;
+use proptest::prelude::*;
+
+/// A random irreducible birth–death generator on `n` states.
+fn birth_death_generator(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.1f64..5.0, 2 * (n - 1)).prop_map(move |rates| {
+        let mut q = Matrix::zeros(n, n);
+        for i in 0..n - 1 {
+            let up = rates[i];
+            let down = rates[n - 1 + i];
+            q[(i, i + 1)] += up;
+            q[(i, i)] -= up;
+            q[(i + 1, i)] += down;
+            q[(i + 1, i + 1)] -= down;
+        }
+        q
+    })
+}
+
+fn birth_death_model(arrive: f64, serve: f64, cap: u32) -> SanModel {
+    let mut b = SanBuilder::new();
+    let n = b.add_place("n", 0);
+    b.add_activity(
+        "arrive",
+        Delay::exponential_rate(arrive),
+        move |m| m.tokens(n) < cap,
+        move |m| m.add_tokens(n, 1),
+    );
+    b.add_activity(
+        "serve",
+        Delay::exponential_rate(serve),
+        move |m| m.tokens(n) > 0,
+        move |m| m.remove_tokens(n, 1),
+    );
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stationary_satisfies_balance(q in birth_death_generator(5)) {
+        let pi = stationary_distribution(&q).unwrap();
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let flow = q.vec_mul(&pi).unwrap();
+        for f in flow {
+            prop_assert!(f.abs() < 1e-9, "piQ component {f}");
+        }
+    }
+
+    #[test]
+    fn transient_is_a_distribution_at_all_times(
+        q in birth_death_generator(4),
+        t in 0.0f64..20.0,
+    ) {
+        let p = transient_distribution(&q, &[1.0, 0.0, 0.0, 0.0], t, 1e-12).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn transient_converges_to_stationary(q in birth_death_generator(4)) {
+        let pi = stationary_distribution(&q).unwrap();
+        let p = transient_distribution(&q, &[1.0, 0.0, 0.0, 0.0], 500.0, 1e-12).unwrap();
+        for (a, b) in p.iter().zip(&pi) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ctmc_stationary_matches_detailed_balance(
+        arrive in 0.2f64..3.0,
+        serve in 0.2f64..3.0,
+    ) {
+        // Birth–death chains satisfy detailed balance: π_{k+1}/π_k = λ/µ.
+        let model = birth_death_model(arrive, serve, 4);
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let pi = ctmc.stationary().unwrap();
+        let rho = arrive / serve;
+        for k in 0..4 {
+            let ratio = pi[k + 1] / pi[k];
+            prop_assert!((ratio - rho).abs() < 1e-6 * rho.max(1.0), "k={k}: {ratio} vs {rho}");
+        }
+    }
+
+    #[test]
+    fn erlang_cdf_is_a_cdf(shape in 1u32..50, mean in 0.1f64..50.0) {
+        let rate = erlang_stage_rate(shape, mean);
+        let mut last = 0.0;
+        for i in 0..=40 {
+            let t = mean * f64::from(i) / 10.0;
+            let c = erlang_cdf(shape, rate, t);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= last - 1e-12);
+            last = c;
+        }
+        // Median near the mean for large shapes.
+        if shape >= 20 {
+            let at_mean = erlang_cdf(shape, rate, mean);
+            prop_assert!((at_mean - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn plane_markov_distribution_is_proper(
+        lambda_e in 1u32..10,
+        eta in 9u32..12,
+    ) {
+        let lambda = f64::from(lambda_e) * 1e-5;
+        let cfg = PlaneModelConfig::reference(lambda, 30_000.0, eta);
+        let d = cfg.build_markov(8).capacity_distribution_markov(100_000).unwrap();
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (k, &p) in d.iter().enumerate().take(eta as usize) {
+            prop_assert_eq!(p, 0.0, "pinning forbids k = {}", k);
+        }
+        prop_assert!(d[14] > 0.0);
+    }
+}

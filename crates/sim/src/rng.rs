@@ -1,0 +1,207 @@
+//! Seeded random streams and the distributions used by the paper's models.
+//!
+//! The paper assumes Poisson signal arrivals, exponentially distributed
+//! signal durations (rate µ) and exponentially distributed iterative
+//! geolocation computation times (rate ν). All sampling goes through
+//! [`SimRng`] so that every stochastic component of the workspace is
+//! reproducible from a single seed, and so that independent model components
+//! can be given independent sub-streams ([`SimRng::fork`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream for simulation models.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_sim::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent child stream.
+    ///
+    /// The child is seeded from the parent's output, so forking advances the
+    /// parent stream; two forks taken in sequence are distinct.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.random_range(lo..hi)
+    }
+
+    /// An exponential draw with the given `rate` (mean `1/rate`), by
+    /// inversion: `-ln(1-U)/rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be > 0");
+        let u: f64 = self.unit();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// A standard normal draw (Box–Muller, one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Marsaglia polar method avoids trig and rejects u==0 naturally.
+        loop {
+            let u = 2.0 * self.unit() - 1.0;
+            let v = 2.0 * self.unit() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * ((-2.0 * s.ln()) / s).sqrt();
+            }
+        }
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std_dev");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// An Erlang-`shape` draw with the given per-stage `rate` (sum of
+    /// `shape` independent exponentials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape == 0` or `rate` is not strictly positive.
+    pub fn erlang(&mut self, shape: u32, rate: f64) -> f64 {
+        assert!(shape > 0, "Erlang shape must be >= 1");
+        (0..shape).map(|_| self.exp(rate)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn forks_are_distinct_and_deterministic() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork();
+        let mut d1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.unit(), c2.unit(), "same fork order, same stream");
+        assert_ne!(c1.unit(), d1.unit(), "sibling forks differ");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 200_000;
+        let rate = 0.5;
+        let mean: f64 = (0..n).map(|_| rng.exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean} should be ~2.0");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0, "degenerate range returns lo");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(1.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn erlang_mean_is_shape_over_rate() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.erlang(4, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert!(rng.index(5) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn exp_rejects_zero_rate() {
+        let _ = SimRng::seed_from(0).exp(0.0);
+    }
+}

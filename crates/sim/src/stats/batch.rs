@@ -1,0 +1,142 @@
+//! Steady-state output analysis by the method of batch means.
+
+use super::Tally;
+
+/// Groups a stream of correlated observations into fixed-size batches and
+/// estimates a confidence interval from the (approximately independent)
+/// batch means.
+///
+/// Used by the SAN steady-state simulator to report P(k) with error bounds.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_sim::stats::BatchMeans;
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1000 {
+///     bm.record((i % 7) as f64);
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// assert!(bm.grand_mean() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batch_means: Tally,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given observations-per-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batch_means: Tally::new(),
+        }
+    }
+
+    /// Records one observation; closes a batch when it fills.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batch_means
+                .record(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn completed_batches(&self) -> u64 {
+        self.batch_means.count()
+    }
+
+    /// Mean of completed batch means (ignores the partial batch).
+    #[must_use]
+    pub fn grand_mean(&self) -> f64 {
+        self.batch_means.mean()
+    }
+
+    /// ~95% half-width across batch means; zero with fewer than two batches.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        self.batch_means.ci95_half_width()
+    }
+
+    /// `true` once the relative half-width drops below `rel` (and at least
+    /// `min_batches` batches completed) — a simple stopping rule.
+    #[must_use]
+    pub fn converged(&self, rel: f64, min_batches: u64) -> bool {
+        if self.completed_batches() < min_batches.max(2) {
+            return false;
+        }
+        let m = self.grand_mean().abs();
+        if m == 0.0 {
+            return self.ci95_half_width() < rel;
+        }
+        self.ci95_half_width() / m < rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_batch_is_excluded() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..25 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.grand_mean(), 1.0);
+    }
+
+    #[test]
+    fn iid_stream_converges() {
+        let mut bm = BatchMeans::new(50);
+        let mut x = 0.5;
+        for i in 0..10_000 {
+            // A deterministic low-discrepancy-ish stream in [0,1).
+            x = (x + 0.618_033_988_749_895 + (i as f64 * 1e-9)) % 1.0;
+            bm.record(x);
+        }
+        assert!((bm.grand_mean() - 0.5).abs() < 0.02);
+        assert!(bm.converged(0.1, 10));
+    }
+
+    #[test]
+    fn not_converged_with_one_batch() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..5 {
+            bm.record(3.0);
+        }
+        assert!(!bm.converged(0.5, 1));
+    }
+
+    #[test]
+    fn zero_mean_uses_absolute_width() {
+        let mut bm = BatchMeans::new(2);
+        for _ in 0..10 {
+            bm.record(0.0);
+        }
+        assert!(bm.converged(0.01, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Monotone event counter.
+
+use crate::clock::SimTime;
+
+/// Counts occurrences and converts them to rates over elapsed virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_sim::stats::Counter;
+/// use oaq_sim::SimTime;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.increment();
+/// assert_eq!(c.count(), 4);
+/// assert_eq!(c.rate(SimTime::new(2.0)), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one occurrence.
+    pub fn increment(&mut self) {
+        self.count += 1;
+    }
+
+    /// Adds `n` occurrences.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Total occurrences so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Occurrences per unit time up to `now`; zero if no time has elapsed.
+    #[must_use]
+    pub fn rate(&self, now: SimTime) -> f64 {
+        let t = now.as_minutes();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / t
+        }
+    }
+
+    /// Resets to zero (e.g. at the end of a warm-up period).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut c = Counter::new();
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.rate(SimTime::new(5.0)), 2.0);
+    }
+
+    #[test]
+    fn rate_at_time_zero_is_zero() {
+        let mut c = Counter::new();
+        c.increment();
+        assert_eq!(c.rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Counter::new();
+        c.add(7);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+}

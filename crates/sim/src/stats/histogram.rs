@@ -1,0 +1,171 @@
+//! Fixed-width binned distributions.
+
+/// A histogram with uniform bins over `[lo, hi)` plus under/overflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_sim::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is non-finite, or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Inclusive-lower / exclusive-upper edges of bin `i`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (
+            self.lo + width * i as f64,
+            self.lo + width * (i + 1) as f64,
+        )
+    }
+
+    /// Observations below `lo` (NaN counts here too).
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Number of in-range bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Fraction of in-range mass at or below the upper edge of bin `i`
+    /// (empirical CDF on the binned support).
+    #[must_use]
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i].iter().sum();
+        cum as f64 / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 1);
+        }
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn boundary_values_bin_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.0); // first bin
+        h.record(0.5); // second bin
+        h.record(1.0); // overflow (hi is exclusive)
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn nan_counts_as_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.record(x);
+        }
+        assert_eq!(h.cdf_at_bin(1), 0.5);
+        assert_eq!(h.cdf_at_bin(3), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.cdf_at_bin(2), 0.0);
+    }
+}

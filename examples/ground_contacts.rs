@@ -1,0 +1,55 @@
+//! Ground-station contact prediction: when can a satellite of the reference
+//! constellation downlink its alert?
+//!
+//! Run with: `cargo run --release --example ground_contacts`
+
+use oaq::geoloc::satstate::altitude_for_period;
+use oaq::orbit::orbit::CircularOrbit;
+use oaq::orbit::units::{Degrees, Minutes, Radians};
+use oaq::orbit::visibility::{predict_contacts, visibility_radius};
+use oaq::orbit::GroundPoint;
+
+fn main() {
+    // One satellite of the reference design: 90-minute orbit, 85 deg
+    // inclination; its Keplerian altitude follows from the period.
+    let orbit = CircularOrbit::new(Degrees(85.0).to_radians(), Radians(0.0), Minutes(90.0))
+        .with_earth_rotation(false);
+    let altitude = altitude_for_period(Minutes(90.0));
+    let mask = Degrees(10.0).to_radians();
+
+    println!("Satellite: 90-min orbit at {:.0} km altitude, 85 deg inclination", altitude.value());
+    println!(
+        "Visibility cone radius at a 10 deg elevation mask: {:.1} deg\n",
+        visibility_radius(altitude, mask).to_degrees().value()
+    );
+
+    for (name, lat, lon) in [
+        ("Svalbard (78N)", 78.0, 15.0),
+        ("Mid-latitude (45N)", 45.0, 0.0),
+        ("Equatorial (0N)", 0.0, 0.0),
+    ] {
+        let site = GroundPoint::from_degrees(Degrees(lat), Degrees(lon));
+        let contacts = predict_contacts(
+            &orbit,
+            Radians(0.0),
+            &site,
+            altitude,
+            mask,
+            Minutes(360.0), // four orbits
+            Minutes(0.25),
+        );
+        println!("{name}: {} contact(s) in 6 hours", contacts.len());
+        for c in &contacts {
+            println!(
+                "  rise {:>6.1} min  set {:>6.1} min  dur {:>4.1} min  max elev {:>4.1} deg",
+                c.rise.value(),
+                c.set.value(),
+                c.duration().value(),
+                c.max_elevation.to_degrees().value(),
+            );
+        }
+        println!();
+    }
+    println!("High-latitude stations see a near-polar LEO every orbit, which");
+    println!("is why surveillance constellations downlink through them.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: one signal, one degraded plane, the OAQ protocol end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use oaq::core::config::{ProtocolConfig, Scheme};
+use oaq::core::protocol::Episode;
+
+fn main() {
+    println!("== OAQ quickstart =========================================");
+    println!("Reference plane degraded to k = 10 satellites:");
+    println!("  revisit time Tr = 90/10 = 9 min = Tc -> footprints underlap\n");
+
+    for (label, scheme) in [("OAQ", Scheme::Oaq), ("BAQ", Scheme::Baq)] {
+        let cfg = ProtocolConfig::reference(10, scheme);
+        // A signal born 6 minutes into satellite 0's coverage window,
+        // emitting for 12 minutes.
+        let outcome = Episode::new(&cfg, 42).run(6.0, 12.0);
+        println!("{label}:");
+        println!("  QoS level         : {} (Y = {})", outcome.level, outcome.level.as_y());
+        println!(
+            "  delivered at      : {}",
+            outcome
+                .delivered_at
+                .map_or("never".to_string(), |t| format!("t = {t:.2} min")),
+        );
+        println!("  deadline met      : {}", outcome.deadline_met);
+        println!("  satellites used   : {}", outcome.chain_length);
+        println!("  crosslink messages: {}", outcome.messages_sent);
+        if let Some(err) = outcome.reported_error_km {
+            println!("  reported error    : {err:.1} km");
+        }
+        println!();
+    }
+
+    println!("OAQ recruits the next satellite that revisits the target and");
+    println!("delivers a sequential-dual (level-2) result; BAQ ships the");
+    println!("single-coverage preliminary and leaves the opportunity unused.");
+
+    println!("\nOAQ episode trace:");
+    let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    let (_, trace) = Episode::new(&cfg, 42).run_traced(6.0, 12.0);
+    for entry in trace {
+        println!("  {entry}");
+    }
+}

@@ -1,0 +1,87 @@
+//! OAQ over the *real* constellation geometry: derive a ground target's
+//! actual coverage pattern from the 98-satellite reference design (no
+//! center-line idealization) and run the protocol on it — intact and
+//! degraded.
+//!
+//! Run with: `cargo run --release --example real_constellation`
+
+use oaq::core::bridge::DerivedScenario;
+use oaq::core::config::{ProtocolConfig, Scheme};
+use oaq::core::protocol::Episode;
+use oaq::orbit::units::{Degrees, Minutes, Radians};
+use oaq::orbit::{Constellation, GroundPoint};
+
+fn on_track_target() -> GroundPoint {
+    // 30°N on plane 0's ascending track — the paper's worst-case location.
+    let i = Degrees(85.0).to_radians().value();
+    let u = (Degrees(30.0).to_radians().value().sin() / i.sin()).asin();
+    let lon = (i.cos() * u.sin()).atan2(u.cos());
+    GroundPoint::new(Degrees(30.0).to_radians(), Radians(lon))
+}
+
+fn between_tracks_target() -> GroundPoint {
+    // Halfway between plane 0's and plane 1's tracks at 30°N (the planes'
+    // RAANs are 180/7 ≈ 25.7° apart).
+    let base = on_track_target();
+    GroundPoint::new(
+        base.lat(),
+        Radians(base.lon().value() + Degrees(180.0 / 7.0 / 2.0).to_radians().value()),
+    )
+}
+
+fn describe(constellation: &Constellation, target: &GroundPoint, label: &str) {
+    let scenario = DerivedScenario::from_constellation(constellation, target, Minutes(0.05))
+        .expect("the reference design covers 30N");
+    let windows = scenario.geometry.windows();
+    let long = windows.iter().filter(|&&(_, d)| d > 8.5).count();
+    let short = windows.len() - long;
+    println!("{label}:");
+    println!(
+        "  {} satellites sweep the target: {} near-center passes (>8.5 min), {} offset passes",
+        scenario.k(),
+        long,
+        short
+    );
+
+    let mut cfg = ProtocolConfig::reference(scenario.k(), Scheme::Oaq);
+    cfg.theta = 90.0;
+    let mut counts = [0u32; 4];
+    let episodes: u32 = 400;
+    for seed in 0..episodes {
+        let birth = 90.0 + (f64::from(seed) * 0.618_033_9) % 90.0;
+        let out = Episode::new(&cfg, u64::from(seed))
+            .with_geometry(scenario.geometry.clone())
+            .run(birth, 8.0);
+        counts[out.level.as_y()] += 1;
+    }
+    println!(
+        "  OAQ over {episodes} signals: Y=3 {:>4.1}%, Y=2 {:>4.1}%, Y=1 {:>4.1}%, missed {:>4.1}%\n",
+        100.0 * f64::from(counts[3]) / f64::from(episodes),
+        100.0 * f64::from(counts[2]) / f64::from(episodes),
+        100.0 * f64::from(counts[1]) / f64::from(episodes),
+        100.0 * f64::from(counts[0]) / f64::from(episodes),
+    );
+}
+
+fn main() {
+    println!("== Target A: 30.000 N, ON plane 0's track (paper's worst case) ==\n");
+    let mut c = Constellation::reference();
+    describe(&c, &on_track_target(), "Intact constellation (98 active)");
+    for _ in 0..6 {
+        c.plane_mut(0).fail_one();
+    }
+    describe(
+        &c,
+        &on_track_target(),
+        "Plane 0 degraded to k = 10 (spares exhausted, 4 lost)",
+    );
+
+    println!("== Target B: 30.000 N, BETWEEN planes 0 and 1 ==\n");
+    describe(&c, &between_tracks_target(), "Same degraded constellation");
+
+    println!("Target A sees only its own plane — exactly the paper's argument");
+    println!("for taking the on-track point at ~30 deg latitude as the worst");
+    println!("case. Target B additionally collects side-lobe passes from the");
+    println!("adjacent plane, so its QoS degrades far more gracefully: the");
+    println!("analytic model's numbers are the conservative floor.");
+}

@@ -1,0 +1,48 @@
+//! Sequential localization with the real estimator: successive satellite
+//! passes over an RF emitter, each one an iterative weighted-least-squares
+//! refinement (the mechanism of refs [4,5] that OAQ exploits).
+//!
+//! Run with: `cargo run --release --example sequential_localization`
+
+use oaq::geoloc::emitter::Emitter;
+use oaq::geoloc::scenario::PassScenario;
+use oaq::geoloc::sequential::SequentialLocalizer;
+use oaq::orbit::units::Degrees;
+use oaq::orbit::GroundPoint;
+use oaq::sim::SimRng;
+
+fn main() {
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(12.0)),
+        400.0e6, // 400 MHz carrier
+    );
+    println!(
+        "Emitter at (30.000 N, 12.000 E), carrier {:.0} MHz",
+        emitter.frequency_hz() / 1e6
+    );
+    println!("Satellites revisit every 9 minutes (k = 10 plane); Doppler noise 1 Hz.");
+    println!();
+    println!(
+        "{:>4} {:>10} {:>18} {:>18}",
+        "pass", "obs", "reported 1-sigma", "actual error"
+    );
+
+    let scenario = PassScenario::reference(&emitter);
+    let mut rng = SimRng::seed_from(2003);
+    let mut localizer = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+    for pass in 0..4 {
+        localizer.add_pass(scenario.synthesize_pass(pass, &mut rng));
+        let est = localizer.estimate().expect("geometry is solvable");
+        println!(
+            "{:>4} {:>10} {:>15.2} km {:>15.3} km",
+            pass + 1,
+            localizer.num_observations(),
+            est.error_radius_km(),
+            est.position_error_km(&emitter.position()),
+        );
+    }
+    println!();
+    println!("Pass 1 is honest about the classic single-satellite Doppler");
+    println!("ambiguity (huge reported error); the second, cross-track-offset");
+    println!("pass collapses it -- the accuracy gain OAQ turns into QoS level 2.");
+}

@@ -1,0 +1,47 @@
+//! # oaq — opportunity-adaptive QoS enhancement in satellite constellations
+//!
+//! Umbrella crate re-exporting the full reproduction stack of Tai, Tso,
+//! Alkalai, Chau & Sanders, *"Opportunity-Adaptive QoS Enhancement in
+//! Satellite Constellations: A Case Study"* (DSN 2003).
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | protocol | [`oaq_core`] | the OAQ coordination protocol, BAQ baseline, episode simulator |
+//! | model | [`oaq_analytic`] | the paper's closed-form QoS evaluation (Eq. 1–4, Theorems 1–2) |
+//! | substrate | [`oaq_san`] | stochastic activity networks + CTMC solvers (UltraSAN substitute) |
+//! | substrate | [`oaq_geoloc`] | Doppler/TOA sequential localization (iterative WLS) |
+//! | substrate | [`oaq_orbit`] | constellation geometry, footprints, revisit/coverage times |
+//! | substrate | [`oaq_net`] | crosslink network simulation (delays, loss, fail-silence) |
+//! | extension | [`oaq_membership`] | heartbeat/gossip group membership (the paper's stated follow-on) |
+//! | substrate | [`oaq_sim`] | deterministic discrete-event kernel + statistics |
+//! | substrate | [`oaq_linalg`] | dense linear algebra for the estimators and solvers |
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oaq::core::config::{ProtocolConfig, Scheme};
+//! use oaq::core::protocol::Episode;
+//!
+//! // A degraded plane (k = 10: underlapping footprints).
+//! let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+//! let outcome = Episode::new(&cfg, 7).run(6.0, 12.0);
+//! println!("delivered a {} result", outcome.level);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tutorial;
+
+pub use oaq_analytic as analytic;
+pub use oaq_core as core;
+pub use oaq_geoloc as geoloc;
+pub use oaq_linalg as linalg;
+pub use oaq_membership as membership;
+pub use oaq_net as net;
+pub use oaq_orbit as orbit;
+pub use oaq_san as san;
+pub use oaq_sim as sim;

@@ -1,0 +1,132 @@
+//! A guided tour of the OAQ stack, bottom-up. Every snippet compiles and
+//! runs as a doctest.
+//!
+//! # 1. Geometry: when does a plane stop overlapping?
+//!
+//! The QoS spectrum is driven by one geometric comparison — revisit time
+//! `Tr[k] = θ/k` against coverage time `Tc`:
+//!
+//! ```
+//! use oaq::analytic::PlaneGeometry;
+//!
+//! for k in (9..=14).rev() {
+//!     let g = PlaneGeometry::reference(k);
+//!     println!("k={k}: Tr={:.2}  {}", g.tr(),
+//!              if g.is_overlapping() { "overlap" } else { "underlap" });
+//! }
+//! // Underlap begins below k = 11 (paper Section 4.2.1).
+//! assert!(PlaneGeometry::reference(11).is_overlapping());
+//! assert!(!PlaneGeometry::reference(10).is_overlapping());
+//! ```
+//!
+//! # 2. The conditional QoS model (Eq. 4 and friends)
+//!
+//! ```
+//! use oaq::analytic::{PlaneGeometry, QosParams};
+//! use oaq::analytic::qos::{conditional_qos, Scheme};
+//!
+//! let g = PlaneGeometry::reference(12);
+//! let q = QosParams::paper_defaults(0.5);
+//! let oaq = conditional_qos(Scheme::Oaq, &g, &q);
+//! let baq = conditional_qos(Scheme::Baq, &g, &q);
+//! // The paper's quoted pair: 0.44 vs 0.20.
+//! assert!((oaq.p(3) - 0.44).abs() < 0.01);
+//! assert!((baq.p(3) - 0.20).abs() < 0.005);
+//! ```
+//!
+//! # 3. The plane availability model (Figure 7)
+//!
+//! ```
+//! use oaq::analytic::capacity::CapacityParams;
+//!
+//! let pk = CapacityParams::reference(5e-5, 30_000.0, 10)
+//!     .distribution()
+//!     .expect("small CTMC always solves");
+//! assert!((pk.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! assert_eq!(pk[9], 0.0, "threshold replenishment pins the plane at 10");
+//! ```
+//!
+//! # 4. Composing the QoS measure (Eq. 3)
+//!
+//! ```
+//! use oaq::analytic::compose::{EvaluationConfig, Scheme};
+//!
+//! let cfg = EvaluationConfig::paper_defaults(1e-5);
+//! let d = cfg.qos_ccdf(Scheme::Oaq).expect("solves");
+//! assert!((d.p_at_least(2) - 0.75).abs() < 0.03); // the Figure 9 anchor
+//! ```
+//!
+//! # 5. Running the protocol itself
+//!
+//! The analytic model idealizes; the protocol simulator doesn't. Satellites
+//! are state machines over a crosslink network with real delays:
+//!
+//! ```
+//! use oaq::core::config::{ProtocolConfig, Scheme};
+//! use oaq::core::protocol::Episode;
+//! use oaq::core::qos_level::QosLevel;
+//!
+//! let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+//! // A 30-minute signal born mid-window of satellite 0.
+//! let out = Episode::new(&cfg, 6).run(6.0, 30.0);
+//! assert_eq!(out.level, QosLevel::SequentialDual);
+//! assert!(out.deadline_met);
+//!
+//! // Kill the recruit: the wait-timeout guarantee still delivers.
+//! let out = Episode::new(&cfg, 6).with_failure(1, 1.0).run(6.0, 30.0);
+//! assert_eq!(out.level, QosLevel::Single);
+//! assert!(out.deadline_met);
+//! ```
+//!
+//! # 6. Monte-Carlo estimation and the cross-validation
+//!
+//! ```
+//! use oaq::core::config::{ProtocolConfig, Scheme};
+//! use oaq::core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+//! use oaq::analytic::{PlaneGeometry, QosParams};
+//! use oaq::analytic::qos::{conditional_qos, Scheme as AScheme};
+//!
+//! let est = estimate_conditional_qos(
+//!     &ProtocolConfig::reference(10, Scheme::Oaq),
+//!     &MonteCarloOptions { episodes: 2000, mu: 0.2, seed: 1 },
+//! );
+//! let exact = conditional_qos(
+//!     AScheme::Oaq,
+//!     &PlaneGeometry::reference(10),
+//!     &QosParams::paper_defaults(0.2),
+//! );
+//! assert!((est.p_at_least(2) - exact.p_at_least(2)).abs() < 0.03);
+//! ```
+//!
+//! # 7. Real geolocation under the hood
+//!
+//! The abstract accuracy model can be swapped for the actual iterative
+//! weighted-least-squares estimator:
+//!
+//! ```
+//! use oaq::core::config::{ProtocolConfig, Scheme};
+//! use oaq::core::fullstack::run_fullstack_chain;
+//!
+//! let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+//! cfg.tau = 25.0;
+//! let report = run_fullstack_chain(&cfg, 2, 3);
+//! // The second pass collapses the single-satellite Doppler ambiguity.
+//! assert!(report.iterations[1].reported_error_km
+//!         < report.iterations[0].reported_error_km);
+//! ```
+//!
+//! # 8. The membership extension
+//!
+//! ```
+//! use oaq::membership::{MembershipConfig, MembershipSim};
+//!
+//! let cfg = MembershipConfig::plane(10);
+//! let mut sim = MembershipSim::new(&cfg, 5);
+//! sim.fail_node(4, 25.0);
+//! sim.run_until(25.0 + cfg.detection_bound());
+//! assert!(sim.all_alive_suspect(4));
+//! assert_eq!(sim.false_suspicions(), 0);
+//! ```
+//!
+//! From here: `EXPERIMENTS.md` maps every paper artifact to a runnable
+//! binary, and the crate docs of each layer go deeper.

@@ -1,0 +1,85 @@
+//! Calibration: the abstract per-iteration accuracy model the Monte-Carlo
+//! experiments use must agree in *shape* with the real iterative-WLS
+//! estimator — single-pass ambiguity far above the threshold scales,
+//! strong collapse on the second pass, simultaneous dual best of all.
+
+use oaq_core::config::{AccuracyModel, ProtocolConfig, Scheme};
+use oaq_core::fullstack::run_fullstack_chain;
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_orbit::units::{Degrees, Minutes};
+use oaq_orbit::GroundPoint;
+use oaq_sim::SimRng;
+
+#[test]
+fn abstract_model_shape_matches_real_estimator() {
+    let abstract_model = AccuracyModel::default();
+    // Shape facts the Monte-Carlo abstraction encodes:
+    let single = abstract_model.error_km(1, false);
+    let dual_seq = abstract_model.error_km(2, false);
+    let dual_sim = abstract_model.error_km(2, true);
+    assert!(single / dual_seq > 2.0, "second pass collapses");
+    assert!(dual_sim <= dual_seq, "simultaneous at least as good");
+
+    // The real estimator, averaged over seeds.
+    let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    cfg.tau = 25.0;
+    let mut real_single = 0.0;
+    let mut real_dual = 0.0;
+    let n = 6;
+    for seed in 0..n {
+        let r = run_fullstack_chain(&cfg, 2, 100 + seed);
+        real_single += r.iterations[0].reported_error_km / n as f64;
+        real_dual += r.iterations[1].reported_error_km / n as f64;
+    }
+    assert!(
+        real_single / real_dual > 2.0,
+        "real second pass must collapse too: {real_single} -> {real_dual}"
+    );
+}
+
+#[test]
+fn simultaneous_dual_is_the_best_real_quality() {
+    // Directly compare the three QoS-relevant measurement configurations
+    // with the real estimator: single < sequential-dual < simultaneous-dual
+    // in reported accuracy (decreasing error).
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(40.0)),
+        400.0e6,
+    );
+    let scenario = PassScenario::reference(&emitter);
+    let mut errs = [0.0f64; 3];
+    let n = 8;
+    for seed in 0..n {
+        let mut rng = SimRng::seed_from(500 + seed);
+
+        let mut single = SequentialLocalizer::new(emitter.initial_guess_nearby(0.8));
+        single.add_pass(scenario.synthesize_pass(0, &mut rng));
+        errs[0] += single.estimate().unwrap().error_radius_km() / n as f64;
+
+        let mut seq = SequentialLocalizer::new(emitter.initial_guess_nearby(0.8));
+        seq.add_pass(scenario.synthesize_pass(0, &mut rng));
+        seq.add_pass(scenario.synthesize_pass(1, &mut rng));
+        errs[1] += seq.estimate().unwrap().error_radius_km() / n as f64;
+
+        let mut sim = SequentialLocalizer::new(emitter.initial_guess_nearby(0.8));
+        sim.add_pass(scenario.synthesize_simultaneous_pair(
+            0,
+            Degrees(3.0).to_radians(),
+            Minutes(0.5),
+            &mut rng,
+        ));
+        errs[2] += sim.estimate().unwrap().error_radius_km() / n as f64;
+    }
+    assert!(
+        errs[0] > errs[1],
+        "sequential dual beats single: {errs:?}"
+    );
+    assert!(
+        errs[2] < errs[0] / 10.0,
+        "simultaneous dual crushes single: {errs:?}"
+    );
+    // The QoS-level ordering Y3 >= Y2 > Y1 is physically grounded.
+    assert!(errs[2] <= errs[1] * 2.0, "simultaneous competitive with sequential: {errs:?}");
+}

@@ -1,0 +1,80 @@
+//! The geometry bridge must close the loop: the coverage pattern derived
+//! from the real constellation for an on-track 30°N target has to coincide
+//! with the idealized center-line pattern the paper's model assumes — and
+//! running the protocol over it must reproduce the analytic QoS numbers.
+
+use oaq_analytic::geometry::PlaneGeometry;
+use oaq_analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
+use oaq_core::bridge::DerivedScenario;
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_orbit::units::{Degrees, Minutes, Radians};
+use oaq_orbit::{Constellation, GroundPoint};
+use oaq_sim::SimRng;
+
+fn on_track_target() -> GroundPoint {
+    let i = Degrees(85.0).to_radians().value();
+    let u = (Degrees(30.0).to_radians().value().sin() / i.sin()).asin();
+    let lon = (i.cos() * u.sin()).atan2(u.cos());
+    GroundPoint::new(Degrees(30.0).to_radians(), Radians(lon))
+}
+
+#[test]
+fn derived_on_track_pattern_is_the_idealized_pattern() {
+    let c = Constellation::reference();
+    let scenario = DerivedScenario::from_constellation(&c, &on_track_target(), Minutes(0.05))
+        .expect("covered");
+    assert_eq!(scenario.k(), 14);
+    let mut windows: Vec<(f64, f64)> = scenario.geometry.windows().to_vec();
+    windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let tr = 90.0 / 14.0;
+    for (i, &(offset, dur)) in windows.iter().enumerate() {
+        assert!((dur - 9.0).abs() < 0.05, "window {i} duration {dur}");
+        if i > 0 {
+            let gap = offset - windows[i - 1].0;
+            assert!((gap - tr).abs() < 0.05, "window {i} spacing {gap}");
+        }
+    }
+}
+
+#[test]
+fn protocol_over_derived_geometry_matches_analytic_k10() {
+    // Degrade plane 0 to k = 10; the derived target-A pattern is then the
+    // paper's tangent underlap case, so the Monte-Carlo QoS over the REAL
+    // geometry must reproduce the analytic P(Y = y | 10).
+    let mut c = Constellation::reference();
+    for _ in 0..6 {
+        c.plane_mut(0).fail_one();
+    }
+    let scenario = DerivedScenario::from_constellation(&c, &on_track_target(), Minutes(0.05))
+        .expect("covered");
+    assert_eq!(scenario.k(), 10);
+
+    let mu = 0.2;
+    let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    cfg.theta = 90.0;
+    let episodes = 6000u64;
+    let mut rng = SimRng::seed_from(99);
+    let mut counts = [0usize; 4];
+    for seed in 0..episodes {
+        let birth = 90.0 + rng.uniform(0.0, 90.0);
+        let duration = rng.exp(mu);
+        let out = Episode::new(&cfg, seed)
+            .with_geometry(scenario.geometry.clone())
+            .run(birth, duration);
+        counts[out.level.as_y()] += 1;
+    }
+    let exact = conditional_qos(
+        AScheme::Oaq,
+        &PlaneGeometry::reference(10),
+        &QosParams::paper_defaults(mu),
+    );
+    for (y, &count) in counts.iter().enumerate() {
+        let sim = count as f64 / episodes as f64;
+        assert!(
+            (sim - exact.p(y)).abs() < 0.03,
+            "y={y}: derived-geometry MC {sim:.4} vs analytic {:.4}",
+            exact.p(y)
+        );
+    }
+}

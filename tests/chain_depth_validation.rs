@@ -1,0 +1,73 @@
+//! E14 cross-validation: the closed-form chain-length distribution
+//! (`oaq_analytic::chain`) vs the protocol simulation in the idealized
+//! regime the derivation assumes (near-instant computation, negligible
+//! messaging overheads).
+
+use oaq_analytic::chain::chain_ccdf;
+use oaq_analytic::geometry::PlaneGeometry;
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::Episode;
+use oaq_sim::SimRng;
+
+fn idealized(k: usize, tau: f64) -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::reference(k, Scheme::Oaq);
+    cfg.tau = tau;
+    cfg.nu = 3000.0; // mean computation 0.02 min
+    cfg.delta = 0.001;
+    cfg.tg = 0.01;
+    cfg
+}
+
+fn empirical_ccdf(cfg: &ProtocolConfig, mu: f64, episodes: u64, max_n: usize) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(4242);
+    let mut at_least = vec![0u64; max_n + 1]; // index 0 unused
+    for seed in 0..episodes {
+        let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
+        let duration = rng.exp(mu);
+        let out = Episode::new(cfg, seed).run(birth, duration);
+        for (n, slot) in at_least.iter_mut().enumerate().skip(1) {
+            if out.chain_length >= n {
+                *slot += 1;
+            }
+        }
+    }
+    at_least
+        .iter()
+        .map(|&c| c as f64 / episodes as f64)
+        .collect()
+}
+
+#[test]
+fn chain_distribution_matches_protocol_short_deadline() {
+    for k in [9usize, 10] {
+        let cfg = idealized(k, 5.0);
+        let mu = 0.2;
+        let emp = empirical_ccdf(&cfg, mu, 8000, 3);
+        let geom = PlaneGeometry::reference(k as u32);
+        for (n, &e) in emp.iter().enumerate().take(4).skip(1) {
+            let exact = chain_ccdf(&geom, 5.0, mu, n).unwrap();
+            assert!(
+                (e - exact).abs() < 0.02,
+                "k={k} n={n}: empirical {e} vs exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_distribution_matches_protocol_deep_chains() {
+    // τ = 25 allows chains up to M[9] = 2 + floor(24/10) = 4.
+    let cfg = idealized(9, 25.0);
+    let mu = 0.15;
+    let emp = empirical_ccdf(&cfg, mu, 8000, 5);
+    let geom = PlaneGeometry::reference(9);
+    for (n, &e) in emp.iter().enumerate().skip(1) {
+        let exact = chain_ccdf(&geom, 25.0, mu, n).unwrap();
+        assert!(
+            (e - exact).abs() < 0.02,
+            "n={n}: empirical {e} vs exact {exact}"
+        );
+    }
+    assert_eq!(chain_ccdf(&geom, 25.0, mu, 5).unwrap(), 0.0, "beyond M[k]");
+    assert!(emp[5] < 0.001, "protocol also respects M[k]: {}", emp[5]);
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline tests across the substrate crates: constellation
+//! geometry → degradation → protocol regime → real geolocation accuracy.
+
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::fullstack::run_fullstack_chain;
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::QosLevel;
+use oaq_orbit::revisit::{classify, Regime};
+use oaq_orbit::Constellation;
+
+#[test]
+fn degradation_drives_the_regime_the_protocol_sees() {
+    let mut c = Constellation::reference();
+    // Full plane: overlapping.
+    assert_eq!(
+        classify(c.plane(0).revisit_time(), c.coverage_time()),
+        Regime::Overlapping
+    );
+    // Lose 6 satellites in plane 0 (2 soak into spares): k = 10.
+    for _ in 0..6 {
+        c.plane_mut(0).fail_one();
+    }
+    let k = c.plane(0).active_count();
+    assert_eq!(k, 10);
+    assert_eq!(
+        classify(c.plane(0).revisit_time(), c.coverage_time()),
+        Regime::Underlapping
+    );
+    // The protocol configured from the degraded plane exploits sequential
+    // coverage where the intact plane would use simultaneous coverage.
+    let degraded = ProtocolConfig::reference(k, Scheme::Oaq);
+    let out = Episode::new(&degraded, 3).run(6.0, 30.0);
+    assert_eq!(out.level, QosLevel::SequentialDual);
+    let intact = ProtocolConfig::reference(14, Scheme::Oaq);
+    let out = Episode::new(&intact, 3).run(96.0, 30.0);
+    assert_eq!(out.level, QosLevel::SimultaneousDual);
+}
+
+#[test]
+fn fullstack_chain_error_tracks_the_accuracy_story() {
+    // The sequential-localization claim, end to end with the real
+    // estimator: each satellite that joins the chain shrinks the reported
+    // error, and the first pass alone is honest about its ambiguity.
+    let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    cfg.tau = 30.0;
+    let report = run_fullstack_chain(&cfg, 3, 21);
+    let errs: Vec<f64> = report
+        .iterations
+        .iter()
+        .map(|i| i.reported_error_km)
+        .collect();
+    assert!(errs[0] > 50.0, "single pass is ambiguous: {errs:?}");
+    assert!(errs[1] < errs[0] / 5.0, "second pass collapses: {errs:?}");
+    assert!(errs[2] <= errs[1] * 1.001, "third pass refines: {errs:?}");
+    assert!(
+        report.final_error_km() < 20.0,
+        "final actual error {} km",
+        report.final_error_km()
+    );
+}
+
+#[test]
+fn protocol_timeliness_guarantee_under_fault_injection() {
+    // Inject a fail-silent recruit in every episode; the done-chain variant
+    // must still deliver something by the deadline whenever a detection
+    // happened and the detector survives.
+    let cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    let mut met = 0;
+    let mut detected = 0;
+    for seed in 0..200 {
+        let out = Episode::new(&cfg, seed)
+            .with_failure(1, 0.5)
+            .with_failure(3, 0.5)
+            .run(6.0, 20.0);
+        if out.level > QosLevel::Missed {
+            detected += 1;
+            if out.deadline_met {
+                met += 1;
+            }
+        }
+    }
+    assert!(detected > 150);
+    assert_eq!(met, detected, "done-chain guarantee must hold");
+}
+
+#[test]
+fn backward_variant_trades_guarantee_for_messages() {
+    let mut fwd_cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    let mut bwd_cfg = fwd_cfg;
+    bwd_cfg.backward_messaging = true;
+    fwd_cfg.error_threshold_km = None;
+
+    // Under fault injection: the done-chain keeps the guarantee, backward
+    // messaging loses alerts when the responsible recruit dies.
+    let mut bwd_lost = 0;
+    for seed in 0..200 {
+        let fwd = Episode::new(&fwd_cfg, seed)
+            .with_failure(1, 8.0)
+            .run(6.0, 20.0);
+        let bwd = Episode::new(&bwd_cfg, seed)
+            .with_failure(1, 8.0)
+            .run(6.0, 20.0);
+        assert!(fwd.deadline_met, "done-chain always delivers (seed {seed})");
+        if bwd.level == QosLevel::Missed {
+            bwd_lost += 1;
+        }
+    }
+    assert!(
+        bwd_lost > 0,
+        "a fail-silent recruit must cost backward messaging some alerts"
+    );
+    // Fault-free: backward messaging saves the done-chain traffic on every
+    // successful coordination (request+done vs request only).
+    let mut fwd_msgs = 0u64;
+    let mut bwd_msgs = 0u64;
+    for seed in 0..200 {
+        fwd_msgs += Episode::new(&fwd_cfg, seed).run(6.0, 20.0).messages_sent;
+        bwd_msgs += Episode::new(&bwd_cfg, seed).run(6.0, 20.0).messages_sent;
+    }
+    assert!(
+        bwd_msgs < fwd_msgs,
+        "backward messaging saves the done chain: {bwd_msgs} vs {fwd_msgs}"
+    );
+}
+
+#[test]
+fn constellation_scale_episode_sweep() {
+    // Sweep every capacity the evaluation considers; the QoS level
+    // reachable must match the regime (Table 1) in every run.
+    for k in 9..=14 {
+        let overlapping = ProtocolConfig::reference(k, Scheme::Oaq).is_overlapping();
+        for seed in 0..50 {
+            let out = Episode::new(&ProtocolConfig::reference(k, Scheme::Oaq), seed)
+                .run(1.0 + (seed as f64) * 0.13, 15.0);
+            match out.level {
+                QosLevel::SimultaneousDual => {
+                    assert!(overlapping, "k={k} seed={seed}: Y=3 requires overlap")
+                }
+                QosLevel::SequentialDual => {
+                    assert!(!overlapping, "k={k} seed={seed}: Y=2 requires underlap")
+                }
+                _ => {}
+            }
+        }
+    }
+}

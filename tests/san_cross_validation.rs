@@ -1,0 +1,95 @@
+//! Cross-validation of the three P(k) solution paths (experiment E2
+//! support): closed-form regeneration-cycle integral (`oaq-analytic`),
+//! exact CTMC steady state of the Erlangized SAN, and long-run simulation
+//! of the SAN with the true deterministic clock.
+
+use oaq_analytic::capacity::CapacityParams;
+use oaq_san::plane::{PlaneModelConfig, SparePolicy};
+use oaq_san::sim::SteadyStateOptions;
+
+const PHI: f64 = 30_000.0;
+
+#[test]
+fn three_solvers_agree_on_pk() {
+    for &lambda in &[2e-5, 6e-5, 1e-4] {
+        let exact = CapacityParams::reference(lambda, PHI, 10)
+            .distribution()
+            .unwrap();
+        let cfg = PlaneModelConfig::reference(lambda, PHI, 10);
+        let sim = cfg.build_sim().capacity_distribution_sim(&SteadyStateOptions {
+            warmup: 5.0 * PHI,
+            horizon: 500.0 * PHI,
+            seed: 71,
+        });
+        let markov = cfg
+            .build_markov(30)
+            .capacity_distribution_markov(100_000)
+            .unwrap();
+        for k in 10..=14 {
+            assert!(
+                (exact[k] - sim[k]).abs() < 0.025,
+                "λ={lambda} k={k}: closed-form {} vs sim {}",
+                exact[k],
+                sim[k]
+            );
+            assert!(
+                (exact[k] - markov[k]).abs() < 0.03,
+                "λ={lambda} k={k}: closed-form {} vs markov {}",
+                exact[k],
+                markov[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn erlang_order_converges_to_deterministic_clock() {
+    // The Erlang(m) phase-type approximation of the deterministic φ clock
+    // must approach the exact regeneration-cycle answer as m grows.
+    let lambda = 5e-5;
+    let exact = CapacityParams::reference(lambda, PHI, 10)
+        .distribution()
+        .unwrap();
+    let cfg = PlaneModelConfig::reference(lambda, PHI, 10);
+    let err_for = |shape: u32| -> f64 {
+        let d = cfg
+            .build_markov(shape)
+            .capacity_distribution_markov(100_000)
+            .unwrap();
+        (10..=14).map(|k| (d[k] - exact[k]).abs()).fold(0.0, f64::max)
+    };
+    let coarse = err_for(1);
+    let medium = err_for(8);
+    let fine = err_for(40);
+    assert!(
+        fine < medium && medium < coarse,
+        "Erlang error must decrease: {coarse} > {medium} > {fine}"
+    );
+    assert!(fine < 0.01, "Erlang(40) should be near-exact, err {fine}");
+}
+
+#[test]
+fn full_restore_policy_differs_from_pinning() {
+    // Ablation sanity: the alternative reading of the threshold policy
+    // produces a visibly different distribution (mass below η).
+    let lambda = 1e-4;
+    let pin = PlaneModelConfig::reference(lambda, PHI, 10);
+    let launch = PlaneModelConfig {
+        policy: SparePolicy::FullRestoreAfterDelay {
+            mean_delay_hours: 5_000.0,
+            erlang_shape: 2,
+        },
+        ..pin
+    };
+    let opts = SteadyStateOptions {
+        warmup: 5.0 * PHI,
+        horizon: 400.0 * PHI,
+        seed: 5,
+    };
+    let d_pin = pin.build_sim().capacity_distribution_sim(&opts);
+    let d_launch = launch.build_sim().capacity_distribution_sim(&opts);
+    let below_pin: f64 = d_pin[..10].iter().sum();
+    let below_launch: f64 = d_launch[..10].iter().sum();
+    assert_eq!(below_pin, 0.0);
+    assert!(below_launch > 0.05, "launch delay exposes k < η");
+}

@@ -1,0 +1,113 @@
+//! Experiment E9: the distributed protocol simulation and the paper's
+//! closed-form model are two independent derivations of `P(Y = y | k)`.
+//! They must agree — this is the strongest correctness check in the
+//! repository, and one the paper itself (analytic-only) could not perform.
+
+use oaq_analytic::geometry::PlaneGeometry;
+use oaq_analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::experiment::{estimate_conditional_qos, MonteCarloOptions};
+
+const EPISODES: usize = 6000;
+
+fn compare(k: usize, mu: f64, scheme: Scheme, seed: u64) {
+    let cfg = ProtocolConfig::reference(k, scheme);
+    let est = estimate_conditional_qos(
+        &cfg,
+        &MonteCarloOptions {
+            episodes: EPISODES,
+            mu,
+            seed,
+        },
+    );
+    let ascheme = match scheme {
+        Scheme::Oaq => AScheme::Oaq,
+        Scheme::Baq => AScheme::Baq,
+    };
+    let analytic = conditional_qos(
+        ascheme,
+        &PlaneGeometry::reference(k as u32),
+        &QosParams::paper_defaults(mu),
+    );
+    for y in 0..=3 {
+        let sim = est.p[y];
+        let exact = analytic.p(y);
+        // Monte-Carlo noise plus the protocol's real messaging overheads
+        // (δ, Tg) which the analytic model idealizes away.
+        let tol = 0.02 + est.ci95(exact.clamp(0.05, 0.95));
+        assert!(
+            (sim - exact).abs() < tol,
+            "{scheme:?} k={k} mu={mu} y={y}: simulated {sim:.4} vs analytic {exact:.4} (tol {tol:.4})"
+        );
+    }
+}
+
+#[test]
+fn oaq_overlap_k14() {
+    compare(14, 0.2, Scheme::Oaq, 101);
+}
+
+#[test]
+fn oaq_overlap_k12_both_mus() {
+    compare(12, 0.2, Scheme::Oaq, 102);
+    compare(12, 0.5, Scheme::Oaq, 103);
+}
+
+#[test]
+fn oaq_overlap_k11() {
+    compare(11, 0.2, Scheme::Oaq, 104);
+}
+
+#[test]
+fn oaq_underlap_tangent_k10() {
+    compare(10, 0.2, Scheme::Oaq, 105);
+    compare(10, 0.5, Scheme::Oaq, 106);
+}
+
+#[test]
+fn oaq_underlap_gap_k9() {
+    compare(9, 0.2, Scheme::Oaq, 107);
+    compare(9, 0.5, Scheme::Oaq, 108);
+}
+
+#[test]
+fn baq_overlap_k12() {
+    compare(12, 0.2, Scheme::Baq, 109);
+    compare(12, 0.5, Scheme::Baq, 110);
+}
+
+#[test]
+fn baq_underlap_k9_and_k10() {
+    compare(9, 0.2, Scheme::Baq, 111);
+    compare(10, 0.2, Scheme::Baq, 112);
+}
+
+/// The paper's headline conditional number, reproduced by the *protocol*
+/// rather than the formula: P(Y = 3 | k = 12) ≈ 0.44 under OAQ and 0.20
+/// under BAQ (τ = 5, µ = 0.5, ν = 30).
+#[test]
+fn paper_k12_headline_numbers_from_simulation() {
+    let opts = |seed| MonteCarloOptions {
+        episodes: 12_000,
+        mu: 0.5,
+        seed,
+    };
+    let oaq = estimate_conditional_qos(
+        &ProtocolConfig::reference(12, Scheme::Oaq),
+        &opts(201),
+    );
+    let baq = estimate_conditional_qos(
+        &ProtocolConfig::reference(12, Scheme::Baq),
+        &opts(202),
+    );
+    assert!(
+        (oaq.p[3] - 0.44).abs() < 0.02,
+        "OAQ P(Y=3|12) = {:.3}",
+        oaq.p[3]
+    );
+    assert!(
+        (baq.p[3] - 0.20).abs() < 0.02,
+        "BAQ P(Y=3|12) = {:.3}",
+        baq.p[3]
+    );
+}
