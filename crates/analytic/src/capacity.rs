@@ -56,7 +56,10 @@ impl CapacityParams {
             self.lambda.is_finite() && self.lambda > 0.0,
             "lambda must be positive"
         );
-        assert!(self.phi.is_finite() && self.phi > 0.0, "phi must be positive");
+        assert!(
+            self.phi.is_finite() && self.phi > 0.0,
+            "phi must be positive"
+        );
         assert!(self.eta < self.capacity, "eta must be below capacity");
     }
 

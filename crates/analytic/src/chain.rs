@@ -134,7 +134,11 @@ mod tests {
         for k in [9u32, 10] {
             let g = PlaneGeometry::reference(k);
             for mu in [0.1, 0.5, 2.0] {
-                let q = QosParams { tau: 5.0, mu, nu: 30.0 };
+                let q = QosParams {
+                    tau: 5.0,
+                    mu,
+                    nu: 30.0,
+                };
                 let p1 = chain_ccdf(&g, 5.0, mu, 1).unwrap();
                 let miss = miss_probability(&g, &q);
                 assert!((p1 + miss - 1.0).abs() < 1e-12, "k={k} mu={mu}");

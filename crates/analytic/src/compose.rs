@@ -3,8 +3,8 @@
 
 use crate::capacity::CapacityParams;
 use crate::geometry::PlaneGeometry;
-use crate::qos::{conditional_qos, QosParams};
 pub use crate::qos::Scheme;
+use crate::qos::{conditional_qos, QosParams};
 use oaq_san::ctmc::CtmcError;
 
 /// The unconditional QoS-level distribution `P(Y = y)`.

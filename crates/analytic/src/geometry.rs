@@ -168,7 +168,10 @@ mod tests {
             let g = PlaneGeometry::reference(k);
             assert_eq!(g.sequential_chain_bound(5.0), Some(2), "k = {k}");
         }
-        assert_eq!(PlaneGeometry::reference(12).sequential_chain_bound(5.0), None);
+        assert_eq!(
+            PlaneGeometry::reference(12).sequential_chain_bound(5.0),
+            None
+        );
     }
 
     #[test]

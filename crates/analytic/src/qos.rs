@@ -273,10 +273,7 @@ pub fn g2_oaq_with(
 /// Miss probability from its defining integral with an arbitrary signal
 /// survival curve.
 #[must_use]
-pub fn miss_probability_with(
-    geom: &PlaneGeometry,
-    signal_survival: &dyn Fn(f64) -> f64,
-) -> f64 {
+pub fn miss_probability_with(geom: &PlaneGeometry, signal_survival: &dyn Fn(f64) -> f64) -> f64 {
     if geom.is_overlapping() || geom.l2() == 0.0 {
         return 0.0;
     }
@@ -323,8 +320,7 @@ mod tests {
                         "g2 k={k} mu={mu} tau={tau}"
                     );
                     assert!(
-                        (miss_probability(&g, &q) - miss_probability_with(&g, &surv)).abs()
-                            < 1e-8,
+                        (miss_probability(&g, &q) - miss_probability_with(&g, &surv)).abs() < 1e-8,
                         "miss k={k} mu={mu}"
                     );
                 }
@@ -335,7 +331,14 @@ mod tests {
     #[test]
     fn nu_equal_mu_branch_is_continuous() {
         let g = PlaneGeometry::reference(12);
-        let exact = g3_oaq(&g, &QosParams { tau: 5.0, mu: 0.5, nu: 0.5 });
+        let exact = g3_oaq(
+            &g,
+            &QosParams {
+                tau: 5.0,
+                mu: 0.5,
+                nu: 0.5,
+            },
+        );
         let near = g3_oaq(
             &g,
             &QosParams {

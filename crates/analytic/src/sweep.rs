@@ -60,11 +60,7 @@ pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, 
 /// # Errors
 ///
 /// Propagates capacity-solver failures.
-pub fn figure8(
-    scheme: Scheme,
-    mu: f64,
-    lambdas: &[f64],
-) -> Result<Vec<QosRow>, CtmcError> {
+pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, CtmcError> {
     lambdas
         .iter()
         .map(|&lambda| {
@@ -111,11 +107,7 @@ pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, CtmcError
 /// # Errors
 ///
 /// Propagates capacity-solver failures.
-pub fn tau_sweep(
-    scheme: Scheme,
-    lambda: f64,
-    taus: &[f64],
-) -> Result<Vec<QosRow>, CtmcError> {
+pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow>, CtmcError> {
     taus.iter()
         .map(|&tau| {
             let mut cfg = EvaluationConfig::paper_defaults(lambda);

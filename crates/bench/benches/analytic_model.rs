@@ -12,7 +12,13 @@ fn bench_analytic(c: &mut Criterion) {
     g.bench_function("g3_closed_form", |b| b.iter(|| g3_oaq(&geom, &q)));
     g.bench_function("g3_quadrature", |b| {
         let surv = |t: f64| (-0.2 * t.max(0.0)).exp();
-        let cdf = |t: f64| if t <= 0.0 { 0.0 } else { 1.0 - (-30.0 * t).exp() };
+        let cdf = |t: f64| {
+            if t <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-30.0 * t).exp()
+            }
+        };
         b.iter(|| g3_oaq_with(&geom, 5.0, &surv, &cdf));
     });
     g.bench_function("figure9_single_lambda", |b| {

@@ -67,9 +67,7 @@ fn main() {
         let mut lost = 0;
         let mut msgs = 0u64;
         for seed in 0..trials {
-            let out = Episode::new(&cfg, seed)
-                .with_failure(1, 8.0)
-                .run(6.0, 20.0);
+            let out = Episode::new(&cfg, seed).with_failure(1, 8.0).run(6.0, 20.0);
             msgs += out.messages_sent;
             if out.level == QosLevel::Missed {
                 lost += 1;

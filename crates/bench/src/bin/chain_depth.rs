@@ -32,7 +32,14 @@ fn main() {
     let mu = 0.15;
     banner("Chain-length CCDF P(N >= n): closed form vs protocol (20k episodes)");
     tsv_header(&["k", "tau", "n", "analytic", "simulated", "M[k]"]);
-    for (k, tau) in [(9usize, 5.0), (9, 15.0), (9, 25.0), (9, 35.0), (10, 5.0), (10, 25.0)] {
+    for (k, tau) in [
+        (9usize, 5.0),
+        (9, 15.0),
+        (9, 25.0),
+        (9, 35.0),
+        (10, 5.0),
+        (10, 25.0),
+    ] {
         let geom = PlaneGeometry::reference(k as u32);
         let m = geom.sequential_chain_bound(tau).unwrap();
         let mut cfg = ProtocolConfig::reference(k, Scheme::Oaq);
@@ -52,10 +59,7 @@ fn main() {
     tsv_header(&["tau", "E[N]"]);
     for tau in [2.0, 5.0, 10.0, 15.0, 25.0, 35.0, 45.0] {
         let g = PlaneGeometry::reference(9);
-        println!(
-            "{tau}\t{:.4}",
-            expected_chain_length(&g, tau, mu).unwrap()
-        );
+        println!("{tau}\t{:.4}", expected_chain_length(&g, tau, mu).unwrap());
     }
     println!("\nThe distribution's support ends exactly at the paper's M[k]");
     println!("(Eq. 2); the mass at each depth quantifies how much of the bound");

@@ -14,13 +14,17 @@ fn main() {
     let grid = paper_lambda_grid();
 
     banner("Figure 7 (exact): P(K=k) vs lambda, eta=10, phi=30000h");
-    tsv_header(&["lambda", "P(9)", "P(10)", "P(11)", "P(12)", "P(13)", "P(14)"]);
+    tsv_header(&[
+        "lambda", "P(9)", "P(10)", "P(11)", "P(12)", "P(13)", "P(14)",
+    ]);
     for row in figure7(&grid, 30_000.0, 10).expect("capacity model solves") {
         tsv_row(row.lambda, &row.p_k[9..=14]);
     }
 
     banner("Figure 7 (SAN simulation, deterministic clock): same rows");
-    tsv_header(&["lambda", "P(9)", "P(10)", "P(11)", "P(12)", "P(13)", "P(14)"]);
+    tsv_header(&[
+        "lambda", "P(9)", "P(10)", "P(11)", "P(12)", "P(13)", "P(14)",
+    ]);
     for &lambda in &grid {
         let dist = PlaneModelConfig::reference(lambda, 30_000.0, 10)
             .build_sim()

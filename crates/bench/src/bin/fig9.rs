@@ -9,13 +9,7 @@ fn main() {
     let grid = paper_lambda_grid();
     banner("Figure 9: P(Y>=y) vs lambda (tau=5, mu=0.2, eta=10, phi=30000h)");
     tsv_header(&[
-        "lambda",
-        "OAQ:y=1",
-        "OAQ:y=2",
-        "OAQ:y=3",
-        "BAQ:y=1",
-        "BAQ:y=2",
-        "BAQ:y=3",
+        "lambda", "OAQ:y=1", "OAQ:y=2", "OAQ:y=3", "BAQ:y=1", "BAQ:y=2", "BAQ:y=3",
     ]);
     let oaq = figure9(Scheme::Oaq, &grid).expect("solves");
     let baq = figure9(Scheme::Baq, &grid).expect("solves");

@@ -12,7 +12,12 @@ fn main() {
     banner("Figure 1 geometry: coverage by latitude (98 active satellites)");
     let c = Constellation::reference();
     let an = CoverageAnalysis::new(72, 10);
-    tsv_header(&["lat_deg", "covered_frac", "overlap_frac", "mean_multiplicity"]);
+    tsv_header(&[
+        "lat_deg",
+        "covered_frac",
+        "overlap_frac",
+        "mean_multiplicity",
+    ]);
     for lat in [0.0, 15.0, 30.0, 45.0, 60.0, 75.0] {
         let band = an.latitude_band(&c, Degrees(lat));
         tsv_row(
@@ -32,7 +37,12 @@ fn main() {
     for _ in 0..6 {
         d.plane_mut(0).fail_one();
     }
-    tsv_header(&["lat_deg", "covered_frac", "overlap_frac", "mean_multiplicity"]);
+    tsv_header(&[
+        "lat_deg",
+        "covered_frac",
+        "overlap_frac",
+        "mean_multiplicity",
+    ]);
     for lat in [0.0, 30.0, 60.0] {
         let band = an.latitude_band(&d, Degrees(lat));
         tsv_row(

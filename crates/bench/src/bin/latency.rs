@@ -50,7 +50,15 @@ fn main() {
     let episodes = 20_000;
     let mu = 0.2;
     banner("Alert latency (birth -> delivery, minutes) vs quality, 20k episodes");
-    tsv_header(&["k", "scheme", "mean", "median", "p95", "max", "P(Y>=2|detected)"]);
+    tsv_header(&[
+        "k",
+        "scheme",
+        "mean",
+        "median",
+        "p95",
+        "max",
+        "P(Y>=2|detected)",
+    ]);
     for k in [9usize, 10, 12, 14] {
         for (label, scheme) in [("OAQ", Scheme::Oaq), ("BAQ", Scheme::Baq)] {
             let cfg = ProtocolConfig::reference(k, scheme);

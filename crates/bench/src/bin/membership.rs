@@ -42,7 +42,9 @@ fn main() {
         let mut msgs = 0u64;
         for seed in 0..episodes {
             let birth = 90.0 + (seed as f64 * 0.618_033_9) % 10.0;
-            let out = Episode::new(cfg, seed).with_failure(1, 0.0).run(birth, 15.0);
+            let out = Episode::new(cfg, seed)
+                .with_failure(1, 0.0)
+                .run(birth, 15.0);
             if out.level >= QosLevel::SequentialDual {
                 seq += 1;
             }

@@ -1,91 +1,116 @@
-//! Experiment E15 (analysis) — dependability of the OAQ protocol itself:
-//! quality and timeliness under crosslink message loss and fail-silent
-//! satellites. The paper argues the done-chain guarantees timely delivery
-//! "with high probability"; this experiment quantifies that claim.
+//! Experiment E15 — the fault-injection campaign: dependability of the OAQ
+//! protocol under bursty/transient crosslink faults, node failures, and
+//! reliable-delivery retry budgets.
+//!
+//! Sweeps loss probability × burst length × node-failure rate × retry
+//! budget and emits one JSON document on stdout: per-cell tallies,
+//! degradation curves ordered by fault intensity, and a seed-reproducible
+//! trace dump for every violation of the by-τ minimal-QoS guarantee
+//! (expected: none). Progress goes to stderr so stdout stays
+//! machine-readable.
+//!
+//! Usage: `robustness [--quick] [--seed N] [--episodes N]`
+//! `--quick` shrinks the grid and the per-cell episode count for CI.
 
-use oaq_bench::{banner, tsv_header};
-use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::protocol::Episode;
-use oaq_core::qos_level::QosLevel;
-use oaq_sim::SimRng;
+use oaq_bench::campaign::{campaign_json, run_cell, CellSpec, LossAxis};
 
-struct Row {
-    detected: u64,
-    timely: u64,
-    quality: u64,
-    missed: u64,
-}
-
-fn run_grid(cfg: &ProtocolConfig, failed: &[usize], episodes: u64) -> Row {
-    let mut rng = SimRng::seed_from(1515);
-    let mut row = Row {
-        detected: 0,
-        timely: 0,
-        quality: 0,
-        missed: 0,
-    };
-    for seed in 0..episodes {
-        // Failures break the pattern's symmetry, so births must sample the
-        // FULL period θ (not one revisit slice as in the fault-free
-        // experiments) to weight every satellite's window fairly.
-        let birth = cfg.theta + rng.uniform(0.0, cfg.theta);
-        let duration = rng.exp(0.2);
-        let mut ep = Episode::new(cfg, seed);
-        for &f in failed {
-            ep = ep.with_failure(f, 0.0);
-        }
-        let out = ep.run(birth, duration);
-        if out.level == QosLevel::Missed {
-            row.missed += 1;
-        } else {
-            row.detected += 1;
-            if out.deadline_met {
-                row.timely += 1;
-            }
-            if out.level >= QosLevel::SequentialDual {
-                row.quality += 1;
-            }
-        }
-    }
-    row
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
 }
 
 fn main() {
-    let episodes = 10_000;
-    banner("OAQ dependability: k = 10, tau = 5, mu = 0.2, 10k episodes/cell");
-    tsv_header(&[
-        "loss",
-        "failed_sats",
-        "P(detected)",
-        "timeliness",
-        "P(Y>=2|detected)",
-    ]);
-    for loss in [0.0, 0.1, 0.3, 0.5] {
-        for failed in [vec![], vec![1], vec![1, 2], vec![1, 3, 5]] {
-            let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
-            cfg.message_loss = loss;
-            let r = run_grid(&cfg, &failed, episodes);
-            let total = r.detected + r.missed;
-            println!(
-                "{loss}\t{}\t{:.4}\t{:.4}\t{:.4}",
-                failed.len(),
-                r.detected as f64 / total as f64,
-                if r.detected == 0 {
-                    1.0
-                } else {
-                    r.timely as f64 / r.detected as f64
-                },
-                if r.detected == 0 {
-                    0.0
-                } else {
-                    r.quality as f64 / r.detected as f64
-                },
-            );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => i += 1,
+            "--seed" | "--episodes" => i += 2,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: robustness [--quick] [--seed N] [--episodes N]");
+                std::process::exit(2);
+            }
         }
     }
-    println!("\nTimeliness holds at 1.0 whenever the *detecting* satellite");
-    println!("survives: message loss and dead recruits only strip quality,");
-    println!("never the alert. Dead satellites also open coverage holes,");
-    println!("which shows up as P(detected) < 1 — a constellation-level");
-    println!("effect the spare-deployment policies (Figure 7) exist to bound.");
+    let quick = args.iter().any(|a| a == "--quick");
+    let base_seed = parse_flag(&args, "--seed").unwrap_or(1515);
+    let episodes = parse_flag(&args, "--episodes").unwrap_or(if quick { 100 } else { 1500 });
+
+    let losses: Vec<LossAxis> = if quick {
+        vec![
+            LossAxis::Iid { p: 0.0 },
+            LossAxis::Iid { p: 0.2 },
+            LossAxis::Bursty {
+                marginal: 0.2,
+                burst_len: 5.0,
+            },
+        ]
+    } else {
+        vec![
+            LossAxis::Iid { p: 0.0 },
+            LossAxis::Iid { p: 0.05 },
+            LossAxis::Iid { p: 0.2 },
+            LossAxis::Iid { p: 0.4 },
+            LossAxis::Bursty {
+                marginal: 0.2,
+                burst_len: 3.0,
+            },
+            LossAxis::Bursty {
+                marginal: 0.2,
+                burst_len: 8.0,
+            },
+            LossAxis::Bursty {
+                marginal: 0.4,
+                burst_len: 5.0,
+            },
+        ]
+    };
+    let failure_rates: &[f64] = if quick { &[0.0, 0.2] } else { &[0.0, 0.1, 0.3] };
+    let budgets: &[u32] = &[0, 1, 3];
+
+    let total = losses.len() * failure_rates.len() * budgets.len();
+    eprintln!(
+        "# robustness campaign: {total} cells x {episodes} episodes (seed {base_seed}{})",
+        if quick { ", quick" } else { "" }
+    );
+
+    let mut cells = Vec::with_capacity(total);
+    let mut done = 0usize;
+    for loss in &losses {
+        for &rate in failure_rates {
+            for &budget in budgets {
+                let spec = CellSpec {
+                    loss: *loss,
+                    node_failure_rate: rate,
+                    retry_budget: budget,
+                };
+                let out = run_cell(&spec, episodes, base_seed);
+                done += 1;
+                eprintln!(
+                    "#   [{done}/{total}] {} fail={rate} budget={budget}: \
+                     quality {:.3}, timely {:.3}, guarantee {:.3} ({} violations)",
+                    loss.label(),
+                    out.quality_frac(),
+                    out.timely_frac(),
+                    out.guarantee_frac(),
+                    out.violations.len()
+                );
+                cells.push(out);
+            }
+        }
+    }
+
+    let violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    println!("{}", campaign_json(&cells, base_seed, episodes));
+    if violations > 0 {
+        eprintln!("# GUARANTEE VIOLATED in {violations} episode(s) — see the JSON trace dump");
+        std::process::exit(1);
+    }
+    eprintln!("# guarantee held in every live-detector episode");
 }

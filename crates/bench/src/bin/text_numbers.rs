@@ -22,10 +22,8 @@ fn main() {
         mu: 0.5,
         seed: 11,
     };
-    let sim_oaq =
-        estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Oaq), &opts);
-    let sim_baq =
-        estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Baq), &opts);
+    let sim_oaq = estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Oaq), &opts);
+    let sim_baq = estimate_conditional_qos(&ProtocolConfig::reference(12, PScheme::Baq), &opts);
     println!(
         "  protocol simulation: OAQ = {:.4} +/- {:.4}, BAQ = {:.4} +/- {:.4}",
         sim_oaq.p[3],

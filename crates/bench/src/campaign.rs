@@ -1,0 +1,551 @@
+//! Fault-injection campaign engine (experiment E15).
+//!
+//! Sweeps the OAQ protocol across a grid of fault mixes — i.i.d. and
+//! bursty crosslink loss, random node failures (permanent and
+//! crash-recovery), and reliable-delivery retry budgets — and tallies the
+//! resulting degradation curves. Every episode's fault plan is derived
+//! deterministically from `(cell, episode index)`, so a reported guarantee
+//! violation can be replayed bit-for-bit from its seed; the campaign dumps
+//! the full protocol trace of each violation for exactly that purpose.
+//!
+//! The invariant under test: *an episode whose detector stays alive
+//! through `[t0, t0 + τ]` delivers at least the minimal-QoS (single
+//! coverage) alert by τ*, whatever the fault mix does to quality.
+
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::{Episode, TraceEvent};
+use oaq_core::qos_level::QosLevel;
+use oaq_net::GilbertElliott;
+use oaq_sim::SimRng;
+
+/// The loss process of one campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossAxis {
+    /// Independent per-message loss with probability `p`.
+    Iid {
+        /// Loss probability, `[0, 1)`.
+        p: f64,
+    },
+    /// Gilbert–Elliott bursty loss tuned to a marginal rate.
+    Bursty {
+        /// Long-run (stationary) loss probability.
+        marginal: f64,
+        /// Mean burst length, messages.
+        burst_len: f64,
+    },
+}
+
+impl LossAxis {
+    /// The long-run fraction of messages lost — the cell's fault intensity
+    /// along the loss axis.
+    #[must_use]
+    pub fn marginal(&self) -> f64 {
+        match *self {
+            LossAxis::Iid { p } => p,
+            LossAxis::Bursty { marginal, .. } => marginal,
+        }
+    }
+
+    /// Mean burst length (0 for i.i.d. loss).
+    #[must_use]
+    pub fn burst_len(&self) -> f64 {
+        match *self {
+            LossAxis::Iid { .. } => 0.0,
+            LossAxis::Bursty { burst_len, .. } => burst_len,
+        }
+    }
+
+    /// A short label for tables and JSON.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            LossAxis::Iid { p } => format!("iid({p})"),
+            LossAxis::Bursty {
+                marginal,
+                burst_len,
+            } => {
+                format!("bursty({marginal},len={burst_len})")
+            }
+        }
+    }
+
+    fn apply(&self, cfg: &mut ProtocolConfig) {
+        match *self {
+            LossAxis::Iid { p } => cfg.message_loss = p,
+            LossAxis::Bursty {
+                marginal,
+                burst_len,
+            } => {
+                // With loss_bad = 1 and a lossless good state the marginal
+                // rate is π_bad = enter/(enter + 1/len), so
+                // enter = m / (len (1 − m)).
+                let enter = marginal / (burst_len * (1.0 - marginal));
+                cfg.bursty_loss = Some(
+                    GilbertElliott::bursts(enter, burst_len, 1.0)
+                        .expect("campaign burst parameters in range"),
+                );
+            }
+        }
+    }
+}
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Crosslink loss process.
+    pub loss: LossAxis,
+    /// Probability each satellite independently receives a failure (half
+    /// permanent fail-silent, half crash-recovery windows).
+    pub node_failure_rate: f64,
+    /// Reliable-delivery retry budget (0 = plain fire-and-forget).
+    pub retry_budget: u32,
+}
+
+/// A replayable record of one guarantee violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Episode index within the cell.
+    pub episode: u64,
+    /// The exact simulator seed (fault plan = `seed + 1`'s stream).
+    pub seed: u64,
+    /// The detecting satellite that stayed alive yet missed τ.
+    pub detector: usize,
+    /// Debug rendering of the outcome.
+    pub outcome: String,
+    /// The full protocol trace, one rendered line per event.
+    pub trace: Vec<String>,
+}
+
+/// Tallies of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The swept parameters.
+    pub spec: CellSpec,
+    /// Episodes simulated.
+    pub episodes: u64,
+    /// Episodes where the signal was detected at all.
+    pub detected: u64,
+    /// Detected episodes delivering by τ.
+    pub timely: u64,
+    /// Detected episodes reaching dual coverage or better.
+    pub quality: u64,
+    /// Detected episodes whose detector stayed alive through `[t0, t0+τ]`.
+    pub live_detector: u64,
+    /// Live-detector episodes delivering at least `Single` by τ.
+    pub live_detector_timely: u64,
+    /// Live-detector episodes that missed the guarantee (should be empty).
+    pub violations: Vec<Violation>,
+}
+
+impl CellOutcome {
+    /// Fraction of detected episodes reaching dual coverage or better.
+    #[must_use]
+    pub fn quality_frac(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.quality as f64 / self.detected as f64
+        }
+    }
+
+    /// Fraction of detected episodes delivering by τ.
+    #[must_use]
+    pub fn timely_frac(&self) -> f64 {
+        if self.detected == 0 {
+            1.0
+        } else {
+            self.timely as f64 / self.detected as f64
+        }
+    }
+
+    /// Fraction of live-detector episodes meeting the by-τ guarantee.
+    #[must_use]
+    pub fn guarantee_frac(&self) -> f64 {
+        if self.live_detector == 0 {
+            1.0
+        } else {
+            self.live_detector_timely as f64 / self.live_detector as f64
+        }
+    }
+}
+
+/// Mixes an episode index into the campaign seed (splitmix-style).
+#[must_use]
+pub fn episode_seed(base: u64, episode: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(episode.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The failure plan drawn for one episode: `(sat, from, until)`, with
+/// `until = None` for permanent fail-silence.
+type FailurePlan = Vec<(usize, f64, Option<f64>)>;
+
+fn draw_plan(cfg: &ProtocolConfig, rate: f64, birth: f64, rng: &mut SimRng) -> FailurePlan {
+    let mut plan = Vec::new();
+    for sat in 0..cfg.k {
+        if !rng.chance(rate) {
+            continue;
+        }
+        let from = rng.uniform(0.0, birth + cfg.tau);
+        if rng.chance(0.5) {
+            plan.push((sat, from, None));
+        } else {
+            // Crash-recovery: down for an Exp(0.2) window (mean 5 min).
+            let len = rng.exp(0.2).max(1e-3);
+            plan.push((sat, from, Some(from + len)));
+        }
+    }
+    plan
+}
+
+fn apply_plan(mut ep: Episode, plan: &FailurePlan) -> Episode {
+    for &(sat, from, until) in plan {
+        ep = match until {
+            None => ep.with_failure(sat, from),
+            Some(u) => ep.with_failure_window(sat, from, u),
+        };
+    }
+    ep
+}
+
+/// `true` when the plan leaves `sat` untouched over `[t0, t0 + tau]`.
+fn stays_alive(plan: &FailurePlan, sat: usize, t0: f64, tau: f64) -> bool {
+    plan.iter()
+        .all(|&(s, from, until)| s != sat || from > t0 + tau || until.is_some_and(|u| u <= t0))
+}
+
+/// Runs one campaign cell: `episodes` episodes of the reference k = 10
+/// plane under the cell's fault mix, signal births spread over a full
+/// orbit period, durations Exp(0.2).
+#[must_use]
+pub fn run_cell(spec: &CellSpec, episodes: u64, base_seed: u64) -> CellOutcome {
+    let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    spec.loss.apply(&mut cfg);
+    cfg.retry_budget = spec.retry_budget;
+    cfg.retry_timeout = 0.25;
+    cfg.validate();
+
+    let mut out = CellOutcome {
+        spec: *spec,
+        episodes,
+        detected: 0,
+        timely: 0,
+        quality: 0,
+        live_detector: 0,
+        live_detector_timely: 0,
+        violations: Vec::new(),
+    };
+    for i in 0..episodes {
+        let seed = episode_seed(base_seed, i);
+        // The fault plan draws from an offset stream so it stays
+        // independent of (but reproducible with) the episode's own RNG.
+        let mut plan_rng = SimRng::seed_from(seed.wrapping_add(1));
+        let birth = cfg.theta + plan_rng.uniform(0.0, cfg.theta);
+        let duration = plan_rng.exp(0.2);
+        let plan = draw_plan(&cfg, spec.node_failure_rate, birth, &mut plan_rng);
+        let ep = apply_plan(Episode::new(&cfg, seed), &plan);
+        let (result, trace) = ep.run_traced(birth, duration);
+
+        let detection = trace.iter().find_map(|e| match e.event {
+            TraceEvent::Detection { sat, .. } => Some((e.t, sat)),
+            _ => None,
+        });
+        let Some((t0, detector)) = detection else {
+            continue;
+        };
+        out.detected += 1;
+        if result.deadline_met {
+            out.timely += 1;
+        }
+        if result.level >= QosLevel::SequentialDual {
+            out.quality += 1;
+        }
+        if stays_alive(&plan, detector, t0, cfg.tau) {
+            out.live_detector += 1;
+            let guaranteed = result.deadline_met && result.level >= QosLevel::Single;
+            if guaranteed {
+                out.live_detector_timely += 1;
+            } else {
+                out.violations.push(Violation {
+                    episode: i,
+                    seed,
+                    detector,
+                    outcome: format!("{result:?}"),
+                    trace: trace.iter().map(ToString::to_string).collect(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn cell_json(c: &CellOutcome) -> String {
+    let violations: Vec<String> = c
+        .violations
+        .iter()
+        .map(|v| {
+            let trace: Vec<String> = v
+                .trace
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect();
+            format!(
+                "{{\"episode\":{},\"seed\":{},\"detector\":{},\"outcome\":\"{}\",\"trace\":[{}]}}",
+                v.episode,
+                v.seed,
+                v.detector,
+                json_escape(&v.outcome),
+                trace.join(",")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"loss\":\"{}\",\"marginal_loss\":{},\"burst_len\":{},",
+            "\"node_failure_rate\":{},\"retry_budget\":{},\"episodes\":{},",
+            "\"detected\":{},\"timely_frac\":{:.6},\"quality_frac\":{:.6},",
+            "\"live_detector\":{},\"guarantee_frac\":{:.6},\"violations\":[{}]}}"
+        ),
+        c.spec.loss.label(),
+        c.spec.loss.marginal(),
+        c.spec.loss.burst_len(),
+        c.spec.node_failure_rate,
+        c.spec.retry_budget,
+        c.episodes,
+        c.detected,
+        c.timely_frac(),
+        c.quality_frac(),
+        c.live_detector,
+        c.guarantee_frac(),
+        violations.join(",")
+    )
+}
+
+/// Serializes a finished campaign as one JSON document: the raw cells plus
+/// degradation curves (quality and timeliness vs marginal loss) grouped by
+/// `(node_failure_rate, retry_budget)` and ordered by fault intensity.
+#[must_use]
+pub fn campaign_json(cells: &[CellOutcome], base_seed: u64, episodes: u64) -> String {
+    let cell_docs: Vec<String> = cells.iter().map(cell_json).collect();
+
+    let mut groups: Vec<(f64, u32)> = cells
+        .iter()
+        .map(|c| (c.spec.node_failure_rate, c.spec.retry_budget))
+        .collect();
+    groups.dedup();
+    groups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    groups.dedup();
+    let curves: Vec<String> = groups
+        .iter()
+        .map(|&(rate, budget)| {
+            let mut pts: Vec<&CellOutcome> = cells
+                .iter()
+                .filter(|c| {
+                    c.spec.node_failure_rate == rate && c.spec.retry_budget == budget
+                })
+                .collect();
+            pts.sort_by(|a, b| {
+                (a.spec.loss.marginal(), a.spec.loss.burst_len())
+                    .partial_cmp(&(b.spec.loss.marginal(), b.spec.loss.burst_len()))
+                    .expect("finite")
+            });
+            let points: Vec<String> = pts
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"intensity\":{},\"burst_len\":{},\"quality\":{:.6},\"timely\":{:.6},\"guarantee\":{:.6}}}",
+                        c.spec.loss.marginal(),
+                        c.spec.loss.burst_len(),
+                        c.quality_frac(),
+                        c.timely_frac(),
+                        c.guarantee_frac()
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"node_failure_rate\":{rate},\"retry_budget\":{budget},\"points\":[{}]}}",
+                points.join(",")
+            )
+        })
+        .collect();
+
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    format!(
+        concat!(
+            "{{\"experiment\":\"robustness-campaign\",\"base_seed\":{},",
+            "\"episodes_per_cell\":{},\"total_violations\":{},",
+            "\"cells\":[{}],\"degradation_curves\":[{}]}}"
+        ),
+        base_seed,
+        episodes,
+        total_violations,
+        cell_docs.join(","),
+        curves.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_seeds_are_stable_and_spread() {
+        let a = episode_seed(42, 0);
+        let b = episode_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, episode_seed(42, 0), "must be a pure function");
+    }
+
+    #[test]
+    fn bursty_axis_hits_its_marginal() {
+        let axis = LossAxis::Bursty {
+            marginal: 0.2,
+            burst_len: 5.0,
+        };
+        let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+        axis.apply(&mut cfg);
+        let ge = cfg.bursty_loss.expect("bursty set");
+        assert!((ge.stationary_loss() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_are_reproducible() {
+        let spec = CellSpec {
+            loss: LossAxis::Iid { p: 0.2 },
+            node_failure_rate: 0.2,
+            retry_budget: 1,
+        };
+        let a = run_cell(&spec, 60, 7);
+        let b = run_cell(&spec, 60, 7);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.timely, b.timely);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.live_detector_timely, b.live_detector_timely);
+    }
+
+    #[test]
+    fn guarantee_holds_across_a_small_grid() {
+        // Acceptance: live-detector episodes meet the by-τ minimal-QoS
+        // guarantee in every cell of a loss × retry sweep.
+        for loss in [
+            LossAxis::Iid { p: 0.0 },
+            LossAxis::Iid { p: 0.2 },
+            LossAxis::Bursty {
+                marginal: 0.2,
+                burst_len: 5.0,
+            },
+        ] {
+            for budget in [0u32, 3] {
+                let spec = CellSpec {
+                    loss,
+                    node_failure_rate: 0.25,
+                    retry_budget: budget,
+                };
+                let out = run_cell(&spec, 150, 99);
+                assert!(
+                    out.violations.is_empty(),
+                    "{}/budget {budget}: {:#?}",
+                    loss.label(),
+                    out.violations
+                );
+                assert_eq!(out.guarantee_frac(), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_curve_is_monotone_in_loss_intensity() {
+        // Quality (not timeliness) pays for fault intensity: the dual-
+        // coverage fraction must not increase as the marginal loss grows.
+        let losses = [0.0, 0.15, 0.4];
+        let mut cells = Vec::new();
+        for p in losses {
+            let spec = CellSpec {
+                loss: LossAxis::Iid { p },
+                node_failure_rate: 0.0,
+                retry_budget: 0,
+            };
+            cells.push(run_cell(&spec, 400, 1234));
+        }
+        for w in cells.windows(2) {
+            assert!(
+                w[1].quality_frac() <= w[0].quality_frac() + 0.02,
+                "quality must degrade with loss: {} -> {}",
+                w[0].quality_frac(),
+                w[1].quality_frac()
+            );
+        }
+        assert!(
+            cells[2].quality_frac() < cells[0].quality_frac(),
+            "heavy loss must visibly cost quality"
+        );
+        let json = campaign_json(&cells, 1234, 400);
+        assert!(json.contains("\"degradation_curves\""));
+        assert!(json.contains("\"total_violations\":0"));
+    }
+
+    #[test]
+    fn retries_buy_back_quality_under_loss() {
+        let cell = |budget: u32| {
+            run_cell(
+                &CellSpec {
+                    loss: LossAxis::Iid { p: 0.3 },
+                    node_failure_rate: 0.0,
+                    retry_budget: budget,
+                },
+                400,
+                55,
+            )
+        };
+        let plain = cell(0);
+        let budgeted = cell(3);
+        assert!(
+            budgeted.quality_frac() > plain.quality_frac() + 0.05,
+            "retries must recover coordinations: {} vs {}",
+            budgeted.quality_frac(),
+            plain.quality_frac()
+        );
+    }
+
+    #[test]
+    fn violations_render_replayable_json() {
+        // Synthesize a violation record and check the JSON stays parseable
+        // in shape (quotes escaped, seed present).
+        let mut out = run_cell(
+            &CellSpec {
+                loss: LossAxis::Iid { p: 0.0 },
+                node_failure_rate: 0.0,
+                retry_budget: 0,
+            },
+            5,
+            3,
+        );
+        out.violations.push(Violation {
+            episode: 2,
+            seed: episode_seed(3, 2),
+            detector: 0,
+            outcome: "level \"X\"".to_string(),
+            trace: vec!["t= 1.0 S0 \"detects\"".to_string()],
+        });
+        let json = cell_json(&out);
+        assert!(json.contains("\\\"detects\\\""));
+        assert!(json.contains(&format!("\"seed\":{}", episode_seed(3, 2))));
+    }
+}

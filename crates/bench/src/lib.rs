@@ -19,7 +19,7 @@
 //! | `membership` | E12 (extension) — membership service + assisted recruitment |
 //! | `latency` | E13 (analysis) — alert latency vs quality trade-off |
 //! | `chain_depth` | E14 (analysis) — coordination-chain-length distribution |
-//! | `robustness` | E15 (analysis) — dependability under loss × fail-silence |
+//! | `robustness` | E15 (analysis) — fault-injection campaign: bursty/transient faults × retry budgets, JSON degradation curves |
 //!
 //! The Criterion benches (`benches/`) measure the computational substrates
 //! themselves (kernel, SAN solvers, WLS, analytic evaluation, protocol
@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod campaign;
 
 /// Prints a TSV header row.
 pub fn tsv_header(cols: &[&str]) {

@@ -109,7 +109,7 @@ fn single_window(covered: &dyn Fn(f64) -> bool, theta: f64, step: f64) -> Option
         t += step;
     }
     let anchor = anchor?; // covered at every sample: degenerate, exclude
-    // Scan one full period from the anchor for the rise and fall.
+                          // Scan one full period from the anchor for the rise and fall.
     let mut rise: Option<f64> = None;
     let mut fall: Option<f64> = None;
     let mut prev = anchor;
@@ -209,9 +209,8 @@ mod tests {
     #[test]
     fn reference_constellation_derives_a_rich_pattern() {
         let c = Constellation::reference();
-        let scenario =
-            DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
-                .expect("full constellation covers everything");
+        let scenario = DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
+            .expect("full constellation covers everything");
         // At least plane 0's 14 satellites participate; adjacent planes may
         // add side-lobe windows.
         assert!(scenario.k() >= 14, "only {} participants", scenario.k());
@@ -235,9 +234,8 @@ mod tests {
     #[test]
     fn derived_geometry_runs_the_protocol_end_to_end() {
         let c = Constellation::reference();
-        let scenario =
-            DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
-                .expect("covered");
+        let scenario = DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
+            .expect("covered");
         let mut cfg = ProtocolConfig::reference(scenario.k(), Scheme::Oaq);
         cfg.theta = 90.0;
         // A long signal in the real full-constellation pattern must reach
@@ -255,9 +253,8 @@ mod tests {
         for _ in 0..6 {
             c.plane_mut(0).fail_one();
         }
-        let scenario =
-            DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
-                .expect("still covered");
+        let scenario = DerivedScenario::from_constellation(&c, &target_on_plane0(), Minutes(0.05))
+            .expect("still covered");
         let plane0 = scenario
             .participants
             .iter()
@@ -278,9 +275,7 @@ mod tests {
             .inclination(Degrees(10.0))
             .build();
         let target = GroundPoint::from_degrees(Degrees(80.0), Degrees(0.0));
-        assert!(
-            DerivedScenario::from_constellation(&c, &target, Minutes(0.05)).is_none()
-        );
+        assert!(DerivedScenario::from_constellation(&c, &target, Minutes(0.05)).is_none());
     }
 
     #[test]

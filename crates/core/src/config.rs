@@ -1,5 +1,9 @@
 //! Protocol configuration.
 
+use oaq_net::link::GilbertElliott;
+use oaq_net::{validate_loss_probability, RetryPolicy};
+use oaq_sim::SimDuration;
+
 /// The QoS-enhancement scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -109,6 +113,16 @@ pub struct ProtocolConfig {
     pub delta: f64,
     /// Crosslink per-message loss probability (`[0, 1)`).
     pub message_loss: f64,
+    /// Bursty (Gilbert–Elliott) crosslink loss; when set it replaces the
+    /// i.i.d. `message_loss` as the link's loss process.
+    pub bursty_loss: Option<GilbertElliott>,
+    /// Reliable-delivery retry budget for coordination requests:
+    /// retransmissions beyond the first try. `0` = the paper's plain
+    /// fire-and-forget send.
+    pub retry_budget: u32,
+    /// Per-try acknowledgement timeout (minutes) when `retry_budget > 0`.
+    /// Should exceed one round trip, i.e. 2δ.
+    pub retry_timeout: f64,
     /// Budgeted maximum geolocation computation time Tg, minutes (the
     /// constant in TC-2's local threshold; the sampled Exp(ν) times are
     /// almost surely below it).
@@ -146,6 +160,9 @@ impl ProtocolConfig {
             nu: 30.0,
             delta: 0.1,
             message_loss: 0.0,
+            bursty_loss: None,
+            retry_budget: 0,
+            retry_timeout: 0.25,
             tg: 0.5,
             error_threshold_km: None,
             scheme,
@@ -166,21 +183,25 @@ impl ProtocolConfig {
     pub fn validate(&self) {
         assert!(self.k >= 1, "need at least one satellite");
         assert!(self.theta > 0.0 && self.theta.is_finite(), "bad theta");
-        assert!(
-            self.tc > 0.0 && self.tc < self.theta,
-            "need 0 < Tc < theta"
-        );
+        assert!(self.tc > 0.0 && self.tc < self.theta, "need 0 < Tc < theta");
         assert!(self.tau > 0.0 && self.tau.is_finite(), "bad tau");
         assert!(self.nu > 0.0 && self.nu.is_finite(), "bad nu");
         assert!(self.delta >= 0.0 && self.delta.is_finite(), "bad delta");
-        assert!(
-            (0.0..1.0).contains(&self.message_loss),
-            "loss probability must be in [0, 1)"
-        );
+        validate_loss_probability(self.message_loss)
+            .unwrap_or_else(|e| panic!("message_loss: {e}"));
+        if let Some(ge) = self.bursty_loss {
+            ge.validate().unwrap_or_else(|e| panic!("bursty_loss: {e}"));
+        }
+        if self.retry_budget > 0 {
+            assert!(
+                self.retry_timeout > 0.0 && self.retry_timeout.is_finite(),
+                "retry_timeout must be positive when retrying"
+            );
+        }
         assert!(self.tg >= 0.0 && self.tg.is_finite(), "bad Tg");
         assert!(
-            self.delta + self.tg < self.tau,
-            "TC-2 budget nδ + Tg must leave room below tau"
+            self.delta_eff() + self.tg < self.tau,
+            "TC-2 budget nδ_eff + Tg must leave room below tau"
         );
         if let Some(e) = self.error_threshold_km {
             assert!(e > 0.0 && e.is_finite(), "bad error threshold");
@@ -198,6 +219,29 @@ impl ProtocolConfig {
     #[must_use]
     pub fn tr(&self) -> f64 {
         self.theta / self.k as f64
+    }
+
+    /// The reliable-delivery policy implied by `retry_budget` and
+    /// `retry_timeout`.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        if self.retry_budget == 0 {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::new(self.retry_budget, SimDuration::new(self.retry_timeout))
+        }
+    }
+
+    /// δ_eff: the effective worst-case message delay the termination
+    /// conditions must budget for. Without retries this is δ itself; with a
+    /// retry budget it is [`RetryPolicy::effective_delay`], and every
+    /// occurrence of δ in the paper's TC arithmetic (TC-2's
+    /// `τ − (nδ + T_g)`, the wait-timeout `τ − (n−1)δ`) uses this value.
+    #[must_use]
+    pub fn delta_eff(&self) -> f64 {
+        self.retry_policy()
+            .effective_delay(SimDuration::new(self.delta))
+            .as_minutes()
     }
 
     /// `true` when adjacent footprints overlap (`Tr[k] < Tc`).
@@ -244,6 +288,34 @@ mod tests {
     fn hopeless_budgets_rejected() {
         let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
         cfg.tg = 10.0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "message_loss")]
+    fn invalid_loss_rejected_via_shared_validator() {
+        let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+        cfg.message_loss = 1.0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn delta_eff_folds_retries_into_tc_arithmetic() {
+        let mut cfg = ProtocolConfig::reference(12, Scheme::Oaq);
+        assert_eq!(cfg.delta_eff(), cfg.delta, "no retries: δ_eff = δ");
+        cfg.retry_budget = 3;
+        cfg.retry_timeout = 0.25;
+        assert!((cfg.delta_eff() - 3.0 * 0.35).abs() < 1e-12);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room below tau")]
+    fn retry_budget_exceeding_tau_rejected() {
+        // δ_eff = 8 × (0.5 + 0.1) = 4.8; with Tg = 0.5 that overruns τ = 5.
+        let mut cfg = ProtocolConfig::reference(12, Scheme::Oaq);
+        cfg.retry_budget = 8;
+        cfg.retry_timeout = 0.5;
         cfg.validate();
     }
 }

@@ -49,7 +49,13 @@ mod tests {
             passes: 2,
             reported_error_km: 7.5,
         };
-        if let CoordMessage::Request { t0, requester_pos, passes, reported_error_km } = r {
+        if let CoordMessage::Request {
+            t0,
+            requester_pos,
+            passes,
+            reported_error_km,
+        } = r
+        {
             assert_eq!(t0, 4.5);
             assert_eq!(requester_pos, 2);
             assert_eq!(passes, 2);

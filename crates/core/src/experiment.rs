@@ -68,10 +68,7 @@ impl QosEstimate {
 ///
 /// Panics if `episodes == 0` or `mu <= 0`, or on invalid `cfg`.
 #[must_use]
-pub fn estimate_conditional_qos(
-    cfg: &ProtocolConfig,
-    opts: &MonteCarloOptions,
-) -> QosEstimate {
+pub fn estimate_conditional_qos(cfg: &ProtocolConfig, opts: &MonteCarloOptions) -> QosEstimate {
     assert!(opts.episodes > 0, "need at least one episode");
     assert!(opts.mu.is_finite() && opts.mu > 0.0, "mu must be positive");
     cfg.validate();
@@ -86,8 +83,8 @@ pub fn estimate_conditional_qos(
         // well-defined for every satellite.
         let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
         let duration = rng.exp(opts.mu);
-        let out = Episode::new(cfg, opts.seed.wrapping_add(i as u64 * 7919 + 1))
-            .run(birth, duration);
+        let out =
+            Episode::new(cfg, opts.seed.wrapping_add(i as u64 * 7919 + 1)).run(birth, duration);
         counts[out.level.as_y()] += 1;
         messages += out.messages_sent;
         if out.level > QosLevel::Missed {
@@ -159,7 +156,11 @@ mod tests {
             &ProtocolConfig::reference(10, Scheme::Baq),
             &opts(0.2, 3000),
         );
-        assert!(oaq.p_at_least(2) > 0.25, "OAQ P(Y>=2) = {}", oaq.p_at_least(2));
+        assert!(
+            oaq.p_at_least(2) > 0.25,
+            "OAQ P(Y>=2) = {}",
+            oaq.p_at_least(2)
+        );
         assert_eq!(baq.p[2], 0.0, "BAQ cannot reach sequential dual");
         assert!(oaq.mean_messages > baq.mean_messages);
         assert!(
@@ -184,10 +185,8 @@ mod tests {
     fn gap_case_misses_some_targets() {
         // k = 9: 1-minute gaps; with µ = 2.0 (30-second signals) some die
         // inside the gap.
-        let est = estimate_conditional_qos(
-            &ProtocolConfig::reference(9, Scheme::Oaq),
-            &opts(2.0, 1500),
-        );
+        let est =
+            estimate_conditional_qos(&ProtocolConfig::reference(9, Scheme::Oaq), &opts(2.0, 1500));
         assert!(est.p[0] > 0.01, "expected misses, got {}", est.p[0]);
     }
 

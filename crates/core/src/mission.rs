@@ -180,7 +180,10 @@ pub fn run_mission(cfg: &MissionConfig, seed: u64) -> MissionReport {
         let fail_rate = cfg.lambda_per_hour * f64::from(k);
         let t_fail = now_h + rng.exp(fail_rate);
         let t_signal = now_h + rng.exp(cfg.signal_rate_per_hour);
-        let t_next = t_fail.min(t_signal).min(next_restore).min(cfg.mission_hours);
+        let t_next = t_fail
+            .min(t_signal)
+            .min(next_restore)
+            .min(cfg.mission_hours);
         capacity_time[k as usize] += t_next - now_h;
         now_h = t_next;
         if now_h >= cfg.mission_hours {
@@ -208,8 +211,8 @@ pub fn run_mission(cfg: &MissionConfig, seed: u64) -> MissionReport {
             pcfg.k = k as usize;
             let birth = pcfg.theta + episode_rng.uniform(0.0, pcfg.tr());
             let duration = episode_rng.exp(cfg.mu);
-            let out = Episode::new(&pcfg, seed.wrapping_add(signals as u64 * 6151))
-                .run(birth, duration);
+            let out =
+                Episode::new(&pcfg, seed.wrapping_add(signals as u64 * 6151)).run(birth, duration);
             level_counts[out.level.as_y()] += 1;
             if out.level > QosLevel::Missed {
                 detected += 1;

@@ -10,7 +10,7 @@
 
 use oaq_net::link::LinkSpec;
 use oaq_net::topology::Topology;
-use oaq_net::{Envelope, Network, NodeId, SendOutcome};
+use oaq_net::{Envelope, Network, NodeId, ReliableLink, ReliableOutcome, SendOutcome};
 use oaq_sim::{Context, Model, SimDuration, SimTime, Simulation};
 
 use crate::config::{ProtocolConfig, Scheme};
@@ -31,8 +31,11 @@ enum Ev {
     ComputeDone { sat: usize },
     /// A crosslink message arrives.
     Message { env: Envelope<CoordMessage> },
-    /// `sat`'s wait for "coordination done" expired (`τ − (n−1)δ`).
+    /// `sat`'s wait for "coordination done" expired (`τ − (n−1)δ_eff`).
     WaitTimeout { sat: usize },
+    /// The reliable layer exhausted the retry budget for `sat`'s pending
+    /// coordination request.
+    RequestGaveUp { sat: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +102,14 @@ pub enum TraceEvent {
         /// The satellite that stopped waiting.
         sat: usize,
     },
+    /// `from`'s reliable request to `to` exhausted its retry budget; the
+    /// requester degrades to the next candidate (or finalizes).
+    RequestGaveUp {
+        /// Requester whose send failed definitively.
+        from: usize,
+        /// The unreachable recruit.
+        to: usize,
+    },
     /// An alert reached the ground.
     AlertDelivered {
         /// Delivering satellite (or the handoff carrier).
@@ -115,7 +126,11 @@ impl std::fmt::Display for TraceEntry {
             TraceEvent::Detection { sat, simultaneous } => write!(
                 f,
                 "S{sat} detects the signal{}",
-                if *simultaneous { " (simultaneous coverage)" } else { "" }
+                if *simultaneous {
+                    " (simultaneous coverage)"
+                } else {
+                    ""
+                }
             ),
             TraceEvent::ComputationDone {
                 sat,
@@ -131,13 +146,20 @@ impl std::fmt::Display for TraceEntry {
             TraceEvent::RecruitArrival { sat, signal_alive } => write!(
                 f,
                 "S{sat} footprint arrives ({})",
-                if *signal_alive { "signal alive" } else { "signal gone: TC-3" }
+                if *signal_alive {
+                    "signal alive"
+                } else {
+                    "signal gone: TC-3"
+                }
             ),
             TraceEvent::CoordinationDone { from, to } => {
                 write!(f, "S{from} -> S{to}: coordination done")
             }
             TraceEvent::WaitTimeout { sat } => {
                 write!(f, "S{sat} wait timeout (assumes TC-3 / fail-silence)")
+            }
+            TraceEvent::RequestGaveUp { from, to } => {
+                write!(f, "S{from} -> S{to}: request retries exhausted, giving up")
             }
             TraceEvent::AlertDelivered { sat, level } => {
                 write!(f, "S{sat} delivers a {level} alert to the ground")
@@ -158,7 +180,12 @@ struct EpisodeModel {
     cfg: ProtocolConfig,
     geom: CoverageGeometry,
     net: Network<CoordMessage>,
+    reliable: ReliableLink,
+    /// δ_eff = `cfg.delta_eff()`, cached: every δ in the TC arithmetic.
+    delta_eff: f64,
     sats: Vec<SatelliteState>,
+    /// Recruits each satellite has already requested (never re-tried).
+    tried: Vec<Vec<usize>>,
     t_start: f64,
     t_end: f64,
     detection: Option<(f64, usize)>,
@@ -181,7 +208,10 @@ impl EpisodeModel {
     }
 
     fn alive(&self, sat: usize, t: f64) -> bool {
-        !self.net.faults().is_failed(NodeId(sat as u32), SimTime::new(t))
+        !self
+            .net
+            .faults()
+            .is_failed(NodeId(sat as u32), SimTime::new(t))
     }
 
     fn deadline(&self) -> f64 {
@@ -206,7 +236,13 @@ impl EpisodeModel {
         };
         self.detection = Some((now, s1));
         let simultaneous = covering.len() >= 2;
-        self.record(now, TraceEvent::Detection { sat: s1, simultaneous });
+        self.record(
+            now,
+            TraceEvent::Detection {
+                sat: s1,
+                simultaneous,
+            },
+        );
         let st = &mut self.sats[s1];
         st.chain_pos = Some(1);
         st.passes = if simultaneous { 2 } else { 1 };
@@ -252,7 +288,13 @@ impl EpisodeModel {
             chain_length: passes,
             reported_error_km: error_km,
         });
-        self.record(now, TraceEvent::AlertDelivered { sat: carrier, level });
+        self.record(
+            now,
+            TraceEvent::AlertDelivered {
+                sat: carrier,
+                level,
+            },
+        );
     }
 
     /// Sends a crosslink message, scheduling the delivery event on success.
@@ -270,6 +312,78 @@ impl EpisodeModel {
         }
     }
 
+    /// Transmits a coordination request from `sat` to `next`: plain
+    /// fire-and-forget without a retry budget (the paper's protocol),
+    /// otherwise through the reliable ACK/retransmit layer — scheduling
+    /// the degradation fallback at the instant the budget would exhaust.
+    fn send_request(&mut self, sat: usize, next: usize, ctx: &mut Context<Ev>) {
+        let now = ctx.now().as_minutes();
+        let (t0, _) = self.detection.expect("request without detection");
+        let n = self.sats[sat]
+            .chain_pos
+            .expect("request without a chain position");
+        let msg = CoordMessage::Request {
+            t0,
+            requester_pos: n,
+            passes: self.sats[sat].passes,
+            reported_error_km: self.sats[sat]
+                .reported_error_km
+                .expect("request before the first computation"),
+        };
+        self.tried[sat].push(next);
+        self.record(
+            now,
+            TraceEvent::CoordinationRequest {
+                from: sat,
+                to: next,
+            },
+        );
+        if self.cfg.retry_budget == 0 {
+            self.send(sat, next, msg, ctx);
+            return;
+        }
+        let outcome = self.reliable.send(
+            &mut self.net,
+            NodeId(sat as u32),
+            NodeId(next as u32),
+            msg,
+            ctx.now(),
+            ctx.rng(),
+        );
+        match outcome {
+            ReliableOutcome::Delivered { envelope, .. } => {
+                let at = envelope.arrival;
+                ctx.schedule_at(at, Ev::Message { env: envelope });
+            }
+            ReliableOutcome::GaveUp { gave_up_at, .. } => {
+                ctx.schedule_at(gave_up_at, Ev::RequestGaveUp { sat });
+            }
+            ReliableOutcome::SenderFailed | ReliableOutcome::NotLinked => {}
+        }
+    }
+
+    /// Transmits "coordination done" — reliably when a budget is
+    /// configured. A give-up needs no fallback here: the requester's wait
+    /// timeout already guarantees its own delivery.
+    fn send_done(&mut self, from: usize, to: usize, ctx: &mut Context<Ev>) {
+        if self.cfg.retry_budget == 0 {
+            self.send(from, to, CoordMessage::Done, ctx);
+            return;
+        }
+        let outcome = self.reliable.send(
+            &mut self.net,
+            NodeId(from as u32),
+            NodeId(to as u32),
+            CoordMessage::Done,
+            ctx.now(),
+            ctx.rng(),
+        );
+        if let ReliableOutcome::Delivered { envelope, .. } = outcome {
+            let at = envelope.arrival;
+            ctx.schedule_at(at, Ev::Message { env: envelope });
+        }
+    }
+
     /// Propagates "coordination done" downstream from `sat` and releases it.
     fn release_downstream(&mut self, sat: usize, ctx: &mut Context<Ev>) {
         let n = self.sats[sat].chain_pos.unwrap_or(1);
@@ -283,9 +397,12 @@ impl EpisodeModel {
             let prev = requester.unwrap_or_else(|| self.geom.prev_visitor(sat));
             self.record(
                 ctx.now().as_minutes(),
-                TraceEvent::CoordinationDone { from: sat, to: prev },
+                TraceEvent::CoordinationDone {
+                    from: sat,
+                    to: prev,
+                },
             );
-            self.send(sat, prev, CoordMessage::Done, ctx);
+            self.send_done(sat, prev, ctx);
         }
     }
 
@@ -296,10 +413,11 @@ impl EpisodeModel {
         self.release_downstream(sat, ctx);
     }
 
-    /// TC-2: no guarantee the next peer could complete and notify in time.
+    /// TC-2: no guarantee the next peer could complete and notify in time
+    /// (δ_eff substitutes for δ when a retry budget is configured).
     fn tc2_holds(&self, n: usize, now: f64) -> bool {
         let (t0, _) = self.detection.expect("TC-2 before detection");
-        now - t0 > self.cfg.tau - (n as f64 * self.cfg.delta + self.cfg.tg)
+        now - t0 > self.cfg.tau - (n as f64 * self.delta_eff + self.cfg.tg)
     }
 
     /// Begins `sat`'s measurement + iterative computation at `now`.
@@ -323,7 +441,9 @@ impl EpisodeModel {
         if !self.alive(sat, now) {
             return; // went fail-silent mid-computation
         }
-        let n = self.sats[sat].chain_pos.expect("computing without a chain position");
+        let n = self.sats[sat]
+            .chain_pos
+            .expect("computing without a chain position");
         let error = self
             .cfg
             .accuracy
@@ -368,23 +488,12 @@ impl EpisodeModel {
             self.finalize(sat, ctx);
             return;
         };
-        self.record(now, TraceEvent::CoordinationRequest { from: sat, to: next });
-        self.send(
-            sat,
-            next,
-            CoordMessage::Request {
-                t0,
-                requester_pos: n,
-                passes: self.sats[sat].passes,
-                reported_error_km: error,
-            },
-            ctx,
-        );
+        self.send_request(sat, next, ctx);
         if self.cfg.backward_messaging {
             // Responsibility transferred with the request; Sn is released.
             self.release_downstream(sat, ctx);
         } else {
-            let timeout_at = t0 + self.cfg.tau - (n as f64 - 1.0) * self.cfg.delta;
+            let timeout_at = t0 + self.cfg.tau - (n as f64 - 1.0) * self.delta_eff;
             let handle =
                 ctx.schedule_at(SimTime::new(timeout_at.max(now)), Ev::WaitTimeout { sat });
             self.sats[sat].phase = SatellitePhase::WaitingForDone { timeout: handle };
@@ -392,19 +501,26 @@ impl EpisodeModel {
     }
 
     /// Chooses the peer to recruit: the ring successor, or — with
-    /// membership hints — the nearest successor not known-failed.
+    /// membership hints — the nearest successor not known-failed. Peers
+    /// this satellite already requested (and gave up on) are skipped, so
+    /// the degradation fallback reuses the same scan.
     fn select_recruit(&self, sat: usize, now: f64) -> Option<usize> {
+        let tried = &self.tried[sat];
         let Some(hints) = self.cfg.membership else {
-            return Some(self.geom.next_visitor(sat));
+            let cand = self.geom.next_visitor(sat);
+            return (!tried.contains(&cand)).then_some(cand);
         };
         let k = self.cfg.k;
         for skip in 1..=hints.max_skip.min(k - 1) {
             let cand = self.geom.visitor_at(sat, skip);
-            let known_failed = self
-                .net
-                .faults()
-                .failure_time(NodeId(cand as u32))
-                .is_some_and(|t| t.as_minutes() + hints.detection_latency <= now);
+            if tried.contains(&cand) {
+                continue;
+            }
+            let known_failed = self.net.faults().detected_failed(
+                NodeId(cand as u32),
+                SimTime::new(now),
+                hints.detection_latency,
+            );
             if !known_failed {
                 return Some(cand);
             }
@@ -464,10 +580,7 @@ impl EpisodeModel {
                 // Spurious wake-up (e.g. raced a failure); rescan.
                 let alive: Vec<bool> = (0..self.cfg.k).map(|j| self.alive(j, now)).collect();
                 if let Some(t) = self.geom.earliest_coverage(&alive, now, self.t_end) {
-                    let covering_next = self
-                        .alive_covering(t)
-                        .last()
-                        .copied();
+                    let covering_next = self.alive_covering(t).last().copied();
                     if let Some(s) = covering_next {
                         ctx.schedule_at(SimTime::new(t), Ev::Arrival { sat: s });
                     }
@@ -521,10 +634,45 @@ impl EpisodeModel {
         if !matches!(self.sats[sat].phase, SatellitePhase::WaitingForDone { .. }) {
             return;
         }
-        // No "done" by τ − (n−1)δ: assume TC-3 or a fail-silent peer and
-        // deliver this satellite's own (guaranteed) result.
+        // No "done" by τ − (n−1)δ_eff: assume TC-3 or a fail-silent peer
+        // and deliver this satellite's own (guaranteed) result.
         self.record(now, TraceEvent::WaitTimeout { sat });
         self.finalize(sat, ctx);
+    }
+
+    /// Graceful degradation: the reliable layer gave up on `sat`'s pending
+    /// request. Instead of burning the rest of the wait on a recruit that
+    /// never heard the request, fall back to the next viable candidate —
+    /// or, if TC-2 closed (or nobody is left), deliver the guaranteed
+    /// local result immediately.
+    fn on_request_gave_up(&mut self, sat: usize, ctx: &mut Context<Ev>) {
+        let now = ctx.now().as_minutes();
+        if self.sats[sat].is_released() || !self.alive(sat, now) {
+            return;
+        }
+        if !matches!(self.sats[sat].phase, SatellitePhase::WaitingForDone { .. }) {
+            return;
+        }
+        let failed_recruit = *self.tried[sat].last().expect("gave up without a request");
+        self.record(
+            now,
+            TraceEvent::RequestGaveUp {
+                from: sat,
+                to: failed_recruit,
+            },
+        );
+        let n = self.sats[sat]
+            .chain_pos
+            .expect("waiting without a chain position");
+        // The opportunity may have closed while the retries burned.
+        if self.tc2_holds(n, now) {
+            self.finalize(sat, ctx);
+            return;
+        }
+        match self.select_recruit(sat, now) {
+            Some(next) => self.send_request(sat, next, ctx),
+            None => self.finalize(sat, ctx),
+        }
     }
 }
 
@@ -538,8 +686,7 @@ impl Model for EpisodeModel {
                 if !self.alive_covering(now).is_empty() {
                     self.detect(ctx);
                 } else {
-                    let alive: Vec<bool> =
-                        (0..self.cfg.k).map(|j| self.alive(j, now)).collect();
+                    let alive: Vec<bool> = (0..self.cfg.k).map(|j| self.alive(j, now)).collect();
                     if let Some(t) = self.geom.earliest_coverage(&alive, now, self.t_end) {
                         // Identify which satellite arrives at t to tag the event.
                         let sat = (0..self.cfg.k)
@@ -562,6 +709,7 @@ impl Model for EpisodeModel {
                 CoordMessage::Done => self.on_done(&env, ctx),
             },
             Ev::WaitTimeout { sat } => self.on_wait_timeout(sat, ctx),
+            Ev::RequestGaveUp { sat } => self.on_request_gave_up(sat, ctx),
         }
     }
 }
@@ -574,6 +722,8 @@ pub struct Episode {
     cfg: ProtocolConfig,
     seed: u64,
     failures: Vec<(usize, f64)>,
+    failure_windows: Vec<(usize, f64, f64)>,
+    outages: Vec<(usize, usize, f64, f64)>,
     geometry: Option<CoverageGeometry>,
 }
 
@@ -590,6 +740,8 @@ impl Episode {
             cfg: *cfg,
             seed,
             failures: Vec::new(),
+            failure_windows: Vec::new(),
+            outages: Vec::new(),
             geometry: None,
         }
     }
@@ -624,6 +776,37 @@ impl Episode {
         self
     }
 
+    /// Schedules a crash-recovery window: `sat` is down over `[from, until)`
+    /// minutes, then recovers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sat >= k` or `from >= until`.
+    #[must_use]
+    pub fn with_failure_window(mut self, sat: usize, from: f64, until: f64) -> Self {
+        assert!(sat < self.cfg.k, "satellite index out of range");
+        assert!(from < until, "need from < until");
+        self.failure_windows.push((sat, from, until));
+        self
+    }
+
+    /// Schedules a transient crosslink outage between satellites `a` and
+    /// `b` (undirected) over `[from, until)` minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `from >= until`.
+    #[must_use]
+    pub fn with_link_outage(mut self, a: usize, b: usize, from: f64, until: f64) -> Self {
+        assert!(
+            a < self.cfg.k && b < self.cfg.k,
+            "satellite index out of range"
+        );
+        assert!(from < until, "need from < until");
+        self.outages.push((a, b, from, until));
+        self
+    }
+
     /// Runs the episode for a signal born at `t_birth` lasting `duration`
     /// minutes.
     ///
@@ -654,14 +837,24 @@ impl Episode {
         duration: f64,
         traced: bool,
     ) -> (EpisodeOutcome, Option<Vec<TraceEntry>>) {
-        assert!(t_birth >= 0.0 && duration >= 0.0, "times must be non-negative");
-        let link = LinkSpec::new(0.2 * self.cfg.delta, self.cfg.delta)
-            .expect("delta validated by config")
-            .with_loss(self.cfg.message_loss)
-            .expect("loss validated by config");
-        let geom = self.geometry.clone().unwrap_or_else(|| {
-            CoverageGeometry::new(self.cfg.k, self.cfg.theta, self.cfg.tc)
-        });
+        assert!(
+            t_birth >= 0.0 && duration >= 0.0,
+            "times must be non-negative"
+        );
+        let base =
+            LinkSpec::new(0.2 * self.cfg.delta, self.cfg.delta).expect("delta validated by config");
+        let link = match self.cfg.bursty_loss {
+            Some(ge) => base
+                .with_bursty_loss(ge)
+                .expect("bursty loss validated by config"),
+            None => base
+                .with_loss(self.cfg.message_loss)
+                .expect("loss validated by config"),
+        };
+        let geom = self
+            .geometry
+            .clone()
+            .unwrap_or_else(|| CoverageGeometry::new(self.cfg.k, self.cfg.theta, self.cfg.tc));
         // Crosslinks follow *visit order* (identical to index order for the
         // evenly-phased single plane): each satellite links to the peers it
         // hands coordination to and receives it from, plus chords when
@@ -686,12 +879,31 @@ impl Episode {
         };
         let mut net = Network::new(topology, link);
         for &(sat, time) in &self.failures {
-            net.faults_mut().fail_at(NodeId(sat as u32), SimTime::new(time));
+            net.faults_mut()
+                .fail_at(NodeId(sat as u32), SimTime::new(time));
+        }
+        for &(sat, from, until) in &self.failure_windows {
+            net.faults_mut().fail_between(
+                NodeId(sat as u32),
+                SimTime::new(from),
+                SimTime::new(until),
+            );
+        }
+        for &(a, b, from, until) in &self.outages {
+            net.faults_mut().outage_between(
+                NodeId(a as u32),
+                NodeId(b as u32),
+                SimTime::new(from),
+                SimTime::new(until),
+            );
         }
         let model = EpisodeModel {
             geom,
             net,
+            reliable: ReliableLink::new(self.cfg.retry_policy()),
+            delta_eff: self.cfg.delta_eff(),
             sats: vec![SatelliteState::new(); self.cfg.k],
+            tried: vec![Vec::new(); self.cfg.k],
             t_start: t_birth,
             t_end: t_birth + duration,
             detection: None,
@@ -788,7 +1000,10 @@ mod tests {
         assert_eq!(out.level, QosLevel::Single);
         assert!(out.deadline_met);
         let delivered = out.delivered_at.unwrap();
-        assert!((delivered - 8.0).abs() < 1e-6, "delivered at t0+τ, got {delivered}");
+        assert!(
+            (delivered - 8.0).abs() < 1e-6,
+            "delivered at t0+τ, got {delivered}"
+        );
     }
 
     #[test]
@@ -803,7 +1018,10 @@ mod tests {
     fn baq_never_waits() {
         let out = Episode::new(&baq(12), 4).run(4.0, 30.0);
         assert_eq!(out.level, QosLevel::Single, "no withholding under BAQ");
-        assert!(out.delivered_at.unwrap() < 5.0, "delivered right after computing");
+        assert!(
+            out.delivered_at.unwrap() < 5.0,
+            "delivered right after computing"
+        );
         assert_eq!(out.messages_sent, 0);
     }
 
@@ -910,9 +1128,7 @@ mod tests {
         cfg.backward_messaging = true;
         // S1 hands off responsibility then the recruit dies: nobody
         // delivers — the trade-off the paper calls out.
-        let out = Episode::new(&cfg, 15)
-            .with_failure(1, 7.0)
-            .run(6.0, 2.0);
+        let out = Episode::new(&cfg, 15).with_failure(1, 7.0).run(6.0, 2.0);
         assert_eq!(out.level, QosLevel::Missed);
         assert!(!out.deadline_met);
     }
@@ -929,9 +1145,7 @@ mod tests {
         assisted.membership = Some(crate::config::MembershipHints::default());
 
         let run = |cfg: &ProtocolConfig| {
-            Episode::new(cfg, 21)
-                .with_failure(1, 0.0)
-                .run(38.0, 60.0) // born under sat 3's window? no: sat 3 covers [30,39)
+            Episode::new(cfg, 21).with_failure(1, 0.0).run(38.0, 60.0) // born under sat 3's window? no: sat 3 covers [30,39)
         };
         let plain_out = run(&plain);
         let assisted_out = run(&assisted);
@@ -966,10 +1180,11 @@ mod tests {
         let mut cfg = oaq(9);
         cfg.tau = 25.0;
         cfg.membership = Some(crate::config::MembershipHints::default());
-        let out = Episode::new(&cfg, 6)
-            .with_failure(1, 2.0)
-            .run(3.0, 60.0);
-        assert!(out.messages_sent >= 1, "request to the not-yet-suspected peer");
+        let out = Episode::new(&cfg, 6).with_failure(1, 2.0).run(3.0, 60.0);
+        assert!(
+            out.messages_sent >= 1,
+            "request to the not-yet-suspected peer"
+        );
     }
 
     #[test]
@@ -1047,6 +1262,7 @@ mod tests {
                 TraceEvent::RecruitArrival { .. } => "arrival",
                 TraceEvent::CoordinationDone { .. } => "done",
                 TraceEvent::WaitTimeout { .. } => "timeout",
+                TraceEvent::RequestGaveUp { .. } => "gaveup",
                 TraceEvent::AlertDelivered { .. } => "deliver",
             })
             .collect();
@@ -1081,7 +1297,9 @@ mod tests {
         let (out, trace) = Episode::new(&oaq(9), 9).run_traced(9.2, 0.3);
         assert_eq!(out.level, QosLevel::Missed);
         assert!(
-            !trace.iter().any(|e| matches!(e.event, TraceEvent::Detection { .. })),
+            !trace
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::Detection { .. })),
             "no detection events for an escaped target"
         );
     }
@@ -1098,6 +1316,176 @@ mod tests {
         let out = Episode::new(&oaq(1), 16).run(1.0, 30.0);
         assert_eq!(out.level, QosLevel::Single);
         assert_eq!(out.messages_sent, 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_falls_back_to_the_next_live_recruit() {
+        // Sat 1 fails one minute before detection — too recent for the
+        // membership service to know — so S1 recruits it, burns the retry
+        // budget, and on give-up falls back to sat 2. The coordination
+        // still reaches sequential dual coverage, where the plain
+        // fire-and-forget protocol would burn its whole wait on the dead
+        // peer.
+        let mut cfg = oaq(9);
+        cfg.tau = 25.0;
+        cfg.retry_budget = 2;
+        cfg.retry_timeout = 0.25;
+        cfg.membership = Some(crate::config::MembershipHints::default());
+        let (out, trace) = Episode::new(&cfg, 6)
+            .with_failure(1, 2.0)
+            .run_traced(3.0, 60.0);
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::RequestGaveUp { from: 0, to: 1 })),
+            "expected a give-up on the dead recruit: {trace:#?}"
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::CoordinationRequest { from: 0, to: 2 })),
+            "expected the fallback request to sat 2: {trace:#?}"
+        );
+        assert!(out.level >= QosLevel::SequentialDual, "{out:?}");
+        assert!(out.deadline_met);
+    }
+
+    #[test]
+    fn give_up_without_alternatives_finalizes_early() {
+        // No membership chords: when the only successor's link is outaged
+        // for the whole episode, a budgeted S1 gives up, finds nobody else
+        // to recruit, and delivers its local result well before the τ
+        // timeout would have fired.
+        let mut cfg = oaq(10);
+        cfg.retry_budget = 2;
+        cfg.retry_timeout = 0.25;
+        let (out, trace) = Episode::new(&cfg, 6)
+            .with_link_outage(0, 1, 0.0, 100.0)
+            .run_traced(6.0, 30.0);
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::RequestGaveUp { .. })),
+            "{trace:#?}"
+        );
+        assert_eq!(out.level, QosLevel::Single);
+        assert!(out.deadline_met);
+        let t0 = 6.0;
+        assert!(
+            out.delivered_at.unwrap() < t0 + cfg.tau - 1.0,
+            "give-up must beat the wait timeout: {out:?}"
+        );
+    }
+
+    #[test]
+    fn transient_outage_is_ridden_out_by_protocol_retries() {
+        // A 0.4-minute outage at recruitment time kills the plain request;
+        // with a retry budget the request survives and the coordination
+        // completes as if the outage never happened.
+        let outage = |cfg: &ProtocolConfig| {
+            Episode::new(cfg, 6)
+                .with_link_outage(0, 1, 6.0, 6.4)
+                .run(6.0, 30.0)
+        };
+        let plain = oaq(10);
+        let mut budgeted = plain;
+        budgeted.retry_budget = 3;
+        budgeted.retry_timeout = 0.25;
+        let plain_out = outage(&plain);
+        let budgeted_out = outage(&budgeted);
+        assert_eq!(
+            plain_out.level,
+            QosLevel::Single,
+            "request dies in the outage"
+        );
+        assert_eq!(
+            budgeted_out.level,
+            QosLevel::SequentialDual,
+            "{budgeted_out:?}"
+        );
+        assert!(budgeted_out.deadline_met);
+    }
+
+    #[test]
+    fn live_detector_always_delivers_by_tau_under_fault_mixes() {
+        // Acceptance sweep: loss ∈ {0, 0.05, 0.2, bursty} × retry budget
+        // ∈ {0, 1, 3}, against a fault plan mixing a crash-recovery window
+        // on the recruit with a transient outage at recruitment time.
+        // Whatever the mix does to *quality*, an episode whose detector
+        // stays alive delivers at least a single-coverage alert by τ.
+        let bursty = oaq_net::GilbertElliott::bursts(0.2, 5.0, 0.9).unwrap();
+        for loss_case in 0..4 {
+            for &budget in &[0u32, 1, 3] {
+                let mut cfg = oaq(10);
+                match loss_case {
+                    0 => cfg.message_loss = 0.0,
+                    1 => cfg.message_loss = 0.05,
+                    2 => cfg.message_loss = 0.2,
+                    _ => cfg.bursty_loss = Some(bursty),
+                }
+                cfg.retry_budget = budget;
+                cfg.retry_timeout = 0.25;
+                for seed in 0..40 {
+                    let (out, trace) = Episode::new(&cfg, seed)
+                        .with_failure_window(1, 7.0, 12.0)
+                        .with_link_outage(0, 1, 6.0, 6.4)
+                        .run_traced(6.0, 30.0);
+                    let detector = trace.iter().find_map(|e| match e.event {
+                        TraceEvent::Detection { sat, .. } => Some(sat),
+                        _ => None,
+                    });
+                    // The fault plan never touches sat 0, the detector for
+                    // a signal born at t = 6 under this geometry.
+                    let Some(d) = detector else { continue };
+                    assert_eq!(d, 0);
+                    assert!(
+                        out.deadline_met,
+                        "loss case {loss_case}, budget {budget}, seed {seed}: {out:?}"
+                    );
+                    assert!(out.level >= QosLevel::Single);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_episodes_are_deterministic() {
+        // Satellite of the robustness issue: identical seed + fault plan
+        // (bursty loss, retries, crash-recovery, outages, a permanent
+        // failure) must reproduce the outcome *and* the full trace.
+        let mut cfg = oaq(10);
+        cfg.bursty_loss = Some(oaq_net::GilbertElliott::bursts(0.15, 4.0, 0.95).unwrap());
+        cfg.retry_budget = 2;
+        cfg.retry_timeout = 0.25;
+        let run = || {
+            Episode::new(&cfg, 77)
+                .with_failure(3, 12.0)
+                .with_failure_window(1, 7.0, 11.0)
+                .with_link_outage(0, 1, 6.0, 6.5)
+                .run_traced(6.0, 30.0)
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ta, tb, "traces must match event-for-event");
+    }
+
+    #[test]
+    fn crash_recovery_window_restores_coordination() {
+        // The recruit is down only over [0, 6.5): it recovers inside the
+        // retry window (tries at ~6.04, 6.29, 6.54, 6.79), so the retried
+        // request lands and the coordination completes; a *permanent*
+        // failure at 0 leaves only the single-coverage alert.
+        let mut cfg = oaq(10);
+        cfg.retry_budget = 3;
+        cfg.retry_timeout = 0.25;
+        let recovered = Episode::new(&cfg, 6)
+            .with_failure_window(1, 0.0, 6.5)
+            .run(6.0, 30.0);
+        let permanent = Episode::new(&cfg, 6).with_failure(1, 0.0).run(6.0, 30.0);
+        assert_eq!(recovered.level, QosLevel::SequentialDual, "{recovered:?}");
+        assert_eq!(permanent.level, QosLevel::Single);
+        assert!(recovered.deadline_met && permanent.deadline_met);
     }
 
     #[test]

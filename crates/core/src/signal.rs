@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn overlap_has_two_covering_in_beta() {
         let g = reference(12); // Tr = 7.5, overlap L2 = 1.5
-        // At t = 8.0: sat 0 covers [0, 9), sat 1 covers [7.5, 16.5): both.
+                               // At t = 8.0: sat 0 covers [0, 9), sat 1 covers [7.5, 16.5): both.
         let c = g.covering_at(8.0);
         assert_eq!(c, vec![0, 1], "earliest arrival first");
         // At t = 5: only sat 0.

@@ -8,17 +8,12 @@ use oaq_core::signal::CoverageGeometry;
 use proptest::prelude::*;
 
 fn any_cfg() -> impl Strategy<Value = ProtocolConfig> {
-    (2usize..16, 1.0f64..8.0, any::<bool>(), any::<bool>()).prop_map(
-        |(k, tau, oaq, backward)| {
-            let mut cfg = ProtocolConfig::reference(
-                k,
-                if oaq { Scheme::Oaq } else { Scheme::Baq },
-            );
-            cfg.tau = tau;
-            cfg.backward_messaging = backward;
-            cfg
-        },
-    )
+    (2usize..16, 1.0f64..8.0, any::<bool>(), any::<bool>()).prop_map(|(k, tau, oaq, backward)| {
+        let mut cfg = ProtocolConfig::reference(k, if oaq { Scheme::Oaq } else { Scheme::Baq });
+        cfg.tau = tau;
+        cfg.backward_messaging = backward;
+        cfg
+    })
 }
 
 proptest! {

@@ -38,7 +38,7 @@
 //!     oaq_orbit::GroundPoint::from_degrees(Degrees(30.0), Degrees(10.0)),
 //!     400.0e6,
 //! );
-//! let mut rng = SimRng::seed_from(7);
+//! let mut rng = SimRng::seed_from(1);
 //! let scenario = PassScenario::reference(&emitter);
 //! let mut loc = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
 //! loc.add_pass(scenario.synthesize_pass(0, &mut rng));
@@ -56,9 +56,9 @@
 pub mod accuracy;
 pub mod doppler;
 pub mod emitter;
+pub mod satstate;
 pub mod scenario;
 pub mod sequential;
-pub mod satstate;
 pub mod toa;
 pub mod wls;
 

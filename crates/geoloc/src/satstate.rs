@@ -98,9 +98,7 @@ impl SatelliteState {
         if r == 0.0 {
             return 0.0;
         }
-        (self.velocity_km_s[0] * d[0]
-            + self.velocity_km_s[1] * d[1]
-            + self.velocity_km_s[2] * d[2])
+        (self.velocity_km_s[0] * d[0] + self.velocity_km_s[1] * d[1] + self.velocity_km_s[2] * d[2])
             / r
     }
 }
@@ -121,9 +119,9 @@ mod tests {
         let a = EARTH_RADIUS.value() + altitude_for_period(Minutes(90.0)).value();
         for i in 0..10 {
             let s = SatelliteState::on_orbit(&o, Radians(0.3), Minutes(i as f64 * 7.0));
-            let r = (s.position_km[0].powi(2) + s.position_km[1].powi(2)
-                + s.position_km[2].powi(2))
-            .sqrt();
+            let r =
+                (s.position_km[0].powi(2) + s.position_km[1].powi(2) + s.position_km[2].powi(2))
+                    .sqrt();
             assert!((r - a).abs() < 1e-6);
         }
     }
@@ -134,10 +132,9 @@ mod tests {
         let a = EARTH_RADIUS.value() + altitude_for_period(Minutes(90.0)).value();
         let expected = std::f64::consts::TAU * a / (90.0 * 60.0);
         let s = SatelliteState::on_orbit(&o, Radians(1.0), Minutes(13.0));
-        let v = (s.velocity_km_s[0].powi(2)
-            + s.velocity_km_s[1].powi(2)
-            + s.velocity_km_s[2].powi(2))
-        .sqrt();
+        let v =
+            (s.velocity_km_s[0].powi(2) + s.velocity_km_s[1].powi(2) + s.velocity_km_s[2].powi(2))
+                .sqrt();
         assert!((v - expected).abs() < 1e-9);
         // ~7.6 km/s for LEO.
         assert!((v - 7.6).abs() < 0.3, "LEO speed sanity: {v}");

@@ -210,8 +210,7 @@ impl PassScenario {
         .with_earth_rotation(false);
         let partner_phase = Radians(
             self.phase_at_crossing.value()
-                - partner_orbit.mean_motion()
-                    * (self.overflight_time(pass).value() + lag.value()),
+                - partner_orbit.mean_motion() * (self.overflight_time(pass).value() + lag.value()),
         )
         .wrap_two_pi();
         for t in self.sample_times(pass) {
@@ -330,12 +329,8 @@ mod tests {
         let e = emitter();
         let s = PassScenario::reference(&e);
         let mut rng = SimRng::seed_from(9);
-        let pair = s.synthesize_simultaneous_pair(
-            0,
-            Degrees(3.0).to_radians(),
-            Minutes(0.5),
-            &mut rng,
-        );
+        let pair =
+            s.synthesize_simultaneous_pair(0, Degrees(3.0).to_radians(), Minutes(0.5), &mut rng);
         assert_eq!(pair.len(), 18, "both satellites' samples");
     }
 

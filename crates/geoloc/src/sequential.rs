@@ -57,8 +57,10 @@ impl SequentialLocalizer {
         O: Observation + Send + 'static,
     {
         self.passes.push(pass.len());
-        self.observations
-            .extend(pass.into_iter().map(|o| Box::new(o) as Box<dyn Observation + Send>));
+        self.observations.extend(
+            pass.into_iter()
+                .map(|o| Box::new(o) as Box<dyn Observation + Send>),
+        );
     }
 
     /// Number of passes accumulated.
@@ -80,10 +82,7 @@ impl SequentialLocalizer {
     ///
     /// Propagates [`SolveError`] from the underlying WLS solve.
     pub fn estimate(&mut self) -> Result<Estimate, SolveError> {
-        let start = self
-            .history
-            .last()
-            .map_or(self.initial_guess, |e| e.state);
+        let start = self.history.last().map_or(self.initial_guess, |e| e.state);
         let refs: Vec<&dyn Observation> = self
             .observations
             .iter()
@@ -210,8 +209,14 @@ mod tests {
         let one = loc.estimate().unwrap().error_radius_km();
         loc.add_pass(scenario.synthesize_pass(1, &mut rng));
         let two = loc.estimate().unwrap().error_radius_km();
-        assert!(one > 100.0, "degenerate geometry must report huge error, got {one}");
-        assert!(two < one / 10.0, "offset pass collapses ambiguity: {one} -> {two}");
+        assert!(
+            one > 100.0,
+            "degenerate geometry must report huge error, got {one}"
+        );
+        assert!(
+            two < one / 10.0,
+            "offset pass collapses ambiguity: {one} -> {two}"
+        );
     }
 
     #[test]

@@ -65,8 +65,7 @@ impl Observation for ToaMeasurement {
         let p = oaq_orbit::GroundPoint::new(Radians(lat), Radians(x[1]));
         let u = p.unit_vector();
         let r = EARTH_RADIUS.value();
-        self.satellite
-            .range_to(&[u[0] * r, u[1] * r, u[2] * r])
+        self.satellite.range_to(&[u[0] * r, u[1] * r, u[2] * r])
     }
 
     fn observed(&self) -> f64 {

@@ -75,7 +75,10 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::Underdetermined { observations } => {
-                write!(f, "underdetermined: {observations} observations for {STATE_DIM} states")
+                write!(
+                    f,
+                    "underdetermined: {observations} observations for {STATE_DIM} states"
+                )
             }
             SolveError::Degenerate(e) => write!(f, "degenerate normal equations: {e}"),
             SolveError::NoConvergence { cost } => {
@@ -286,9 +289,7 @@ impl WlsSolver {
         }
 
         let jtwj = last_jtwj.expect("at least one iteration ran");
-        let covariance = jtwj
-            .inverse()
-            .map_err(SolveError::Degenerate)?;
+        let covariance = jtwj.inverse().map_err(SolveError::Degenerate)?;
         Ok(Estimate {
             state: x,
             covariance,

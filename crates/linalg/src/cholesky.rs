@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn solve_matches_lu() {
-        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let x_ch = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
         let x_lu = a.solve(&b).unwrap();

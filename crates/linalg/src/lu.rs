@@ -150,12 +150,8 @@ mod tests {
 
     #[test]
     fn solves_with_pivoting() {
-        let a = Matrix::from_rows(&[
-            &[1e-20_f64, 1.0, 0.0],
-            &[1.0, 1.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1e-20_f64, 1.0, 0.0], &[1.0, 1.0, 1.0], &[0.0, 1.0, 2.0]])
+            .unwrap();
         let b = [1.0, 2.0, 3.0];
         let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-9);

@@ -161,13 +161,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn normalize_prob_works() {
-        assert_eq!(
-            normalize_prob(&[1.0, 3.0]).unwrap(),
-            vec![0.25, 0.75]
-        );
+        assert_eq!(normalize_prob(&[1.0, 3.0]).unwrap(), vec![0.25, 0.75]);
         assert!(normalize_prob(&[0.0, 0.0]).is_none());
         assert!(normalize_prob(&[f64::INFINITY]).is_none());
     }

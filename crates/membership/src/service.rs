@@ -58,7 +58,8 @@ impl MembershipConfig {
             self.suspicion_multiplier > 1.0,
             "suspicion timeout must exceed one heartbeat period"
         );
-        assert!((0.0..1.0).contains(&self.loss), "bad loss probability");
+        oaq_net::validate_loss_probability(self.loss)
+            .unwrap_or_else(|e| panic!("membership loss: {e}"));
         assert!(self.delta >= 0.0 && self.delta.is_finite(), "bad delta");
         assert!(
             self.suspicion_multiplier * self.interval > self.delta,
@@ -157,10 +158,7 @@ impl Model for MembershipModel {
                         }
                     }
                     // Re-arm the heartbeat and the local silence check.
-                    ctx.schedule_at(
-                        SimTime::new(now + self.cfg.interval),
-                        Ev::Tick { node },
-                    );
+                    ctx.schedule_at(SimTime::new(now + self.cfg.interval), Ev::Tick { node });
                     ctx.schedule_at(
                         SimTime::new(now + self.cfg.interval * 0.5),
                         Ev::SuspicionSweep { node },
@@ -331,6 +329,37 @@ impl MembershipSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lossy_membership_runs_are_deterministic() {
+        // Same seed, same fault plan, lossy heartbeats: two runs must agree
+        // on every observer's evidence and suspicion state and on the exact
+        // message count.
+        let mut cfg = MembershipConfig::plane(8);
+        cfg.loss = 0.2;
+        let run = || {
+            let mut sim = MembershipSim::new(&cfg, 31);
+            sim.fail_node(2, 10.0);
+            sim.fail_node(5, 25.0);
+            sim.run_until(80.0);
+            sim
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.messages_sent(), b.messages_sent());
+        for obs in 0..8 {
+            assert_eq!(
+                a.view(obs).suspicions(),
+                b.view(obs).suspicions(),
+                "observer {obs} suspicions diverged"
+            );
+            assert_eq!(
+                a.view(obs).evidence(),
+                b.view(obs).evidence(),
+                "observer {obs} evidence diverged"
+            );
+        }
+    }
 
     #[test]
     fn fault_free_group_raises_no_suspicion() {

@@ -76,8 +76,7 @@ impl MembershipView {
     /// The freshest evidence records (for gossip piggybacking).
     #[must_use]
     pub fn evidence(&self) -> Vec<(usize, f64)> {
-        let mut v: Vec<(usize, f64)> =
-            self.last_evidence.iter().map(|(&p, &t)| (p, t)).collect();
+        let mut v: Vec<(usize, f64)> = self.last_evidence.iter().map(|(&p, &t)| (p, t)).collect();
         v.sort_unstable_by_key(|&(p, _)| p);
         v
     }

@@ -1,4 +1,5 @@
-//! Fail-silent fault injection.
+//! Fault injection: fail-silent nodes, crash-recovery windows, and
+//! transient per-edge link outages.
 
 use std::collections::HashMap;
 
@@ -6,12 +7,51 @@ use oaq_sim::SimTime;
 
 use crate::message::NodeId;
 
-/// A schedule of fail-silent node failures.
+/// One failure interval of a node.
 ///
-/// A fail-silent node stops sending and receiving at its failure instant and
-/// never recovers (the paper's assumed satellite failure mode; its
-/// backward-messaging option exists precisely to tolerate a peer going
-/// fail-silent mid-computation).
+/// The interval is half-open `[from, until)`; `until = None` means the node
+/// never recovers (the classic fail-silent mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureWindow {
+    /// When the node stops sending and receiving.
+    pub from: SimTime,
+    /// When the node comes back, if ever.
+    pub until: Option<SimTime>,
+}
+
+impl FailureWindow {
+    /// `true` while the window covers `now`.
+    #[must_use]
+    pub fn covers(&self, now: SimTime) -> bool {
+        self.from <= now && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// A transient outage of one undirected crosslink edge, half-open
+/// `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Outage {
+    from: SimTime,
+    until: SimTime,
+}
+
+/// A schedule of injected faults.
+///
+/// Three fault classes are supported, matching the robustness campaign's
+/// sweep axes:
+///
+/// * **fail-silent** nodes ([`FaultPlan::fail_at`]): stop sending and
+///   receiving at an instant and never recover — the paper's assumed
+///   satellite failure mode;
+/// * **crash-recovery** nodes ([`FaultPlan::fail_between`]): silent during a
+///   window `[from, until)`, then live again — a reboot or a transient
+///   payload fault;
+/// * **link outages** ([`FaultPlan::outage_between`]): one undirected edge
+///   drops every message during a window, while both endpoints stay alive —
+///   antenna occlusion, pointing loss, interference.
+///
+/// All queries are pure functions of the plan and `now`, so a plan is
+/// deterministic by construction and can be replayed.
 ///
 /// # Examples
 ///
@@ -22,12 +62,25 @@ use crate::message::NodeId;
 ///
 /// let mut plan = FaultPlan::new();
 /// plan.fail_at(NodeId(3), SimTime::new(10.0));
+/// plan.fail_between(NodeId(4), SimTime::new(2.0), SimTime::new(5.0));
 /// assert!(!plan.is_failed(NodeId(3), SimTime::new(9.9)));
 /// assert!(plan.is_failed(NodeId(3), SimTime::new(10.0)));
+/// assert!(plan.is_failed(NodeId(4), SimTime::new(3.0)));
+/// assert!(!plan.is_failed(NodeId(4), SimTime::new(5.0))); // recovered
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    failures: HashMap<NodeId, SimTime>,
+    windows: HashMap<NodeId, Vec<FailureWindow>>,
+    outages: HashMap<(NodeId, NodeId), Vec<Outage>>,
+}
+
+/// Normalizes an undirected edge key.
+fn edge(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl FaultPlan {
@@ -37,37 +90,110 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Schedules `node` to go fail-silent at `at`. If the node already has a
-    /// failure time the earlier one wins.
+    /// Schedules `node` to go fail-silent at `at`, permanently. If the node
+    /// already has a permanent failure the earlier one wins.
     pub fn fail_at(&mut self, node: NodeId, at: SimTime) {
-        self.failures
-            .entry(node)
-            .and_modify(|t| *t = (*t).min(at))
-            .or_insert(at);
+        let windows = self.windows.entry(node).or_default();
+        if let Some(w) = windows.iter_mut().find(|w| w.until.is_none()) {
+            w.from = w.from.min(at);
+        } else {
+            windows.push(FailureWindow {
+                from: at,
+                until: None,
+            });
+        }
     }
 
-    /// `true` if `node` has failed at or before `now`.
+    /// Schedules a crash-recovery window: `node` is silent during
+    /// `[from, until)` and alive again afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn fail_between(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "failure window must have from < until");
+        self.windows.entry(node).or_default().push(FailureWindow {
+            from,
+            until: Some(until),
+        });
+    }
+
+    /// Schedules a transient outage of the undirected edge `{a, b}` during
+    /// `[from, until)`. Messages attempted across the edge in that window
+    /// are dropped deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn outage_between(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "outage window must have from < until");
+        self.outages
+            .entry(edge(a, b))
+            .or_default()
+            .push(Outage { from, until });
+    }
+
+    /// `true` if any of `node`'s failure windows covers `now`.
     #[must_use]
     pub fn is_failed(&self, node: NodeId, now: SimTime) -> bool {
-        self.failures.get(&node).is_some_and(|&t| t <= now)
+        self.windows
+            .get(&node)
+            .is_some_and(|ws| ws.iter().any(|w| w.covers(now)))
     }
 
-    /// The failure time of `node`, if scheduled.
+    /// `true` if the undirected edge `{a, b}` is in an outage at `now`.
+    #[must_use]
+    pub fn is_outaged(&self, a: NodeId, b: NodeId, now: SimTime) -> bool {
+        self.outages
+            .get(&edge(a, b))
+            .is_some_and(|os| os.iter().any(|o| o.from <= now && now < o.until))
+    }
+
+    /// `true` if a failure-detection service with detection latency
+    /// `latency_minutes` would report `node` as failed at `now` — i.e. the
+    /// node was failed `latency_minutes` ago. A node that recovered less
+    /// than one latency ago is still (staly) reported failed, matching how
+    /// real hint services lag reality in both directions.
+    #[must_use]
+    pub fn detected_failed(&self, node: NodeId, now: SimTime, latency_minutes: f64) -> bool {
+        // The detector reports the world as it was one latency ago; before
+        // one latency has elapsed it has nothing to report. A failure that
+        // began after the observation instant is unknown to the detector
+        // even if the node is failed right now.
+        let observed = now.as_minutes() - latency_minutes;
+        observed >= 0.0 && self.is_failed(node, SimTime::new(observed))
+    }
+
+    /// The earliest failure onset of `node`, if any window is scheduled.
     #[must_use]
     pub fn failure_time(&self, node: NodeId) -> Option<SimTime> {
-        self.failures.get(&node).copied()
+        self.windows
+            .get(&node)
+            .and_then(|ws| ws.iter().map(|w| w.from).min())
     }
 
-    /// Number of scheduled failures.
+    /// The failure windows of `node` (empty slice when none scheduled).
+    #[must_use]
+    pub fn failure_windows(&self, node: NodeId) -> &[FailureWindow] {
+        self.windows.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of nodes with at least one scheduled failure window.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.failures.len()
+        self.windows.len()
     }
 
-    /// `true` when no failures are scheduled.
+    /// Number of scheduled edge outages.
+    #[must_use]
+    pub fn outage_count(&self) -> usize {
+        self.outages.values().map(Vec::len).sum()
+    }
+
+    /// `true` when neither node failures nor edge outages are scheduled.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.failures.is_empty()
+        self.windows.is_empty() && self.outages.is_empty()
     }
 }
 
@@ -98,5 +224,72 @@ mod tests {
         plan.fail_at(NodeId(2), SimTime::new(4.0));
         assert!(plan.is_failed(NodeId(2), SimTime::new(4.0)));
         assert!(!plan.is_failed(NodeId(2), SimTime::new(3.999_999)));
+    }
+
+    #[test]
+    fn crash_recovery_window_is_half_open() {
+        let mut plan = FaultPlan::new();
+        plan.fail_between(NodeId(7), SimTime::new(2.0), SimTime::new(5.0));
+        assert!(!plan.is_failed(NodeId(7), SimTime::new(1.999)));
+        assert!(plan.is_failed(NodeId(7), SimTime::new(2.0)));
+        assert!(plan.is_failed(NodeId(7), SimTime::new(4.999)));
+        assert!(!plan.is_failed(NodeId(7), SimTime::new(5.0)));
+        assert_eq!(plan.failure_time(NodeId(7)), Some(SimTime::new(2.0)));
+    }
+
+    #[test]
+    fn repeated_crash_recovery_windows_stack() {
+        let mut plan = FaultPlan::new();
+        plan.fail_between(NodeId(1), SimTime::new(1.0), SimTime::new(2.0));
+        plan.fail_between(NodeId(1), SimTime::new(3.0), SimTime::new(4.0));
+        assert!(plan.is_failed(NodeId(1), SimTime::new(1.5)));
+        assert!(!plan.is_failed(NodeId(1), SimTime::new(2.5)));
+        assert!(plan.is_failed(NodeId(1), SimTime::new(3.5)));
+        assert_eq!(plan.failure_windows(NodeId(1)).len(), 2);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn windowed_failure_then_permanent() {
+        let mut plan = FaultPlan::new();
+        plan.fail_between(NodeId(2), SimTime::new(1.0), SimTime::new(2.0));
+        plan.fail_at(NodeId(2), SimTime::new(10.0));
+        assert!(!plan.is_failed(NodeId(2), SimTime::new(5.0)));
+        assert!(plan.is_failed(NodeId(2), SimTime::new(11.0)));
+        assert_eq!(plan.failure_time(NodeId(2)), Some(SimTime::new(1.0)));
+    }
+
+    #[test]
+    fn outages_are_undirected_and_half_open() {
+        let mut plan = FaultPlan::new();
+        plan.outage_between(NodeId(5), NodeId(2), SimTime::new(1.0), SimTime::new(3.0));
+        assert!(plan.is_outaged(NodeId(2), NodeId(5), SimTime::new(1.0)));
+        assert!(plan.is_outaged(NodeId(5), NodeId(2), SimTime::new(2.999)));
+        assert!(!plan.is_outaged(NodeId(2), NodeId(5), SimTime::new(3.0)));
+        assert!(!plan.is_outaged(NodeId(2), NodeId(4), SimTime::new(2.0)));
+        assert_eq!(plan.outage_count(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn detection_lags_failure_and_recovery() {
+        let mut plan = FaultPlan::new();
+        plan.fail_between(NodeId(3), SimTime::new(10.0), SimTime::new(20.0));
+        // Not yet detected right after failing...
+        assert!(!plan.detected_failed(NodeId(3), SimTime::new(11.0), 2.0));
+        // ...detected once the latency has elapsed...
+        assert!(plan.detected_failed(NodeId(3), SimTime::new(12.0), 2.0));
+        // ...stale "failed" report just after recovery...
+        assert!(plan.detected_failed(NodeId(3), SimTime::new(21.0), 2.0));
+        // ...cleared after another latency.
+        assert!(!plan.detected_failed(NodeId(3), SimTime::new(22.0), 2.0));
+    }
+
+    #[test]
+    fn nothing_is_detected_before_one_latency() {
+        let mut plan = FaultPlan::new();
+        plan.fail_at(NodeId(0), SimTime::ZERO);
+        assert!(!plan.detected_failed(NodeId(0), SimTime::new(1.0), 60.0));
+        assert!(plan.detected_failed(NodeId(0), SimTime::new(60.0), 60.0));
     }
 }

@@ -10,12 +10,18 @@
 //! * [`topology::Topology`] — who can talk to whom (ring planes,
 //!   constellation grids, or arbitrary adjacency);
 //! * [`link::LinkSpec`] — per-hop delay (bounded by the paper's δ, the
-//!   maximum inter-satellite message-delivery delay) and loss;
+//!   maximum inter-satellite message-delivery delay) and loss, either
+//!   i.i.d. or bursty ([`link::GilbertElliott`]);
 //! * [`fault::FaultPlan`] — fail-silent nodes (the failure mode the
-//!   backward-messaging variant of the protocol tolerates);
+//!   backward-messaging variant of the protocol tolerates), crash-recovery
+//!   failure windows, and transient per-edge link outages;
 //! * [`network::Network`] — combines the above: attempts a send and
 //!   reports the arrival time for the caller's event queue, or why the
-//!   message will never arrive.
+//!   message will never arrive;
+//! * [`reliable::ReliableLink`] — ACK/timeout/retransmit on top of
+//!   `Network::send`, with a bounded budget and an effective worst-case
+//!   delay δ_eff the protocol layer substitutes into the paper's
+//!   termination-condition arithmetic.
 //!
 //! The crate deliberately does not own an event loop: the protocol model in
 //! `oaq-core` owns its `oaq-sim` simulation and schedules deliveries from
@@ -47,7 +53,10 @@ pub mod fault;
 pub mod link;
 pub mod message;
 pub mod network;
+pub mod reliable;
 pub mod topology;
 
+pub use link::{validate_loss_probability, GilbertElliott, InvalidLossProbability, LossModel};
 pub use message::{Envelope, NodeId};
-pub use network::{Network, SendOutcome};
+pub use network::{Network, NetworkStats, SendOutcome};
+pub use reliable::{ReliableLink, ReliableOutcome, ReliableStats, RetryPolicy};

@@ -1,9 +1,11 @@
 //! The network facade: topology + links + faults + delivery accounting.
 
+use std::collections::HashMap;
+
 use oaq_sim::{SimRng, SimTime};
 
 use crate::fault::FaultPlan;
-use crate::link::LinkSpec;
+use crate::link::{LinkSpec, LossState};
 use crate::message::{Envelope, NodeId};
 use crate::topology::Topology;
 
@@ -20,7 +22,10 @@ pub enum SendOutcome<P> {
     ReceiverFailed,
     /// No crosslink exists between the two nodes.
     NotLinked,
-    /// The link dropped the message.
+    /// The edge is in a scheduled transient outage: the message is dropped
+    /// deterministically, as opposed to the random [`SendOutcome::Lost`].
+    Outage,
+    /// The link's loss process dropped the message.
     Lost,
 }
 
@@ -42,18 +47,33 @@ impl<P> SendOutcome<P> {
 }
 
 /// Cumulative network counters.
+///
+/// Every attempt lands in exactly one bucket, so
+/// `attempts == delivered + lost + outage_drops + endpoint_failures +
+/// unlinked` holds at all times.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Send attempts.
     pub attempts: u64,
     /// Messages that will be (or were) delivered.
     pub delivered: u64,
-    /// Messages lost on the link.
+    /// Messages lost randomly by the link's loss process.
     pub lost: u64,
+    /// Messages dropped by a scheduled edge outage.
+    pub outage_drops: u64,
     /// Sends blocked by a failed endpoint.
     pub endpoint_failures: u64,
     /// Sends between unlinked nodes.
     pub unlinked: u64,
+}
+
+impl NetworkStats {
+    /// Sum of all terminal buckets; equals [`NetworkStats::attempts`] by
+    /// construction.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.delivered + self.lost + self.outage_drops + self.endpoint_failures + self.unlinked
+    }
 }
 
 /// A simulated crosslink network.
@@ -66,6 +86,9 @@ pub struct Network<P> {
     link: LinkSpec,
     faults: FaultPlan,
     stats: NetworkStats,
+    /// Per-edge loss-channel state (burst chains), keyed by the normalized
+    /// undirected edge. Empty until an edge first carries traffic.
+    loss_states: HashMap<(NodeId, NodeId), LossState>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -78,6 +101,7 @@ impl<P> Network<P> {
             link,
             faults: FaultPlan::new(),
             stats: NetworkStats::default(),
+            loss_states: HashMap::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -123,6 +147,15 @@ impl<P> Network<P> {
         self.stats
     }
 
+    /// Samples the loss process of the undirected edge `{a, b}`, advancing
+    /// that edge's burst chain when the link model is bursty. Also used by
+    /// the reliable layer to model ACK loss on the reverse path.
+    pub(crate) fn sample_edge_loss(&mut self, a: NodeId, b: NodeId, rng: &mut SimRng) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let state = self.loss_states.entry(key).or_default();
+        state.sample(self.link.loss_model(), rng)
+    }
+
     /// Attempts to send `payload` from `src` to `dst` at time `now`.
     ///
     /// On success the returned envelope carries the arrival time; the caller
@@ -145,7 +178,11 @@ impl<P> Network<P> {
             self.stats.unlinked += 1;
             return SendOutcome::NotLinked;
         }
-        if self.link.sample_loss(rng) {
+        if self.faults.is_outaged(src, dst, now) {
+            self.stats.outage_drops += 1;
+            return SendOutcome::Outage;
+        }
+        if self.sample_edge_loss(src, dst, rng) {
             self.stats.lost += 1;
             return SendOutcome::Lost;
         }
@@ -200,7 +237,11 @@ impl<P> Network<P> {
                 self.stats.endpoint_failures += 1;
                 return SendOutcome::ReceiverFailed;
             }
-            if self.link.sample_loss(rng) {
+            if self.faults.is_outaged(hop_src, hop_dst, t) {
+                self.stats.outage_drops += 1;
+                return SendOutcome::Outage;
+            }
+            if self.sample_edge_loss(hop_src, hop_dst, rng) {
                 self.stats.lost += 1;
                 return SendOutcome::Lost;
             }
@@ -257,10 +298,7 @@ mod tests {
     use super::*;
 
     fn net(loss: f64) -> Network<u32> {
-        let link = LinkSpec::new(0.02, 0.1)
-            .unwrap()
-            .with_loss(loss)
-            .unwrap();
+        let link = LinkSpec::new(0.02, 0.1).unwrap().with_loss(loss).unwrap();
         Network::new(Topology::ring(6), link)
     }
 
@@ -371,8 +409,7 @@ mod tests {
         let mut delivered = 0;
         let trials = 2000;
         for _ in 0..trials {
-            if n
-                .send_routed(NodeId(0), NodeId(3), 0, SimTime::new(1.0), &mut rng)
+            if n.send_routed(NodeId(0), NodeId(3), 0, SimTime::new(1.0), &mut rng)
                 .is_delivered()
             {
                 delivered += 1;
@@ -392,5 +429,107 @@ mod tests {
             n.send(NodeId(0), NodeId(1), 0, SimTime::ZERO, &mut rng),
             SendOutcome::NotLinked
         );
+    }
+
+    #[test]
+    fn outaged_edge_drops_deterministically_then_recovers() {
+        let mut n = net(0.0);
+        n.faults_mut()
+            .outage_between(NodeId(0), NodeId(1), SimTime::new(2.0), SimTime::new(4.0));
+        let mut rng = SimRng::seed_from(20);
+        assert!(n
+            .send(NodeId(0), NodeId(1), 0, SimTime::new(1.0), &mut rng)
+            .is_delivered());
+        assert_eq!(
+            n.send(NodeId(0), NodeId(1), 0, SimTime::new(2.5), &mut rng),
+            SendOutcome::Outage
+        );
+        // The outage is symmetric.
+        assert_eq!(
+            n.send(NodeId(1), NodeId(0), 0, SimTime::new(3.9), &mut rng),
+            SendOutcome::Outage
+        );
+        assert!(n
+            .send(NodeId(0), NodeId(1), 0, SimTime::new(4.0), &mut rng)
+            .is_delivered());
+        assert_eq!(n.stats().outage_drops, 2);
+    }
+
+    #[test]
+    fn bursty_network_loss_is_correlated_per_edge() {
+        let ge = crate::link::GilbertElliott::bursts(0.05, 10.0, 1.0).unwrap();
+        let link = LinkSpec::new(0.02, 0.1)
+            .unwrap()
+            .with_bursty_loss(ge)
+            .unwrap();
+        let mut n: Network<u32> = Network::new(Topology::ring(6), link);
+        let mut rng = SimRng::seed_from(21);
+        let outcomes: Vec<bool> = (0..5000)
+            .map(|_| {
+                n.send(NodeId(0), NodeId(1), 0, SimTime::ZERO, &mut rng)
+                    .is_delivered()
+            })
+            .collect();
+        let s = n.stats();
+        assert_eq!(s.attempts, 5000);
+        assert_eq!(s.accounted(), s.attempts);
+        assert!(s.lost > 0, "bursts must lose something");
+        // Conditional loss after a loss beats the marginal rate — the
+        // defining signature of burstiness.
+        let marginal = s.lost as f64 / s.attempts as f64;
+        let (mut after, mut after_lost) = (0u32, 0u32);
+        for w in outcomes.windows(2) {
+            if !w[0] {
+                after += 1;
+                if !w[1] {
+                    after_lost += 1;
+                }
+            }
+        }
+        let cond = f64::from(after_lost) / f64::from(after);
+        assert!(cond > 1.5 * marginal, "cond {cond} vs marginal {marginal}");
+    }
+
+    #[test]
+    fn stats_buckets_sum_to_attempts_across_all_variants() {
+        // Exercise every SendOutcome variant, then check the invariant.
+        let ge = crate::link::GilbertElliott::bursts(0.3, 5.0, 1.0).unwrap();
+        let link = LinkSpec::new(0.02, 0.1)
+            .unwrap()
+            .with_bursty_loss(ge)
+            .unwrap();
+        let mut n: Network<u32> = Network::new(Topology::ring(6), link);
+        n.faults_mut().fail_at(NodeId(4), SimTime::ZERO);
+        n.faults_mut()
+            .fail_between(NodeId(3), SimTime::new(0.0), SimTime::new(50.0));
+        n.faults_mut()
+            .outage_between(NodeId(1), NodeId(2), SimTime::new(0.0), SimTime::new(25.0));
+        let mut rng = SimRng::seed_from(22);
+        let mut seen_outage = false;
+        let mut seen_lost = false;
+        for i in 0..2000u32 {
+            let t = SimTime::new(f64::from(i) * 0.05);
+            let _ = n.send(NodeId(4), NodeId(5), 0, t, &mut rng); // SenderFailed
+            let _ = n.send(NodeId(0), NodeId(3), 0, t, &mut rng); // NotLinked
+            let _ = n.send(NodeId(2), NodeId(3), 0, t, &mut rng); // ReceiverFailed then alive
+            match n.send(NodeId(1), NodeId(2), 0, t, &mut rng) {
+                SendOutcome::Outage => seen_outage = true,
+                SendOutcome::Lost => seen_lost = true,
+                _ => {}
+            }
+            let _ = n.send(NodeId(0), NodeId(1), 0, t, &mut rng); // mostly Delivered
+        }
+        let s = n.stats();
+        assert!(
+            seen_outage && seen_lost,
+            "outage {seen_outage} lost {seen_lost}"
+        );
+        assert_eq!(s.attempts, 10_000);
+        assert!(s.delivered > 0);
+        assert!(s.endpoint_failures > 0);
+        assert!(s.unlinked > 0);
+        assert!(s.outage_drops > 0);
+        assert!(s.lost > 0);
+        assert_eq!(s.accounted(), s.attempts);
     }
 }

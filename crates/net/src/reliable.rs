@@ -1,0 +1,529 @@
+//! Reliable delivery: ACK/timeout/retransmit over [`Network::send`].
+//!
+//! The paper's protocol analysis assumes every crosslink message arrives
+//! within δ. Under loss, outages, and crash-recovery faults that assumption
+//! breaks; this layer restores a *bounded* delivery guarantee by
+//! retransmitting up to a retry budget, and exposes the resulting
+//! worst-case delay [`RetryPolicy::effective_delay`] (δ_eff) so the
+//! protocol can substitute it into the paper's TC formulas. When the budget
+//! is exhausted the sender learns it definitively ([`ReliableOutcome::GaveUp`]
+//! at a known instant), which is what lets the protocol degrade gracefully
+//! instead of silently waiting out τ.
+
+use oaq_sim::{SimDuration, SimRng, SimTime};
+
+use crate::message::{Envelope, NodeId};
+use crate::network::{Network, SendOutcome};
+
+/// Retransmission budget and pacing for one logical send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    retries: u32,
+    ack_timeout: SimDuration,
+}
+
+impl RetryPolicy {
+    /// No retransmissions: a single try, semantically identical to a plain
+    /// [`Network::send`], with δ_eff = δ.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            ack_timeout: SimDuration::ZERO,
+        }
+    }
+
+    /// Up to `retries` retransmissions, each after waiting `ack_timeout`
+    /// for an acknowledgement of the previous try.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retries > 0` and `ack_timeout` is zero (the retry
+    /// timeline would not advance). The timeout should exceed one
+    /// round trip (2δ) to avoid spurious retransmissions.
+    #[must_use]
+    pub fn new(retries: u32, ack_timeout: SimDuration) -> Self {
+        assert!(
+            retries == 0 || !ack_timeout.is_zero(),
+            "retrying with a zero ack timeout would retransmit instantly"
+        );
+        RetryPolicy {
+            retries,
+            ack_timeout,
+        }
+    }
+
+    /// Retransmissions beyond the first try.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Total tries (first attempt + retries).
+    #[must_use]
+    pub fn max_tries(&self) -> u32 {
+        self.retries + 1
+    }
+
+    /// Per-try acknowledgement wait.
+    #[must_use]
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.ack_timeout
+    }
+
+    /// δ_eff: the worst-case delay of a *successful* reliable send, given
+    /// the link's one-way bound δ.
+    ///
+    /// With no retries this is δ itself; with `r` retries it is the
+    /// conservative `r × (ack_timeout + δ)` from the issue model, which
+    /// dominates the tight bound `r × ack_timeout + δ` (the last try starts
+    /// at `r × ack_timeout` and lands within δ). The protocol substitutes
+    /// this value for δ in TC-2's `τ − (nδ + T_g)` and in the wait-timeout
+    /// `τ − (n−1)δ`.
+    #[must_use]
+    pub fn effective_delay(&self, delta: SimDuration) -> SimDuration {
+        if self.retries == 0 {
+            delta
+        } else {
+            SimDuration::new(
+                f64::from(self.retries) * (self.ack_timeout.as_minutes() + delta.as_minutes()),
+            )
+        }
+    }
+
+    /// When a sender that started at `sent_at` and exhausted the budget
+    /// concludes the send failed: after the last try's timeout expires.
+    #[must_use]
+    pub fn give_up_time(&self, sent_at: SimTime) -> SimTime {
+        sent_at + SimDuration::new(f64::from(self.max_tries()) * self.ack_timeout.as_minutes())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// What a reliable send concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReliableOutcome<P> {
+    /// At least one try got through; `envelope` is the earliest-arriving
+    /// copy (the receiver deduplicates the rest).
+    Delivered {
+        /// The delivered copy the receiver processes first.
+        envelope: Envelope<P>,
+        /// Tries actually transmitted (≥ 1).
+        tries: u32,
+        /// Extra copies the receiver must deduplicate.
+        duplicates: u32,
+    },
+    /// Every try was dropped; the sender knows it at `gave_up_at`.
+    GaveUp {
+        /// Tries transmitted before exhausting the budget.
+        tries: u32,
+        /// When the sender concludes failure (last timeout expiry).
+        gave_up_at: SimTime,
+    },
+    /// The sender was fail-silent before or during the retry sequence.
+    SenderFailed,
+    /// No crosslink exists; retrying cannot help.
+    NotLinked,
+}
+
+impl<P> ReliableOutcome<P> {
+    /// The delivered envelope, if any try got through.
+    #[must_use]
+    pub fn delivered(self) -> Option<Envelope<P>> {
+        match self {
+            ReliableOutcome::Delivered { envelope, .. } => Some(envelope),
+            _ => None,
+        }
+    }
+
+    /// `true` when the message arrived.
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, ReliableOutcome::Delivered { .. })
+    }
+}
+
+/// Cumulative reliable-layer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Logical sends requested.
+    pub sends: u64,
+    /// Logical sends that delivered.
+    pub delivered: u64,
+    /// Logical sends that exhausted the retry budget.
+    pub gave_up: u64,
+    /// Retransmissions beyond first tries.
+    pub retransmissions: u64,
+    /// Duplicate copies delivered (receiver-side dedup work).
+    pub duplicates: u64,
+    /// Acknowledgements lost or outaged on the reverse path.
+    pub acks_lost: u64,
+}
+
+/// The ACK/timeout/retransmit wrapper.
+///
+/// Owns a [`RetryPolicy`] and counters; borrows the [`Network`] per send so
+/// one network can serve many reliable endpoints.
+///
+/// The whole retry timeline of a logical send is simulated eagerly at call
+/// time (try `i` transmits at `sent_at + i × ack_timeout`), which keeps the
+/// caller's event loop simple: schedule the returned envelope's arrival,
+/// and on [`ReliableOutcome::GaveUp`] schedule the fallback at
+/// `gave_up_at`. Determinism is preserved because the consumed RNG stream
+/// depends only on the (deterministic) sequence of reliable sends.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableLink {
+    policy: RetryPolicy,
+    stats: ReliableStats,
+}
+
+impl ReliableLink {
+    /// A reliable link with the given policy.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Self {
+        ReliableLink {
+            policy,
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// The policy.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+
+    /// Sends `payload` from `src` to `dst` with retransmissions.
+    ///
+    /// Per try: transmit through the network; on delivery the receiver
+    /// acks, and the ACK itself rides the same lossy/outage-prone edge
+    /// back. The sender stops retransmitting at the first ACK arrival (or
+    /// on its own failure); tries whose transmit instant precedes that
+    /// arrival still go out, producing duplicates the receiver must
+    /// deduplicate. Dropped tries (random loss, outage, dead receiver) are
+    /// simply retried after `ack_timeout`.
+    pub fn send<P: Clone>(
+        &mut self,
+        net: &mut Network<P>,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ReliableOutcome<P> {
+        self.stats.sends += 1;
+        let timeout = self.policy.ack_timeout;
+        let mut best: Option<Envelope<P>> = None;
+        let mut duplicates: u32 = 0;
+        let mut ack_at: Option<SimTime> = None;
+        let mut tries: u32 = 0;
+        for i in 0..self.policy.max_tries() {
+            let t = now + SimDuration::new(f64::from(i) * timeout.as_minutes());
+            if ack_at.is_some_and(|a| a <= t) {
+                // The sender already holds an acknowledgement.
+                break;
+            }
+            tries += 1;
+            if i > 0 {
+                self.stats.retransmissions += 1;
+            }
+            match net.send(src, dst, payload.clone(), t, rng) {
+                SendOutcome::Delivered(env) => {
+                    if best.is_some() {
+                        duplicates += 1;
+                        self.stats.duplicates += 1;
+                    }
+                    let arrival = env.arrival;
+                    match &best {
+                        Some(b) if b.arrival <= arrival => {}
+                        _ => best = Some(env),
+                    }
+                    // ACK on the reverse path: subject to the same outage
+                    // window and loss process, then a one-way delay; the
+                    // sender must be alive to process it.
+                    if net.faults().is_outaged(dst, src, arrival)
+                        || net.sample_edge_loss(dst, src, rng)
+                    {
+                        self.stats.acks_lost += 1;
+                    } else {
+                        let ack_arrival = arrival + net.link().sample_delay(rng);
+                        if net.faults().is_failed(src, ack_arrival) {
+                            // Nobody is left to retransmit either.
+                            break;
+                        }
+                        ack_at = Some(ack_at.map_or(ack_arrival, |a| a.min(ack_arrival)));
+                    }
+                }
+                SendOutcome::SenderFailed => {
+                    return ReliableOutcome::SenderFailed;
+                }
+                SendOutcome::NotLinked => {
+                    return ReliableOutcome::NotLinked;
+                }
+                SendOutcome::ReceiverFailed | SendOutcome::Outage | SendOutcome::Lost => {
+                    // Silent drop: wait out the ack timeout and retry.
+                }
+            }
+        }
+        match best {
+            Some(envelope) => {
+                self.stats.delivered += 1;
+                ReliableOutcome::Delivered {
+                    envelope,
+                    tries,
+                    duplicates,
+                }
+            }
+            None => {
+                self.stats.gave_up += 1;
+                ReliableOutcome::GaveUp {
+                    tries,
+                    gave_up_at: self.policy.give_up_time(now),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{GilbertElliott, LinkSpec};
+    use crate::topology::Topology;
+
+    fn net(loss: f64) -> Network<u32> {
+        let link = LinkSpec::new(0.02, 0.1).unwrap().with_loss(loss).unwrap();
+        Network::new(Topology::ring(6), link)
+    }
+
+    #[test]
+    fn lossless_send_is_one_try() {
+        let mut n = net(0.0);
+        let mut rl = ReliableLink::new(RetryPolicy::new(3, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(1);
+        let out = rl.send(&mut n, NodeId(0), NodeId(1), 7, SimTime::new(1.0), &mut rng);
+        match out {
+            ReliableOutcome::Delivered {
+                envelope,
+                tries,
+                duplicates,
+            } => {
+                assert_eq!(envelope.payload, 7);
+                assert_eq!(tries, 1);
+                assert_eq!(duplicates, 0);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(rl.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn retries_recover_from_loss() {
+        // Heavy i.i.d. loss: with 5 retries nearly every logical send gets
+        // through, without them nearly half are lost.
+        let mut with_retries = net(0.4);
+        let mut without = net(0.4);
+        let mut rl = ReliableLink::new(RetryPolicy::new(5, SimDuration::new(0.3)));
+        let mut plain = ReliableLink::new(RetryPolicy::none());
+        let mut rng_a = SimRng::seed_from(2);
+        let mut rng_b = SimRng::seed_from(2);
+        let trials = 500;
+        let mut ok_retry = 0;
+        let mut ok_plain = 0;
+        for i in 0..trials {
+            let t = SimTime::new(f64::from(i) * 10.0);
+            if rl
+                .send(&mut with_retries, NodeId(0), NodeId(1), 0u32, t, &mut rng_a)
+                .is_delivered()
+            {
+                ok_retry += 1;
+            }
+            if plain
+                .send(&mut without, NodeId(0), NodeId(1), 0u32, t, &mut rng_b)
+                .is_delivered()
+            {
+                ok_plain += 1;
+            }
+        }
+        assert!(ok_retry > 490, "retry delivery {ok_retry}/{trials}");
+        assert!(ok_plain < 400, "plain delivery {ok_plain}/{trials}");
+        assert!(rl.stats().retransmissions > 0);
+    }
+
+    #[test]
+    fn delta_eff_bounds_every_successful_delivery() {
+        // Acceptance: arrival − send-time ≤ δ_eff for every delivered send,
+        // across i.i.d. and bursty loss and several budgets.
+        let delta = SimDuration::new(0.1);
+        let ge = GilbertElliott::bursts(0.1, 8.0, 1.0).unwrap();
+        for retries in [0u32, 1, 3, 5] {
+            let policy = RetryPolicy::new(retries, SimDuration::new(0.25));
+            let d_eff = policy.effective_delay(delta).as_minutes();
+            for bursty in [false, true] {
+                let link = if bursty {
+                    LinkSpec::new(0.02, 0.1)
+                        .unwrap()
+                        .with_bursty_loss(ge)
+                        .unwrap()
+                } else {
+                    LinkSpec::new(0.02, 0.1).unwrap().with_loss(0.3).unwrap()
+                };
+                let mut n: Network<u32> = Network::new(Topology::ring(6), link);
+                let mut rl = ReliableLink::new(policy);
+                let mut rng = SimRng::seed_from(42 + u64::from(retries));
+                for i in 0..400u32 {
+                    let t = SimTime::new(f64::from(i) * 5.0);
+                    if let ReliableOutcome::Delivered { envelope, .. } =
+                        rl.send(&mut n, NodeId(2), NodeId(3), 0u32, t, &mut rng)
+                    {
+                        let took = envelope.arrival.duration_since(t).as_minutes();
+                        assert!(
+                            took <= d_eff + 1e-12,
+                            "retries={retries} bursty={bursty}: {took} > δ_eff={d_eff}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_eff_reduces_to_delta_without_retries() {
+        let delta = SimDuration::new(0.1);
+        assert_eq!(RetryPolicy::none().effective_delay(delta), delta);
+        let p = RetryPolicy::new(3, SimDuration::new(0.25));
+        assert!((p.effective_delay(delta).as_minutes() - 3.0 * 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_give_up_time() {
+        // Permanent outage on the edge: every try drops, sender gives up at
+        // a known instant = sent_at + max_tries × timeout.
+        let mut n = net(0.0);
+        n.faults_mut()
+            .outage_between(NodeId(0), NodeId(1), SimTime::ZERO, SimTime::new(1e6));
+        let mut rl = ReliableLink::new(RetryPolicy::new(2, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(4);
+        let out = rl.send(
+            &mut n,
+            NodeId(0),
+            NodeId(1),
+            0u32,
+            SimTime::new(5.0),
+            &mut rng,
+        );
+        match out {
+            ReliableOutcome::GaveUp { tries, gave_up_at } => {
+                assert_eq!(tries, 3);
+                assert!((gave_up_at.as_minutes() - 5.9).abs() < 1e-12);
+            }
+            other => panic!("expected give-up, got {other:?}"),
+        }
+        assert_eq!(rl.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn transient_outage_is_ridden_out_by_retries() {
+        // Outage shorter than the retry window: the budgeted sender gets
+        // through after the outage lifts.
+        let mut n = net(0.0);
+        n.faults_mut()
+            .outage_between(NodeId(0), NodeId(1), SimTime::ZERO, SimTime::new(0.5));
+        let mut rl = ReliableLink::new(RetryPolicy::new(3, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(5);
+        let out = rl.send(&mut n, NodeId(0), NodeId(1), 0u32, SimTime::ZERO, &mut rng);
+        match out {
+            ReliableOutcome::Delivered {
+                envelope, tries, ..
+            } => {
+                assert!(tries >= 2, "first try must hit the outage");
+                assert!(envelope.arrival >= SimTime::new(0.5));
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receiver_crash_recovery_window_is_survivable() {
+        let mut n = net(0.0);
+        n.faults_mut()
+            .fail_between(NodeId(1), SimTime::ZERO, SimTime::new(0.5));
+        let mut rl = ReliableLink::new(RetryPolicy::new(3, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(6);
+        let out = rl.send(&mut n, NodeId(0), NodeId(1), 0u32, SimTime::ZERO, &mut rng);
+        assert!(out.is_delivered(), "got {out:?}");
+    }
+
+    #[test]
+    fn dead_sender_and_unlinked_are_not_retried() {
+        let mut n = net(0.0);
+        n.faults_mut().fail_at(NodeId(0), SimTime::ZERO);
+        let mut rl = ReliableLink::new(RetryPolicy::new(5, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(
+            rl.send(
+                &mut n,
+                NodeId(0),
+                NodeId(1),
+                0u32,
+                SimTime::new(1.0),
+                &mut rng
+            ),
+            ReliableOutcome::SenderFailed
+        );
+        assert_eq!(
+            rl.send(
+                &mut n,
+                NodeId(2),
+                NodeId(5),
+                0u32,
+                SimTime::new(1.0),
+                &mut rng
+            ),
+            ReliableOutcome::NotLinked
+        );
+        assert_eq!(n.stats().attempts, 2, "no retry burned on hopeless sends");
+    }
+
+    #[test]
+    fn lost_acks_cause_duplicates_not_failures() {
+        // Lossy enough that acks vanish regularly: the receiver sees
+        // duplicates, but the logical send still succeeds exactly once.
+        let mut n = net(0.45);
+        let mut rl = ReliableLink::new(RetryPolicy::new(4, SimDuration::new(0.3)));
+        let mut rng = SimRng::seed_from(8);
+        let mut delivered = 0u32;
+        for i in 0..300u32 {
+            let t = SimTime::new(f64::from(i) * 10.0);
+            if rl
+                .send(&mut n, NodeId(0), NodeId(1), 0u32, t, &mut rng)
+                .is_delivered()
+            {
+                delivered += 1;
+            }
+        }
+        let s = rl.stats();
+        assert!(s.acks_lost > 0, "ack loss must occur at 45% loss");
+        assert!(s.duplicates > 0, "lost acks must cause duplicates");
+        assert_eq!(s.delivered, u64::from(delivered));
+        assert_eq!(s.sends, 300);
+        assert_eq!(s.delivered + s.gave_up, s.sends);
+    }
+
+    #[test]
+    fn zero_timeout_with_retries_is_rejected() {
+        let r = std::panic::catch_unwind(|| RetryPolicy::new(2, SimDuration::ZERO));
+        assert!(r.is_err());
+    }
+}

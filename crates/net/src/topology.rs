@@ -109,9 +109,7 @@ impl Topology {
     /// `true` when `a` and `b` share a link.
     #[must_use]
     pub fn are_linked(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency
-            .get(&a)
-            .is_some_and(|s| s.contains(&b))
+        self.adjacency.get(&a).is_some_and(|s| s.contains(&b))
     }
 
     /// Neighbors of `a` in ascending id order.
@@ -250,9 +248,6 @@ mod tests {
     #[test]
     fn nodes_sorted() {
         let t = Topology::ring(4);
-        assert_eq!(
-            t.nodes(),
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(t.nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
     }
 }

@@ -282,7 +282,11 @@ mod tests {
                         break;
                     }
                 }
-                assert!(covered, "point at lat {lat} lon {} never covered", lon_step * 15);
+                assert!(
+                    covered,
+                    "point at lat {lat} lon {} never covered",
+                    lon_step * 15
+                );
             }
         }
     }

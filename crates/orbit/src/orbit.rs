@@ -117,7 +117,12 @@ impl CircularOrbit {
     ///
     /// Panics if `steps < 2`.
     #[must_use]
-    pub fn ground_track(&self, phase0: Radians, horizon: Minutes, steps: usize) -> Vec<GroundPoint> {
+    pub fn ground_track(
+        &self,
+        phase0: Radians,
+        horizon: Minutes,
+        steps: usize,
+    ) -> Vec<GroundPoint> {
         assert!(steps >= 2, "need at least two samples");
         (0..steps)
             .map(|s| {

@@ -46,7 +46,12 @@ mod tests {
         let mut b = SanBuilder::new();
         let p = b.add_place("p", 1);
         let q = b.add_place("q", 0);
-        b.add_activity("noop", crate::model::Delay::exponential_rate(1.0), |_| true, |_| {});
+        b.add_activity(
+            "noop",
+            crate::model::Delay::exponential_rate(1.0),
+            |_| true,
+            |_| {},
+        );
         let model = b.build();
         let m = model.initial_marking();
 
@@ -76,7 +81,12 @@ mod tests {
     fn empty_combinators() {
         let mut b = SanBuilder::new();
         let _p = b.add_place("p", 0);
-        b.add_activity("noop", crate::model::Delay::exponential_rate(1.0), |_| true, |_| {});
+        b.add_activity(
+            "noop",
+            crate::model::Delay::exponential_rate(1.0),
+            |_| true,
+            |_| {},
+        );
         let model = b.build();
         let m = model.initial_marking();
         assert!(all_of(vec![])(&m), "vacuous conjunction is true");

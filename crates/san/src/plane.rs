@@ -85,11 +85,11 @@ impl PlaneModelConfig {
             self.lambda.is_finite() && self.lambda > 0.0,
             "lambda must be positive"
         );
-        assert!(self.phi.is_finite() && self.phi > 0.0, "phi must be positive");
         assert!(
-            self.eta < self.capacity,
-            "threshold must be below capacity"
+            self.phi.is_finite() && self.phi > 0.0,
+            "phi must be positive"
         );
+        assert!(self.eta < self.capacity, "threshold must be below capacity");
         assert!(self.capacity > 0, "capacity must be positive");
         if let SparePolicy::FullRestoreAfterDelay {
             mean_delay_hours,

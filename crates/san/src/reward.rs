@@ -99,7 +99,7 @@ pub fn steady_state_reward_rate(
             if !model.is_enabled(activity, marking) {
                 continue;
             }
-            let Delay::Exponential(rate) = &model.activities[activity.0] .delay else {
+            let Delay::Exponential(rate) = &model.activities[activity.0].delay else {
                 return Err(CtmcError::NonMarkovianActivity {
                     activity: model.activity_name(activity).to_string(),
                 });
@@ -257,12 +257,7 @@ mod tests {
             |_| true,
             move |m| m.set_tokens(p, (m.tokens(p) + 1) % 2),
         );
-        let det = b.add_activity(
-            "det",
-            Delay::deterministic(5.0),
-            |_| true,
-            |_| {},
-        );
+        let det = b.add_activity("det", Delay::deterministic(5.0), |_| true, |_| {});
         let model = b.build();
         let _ = tick;
         // CTMC exploration itself refuses deterministic activities; the

@@ -114,9 +114,7 @@ impl<'m> SanSimulation<'m> {
         for a in enabled {
             if !self.pending.contains_key(&a) {
                 let (d, rate) = self.sample_delay(a);
-                let h = self
-                    .queue
-                    .push(SimTime::new(self.now.as_minutes() + d), a);
+                let h = self.queue.push(SimTime::new(self.now.as_minutes() + d), a);
                 self.pending.insert(a, (h, rate));
             }
         }
@@ -198,7 +196,11 @@ pub fn steady_state_distribution(
     let start = SimTime::new(options.warmup);
     let mut trackers: Vec<TimeWeighted> = (0..classes)
         .map(|c| {
-            let level = if classify(sim.marking()) == c { 1.0 } else { 0.0 };
+            let level = if classify(sim.marking()) == c {
+                1.0
+            } else {
+                0.0
+            };
             TimeWeighted::new(level, start)
         })
         .collect();
@@ -215,10 +217,7 @@ pub fn steady_state_distribution(
             tr.update(if c == class { 1.0 } else { 0.0 }, t);
         }
     }
-    trackers
-        .iter()
-        .map(|tr| tr.time_average(horizon))
-        .collect()
+    trackers.iter().map(|tr| tr.time_average(horizon)).collect()
 }
 
 #[cfg(test)]

@@ -280,7 +280,11 @@ mod tests {
         for &t in &[0.1, 0.5, 1.0, 2.0] {
             let p = transient_distribution(&q, &[1.0, 0.0], t, 1e-13).unwrap();
             let expected = 0.8 + 0.2 * (-5.0_f64 * t).exp();
-            assert!((p[0] - expected).abs() < 1e-9, "t={t}: {} vs {expected}", p[0]);
+            assert!(
+                (p[0] - expected).abs() < 1e-9,
+                "t={t}: {} vs {expected}",
+                p[0]
+            );
         }
     }
 

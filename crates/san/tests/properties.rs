@@ -1,11 +1,11 @@
 //! Property-based tests: SAN solvers and the plane availability model.
 
+use oaq_linalg::Matrix;
 use oaq_san::ctmc::Ctmc;
 use oaq_san::model::{Delay, SanBuilder, SanModel};
 use oaq_san::phase_type::{erlang_cdf, erlang_stage_rate};
 use oaq_san::plane::PlaneModelConfig;
 use oaq_san::solver::{stationary_distribution, transient_distribution};
-use oaq_linalg::Matrix;
 use proptest::prelude::*;
 
 /// A random irreducible birth–death generator on `n` states.

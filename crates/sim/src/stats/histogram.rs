@@ -69,10 +69,7 @@ impl Histogram {
     #[must_use]
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        (
-            self.lo + width * i as f64,
-            self.lo + width * (i + 1) as f64,
-        )
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
     }
 
     /// Observations below `lo` (NaN counts here too).

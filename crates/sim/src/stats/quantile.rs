@@ -217,7 +217,10 @@ mod tests {
             q.record(x);
         }
         let m = q.estimate().unwrap();
-        assert!((1.0..=5.0).contains(&m), "median {m} unaffected by outliers");
+        assert!(
+            (1.0..=5.0).contains(&m),
+            "median {m} unaffected by outliers"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn main() {
     let altitude = altitude_for_period(Minutes(90.0));
     let mask = Degrees(10.0).to_radians();
 
-    println!("Satellite: 90-min orbit at {:.0} km altitude, 85 deg inclination", altitude.value());
+    println!(
+        "Satellite: 90-min orbit at {:.0} km altitude, 85 deg inclination",
+        altitude.value()
+    );
     println!(
         "Visibility cone radius at a 10 deg elevation mask: {:.1} deg\n",
         visibility_radius(altitude, mask).to_degrees().value()

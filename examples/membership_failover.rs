@@ -14,7 +14,11 @@ fn main() {
     let cfg = MembershipConfig::plane(9);
     let mut service = MembershipSim::new(&cfg, 7);
     println!("Membership service on a 9-satellite plane:");
-    println!("  heartbeat every {} min, suspicion after {} min", cfg.interval, cfg.suspicion_timeout());
+    println!(
+        "  heartbeat every {} min, suspicion after {} min",
+        cfg.interval,
+        cfg.suspicion_timeout()
+    );
     service.fail_node(1, 40.0);
     service.run_until(40.0 + cfg.detection_bound());
     println!("  satellite 1 failed at t = 40.0 min");
@@ -23,7 +27,10 @@ fn main() {
         cfg.detection_bound(),
         service.all_alive_suspect(1)
     );
-    println!("  false suspicions of live satellites: {}", service.false_suspicions());
+    println!(
+        "  false suspicions of live satellites: {}",
+        service.false_suspicions()
+    );
 
     // Phase 2: what the view buys the OAQ protocol.
     let mut plain = ProtocolConfig::reference(9, Scheme::Oaq);

@@ -16,7 +16,11 @@ fn main() {
         // emitting for 12 minutes.
         let outcome = Episode::new(&cfg, 42).run(6.0, 12.0);
         println!("{label}:");
-        println!("  QoS level         : {} (Y = {})", outcome.level, outcome.level.as_y());
+        println!(
+            "  QoS level         : {} (Y = {})",
+            outcome.level,
+            outcome.level.as_y()
+        );
         println!(
             "  delivered at      : {}",
             outcome

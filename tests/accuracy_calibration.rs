@@ -72,14 +72,14 @@ fn simultaneous_dual_is_the_best_real_quality() {
         ));
         errs[2] += sim.estimate().unwrap().error_radius_km() / n as f64;
     }
-    assert!(
-        errs[0] > errs[1],
-        "sequential dual beats single: {errs:?}"
-    );
+    assert!(errs[0] > errs[1], "sequential dual beats single: {errs:?}");
     assert!(
         errs[2] < errs[0] / 10.0,
         "simultaneous dual crushes single: {errs:?}"
     );
     // The QoS-level ordering Y3 >= Y2 > Y1 is physically grounded.
-    assert!(errs[2] <= errs[1] * 2.0, "simultaneous competitive with sequential: {errs:?}");
+    assert!(
+        errs[2] <= errs[1] * 2.0,
+        "simultaneous competitive with sequential: {errs:?}"
+    );
 }

@@ -43,7 +43,9 @@ fn hints_recover_sequential_coverage_past_a_dead_peer() {
     // Born at 94 (sat 0's second window [90, 99)): sat 1's failure at t=0
     // is 94 minutes old — far beyond the 12-minute detection latency, so
     // the whole group knows.
-    let plain_out = Episode::new(&plain, 31).with_failure(1, 0.0).run(94.0, 60.0);
+    let plain_out = Episode::new(&plain, 31)
+        .with_failure(1, 0.0)
+        .run(94.0, 60.0);
     let assisted_out = Episode::new(&assisted, 31)
         .with_failure(1, 0.0)
         .run(94.0, 60.0);
@@ -52,7 +54,10 @@ fn hints_recover_sequential_coverage_past_a_dead_peer() {
     // Assisted: recruit sat 2 directly (arrives at t = 110 < deadline 119).
     assert_eq!(assisted_out.level, QosLevel::SequentialDual);
     assert!(assisted_out.deadline_met);
-    assert!(assisted_out.s1_released, "done must route to the real requester");
+    assert!(
+        assisted_out.s1_released,
+        "done must route to the real requester"
+    );
 }
 
 #[test]
@@ -70,7 +75,9 @@ fn hints_improve_monte_carlo_qos_under_failures() {
         let mut hits = 0u64;
         for seed in 0..episodes {
             let birth = 90.0 + (seed as f64 * 0.618_033_9) % 10.0;
-            let out = Episode::new(cfg, seed).with_failure(1, 0.0).run(birth, 15.0);
+            let out = Episode::new(cfg, seed)
+                .with_failure(1, 0.0)
+                .run(birth, 15.0);
             if out.level >= QosLevel::SequentialDual {
                 hits += 1;
             }

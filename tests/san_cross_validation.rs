@@ -16,11 +16,13 @@ fn three_solvers_agree_on_pk() {
             .distribution()
             .unwrap();
         let cfg = PlaneModelConfig::reference(lambda, PHI, 10);
-        let sim = cfg.build_sim().capacity_distribution_sim(&SteadyStateOptions {
-            warmup: 5.0 * PHI,
-            horizon: 500.0 * PHI,
-            seed: 71,
-        });
+        let sim = cfg
+            .build_sim()
+            .capacity_distribution_sim(&SteadyStateOptions {
+                warmup: 5.0 * PHI,
+                horizon: 500.0 * PHI,
+                seed: 71,
+            });
         let markov = cfg
             .build_markov(30)
             .capacity_distribution_markov(100_000)
@@ -56,7 +58,9 @@ fn erlang_order_converges_to_deterministic_clock() {
             .build_markov(shape)
             .capacity_distribution_markov(100_000)
             .unwrap();
-        (10..=14).map(|k| (d[k] - exact[k]).abs()).fold(0.0, f64::max)
+        (10..=14)
+            .map(|k| (d[k] - exact[k]).abs())
+            .fold(0.0, f64::max)
     };
     let coarse = err_for(1);
     let medium = err_for(8);

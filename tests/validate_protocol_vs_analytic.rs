@@ -92,14 +92,8 @@ fn paper_k12_headline_numbers_from_simulation() {
         mu: 0.5,
         seed,
     };
-    let oaq = estimate_conditional_qos(
-        &ProtocolConfig::reference(12, Scheme::Oaq),
-        &opts(201),
-    );
-    let baq = estimate_conditional_qos(
-        &ProtocolConfig::reference(12, Scheme::Baq),
-        &opts(202),
-    );
+    let oaq = estimate_conditional_qos(&ProtocolConfig::reference(12, Scheme::Oaq), &opts(201));
+    let baq = estimate_conditional_qos(&ProtocolConfig::reference(12, Scheme::Baq), &opts(202));
     assert!(
         (oaq.p[3] - 0.44).abs() < 0.02,
         "OAQ P(Y=3|12) = {:.3}",

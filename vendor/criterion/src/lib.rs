@@ -1,0 +1,260 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness interface,
+//! `Criterion::benchmark_group`/`bench_function`, `Bencher::iter`/
+//! `iter_batched` and `black_box`. Measurement is a simple calibrated
+//! wall-clock loop (median-free mean over a fixed budget) — adequate for
+//! the workspace's "is this path getting slower?" smoke usage, not a
+//! statistics engine.
+//!
+//! CLI behavior: `--test` (as passed by `cargo test` to `harness = false`
+//! bench targets) runs every benchmark exactly once; `--quick` shrinks the
+//! measurement budget; other flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stand-in always times per-batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// What a benchmark run should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Time and report.
+    Measure { budget: Duration },
+    /// Run each routine once (smoke test under `cargo test`).
+    Smoke,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::Smoke
+        } else if args.iter().any(|a| a == "--quick") {
+            Mode::Measure {
+                budget: Duration::from_millis(20),
+            }
+        } else {
+            Mode::Measure {
+                budget: Duration::from_millis(200),
+            }
+        };
+        Criterion { mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!("  {name}: {r}"),
+            None => println!("  {name}: (no measurement)"),
+        }
+        self
+    }
+
+    /// Prints the trailing summary (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group (optional, for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Times `routine` called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+                self.report = Some("ok (smoke)".to_string());
+            }
+            Mode::Measure { budget } => {
+                // Warm-up + calibration: one timed call decides the batch.
+                let start = Instant::now();
+                black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(50));
+                let mut iters: u64 = 0;
+                let started = Instant::now();
+                let deadline = started + budget.min(once * 10_000).max(once);
+                while Instant::now() < deadline {
+                    black_box(routine());
+                    iters += 1;
+                }
+                let total = started.elapsed();
+                self.report = Some(format_rate(total, iters.max(1)));
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+                self.report = Some("ok (smoke)".to_string());
+            }
+            Mode::Measure { budget } => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                let once = start.elapsed().max(Duration::from_nanos(50));
+                let mut iters: u64 = 0;
+                let mut measured = Duration::ZERO;
+                let cap = budget.min(once * 10_000).max(once);
+                while measured < cap {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    measured += start.elapsed();
+                    iters += 1;
+                }
+                self.report = Some(format_rate(measured, iters.max(1)));
+            }
+        }
+    }
+}
+
+fn format_rate(total: Duration, iters: u64) -> String {
+    let per = total.as_nanos() / u128::from(iters);
+    if per >= 1_000_000_000 {
+        format!("{:.3} s/iter ({iters} iters)", per as f64 / 1e9)
+    } else if per >= 1_000_000 {
+        format!("{:.3} ms/iter ({iters} iters)", per as f64 / 1e6)
+    } else if per >= 1_000 {
+        format!("{:.3} µs/iter ({iters} iters)", per as f64 / 1e3)
+    } else {
+        format!("{per} ns/iter ({iters} iters)")
+    }
+}
+
+/// Declares a group function aggregating benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut calls = 0;
+        c.bench_function("x", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn batched_smoke_runs_setup_and_routine() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut setups = 0;
+        let mut runs = 0;
+        c.benchmark_group("g").bench_function("y", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    7u32
+                },
+                |v| {
+                    runs += 1;
+                    v * 2
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!((setups, runs), (1, 1));
+    }
+
+    #[test]
+    fn rate_formatting_scales() {
+        assert!(format_rate(Duration::from_nanos(500), 1).contains("ns/iter"));
+        assert!(format_rate(Duration::from_micros(5), 1).contains("µs/iter"));
+        assert!(format_rate(Duration::from_millis(5), 1).contains("ms/iter"));
+        assert!(format_rate(Duration::from_secs(2), 1).contains("s/iter"));
+    }
+}

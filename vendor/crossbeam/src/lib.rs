@@ -1,0 +1,86 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread interface is provided ([`scope`]), implemented
+//! over `std::thread::scope` (which did not exist when crossbeam's API was
+//! designed, and subsumes it for this workspace's usage).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame; all are joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins all spawned threads before returning.
+///
+/// Returns `Err` when any spawned thread (or `f` itself) panicked,
+/// mirroring crossbeam's contract.
+///
+/// # Errors
+///
+/// The boxed panic payload of the first observed panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            9
+        })
+        .unwrap();
+        assert_eq!(r, 9);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn child_panic_reports_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! The case runner and its configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs violated an assumption; regenerate.
+    Reject(String),
+    /// The property is false for these inputs.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case (produced by the `proptest!` expansion).
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// Property held.
+    Pass,
+    /// Assumption violated; the case is not counted.
+    Reject(String),
+    /// Property violated; the message already includes the inputs.
+    Fail(String),
+}
+
+/// Runner configuration (`#![proptest_config(…)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Maximum rejected cases tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (upstream defaults to 256; the stand-in trades a smaller
+    /// default for faster offline suites — individual tests can raise it).
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Deterministic per-test seed: mixes the source location with the case
+/// ordinal so every test gets an independent, stable stream.
+fn case_seed(file: &str, line: u32, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ u64::from(line)).wrapping_mul(0x0000_0100_0000_01B3);
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Drives one property: generates cases until `config.cases` pass, a case
+/// fails (panic, with inputs in the message) or the reject budget is spent.
+///
+/// # Panics
+///
+/// Panics when the property fails or too many cases are rejected.
+pub fn run_cases(
+    config: &ProptestConfig,
+    file: &str,
+    line: u32,
+    mut case: impl FnMut(&mut StdRng) -> CaseOutcome,
+) {
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut ordinal: u64 = 0;
+    while passed < config.cases {
+        let mut rng = StdRng::seed_from_u64(case_seed(file, line, ordinal));
+        ordinal += 1;
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject(_) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property at {file}:{line}: exceeded {} rejected cases \
+                     (assumptions too strict for the generators)",
+                    config.max_global_rejects
+                );
+            }
+            CaseOutcome::Fail(msg) => {
+                panic!(
+                    "property at {file}:{line} failed after {passed} passing case(s) \
+                     (deterministic case #{}):\n{msg}",
+                    ordinal - 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(case_seed("a.rs", 1, 0), case_seed("a.rs", 1, 0));
+        assert_ne!(case_seed("a.rs", 1, 0), case_seed("a.rs", 1, 1));
+        assert_ne!(case_seed("a.rs", 1, 0), case_seed("b.rs", 1, 0));
+        assert_ne!(case_seed("a.rs", 1, 0), case_seed("a.rs", 2, 0));
+    }
+
+    #[test]
+    fn runner_counts_passes() {
+        let mut calls = 0;
+        run_cases(&ProptestConfig::with_cases(10), "x.rs", 1, |_| {
+            calls += 1;
+            CaseOutcome::Pass
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected cases")]
+    fn reject_budget_enforced() {
+        run_cases(
+            &ProptestConfig {
+                cases: 1,
+                max_global_rejects: 10,
+            },
+            "x.rs",
+            1,
+            |_| CaseOutcome::Reject("nope".into()),
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! Provides `Serialize`/`Deserialize` as empty marker traits and (behind
+//! the `derive` feature) re-exports no-op derive macros, so types tagged
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]` keep
+//! compiling. No serialization machinery is included; nothing in the
+//! workspace performs serde-based (de)serialization at runtime.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

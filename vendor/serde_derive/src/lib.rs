@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for the `serde_derive` crate.
+//!
+//! The derives expand to nothing: the workspace only uses
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]` as an
+//! opt-in marker and never serializes through serde at runtime, so an
+//! empty expansion keeps those attributes compiling without pulling in a
+//! real code generator.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
