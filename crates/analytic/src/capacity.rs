@@ -14,8 +14,8 @@
 //! The transient integral is computed exactly (to solver tolerance) by
 //! uniformization over the small death-process CTMC, via `oaq-san`.
 
-use oaq_san::ctmc::{Ctmc, CtmcError};
-use oaq_san::model::{Delay, Marking, SanBuilder};
+use oaq_san::ctmc::CtmcError;
+use oaq_san::plane::{CapacitySolve, PlaneModelConfig, SparePolicy};
 
 /// Parameters of the capacity model (time unit: hours).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +63,33 @@ impl CapacityParams {
         assert!(self.eta < self.capacity, "eta must be below capacity");
     }
 
+    /// The equivalent `oaq-san` plane configuration (pin-at-threshold).
+    #[must_use]
+    pub fn plane_config(&self) -> PlaneModelConfig {
+        PlaneModelConfig {
+            capacity: self.capacity,
+            spares: self.spares,
+            lambda: self.lambda,
+            phi: self.phi,
+            eta: self.eta,
+            policy: SparePolicy::PinAtThreshold,
+        }
+    }
+
+    /// Explores the within-cycle death process into a reusable
+    /// [`CapacitySolve`] — the expensive half of [`Self::distribution`],
+    /// independent of φ. A serving layer that sweeps φ (or composes many
+    /// QoS measures over one failure scenario) should hold on to the solve
+    /// and call [`CapacitySolve::distribution_over`] per horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC exploration failures.
+    pub fn solve(&self) -> Result<CapacitySolve, CtmcError> {
+        self.validate();
+        self.plane_config().capacity_solve(10_000)
+    }
+
     /// Computes `P(K = k)` for `k = 0..=capacity` (entries below η are
     /// exactly zero under the pinning policy).
     ///
@@ -71,36 +98,9 @@ impl CapacityParams {
     /// Propagates CTMC solver failures (the model itself is a few dozen
     /// states, so exploration cannot realistically overflow).
     pub fn distribution(&self) -> Result<Vec<f64>, CtmcError> {
-        self.validate();
-        let cfg = *self;
-        let mut b = SanBuilder::new();
-        let active = b.add_place("active", cfg.capacity);
-        let spares = b.add_place("spares", cfg.spares);
-        let lambda = cfg.lambda;
-        b.add_activity(
-            "satellite_failure",
-            Delay::exponential_with(move |m: &Marking| lambda * f64::from(m.tokens(active))),
-            move |m: &Marking| {
-                m.tokens(active) > 0 && (m.tokens(spares) > 0 || m.tokens(active) > cfg.eta)
-            },
-            move |m: &mut Marking| {
-                if m.tokens(spares) > 0 {
-                    m.remove_tokens(spares, 1);
-                } else {
-                    m.remove_tokens(active, 1);
-                }
-            },
-        );
-        let model = b.build();
-        let ctmc = Ctmc::explore(&model, 10_000)?;
         // Simpson panels: enough that the integral error is far below the
         // differences the experiments care about.
-        let avg = ctmc.time_average(cfg.phi, 256)?;
-        Ok(ctmc.classify_distribution(
-            &avg,
-            |m| m.tokens(active) as usize,
-            cfg.capacity as usize + 1,
-        ))
+        self.solve()?.distribution_over(self.phi, 256)
     }
 }
 
@@ -195,5 +195,18 @@ mod tests {
     #[should_panic(expected = "eta must be below capacity")]
     fn bad_eta_rejected() {
         let _ = CapacityParams::reference(1e-5, PHI, 20);
+    }
+
+    #[test]
+    fn reusable_solve_is_bit_identical_to_distribution() {
+        let p = CapacityParams::reference(5e-5, PHI, 10);
+        let direct = p.distribution().unwrap();
+        let solve = p.solve().unwrap();
+        // Same solve, many horizons: the φ = PHI row must match the
+        // one-shot path bit for bit (a serving-layer cache hit may never
+        // change an answer).
+        for _ in 0..3 {
+            assert_eq!(solve.distribution_over(PHI, 256).unwrap(), direct);
+        }
     }
 }

@@ -93,6 +93,23 @@ impl EvaluationConfig {
     /// Propagates capacity-model solver failures.
     pub fn qos_distribution(&self, scheme: Scheme) -> Result<QosDistribution, CtmcError> {
         let pk = self.capacity.distribution()?;
+        Ok(self.qos_distribution_with_pk(scheme, &pk))
+    }
+
+    /// Eq. 3 composed against a *borrowed* capacity distribution `pk`
+    /// (`pk[k] = P(K = k)`), skipping the CTMC solve. This is the cheap
+    /// half of [`Self::qos_distribution`]: a serving layer that caches
+    /// `P(k)` per (λ, φ, η) scenario composes many (τ, µ, ν) queries
+    /// against one solve, and — because [`Self::qos_distribution`] routes
+    /// through this same function — gets answers bit-identical to the
+    /// recompute-everything path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the conditional evaluation) if the QoS parameters are
+    /// invalid.
+    #[must_use]
+    pub fn qos_distribution_with_pk(&self, scheme: Scheme, pk: &[f64]) -> QosDistribution {
         let mut p = [0.0; 4];
         for (k, &prob) in pk.iter().enumerate() {
             if prob == 0.0 {
@@ -103,7 +120,7 @@ impl EvaluationConfig {
                 *slot += prob * cond.p(y);
             }
         }
-        Ok(QosDistribution { p })
+        QosDistribution { p }
     }
 
     /// Convenience: the QoS measure `P(Y ≥ y)` for all `y` at once.
@@ -195,6 +212,29 @@ mod tests {
             assert!(baq <= last_baq + 1e-12);
             last_oaq = oaq;
             last_baq = baq;
+        }
+    }
+
+    #[test]
+    fn borrowed_pk_path_is_bit_identical() {
+        // The serving-layer contract: composing against a cached P(k) must
+        // agree bit for bit with the one-shot path, for both schemes and
+        // across the τ/µ sweep axes that reuse one capacity solve.
+        let lambda = 5e-5;
+        let pk = CapacityParams::reference(lambda, 30_000.0, 10)
+            .distribution()
+            .unwrap();
+        for scheme in [Scheme::Oaq, Scheme::Baq] {
+            for tau in [2.0, 5.0, 8.0] {
+                for mu in [0.2, 0.5] {
+                    let mut cfg = EvaluationConfig::paper_defaults(lambda);
+                    cfg.qos.tau = tau;
+                    cfg.qos.mu = mu;
+                    let direct = cfg.qos_distribution(scheme).unwrap();
+                    let cached = cfg.qos_distribution_with_pk(scheme, &pk);
+                    assert_eq!(direct.as_array(), cached.as_array());
+                }
+            }
         }
     }
 

@@ -50,9 +50,11 @@ pub mod chain;
 pub mod compose;
 pub mod geometry;
 pub mod integrate;
+pub mod params;
 pub mod qos;
 pub mod sweep;
 
 pub use compose::{EvaluationConfig, Scheme};
 pub use geometry::PlaneGeometry;
+pub use params::ParamError;
 pub use qos::QosParams;

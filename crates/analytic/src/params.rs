@@ -1,0 +1,224 @@
+//! Typed validation of model parameters.
+//!
+//! The closed forms and the quadrature fall over silently when fed a NaN
+//! (every comparison is false, so a bad λ propagates into `P(Y ≥ y)` as a
+//! NaN "probability") and the CTMC solvers loop on non-finite rates. Any
+//! entry point that accepts parameters from outside the crate — the sweep
+//! functions here, and query construction in the serving engine — rejects
+//! them up front with a [`ParamError`] instead.
+
+use std::fmt;
+
+/// A rejected model parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// The value is NaN or infinite.
+    NonFinite {
+        /// Parameter name (e.g. `"lambda"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value is finite but not strictly positive.
+    NonPositive {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value lies outside its closed domain.
+    OutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// An integer parameter (capacity k, threshold η, QoS level y) lies
+    /// outside its inclusive range.
+    IntOutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: u32,
+        /// Inclusive lower bound.
+        min: u32,
+        /// Inclusive upper bound.
+        max: u32,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamError::NonFinite { name, value } => {
+                write!(f, "{name} must be finite, got {value}")
+            }
+            ParamError::NonPositive { name, value } => {
+                write!(f, "{name} must be > 0, got {value}")
+            }
+            ParamError::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(f, "{name} must lie in [{min}, {max}], got {value}"),
+            ParamError::IntOutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(f, "{name} must lie in {min}..={max}, got {value}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Requires `value` to be finite.
+///
+/// # Errors
+///
+/// [`ParamError::NonFinite`] otherwise.
+pub fn require_finite(name: &'static str, value: f64) -> Result<f64, ParamError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ParamError::NonFinite { name, value })
+    }
+}
+
+/// Requires `value` to be finite and strictly positive (rates, durations,
+/// periods).
+///
+/// # Errors
+///
+/// [`ParamError::NonFinite`] or [`ParamError::NonPositive`].
+pub fn require_positive(name: &'static str, value: f64) -> Result<f64, ParamError> {
+    require_finite(name, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ParamError::NonPositive { name, value })
+    }
+}
+
+/// Requires `value` to be finite and inside `[min, max]`.
+///
+/// # Errors
+///
+/// [`ParamError::NonFinite`] or [`ParamError::OutOfRange`].
+pub fn require_in_range(
+    name: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, ParamError> {
+    require_finite(name, value)?;
+    if (min..=max).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ParamError::OutOfRange {
+            name,
+            value,
+            min,
+            max,
+        })
+    }
+}
+
+/// Requires an integer parameter to lie in `min..=max`.
+///
+/// # Errors
+///
+/// [`ParamError::IntOutOfRange`] otherwise.
+pub fn require_int_in_range(
+    name: &'static str,
+    value: u32,
+    min: u32,
+    max: u32,
+) -> Result<u32, ParamError> {
+    if (min..=max).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ParamError::IntOutOfRange {
+            name,
+            value,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_values_pass() {
+        assert_eq!(require_finite("x", 1.5), Ok(1.5));
+        assert_eq!(require_positive("x", 1e-9), Ok(1e-9));
+        assert_eq!(require_in_range("x", 0.5, 0.0, 1.0), Ok(0.5));
+        assert_eq!(require_int_in_range("k", 14, 1, 14), Ok(14));
+    }
+
+    #[test]
+    fn nan_and_infinity_are_typed_errors() {
+        assert!(matches!(
+            require_finite("lambda", f64::NAN),
+            Err(ParamError::NonFinite { name: "lambda", .. })
+        ));
+        assert!(matches!(
+            require_positive("tau", f64::INFINITY),
+            Err(ParamError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            require_in_range("p", f64::NAN, 0.0, 1.0),
+            Err(ParamError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn domain_violations_are_typed_errors() {
+        assert!(matches!(
+            require_positive("tau", 0.0),
+            Err(ParamError::NonPositive { name: "tau", .. })
+        ));
+        assert!(matches!(
+            require_positive("mu", -0.2),
+            Err(ParamError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            require_in_range("p", 1.5, 0.0, 1.0),
+            Err(ParamError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            require_int_in_range("k", 0, 1, 14),
+            Err(ParamError::IntOutOfRange { .. })
+        ));
+        assert!(matches!(
+            require_int_in_range("k", 15, 1, 14),
+            Err(ParamError::IntOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = ParamError::NonPositive {
+            name: "mu",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "mu must be > 0, got -1");
+        let e = ParamError::IntOutOfRange {
+            name: "k",
+            value: 20,
+            min: 1,
+            max: 14,
+        };
+        assert!(e.to_string().contains("1..=14"));
+    }
+}

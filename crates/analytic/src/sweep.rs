@@ -1,10 +1,64 @@
 //! Parameter sweeps regenerating the paper's figures.
+//!
+//! Every sweep validates its inputs up front and returns a typed
+//! [`SweepError`] — a NaN λ or a τ ≤ 0 is rejected before it can reach the
+//! quadrature (where it would silently poison every integral) or the CTMC
+//! solver (where it would panic deep in a model assertion).
 
 use oaq_san::ctmc::CtmcError;
 
 use crate::capacity::CapacityParams;
 use crate::compose::{EvaluationConfig, Scheme};
+use crate::params::{require_int_in_range, require_positive, ParamError};
 use crate::qos::QosParams;
+
+/// Errors from a figure sweep: either a rejected input parameter or a
+/// downstream capacity-solver failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// An input failed validation before any solve was attempted.
+    Param(ParamError),
+    /// The capacity CTMC solve failed.
+    Solver(CtmcError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Param(e) => write!(f, "invalid sweep input: {e}"),
+            SweepError::Solver(e) => write!(f, "capacity solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Param(e) => Some(e),
+            SweepError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParamError> for SweepError {
+    fn from(e: ParamError) -> Self {
+        SweepError::Param(e)
+    }
+}
+
+impl From<CtmcError> for SweepError {
+    fn from(e: CtmcError) -> Self {
+        SweepError::Solver(e)
+    }
+}
+
+fn check_axis(name: &'static str, values: &[f64]) -> Result<(), ParamError> {
+    for &v in values {
+        require_positive(name, v)?;
+    }
+    Ok(())
+}
 
 /// One row of a Figure 7 sweep: `P(K = k)` at a failure rate λ.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +95,12 @@ pub fn paper_lambda_grid() -> Vec<f64> {
 ///
 /// # Errors
 ///
-/// Propagates capacity-solver failures.
-pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, CtmcError> {
+/// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
+/// failures.
+pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, SweepError> {
+    check_axis("lambda", lambdas)?;
+    require_positive("phi", phi)?;
+    require_int_in_range("eta", eta, 1, 13)?;
     lambdas
         .iter()
         .map(|&lambda| {
@@ -59,8 +117,11 @@ pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, 
 ///
 /// # Errors
 ///
-/// Propagates capacity-solver failures.
-pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, CtmcError> {
+/// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
+/// failures.
+pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    require_positive("mu", mu)?;
+    check_axis("lambda", lambdas)?;
     lambdas
         .iter()
         .map(|&lambda| {
@@ -85,8 +146,10 @@ pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, 
 ///
 /// # Errors
 ///
-/// Propagates capacity-solver failures.
-pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, CtmcError> {
+/// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
+/// failures.
+pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    check_axis("lambda", lambdas)?;
     lambdas
         .iter()
         .map(|&lambda| {
@@ -106,8 +169,11 @@ pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, CtmcError
 ///
 /// # Errors
 ///
-/// Propagates capacity-solver failures.
-pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow>, CtmcError> {
+/// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
+/// failures.
+pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    require_positive("lambda", lambda)?;
+    check_axis("tau", taus)?;
     taus.iter()
         .map(|&tau| {
             let mut cfg = EvaluationConfig::paper_defaults(lambda);
@@ -128,12 +194,15 @@ pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow
 ///
 /// # Errors
 ///
-/// Propagates capacity-solver failures.
+/// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
+/// failures.
 pub fn duration_sweep(
     scheme: Scheme,
     lambda: f64,
     mean_durations: &[f64],
-) -> Result<Vec<QosRow>, CtmcError> {
+) -> Result<Vec<QosRow>, SweepError> {
+    require_positive("lambda", lambda)?;
+    check_axis("mean_duration", mean_durations)?;
     mean_durations
         .iter()
         .map(|&dur| {
@@ -199,6 +268,47 @@ mod tests {
         for w in rows.windows(2) {
             assert!(w[1].p_ge_2 >= w[0].p_ge_2 - 1e-12);
         }
+    }
+
+    #[test]
+    fn sweeps_reject_poisoned_inputs_with_typed_errors() {
+        // NaN λ must never reach the quadrature.
+        assert!(matches!(
+            figure9(Scheme::Oaq, &[1e-5, f64::NAN]),
+            Err(SweepError::Param(ParamError::NonFinite {
+                name: "lambda",
+                ..
+            }))
+        ));
+        assert!(matches!(
+            figure7(&[1e-5], -1.0, 10),
+            Err(SweepError::Param(ParamError::NonPositive {
+                name: "phi",
+                ..
+            }))
+        ));
+        assert!(matches!(
+            figure7(&[1e-5], 30_000.0, 14),
+            Err(SweepError::Param(ParamError::IntOutOfRange {
+                name: "eta",
+                ..
+            }))
+        ));
+        assert!(matches!(
+            figure8(Scheme::Baq, f64::INFINITY, &[1e-5]),
+            Err(SweepError::Param(ParamError::NonFinite { name: "mu", .. }))
+        ));
+        assert!(matches!(
+            tau_sweep(Scheme::Oaq, 1e-5, &[5.0, 0.0]),
+            Err(SweepError::Param(ParamError::NonPositive {
+                name: "tau",
+                ..
+            }))
+        ));
+        assert!(matches!(
+            duration_sweep(Scheme::Oaq, -1e-5, &[5.0]),
+            Err(SweepError::Param(ParamError::NonPositive { .. }))
+        ));
     }
 
     #[test]

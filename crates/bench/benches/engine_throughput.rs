@@ -1,0 +1,49 @@
+//! Bench: the serving engine against the naive recompute loop on a small
+//! Zipf workload, plus the isolated cost of its hot submission path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_engine::{direct_eval, zipf_workload, Engine, EngineConfig, WorkloadConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let workload = zipf_workload(
+        &WorkloadConfig {
+            scenarios: 20,
+            skew: 1.0,
+            queries: 200,
+        },
+        2003,
+    );
+    let mut g = c.benchmark_group("engine_throughput");
+
+    g.bench_function("naive_sequential_200q", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| direct_eval(q).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+
+    g.bench_function("engine_cold_200q", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::default());
+            engine.run_all(&workload)
+        });
+    });
+
+    let warm = Engine::new(EngineConfig::default());
+    let _ = warm.run_all(&workload);
+    g.bench_function("engine_warm_200q", |b| {
+        b.iter(|| warm.run_all(&workload));
+    });
+
+    let hot = workload[0];
+    g.bench_function("warm_single_submit", |b| {
+        b.iter(|| warm.evaluate(hot).unwrap());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

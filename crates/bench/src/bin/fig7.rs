@@ -6,11 +6,23 @@
 //! and the SAN long-run simulation with the true deterministic clock.
 
 use oaq_analytic::sweep::{figure7, paper_lambda_grid};
+use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header, tsv_row};
 use oaq_san::plane::PlaneModelConfig;
 use oaq_san::sim::SteadyStateOptions;
 
 fn main() {
+    let cli = CliSpec::new("fig7")
+        .switch("--quick", "shorten the SAN simulation horizon for CI")
+        .option("--seed", "N", "simulation RNG seed (default 7)")
+        .parse();
+    let quick = cli.has("--quick");
+    let seed = cli.get_u64("--seed", 7);
+    let (warmup, horizon) = if quick {
+        (30_000.0, 900_000.0)
+    } else {
+        (150_000.0, 9_000_000.0)
+    };
     let grid = paper_lambda_grid();
 
     banner("Figure 7 (exact): P(K=k) vs lambda, eta=10, phi=30000h");
@@ -29,9 +41,9 @@ fn main() {
         let dist = PlaneModelConfig::reference(lambda, 30_000.0, 10)
             .build_sim()
             .capacity_distribution_sim(&SteadyStateOptions {
-                warmup: 150_000.0,
-                horizon: 9_000_000.0,
-                seed: 7,
+                warmup,
+                horizon,
+                seed,
             });
         tsv_row(lambda, &dist[9..=14]);
     }

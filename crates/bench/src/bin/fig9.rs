@@ -3,9 +3,12 @@
 
 use oaq_analytic::compose::Scheme;
 use oaq_analytic::sweep::{figure9, paper_lambda_grid};
+use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header, tsv_row};
 
 fn main() {
+    // fig9 takes no flags; an empty spec still rejects stray arguments.
+    let _ = CliSpec::new("fig9").parse();
     let grid = paper_lambda_grid();
     banner("Figure 9: P(Y>=y) vs lambda (tau=5, mu=0.2, eta=10, phi=30000h)");
     tsv_header(&[

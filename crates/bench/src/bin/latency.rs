@@ -3,6 +3,7 @@
 //! with waiting time inside the window of opportunity; BAQ ships the first
 //! result it has. Latency measured from signal birth to alert delivery.
 
+use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header};
 use oaq_core::config::{ProtocolConfig, Scheme};
 use oaq_core::protocol::Episode;
@@ -10,8 +11,13 @@ use oaq_core::qos_level::QosLevel;
 use oaq_sim::stats::{P2Quantile, Tally};
 use oaq_sim::SimRng;
 
-fn latency_profile(cfg: &ProtocolConfig, mu: f64, episodes: u64) -> (Tally, f64, f64, f64) {
-    let mut rng = SimRng::seed_from(9090);
+fn latency_profile(
+    cfg: &ProtocolConfig,
+    mu: f64,
+    episodes: u64,
+    seed: u64,
+) -> (Tally, f64, f64, f64) {
+    let mut rng = SimRng::seed_from(seed);
     let mut tally = Tally::new();
     let mut median = P2Quantile::new(0.5);
     let mut p95 = P2Quantile::new(0.95);
@@ -47,9 +53,20 @@ fn latency_profile(cfg: &ProtocolConfig, mu: f64, episodes: u64) -> (Tally, f64,
 }
 
 fn main() {
-    let episodes = 20_000;
+    let cli = CliSpec::new("latency")
+        .option(
+            "--episodes",
+            "N",
+            "episodes per (k, scheme) cell (default 20000)",
+        )
+        .option("--seed", "N", "RNG seed (default 9090)")
+        .parse();
+    let episodes = cli.get_u64("--episodes", 20_000);
+    let seed = cli.get_u64("--seed", 9090);
     let mu = 0.2;
-    banner("Alert latency (birth -> delivery, minutes) vs quality, 20k episodes");
+    banner(&format!(
+        "Alert latency (birth -> delivery, minutes) vs quality, {episodes} episodes"
+    ));
     tsv_header(&[
         "k",
         "scheme",
@@ -62,7 +79,7 @@ fn main() {
     for k in [9usize, 10, 12, 14] {
         for (label, scheme) in [("OAQ", Scheme::Oaq), ("BAQ", Scheme::Baq)] {
             let cfg = ProtocolConfig::reference(k, scheme);
-            let (t, med, p95, q) = latency_profile(&cfg, mu, episodes);
+            let (t, med, p95, q) = latency_profile(&cfg, mu, episodes, seed);
             println!(
                 "{k}\t{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
                 t.mean(),

@@ -12,35 +12,18 @@
 //! Usage: `robustness [--quick] [--seed N] [--episodes N]`
 //! `--quick` shrinks the grid and the per-cell episode count for CI.
 
+use oaq_bench::args::CliSpec;
 use oaq_bench::campaign::{campaign_json, run_cell, CellSpec, LossAxis};
 
-fn parse_flag(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
-        })
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => i += 1,
-            "--seed" | "--episodes" => i += 2,
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: robustness [--quick] [--seed N] [--episodes N]");
-                std::process::exit(2);
-            }
-        }
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let base_seed = parse_flag(&args, "--seed").unwrap_or(1515);
-    let episodes = parse_flag(&args, "--episodes").unwrap_or(if quick { 100 } else { 1500 });
+    let cli = CliSpec::new("robustness")
+        .switch("--quick", "shrink the grid and episode count for CI")
+        .option("--seed", "N", "base RNG seed (default 1515)")
+        .option("--episodes", "N", "episodes per cell")
+        .parse();
+    let quick = cli.has("--quick");
+    let base_seed = cli.get_u64("--seed", 1515);
+    let episodes = cli.get_u64("--episodes", if quick { 100 } else { 1500 });
 
     let losses: Vec<LossAxis> = if quick {
         vec![

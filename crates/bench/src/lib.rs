@@ -20,6 +20,7 @@
 //! | `latency` | E13 (analysis) — alert latency vs quality trade-off |
 //! | `chain_depth` | E14 (analysis) — coordination-chain-length distribution |
 //! | `robustness` | E15 (analysis) — fault-injection campaign: bursty/transient faults × retry budgets, JSON degradation curves |
+//! | `qos_server` | E16 (engine) — serving-engine replay of a seeded Zipf query workload: throughput vs naive recompute, latency percentiles, cache/admission counters, JSON |
 //!
 //! The Criterion benches (`benches/`) measure the computational substrates
 //! themselves (kernel, SAN solvers, WLS, analytic evaluation, protocol
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod campaign;
 
 /// Prints a TSV header row.

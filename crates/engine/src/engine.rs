@@ -1,0 +1,403 @@
+//! The engine facade: configuration, submission, tickets, shutdown.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::error::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::query::QosQuery;
+use crate::queue::SubmitQueue;
+use crate::singleflight::{Flight, SingleFlight, Slot};
+use crate::worker::{worker_loop, EngineResult, Job, Shared};
+
+/// Engine sizing knobs. `Default` gives a production-shaped engine; tests
+/// shrink the queue to exercise backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bound of the submission queue — the backpressure point.
+    pub queue_capacity: usize,
+    /// Maximum queries a worker drains per wakeup.
+    pub batch_size: usize,
+    /// Capacity of the completed-result LRU (level 1).
+    pub result_cache: usize,
+    /// Capacity of the `P(k)` capacity-solve LRU (level 2).
+    pub pk_cache: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            batch_size: 32,
+            result_cache: 4096,
+            pk_cache: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker count after resolving `0` to the core count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+        }
+    }
+}
+
+/// A handle to a submitted query's eventual answer.
+#[derive(Debug)]
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+#[derive(Debug)]
+enum TicketInner {
+    Ready(EngineResult),
+    Waiting(Arc<Slot<EngineResult>>),
+}
+
+impl Ticket {
+    /// Blocks until the answer is available.
+    pub fn wait(self) -> EngineResult {
+        match self.inner {
+            TicketInner::Ready(r) => r,
+            TicketInner::Waiting(slot) => slot.wait().unwrap_or(Err(EngineError::WorkerLost)),
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the answer is in.
+    #[must_use]
+    pub fn try_get(&self) -> Option<EngineResult> {
+        match &self.inner {
+            TicketInner::Ready(r) => Some(r.clone()),
+            TicketInner::Waiting(slot) => slot.try_get(),
+        }
+    }
+
+    /// Whether the answer was already available at submission (a result
+    /// cache hit).
+    #[must_use]
+    pub fn was_immediate(&self) -> bool {
+        matches!(self.inner, TicketInner::Ready(_))
+    }
+}
+
+/// The in-process QoS query-serving engine.
+///
+/// Submission flow: validate ([`crate::QuerySpec::build`]) → level-1
+/// result-cache lookup → single-flight coalescing with any identical
+/// in-flight query → bounded queue admission (typed
+/// [`RejectReason::QueueFull`](crate::error::RejectReason::QueueFull) when saturated) → batch-draining worker
+/// pool → level-2 `P(k)` cache inside the solve. Dropping the engine
+/// shuts the queue, drains what was admitted, and joins every worker.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    config: EngineConfig,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts an engine with `config.effective_workers()` worker threads.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: SubmitQueue::new(config.queue_capacity),
+            results: Mutex::new(LruCache::new(config.result_cache)),
+            flight: SingleFlight::new(),
+            pk_cache: Mutex::new(LruCache::new(config.pk_cache)),
+            pk_flight: SingleFlight::new(),
+            metrics: Metrics::new(),
+            batch_size: config.batch_size.max(1),
+        });
+        let workers = config.effective_workers();
+        let pool = Arc::clone(&shared);
+        let supervisor = std::thread::spawn(move || {
+            // A worker panic surfaces here as Err; the guard in the worker
+            // loop has already woken that query's followers, and the
+            // remaining workers keep draining.
+            let _ = crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    let shared = Arc::clone(&pool);
+                    s.spawn(move |_| worker_loop(&shared));
+                }
+            });
+        });
+        Engine {
+            shared,
+            config,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// An engine with default sizing.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Submits a validated query.
+    ///
+    /// Returns immediately: a [`Ticket`] (possibly already resolved, on a
+    /// cache hit) or a typed rejection. Never blocks on a full queue —
+    /// backpressure is the caller's to handle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Rejected`] with [`RejectReason::QueueFull`](crate::error::RejectReason::QueueFull) when the
+    /// submission queue is at capacity, or [`RejectReason::ShuttingDown`](crate::error::RejectReason::ShuttingDown)
+    /// during teardown.
+    pub fn submit(&self, query: QosQuery) -> Result<Ticket, EngineError> {
+        let key = query.key();
+        if let Some(result) = self.shared.results.lock().get(&key) {
+            self.shared.metrics.on_submitted();
+            self.shared.metrics.on_result_cache_hit();
+            self.shared.metrics.on_served();
+            return Ok(Ticket {
+                inner: TicketInner::Ready(result.clone()),
+            });
+        }
+        match self.shared.flight.join(key) {
+            Flight::Follower(slot) => {
+                self.shared.metrics.on_submitted();
+                self.shared.metrics.on_coalesced();
+                Ok(Ticket {
+                    inner: TicketInner::Waiting(slot),
+                })
+            }
+            Flight::Leader(slot) => {
+                let job = Job {
+                    query,
+                    key,
+                    slot: Arc::clone(&slot),
+                    submitted: Instant::now(),
+                };
+                match self.shared.queue.try_push(job) {
+                    Ok(()) => {
+                        self.shared.metrics.on_submitted();
+                        Ok(Ticket {
+                            inner: TicketInner::Waiting(slot),
+                        })
+                    }
+                    Err((_, reason)) => {
+                        // Retire the flight; any follower that slipped in
+                        // during this window wakes with `WorkerLost` and
+                        // should resubmit.
+                        self.shared.flight.abandon(&key, &slot);
+                        self.shared.metrics.on_rejected();
+                        Err(EngineError::Rejected(reason))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience for embedders that want a synchronous
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::submit`], plus any evaluation error.
+    pub fn evaluate(&self, query: QosQuery) -> EngineResult {
+        self.submit(query)?.wait()
+    }
+
+    /// Replays a whole batch: submits every query in order — absorbing
+    /// queue backpressure by yielding to the workers and retrying — then
+    /// waits for every answer. Answers come back in submission order.
+    #[must_use]
+    pub fn run_all(&self, queries: &[QosQuery]) -> Vec<EngineResult> {
+        let mut tickets = Vec::with_capacity(queries.len());
+        for &q in queries {
+            loop {
+                match self.submit(q) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(EngineError::Rejected(crate::error::RejectReason::QueueFull {
+                        ..
+                    })) => std::thread::yield_now(),
+                    Err(e) => {
+                        tickets.push(Ticket {
+                            inner: TicketInner::Ready(Err(e)),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// A consistent snapshot of the engine's counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The configuration this engine was started with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Queries currently waiting in the submission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Stops admission, drains already-admitted work, and joins every
+    /// worker. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.queue.shutdown();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RejectReason;
+    use crate::eval::direct_eval;
+    use crate::query::{Measure, QuerySpec, Scheme};
+
+    fn small_engine(workers: usize, queue: usize) -> Engine {
+        Engine::new(EngineConfig {
+            workers,
+            queue_capacity: queue,
+            batch_size: 4,
+            result_cache: 128,
+            pk_cache: 16,
+        })
+    }
+
+    fn y2(lambda: f64) -> QosQuery {
+        QuerySpec::paper_defaults(
+            lambda,
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 2,
+            },
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_and_caches_bit_identically() {
+        let engine = small_engine(2, 64);
+        let q = y2(5e-5);
+        let direct = direct_eval(&q).unwrap();
+        let cold = engine.evaluate(q).unwrap();
+        let warm = engine.evaluate(q).unwrap();
+        assert_eq!(cold, direct, "cold engine answer == direct evaluation");
+        assert_eq!(warm, direct, "cache hit == direct evaluation");
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.served, 2);
+        assert_eq!(m.result_cache_hits, 1);
+        assert_eq!(m.pk_solves, 1);
+    }
+
+    #[test]
+    fn queue_full_is_a_typed_rejection() {
+        // No workers draining: the supervisor spawns 1 worker, but a full
+        // queue of slow jobs forces rejection of the overflow.
+        let engine = small_engine(1, 2);
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        // Distinct lambdas defeat the caches so every job needs a solve.
+        for i in 0..40u32 {
+            match engine.submit(y2(1e-5 + f64::from(i) * 1e-6)) {
+                Ok(t) => tickets.push(t),
+                Err(EngineError::Rejected(RejectReason::QueueFull { capacity })) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "a 2-slot queue must reject under a 40-burst");
+        let m = engine.metrics();
+        assert_eq!(m.rejected, rejected);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn identical_inflight_queries_coalesce() {
+        let engine = small_engine(1, 64);
+        let q = y2(3e-5);
+        let tickets: Vec<Ticket> = (0..8).map(|_| engine.submit(q).unwrap()).collect();
+        let answers: Vec<EngineResult> = tickets.into_iter().map(Ticket::wait).collect();
+        let first = answers[0].clone().unwrap();
+        for a in &answers {
+            assert_eq!(a.as_ref().unwrap(), &first);
+        }
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 8);
+        assert!(
+            m.coalesced + m.result_cache_hits >= 7,
+            "at most one of 8 identical queries may compute: {m:?}"
+        );
+        assert_eq!(m.pk_solves, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let mut engine = small_engine(2, 64);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| engine.submit(y2(2e-5 + f64::from(i) * 1e-6)).unwrap())
+            .collect();
+        engine.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "admitted work survives shutdown");
+        }
+        assert!(matches!(
+            engine.submit(y2(9e-5)),
+            Err(EngineError::Rejected(RejectReason::ShuttingDown))
+        ));
+    }
+
+    #[test]
+    fn tau_sweep_reuses_one_capacity_solve() {
+        // The two-level cache contract: sweeping τ at fixed (λ, φ, η)
+        // must run exactly one CTMC solve.
+        let engine = small_engine(1, 64);
+        for i in 0..10u32 {
+            let mut spec = QuerySpec::paper_defaults(
+                5e-5,
+                Measure::QosAtLeast {
+                    scheme: Scheme::Oaq,
+                    y: 2,
+                },
+            );
+            spec.tau = 1.0 + f64::from(i) * 0.5;
+            engine.evaluate(spec.build().unwrap()).unwrap();
+        }
+        let m = engine.metrics();
+        assert_eq!(m.pk_solves, 1, "τ sweep at fixed scenario: one solve");
+        assert_eq!(m.pk_cache_hits, 9);
+        assert_eq!(m.result_cache_hits, 0, "all ten results are distinct");
+    }
+}

@@ -1,0 +1,140 @@
+//! Typed errors of the serving engine.
+
+use std::fmt;
+
+use oaq_analytic::params::ParamError;
+use oaq_san::ctmc::CtmcError;
+
+/// A [`crate::QuerySpec`] that failed validation — the query never entered
+/// the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// A scalar or integer parameter is non-finite or out of domain.
+    Param(ParamError),
+    /// The delivery overhead consumes the whole deadline: the effective
+    /// deadline `τ − δ_eff` must stay strictly positive.
+    DeadlineConsumed {
+        /// The requested deadline τ.
+        tau: f64,
+        /// The effective delivery overhead δ_eff.
+        delta_eff: f64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueryError::Param(e) => write!(f, "invalid query: {e}"),
+            QueryError::DeadlineConsumed { tau, delta_eff } => write!(
+                f,
+                "delivery overhead delta_eff = {delta_eff} consumes the deadline tau = {tau}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Param(e) => Some(e),
+            QueryError::DeadlineConsumed { .. } => None,
+        }
+    }
+}
+
+impl From<ParamError> for QueryError {
+    fn from(e: ParamError) -> Self {
+        QueryError::Param(e)
+    }
+}
+
+/// Why an accepted-shape query was turned away at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The bounded submission queue is at capacity — backpressure; retry
+    /// later or shed load upstream.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} queries)")
+            }
+            RejectReason::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+/// An error answering a query that the engine did accept (or explicitly
+/// refused at admission).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Admission control turned the query away; it was never enqueued.
+    Rejected(RejectReason),
+    /// The capacity CTMC solve failed.
+    Solver(CtmcError),
+    /// The computing worker disappeared without an answer (a worker
+    /// panic); the query should be resubmitted.
+    WorkerLost,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rejected(r) => write!(f, "rejected: {r}"),
+            EngineError::Solver(e) => write!(f, "solver failure: {e}"),
+            EngineError::WorkerLost => write!(f, "worker lost before completing the query"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for EngineError {
+    fn from(e: CtmcError) -> Self {
+        EngineError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = EngineError::Rejected(RejectReason::QueueFull { capacity: 8 });
+        assert!(e.to_string().contains("full (8"));
+        assert!(EngineError::WorkerLost.to_string().contains("worker"));
+        let q = QueryError::DeadlineConsumed {
+            tau: 5.0,
+            delta_eff: 5.0,
+        };
+        assert!(q.to_string().contains("consumes"));
+    }
+
+    #[test]
+    fn param_errors_convert() {
+        let p = ParamError::NonPositive {
+            name: "tau",
+            value: 0.0,
+        };
+        assert!(matches!(QueryError::from(p), QueryError::Param(_)));
+    }
+}

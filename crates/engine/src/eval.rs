@@ -1,0 +1,204 @@
+//! Query evaluation — the single code path shared by the engine's cached
+//! pipeline and the naive direct route.
+//!
+//! Bit-identity is structural, not numerical: [`direct_eval`] solves
+//! `P(k)` and immediately feeds it to [`eval_with_pk`], while the engine
+//! solves (or cache-hits) `P(k)` separately and feeds the *same* function.
+//! Both routes execute identical floating-point operations in identical
+//! order, so a cache hit is indistinguishable from a recompute down to the
+//! last bit.
+
+use oaq_analytic::Scheme;
+
+use crate::error::EngineError;
+use crate::query::{Measure, QosQuery};
+
+/// The answer to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QosValue {
+    /// A scalar measure: `P(Y ≥ y)`, `P(Y = y | k)` or an OAQ−BAQ gap.
+    Scalar(f64),
+    /// A distribution: `P(K = k)` for `k = 0..=capacity`.
+    Distribution(Vec<f64>),
+}
+
+impl QosValue {
+    /// The scalar payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a distribution.
+    #[must_use]
+    pub fn scalar(&self) -> f64 {
+        match self {
+            QosValue::Scalar(x) => *x,
+            QosValue::Distribution(_) => panic!("expected a scalar, got a distribution"),
+        }
+    }
+
+    /// The distribution payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a scalar.
+    #[must_use]
+    pub fn distribution(&self) -> &[f64] {
+        match self {
+            QosValue::Distribution(d) => d,
+            QosValue::Scalar(_) => panic!("expected a distribution, got a scalar"),
+        }
+    }
+}
+
+/// Evaluates `query` from scratch, single-threaded, no caching. The
+/// reference the engine is tested against.
+///
+/// # Errors
+///
+/// Propagates capacity-solver failures.
+pub fn direct_eval(query: &QosQuery) -> Result<QosValue, EngineError> {
+    if query.measure().needs_capacity_solve() {
+        let pk = query.capacity_params().distribution()?;
+        Ok(eval_with_pk(query, &pk))
+    } else {
+        Ok(eval_cheap(query))
+    }
+}
+
+/// Evaluates a capacity-dependent measure against a borrowed `P(k)`
+/// (`pk[k] = P(K = k)`). The engine calls this with a cached solve;
+/// [`direct_eval`] calls it with a fresh one.
+///
+/// # Panics
+///
+/// Panics if the measure is [`Measure::ConditionalQos`] (which needs no
+/// `P(k)` — route it through [`eval_cheap`]).
+#[must_use]
+pub fn eval_with_pk(query: &QosQuery, pk: &[f64]) -> QosValue {
+    let cfg = query.evaluation_config();
+    match query.measure() {
+        Measure::QosAtLeast { scheme, y } => QosValue::Scalar(
+            cfg.qos_distribution_with_pk(scheme, pk)
+                .p_at_least(usize::from(y)),
+        ),
+        Measure::CapacityDistribution => QosValue::Distribution(pk.to_vec()),
+        Measure::OaqBaqGap { y } => {
+            let oaq = cfg
+                .qos_distribution_with_pk(Scheme::Oaq, pk)
+                .p_at_least(usize::from(y));
+            let baq = cfg
+                .qos_distribution_with_pk(Scheme::Baq, pk)
+                .p_at_least(usize::from(y));
+            QosValue::Scalar(oaq - baq)
+        }
+        Measure::ConditionalQos { .. } => {
+            panic!("conditional measures bypass the capacity layer")
+        }
+    }
+}
+
+/// Evaluates a measure that needs no capacity solve — the pure G-function
+/// layer.
+///
+/// # Panics
+///
+/// Panics if the measure needs `P(k)`.
+#[must_use]
+pub fn eval_cheap(query: &QosQuery) -> QosValue {
+    match query.measure() {
+        Measure::ConditionalQos { scheme, k, y } => QosValue::Scalar(
+            query
+                .evaluation_config()
+                .conditional(scheme, k)
+                .p(usize::from(y)),
+        ),
+        _ => panic!("measure requires the capacity solve"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+
+    #[test]
+    fn direct_eval_matches_analytic_stack() {
+        let q = QuerySpec::paper_defaults(
+            1e-5,
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 2,
+            },
+        )
+        .build()
+        .unwrap();
+        let v = direct_eval(&q).unwrap().scalar();
+        let expected = oaq_analytic::EvaluationConfig::paper_defaults(1e-5)
+            .qos_distribution(Scheme::Oaq)
+            .unwrap()
+            .p_at_least(2);
+        assert_eq!(v, expected, "must be bit-identical, not just close");
+    }
+
+    #[test]
+    fn gap_is_positive_and_consistent() {
+        let q = QuerySpec::paper_defaults(5e-5, Measure::OaqBaqGap { y: 2 })
+            .build()
+            .unwrap();
+        let gap = direct_eval(&q).unwrap().scalar();
+        assert!(gap > 0.0, "OAQ dominates BAQ: {gap}");
+        let pk = q.capacity_params().distribution().unwrap();
+        assert_eq!(eval_with_pk(&q, &pk).scalar(), gap);
+    }
+
+    #[test]
+    fn capacity_distribution_is_proper() {
+        let q = QuerySpec::paper_defaults(5e-5, Measure::CapacityDistribution)
+            .build()
+            .unwrap();
+        let v = direct_eval(&q).unwrap();
+        let d = v.distribution();
+        assert_eq!(d.len(), 15);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_skips_capacity_and_matches_paper_value() {
+        // P(Y = 3 | k = 12) at tau = 5, mu = 0.5: 0.44 OAQ vs 0.20 BAQ.
+        let mut spec = QuerySpec::paper_defaults(
+            1e-5,
+            Measure::ConditionalQos {
+                scheme: Scheme::Oaq,
+                k: 12,
+                y: 3,
+            },
+        );
+        spec.mu = 0.5;
+        let oaq = direct_eval(&spec.build().unwrap()).unwrap().scalar();
+        spec.measure = Measure::ConditionalQos {
+            scheme: Scheme::Baq,
+            k: 12,
+            y: 3,
+        };
+        let baq = direct_eval(&spec.build().unwrap()).unwrap().scalar();
+        assert!((oaq - 0.44).abs() < 0.01, "OAQ: {oaq}");
+        assert!((baq - 0.20).abs() < 0.01, "BAQ: {baq}");
+    }
+
+    #[test]
+    fn delta_eff_shrinks_the_answer() {
+        let base = QuerySpec::paper_defaults(
+            5e-5,
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 3,
+            },
+        );
+        let mut delayed = base;
+        delayed.delta_eff = 2.0;
+        let full = direct_eval(&base.build().unwrap()).unwrap().scalar();
+        let cut = direct_eval(&delayed.build().unwrap()).unwrap().scalar();
+        assert!(cut < full, "losing deadline must cost QoS: {cut} vs {full}");
+    }
+}

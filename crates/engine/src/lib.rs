@@ -1,0 +1,60 @@
+//! # oaq-engine — a batched, cached, multi-worker QoS query-serving engine
+//!
+//! Turns the closed-form stack of `oaq-analytic` into an in-process
+//! serving layer: validated [`QosQuery`] requests flow through a bounded,
+//! backpressure-aware submission queue into a worker pool, with two levels
+//! of memoization in between.
+//!
+//! * **Admission** — [`Engine::submit`] never blocks; when the bounded
+//!   queue is full it returns a typed
+//!   [`RejectReason::QueueFull`] so the caller owns its
+//!   backpressure policy.
+//! * **Level 1, results** — an LRU of completed solves keyed by the
+//!   *bit-exact* parameter tuple. Identical in-flight queries coalesce
+//!   onto one computation (single-flight).
+//! * **Level 2, capacity** — the expensive `P(k)` CTMC solve is cached
+//!   independently, keyed by (λ, φ, η) alone, so sweeps over the protocol
+//!   parameters τ/µ/ν/δ_eff at a fixed failure scenario reuse one solve.
+//! * **Bit-identity** — the direct evaluation path
+//!   ([`direct_eval`]) and the cached path execute the same
+//!   floating-point code ([`oaq_analytic::EvaluationConfig::qos_distribution_with_pk`]),
+//!   so a cache hit equals a recompute down to the last bit; the property
+//!   tests in `tests/properties.rs` enforce this for arbitrary seeded
+//!   workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use oaq_engine::{Engine, EngineConfig, Measure, QuerySpec, Scheme};
+//!
+//! let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+//! let query = QuerySpec::paper_defaults(1e-5, Measure::QosAtLeast { scheme: Scheme::Oaq, y: 2 })
+//!     .build()
+//!     .unwrap();
+//! let p = engine.evaluate(query).unwrap().scalar();
+//! assert!(p > 0.7, "P(Y ≥ 2) at the paper's low failure rate");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod metrics;
+pub mod query;
+pub mod queue;
+pub mod report;
+pub mod singleflight;
+pub mod workload;
+
+mod worker;
+
+pub use engine::{Engine, EngineConfig, Ticket};
+pub use error::{EngineError, QueryError, RejectReason};
+pub use eval::{direct_eval, QosValue};
+pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use query::{Measure, QosQuery, QuerySpec, Scheme};
+pub use worker::EngineResult;
+pub use workload::{zipf_workload, WorkloadConfig};

@@ -1,0 +1,282 @@
+//! Per-engine observability: admission, cache and latency counters.
+//!
+//! Counters live behind one [`parking_lot::Mutex`] and are mutated on the
+//! hot paths (submission, worker batch, completion); [`Metrics::snapshot`]
+//! clones a consistent view out. Aggregates reuse `oaq-sim`'s statistics
+//! accumulators ([`Tally`], [`P2Quantile`]) rather than reinventing
+//! streaming moments and percentiles.
+
+use oaq_sim::stats::{Counter, P2Quantile, Tally};
+use parking_lot::Mutex;
+
+/// The mutable counter state, guarded by [`Metrics`].
+#[derive(Debug)]
+struct MetricsInner {
+    submitted: Counter,
+    served: Counter,
+    rejected: Counter,
+    result_cache_hits: Counter,
+    coalesced: Counter,
+    pk_solves: Counter,
+    pk_cache_hits: Counter,
+    batch_sizes: Tally,
+    queue_wait: StageLatency,
+    solve: StageLatency,
+    end_to_end: StageLatency,
+}
+
+/// Streaming latency statistics for one pipeline stage (seconds).
+#[derive(Debug)]
+struct StageLatency {
+    tally: Tally,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl StageLatency {
+    fn new() -> Self {
+        StageLatency {
+            tally: Tally::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    fn record(&mut self, seconds: f64) {
+        self.tally.record(seconds);
+        self.p50.record(seconds);
+        self.p95.record(seconds);
+        self.p99.record(seconds);
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.tally.count(),
+            mean: self.tally.mean(),
+            min: self.tally.min().unwrap_or(f64::NAN),
+            max: self.tally.max().unwrap_or(f64::NAN),
+            p50: self.p50.estimate().unwrap_or(f64::NAN),
+            p95: self.p95.estimate().unwrap_or(f64::NAN),
+            p99: self.p99.estimate().unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Thread-safe engine metrics.
+#[derive(Debug)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            inner: Mutex::new(MetricsInner {
+                submitted: Counter::new(),
+                served: Counter::new(),
+                rejected: Counter::new(),
+                result_cache_hits: Counter::new(),
+                coalesced: Counter::new(),
+                pk_solves: Counter::new(),
+                pk_cache_hits: Counter::new(),
+                batch_sizes: Tally::new(),
+                queue_wait: StageLatency::new(),
+                solve: StageLatency::new(),
+                end_to_end: StageLatency::new(),
+            }),
+        }
+    }
+
+    /// A query was admitted into the queue.
+    pub fn on_submitted(&self) {
+        self.inner.lock().submitted.increment();
+    }
+
+    /// A query was turned away at admission.
+    pub fn on_rejected(&self) {
+        self.inner.lock().rejected.increment();
+    }
+
+    /// A query was answered directly — computed by a worker or served from
+    /// the result cache. Coalesced followers count under
+    /// [`Self::on_coalesced`] instead, so once the queue drains,
+    /// `submitted == served + coalesced`.
+    pub fn on_served(&self) {
+        self.inner.lock().served.increment();
+    }
+
+    /// A query was answered straight from the completed-result cache.
+    pub fn on_result_cache_hit(&self) {
+        self.inner.lock().result_cache_hits.increment();
+    }
+
+    /// A query joined an identical in-flight computation instead of
+    /// starting its own.
+    pub fn on_coalesced(&self) {
+        self.inner.lock().coalesced.increment();
+    }
+
+    /// A capacity CTMC solve actually ran.
+    pub fn on_pk_solve(&self) {
+        self.inner.lock().pk_solves.increment();
+    }
+
+    /// A capacity distribution was reused from the `P(k)` cache.
+    pub fn on_pk_cache_hit(&self) {
+        self.inner.lock().pk_cache_hits.increment();
+    }
+
+    /// A worker drained a batch of `n` queries.
+    pub fn on_batch(&self, n: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        self.inner.lock().batch_sizes.record(n as f64);
+    }
+
+    /// Records the time a query spent queued before a worker picked it up.
+    pub fn record_queue_wait(&self, seconds: f64) {
+        self.inner.lock().queue_wait.record(seconds);
+    }
+
+    /// Records the pure compute time of one query.
+    pub fn record_solve(&self, seconds: f64) {
+        self.inner.lock().solve.record(seconds);
+    }
+
+    /// Records submission-to-answer latency of one query.
+    pub fn record_end_to_end(&self, seconds: f64) {
+        self.inner.lock().end_to_end.record(seconds);
+    }
+
+    /// A consistent copy of every counter and latency aggregate.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            submitted: inner.submitted.count(),
+            served: inner.served.count(),
+            rejected: inner.rejected.count(),
+            result_cache_hits: inner.result_cache_hits.count(),
+            coalesced: inner.coalesced.count(),
+            pk_solves: inner.pk_solves.count(),
+            pk_cache_hits: inner.pk_cache_hits.count(),
+            batch_count: inner.batch_sizes.count(),
+            mean_batch_size: inner.batch_sizes.mean(),
+            max_batch_size: inner.batch_sizes.max().unwrap_or(0.0),
+            queue_wait: inner.queue_wait.snapshot(),
+            solve: inner.solve.snapshot(),
+            end_to_end: inner.end_to_end.snapshot(),
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries admitted into the queue.
+    pub submitted: u64,
+    /// Queries answered directly (worker-computed or result-cache hit);
+    /// excludes coalesced followers, so a drained engine satisfies
+    /// `submitted == served + coalesced`.
+    pub served: u64,
+    /// Queries refused at admission (queue full / shutting down).
+    pub rejected: u64,
+    /// Queries answered from the completed-result cache.
+    pub result_cache_hits: u64,
+    /// Queries coalesced onto an identical in-flight computation.
+    pub coalesced: u64,
+    /// Capacity CTMC solves actually performed.
+    pub pk_solves: u64,
+    /// Capacity distributions reused from the `P(k)` cache.
+    pub pk_cache_hits: u64,
+    /// Number of worker batches drained.
+    pub batch_count: u64,
+    /// Mean batch size.
+    pub mean_batch_size: f64,
+    /// Largest batch drained.
+    pub max_batch_size: f64,
+    /// Time spent queued before pickup.
+    pub queue_wait: LatencySnapshot,
+    /// Pure compute time per query.
+    pub solve: LatencySnapshot,
+    /// Submission-to-answer latency.
+    pub end_to_end: LatencySnapshot,
+}
+
+/// Summary statistics of one latency stage (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum (NaN when empty).
+    pub min: f64,
+    /// Maximum (NaN when empty).
+    pub max: f64,
+    /// Streaming median estimate.
+    pub p50: f64,
+    /// Streaming 95th-percentile estimate.
+    pub p95: f64,
+    /// Streaming 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_submitted();
+        m.on_rejected();
+        m.on_served();
+        m.on_result_cache_hit();
+        m.on_coalesced();
+        m.on_pk_solve();
+        m.on_pk_cache_hit();
+        m.on_batch(4);
+        m.on_batch(2);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.served, 1);
+        assert_eq!(s.result_cache_hits, 1);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.pk_solves, 1);
+        assert_eq!(s.pk_cache_hits, 1);
+        assert_eq!(s.batch_count, 2);
+        assert!((s.mean_batch_size - 3.0).abs() < 1e-12);
+        assert!((s.max_batch_size - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stages_track_percentiles() {
+        let m = Metrics::new();
+        // Scrambled order: P² marker adjustment assumes non-sorted input.
+        for i in 0..100u32 {
+            let v = f64::from(i * 37 % 100 + 1);
+            m.record_solve(v / 1000.0);
+            m.record_end_to_end(v / 500.0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.solve.count, 100);
+        assert!((s.solve.mean - 0.0505).abs() < 1e-9);
+        assert!(s.solve.p50 > 0.03 && s.solve.p50 < 0.07);
+        assert!(s.solve.p95 >= s.solve.p50);
+        assert!(s.solve.p99 >= s.solve.p95);
+        assert!(s.end_to_end.max >= s.end_to_end.min);
+        assert_eq!(s.queue_wait.count, 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Validated QoS queries and their exact cache keys.
+//!
+//! A [`QosQuery`] can only be obtained by building a [`QuerySpec`], which
+//! rejects non-finite and out-of-domain parameters with a typed
+//! [`QueryError`] — NaN never enters the engine, so bit-exact cache keys
+//! over raw IEEE-754 bit patterns are well defined (validated values are
+//! finite and positive, ruling out the `-0.0`/`0.0` aliasing case).
+
+use oaq_analytic::capacity::CapacityParams;
+use oaq_analytic::compose::EvaluationConfig;
+use oaq_analytic::params::{require_in_range, require_int_in_range, require_positive};
+use oaq_analytic::qos::QosParams;
+pub use oaq_analytic::Scheme;
+
+use crate::error::QueryError;
+
+/// Active capacity of the reference plane (paper Section 4.1).
+pub const REFERENCE_CAPACITY: u32 = 14;
+/// In-orbit spares of the reference plane.
+pub const REFERENCE_SPARES: u32 = 2;
+
+/// The measure a query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// The composed QoS measure `P(Y ≥ y)` (Eq. 3) — needs the capacity
+    /// solve.
+    QosAtLeast {
+        /// Scheme under evaluation.
+        scheme: Scheme,
+        /// QoS level `y ∈ 0..=3`.
+        y: u8,
+    },
+    /// The conditional `P(Y = y | k)` — pure G-function layer, no capacity
+    /// solve.
+    ConditionalQos {
+        /// Scheme under evaluation.
+        scheme: Scheme,
+        /// Conditioning capacity `k ∈ 1..=14`.
+        k: u32,
+        /// QoS level `y ∈ 0..=3`.
+        y: u8,
+    },
+    /// The full capacity distribution `P(K = k)`, `k = 0..=14` (Figure 7).
+    CapacityDistribution,
+    /// The OAQ-vs-BAQ gap `P_OAQ(Y ≥ y) − P_BAQ(Y ≥ y)` — one capacity
+    /// solve, two compositions.
+    OaqBaqGap {
+        /// QoS level `y ∈ 0..=3`.
+        y: u8,
+    },
+}
+
+impl Measure {
+    /// Whether answering this measure requires the (expensive) capacity
+    /// CTMC solve, as opposed to the cheap G-function layer alone.
+    #[must_use]
+    pub fn needs_capacity_solve(&self) -> bool {
+        !matches!(self, Measure::ConditionalQos { .. })
+    }
+
+    fn validate(&self) -> Result<(), QueryError> {
+        match *self {
+            Measure::QosAtLeast { y, .. } | Measure::OaqBaqGap { y } => {
+                require_int_in_range("y", u32::from(y), 0, 3)?;
+            }
+            Measure::ConditionalQos { k, y, .. } => {
+                require_int_in_range("y", u32::from(y), 0, 3)?;
+                require_int_in_range("k", k, 1, REFERENCE_CAPACITY)?;
+            }
+            Measure::CapacityDistribution => {}
+        }
+        Ok(())
+    }
+}
+
+/// The raw, not-yet-validated parameters of one query. All fields public;
+/// [`QuerySpec::build`] is the only way to obtain a [`QosQuery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Orbit period θ, minutes.
+    pub theta: f64,
+    /// Coverage time Tc, minutes.
+    pub tc: f64,
+    /// Per-satellite failure rate λ, per hour.
+    pub lambda: f64,
+    /// Scheduled-deployment period φ, hours.
+    pub phi: f64,
+    /// Replenishment threshold η (pins the plane at `k = η`).
+    pub eta: u32,
+    /// Alert deadline τ, minutes.
+    pub tau: f64,
+    /// Signal termination rate µ (mean duration `1/µ` minutes).
+    pub mu: f64,
+    /// Iterative-computation completion rate ν.
+    pub nu: f64,
+    /// Effective delivery overhead δ_eff, minutes (e.g. retries ×
+    /// (timeout + δ) from the reliable-delivery layer); shrinks the usable
+    /// deadline to `τ − δ_eff`.
+    pub delta_eff: f64,
+    /// The requested measure.
+    pub measure: Measure,
+}
+
+impl QuerySpec {
+    /// The paper's Figure 9 scenario (θ = 90, Tc = 9, φ = 30000 h, η = 10,
+    /// τ = 5, µ = 0.2, ν = 30, δ_eff = 0) at failure rate `lambda`.
+    #[must_use]
+    pub fn paper_defaults(lambda: f64, measure: Measure) -> Self {
+        QuerySpec {
+            theta: 90.0,
+            tc: 9.0,
+            lambda,
+            phi: 30_000.0,
+            eta: 10,
+            tau: 5.0,
+            mu: 0.2,
+            nu: 30.0,
+            delta_eff: 0.0,
+            measure,
+        }
+    }
+
+    /// Validates every parameter and seals the spec into a [`QosQuery`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QueryError`] naming the offending parameter: non-finite
+    /// values (NaN λ), non-positive rates and times (τ ≤ 0), thresholds or
+    /// capacities outside `1..=14`, geometry outside the dual-coverage
+    /// domain, or a δ_eff that consumes the whole deadline.
+    pub fn build(self) -> Result<QosQuery, QueryError> {
+        require_positive("theta", self.theta)?;
+        require_positive("tc", self.tc)?;
+        // Geometry domain: even at full capacity the revisit time θ/k must
+        // exceed Tc/2 (the model has no triple coverage), so every
+        // reachable k can be composed.
+        let tc_max = self.theta / f64::from(REFERENCE_CAPACITY) * 2.0;
+        if self.tc >= tc_max {
+            return Err(QueryError::Param(oaq_analytic::ParamError::OutOfRange {
+                name: "tc",
+                value: self.tc,
+                min: 0.0,
+                max: tc_max,
+            }));
+        }
+        require_positive("lambda", self.lambda)?;
+        require_positive("phi", self.phi)?;
+        require_int_in_range("eta", self.eta, 1, REFERENCE_CAPACITY - 1)?;
+        require_positive("tau", self.tau)?;
+        require_positive("mu", self.mu)?;
+        require_positive("nu", self.nu)?;
+        require_in_range("delta_eff", self.delta_eff, 0.0, f64::MAX)?;
+        if self.delta_eff >= self.tau {
+            return Err(QueryError::DeadlineConsumed {
+                tau: self.tau,
+                delta_eff: self.delta_eff,
+            });
+        }
+        self.measure.validate()?;
+        Ok(QosQuery { spec: self })
+    }
+}
+
+/// A validated, immutable QoS query — see [`QuerySpec::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosQuery {
+    spec: QuerySpec,
+}
+
+impl QosQuery {
+    /// The validated parameters.
+    #[must_use]
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// The requested measure.
+    #[must_use]
+    pub fn measure(&self) -> Measure {
+        self.spec.measure
+    }
+
+    /// The usable deadline `τ − δ_eff` (strictly positive by
+    /// construction).
+    #[must_use]
+    pub fn effective_tau(&self) -> f64 {
+        self.spec.tau - self.spec.delta_eff
+    }
+
+    /// The capacity-model parameters of this query's scenario.
+    #[must_use]
+    pub fn capacity_params(&self) -> CapacityParams {
+        CapacityParams {
+            capacity: REFERENCE_CAPACITY,
+            spares: REFERENCE_SPARES,
+            lambda: self.spec.lambda,
+            phi: self.spec.phi,
+            eta: self.spec.eta,
+        }
+    }
+
+    /// The analytic evaluation configuration of this query (deadline
+    /// already shrunk by δ_eff).
+    #[must_use]
+    pub fn evaluation_config(&self) -> EvaluationConfig {
+        EvaluationConfig {
+            theta: self.spec.theta,
+            tc: self.spec.tc,
+            qos: QosParams {
+                tau: self.effective_tau(),
+                mu: self.spec.mu,
+                nu: self.spec.nu,
+            },
+            capacity: self.capacity_params(),
+        }
+    }
+
+    /// The exact (bit-level) memoization key of the full query.
+    #[must_use]
+    pub fn key(&self) -> QueryKey {
+        QueryKey {
+            bits: [
+                self.spec.theta.to_bits(),
+                self.spec.tc.to_bits(),
+                self.spec.lambda.to_bits(),
+                self.spec.phi.to_bits(),
+                u64::from(self.spec.eta),
+                self.spec.tau.to_bits(),
+                self.spec.mu.to_bits(),
+                self.spec.nu.to_bits(),
+                self.spec.delta_eff.to_bits(),
+            ],
+            measure: self.spec.measure,
+        }
+    }
+
+    /// The exact key of the capacity-solve layer: only (λ, φ, η) — sweeps
+    /// over τ/µ/ν/δ_eff at a fixed failure scenario share one `P(k)`.
+    #[must_use]
+    pub fn capacity_key(&self) -> CapacityKey {
+        CapacityKey {
+            lambda: self.spec.lambda.to_bits(),
+            phi: self.spec.phi.to_bits(),
+            eta: self.spec.eta,
+        }
+    }
+}
+
+/// Bit-exact identity of a full query (no quantization: two queries share
+/// a key iff direct evaluation would produce bit-identical answers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    bits: [u64; 9],
+    measure: Measure,
+}
+
+/// Bit-exact identity of a capacity solve (λ, φ, η).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapacityKey {
+    lambda: u64,
+    phi: u64,
+    eta: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(measure: Measure) -> QuerySpec {
+        QuerySpec::paper_defaults(5e-5, measure)
+    }
+
+    const Y2: Measure = Measure::QosAtLeast {
+        scheme: Scheme::Oaq,
+        y: 2,
+    };
+
+    #[test]
+    fn paper_defaults_validate() {
+        let q = paper(Y2).build().unwrap();
+        assert_eq!(q.effective_tau(), 5.0);
+        assert!(q.measure().needs_capacity_solve());
+    }
+
+    #[test]
+    fn nan_lambda_is_rejected_typed() {
+        let mut s = paper(Y2);
+        s.lambda = f64::NAN;
+        assert!(matches!(s.build(), Err(QueryError::Param(_))));
+    }
+
+    #[test]
+    fn non_positive_tau_rejected() {
+        let mut s = paper(Y2);
+        s.tau = 0.0;
+        assert!(matches!(s.build(), Err(QueryError::Param(_))));
+        s.tau = -3.0;
+        assert!(matches!(s.build(), Err(QueryError::Param(_))));
+    }
+
+    #[test]
+    fn k_outside_reference_plane_rejected() {
+        for k in [0u32, 15, 100] {
+            let s = paper(Measure::ConditionalQos {
+                scheme: Scheme::Oaq,
+                k,
+                y: 3,
+            });
+            assert!(matches!(s.build(), Err(QueryError::Param(_))), "k = {k}");
+        }
+        let ok = paper(Measure::ConditionalQos {
+            scheme: Scheme::Oaq,
+            k: 14,
+            y: 3,
+        });
+        assert!(ok.build().is_ok());
+    }
+
+    #[test]
+    fn y_above_three_rejected() {
+        let s = paper(Measure::OaqBaqGap { y: 4 });
+        assert!(s.build().is_err());
+    }
+
+    #[test]
+    fn delta_eff_must_leave_deadline() {
+        let mut s = paper(Y2);
+        s.delta_eff = 5.0;
+        assert!(matches!(
+            s.build(),
+            Err(QueryError::DeadlineConsumed { .. })
+        ));
+        s.delta_eff = 4.5;
+        let q = s.build().unwrap();
+        assert!((q.effective_tau() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_coverage_geometry_rejected() {
+        let mut s = paper(Y2);
+        // Tc = 13 > 2θ/14 = 12.857: k = 14 would triple-cover.
+        s.tc = 13.0;
+        assert!(s.build().is_err());
+        s.tc = 12.0;
+        assert!(s.build().is_ok());
+    }
+
+    #[test]
+    fn keys_are_exact_and_layered() {
+        let a = paper(Y2).build().unwrap();
+        let mut s = paper(Y2);
+        s.tau = 6.0;
+        let b = s.build().unwrap();
+        assert_ne!(a.key(), b.key(), "different tau, different result key");
+        assert_eq!(
+            a.capacity_key(),
+            b.capacity_key(),
+            "same (lambda, phi, eta): the capacity solve is shared"
+        );
+        let mut s = paper(Y2);
+        s.lambda = 5e-5 + 1e-18;
+        if s.lambda != 5e-5 {
+            let c = s.build().unwrap();
+            assert_ne!(a.capacity_key(), c.capacity_key(), "no quantization");
+        }
+    }
+
+    #[test]
+    fn conditional_measure_skips_capacity_solve() {
+        assert!(!Measure::ConditionalQos {
+            scheme: Scheme::Baq,
+            k: 12,
+            y: 3
+        }
+        .needs_capacity_solve());
+        assert!(Measure::CapacityDistribution.needs_capacity_solve());
+        assert!(Measure::OaqBaqGap { y: 2 }.needs_capacity_solve());
+    }
+}

@@ -1,0 +1,188 @@
+//! The bounded submission queue with backpressure.
+//!
+//! Admission control is a hard bound: [`SubmitQueue::try_push`] never
+//! blocks and returns a typed rejection when the queue is at capacity —
+//! the caller decides whether to retry, shed, or block on its own terms.
+//! Workers drain in batches to amortise lock traffic. Built on
+//! `std::sync::{Mutex, Condvar}` (the vendored `parking_lot` has no
+//! condition variable).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::error::RejectReason;
+
+/// A bounded MPMC queue: non-blocking bounded push, blocking batched pop.
+#[derive(Debug)]
+pub struct SubmitQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+impl<T> SubmitQueue<T> {
+    /// An empty queue admitting at most `capacity` pending items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SubmitQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                shutdown: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] when the queue is at capacity (the item
+    /// is handed back inside the tuple), [`RejectReason::ShuttingDown`]
+    /// after [`Self::shutdown`].
+    pub fn try_push(&self, item: T) -> Result<(), (T, RejectReason)> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.shutdown {
+            return Err((item, RejectReason::ShuttingDown));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((
+                item,
+                RejectReason::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then drains up to `max` items.
+    /// Returns an empty vector only after [`Self::shutdown`] once the
+    /// queue has fully drained — the worker's signal to exit.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max.max(1));
+                let batch: Vec<T> = inner.items.drain(..n).collect();
+                if !inner.items.is_empty() {
+                    // Leftovers: wake a sibling worker.
+                    self.nonempty.notify_one();
+                }
+                return batch;
+            }
+            if inner.shutdown {
+                return Vec::new();
+            }
+            inner = self.nonempty.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Stops admitting new work and wakes every blocked worker. Items
+    /// already queued are still drained.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        inner.shutdown = true;
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+
+    /// Number of items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_until_full_then_typed_rejection() {
+        let q = SubmitQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, reason) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(reason, RejectReason::QueueFull { capacity: 2 });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn batch_pop_drains_in_order() {
+        let q = SubmitQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(3), vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_old() {
+        let q = SubmitQueue::new(4);
+        q.try_push(10).unwrap();
+        q.shutdown();
+        let (_, reason) = q.try_push(11).unwrap_err();
+        assert_eq!(reason, RejectReason::ShuttingDown);
+        assert_eq!(q.pop_batch(8), vec![10]);
+        assert_eq!(q.pop_batch(8), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_push_and_on_shutdown() {
+        let q = Arc::new(SubmitQueue::new(4));
+        std::thread::scope(|s| {
+            let qa = Arc::clone(&q);
+            let consumer = s.spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    let batch = qa.pop_batch(2);
+                    if batch.is_empty() {
+                        return seen;
+                    }
+                    seen.extend(batch);
+                }
+            });
+            for i in 0..6 {
+                while q.try_push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            q.shutdown();
+            let mut seen = consumer.join().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        });
+    }
+}

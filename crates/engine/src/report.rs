@@ -1,0 +1,95 @@
+//! Deterministic serialization of workload results.
+//!
+//! Hand-rolled JSON in the workspace's usual style (no external
+//! serializer). Floats print with 17 significant digits — enough to
+//! round-trip every f64 exactly — so two runs that produced bit-identical
+//! answers produce byte-identical JSON, and the determinism test can
+//! compare strings. Timing never appears here; it goes in the benchmark
+//! report, not the result digest.
+
+use crate::eval::QosValue;
+use crate::worker::EngineResult;
+
+/// One f64, round-trip exact.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:.17e}")
+}
+
+fn value_json(v: &QosValue) -> String {
+    match v {
+        QosValue::Scalar(x) => format!("{{\"scalar\":{}}}", fmt_f64(*x)),
+        QosValue::Distribution(d) => {
+            let items: Vec<String> = d.iter().map(|&x| fmt_f64(x)).collect();
+            format!("{{\"distribution\":[{}]}}", items.join(","))
+        }
+    }
+}
+
+/// The results of a replayed workload as a deterministic JSON array, in
+/// submission order. Errors serialize as their display string.
+#[must_use]
+pub fn results_json(results: &[EngineResult]) -> String {
+    let items: Vec<String> = results
+        .iter()
+        .map(|r| match r {
+            Ok(v) => value_json(v),
+            Err(e) => format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.753_119_028_462_187_3, 1e-300, -0.0, 2.0 / 3.0] {
+            let printed = fmt_f64(x);
+            let back: f64 = printed.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{printed}");
+        }
+    }
+
+    #[test]
+    fn results_serialize_deterministically() {
+        let results: Vec<EngineResult> = vec![
+            Ok(QosValue::Scalar(0.75)),
+            Ok(QosValue::Distribution(vec![0.25, 0.75])),
+            Err(EngineError::WorkerLost),
+        ];
+        let a = results_json(&results);
+        let b = results_json(&results);
+        assert_eq!(a, b);
+        assert!(a.starts_with("[{\"scalar\":"));
+        assert!(a.contains("\"distribution\":["));
+        assert!(a.contains("\"error\":\"worker lost"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,217 @@
+//! Single-flight coalescing of identical in-flight computations.
+//!
+//! When several submitted queries share a bit-exact key, exactly one
+//! worker computes the answer ("the leader") and every other submission
+//! blocks on a shared [`Slot`] until the leader publishes. Uses
+//! `std::sync::{Mutex, Condvar}` — the vendored `parking_lot` stand-in has
+//! no condition variable.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared cell a coalesced computation publishes into.
+#[derive(Debug)]
+pub struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState<V> {
+    Pending,
+    Done(V),
+    /// The leader dropped without publishing (worker panic).
+    Abandoned,
+}
+
+impl<V: Clone> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publishes the result and wakes every waiter.
+    pub fn publish(&self, value: V) {
+        let mut s = self.state.lock().expect("slot mutex poisoned");
+        *s = SlotState::Done(value);
+        self.ready.notify_all();
+    }
+
+    /// Marks the computation as abandoned (leader lost) and wakes every
+    /// waiter; they observe `None`.
+    pub fn abandon(&self) {
+        let mut s = self.state.lock().expect("slot mutex poisoned");
+        if matches!(*s, SlotState::Pending) {
+            *s = SlotState::Abandoned;
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks until the leader publishes; `None` if it was abandoned.
+    pub fn wait(&self) -> Option<V> {
+        let mut s = self.state.lock().expect("slot mutex poisoned");
+        loop {
+            match &*s {
+                SlotState::Pending => s = self.ready.wait(s).expect("slot mutex poisoned"),
+                SlotState::Done(v) => return Some(v.clone()),
+                SlotState::Abandoned => return None,
+            }
+        }
+    }
+
+    /// Non-blocking peek; `None` while still pending or abandoned.
+    pub fn try_get(&self) -> Option<V> {
+        match &*self.state.lock().expect("slot mutex poisoned") {
+            SlotState::Done(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of [`SingleFlight::join`].
+pub enum Flight<V> {
+    /// This caller is the leader: compute, then [`SingleFlight::complete`].
+    Leader(Arc<Slot<V>>),
+    /// Another computation of the same key is in flight: wait on the slot.
+    Follower(Arc<Slot<V>>),
+}
+
+/// The in-flight table: at most one live computation per key.
+#[derive(Debug)]
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
+    /// An empty in-flight table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// later callers become followers of the same slot.
+    pub fn join(&self, key: K) -> Flight<V> {
+        let mut map = self.inflight.lock().expect("inflight mutex poisoned");
+        if let Some(slot) = map.get(&key) {
+            Flight::Follower(Arc::clone(slot))
+        } else {
+            let slot = Arc::new(Slot::new());
+            map.insert(key, Arc::clone(&slot));
+            Flight::Leader(slot)
+        }
+    }
+
+    /// Leader-side completion: publishes `value` into `slot` and retires
+    /// the key so the next identical query starts a fresh flight (it will
+    /// normally hit the result cache instead).
+    pub fn complete(&self, key: &K, slot: &Slot<V>, value: V) {
+        slot.publish(value);
+        self.inflight
+            .lock()
+            .expect("inflight mutex poisoned")
+            .remove(key);
+    }
+
+    /// Leader-side failure path: retires the key and wakes followers with
+    /// an abandonment signal.
+    pub fn abandon(&self, key: &K, slot: &Slot<V>) {
+        slot.abandon();
+        self.inflight
+            .lock()
+            .expect("inflight mutex poisoned")
+            .remove(key);
+    }
+
+    /// Number of keys currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inflight.lock().expect("inflight mutex poisoned").len()
+    }
+
+    /// Whether no computation is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_joiner_leads_rest_follow() {
+        let sf = SingleFlight::<u32, u64>::new();
+        let Flight::Leader(slot) = sf.join(7) else {
+            panic!("first join must lead")
+        };
+        assert!(matches!(sf.join(7), Flight::Follower(_)));
+        assert!(matches!(sf.join(8), Flight::Leader(_)));
+        sf.complete(&7, &slot, 42);
+        assert_eq!(slot.try_get(), Some(42));
+        // Key retired: a new join leads again.
+        assert!(matches!(sf.join(7), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn followers_observe_published_value_across_threads() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let sf = Arc::new(SingleFlight::<u32, u64>::new());
+        let joined = AtomicU32::new(0);
+        let Flight::Leader(slot) = sf.join(1) else {
+            panic!("leader expected")
+        };
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for _ in 0..4 {
+                let sf = Arc::clone(&sf);
+                let joined = &joined;
+                joins.push(s.spawn(move || {
+                    let flight = sf.join(1);
+                    joined.fetch_add(1, Ordering::SeqCst);
+                    match flight {
+                        Flight::Follower(slot) => slot.wait(),
+                        Flight::Leader(_) => panic!("flight already led"),
+                    }
+                }));
+            }
+            // Publish only once every thread has joined the flight, so
+            // none can race past the completion and become a new leader.
+            while joined.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            sf.complete(&1, &slot, 99);
+            for j in joins {
+                assert_eq!(j.join().unwrap(), Some(99));
+            }
+        });
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn abandoned_flight_wakes_followers_empty_handed() {
+        let sf = SingleFlight::<u32, u64>::new();
+        let Flight::Leader(slot) = sf.join(3) else {
+            panic!("leader expected")
+        };
+        let Flight::Follower(follower) = sf.join(3) else {
+            panic!("follower expected")
+        };
+        sf.abandon(&3, &slot);
+        assert_eq!(follower.wait(), None);
+        assert!(sf.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The worker side of the engine: shared state and the batch-draining
+//! compute loop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::error::EngineError;
+use crate::eval::{eval_cheap, eval_with_pk, QosValue};
+use crate::metrics::Metrics;
+use crate::query::{CapacityKey, QosQuery, QueryKey};
+use crate::queue::SubmitQueue;
+use crate::singleflight::{Flight, SingleFlight, Slot};
+
+/// The outcome delivered for a query.
+pub type EngineResult = Result<QosValue, EngineError>;
+
+type PkResult = Result<Arc<Vec<f64>>, EngineError>;
+
+/// One enqueued unit of work: a query that became the leader of its
+/// single-flight and must be computed.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) query: QosQuery,
+    pub(crate) key: QueryKey,
+    pub(crate) slot: Arc<Slot<EngineResult>>,
+    pub(crate) submitted: Instant,
+}
+
+/// State shared between the submission side and every worker.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) queue: SubmitQueue<Job>,
+    pub(crate) results: Mutex<LruCache<QueryKey, EngineResult>>,
+    pub(crate) flight: SingleFlight<QueryKey, EngineResult>,
+    pub(crate) pk_cache: Mutex<LruCache<CapacityKey, Arc<Vec<f64>>>>,
+    pub(crate) pk_flight: SingleFlight<CapacityKey, PkResult>,
+    pub(crate) metrics: Metrics,
+    pub(crate) batch_size: usize,
+}
+
+/// Abandons a flight when dropped without [`defuse`](Self::defuse) — the
+/// worker-panic safety net that keeps followers from blocking forever.
+struct AbandonGuard<'a, K: Eq + std::hash::Hash + Copy, V: Clone> {
+    flight: &'a SingleFlight<K, V>,
+    key: K,
+    slot: Arc<Slot<V>>,
+    armed: bool,
+}
+
+impl<'a, K: Eq + std::hash::Hash + Copy, V: Clone> AbandonGuard<'a, K, V> {
+    fn new(flight: &'a SingleFlight<K, V>, key: K, slot: Arc<Slot<V>>) -> Self {
+        AbandonGuard {
+            flight,
+            key,
+            slot,
+            armed: true,
+        }
+    }
+
+    /// Publishes `value` and retires the flight normally.
+    fn complete(mut self, value: V) {
+        self.flight.complete(&self.key, &self.slot, value);
+        self.armed = false;
+    }
+}
+
+impl<K: Eq + std::hash::Hash + Copy, V: Clone> Drop for AbandonGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flight.abandon(&self.key, &self.slot);
+        }
+    }
+}
+
+/// The capacity distribution for `query`'s (λ, φ, η) scenario: LRU cache
+/// first, then single-flight so concurrent misses of the same scenario run
+/// one CTMC solve.
+fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
+    let key = query.capacity_key();
+    if let Some(pk) = shared.pk_cache.lock().get(&key) {
+        shared.metrics.on_pk_cache_hit();
+        return Ok(Arc::clone(pk));
+    }
+    match shared.pk_flight.join(key) {
+        Flight::Follower(slot) => {
+            shared.metrics.on_pk_cache_hit();
+            slot.wait().unwrap_or(Err(EngineError::WorkerLost))
+        }
+        Flight::Leader(slot) => {
+            let guard = AbandonGuard::new(&shared.pk_flight, key, slot);
+            shared.metrics.on_pk_solve();
+            let result: PkResult = query
+                .capacity_params()
+                .distribution()
+                .map(Arc::new)
+                .map_err(EngineError::from);
+            if let Ok(pk) = &result {
+                shared.pk_cache.lock().insert(key, Arc::clone(pk));
+            }
+            guard.complete(result.clone());
+            result
+        }
+    }
+}
+
+/// Computes one query, reusing the cached `P(k)` layer when the measure
+/// needs it.
+fn compute(shared: &Shared, query: &QosQuery) -> EngineResult {
+    if query.measure().needs_capacity_solve() {
+        let pk = capacity_pk(shared, query)?;
+        Ok(eval_with_pk(query, &pk))
+    } else {
+        Ok(eval_cheap(query))
+    }
+}
+
+/// The worker loop: drain batches until shutdown fully empties the queue.
+pub(crate) fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = shared.queue.pop_batch(shared.batch_size);
+        if batch.is_empty() {
+            return;
+        }
+        shared.metrics.on_batch(batch.len());
+        for job in batch {
+            shared
+                .metrics
+                .record_queue_wait(job.submitted.elapsed().as_secs_f64());
+            let guard = AbandonGuard::new(&shared.flight, job.key, Arc::clone(&job.slot));
+            let t0 = Instant::now();
+            let result = compute(shared, &job.query);
+            shared.metrics.record_solve(t0.elapsed().as_secs_f64());
+            if result.is_ok() {
+                shared.results.lock().insert(job.key, result.clone());
+            }
+            // Count before publishing: a waiter that wakes on the publish
+            // must already observe this query in the served counters.
+            shared.metrics.on_served();
+            shared
+                .metrics
+                .record_end_to_end(job.submitted.elapsed().as_secs_f64());
+            guard.complete(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Measure, QuerySpec, Scheme};
+
+    fn shared() -> Shared {
+        Shared {
+            queue: SubmitQueue::new(16),
+            results: Mutex::new(LruCache::new(64)),
+            flight: SingleFlight::new(),
+            pk_cache: Mutex::new(LruCache::new(8)),
+            pk_flight: SingleFlight::new(),
+            metrics: Metrics::new(),
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn pk_layer_solves_once_per_scenario() {
+        let sh = shared();
+        let mut spec = QuerySpec::paper_defaults(
+            5e-5,
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 2,
+            },
+        );
+        let a = compute(&sh, &spec.build().unwrap()).unwrap();
+        spec.tau = 7.0; // same (λ, φ, η): the capacity solve must be reused
+        let b = compute(&sh, &spec.build().unwrap()).unwrap();
+        assert_ne!(a, b);
+        let m = sh.metrics.snapshot();
+        assert_eq!(m.pk_solves, 1, "one scenario, one CTMC solve");
+        assert_eq!(m.pk_cache_hits, 1);
+    }
+
+    #[test]
+    fn abandon_guard_wakes_followers_on_panic() {
+        let sh = shared();
+        let q = QuerySpec::paper_defaults(
+            5e-5,
+            Measure::QosAtLeast {
+                scheme: Scheme::Baq,
+                y: 2,
+            },
+        )
+        .build()
+        .unwrap();
+        let key = q.key();
+        let Flight::Leader(slot) = sh.flight.join(key) else {
+            panic!("leader expected")
+        };
+        let Flight::Follower(follower) = sh.flight.join(key) else {
+            panic!("follower expected")
+        };
+        let _ = crossbeam::scope(|s| {
+            s.spawn(|_| {
+                let _guard = AbandonGuard::new(&sh.flight, key, slot);
+                panic!("worker dies mid-compute");
+            });
+        });
+        assert_eq!(follower.wait(), None, "follower must not block forever");
+        assert!(sh.flight.is_empty());
+    }
+}

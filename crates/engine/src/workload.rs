@@ -1,0 +1,156 @@
+//! Seeded, Zipf-skewed query workloads for benchmarking and property
+//! testing.
+//!
+//! A workload draws from a fixed pool of *scenarios* (distinct validated
+//! queries) under a Zipf(s) rank distribution: a few hot scenarios
+//! dominate — the regime where the engine's result cache and single-flight
+//! coalescing pay — while the long tail keeps the `P(k)` layer honest.
+//! Generation is fully determined by the seed, so two runs of the same
+//! workload submit the same queries in the same order.
+
+use oaq_sim::SimRng;
+
+use crate::query::{Measure, QosQuery, QuerySpec, Scheme};
+
+/// Workload shape: scenario-pool size, skew and length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of distinct scenarios in the pool.
+    pub scenarios: usize,
+    /// Zipf exponent `s` (1.0 ≈ classic web-cache skew; 0 = uniform).
+    pub skew: f64,
+    /// Number of queries drawn.
+    pub queries: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            scenarios: 200,
+            skew: 1.0,
+            queries: 10_000,
+        }
+    }
+}
+
+/// Builds the deterministic scenario pool: λ log-spread over the paper's
+/// decade, η ∈ {9..=12}, τ and µ varied, all four measures represented.
+/// Scenario `i` is identical across processes and runs.
+fn scenario(i: usize, rng: &mut SimRng) -> QosQuery {
+    // Log-uniform λ over the paper's decade [1e-5, 1e-4].
+    let lambda = 1e-5 * 10f64.powf(rng.unit());
+    let eta = 9 + (i % 4) as u32;
+    let tau = 2.0 + rng.uniform(0.0, 6.0);
+    let mu = [0.2, 0.35, 0.5][i % 3];
+    let measure = match i % 8 {
+        0..=2 => Measure::QosAtLeast {
+            scheme: Scheme::Oaq,
+            y: 2,
+        },
+        3 | 4 => Measure::QosAtLeast {
+            scheme: Scheme::Baq,
+            y: 3,
+        },
+        5 => Measure::OaqBaqGap { y: 2 },
+        6 => Measure::CapacityDistribution,
+        _ => Measure::ConditionalQos {
+            scheme: Scheme::Oaq,
+            k: 9 + (i % 6) as u32,
+            y: 3,
+        },
+    };
+    let mut spec = QuerySpec::paper_defaults(lambda, measure);
+    spec.eta = eta;
+    spec.tau = tau;
+    spec.mu = mu;
+    spec.delta_eff = if i.is_multiple_of(5) { 0.5 } else { 0.0 };
+    spec.build().expect("generated scenarios are in-domain")
+}
+
+/// A reproducible Zipf-skewed sequence of validated queries.
+///
+/// # Panics
+///
+/// Panics if `scenarios` is zero.
+#[must_use]
+pub fn zipf_workload(config: &WorkloadConfig, seed: u64) -> Vec<QosQuery> {
+    assert!(config.scenarios > 0, "workload needs at least one scenario");
+    let mut rng = SimRng::seed_from(seed);
+    let pool: Vec<QosQuery> = (0..config.scenarios)
+        .map(|i| scenario(i, &mut rng))
+        .collect();
+
+    // Cumulative Zipf weights over ranks 1..=n: w_r = r^{-s}.
+    let mut cumulative = Vec::with_capacity(pool.len());
+    let mut total = 0.0;
+    for rank in 1..=pool.len() {
+        #[allow(clippy::cast_precision_loss)]
+        let w = (rank as f64).powf(-config.skew);
+        total += w;
+        cumulative.push(total);
+    }
+
+    (0..config.queries)
+        .map(|_| {
+            let u = rng.unit() * total;
+            let idx = cumulative.partition_point(|&c| c < u);
+            pool[idx.min(pool.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let cfg = WorkloadConfig {
+            scenarios: 50,
+            skew: 1.0,
+            queries: 500,
+        };
+        let a = zipf_workload(&cfg, 42);
+        let b = zipf_workload(&cfg, 42);
+        assert_eq!(a, b, "workloads are a pure function of the seed");
+        let c = zipf_workload(&cfg, 43);
+        assert_ne!(a, c, "a different seed must reshuffle");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass() {
+        let cfg = WorkloadConfig {
+            scenarios: 100,
+            skew: 1.0,
+            queries: 10_000,
+        };
+        let queries = zipf_workload(&cfg, 7);
+        let mut counts = std::collections::HashMap::new();
+        for q in &queries {
+            *counts.entry(q.key()).or_insert(0u32) += 1;
+        }
+        assert!(counts.len() > 30, "the tail must appear");
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(
+            hottest > 1000,
+            "rank 1 of Zipf(1) over 100 scenarios carries ≈19% of 10k draws, got {hottest}"
+        );
+    }
+
+    #[test]
+    fn every_query_validates_and_measures_vary() {
+        let cfg = WorkloadConfig {
+            scenarios: 40,
+            skew: 0.8,
+            queries: 200,
+        };
+        let queries = zipf_workload(&cfg, 11);
+        assert_eq!(queries.len(), 200);
+        let cheap = queries
+            .iter()
+            .filter(|q| !q.measure().needs_capacity_solve())
+            .count();
+        assert!(cheap > 0, "conditional (cheap-layer) queries present");
+        assert!(cheap < queries.len(), "capacity-bound queries present");
+    }
+}

@@ -1,0 +1,156 @@
+//! The engine's two headline guarantees, tested end to end:
+//!
+//! 1. **Bit-identity** — for any seeded Zipf workload, every answer the
+//!    concurrent, cached engine produces equals the naive single-threaded
+//!    direct evaluation *bit for bit* (`assert_eq!` on f64, no tolerance).
+//! 2. **Determinism** — two engines replaying the same seed produce
+//!    byte-identical result JSON.
+
+use proptest::prelude::*;
+
+use oaq_engine::{
+    direct_eval, report, zipf_workload, Engine, EngineConfig, EngineError, EngineResult, QosQuery,
+    RejectReason, Ticket, WorkloadConfig,
+};
+
+/// Submits every query in order, absorbing backpressure by retrying after
+/// yielding to the workers; returns answers in submission order.
+fn replay(engine: &Engine, queries: &[QosQuery]) -> Vec<EngineResult> {
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(queries.len());
+    for &q in queries {
+        loop {
+            match engine.submit(q) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(EngineError::Rejected(RejectReason::QueueFull { .. })) => {
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
+fn engine(workers: usize, queue: usize) -> Engine {
+    Engine::new(EngineConfig {
+        workers,
+        queue_capacity: queue,
+        batch_size: 8,
+        result_cache: 512,
+        pk_cache: 64,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn engine_is_bit_identical_to_direct_eval(
+        seed in any::<u64>(),
+        scenarios in 4usize..20,
+        queries in 40usize..160,
+        workers in 1usize..5,
+    ) {
+        let workload = zipf_workload(
+            &WorkloadConfig { scenarios, skew: 1.0, queries },
+            seed,
+        );
+        let eng = engine(workers, 32);
+        let served = replay(&eng, &workload);
+        prop_assert_eq!(served.len(), workload.len());
+        for (i, (q, r)) in workload.iter().zip(&served).enumerate() {
+            let direct = direct_eval(q).expect("in-domain workload");
+            let got = r.as_ref().expect("engine must answer in-domain queries");
+            prop_assert_eq!(
+                got, &direct,
+                "query {} diverged from direct evaluation (seed {})", i, seed
+            );
+        }
+        let m = eng.metrics();
+        prop_assert_eq!(m.submitted, queries as u64);
+        // Every accepted query is either answered directly (computed or
+        // cache hit) or coalesced onto an identical in-flight computation.
+        prop_assert_eq!(m.served + m.coalesced, queries as u64);
+        prop_assert!(
+            m.result_cache_hits + m.coalesced > 0,
+            "a Zipf workload over {} scenarios must repeat itself", scenarios
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn same_seed_two_engines_identical_json(seed in any::<u64>()) {
+        let cfg = WorkloadConfig { scenarios: 12, skew: 1.0, queries: 120 };
+        let run = |workers: usize| {
+            let workload = zipf_workload(&cfg, seed);
+            let eng = engine(workers, 64);
+            report::results_json(&replay(&eng, &workload))
+        };
+        // Different worker counts and scheduling, same seed: the result
+        // digest (which excludes timing) must be byte-identical.
+        prop_assert_eq!(run(1), run(4));
+    }
+}
+
+#[test]
+fn warm_replay_is_bit_identical_and_solve_free() {
+    let cfg = WorkloadConfig {
+        scenarios: 10,
+        skew: 1.0,
+        queries: 80,
+    };
+    let workload = zipf_workload(&cfg, 7);
+    let eng = engine(3, 32);
+    let cold = replay(&eng, &workload);
+    let solves_after_cold = eng.metrics().pk_solves;
+    let warm = replay(&eng, &workload);
+    assert_eq!(
+        cold, warm,
+        "warm cache hits equal cold computes bit-for-bit"
+    );
+    let m = eng.metrics();
+    assert_eq!(
+        m.pk_solves, solves_after_cold,
+        "a fully warm replay must not run any CTMC solve"
+    );
+    assert!(
+        m.result_cache_hits >= cfg.queries as u64,
+        "the second pass should be all cache hits: {m:?}"
+    );
+}
+
+#[test]
+fn backpressure_never_corrupts_results() {
+    // A 4-slot queue under a 200-query burst: rejections are typed and
+    // every accepted query still answers bit-identically.
+    let workload = zipf_workload(
+        &WorkloadConfig {
+            scenarios: 30,
+            skew: 0.8,
+            queries: 200,
+        },
+        13,
+    );
+    let eng = engine(2, 4);
+    let mut accepted = Vec::new();
+    let mut rejections = 0u64;
+    for &q in &workload {
+        match eng.submit(q) {
+            Ok(t) => accepted.push((q, t)),
+            Err(EngineError::Rejected(RejectReason::QueueFull { capacity })) => {
+                assert_eq!(capacity, 4);
+                rejections += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(eng.metrics().rejected, rejections);
+    for (q, t) in accepted {
+        let got = t.wait().expect("accepted queries are answered");
+        assert_eq!(got, direct_eval(&q).unwrap());
+    }
+}

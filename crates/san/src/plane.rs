@@ -235,6 +235,94 @@ impl PlaneModelConfig {
     }
 }
 
+impl PlaneModelConfig {
+    /// Builds and explores the *within-cycle* capacity process — the pinned
+    /// pure-death CTMC between two scheduled restores, with no restore
+    /// clock — into a [`CapacitySolve`] that can be reused for any horizon
+    /// φ and shared across threads (`CapacitySolve` is `Send + Sync`).
+    ///
+    /// This is the expensive half of the Figure 7 regeneration-cycle
+    /// integral `P(k) = (1/φ)∫₀^φ P(K(t)=k) dt`: state-space exploration
+    /// and generator construction depend only on (capacity, spares, λ, η),
+    /// so a serving layer can solve once per failure scenario and evaluate
+    /// [`CapacitySolve::distribution_over`] for many deployment periods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC exploration failures (state budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the policy is [`SparePolicy::PinAtThreshold`] (the
+    /// full-restore variant's within-cycle process is not a pure death
+    /// process, so the regeneration-cycle reading does not apply).
+    pub fn capacity_solve(&self, max_states: usize) -> Result<CapacitySolve, CtmcError> {
+        self.validate();
+        assert!(
+            self.policy == SparePolicy::PinAtThreshold,
+            "capacity_solve requires the pin-at-threshold policy"
+        );
+        let cfg = *self;
+        let mut b = SanBuilder::new();
+        let active = b.add_place("active", cfg.capacity);
+        let spares = b.add_place("spares", cfg.spares);
+        let lambda = cfg.lambda;
+        b.add_activity(
+            "satellite_failure",
+            Delay::exponential_with(move |m: &Marking| lambda * f64::from(m.tokens(active))),
+            move |m: &Marking| {
+                m.tokens(active) > 0 && (m.tokens(spares) > 0 || m.tokens(active) > cfg.eta)
+            },
+            move |m: &mut Marking| {
+                if m.tokens(spares) > 0 {
+                    m.remove_tokens(spares, 1);
+                } else {
+                    m.remove_tokens(active, 1);
+                }
+            },
+        );
+        let ctmc = Ctmc::explore(&b.build(), max_states)?;
+        Ok(CapacitySolve {
+            ctmc,
+            active,
+            classes: cfg.capacity as usize + 1,
+        })
+    }
+}
+
+/// A reusable capacity solve: the explored within-cycle CTMC of one plane
+/// (see [`PlaneModelConfig::capacity_solve`]). Holds no closures over
+/// external state, so it is `Send + Sync` and can back a multi-threaded
+/// serving layer; one solve answers `P(k)` for any horizon φ.
+#[derive(Debug)]
+pub struct CapacitySolve {
+    ctmc: Ctmc,
+    active: PlaceId,
+    classes: usize,
+}
+
+impl CapacitySolve {
+    /// Number of reachable within-cycle states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.ctmc.num_states()
+    }
+
+    /// The capacity distribution `P(K = k)`, `k = 0..=capacity`, for a
+    /// regeneration cycle of length `phi` hours, integrated with `panels`
+    /// Simpson panels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver failures.
+    pub fn distribution_over(&self, phi: f64, panels: usize) -> Result<Vec<f64>, CtmcError> {
+        let avg = self.ctmc.time_average(phi, panels)?;
+        Ok(self
+            .ctmc
+            .classify_distribution(&avg, |m| m.tokens(self.active) as usize, self.classes))
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum RestoreClock {
     Deterministic,
@@ -439,5 +527,58 @@ mod tests {
     #[should_panic(expected = "threshold must be below capacity")]
     fn invalid_threshold_rejected() {
         let _ = PlaneModelConfig::reference(1e-5, PHI, 14);
+    }
+
+    #[test]
+    fn capacity_solve_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapacitySolve>();
+        assert_send_sync::<SanModel>();
+    }
+
+    #[test]
+    fn capacity_solve_reuses_across_horizons() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        // One within-cycle state per (active, spares) reachable pair:
+        // (14,2), (14,1), (14,0), then 13..=10 with no spares.
+        assert_eq!(solve.num_states(), 7);
+        let long = solve.distribution_over(30_000.0, 256).unwrap();
+        let short = solve.distribution_over(10_000.0, 256).unwrap();
+        for d in [&long, &short] {
+            let total: f64 = d.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert!(short[14] > long[14], "shorter cycles keep the plane fuller");
+    }
+
+    #[test]
+    fn capacity_solve_shared_across_threads() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        let baseline = solve.distribution_over(PHI, 256).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| solve.distribution_over(PHI, 256).unwrap()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), baseline, "solves are bit-identical");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "pin-at-threshold")]
+    fn capacity_solve_rejects_full_restore_policy() {
+        let cfg = PlaneModelConfig {
+            policy: SparePolicy::FullRestoreAfterDelay {
+                mean_delay_hours: 2000.0,
+                erlang_shape: 1,
+            },
+            ..PlaneModelConfig::reference(1e-5, PHI, 10)
+        };
+        let _ = cfg.capacity_solve(10_000);
     }
 }
