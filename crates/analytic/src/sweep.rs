@@ -4,6 +4,13 @@
 //! [`SweepError`] — a NaN λ or a τ ≤ 0 is rejected before it can reach the
 //! quadrature (where it would silently poison every integral) or the CTMC
 //! solver (where it would panic deep in a model assertion).
+//!
+//! Every sweep also has a `*_par` sibling that fans the (embarrassingly
+//! parallel) grid out over a scoped worker pool. Each grid point's solve is
+//! independent and deterministic, and results are written into
+//! index-addressed slots, so the parallel output is **bit-identical and
+//! identically ordered** to the serial path — parallelism is purely a
+//! wall-clock lever.
 
 use oaq_san::ctmc::CtmcError;
 
@@ -60,6 +67,52 @@ fn check_axis(name: &'static str, values: &[f64]) -> Result<(), ParamError> {
     Ok(())
 }
 
+/// Resolves a worker-count request: `0` means one worker per available
+/// core, anything else is taken literally.
+#[must_use]
+pub fn effective_sweep_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+}
+
+/// Maps `f` over `items`, fanning out across `workers` scoped threads
+/// (`workers <= 1` runs the plain serial loop). Results land in
+/// index-addressed slots, so ordering — and, because every `f` is
+/// deterministic and independent, every bit of the output — matches the
+/// serial path. On failure the error with the smallest index is returned,
+/// again matching serial short-circuiting.
+fn sweep_map<T, U, F>(items: &[T], workers: usize, f: F) -> Result<Vec<U>, SweepError>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Result<U, SweepError> + Sync,
+{
+    let workers = effective_sweep_workers(workers).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut slots: Vec<Option<Result<U, SweepError>>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    crossbeam::scope(|s| {
+        for (slot_chunk, item_chunk) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 /// One row of a Figure 7 sweep: `P(K = k)` at a failure rate λ.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -98,18 +151,30 @@ pub fn paper_lambda_grid() -> Vec<f64> {
 /// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
 /// failures.
 pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, SweepError> {
+    figure7_par(lambdas, phi, eta, 1)
+}
+
+/// [`figure7`] fanned out over `workers` scoped threads (`0` = all cores);
+/// output is bit-identical and identically ordered to the serial path.
+///
+/// # Errors
+///
+/// As [`figure7`].
+pub fn figure7_par(
+    lambdas: &[f64],
+    phi: f64,
+    eta: u32,
+    workers: usize,
+) -> Result<Vec<CapacityRow>, SweepError> {
     check_axis("lambda", lambdas)?;
     require_positive("phi", phi)?;
     require_int_in_range("eta", eta, 1, 13)?;
-    lambdas
-        .iter()
-        .map(|&lambda| {
-            Ok(CapacityRow {
-                lambda,
-                p_k: CapacityParams::reference(lambda, phi, eta).distribution()?,
-            })
+    sweep_map(lambdas, workers, |&lambda| {
+        Ok(CapacityRow {
+            lambda,
+            p_k: CapacityParams::reference(lambda, phi, eta).distribution()?,
         })
-        .collect()
+    })
 }
 
 /// Figure 8: `P(Y = 3)` as a function of λ for one scheme and signal rate
@@ -120,26 +185,38 @@ pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, 
 /// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
 /// failures.
 pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    figure8_par(scheme, mu, lambdas, 1)
+}
+
+/// [`figure8`] fanned out over `workers` scoped threads (`0` = all cores);
+/// output is bit-identical and identically ordered to the serial path.
+///
+/// # Errors
+///
+/// As [`figure8`].
+pub fn figure8_par(
+    scheme: Scheme,
+    mu: f64,
+    lambdas: &[f64],
+    workers: usize,
+) -> Result<Vec<QosRow>, SweepError> {
     require_positive("mu", mu)?;
     check_axis("lambda", lambdas)?;
-    lambdas
-        .iter()
-        .map(|&lambda| {
-            let cfg = EvaluationConfig {
-                theta: 90.0,
-                tc: 9.0,
-                qos: QosParams::paper_defaults(mu),
-                capacity: CapacityParams::reference(lambda, 30_000.0, 12),
-            };
-            let d = cfg.qos_distribution(scheme)?;
-            Ok(QosRow {
-                x: lambda,
-                p_ge_1: d.p_at_least(1),
-                p_ge_2: d.p_at_least(2),
-                p_ge_3: d.p_at_least(3),
-            })
+    sweep_map(lambdas, workers, |&lambda| {
+        let cfg = EvaluationConfig {
+            theta: 90.0,
+            tc: 9.0,
+            qos: QosParams::paper_defaults(mu),
+            capacity: CapacityParams::reference(lambda, 30_000.0, 12),
+        };
+        let d = cfg.qos_distribution(scheme)?;
+        Ok(QosRow {
+            x: lambda,
+            p_ge_1: d.p_at_least(1),
+            p_ge_2: d.p_at_least(2),
+            p_ge_3: d.p_at_least(3),
         })
-        .collect()
+    })
 }
 
 /// Figure 9: `P(Y ≥ y)` as a function of λ (τ = 5, µ = 0.2, η = 10).
@@ -149,19 +226,30 @@ pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, 
 /// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
 /// failures.
 pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    figure9_par(scheme, lambdas, 1)
+}
+
+/// [`figure9`] fanned out over `workers` scoped threads (`0` = all cores);
+/// output is bit-identical and identically ordered to the serial path.
+///
+/// # Errors
+///
+/// As [`figure9`].
+pub fn figure9_par(
+    scheme: Scheme,
+    lambdas: &[f64],
+    workers: usize,
+) -> Result<Vec<QosRow>, SweepError> {
     check_axis("lambda", lambdas)?;
-    lambdas
-        .iter()
-        .map(|&lambda| {
-            let d = EvaluationConfig::paper_defaults(lambda).qos_distribution(scheme)?;
-            Ok(QosRow {
-                x: lambda,
-                p_ge_1: d.p_at_least(1),
-                p_ge_2: d.p_at_least(2),
-                p_ge_3: d.p_at_least(3),
-            })
+    sweep_map(lambdas, workers, |&lambda| {
+        let d = EvaluationConfig::paper_defaults(lambda).qos_distribution(scheme)?;
+        Ok(QosRow {
+            x: lambda,
+            p_ge_1: d.p_at_least(1),
+            p_ge_2: d.p_at_least(2),
+            p_ge_3: d.p_at_least(3),
         })
-        .collect()
+    })
 }
 
 /// The in-text τ sweep: QoS vs deadline at fixed λ ("how OAQ exploits the
@@ -172,21 +260,35 @@ pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepErro
 /// Rejects non-finite or out-of-domain inputs; propagates capacity-solver
 /// failures.
 pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow>, SweepError> {
+    tau_sweep_par(scheme, lambda, taus, 1)
+}
+
+/// [`tau_sweep`] fanned out over `workers` scoped threads (`0` = all
+/// cores); output is bit-identical and identically ordered to the serial
+/// path.
+///
+/// # Errors
+///
+/// As [`tau_sweep`].
+pub fn tau_sweep_par(
+    scheme: Scheme,
+    lambda: f64,
+    taus: &[f64],
+    workers: usize,
+) -> Result<Vec<QosRow>, SweepError> {
     require_positive("lambda", lambda)?;
     check_axis("tau", taus)?;
-    taus.iter()
-        .map(|&tau| {
-            let mut cfg = EvaluationConfig::paper_defaults(lambda);
-            cfg.qos.tau = tau;
-            let d = cfg.qos_distribution(scheme)?;
-            Ok(QosRow {
-                x: tau,
-                p_ge_1: d.p_at_least(1),
-                p_ge_2: d.p_at_least(2),
-                p_ge_3: d.p_at_least(3),
-            })
+    sweep_map(taus, workers, |&tau| {
+        let mut cfg = EvaluationConfig::paper_defaults(lambda);
+        cfg.qos.tau = tau;
+        let d = cfg.qos_distribution(scheme)?;
+        Ok(QosRow {
+            x: tau,
+            p_ge_1: d.p_at_least(1),
+            p_ge_2: d.p_at_least(2),
+            p_ge_3: d.p_at_least(3),
         })
-        .collect()
+    })
 }
 
 /// The in-text mean-signal-duration sweep: QoS vs `1/µ` at fixed λ ("OAQ
@@ -201,22 +303,35 @@ pub fn duration_sweep(
     lambda: f64,
     mean_durations: &[f64],
 ) -> Result<Vec<QosRow>, SweepError> {
+    duration_sweep_par(scheme, lambda, mean_durations, 1)
+}
+
+/// [`duration_sweep`] fanned out over `workers` scoped threads (`0` = all
+/// cores); output is bit-identical and identically ordered to the serial
+/// path.
+///
+/// # Errors
+///
+/// As [`duration_sweep`].
+pub fn duration_sweep_par(
+    scheme: Scheme,
+    lambda: f64,
+    mean_durations: &[f64],
+    workers: usize,
+) -> Result<Vec<QosRow>, SweepError> {
     require_positive("lambda", lambda)?;
     check_axis("mean_duration", mean_durations)?;
-    mean_durations
-        .iter()
-        .map(|&dur| {
-            let mut cfg = EvaluationConfig::paper_defaults(lambda);
-            cfg.qos.mu = 1.0 / dur;
-            let d = cfg.qos_distribution(scheme)?;
-            Ok(QosRow {
-                x: dur,
-                p_ge_1: d.p_at_least(1),
-                p_ge_2: d.p_at_least(2),
-                p_ge_3: d.p_at_least(3),
-            })
+    sweep_map(mean_durations, workers, |&dur| {
+        let mut cfg = EvaluationConfig::paper_defaults(lambda);
+        cfg.qos.mu = 1.0 / dur;
+        let d = cfg.qos_distribution(scheme)?;
+        Ok(QosRow {
+            x: dur,
+            p_ge_1: d.p_at_least(1),
+            p_ge_2: d.p_at_least(2),
+            p_ge_3: d.p_at_least(3),
         })
-        .collect()
+    })
 }
 
 #[cfg(test)]
@@ -309,6 +424,39 @@ mod tests {
             duration_sweep(Scheme::Oaq, -1e-5, &[5.0]),
             Err(SweepError::Param(ParamError::NonPositive { .. }))
         ));
+    }
+
+    #[test]
+    fn parallel_sweeps_are_bit_identical_to_serial() {
+        let grid = paper_lambda_grid();
+        for workers in [2, 4, 0] {
+            assert_eq!(
+                figure7_par(&grid, 30_000.0, 10, workers).unwrap(),
+                figure7(&grid, 30_000.0, 10).unwrap(),
+                "workers = {workers}"
+            );
+        }
+        let taus = [1.0, 3.0, 5.0, 8.0];
+        assert_eq!(
+            tau_sweep_par(Scheme::Oaq, 5e-5, &taus, 3).unwrap(),
+            tau_sweep(Scheme::Oaq, 5e-5, &taus).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_error_parity_with_serial() {
+        // Poisoned points: the parallel path must report exactly the error
+        // the serial path reports.
+        let serial = figure9(Scheme::Oaq, &[1e-5, f64::NAN, -1.0]).unwrap_err();
+        let parallel = figure9_par(Scheme::Oaq, &[1e-5, f64::NAN, -1.0], 3).unwrap_err();
+        // NaN payloads defeat PartialEq; the rendered error is the contract.
+        assert_eq!(parallel.to_string(), serial.to_string());
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero_to_cores() {
+        assert!(effective_sweep_workers(0) >= 1);
+        assert_eq!(effective_sweep_workers(3), 3);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Kernel bench: the uniformization hot loop — dense per-panel baseline
+//! vs the sparse shared-iterate `TransientKernel`, single points and
+//! Simpson-panel batches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_san::plane::PlaneModelConfig;
+use oaq_san::solver::{time_average_distribution_dense, TransientKernel};
+
+const LAMBDA: f64 = 5e-5;
+const PHI: f64 = 30_000.0;
+
+fn bench_uniformization(c: &mut Criterion) {
+    let solve = PlaneModelConfig::reference(LAMBDA, PHI, 10)
+        .capacity_solve(10_000)
+        .expect("reference plane explores");
+    let ctmc = solve.ctmc();
+    let q = ctmc.generator().clone();
+    let p0 = ctmc.initial_distribution();
+    let kernel = TransientKernel::new(&q).expect("kernel builds");
+    let times: Vec<f64> = (0..=256).map(|s| PHI * s as f64 / 256.0).collect();
+
+    let mut g = c.benchmark_group("uniformization");
+    g.bench_function("kernel_build", |b| {
+        b.iter(|| TransientKernel::new(&q).unwrap());
+    });
+    g.bench_function("transient_single_point", |b| {
+        b.iter(|| kernel.transient(&p0, PHI, 1e-12).unwrap());
+    });
+    g.bench_function("transient_batch_257_nodes", |b| {
+        b.iter(|| kernel.transient_batch(&p0, &times, 1e-12).unwrap());
+    });
+    g.bench_function("time_average_sparse_256_panels", |b| {
+        b.iter(|| kernel.time_average(&p0, PHI, 256).unwrap());
+    });
+    g.bench_function("time_average_dense_256_panels", |b| {
+        b.iter(|| time_average_distribution_dense(&q, &p0, PHI, 256).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uniformization);
+criterion_main!(benches);

@@ -2,10 +2,15 @@
 //! BAQ at µ ∈ {0.2, 0.5} (τ = 5, ν = 30, η = 12, φ = 30000 h).
 
 use oaq_analytic::compose::Scheme;
-use oaq_analytic::sweep::{figure8, paper_lambda_grid};
+use oaq_analytic::sweep::{figure8_par, paper_lambda_grid};
+use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header, tsv_row};
 
 fn main() {
+    let cli = CliSpec::new("fig8")
+        .option("--workers", "N", "sweep threads (default: all cores)")
+        .parse();
+    let workers = cli.get_usize("--workers", 0);
     let grid = paper_lambda_grid();
     banner("Figure 8: P(Y=3) vs lambda (tau=5, eta=12, phi=30000h)");
     tsv_header(&[
@@ -15,10 +20,10 @@ fn main() {
         "BAQ(mu=0.2)",
         "BAQ(mu=0.5)",
     ]);
-    let oaq02 = figure8(Scheme::Oaq, 0.2, &grid).expect("solves");
-    let oaq05 = figure8(Scheme::Oaq, 0.5, &grid).expect("solves");
-    let baq02 = figure8(Scheme::Baq, 0.2, &grid).expect("solves");
-    let baq05 = figure8(Scheme::Baq, 0.5, &grid).expect("solves");
+    let oaq02 = figure8_par(Scheme::Oaq, 0.2, &grid, workers).expect("solves");
+    let oaq05 = figure8_par(Scheme::Oaq, 0.5, &grid, workers).expect("solves");
+    let baq02 = figure8_par(Scheme::Baq, 0.2, &grid, workers).expect("solves");
+    let baq05 = figure8_par(Scheme::Baq, 0.5, &grid, workers).expect("solves");
     let mut max_gain: f64 = 0.0;
     for i in 0..grid.len() {
         tsv_row(

@@ -14,6 +14,11 @@
 //! warm) compared bit-for-bit against the naive baseline. The acceptance
 //! bar for this experiment is `speedup_warm_vs_naive >= 5`.
 //!
+//! A `worker_matrix` section additionally replays the workload on fresh
+//! engines pinned to 1, 2, and 4 workers (cold and warm each), with every
+//! answer re-checked against the naive baseline — worker count must never
+//! change an answer, only its latency.
+//!
 //! Usage: `qos_server [--quick] [--seed N] [--queries N] [--workers N]`
 
 use std::time::Instant;
@@ -135,7 +140,42 @@ fn main() {
         throughput(queries, warm_secs)
     );
 
-    let identical = bit_identical(&naive, &cold) && bit_identical(&naive, &warm);
+    // 4. Worker-count matrix: the same workload on fresh engines pinned to
+    // 1/2/4 workers, cold and warm, every answer still checked against the
+    // naive baseline.
+    let matrix: Vec<(bool, String)> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| {
+            let eng = Engine::new(EngineConfig {
+                workers: w,
+                ..EngineConfig::default()
+            });
+            let t0 = Instant::now();
+            let mat_cold = eng.run_all(&workload);
+            let mat_cold_secs = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let mat_warm = eng.run_all(&workload);
+            let mat_warm_secs = t0.elapsed().as_secs_f64();
+            let ok = bit_identical(&naive, &mat_cold) && bit_identical(&naive, &mat_warm);
+            eprintln!(
+                "#   workers={w}: cold {mat_cold_secs:.3}s, warm {mat_warm_secs:.3}s, \
+                 bit_identical={ok}"
+            );
+            let row = format!(
+                "{{\"workers\": {w}, \"cold_secs\": {}, \"cold_qps\": {}, \"warm_secs\": {}, \
+                 \"warm_qps\": {}, \"bit_identical\": {ok}}}",
+                fmt_f64(mat_cold_secs),
+                fmt_f64(throughput(queries, mat_cold_secs)),
+                fmt_f64(mat_warm_secs),
+                fmt_f64(throughput(queries, mat_warm_secs)),
+            );
+            (ok, row)
+        })
+        .collect();
+    let matrix_identical = matrix.iter().all(|(ok, _)| *ok);
+
+    let identical =
+        bit_identical(&naive, &cold) && bit_identical(&naive, &warm) && matrix_identical;
     let digest = fnv1a(&results_json(&naive));
     let metrics = engine.metrics();
     let speedup_cold = naive_secs / cold_secs;
@@ -152,6 +192,7 @@ fn main() {
          \"engine_cold\": {{\"secs\": {}, \"throughput_qps\": {}}},\n  \
          \"engine_warm\": {{\"secs\": {}, \"throughput_qps\": {}}},\n  \
          \"speedup_cold_vs_naive\": {},\n  \"speedup_warm_vs_naive\": {},\n  \
+         \"worker_matrix\": [{}],\n  \
          \"engine_metrics\": {}\n}}",
         workload_cfg.scenarios,
         engine.config().effective_workers(),
@@ -164,6 +205,11 @@ fn main() {
         fmt_f64(throughput(queries, warm_secs)),
         fmt_f64(speedup_cold),
         fmt_f64(speedup_warm),
+        matrix
+            .iter()
+            .map(|(_, row)| row.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
         metrics_json(&metrics),
     );
 

@@ -3,7 +3,8 @@
 //! A self-contained dense linear-algebra toolkit sized for the needs of this
 //! workspace: the iterative weighted least-squares geolocation estimator in
 //! `oaq-geoloc` (normal equations, Cholesky), and the CTMC steady-state and
-//! transient solvers in `oaq-san` (LU with partial pivoting, linear solves).
+//! transient solvers in `oaq-san` (LU with partial pivoting, linear solves,
+//! and a CSR sparse type for the uniformization transient kernel).
 //!
 //! No external numerical dependencies; everything is `f64`, row-major and
 //! bounds-checked.
@@ -33,6 +34,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+mod sparse;
 pub mod vec_ops;
 
 pub use cholesky::Cholesky;
@@ -40,3 +42,4 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use sparse::CsrMatrix;

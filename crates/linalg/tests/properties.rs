@@ -1,6 +1,6 @@
 //! Property-based tests of the linear-algebra kernels.
 
-use oaq_linalg::{Cholesky, Matrix, Qr};
+use oaq_linalg::{Cholesky, CsrMatrix, Matrix, Qr};
 use proptest::prelude::*;
 
 /// A well-conditioned square matrix: diagonally dominant by construction.
@@ -79,6 +79,32 @@ proptest! {
         let atr = tall.transpose().mul_vec(&r).unwrap();
         for v in atr {
             prop_assert!(v.abs() < 1e-8, "normal residual {v}");
+        }
+    }
+
+    #[test]
+    fn csr_roundtrips_through_dense(a in dominant_matrix(5)) {
+        let csr = CsrMatrix::from_dense(&a);
+        prop_assert_eq!(csr.to_dense(), a);
+    }
+
+    #[test]
+    fn csr_matvecs_match_dense(a in dominant_matrix(5), x in vector(5)) {
+        // Structural zeros contribute exactly 0.0 to every dense sum, so
+        // the CSR products equal the dense ones, not merely approximate
+        // them.
+        let csr = CsrMatrix::from_dense(&a);
+        prop_assert_eq!(csr.mul_vec(&x).unwrap(), a.mul_vec(&x).unwrap());
+        prop_assert_eq!(csr.vec_mul(&x).unwrap(), a.vec_mul(&x).unwrap());
+    }
+
+    #[test]
+    fn csr_matvec_is_deterministic(a in dominant_matrix(4), x in vector(4)) {
+        let csr = CsrMatrix::from_dense(&a);
+        let once = csr.vec_mul(&x).unwrap();
+        for _ in 0..3 {
+            let again = csr.vec_mul(&x).unwrap();
+            prop_assert!(once.iter().zip(&again).all(|(a, b)| a.to_bits() == b.to_bits()));
         }
     }
 

@@ -1,11 +1,12 @@
 //! CTMC extraction from all-exponential SAN models.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use oaq_linalg::Matrix;
 
 use crate::model::{ActivityId, Delay, Marking, SanModel};
-use crate::solver::{self, SolverError};
+use crate::solver::{self, SolverError, TransientKernel};
 
 /// Errors from state-space exploration.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,9 @@ pub struct Ctmc {
     states: Vec<Marking>,
     generator: Matrix,
     initial_index: usize,
+    /// The sparse uniformization kernel, built on first transient use and
+    /// shared by every subsequent solve (and thread).
+    kernel: OnceLock<TransientKernel>,
 }
 
 impl Ctmc {
@@ -115,7 +119,25 @@ impl Ctmc {
             states,
             generator: q,
             initial_index: 0,
+            kernel: OnceLock::new(),
         })
+    }
+
+    /// The shared [`TransientKernel`] over this chain's generator, built
+    /// once (the generator is immutable, so the CSR form never changes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation failures.
+    pub fn kernel(&self) -> Result<&TransientKernel, CtmcError> {
+        if let Some(k) = self.kernel.get() {
+            return Ok(k);
+        }
+        let built = TransientKernel::new(&self.generator)?;
+        // A racing thread may have installed its own copy; both were built
+        // from the same generator by the same deterministic code, so which
+        // one wins is unobservable.
+        Ok(self.kernel.get_or_init(|| built))
     }
 
     fn activity_rate(
@@ -171,33 +193,44 @@ impl Ctmc {
     }
 
     /// Transient distribution at time `t`, starting from the initial
-    /// marking.
+    /// marking. Uses the cached sparse kernel.
     ///
     /// # Errors
     ///
     /// Propagates solver failures.
     pub fn transient(&self, t: f64) -> Result<Vec<f64>, CtmcError> {
-        Ok(solver::transient_distribution(
-            &self.generator,
-            &self.initial_distribution(),
-            t,
-            1e-12,
-        )?)
+        Ok(self
+            .kernel()?
+            .transient(&self.initial_distribution(), t, 1e-12)?)
     }
 
-    /// Expected fraction of time in each state over `[0, horizon]`, from the
-    /// initial marking.
+    /// Transient distributions at every time in `times`, from the initial
+    /// marking, over one shared iterate sequence (see
+    /// [`TransientKernel::transient_batch`]). Each entry is bit-identical
+    /// to the corresponding single-time [`Self::transient`] call.
     ///
     /// # Errors
     ///
-    /// Propagates solver failures.
+    /// Propagates solver failures; rejects negative or non-finite times.
+    pub fn transient_batch(&self, times: &[f64]) -> Result<Vec<Vec<f64>>, CtmcError> {
+        Ok(self
+            .kernel()?
+            .transient_batch(&self.initial_distribution(), times, 1e-12)?)
+    }
+
+    /// Expected fraction of time in each state over `[0, horizon]`, from the
+    /// initial marking: a Simpson quadrature whose panels are all evaluated
+    /// over one shared iterate sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::InvalidInput`] (wrapped in [`CtmcError::Solver`])
+    ///   for `intervals == 0` or a non-finite / non-positive horizon.
+    /// * Propagates other solver failures.
     pub fn time_average(&self, horizon: f64, intervals: usize) -> Result<Vec<f64>, CtmcError> {
-        Ok(solver::time_average_distribution(
-            &self.generator,
-            &self.initial_distribution(),
-            horizon,
-            intervals,
-        )?)
+        Ok(self
+            .kernel()?
+            .time_average(&self.initial_distribution(), horizon, intervals)?)
     }
 
     /// Expected instantaneous reward `Σᵢ p[i]·reward(state i)` under a state
@@ -365,6 +398,33 @@ mod tests {
         let ctmc = Ctmc::explore(&model, 10).unwrap();
         let pi = ctmc.stationary().unwrap();
         assert!((pi[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_average_rejects_zero_intervals_and_bad_horizon() {
+        let (model, _) = birth_death();
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        for bad in [
+            ctmc.time_average(10.0, 0),
+            ctmc.time_average(f64::NAN, 8),
+            ctmc.time_average(-1.0, 8),
+        ] {
+            assert!(
+                matches!(bad, Err(CtmcError::Solver(SolverError::InvalidInput(_)))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_batch_matches_single_calls_bitwise() {
+        let (model, _) = birth_death();
+        let ctmc = Ctmc::explore(&model, 100).unwrap();
+        let times = [0.0, 0.3, 1.0, 10.0];
+        let batch = ctmc.transient_batch(&times).unwrap();
+        for (&t, row) in times.iter().zip(&batch) {
+            assert_eq!(row, &ctmc.transient(t).unwrap());
+        }
     }
 
     #[test]

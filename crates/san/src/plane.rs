@@ -308,18 +308,68 @@ impl CapacitySolve {
         self.ctmc.num_states()
     }
 
+    /// The underlying within-cycle CTMC.
+    #[must_use]
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
     /// The capacity distribution `P(K = k)`, `k = 0..=capacity`, for a
     /// regeneration cycle of length `phi` hours, integrated with `panels`
-    /// Simpson panels.
+    /// Simpson panels — all of them evaluated over one shared iterate
+    /// sequence of the sparse uniformization kernel.
     ///
     /// # Errors
     ///
-    /// Propagates transient-solver failures.
+    /// Rejects `panels == 0` and non-finite / non-positive `phi` with a
+    /// typed [`CtmcError::Solver`]; propagates transient-solver failures.
     pub fn distribution_over(&self, phi: f64, panels: usize) -> Result<Vec<f64>, CtmcError> {
         let avg = self.ctmc.time_average(phi, panels)?;
-        Ok(self
-            .ctmc
-            .classify_distribution(&avg, |m| m.tokens(self.active) as usize, self.classes))
+        Ok(self.classify(&avg))
+    }
+
+    /// Capacity distributions for *many* cycle lengths at once: every
+    /// Simpson node of every φ rides one shared iterate sequence, so a
+    /// φ-sweep costs a single matvec sweep. Each row is bit-identical to
+    /// the corresponding [`Self::distribution_over`] call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::distribution_over`], applied to every φ.
+    pub fn distributions_over(
+        &self,
+        phis: &[f64],
+        panels: usize,
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        let averages = self.ctmc.kernel()?.time_average_many(
+            &self.ctmc.initial_distribution(),
+            phis,
+            panels,
+        )?;
+        Ok(averages.iter().map(|avg| self.classify(avg)).collect())
+    }
+
+    /// The dense per-panel reference for [`Self::distribution_over`] — one
+    /// independent dense uniformization per Simpson node. Kept as the
+    /// baseline the sparse shared-iterate kernel is benchmarked
+    /// (`pk_kernel`) and property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::distribution_over`].
+    pub fn distribution_over_dense(&self, phi: f64, panels: usize) -> Result<Vec<f64>, CtmcError> {
+        let avg = crate::solver::time_average_distribution_dense(
+            self.ctmc.generator(),
+            &self.ctmc.initial_distribution(),
+            phi,
+            panels,
+        )?;
+        Ok(self.classify(&avg))
+    }
+
+    fn classify(&self, avg: &[f64]) -> Vec<f64> {
+        self.ctmc
+            .classify_distribution(avg, |m| m.tokens(self.active) as usize, self.classes)
     }
 }
 
@@ -567,6 +617,48 @@ mod tests {
                 assert_eq!(h.join().unwrap(), baseline, "solves are bit-identical");
             }
         });
+    }
+
+    #[test]
+    fn distribution_over_rejects_zero_panels_and_bad_phi() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        for bad in [
+            solve.distribution_over(PHI, 0),
+            solve.distribution_over(f64::NAN, 256),
+            solve.distribution_over(0.0, 256),
+            solve.distribution_over(f64::INFINITY, 256),
+        ] {
+            assert!(
+                matches!(bad, Err(CtmcError::Solver(_))),
+                "typed rejection expected, got {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributions_over_matches_per_phi_calls_bitwise() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        let phis = [5_000.0, 10_000.0, 30_000.0];
+        let rows = solve.distributions_over(&phis, 256).unwrap();
+        for (&phi, row) in phis.iter().zip(&rows) {
+            assert_eq!(row, &solve.distribution_over(phi, 256).unwrap());
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_agrees_with_dense_reference() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        let sparse = solve.distribution_over(PHI, 256).unwrap();
+        let dense = solve.distribution_over_dense(PHI, 256).unwrap();
+        for (k, (s, d)) in sparse.iter().zip(&dense).enumerate() {
+            assert!((s - d).abs() <= 1e-12, "k={k}: sparse {s} vs dense {d}");
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Numerical solvers on explicit generator matrices.
+//!
+//! The transient path is built around a reusable [`TransientKernel`]: the
+//! uniformized transition matrix stored sparse (CSR), with *shared-iterate*
+//! batching — the vector sequence `vₖ = p₀ Pᵏ` is computed once and every
+//! requested time point is a Poisson-weighted sum over that one sequence.
+//! The dense per-time-point reference implementations are kept (suffixed
+//! `_dense`) as the baseline the kernel is benchmarked and property-tested
+//! against.
 
-use oaq_linalg::{LinalgError, Matrix};
+use oaq_linalg::{CsrMatrix, LinalgError, Matrix};
 
 /// Errors from the Markov solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -8,6 +16,9 @@ use oaq_linalg::{LinalgError, Matrix};
 pub enum SolverError {
     /// The generator matrix is not square or rows do not sum to ~0.
     InvalidGenerator(String),
+    /// A caller-supplied argument (time point, horizon, panel count,
+    /// initial distribution) is out of domain.
+    InvalidInput(String),
     /// The linear solve failed (e.g. reducible chain).
     Numeric(LinalgError),
 }
@@ -16,6 +27,7 @@ impl std::fmt::Display for SolverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolverError::InvalidGenerator(msg) => write!(f, "invalid generator: {msg}"),
+            SolverError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SolverError::Numeric(e) => write!(f, "numeric failure: {e}"),
         }
     }
@@ -25,7 +37,7 @@ impl std::error::Error for SolverError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SolverError::Numeric(e) => Some(e),
-            SolverError::InvalidGenerator(_) => None,
+            SolverError::InvalidGenerator(_) | SolverError::InvalidInput(_) => None,
         }
     }
 }
@@ -85,13 +97,52 @@ pub fn stationary_distribution(q: &Matrix) -> Result<Vec<f64>, SolverError> {
         .ok_or_else(|| SolverError::InvalidGenerator("zero stationary mass".to_string()))
 }
 
+fn validate_p0(n: usize, p0: &[f64]) -> Result<(), SolverError> {
+    if p0.len() != n {
+        return Err(SolverError::InvalidInput(format!(
+            "p0 length {} does not match {n} states",
+            p0.len()
+        )));
+    }
+    let mass: f64 = p0.iter().sum();
+    if p0.iter().any(|&x| x < -1e-12) || (mass - 1.0).abs() > 1e-9 {
+        return Err(SolverError::InvalidInput(
+            "p0 is not a probability vector".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_horizon(horizon: f64, intervals: usize) -> Result<(), SolverError> {
+    if horizon <= 0.0 || !horizon.is_finite() {
+        return Err(SolverError::InvalidInput(format!("bad horizon {horizon}")));
+    }
+    if intervals == 0 {
+        return Err(SolverError::InvalidInput(
+            "Simpson quadrature needs at least one panel".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// The Poisson truncation horizon: safely past the bulk (mean `lt`,
+/// sd `√lt`). Shared by the dense reference and the sparse kernel so the
+/// two paths truncate identically.
+fn poisson_bulk(lt: f64) -> f64 {
+    lt + 10.0 * lt.sqrt() + 50.0
+}
+
 /// Transient distribution `p(t) = p0 · e^{Qt}` by uniformization, accurate
-/// to `tol` in total variation.
+/// to `tol` in total variation. Routed through the sparse shared-iterate
+/// [`TransientKernel`]; callers evaluating many time points over one
+/// generator should build the kernel once and use
+/// [`TransientKernel::transient_batch`].
 ///
 /// # Errors
 ///
-/// * [`SolverError::InvalidGenerator`] if `Q` is malformed or `p0` has the
-///   wrong length / is not a distribution.
+/// * [`SolverError::InvalidGenerator`] if `Q` is malformed.
+/// * [`SolverError::InvalidInput`] if `p0` is not a distribution or `t` is
+///   negative/non-finite.
 ///
 /// # Examples
 ///
@@ -108,32 +159,33 @@ pub fn transient_distribution(
     t: f64,
     tol: f64,
 ) -> Result<Vec<f64>, SolverError> {
+    TransientKernel::new(q)?.transient(p0, t, tol)
+}
+
+/// The dense per-time-point uniformization — the pre-kernel reference
+/// implementation, kept as the baseline the sparse shared-iterate path is
+/// benchmarked (`pk_kernel`) and property-tested against.
+///
+/// # Errors
+///
+/// As [`transient_distribution`].
+pub fn transient_distribution_dense(
+    q: &Matrix,
+    p0: &[f64],
+    t: f64,
+    tol: f64,
+) -> Result<Vec<f64>, SolverError> {
     validate_generator(q)?;
     let n = q.rows();
-    if p0.len() != n {
-        return Err(SolverError::InvalidGenerator(format!(
-            "p0 length {} does not match {n} states",
-            p0.len()
-        )));
-    }
-    let mass: f64 = p0.iter().sum();
-    if p0.iter().any(|&x| x < -1e-12) || (mass - 1.0).abs() > 1e-9 {
-        return Err(SolverError::InvalidGenerator(
-            "p0 is not a probability vector".to_string(),
-        ));
-    }
+    validate_p0(n, p0)?;
     if t < 0.0 || !t.is_finite() {
-        return Err(SolverError::InvalidGenerator(format!("bad time {t}")));
+        return Err(SolverError::InvalidInput(format!("bad time {t}")));
     }
     if t == 0.0 {
         return Ok(p0.to_vec());
     }
     // Uniformization: P = I + Q/Λ with Λ ≥ max |q_ii|.
-    let lambda = (0..n)
-        .map(|i| -q[(i, i)])
-        .fold(0.0_f64, f64::max)
-        .max(1e-12)
-        * 1.000_001;
+    let lambda = uniformization_rate(q);
     let mut p_mat = Matrix::identity(n);
     for i in 0..n {
         for j in 0..n {
@@ -147,10 +199,9 @@ pub fn transient_distribution(
     // Poisson weights computed iteratively in log space to avoid overflow.
     // Truncation: stop when the accumulated mass reaches 1 − tol, or —
     // because rounding can leave the numeric sum permanently short of it —
-    // when k is safely past the Poisson bulk (mean lt, sd √lt) and the
-    // current weight has fallen below tol. The discarded tail is
-    // renormalized away below.
-    let k_bulk = lt + 10.0 * lt.sqrt() + 50.0;
+    // when k is safely past the Poisson bulk and the current weight has
+    // fallen below tol. The discarded tail is renormalized away below.
+    let k_bulk = poisson_bulk(lt);
     let mut log_weight = -lt; // log Poisson(0)
     let mut accumulated = 0.0;
     let mut k: u64 = 0;
@@ -180,7 +231,9 @@ pub fn transient_distribution(
 
 /// Integral `∫₀ᵀ p(t) dt / T`: the expected fraction of time spent in each
 /// state over `[0, T]`, computed by Simpson quadrature on the transient
-/// distribution with `intervals` panels (rounded up to even).
+/// distribution with `intervals` panels (rounded up to even). All Simpson
+/// nodes are evaluated over **one** shared iterate sequence via the sparse
+/// [`TransientKernel`].
 ///
 /// This is the quantity the paper's P(k) reduces to under the deterministic
 /// scheduled-deployment cycle: the time-average of the capacity process over
@@ -188,31 +241,39 @@ pub fn transient_distribution(
 ///
 /// # Errors
 ///
-/// Propagates [`SolverError`] from the transient solves.
+/// * [`SolverError::InvalidInput`] for `intervals == 0` or a non-finite /
+///   non-positive horizon.
+/// * Propagates [`SolverError`] from the transient solves.
 pub fn time_average_distribution(
     q: &Matrix,
     p0: &[f64],
     horizon: f64,
     intervals: usize,
 ) -> Result<Vec<f64>, SolverError> {
-    if horizon <= 0.0 || !horizon.is_finite() {
-        return Err(SolverError::InvalidGenerator(format!(
-            "bad horizon {horizon}"
-        )));
-    }
+    TransientKernel::new(q)?.time_average(p0, horizon, intervals)
+}
+
+/// The dense reference for [`time_average_distribution`]: one independent
+/// dense uniformization per Simpson node. O(panels · K · n²) where the
+/// kernel is O(K · nnz); kept for benchmarking and agreement tests.
+///
+/// # Errors
+///
+/// As [`time_average_distribution`].
+pub fn time_average_distribution_dense(
+    q: &Matrix,
+    p0: &[f64],
+    horizon: f64,
+    intervals: usize,
+) -> Result<Vec<f64>, SolverError> {
+    validate_horizon(horizon, intervals)?;
     let m = intervals.max(2).next_multiple_of(2);
     let n = q.rows();
     let h = horizon / m as f64;
     let mut acc = vec![0.0; n];
     for s in 0..=m {
-        let p = transient_distribution(q, p0, h * s as f64, 1e-12)?;
-        let w = if s == 0 || s == m {
-            1.0
-        } else if s % 2 == 1 {
-            4.0
-        } else {
-            2.0
-        };
+        let p = transient_distribution_dense(q, p0, h * s as f64, 1e-12)?;
+        let w = simpson_weight(s, m);
         for (a, x) in acc.iter_mut().zip(&p) {
             *a += w * x;
         }
@@ -222,6 +283,358 @@ pub fn time_average_distribution(
         *a *= scale;
     }
     Ok(oaq_linalg::vec_ops::normalize_prob(&acc).unwrap_or(acc))
+}
+
+fn simpson_weight(s: usize, m: usize) -> f64 {
+    if s == 0 || s == m {
+        1.0
+    } else if s % 2 == 1 {
+        4.0
+    } else {
+        2.0
+    }
+}
+
+/// The uniformization rate `Λ = 1.000001 · max(max |q_ii|, 1e-12)`.
+fn uniformization_rate(q: &Matrix) -> f64 {
+    (0..q.rows())
+        .map(|i| -q[(i, i)])
+        .fold(0.0_f64, f64::max)
+        .max(1e-12)
+        * 1.000_001
+}
+
+/// A reusable sparse uniformization kernel over one generator matrix.
+///
+/// Holds the uniformized transition matrix `P = I + Q/Λ` in CSR form.
+/// [`Self::transient_batch`] evaluates *any number of time points* over a
+/// single shared iterate sequence `vₖ = p₀ Pᵏ`: one CSR matvec per series
+/// term total, with per-time-point Poisson weights (a multiplicative
+/// recurrence, ramped in log space while a huge `λt` keeps the early
+/// weights below f64 range) as the only per-point work. A 256-panel
+/// Simpson integral therefore costs one matvec sweep instead of 256.
+///
+/// **Determinism / batch invariance:** the iterate sequence depends only on
+/// `p₀` and `P`, and each time point accumulates its own weighted sum in
+/// fixed order, so the answer for a given `t` is bit-identical regardless
+/// of which other time points share the batch, and across repeated calls
+/// and threads (`TransientKernel` is `Send + Sync` and immutable after
+/// construction).
+#[derive(Debug)]
+pub struct TransientKernel {
+    p_csr: CsrMatrix,
+    lambda: f64,
+    n: usize,
+}
+
+/// Weights below e^LOG_SWITCH are tracked in log space (their mass is far
+/// below f64 resolution, so skipping their contribution is exact); above it
+/// the weight runs the cheap linear recurrence w ← w · λt/(k+1), keeping
+/// the per-point inner loop free of transcendentals.
+const LOG_SWITCH: f64 = -700.0;
+
+/// Per-series-term quantities shared by every Poisson weight in a batch:
+/// ln(k+1) and 1/(k+1) are computed once per iterate, not once per point.
+struct SharedStep {
+    kf: f64,
+    ln_k1: f64,
+    inv_k1: f64,
+}
+
+impl SharedStep {
+    fn at(k: u64) -> Self {
+        let kf1 = (k + 1) as f64;
+        SharedStep {
+            kf: k as f64,
+            ln_k1: kf1.ln(),
+            inv_k1: 1.0 / kf1,
+        }
+    }
+}
+
+/// An iteratively-advanced Poisson(λt; k) weight with underflow-safe
+/// truncation: `step` returns the weight of term k (0.0 while still
+/// sub-representable), accumulates its mass, and advances to k + 1,
+/// setting `done` once the accumulated mass reaches 1 − tol or k is safely
+/// past the Poisson bulk with a sub-tol weight.
+struct PoissonWeight {
+    lt: f64,
+    ln_lt: f64,
+    k_bulk: f64,
+    log_weight: f64,
+    weight: f64,
+    linear: bool,
+    accumulated: f64,
+    done: bool,
+}
+
+impl PoissonWeight {
+    fn new(lt: f64) -> Self {
+        let linear = -lt > LOG_SWITCH;
+        PoissonWeight {
+            lt,
+            ln_lt: if lt > 0.0 { lt.ln() } else { 0.0 },
+            k_bulk: poisson_bulk(lt),
+            log_weight: -lt,
+            weight: if linear { (-lt).exp() } else { 0.0 },
+            linear,
+            accumulated: 0.0,
+            done: false,
+        }
+    }
+
+    fn step(&mut self, shared: &SharedStep, tol: f64) -> f64 {
+        let w = self.weight;
+        self.accumulated += w;
+        if self.accumulated >= 1.0 - tol || (shared.kf > self.k_bulk && w < tol) {
+            self.done = true;
+        } else if self.linear {
+            self.weight *= self.lt * shared.inv_k1;
+        } else {
+            self.log_weight += self.ln_lt - shared.ln_k1;
+            if self.log_weight > LOG_SWITCH {
+                self.linear = true;
+                self.weight = self.log_weight.exp();
+            }
+        }
+        w
+    }
+}
+
+impl TransientKernel {
+    /// Builds the kernel: validates `q` and stores `P = I + Q/Λ` sparse.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidGenerator`] if `q` is malformed.
+    pub fn new(q: &Matrix) -> Result<Self, SolverError> {
+        validate_generator(q)?;
+        let n = q.rows();
+        let lambda = uniformization_rate(q);
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                // Same arithmetic as the dense path: identity plus Q/Λ.
+                let base = if i == j { 1.0 } else { 0.0 };
+                let v = base + q[(i, j)] / lambda;
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        let p_csr = CsrMatrix::from_triplets(n, n, &triplets).map_err(SolverError::Numeric)?;
+        Ok(TransientKernel { p_csr, lambda, n })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// The uniformization rate Λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Stored entries of the uniformized transition matrix.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.p_csr.nnz()
+    }
+
+    /// Transient distribution at a single time point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::transient_batch`].
+    pub fn transient(&self, p0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>, SolverError> {
+        Ok(self
+            .transient_batch(p0, &[t], tol)?
+            .pop()
+            .expect("one time"))
+    }
+
+    /// Transient distributions at every time in `times`, sharing one
+    /// iterate sequence `vₖ = p₀ Pᵏ` across all of them.
+    ///
+    /// Each returned distribution is accurate to `tol` in total variation
+    /// and independent of the rest of the batch (see the type-level
+    /// determinism note).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidInput`] if `p0` is not a distribution, a time
+    /// is negative or non-finite, or `tol` is out of `(0, 1)`.
+    pub fn transient_batch(
+        &self,
+        p0: &[f64],
+        times: &[f64],
+        tol: f64,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
+        validate_p0(self.n, p0)?;
+        if !(tol > 0.0 && tol < 1.0) {
+            return Err(SolverError::InvalidInput(format!("bad tolerance {tol}")));
+        }
+        for &t in times {
+            if t < 0.0 || !t.is_finite() {
+                return Err(SolverError::InvalidInput(format!("bad time {t}")));
+            }
+        }
+        // Per-time-point accumulator: the advancing Poisson weight and the
+        // weighted iterate sum for that time point.
+        struct Point {
+            pw: PoissonWeight,
+            out: Vec<f64>,
+        }
+        let mut points: Vec<Point> = times
+            .iter()
+            .map(|&t| Point {
+                pw: PoissonWeight::new(self.lambda * t),
+                out: vec![0.0; self.n],
+            })
+            .collect();
+        let mut term = p0.to_vec(); // vₖ = p₀ Pᵏ, shared by every time point
+        let mut k: u64 = 0;
+        while points.iter().any(|p| !p.pw.done) {
+            let shared = SharedStep::at(k);
+            for p in points.iter_mut().filter(|p| !p.pw.done) {
+                let w = p.pw.step(&shared, tol);
+                if w > 0.0 {
+                    for (o, x) in p.out.iter_mut().zip(&term) {
+                        *o += w * x;
+                    }
+                }
+            }
+            if points.iter().all(|p| p.pw.done) {
+                break;
+            }
+            k += 1;
+            if k > 10_000_000 {
+                return Err(SolverError::InvalidGenerator(
+                    "uniformization failed to converge".to_string(),
+                ));
+            }
+            term = self.p_csr.vec_mul(&term).map_err(SolverError::Numeric)?;
+        }
+        Ok(points
+            .into_iter()
+            .zip(times)
+            .map(|(p, &t)| {
+                if t == 0.0 {
+                    p0.to_vec()
+                } else {
+                    // The truncated tail (≤ tol) is discarded; renormalize.
+                    oaq_linalg::vec_ops::normalize_prob(&p.out).unwrap_or(p.out)
+                }
+            })
+            .collect())
+    }
+
+    /// Simpson time-average `∫₀ᵀ p(t) dt / T` with `intervals` panels
+    /// (rounded up to even), all nodes over one shared iterate sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidInput`] for `intervals == 0` or a non-finite /
+    /// non-positive horizon; otherwise as [`Self::transient_batch`].
+    pub fn time_average(
+        &self,
+        p0: &[f64],
+        horizon: f64,
+        intervals: usize,
+    ) -> Result<Vec<f64>, SolverError> {
+        Ok(self
+            .time_average_many(p0, &[horizon], intervals)?
+            .pop()
+            .expect("one horizon"))
+    }
+
+    /// Simpson time-averages over *several* horizons at once: every Simpson
+    /// node of every horizon is evaluated over one shared iterate sequence,
+    /// so a φ-sweep costs a single matvec sweep sized by the largest
+    /// horizon. Batch invariance (see the type-level note) guarantees each
+    /// row equals the corresponding single-horizon [`Self::time_average`]
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::time_average`], applied to every horizon.
+    pub fn time_average_many(
+        &self,
+        p0: &[f64],
+        horizons: &[f64],
+        intervals: usize,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
+        validate_p0(self.n, p0)?;
+        for &h in horizons {
+            validate_horizon(h, intervals)?;
+        }
+        let tol = 1e-12;
+        let m = intervals.max(2).next_multiple_of(2);
+        // The quadrature is linear in the transients, which are themselves
+        // Poisson-weighted sums over one iterate sequence, so the Simpson
+        // coefficients fold into the weights:
+        //   Σ_s c_s p(t_s) = Σ_k (Σ_s c_s · Poisson(λt_s; k)) · vₖ.
+        // Each iterate then costs one combined axpy per *horizon* instead
+        // of one per Simpson node; the per-node work is a scalar weight
+        // recurrence. Each node is still truncated exactly as in
+        // `transient_batch`, and a horizon's combined weight involves only
+        // its own nodes (in fixed node order), so every row stays
+        // independent of the rest of the batch.
+        struct Node {
+            pw: PoissonWeight,
+            coeff: f64,
+        }
+        let mut nodes: Vec<Vec<Node>> = horizons
+            .iter()
+            .map(|&horizon| {
+                let h = horizon / m as f64;
+                (0..=m)
+                    .map(|s| Node {
+                        pw: PoissonWeight::new(self.lambda * h * s as f64),
+                        coeff: simpson_weight(s, m) * h / 3.0 / horizon,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut accs: Vec<Vec<f64>> = vec![vec![0.0; self.n]; horizons.len()];
+        let mut term = p0.to_vec(); // vₖ = p₀ Pᵏ, shared by every node
+        let mut k: u64 = 0;
+        loop {
+            let shared = SharedStep::at(k);
+            let mut any_open = false;
+            for (row, acc) in nodes.iter_mut().zip(&mut accs) {
+                let mut combined = 0.0;
+                for node in row.iter_mut().filter(|nd| !nd.pw.done) {
+                    combined += node.coeff * node.pw.step(&shared, tol);
+                    any_open |= !node.pw.done;
+                }
+                if combined > 0.0 {
+                    for (a, x) in acc.iter_mut().zip(&term) {
+                        *a += combined * x;
+                    }
+                }
+            }
+            if !any_open {
+                break;
+            }
+            k += 1;
+            if k > 10_000_000 {
+                return Err(SolverError::InvalidGenerator(
+                    "uniformization failed to converge".to_string(),
+                ));
+            }
+            term = self.p_csr.vec_mul(&term).map_err(SolverError::Numeric)?;
+        }
+        // The per-node truncated tails (≤ tol each, Σ coeff = 1) are
+        // discarded; renormalize each average.
+        Ok(accs
+            .into_iter()
+            .map(|acc| oaq_linalg::vec_ops::normalize_prob(&acc).unwrap_or(acc))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -315,5 +728,101 @@ mod tests {
     #[test]
     fn time_average_rejects_bad_horizon() {
         assert!(time_average_distribution(&two_state(), &[1.0, 0.0], 0.0, 8).is_err());
+    }
+
+    #[test]
+    fn time_average_rejects_zero_panels_and_nonfinite_horizon_typed() {
+        for bad in [
+            time_average_distribution(&two_state(), &[1.0, 0.0], 2.0, 0),
+            time_average_distribution(&two_state(), &[1.0, 0.0], f64::NAN, 8),
+            time_average_distribution(&two_state(), &[1.0, 0.0], f64::INFINITY, 8),
+            time_average_distribution_dense(&two_state(), &[1.0, 0.0], 2.0, 0),
+        ] {
+            assert!(matches!(bad, Err(SolverError::InvalidInput(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_dense_per_time_point() {
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0, 0.0],
+            &[2.0, -3.0, 1.0, 0.0],
+            &[0.0, 2.0, -3.0, 1.0],
+            &[0.0, 0.0, 2.0, -2.0],
+        ])
+        .unwrap();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let p0 = [1.0, 0.0, 0.0, 0.0];
+        let times = [0.0, 0.05, 0.5, 3.0, 40.0];
+        let batch = kernel.transient_batch(&p0, &times, 1e-12).unwrap();
+        for (&t, sparse) in times.iter().zip(&batch) {
+            let dense = transient_distribution_dense(&q, &p0, t, 1e-12).unwrap();
+            for (s, d) in sparse.iter().zip(&dense) {
+                assert!((s - d).abs() <= 1e-12, "t={t}: {s} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_membership_does_not_change_answers() {
+        // Batch invariance: the answer for t must not depend on which other
+        // time points share the iterate sequence.
+        let q = two_state();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let p0 = [1.0, 0.0];
+        let alone = kernel.transient(&p0, 0.7, 1e-12).unwrap();
+        let crowded = kernel
+            .transient_batch(&p0, &[0.0, 10.0, 0.7, 250.0], 1e-12)
+            .unwrap();
+        assert_eq!(crowded[2], alone, "must be bit-identical, not just close");
+    }
+
+    #[test]
+    fn time_average_many_rows_match_single_horizon_calls() {
+        let q = two_state();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let p0 = [1.0, 0.0];
+        let horizons = [0.5, 2.0, 8.0];
+        let many = kernel.time_average_many(&p0, &horizons, 64).unwrap();
+        for (&h, row) in horizons.iter().zip(&many) {
+            assert_eq!(row, &kernel.time_average(&p0, h, 64).unwrap());
+        }
+    }
+
+    #[test]
+    fn kernel_time_average_matches_dense_reference() {
+        let q = two_state();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let sparse = kernel.time_average(&[1.0, 0.0], 2.0, 64).unwrap();
+        let dense = time_average_distribution_dense(&q, &[1.0, 0.0], 2.0, 64).unwrap();
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() <= 1e-12, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_sparse_for_banded_generators() {
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0, 0.0],
+            &[2.0, -3.0, 1.0, 0.0],
+            &[0.0, 2.0, -3.0, 1.0],
+            &[0.0, 0.0, 2.0, -2.0],
+        ])
+        .unwrap();
+        let kernel = TransientKernel::new(&q).unwrap();
+        assert_eq!(kernel.num_states(), 4);
+        assert_eq!(kernel.nnz(), 10, "tridiagonal: 3n - 2 stored entries");
+    }
+
+    #[test]
+    fn kernel_rejects_bad_times_and_tolerance() {
+        let kernel = TransientKernel::new(&two_state()).unwrap();
+        for bad in [
+            kernel.transient_batch(&[1.0, 0.0], &[1.0, -0.5], 1e-12),
+            kernel.transient_batch(&[1.0, 0.0], &[f64::NAN], 1e-12),
+            kernel.transient_batch(&[1.0, 0.0], &[1.0], 0.0),
+        ] {
+            assert!(matches!(bad, Err(SolverError::InvalidInput(_))), "{bad:?}");
+        }
     }
 }
