@@ -1,0 +1,63 @@
+//! Bench: the deterministic parallel replication engine (E18's inner
+//! loops) — traced vs untraced campaign cells, and worker fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_bench::campaign::{
+    run_cell_traced_baseline, run_cell_workers, run_grid_workers, CellSpec, LossAxis,
+};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::experiment::{estimate_conditional_qos_par, MonteCarloOptions};
+
+const EPISODES: u64 = 200;
+
+fn reference_spec() -> CellSpec {
+    CellSpec {
+        loss: LossAxis::Iid { p: 0.2 },
+        node_failure_rate: 0.25,
+        retry_budget: 1,
+    }
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication");
+    let spec = reference_spec();
+    g.bench_function("cell_traced_baseline", |b| {
+        b.iter(|| run_cell_traced_baseline(&spec, EPISODES, 7));
+    });
+    g.bench_function("cell_fastpath_serial", |b| {
+        b.iter(|| run_cell_workers(&spec, EPISODES, 7, 1));
+    });
+    g.bench_function("cell_fastpath_2_workers", |b| {
+        b.iter(|| run_cell_workers(&spec, EPISODES, 7, 2));
+    });
+    g.bench_function("cell_fastpath_4_workers", |b| {
+        b.iter(|| run_cell_workers(&spec, EPISODES, 7, 4));
+    });
+    let grid = [
+        CellSpec {
+            loss: LossAxis::Iid { p: 0.0 },
+            node_failure_rate: 0.0,
+            retry_budget: 0,
+        },
+        spec,
+    ];
+    g.bench_function("grid_2_cells_2_workers", |b| {
+        b.iter(|| run_grid_workers(&grid, EPISODES / 2, 7, 2));
+    });
+    let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+    let opts = MonteCarloOptions {
+        episodes: EPISODES as usize,
+        mu: 0.5,
+        seed: 7,
+    };
+    g.bench_function("qos_estimate_serial", |b| {
+        b.iter(|| estimate_conditional_qos_par(&cfg, &opts, 1));
+    });
+    g.bench_function("qos_estimate_2_workers", |b| {
+        b.iter(|| estimate_conditional_qos_par(&cfg, &opts, 2));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

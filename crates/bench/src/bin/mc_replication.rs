@@ -1,0 +1,227 @@
+//! Experiment E18 — the deterministic parallel Monte Carlo replication
+//! engine: serial vs multi-worker fan-out, with bit-identity asserted.
+//!
+//! Reports JSON on stdout (progress on stderr), written to
+//! `BENCH_sim.json` at the repo root / uploaded by CI:
+//!
+//! 1. **campaign_cell** — one fault-injection cell (E15's reference mix).
+//!    The legacy always-traced serial loop vs the untraced fast path
+//!    (tracing only replayed for violations), then the fast path fanned
+//!    across 1/2/4/8 workers. Every worker count must reproduce the
+//!    serial cell bit-for-bit — counts, violation list, trace strings —
+//!    and the bench exits non-zero if any diverges.
+//! 2. **qos_estimate** — E9's conditional-QoS estimator through the same
+//!    engine; the `QosEstimate` must be exactly equal (`==` on every
+//!    float) across worker counts.
+//! 3. **grid** — the two-level cells × episodes fan-out vs per-cell runs.
+//!
+//! Parallel *speedup* here is honest wall-clock on whatever hardware runs
+//! the bench (the `cores` field says how many cores that was); on a
+//! single-core container the curve is flat and only the determinism
+//! contract is asserted. The fast-path speedup is algorithmic and shows
+//! up on any hardware.
+//!
+//! Usage: `mc_replication [--quick] [--seed N] [--episodes N]`
+
+use std::time::Instant;
+
+use oaq_bench::args::CliSpec;
+use oaq_bench::campaign::{
+    run_cell_traced_baseline, run_cell_workers, run_grid_workers, CellOutcome, CellSpec, LossAxis,
+};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::experiment::{estimate_conditional_qos_par, MonteCarloOptions};
+use oaq_engine::report::fmt_f64;
+use oaq_sim::par::DEFAULT_CHUNK;
+
+/// Wall-clock seconds per call of `f`, averaged over `reps` calls.
+fn time_per_call<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Full bit-identity of two cell outcomes: every tally, every violation
+/// record, every trace line.
+fn cells_identical(a: &CellOutcome, b: &CellOutcome) -> bool {
+    a.episodes == b.episodes
+        && a.detected == b.detected
+        && a.timely == b.timely
+        && a.quality == b.quality
+        && a.live_detector == b.live_detector
+        && a.live_detector_timely == b.live_detector_timely
+        && a.violations.len() == b.violations.len()
+        && a.violations.iter().zip(&b.violations).all(|(x, y)| {
+            x.episode == y.episode
+                && x.seed == y.seed
+                && x.detector == y.detector
+                && x.outcome == y.outcome
+                && x.trace == y.trace
+        })
+}
+
+fn main() {
+    let cli = CliSpec::new("mc_replication")
+        .switch("--quick", "fewer episodes and reps (CI size)")
+        .option("--seed", "N", "base RNG seed (default 1515)")
+        .option("--episodes", "N", "episodes in the campaign cell")
+        .parse();
+    let quick = cli.has("--quick");
+    let seed = cli.get_u64("--seed", 1515);
+    let episodes = cli.get_u64("--episodes", if quick { 300 } else { 2000 });
+    let reps = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut divergence = false;
+
+    // 1. Campaign cell: traced baseline vs untraced fast path vs workers.
+    let spec = CellSpec {
+        loss: LossAxis::Iid { p: 0.2 },
+        node_failure_rate: 0.25,
+        retry_budget: 1,
+    };
+    let reference = run_cell_workers(&spec, episodes, seed, 1);
+    let baseline = run_cell_traced_baseline(&spec, episodes, seed);
+    if !cells_identical(&reference, &baseline) {
+        eprintln!("# DIVERGENCE: fast path disagrees with the traced baseline");
+        divergence = true;
+    }
+    let traced_secs = time_per_call(reps, || run_cell_traced_baseline(&spec, episodes, seed));
+    let fastpath_secs = time_per_call(reps, || run_cell_workers(&spec, episodes, seed, 1));
+    eprintln!(
+        "# campaign_cell ({episodes} episodes): traced {:.1} ms, fastpath {:.1} ms, {:.2}x",
+        traced_secs * 1e3,
+        fastpath_secs * 1e3,
+        traced_secs / fastpath_secs,
+    );
+
+    let worker_counts: &[usize] = &[1, 2, 4, 8];
+    let curve: Vec<(usize, f64, bool)> = worker_counts
+        .iter()
+        .map(|&w| {
+            let out = run_cell_workers(&spec, episodes, seed, w);
+            let identical = cells_identical(&out, &reference);
+            if !identical {
+                eprintln!("# DIVERGENCE: {w} workers disagree with the serial cell");
+            }
+            let secs = time_per_call(reps, || run_cell_workers(&spec, episodes, seed, w));
+            eprintln!(
+                "#   {w} workers: {:.1} ms, {:.2}x vs serial, identical={identical}",
+                secs * 1e3,
+                fastpath_secs / secs,
+            );
+            (w, secs, identical)
+        })
+        .collect();
+    divergence |= curve.iter().any(|&(_, _, ok)| !ok);
+
+    // 2. The conditional-QoS estimator across worker counts.
+    let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+    let opts = MonteCarloOptions {
+        episodes: usize::try_from(episodes).expect("episode count fits usize"),
+        mu: 0.5,
+        seed,
+    };
+    let qos_serial = estimate_conditional_qos_par(&cfg, &opts, 1);
+    let qos_serial_secs = time_per_call(reps, || estimate_conditional_qos_par(&cfg, &opts, 1));
+    let qos_curve: Vec<(usize, f64, bool)> = [2usize, 4]
+        .iter()
+        .map(|&w| {
+            let est = estimate_conditional_qos_par(&cfg, &opts, w);
+            let identical = est == qos_serial;
+            if !identical {
+                eprintln!("# DIVERGENCE: QoS estimate with {w} workers differs from serial");
+            }
+            let secs = time_per_call(reps, || estimate_conditional_qos_par(&cfg, &opts, w));
+            (w, secs, identical)
+        })
+        .collect();
+    divergence |= qos_curve.iter().any(|&(_, _, ok)| !ok);
+    eprintln!(
+        "# qos_estimate ({episodes} episodes): serial {:.1} ms, identical across workers={}",
+        qos_serial_secs * 1e3,
+        qos_curve.iter().all(|&(_, _, ok)| ok),
+    );
+
+    // 3. The two-level grid fan-out vs per-cell runs.
+    let grid_specs = [
+        CellSpec {
+            loss: LossAxis::Iid { p: 0.0 },
+            node_failure_rate: 0.0,
+            retry_budget: 0,
+        },
+        spec,
+        CellSpec {
+            loss: LossAxis::Bursty {
+                marginal: 0.2,
+                burst_len: 5.0,
+            },
+            node_failure_rate: 0.1,
+            retry_budget: 3,
+        },
+    ];
+    let grid_episodes = episodes / 2;
+    let grid = run_grid_workers(&grid_specs, grid_episodes, seed, 2);
+    let grid_identical = grid
+        .iter()
+        .zip(&grid_specs)
+        .all(|(cell, s)| cells_identical(cell, &run_cell_workers(s, grid_episodes, seed, 1)));
+    if !grid_identical {
+        eprintln!("# DIVERGENCE: grid fan-out disagrees with per-cell runs");
+        divergence = true;
+    }
+    let grid_secs = time_per_call(reps, || {
+        run_grid_workers(&grid_specs, grid_episodes, seed, 2)
+    });
+    eprintln!(
+        "# grid ({} cells x {grid_episodes} episodes, 2 workers): {:.1} ms, identical={grid_identical}",
+        grid_specs.len(),
+        grid_secs * 1e3,
+    );
+
+    let curve_json: Vec<String> = curve
+        .iter()
+        .map(|&(w, secs, ok)| {
+            format!(
+                "{{\"workers\": {w}, \"secs\": {}, \"speedup\": {}, \"bit_identical\": {ok}}}",
+                fmt_f64(secs),
+                fmt_f64(fastpath_secs / secs),
+            )
+        })
+        .collect();
+    let qos_json: Vec<String> = qos_curve
+        .iter()
+        .map(|&(w, secs, ok)| {
+            format!(
+                "{{\"workers\": {w}, \"secs\": {}, \"speedup\": {}, \"bit_identical\": {ok}}}",
+                fmt_f64(secs),
+                fmt_f64(qos_serial_secs / secs),
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"experiment\": \"mc_replication\",\n  \"quick\": {quick},\n  \
+         \"cores\": {cores},\n  \"chunk\": {DEFAULT_CHUNK},\n  \"seed\": {seed},\n  \
+         \"campaign_cell\": {{\"episodes\": {episodes}, \"traced_baseline_secs\": {}, \
+         \"fastpath_secs\": {}, \"fastpath_speedup\": {}, \"workers\": [{}]}},\n  \
+         \"qos_estimate\": {{\"episodes\": {episodes}, \"serial_secs\": {}, \
+         \"workers\": [{}]}},\n  \
+         \"grid\": {{\"cells\": {}, \"episodes_per_cell\": {grid_episodes}, \
+         \"secs\": {}, \"bit_identical\": {grid_identical}}}\n}}",
+        fmt_f64(traced_secs),
+        fmt_f64(fastpath_secs),
+        fmt_f64(traced_secs / fastpath_secs),
+        curve_json.join(", "),
+        fmt_f64(qos_serial_secs),
+        qos_json.join(", "),
+        grid_specs.len(),
+        fmt_f64(grid_secs),
+    );
+
+    if divergence {
+        eprintln!("# REPLICATION DETERMINISM VIOLATED: parallel answers diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -3,13 +3,47 @@
 //! heartbeat/gossip service, and the QoS recovered by membership-assisted
 //! recruitment when satellites are fail-silent.
 
+use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header, tsv_row};
 use oaq_core::config::{MembershipHints, ProtocolConfig, Scheme};
 use oaq_core::protocol::Episode;
 use oaq_core::qos_level::QosLevel;
 use oaq_membership::{MembershipConfig, MembershipSim};
+use oaq_sim::par::{Merge, Replicator};
+use oaq_sim::rng::substream_seed;
+
+/// Per-chunk recruitment tallies (all-integer, so the reduction is exact).
+#[derive(Debug, Clone, Copy, Default)]
+struct RecruitSink {
+    seq: u64,
+    missed: u64,
+    msgs: u64,
+}
+
+impl Merge for RecruitSink {
+    fn merge(&mut self, other: &Self) {
+        self.seq.merge(&other.seq);
+        self.missed.merge(&other.missed);
+        self.msgs.merge(&other.msgs);
+    }
+}
 
 fn main() {
+    let cli = CliSpec::new("membership")
+        .option(
+            "--episodes",
+            "N",
+            "recruitment episodes per variant (default 20000)",
+        )
+        .option(
+            "--workers",
+            "N",
+            "worker threads, 0 = all cores (default 0)",
+        )
+        .parse();
+    let episodes = cli.get_u64("--episodes", 20_000);
+    let workers = cli.get_usize("--workers", 0);
+
     banner("Membership service: group-wide detection latency (ring planes)");
     tsv_header(&["n", "analytic_bound_min", "measured_min", "messages"]);
     for n in [8usize, 10, 14] {
@@ -34,30 +68,36 @@ fn main() {
     plain.tau = 25.0;
     let mut assisted = plain;
     assisted.membership = Some(MembershipHints::default());
-    let episodes = 20_000u64;
+    let base_seed = 42u64;
     tsv_header(&["variant", "P(Y>=2)", "P(missed)", "mean_msgs"]);
     for (label, cfg) in [("plain", &plain), ("assisted", &assisted)] {
-        let mut seq = 0u64;
-        let mut missed = 0u64;
-        let mut msgs = 0u64;
-        for seed in 0..episodes {
-            let birth = 90.0 + (seed as f64 * 0.618_033_9) % 10.0;
-            let out = Episode::new(cfg, seed)
-                .with_failure(1, 0.0)
-                .run(birth, 15.0);
-            if out.level >= QosLevel::SequentialDual {
-                seq += 1;
-            }
-            if out.level == QosLevel::Missed {
-                missed += 1;
-            }
-            msgs += out.messages_sent;
-        }
+        // Episode i draws its birth from substream (base_seed, i) and seeds
+        // its protocol run from the same substream value (offset by one),
+        // so every worker count tallies the identical counts.
+        let sink = Replicator::new(workers).run(
+            episodes,
+            base_seed,
+            RecruitSink::default,
+            |i, rng, sink| {
+                let birth = 90.0 + rng.uniform(0.0, 10.0);
+                let seed = substream_seed(base_seed, i).wrapping_add(1);
+                let out = Episode::new(cfg, seed)
+                    .with_failure(1, 0.0)
+                    .run(birth, 15.0);
+                if out.level >= QosLevel::SequentialDual {
+                    sink.seq += 1;
+                }
+                if out.level == QosLevel::Missed {
+                    sink.missed += 1;
+                }
+                sink.msgs += out.messages_sent;
+            },
+        );
         println!(
             "{label}\t{:.4}\t{:.4}\t{:.2}",
-            seq as f64 / episodes as f64,
-            missed as f64 / episodes as f64,
-            msgs as f64 / episodes as f64
+            sink.seq as f64 / episodes as f64,
+            sink.missed as f64 / episodes as f64,
+            sink.msgs as f64 / episodes as f64
         );
     }
     println!("\nThe assisted protocol recruits the nearest *live* peer over a");

@@ -9,21 +9,29 @@
 //! (expected: none). Progress goes to stderr so stdout stays
 //! machine-readable.
 //!
-//! Usage: `robustness [--quick] [--seed N] [--episodes N]`
+//! Usage: `robustness [--quick] [--seed N] [--episodes N] [--workers N]`
 //! `--quick` shrinks the grid and the per-cell episode count for CI.
+//! `--workers` fans the whole grid across a deterministic replication
+//! pool (0 = one per core); the output is bit-identical for any count.
 
 use oaq_bench::args::CliSpec;
-use oaq_bench::campaign::{campaign_json, run_cell, CellSpec, LossAxis};
+use oaq_bench::campaign::{campaign_json, run_grid_workers, CellSpec, LossAxis};
 
 fn main() {
     let cli = CliSpec::new("robustness")
         .switch("--quick", "shrink the grid and episode count for CI")
         .option("--seed", "N", "base RNG seed (default 1515)")
         .option("--episodes", "N", "episodes per cell")
+        .option(
+            "--workers",
+            "N",
+            "worker threads, 0 = all cores (default 1)",
+        )
         .parse();
     let quick = cli.has("--quick");
     let base_seed = cli.get_u64("--seed", 1515);
     let episodes = cli.get_u64("--episodes", if quick { 100 } else { 1500 });
+    let workers = cli.get_usize("--workers", 1);
 
     let losses: Vec<LossAxis> = if quick {
         vec![
@@ -63,30 +71,32 @@ fn main() {
         if quick { ", quick" } else { "" }
     );
 
-    let mut cells = Vec::with_capacity(total);
-    let mut done = 0usize;
+    let mut specs = Vec::with_capacity(total);
     for loss in &losses {
         for &rate in failure_rates {
             for &budget in budgets {
-                let spec = CellSpec {
+                specs.push(CellSpec {
                     loss: *loss,
                     node_failure_rate: rate,
                     retry_budget: budget,
-                };
-                let out = run_cell(&spec, episodes, base_seed);
-                done += 1;
-                eprintln!(
-                    "#   [{done}/{total}] {} fail={rate} budget={budget}: \
-                     quality {:.3}, timely {:.3}, guarantee {:.3} ({} violations)",
-                    loss.label(),
-                    out.quality_frac(),
-                    out.timely_frac(),
-                    out.guarantee_frac(),
-                    out.violations.len()
-                );
-                cells.push(out);
+                });
             }
         }
+    }
+    let cells = run_grid_workers(&specs, episodes, base_seed, workers);
+    for (done, out) in cells.iter().enumerate() {
+        eprintln!(
+            "#   [{}/{total}] {} fail={} budget={}: \
+             quality {:.3}, timely {:.3}, guarantee {:.3} ({} violations)",
+            done + 1,
+            out.spec.loss.label(),
+            out.spec.node_failure_rate,
+            out.spec.retry_budget,
+            out.quality_frac(),
+            out.timely_frac(),
+            out.guarantee_frac(),
+            out.violations.len()
+        );
     }
 
     let violations: usize = cells.iter().map(|c| c.violations.len()).sum();

@@ -3,61 +3,47 @@
 //! (The integration test suite runs a smaller version of this; the binary
 //! prints the full comparison table.)
 //!
-//! The 24 Monte-Carlo cells (k × scheme × µ) are independent, so they run
-//! on a crossbeam scoped-thread pool; results are collected under a
-//! parking_lot mutex and printed in deterministic order.
+//! Parallelism comes from the deterministic replication engine inside
+//! [`estimate_conditional_qos_par`]: episodes fan out on counter-based
+//! substreams, so every worker count prints the identical table.
+//!
+//! Usage: `validate_protocol [--episodes N] [--workers N]`
 
 use oaq_analytic::geometry::PlaneGeometry;
 use oaq_analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
+use oaq_bench::args::CliSpec;
 use oaq_bench::banner;
 use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::experiment::{estimate_conditional_qos, MonteCarloOptions, QosEstimate};
-use parking_lot::Mutex;
-
-#[derive(Clone, Copy)]
-struct Cell {
-    scheme: Scheme,
-    mu: f64,
-    k: u32,
-}
+use oaq_core::experiment::{estimate_conditional_qos_par, MonteCarloOptions, QosEstimate};
 
 fn main() {
-    let episodes = 40_000;
-    let mut cells = Vec::new();
+    let cli = CliSpec::new("validate_protocol")
+        .option("--episodes", "N", "episodes per cell (default 40000)")
+        .option(
+            "--workers",
+            "N",
+            "worker threads, 0 = all cores (default 0)",
+        )
+        .parse();
+    let episodes = cli.get_usize("--episodes", 40_000);
+    let workers = cli.get_usize("--workers", 0);
+
+    let mut collected: Vec<QosEstimate> = Vec::new();
     for scheme in [Scheme::Oaq, Scheme::Baq] {
         for mu in [0.2, 0.5] {
             for k in 9..=14u32 {
-                cells.push(Cell { scheme, mu, k });
+                collected.push(estimate_conditional_qos_par(
+                    &ProtocolConfig::reference(k as usize, scheme),
+                    &MonteCarloOptions {
+                        episodes,
+                        mu,
+                        seed: 31 + u64::from(k),
+                    },
+                    workers,
+                ));
             }
         }
     }
-
-    let results: Mutex<Vec<(usize, QosEstimate)>> = Mutex::new(Vec::new());
-    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-    let chunk = cells.len().div_ceil(workers);
-    crossbeam::scope(|scope| {
-        for (w, batch) in cells.chunks(chunk).enumerate() {
-            let results = &results;
-            let base = w * chunk;
-            scope.spawn(move |_| {
-                for (i, cell) in batch.iter().enumerate() {
-                    let est = estimate_conditional_qos(
-                        &ProtocolConfig::reference(cell.k as usize, cell.scheme),
-                        &MonteCarloOptions {
-                            episodes,
-                            mu: cell.mu,
-                            seed: 31 + u64::from(cell.k),
-                        },
-                    );
-                    results.lock().push((base + i, est));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(i, _)| *i);
 
     let mut idx = 0;
     for (ascheme, label) in [(AScheme::Oaq, "OAQ"), (AScheme::Baq, "BAQ")] {
@@ -72,7 +58,7 @@ fn main() {
                     &PlaneGeometry::reference(k),
                     &QosParams::paper_defaults(mu),
                 );
-                let est = &collected[idx].1;
+                let est = &collected[idx];
                 idx += 1;
                 for y in 0..=3 {
                     if exact.p(y) == 0.0 && est.p[y] == 0.0 {

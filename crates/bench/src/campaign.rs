@@ -13,9 +13,11 @@
 //! coverage) alert by τ*, whatever the fault mix does to quality.
 
 use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::protocol::{Episode, TraceEvent};
-use oaq_core::qos_level::QosLevel;
+use oaq_core::protocol::Episode;
+use oaq_core::qos_level::{EpisodeOutcome, QosLevel};
 use oaq_net::GilbertElliott;
+use oaq_sim::par::{Merge, Replicator};
+use oaq_sim::rng::substream_seed;
 use oaq_sim::SimRng;
 
 /// The loss process of one campaign cell.
@@ -170,14 +172,14 @@ impl CellOutcome {
 }
 
 /// Mixes an episode index into the campaign seed (splitmix-style).
+///
+/// Delegates to the simulator's counter-based substream derivation
+/// ([`oaq_sim::rng::substream_seed`]), which uses the identical mixing
+/// function this module originally shipped with — every seed recorded in a
+/// published violation report stays replayable bit-for-bit.
 #[must_use]
 pub fn episode_seed(base: u64, episode: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(episode.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    substream_seed(base, episode)
 }
 
 /// The failure plan drawn for one episode: `(sat, from, until)`, with
@@ -218,59 +220,196 @@ fn stays_alive(plan: &FailurePlan, sat: usize, t0: f64, tau: f64) -> bool {
         .all(|&(s, from, until)| s != sat || from > t0 + tau || until.is_some_and(|u| u <= t0))
 }
 
-/// Runs one campaign cell: `episodes` episodes of the reference k = 10
-/// plane under the cell's fault mix, signal births spread over a full
-/// orbit period, durations Exp(0.2).
-#[must_use]
-pub fn run_cell(spec: &CellSpec, episodes: u64, base_seed: u64) -> CellOutcome {
+/// The protocol configuration of one campaign cell (reference k = 10
+/// plane with the cell's fault mix applied).
+fn cell_config(spec: &CellSpec) -> ProtocolConfig {
     let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
     spec.loss.apply(&mut cfg);
     cfg.retry_budget = spec.retry_budget;
     cfg.retry_timeout = 0.25;
     cfg.validate();
+    cfg
+}
 
-    let mut out = CellOutcome {
-        spec: *spec,
-        episodes,
-        detected: 0,
-        timely: 0,
-        quality: 0,
-        live_detector: 0,
-        live_detector_timely: 0,
-        violations: Vec::new(),
+/// Derives episode `i`'s `(seed, birth, duration, fault plan)` from the
+/// campaign seed alone — the single code path behind the serial loop, the
+/// parallel fan-out, and violation replay.
+fn episode_setup(
+    cfg: &ProtocolConfig,
+    spec: &CellSpec,
+    base_seed: u64,
+    i: u64,
+) -> (u64, f64, f64, FailurePlan) {
+    let seed = episode_seed(base_seed, i);
+    // The fault plan draws from an offset stream so it stays
+    // independent of (but reproducible with) the episode's own RNG.
+    let mut plan_rng = SimRng::seed_from(seed.wrapping_add(1));
+    let birth = cfg.theta + plan_rng.uniform(0.0, cfg.theta);
+    let duration = plan_rng.exp(0.2);
+    let plan = draw_plan(cfg, spec.node_failure_rate, birth, &mut plan_rng);
+    (seed, birth, duration, plan)
+}
+
+/// Per-chunk campaign tallies; all-integer plus an order-preserving
+/// violation list, so the parallel reduction is exact.
+#[derive(Debug, Clone, Default)]
+struct CellSink {
+    detected: u64,
+    timely: u64,
+    quality: u64,
+    live_detector: u64,
+    live_detector_timely: u64,
+    violations: Vec<Violation>,
+}
+
+impl Merge for CellSink {
+    fn merge(&mut self, other: &Self) {
+        self.detected.merge(&other.detected);
+        self.timely.merge(&other.timely);
+        self.quality.merge(&other.quality);
+        self.live_detector.merge(&other.live_detector);
+        self.live_detector_timely.merge(&other.live_detector_timely);
+        self.violations.merge(&other.violations);
+    }
+}
+
+impl CellSink {
+    fn into_outcome(self, spec: &CellSpec, episodes: u64) -> CellOutcome {
+        CellOutcome {
+            spec: *spec,
+            episodes,
+            detected: self.detected,
+            timely: self.timely,
+            quality: self.quality,
+            live_detector: self.live_detector,
+            live_detector_timely: self.live_detector_timely,
+            violations: self.violations,
+        }
+    }
+}
+
+/// Runs episode `i` of a cell on the untraced fast path and tallies it.
+///
+/// Tracing is only needed for the (normally empty) violation set, so the
+/// hot loop skips it entirely; a violating episode is re-run traced from
+/// its recorded seed — bit-identical by construction — to capture the
+/// replayable record.
+fn run_episode(cfg: &ProtocolConfig, spec: &CellSpec, base_seed: u64, i: u64, sink: &mut CellSink) {
+    let (seed, birth, duration, plan) = episode_setup(cfg, spec, base_seed, i);
+    let ep = apply_plan(Episode::new(cfg, seed), &plan);
+    let result = ep.run(birth, duration);
+    let (Some(t0), Some(detector)) = (result.detected_at, result.detector) else {
+        return;
     };
+    sink.detected += 1;
+    if result.deadline_met {
+        sink.timely += 1;
+    }
+    if result.level >= QosLevel::SequentialDual {
+        sink.quality += 1;
+    }
+    if stays_alive(&plan, detector, t0, cfg.tau) {
+        sink.live_detector += 1;
+        let guaranteed = result.deadline_met && result.level >= QosLevel::Single;
+        if guaranteed {
+            sink.live_detector_timely += 1;
+        } else {
+            let (replayed, trace) = replay_episode(spec, base_seed, i);
+            debug_assert_eq!(
+                replayed, result,
+                "traced replay must agree with the fast path"
+            );
+            sink.violations.push(Violation {
+                episode: i,
+                seed,
+                detector,
+                outcome: format!("{result:?}"),
+                trace,
+            });
+        }
+    }
+}
+
+/// Re-runs one campaign episode with full tracing enabled.
+///
+/// This is the replay path behind every [`Violation`] record: the episode
+/// is reconstructed purely from `(spec, base_seed, episode)`, so a
+/// violation reported by any past campaign run — serial or parallel — can
+/// be reproduced bit-for-bit, trace and all.
+#[must_use]
+pub fn replay_episode(
+    spec: &CellSpec,
+    base_seed: u64,
+    episode: u64,
+) -> (EpisodeOutcome, Vec<String>) {
+    let cfg = cell_config(spec);
+    let (seed, birth, duration, plan) = episode_setup(&cfg, spec, base_seed, episode);
+    let ep = apply_plan(Episode::new(&cfg, seed), &plan);
+    let (result, trace) = ep.run_traced(birth, duration);
+    (result, trace.iter().map(ToString::to_string).collect())
+}
+
+/// Runs one campaign cell: `episodes` episodes of the reference k = 10
+/// plane under the cell's fault mix, signal births spread over a full
+/// orbit period, durations Exp(0.2).
+///
+/// Equivalent to [`run_cell_workers`] with one worker.
+#[must_use]
+pub fn run_cell(spec: &CellSpec, episodes: u64, base_seed: u64) -> CellOutcome {
+    run_cell_workers(spec, episodes, base_seed, 1)
+}
+
+/// Runs one campaign cell, fanning episodes across `workers` threads
+/// (`0` = one per core).
+///
+/// Every tally is an integer and the violation list concatenates in
+/// episode order, so the outcome is bit-identical for any worker count —
+/// including the one-worker serial path.
+#[must_use]
+pub fn run_cell_workers(
+    spec: &CellSpec,
+    episodes: u64,
+    base_seed: u64,
+    workers: usize,
+) -> CellOutcome {
+    let cfg = cell_config(spec);
+    // The engine's substream rng is deliberately unused: the campaign's
+    // episode-seed scheme predates the replication engine and recorded
+    // violation seeds must stay replayable, so episodes re-derive their
+    // streams from `episode_seed` (the same mixing function) instead.
+    let sink =
+        Replicator::new(workers).run(episodes, base_seed, CellSink::default, |i, _rng, sink| {
+            run_episode(&cfg, spec, base_seed, i, sink);
+        });
+    sink.into_outcome(spec, episodes)
+}
+
+/// Legacy always-traced serial cell runner, kept as the baseline the
+/// `mc_replication` bench measures the untraced fast path against.
+#[must_use]
+pub fn run_cell_traced_baseline(spec: &CellSpec, episodes: u64, base_seed: u64) -> CellOutcome {
+    let cfg = cell_config(spec);
+    let mut sink = CellSink::default();
     for i in 0..episodes {
-        let seed = episode_seed(base_seed, i);
-        // The fault plan draws from an offset stream so it stays
-        // independent of (but reproducible with) the episode's own RNG.
-        let mut plan_rng = SimRng::seed_from(seed.wrapping_add(1));
-        let birth = cfg.theta + plan_rng.uniform(0.0, cfg.theta);
-        let duration = plan_rng.exp(0.2);
-        let plan = draw_plan(&cfg, spec.node_failure_rate, birth, &mut plan_rng);
+        let (seed, birth, duration, plan) = episode_setup(&cfg, spec, base_seed, i);
         let ep = apply_plan(Episode::new(&cfg, seed), &plan);
         let (result, trace) = ep.run_traced(birth, duration);
-
-        let detection = trace.iter().find_map(|e| match e.event {
-            TraceEvent::Detection { sat, .. } => Some((e.t, sat)),
-            _ => None,
-        });
-        let Some((t0, detector)) = detection else {
+        let (Some(t0), Some(detector)) = (result.detected_at, result.detector) else {
             continue;
         };
-        out.detected += 1;
+        sink.detected += 1;
         if result.deadline_met {
-            out.timely += 1;
+            sink.timely += 1;
         }
         if result.level >= QosLevel::SequentialDual {
-            out.quality += 1;
+            sink.quality += 1;
         }
         if stays_alive(&plan, detector, t0, cfg.tau) {
-            out.live_detector += 1;
-            let guaranteed = result.deadline_met && result.level >= QosLevel::Single;
-            if guaranteed {
-                out.live_detector_timely += 1;
+            sink.live_detector += 1;
+            if result.deadline_met && result.level >= QosLevel::Single {
+                sink.live_detector_timely += 1;
             } else {
-                out.violations.push(Violation {
+                sink.violations.push(Violation {
                     episode: i,
                     seed,
                     detector,
@@ -280,7 +419,59 @@ pub fn run_cell(spec: &CellSpec, episodes: u64, base_seed: u64) -> CellOutcome {
             }
         }
     }
-    out
+    sink.into_outcome(spec, episodes)
+}
+
+/// A grid sink: one [`CellSink`] slot per cell, merged elementwise (the
+/// blanket `Vec` impl concatenates, which is not what a fixed-size grid
+/// wants).
+struct GridSink(Vec<CellSink>);
+
+impl Merge for GridSink {
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Runs a whole campaign grid through one two-level fan-out: the engine
+/// partitions the flattened `cells × episodes` index space, so workers
+/// stay busy even when cells outnumber episodes or vice versa.
+///
+/// Each cell's outcome is bit-identical to [`run_cell_workers`] on that
+/// cell (same per-episode seeds, same episode-ordered violation list), and
+/// the whole grid is bit-identical for any worker count.
+#[must_use]
+pub fn run_grid_workers(
+    specs: &[CellSpec],
+    episodes: u64,
+    base_seed: u64,
+    workers: usize,
+) -> Vec<CellOutcome> {
+    if episodes == 0 {
+        return specs
+            .iter()
+            .map(|spec| CellSink::default().into_outcome(spec, 0))
+            .collect();
+    }
+    let cfgs: Vec<ProtocolConfig> = specs.iter().map(cell_config).collect();
+    let total = specs.len() as u64 * episodes;
+    let sink = Replicator::new(workers).run(
+        total,
+        base_seed,
+        || GridSink(vec![CellSink::default(); specs.len()]),
+        |g, _rng, sink| {
+            let c = (g / episodes) as usize;
+            let i = g % episodes;
+            run_episode(&cfgs[c], &specs[c], base_seed, i, &mut sink.0[c]);
+        },
+    );
+    sink.0
+        .into_iter()
+        .zip(specs)
+        .map(|(s, spec)| s.into_outcome(spec, episodes))
+        .collect()
 }
 
 fn json_escape(s: &str) -> String {
@@ -425,6 +616,23 @@ mod tests {
         assert!((ge.stationary_loss() - 0.2).abs() < 1e-12);
     }
 
+    fn assert_cells_identical(a: &CellOutcome, b: &CellOutcome) {
+        assert_eq!(a.episodes, b.episodes);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.timely, b.timely);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.live_detector, b.live_detector);
+        assert_eq!(a.live_detector_timely, b.live_detector_timely);
+        assert_eq!(a.violations.len(), b.violations.len());
+        for (x, y) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(x.episode, y.episode);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.detector, y.detector);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.trace, y.trace);
+        }
+    }
+
     #[test]
     fn cells_are_reproducible() {
         let spec = CellSpec {
@@ -434,10 +642,94 @@ mod tests {
         };
         let a = run_cell(&spec, 60, 7);
         let b = run_cell(&spec, 60, 7);
-        assert_eq!(a.detected, b.detected);
-        assert_eq!(a.timely, b.timely);
-        assert_eq!(a.quality, b.quality);
-        assert_eq!(a.live_detector_timely, b.live_detector_timely);
+        assert_cells_identical(&a, &b);
+    }
+
+    #[test]
+    fn worker_count_never_changes_a_cell() {
+        let spec = CellSpec {
+            loss: LossAxis::Bursty {
+                marginal: 0.3,
+                burst_len: 4.0,
+            },
+            node_failure_rate: 0.3,
+            retry_budget: 1,
+        };
+        let reference = run_cell(&spec, 120, 11);
+        for workers in [2, 4] {
+            let par = run_cell_workers(&spec, 120, 11, workers);
+            assert_cells_identical(&par, &reference);
+        }
+    }
+
+    #[test]
+    fn grid_matches_per_cell_runs() {
+        let specs = [
+            CellSpec {
+                loss: LossAxis::Iid { p: 0.0 },
+                node_failure_rate: 0.0,
+                retry_budget: 0,
+            },
+            CellSpec {
+                loss: LossAxis::Iid { p: 0.3 },
+                node_failure_rate: 0.25,
+                retry_budget: 2,
+            },
+            CellSpec {
+                loss: LossAxis::Bursty {
+                    marginal: 0.2,
+                    burst_len: 5.0,
+                },
+                node_failure_rate: 0.1,
+                retry_budget: 1,
+            },
+        ];
+        let grid = run_grid_workers(&specs, 70, 42, 2);
+        assert_eq!(grid.len(), specs.len());
+        for (cell, spec) in grid.iter().zip(&specs) {
+            let solo = run_cell(spec, 70, 42);
+            assert_cells_identical(cell, &solo);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_traced_baseline() {
+        let spec = CellSpec {
+            loss: LossAxis::Iid { p: 0.35 },
+            node_failure_rate: 0.4,
+            retry_budget: 1,
+        };
+        let fast = run_cell(&spec, 150, 5);
+        let traced = run_cell_traced_baseline(&spec, 150, 5);
+        assert_cells_identical(&fast, &traced);
+    }
+
+    #[test]
+    fn violation_replay_is_bit_identical() {
+        // Real violations never occur (the guarantee holds — that is the
+        // campaign's acceptance test), so the replay contract is exercised
+        // directly: any (spec, base_seed, episode) triple replays to the
+        // identical outcome and trace, and its outcomes agree with the
+        // untraced fast path the campaign tallies from.
+        let spec = CellSpec {
+            loss: LossAxis::Bursty {
+                marginal: 0.5,
+                burst_len: 4.0,
+            },
+            node_failure_rate: 0.5,
+            retry_budget: 1,
+        };
+        for i in [0u64, 3, 17] {
+            let (out_a, trace_a) = replay_episode(&spec, 77, i);
+            let (out_b, trace_b) = replay_episode(&spec, 77, i);
+            assert_eq!(out_a, out_b);
+            assert_eq!(trace_a, trace_b);
+        }
+        let cell = run_cell(&spec, 20, 77);
+        let replayed_detected = (0..20)
+            .filter(|&i| replay_episode(&spec, 77, i).0.detected_at.is_some())
+            .count() as u64;
+        assert_eq!(replayed_detected, cell.detected);
     }
 
     #[test]

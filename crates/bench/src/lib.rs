@@ -21,6 +21,8 @@
 //! | `chain_depth` | E14 (analysis) — coordination-chain-length distribution |
 //! | `robustness` | E15 (analysis) — fault-injection campaign: bursty/transient faults × retry budgets, JSON degradation curves |
 //! | `qos_server` | E16 (engine) — serving-engine replay of a seeded Zipf query workload: throughput vs naive recompute, latency percentiles, cache/admission counters, JSON |
+//! | `pk_kernel` | E17 (perf) — sparse shared-iterate P(k) kernel vs dense per-panel baseline, JSON |
+//! | `mc_replication` | E18 (perf) — deterministic parallel replication engine: traced vs fast-path campaign cells, worker fan-out with in-bench bit-identity assertion, JSON |
 //!
 //! The Criterion benches (`benches/`) measure the computational substrates
 //! themselves (kernel, SAN solvers, WLS, analytic evaluation, protocol

@@ -5,7 +5,8 @@
 //! two fully independent derivations of the same quantity (the paper only
 //! has the analytic one).
 
-use oaq_sim::SimRng;
+use oaq_sim::par::{Merge, Replicator};
+use oaq_sim::rng::substream_seed;
 
 use crate::config::ProtocolConfig;
 use crate::protocol::Episode;
@@ -59,63 +60,105 @@ impl QosEstimate {
     }
 }
 
+/// Per-chunk partial sums for the QoS estimator; integer fields merge
+/// exactly, the latency sum is order-stable (see [`oaq_sim::par`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct QosSink {
+    counts: [u64; 4],
+    timely: u64,
+    detected: u64,
+    messages: u64,
+    latency_sum: f64,
+}
+
+impl Merge for QosSink {
+    fn merge(&mut self, other: &Self) {
+        self.counts.merge(&other.counts);
+        self.timely.merge(&other.timely);
+        self.detected.merge(&other.detected);
+        self.messages.merge(&other.messages);
+        self.latency_sum.merge(&other.latency_sum);
+    }
+}
+
 /// Estimates `P(Y = y | k)` by simulating `episodes` independent signals.
 ///
 /// Signal births are uniform over one revisit period (PASTA) and durations
 /// exponential with rate `mu`, matching the analytic model's assumptions.
+/// Equivalent to [`estimate_conditional_qos_par`] with one worker.
 ///
 /// # Panics
 ///
 /// Panics if `episodes == 0` or `mu <= 0`, or on invalid `cfg`.
 #[must_use]
 pub fn estimate_conditional_qos(cfg: &ProtocolConfig, opts: &MonteCarloOptions) -> QosEstimate {
+    estimate_conditional_qos_par(cfg, opts, 1)
+}
+
+/// Estimates `P(Y = y | k)`, fanning episodes across `workers` threads
+/// (`0` = one per core).
+///
+/// Episode `i` draws its birth time and duration from the counter-based
+/// substream `(opts.seed, i)` and seeds its protocol run from the same
+/// substream value (offset by one so the episode's internal stream is
+/// decorrelated from the arrival draws). The estimate is a pure function
+/// of `(cfg, opts)`: any worker count returns the identical value.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0` or `mu <= 0`, or on invalid `cfg`.
+#[must_use]
+pub fn estimate_conditional_qos_par(
+    cfg: &ProtocolConfig,
+    opts: &MonteCarloOptions,
+    workers: usize,
+) -> QosEstimate {
     assert!(opts.episodes > 0, "need at least one episode");
     assert!(opts.mu.is_finite() && opts.mu > 0.0, "mu must be positive");
     cfg.validate();
-    let mut rng = SimRng::seed_from(opts.seed);
-    let mut counts = [0usize; 4];
-    let mut timely = 0usize;
-    let mut detected = 0usize;
-    let mut messages = 0u64;
-    let mut latency_sum = 0.0f64;
-    for i in 0..opts.episodes {
-        // Offset births away from t = 0 so pre-birth coverage history is
-        // well-defined for every satellite.
-        let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
-        let duration = rng.exp(opts.mu);
-        let out =
-            Episode::new(cfg, opts.seed.wrapping_add(i as u64 * 7919 + 1)).run(birth, duration);
-        counts[out.level.as_y()] += 1;
-        messages += out.messages_sent;
-        if out.level > QosLevel::Missed {
-            detected += 1;
-            if out.deadline_met {
-                timely += 1;
+    let sink = Replicator::new(workers).run(
+        opts.episodes as u64,
+        opts.seed,
+        QosSink::default,
+        |i, rng, sink| {
+            // Offset births away from t = 0 so pre-birth coverage history is
+            // well-defined for every satellite.
+            let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
+            let duration = rng.exp(opts.mu);
+            let episode_seed = substream_seed(opts.seed, i).wrapping_add(1);
+            let out = Episode::new(cfg, episode_seed).run(birth, duration);
+            sink.counts[out.level.as_y()] += 1;
+            sink.messages += out.messages_sent;
+            if out.level > QosLevel::Missed {
+                sink.detected += 1;
+                if out.deadline_met {
+                    sink.timely += 1;
+                }
+                if let Some(at) = out.delivered_at {
+                    sink.latency_sum += at - birth;
+                }
             }
-            if let Some(at) = out.delivered_at {
-                latency_sum += at - birth;
-            }
-        }
-    }
+        },
+    );
     let n = opts.episodes as f64;
     QosEstimate {
         p: [
-            counts[0] as f64 / n,
-            counts[1] as f64 / n,
-            counts[2] as f64 / n,
-            counts[3] as f64 / n,
+            sink.counts[0] as f64 / n,
+            sink.counts[1] as f64 / n,
+            sink.counts[2] as f64 / n,
+            sink.counts[3] as f64 / n,
         ],
         episodes: opts.episodes,
-        timeliness: if detected == 0 {
+        timeliness: if sink.detected == 0 {
             1.0
         } else {
-            timely as f64 / detected as f64
+            sink.timely as f64 / sink.detected as f64
         },
-        mean_messages: messages as f64 / n,
-        mean_alert_latency: if detected == 0 {
+        mean_messages: sink.messages as f64 / n,
+        mean_alert_latency: if sink.detected == 0 {
             0.0
         } else {
-            latency_sum / detected as f64
+            sink.latency_sum / sink.detected as f64
         },
     }
 }
@@ -196,6 +239,16 @@ mod tests {
         let a = estimate_conditional_qos(&cfg, &opts(0.5, 500));
         let b = estimate_conditional_qos(&cfg, &opts(0.5, 500));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_estimate() {
+        let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+        let serial = estimate_conditional_qos(&cfg, &opts(0.5, 400));
+        for workers in [2, 4] {
+            let par = estimate_conditional_qos_par(&cfg, &opts(0.5, 400), workers);
+            assert_eq!(par, serial, "{workers} workers");
+        }
     }
 
     #[test]

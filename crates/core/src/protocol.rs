@@ -917,7 +917,7 @@ impl Episode {
         sim.run_to_completion();
         let m = sim.into_model();
 
-        let Some((t0, _)) = m.detection else {
+        let Some((t0, s1)) = m.detection else {
             return (EpisodeOutcome::missed(), m.trace);
         };
         let deadline = t0 + m.cfg.tau;
@@ -941,6 +941,8 @@ impl Episode {
                 messages_sent: messages,
                 s1_released: m.s1_released_at.is_some(),
                 reported_error_km: Some(d.reported_error_km),
+                detected_at: Some(t0),
+                detector: Some(s1),
             },
             None => EpisodeOutcome {
                 // Detected but nothing ever reached the ground (e.g. the
@@ -952,6 +954,8 @@ impl Episode {
                 messages_sent: messages,
                 s1_released: m.s1_released_at.is_some(),
                 reported_error_km: None,
+                detected_at: Some(t0),
+                detector: Some(s1),
             },
         };
         (outcome, m.trace)

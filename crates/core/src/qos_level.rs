@@ -85,6 +85,11 @@ pub struct EpisodeOutcome {
     /// The 1-σ error radius reported with the delivered result, km
     /// (from the configured accuracy model).
     pub reported_error_km: Option<f64>,
+    /// When the signal was first detected (minutes), `None` for an escaped
+    /// target. The protocol's τ deadline runs from this instant.
+    pub detected_at: Option<f64>,
+    /// The detecting satellite `S1`, `None` for an escaped target.
+    pub detector: Option<usize>,
 }
 
 impl EpisodeOutcome {
@@ -99,6 +104,8 @@ impl EpisodeOutcome {
             messages_sent: 0,
             s1_released: true,
             reported_error_km: None,
+            detected_at: None,
+            detector: None,
         }
     }
 }

@@ -21,9 +21,14 @@
 //! * [`Context`] — handed to the model inside `handle`; allows scheduling,
 //!   cancellation and random sampling.
 //! * [`rng::SimRng`] — seeded random streams with the distributions used in
-//!   the paper (exponential, uniform, deterministic).
+//!   the paper (exponential, uniform, deterministic), plus counter-based
+//!   substream derivation for parallel replication.
 //! * [`stats`] — counters, tallies, time-weighted averages, histograms and
-//!   batch-means confidence intervals.
+//!   batch-means confidence intervals; every collector merges, so partial
+//!   results from parallel workers reduce deterministically.
+//! * [`par`] — the deterministic parallel Monte Carlo replication engine
+//!   ([`par::Replicator`]): substream-seeded replications fanned across a
+//!   scoped worker pool, bit-identical for any worker count.
 //!
 //! ## Example
 //!
@@ -74,11 +79,13 @@
 
 mod clock;
 mod engine;
+pub mod par;
 mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{SimDuration, SimTime};
 pub use engine::{Context, EventRecord, Model, RunOutcome, Simulation};
+pub use par::{Merge, Replicator};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;

@@ -1,0 +1,370 @@
+//! Deterministic parallel Monte Carlo replication.
+//!
+//! Monte Carlo studies in this workspace (the E15 fault-injection
+//! campaign, the E9 protocol-vs-analytic validation, the membership
+//! benches) are embarrassingly parallel: every replication is seeded
+//! independently and touches no shared state. This module turns that
+//! independence into wall-clock speedup *without giving up determinism*:
+//!
+//! 1. **Counter-based substreams.** Replication `i` draws from
+//!    [`SimRng::substream`]`(base_seed, i)` — a pure function of the seed
+//!    and the replication index, so the stream is identical no matter
+//!    which worker runs the replication.
+//! 2. **Fixed merge structure.** Replications are grouped into chunks of a
+//!    *fixed* size (configurable, independent of the worker count). Each
+//!    chunk accumulates into its own statistic sink, and chunk sinks are
+//!    merged in ascending chunk order once all workers finish.
+//!
+//! Together these make the aggregate a deterministic function of
+//! `(replications, base_seed, chunk)` alone: **running with 1, 2, 4 or 64
+//! workers produces bit-identical results**, because the worker count only
+//! decides *who* computes a chunk, never *what* a chunk contains or the
+//! order chunks are merged in.
+//!
+//! For sinks whose [`Merge`] is exact — integer counters, histograms,
+//! order-preserving concatenation — the result is additionally
+//! bit-identical to a plain serial `for` loop over the replications. For
+//! floating-point sinks ([`crate::stats::Tally`] & co.) the chunked merge
+//! regroups the additions, so the result is deterministic and
+//! worker-count-independent but may differ from the unchunked loop in the
+//! last few ulps; route the serial path through a one-worker
+//! [`Replicator`] to get one code path with one answer.
+//!
+//! # Example
+//!
+//! ```
+//! use oaq_sim::par::{Merge, Replicator};
+//! use oaq_sim::stats::Tally;
+//!
+//! #[derive(Default)]
+//! struct Sink {
+//!     hits: u64,
+//!     sample: Tally,
+//! }
+//! impl Merge for Sink {
+//!     fn merge(&mut self, other: &Self) {
+//!         self.hits.merge(&other.hits);
+//!         self.sample.merge(&other.sample);
+//!     }
+//! }
+//!
+//! let run = |workers| {
+//!     Replicator::new(workers).run(10_000, 42, Sink::default, |_, rng, sink| {
+//!         let x = rng.exp(0.5);
+//!         if x > 2.0 {
+//!             sink.hits += 1;
+//!         }
+//!         sink.sample.record(x);
+//!     })
+//! };
+//! let serial = run(1);
+//! let parallel = run(4);
+//! assert_eq!(serial.hits, parallel.hits);
+//! assert_eq!(serial.sample.mean(), parallel.sample.mean());
+//! ```
+
+use crate::rng::SimRng;
+
+/// A statistic that supports an order-stable parallel reduction.
+///
+/// `merge` folds `other` into `self`. The replication engine always merges
+/// partial sinks in ascending replication order, so implementations may
+/// (and the stats types do) make the result depend on operand order — what
+/// matters is that `merge` is a deterministic function of its operands.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Counts and other exact accumulators add.
+impl Merge for u64 {
+    fn merge(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+/// Floating-point accumulators add (exactly order-stable, but the chunked
+/// grouping differs from an unchunked serial sum — see the module docs).
+impl Merge for f64 {
+    fn merge(&mut self, other: &Self) {
+        *self += *other;
+    }
+}
+
+/// Sequences concatenate, preserving replication order.
+impl<T: Clone> Merge for Vec<T> {
+    fn merge(&mut self, other: &Self) {
+        self.extend_from_slice(other);
+    }
+}
+
+/// Fixed-size arrays merge elementwise.
+impl<T: Merge, const N: usize> Merge for [T; N] {
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.iter_mut().zip(other) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Every statistics collector reduces via its inherent `merge`; see each
+/// type's docs for exactness (integer collectors are exact, floating-point
+/// collectors are order-stable, the P² sketch is heuristic).
+impl Merge for crate::stats::Counter {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::Counter::merge(self, other);
+    }
+}
+
+impl Merge for crate::stats::Tally {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::Tally::merge(self, other);
+    }
+}
+
+impl Merge for crate::stats::Histogram {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::Histogram::merge(self, other);
+    }
+}
+
+impl Merge for crate::stats::BatchMeans {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::BatchMeans::merge(self, other);
+    }
+}
+
+impl Merge for crate::stats::TimeWeighted {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::TimeWeighted::merge(self, other);
+    }
+}
+
+impl Merge for crate::stats::P2Quantile {
+    fn merge(&mut self, other: &Self) {
+        crate::stats::P2Quantile::merge(self, other);
+    }
+}
+
+/// Default replications per chunk: small enough that short CI-sized runs
+/// still fan out, large enough that merge overhead stays negligible.
+pub const DEFAULT_CHUNK: u64 = 16;
+
+/// Resolves a worker-count request: `0` means one worker per available
+/// core, anything else is taken literally.
+#[must_use]
+pub fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+}
+
+/// A deterministic parallel replication engine.
+///
+/// See the [module docs](self) for the determinism argument. Constructed
+/// with a worker count (`0` = all cores) and an optional chunk size; the
+/// chunk size is part of the result's "identity" (it fixes the merge
+/// grouping), the worker count is not.
+#[derive(Debug, Clone)]
+pub struct Replicator {
+    workers: usize,
+    chunk: u64,
+}
+
+impl Replicator {
+    /// An engine with `workers` worker threads (`0` = one per core) and the
+    /// default chunk size.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Replicator {
+            workers,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Overrides the replications-per-chunk granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        effective_workers(self.workers)
+    }
+
+    /// The replications-per-chunk granularity.
+    #[must_use]
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Runs `replications` independent replications, fanning chunks across
+    /// a scoped worker pool, and returns the merged sink.
+    ///
+    /// `init` builds an empty per-chunk sink; `body(i, rng, sink)` runs
+    /// replication `i` with its dedicated substream
+    /// [`SimRng::substream`]`(base_seed, i)` and records into the chunk's
+    /// sink. The result is bit-identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `body` (the pool observes the first one).
+    pub fn run<S, I, F>(&self, replications: u64, base_seed: u64, init: I, body: F) -> S
+    where
+        S: Merge + Send,
+        I: Fn() -> S + Sync,
+        F: Fn(u64, &mut SimRng, &mut S) + Sync,
+    {
+        let chunks = replications.div_ceil(self.chunk);
+        let run_chunk = |c: u64| -> S {
+            let mut sink = init();
+            let lo = c * self.chunk;
+            let hi = (lo + self.chunk).min(replications);
+            for i in lo..hi {
+                let mut rng = SimRng::substream(base_seed, i);
+                body(i, &mut rng, &mut sink);
+            }
+            sink
+        };
+
+        let workers = self
+            .effective_workers()
+            .min(usize::try_from(chunks).unwrap_or(usize::MAX))
+            .max(1);
+        if workers <= 1 {
+            // Same chunk structure and merge order as the parallel path, so
+            // one worker is the bit-exact reference for any worker count.
+            let mut acc = init();
+            for c in 0..chunks {
+                acc.merge(&run_chunk(c));
+            }
+            return acc;
+        }
+
+        let mut slots: Vec<Option<S>> = (0..chunks).map(|_| None).collect();
+        let per_worker = slots.len().div_ceil(workers);
+        let run_chunk = &run_chunk;
+        crossbeam::scope(|scope| {
+            for (w, slot_range) in slots.chunks_mut(per_worker).enumerate() {
+                let first = (w * per_worker) as u64;
+                scope.spawn(move |_| {
+                    for (j, slot) in slot_range.iter_mut().enumerate() {
+                        *slot = Some(run_chunk(first + j as u64));
+                    }
+                });
+            }
+        })
+        .expect("replication worker panicked");
+
+        let mut acc = init();
+        for slot in slots {
+            acc.merge(&slot.expect("worker filled every chunk slot"));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Histogram, Tally};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Sink {
+        count: u64,
+        sum: f64,
+        tally: Tally,
+        hist: Histogram,
+        order: Vec<u64>,
+    }
+
+    impl Sink {
+        fn empty() -> Self {
+            Sink {
+                count: 0,
+                sum: 0.0,
+                tally: Tally::new(),
+                hist: Histogram::new(0.0, 10.0, 20),
+                order: Vec::new(),
+            }
+        }
+    }
+
+    impl Merge for Sink {
+        fn merge(&mut self, other: &Self) {
+            self.count.merge(&other.count);
+            self.sum.merge(&other.sum);
+            self.tally.merge(&other.tally);
+            self.hist.merge(&other.hist);
+            self.order.merge(&other.order);
+        }
+    }
+
+    fn run(workers: usize, chunk: u64) -> Sink {
+        Replicator::new(workers)
+            .with_chunk(chunk)
+            .run(500, 99, Sink::empty, |i, rng, sink| {
+                let x = rng.exp(0.3);
+                sink.count += 1;
+                sink.sum += x;
+                sink.tally.record(x);
+                sink.hist.record(x);
+                sink.order.push(i);
+            })
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_answer() {
+        let reference = run(1, DEFAULT_CHUNK);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(run(workers, DEFAULT_CHUNK), reference, "{workers} workers");
+        }
+        assert_eq!(reference.count, 500);
+        assert_eq!(reference.order, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_replications_yield_the_empty_sink() {
+        let s = Replicator::new(4).run(0, 1, Sink::empty, |_, _, _| unreachable!());
+        assert_eq!(s, Sink::empty());
+    }
+
+    #[test]
+    fn replication_streams_are_substreams() {
+        // The rng handed to replication i must be substream i exactly.
+        let collected = Replicator::new(3).run(40, 7, Vec::new, |i, rng, sink: &mut Vec<f64>| {
+            let expected = SimRng::substream(7, i).unit();
+            let got = rng.unit();
+            assert_eq!(got, expected);
+            sink.push(got);
+        });
+        assert_eq!(collected.len(), 40);
+    }
+
+    #[test]
+    fn chunk_size_is_part_of_the_identity_for_floats() {
+        // Counts are chunk-invariant; float sums may regroup.
+        let a = run(2, 16);
+        let b = run(2, 64);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.hist, b.hist);
+        assert_eq!(a.order, b.order);
+        assert!((a.sum - b.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = Replicator::new(1).with_chunk(0);
+    }
+}

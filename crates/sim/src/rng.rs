@@ -10,6 +10,24 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// Derives the seed of substream `stream_id` from `base_seed`.
+///
+/// The mixing is a SplitMix64-style finalizer over
+/// `base_seed + stream_id · γ + γ` (γ the golden-ratio increment), so
+/// nearby stream ids map to statistically unrelated seeds. This is a pure
+/// function of its arguments: replication *i* receives the same stream no
+/// matter which worker thread — or how many worker threads — the
+/// replication engine ([`crate::par::Replicator`]) schedules it on.
+#[must_use]
+pub fn substream_seed(base_seed: u64, stream_id: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic random stream for simulation models.
 ///
 /// # Examples
@@ -40,6 +58,28 @@ impl SimRng {
     /// parent stream; two forks taken in sequence are distinct.
     pub fn fork(&mut self) -> SimRng {
         SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// The counter-based substream `stream_id` of `base_seed`
+    /// (see [`substream_seed`]).
+    ///
+    /// Unlike [`SimRng::fork`], which advances the parent and therefore
+    /// depends on how many forks were taken before it, a substream is
+    /// addressed purely by its id — the derivation Monte Carlo replication
+    /// *i* uses under both the serial loop and the parallel
+    /// [`crate::par::Replicator`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oaq_sim::SimRng;
+    /// let mut a = SimRng::substream(7, 42);
+    /// let mut b = SimRng::substream(7, 42);
+    /// assert_eq!(a.unit(), b.unit());
+    /// ```
+    #[must_use]
+    pub fn substream(base_seed: u64, stream_id: u64) -> SimRng {
+        SimRng::seed_from(substream_seed(base_seed, stream_id))
     }
 
     /// A uniform draw in `[0, 1)`.
@@ -203,5 +243,28 @@ mod tests {
     #[should_panic(expected = "rate must be > 0")]
     fn exp_rejects_zero_rate() {
         let _ = SimRng::seed_from(0).exp(0.0);
+    }
+
+    #[test]
+    fn substreams_are_pure_and_distinct() {
+        assert_eq!(substream_seed(9, 4), substream_seed(9, 4));
+        assert_ne!(substream_seed(9, 4), substream_seed(9, 5));
+        assert_ne!(substream_seed(9, 4), substream_seed(10, 4));
+        let mut a = SimRng::substream(9, 4);
+        let mut b = SimRng::substream(9, 4);
+        let mut c = SimRng::substream(9, 5);
+        let x = a.unit();
+        assert_eq!(x, b.unit());
+        assert_ne!(x, c.unit());
+    }
+
+    #[test]
+    fn substreams_ignore_parent_state() {
+        // Forks depend on draw history; substreams must not.
+        let mut parent = SimRng::seed_from(1);
+        let before = SimRng::substream(33, 7).unit();
+        let _ = parent.fork();
+        let after = SimRng::substream(33, 7).unit();
+        assert_eq!(before, after);
     }
 }

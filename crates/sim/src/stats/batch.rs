@@ -56,6 +56,58 @@ impl BatchMeans {
         }
     }
 
+    /// The configured observations-per-batch.
+    #[must_use]
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Observations sitting in the (open) partial batch.
+    #[must_use]
+    pub fn partial_count(&self) -> u64 {
+        self.current_n
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    ///
+    /// Completed batches pool directly. The two partial batches are
+    /// concatenated; when together they fill a batch, the straddling batch
+    /// closes with the *pooled mean* of both partials — exact whenever the
+    /// merge boundary lands on a batch boundary (in particular whenever
+    /// `self` has no partial batch, the replication engine's common case),
+    /// mean-preserving otherwise. Deterministic and order-stable either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both accumulators share the same batch size.
+    pub fn merge(&mut self, other: &BatchMeans) {
+        assert_eq!(
+            self.batch_size, other.batch_size,
+            "batch sizes must match to merge"
+        );
+        self.batch_means.merge(&other.batch_means);
+        if other.current_n == 0 {
+            return;
+        }
+        if self.current_n == 0 {
+            self.current_sum = other.current_sum;
+            self.current_n = other.current_n;
+            return;
+        }
+        let n = self.current_n + other.current_n;
+        if n < self.batch_size {
+            self.current_sum += other.current_sum;
+            self.current_n = n;
+        } else {
+            // Both partials are < batch_size, so exactly one batch closes.
+            let mean = (self.current_sum + other.current_sum) / n as f64;
+            self.batch_means.record(mean);
+            self.current_n = n - self.batch_size;
+            self.current_sum = mean * self.current_n as f64;
+        }
+    }
+
     /// Number of completed batches.
     #[must_use]
     pub fn completed_batches(&self) -> u64 {
@@ -138,5 +190,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_size_rejected() {
         let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_on_batch_boundary() {
+        let xs: Vec<f64> = (0..90).map(|i| (i as f64).cos() * 3.0).collect();
+        let mut whole = BatchMeans::new(10);
+        let mut a = BatchMeans::new(10);
+        let mut b = BatchMeans::new(10);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < 40 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.completed_batches(), whole.completed_batches());
+        assert!((a.grand_mean() - whole.grand_mean()).abs() < 1e-12);
+        assert!((a.ci95_half_width() - whole.ci95_half_width()).abs() < 1e-12);
+        assert_eq!(a.partial_count(), whole.partial_count());
+    }
+
+    #[test]
+    fn straddling_merge_preserves_counts_and_mass() {
+        let mut a = BatchMeans::new(10);
+        let mut b = BatchMeans::new(10);
+        for i in 0..7 {
+            a.record(i as f64);
+        }
+        for i in 0..8 {
+            b.record(10.0 + i as f64);
+        }
+        let total: f64 =
+            (0..7).map(|i| i as f64).sum::<f64>() + (0..8).map(|i| 10.0 + i as f64).sum::<f64>();
+        a.merge(&b);
+        assert_eq!(a.completed_batches(), 1);
+        assert_eq!(a.partial_count(), 5);
+        // Total mass (closed batch + leftover partial) is preserved.
+        let recovered = a.grand_mean() * 10.0 + a.current_sum;
+        assert!((recovered - total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sizes must match")]
+    fn merge_rejects_mismatched_batch_size() {
+        let mut a = BatchMeans::new(2);
+        a.merge(&BatchMeans::new(3));
     }
 }

@@ -58,6 +58,11 @@ impl Counter {
     pub fn reset(&mut self) {
         self.count = 0;
     }
+
+    /// Merges another counter into this one (parallel reduction; exact).
+    pub fn merge(&mut self, other: &Counter) {
+        self.count += other.count;
+    }
 }
 
 #[cfg(test)]

@@ -96,6 +96,26 @@ impl Histogram {
         self.bins.len()
     }
 
+    /// Merges another histogram into this one (parallel reduction).
+    ///
+    /// Bin counts are integers, so the merged histogram is *exactly* the
+    /// histogram of the concatenated streams — merge order never matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both histograms share the same range and bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram layouts must match to merge"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Fraction of in-range mass at or below the upper edge of bin `i`
     /// (empirical CDF on the binned support).
     #[must_use]
@@ -164,5 +184,30 @@ mod tests {
     fn empty_cdf_is_zero() {
         let h = Histogram::new(0.0, 1.0, 3);
         assert_eq!(h.cdf_at_bin(2), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37) % 12.0 - 1.0).collect();
+        let mut whole = Histogram::new(0.0, 10.0, 7);
+        let mut a = Histogram::new(0.0, 10.0, 7);
+        let mut b = Histogram::new(0.0, 10.0, 7);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < 83 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts must match")]
+    fn merge_rejects_mismatched_layout() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.merge(&Histogram::new(0.0, 1.0, 3));
     }
 }

@@ -10,6 +10,11 @@
 //!   batch means.
 //! * [`P2Quantile`] — streaming quantile estimation (P² algorithm), for
 //!   latency percentiles.
+//!
+//! Every collector has an order-stable `merge`, so per-worker partial
+//! statistics reduce deterministically under the parallel replication
+//! engine ([`crate::par::Replicator`]); all of them also implement the
+//! [`crate::par::Merge`] trait.
 
 mod batch;
 mod counter;

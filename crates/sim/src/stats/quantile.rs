@@ -141,6 +141,68 @@ impl P2Quantile {
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Merges another estimator for the *same* quantile into this one
+    /// (parallel reduction).
+    ///
+    /// P², like any constant-space sketch, cannot merge exactly; this uses
+    /// the standard marker-pooling heuristic. When either side is still in
+    /// its initialization phase (< 5 observations) its raw observations are
+    /// simply replayed — exact. Otherwise the extreme markers take the
+    /// min/max, the interior marker heights combine as count-weighted
+    /// averages, and positions/desired positions add — deterministic and
+    /// order-stable, with accuracy comparable to a single estimator fed
+    /// both streams. Replication studies that need an *exact* mergeable
+    /// distribution sketch should use [`super::Histogram`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators target different quantiles.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "quantile targets must match to merge"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if other.initial.len() < 5 {
+            for &x in &other.initial {
+                self.record(x);
+            }
+            return;
+        }
+        if self.initial.len() < 5 {
+            let mut merged = other.clone();
+            for &x in &self.initial {
+                merged.record(x);
+            }
+            *self = merged;
+            return;
+        }
+        let (c1, c2) = (self.count as f64, other.count as f64);
+        let total = c1 + c2;
+        self.heights[0] = self.heights[0].min(other.heights[0]);
+        self.heights[4] = self.heights[4].max(other.heights[4]);
+        for i in 1..4 {
+            self.heights[i] = (self.heights[i] * c1 + other.heights[i] * c2) / total;
+        }
+        // Positions and desired positions both start from the same
+        // 5-observation base, counted once after pooling.
+        let base_pos = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let base_desired = [
+            1.0,
+            1.0 + 2.0 * self.p,
+            1.0 + 4.0 * self.p,
+            3.0 + 2.0 * self.p,
+            5.0,
+        ];
+        for i in 0..5 {
+            self.positions[i] += other.positions[i] - base_pos[i];
+            self.desired[i] += other.desired[i] - base_desired[i];
+        }
+        self.count += other.count;
+    }
+
     /// The current quantile estimate; `None` before five observations.
     #[must_use]
     pub fn estimate(&self) -> Option<f64> {
@@ -233,5 +295,58 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         P2Quantile::new(0.5).record(f64::NAN);
+    }
+
+    #[test]
+    fn merged_sketches_track_the_pooled_quantile() {
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        let mut whole = P2Quantile::new(0.5);
+        let mut rng = SimRng::seed_from(11);
+        for i in 0..100_000 {
+            let x = rng.uniform(0.0, 10.0);
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        let merged = a.estimate().unwrap();
+        assert!((merged - 5.0).abs() < 0.2, "merged median {merged}");
+    }
+
+    #[test]
+    fn merging_small_sides_replays_exactly() {
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        for x in [1.0, 2.0] {
+            a.record(x);
+        }
+        for x in [3.0, 4.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.estimate(), Some(3.0), "exact small-sample order stat");
+        // Small-into-large is also well-defined.
+        let mut big = P2Quantile::new(0.5);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            big.record(rng.uniform(0.0, 1.0));
+        }
+        let mut small = P2Quantile::new(0.5);
+        small.record(0.5);
+        small.merge(&big);
+        assert_eq!(small.count(), 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile targets must match")]
+    fn merge_rejects_mismatched_targets() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge(&P2Quantile::new(0.9));
     }
 }

@@ -88,6 +88,34 @@ impl TimeWeighted {
         self.min_level
     }
 
+    /// Merges a tracker covering a *later* time segment into this one
+    /// (parallel reduction over a partitioned time axis).
+    ///
+    /// `other` must begin no earlier than this tracker's last update; the
+    /// gap `[self.last_change, other.origin)`, if any, is attributed to
+    /// this tracker's current level (i.e. the level is assumed to persist
+    /// until the next segment takes over — exactly what `update` would have
+    /// done). After the merge, this tracker reports over the union of both
+    /// segments, and `time_average` agrees with a single tracker fed the
+    /// concatenated update stream (up to float re-association).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` starts before this tracker's last update.
+    pub fn merge(&mut self, other: &TimeWeighted) {
+        assert!(
+            other.origin >= self.last_change,
+            "merged segments must be in time order"
+        );
+        self.weighted_sum += self.level
+            * other.origin.duration_since(self.last_change).as_minutes()
+            + other.weighted_sum;
+        self.level = other.level;
+        self.last_change = other.last_change;
+        self.max_level = self.max_level.max(other.max_level);
+        self.min_level = self.min_level.min(other.min_level);
+    }
+
     /// Restarts accumulation at `now`, keeping the current level
     /// (end-of-warm-up reset).
     pub fn reset(&mut self, now: SimTime) {
@@ -145,5 +173,47 @@ mod tests {
     fn out_of_order_update_panics() {
         let mut w = TimeWeighted::new(0.0, SimTime::new(5.0));
         w.update(1.0, SimTime::new(4.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let levels = [1.0, 5.0, 2.0, 8.0, 3.0, 0.5];
+        let mut whole = TimeWeighted::new(levels[0], SimTime::ZERO);
+        for (i, &l) in levels.iter().enumerate().skip(1) {
+            whole.update(l, SimTime::new(i as f64));
+        }
+        // Split at t = 3: the right tracker starts at the left's level then.
+        let mut left = TimeWeighted::new(levels[0], SimTime::ZERO);
+        for (i, &l) in levels.iter().enumerate().take(3).skip(1) {
+            left.update(l, SimTime::new(i as f64));
+        }
+        let mut right = TimeWeighted::new(levels[2], SimTime::new(3.0));
+        for (i, &l) in levels.iter().enumerate().skip(3) {
+            right.update(l, SimTime::new(i as f64));
+        }
+        left.merge(&right);
+        let end = SimTime::new(10.0);
+        assert!((left.time_average(end) - whole.time_average(end)).abs() < 1e-12);
+        assert_eq!(left.max_level(), whole.max_level());
+        assert_eq!(left.min_level(), whole.min_level());
+        assert_eq!(left.level(), whole.level());
+    }
+
+    #[test]
+    fn merge_fills_gaps_with_the_standing_level() {
+        let mut a = TimeWeighted::new(4.0, SimTime::ZERO);
+        a.update(2.0, SimTime::new(1.0)); // level 2 from t=1
+        let b = TimeWeighted::new(6.0, SimTime::new(3.0)); // starts at t=3
+        a.merge(&b);
+        // [0,1): 4, [1,3): 2 (gap filled), [3,5): 6 -> (4 + 4 + 12)/5 = 4
+        assert_eq!(a.time_average(SimTime::new(5.0)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn merge_rejects_overlapping_segments() {
+        let mut a = TimeWeighted::new(0.0, SimTime::ZERO);
+        a.update(1.0, SimTime::new(5.0));
+        a.merge(&TimeWeighted::new(0.0, SimTime::new(4.0)));
     }
 }
