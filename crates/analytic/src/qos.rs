@@ -230,13 +230,21 @@ pub fn conditional_qos(scheme: Scheme, geom: &PlaneGeometry, q: &QosParams) -> C
 
 /// `G3` evaluated from the defining integral (Eq. 4) with arbitrary signal
 /// survival `W(t) = P(duration > t)` and computation CDF `H(t)`.
+///
+/// Generic (`?Sized`) over both distributions, so concrete closures
+/// monomorphize through [`adaptive_simpson`] while `&dyn Fn` callers keep
+/// working unchanged.
 #[must_use]
-pub fn g3_oaq_with(
+pub fn g3_oaq_with<W, H>(
     geom: &PlaneGeometry,
     tau: f64,
-    signal_survival: &dyn Fn(f64) -> f64,
-    compute_cdf: &dyn Fn(f64) -> f64,
-) -> f64 {
+    signal_survival: &W,
+    compute_cdf: &H,
+) -> f64
+where
+    W: Fn(f64) -> f64 + ?Sized,
+    H: Fn(f64) -> f64 + ?Sized,
+{
     if !geom.is_overlapping() {
         return 0.0;
     }
@@ -253,12 +261,16 @@ pub fn g3_oaq_with(
 
 /// `G2` evaluated from its defining integral with arbitrary distributions.
 #[must_use]
-pub fn g2_oaq_with(
+pub fn g2_oaq_with<W, H>(
     geom: &PlaneGeometry,
     tau: f64,
-    signal_survival: &dyn Fn(f64) -> f64,
-    compute_cdf: &dyn Fn(f64) -> f64,
-) -> f64 {
+    signal_survival: &W,
+    compute_cdf: &H,
+) -> f64
+where
+    W: Fn(f64) -> f64 + ?Sized,
+    H: Fn(f64) -> f64 + ?Sized,
+{
     if geom.is_overlapping() || tau <= geom.l2() {
         return 0.0;
     }
@@ -273,7 +285,10 @@ pub fn g2_oaq_with(
 /// Miss probability from its defining integral with an arbitrary signal
 /// survival curve.
 #[must_use]
-pub fn miss_probability_with(geom: &PlaneGeometry, signal_survival: &dyn Fn(f64) -> f64) -> f64 {
+pub fn miss_probability_with<W>(geom: &PlaneGeometry, signal_survival: &W) -> f64
+where
+    W: Fn(f64) -> f64 + ?Sized,
+{
     if geom.is_overlapping() || geom.l2() == 0.0 {
         return 0.0;
     }

@@ -1,0 +1,67 @@
+//! Kernel bench: one WLS solve through each estimator configuration —
+//! the heap/dyn/finite-difference baseline, the heap path with analytic
+//! Jacobians, and the monomorphized stack-kernel fast path — plus the
+//! incremental chain-extension solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oaq_geoloc::doppler::DopplerMeasurement;
+use oaq_geoloc::emitter::Emitter;
+use oaq_geoloc::scenario::PassScenario;
+use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_geoloc::wls::{FdJacobian, Observation, WlsSolver};
+use oaq_orbit::units::Degrees;
+use oaq_orbit::GroundPoint;
+use oaq_sim::SimRng;
+
+fn bench_wls_solve(c: &mut Criterion) {
+    let emitter = Emitter::new(
+        GroundPoint::from_degrees(Degrees(30.0), Degrees(10.0)),
+        400.0e6,
+    );
+    let scenario = PassScenario::reference(&emitter);
+    let mut rng = SimRng::seed_from(19);
+    let mut obs: Vec<DopplerMeasurement> = scenario.synthesize_pass(0, &mut rng);
+    obs.extend(scenario.synthesize_pass(1, &mut rng));
+    let fd_obs: Vec<FdJacobian<DopplerMeasurement>> = obs.iter().map(|m| FdJacobian(*m)).collect();
+    let solver = WlsSolver::new();
+    let x0 = emitter.initial_guess_nearby(1.0);
+
+    let mut g = c.benchmark_group("wls_solve");
+    g.bench_function("heap_dyn_fd_baseline", |b| {
+        let refs: Vec<&dyn Observation> = fd_obs.iter().map(|o| o as &dyn Observation).collect();
+        b.iter(|| solver.solve_heap(&refs, x0).unwrap());
+    });
+    g.bench_function("heap_dyn_analytic", |b| {
+        let refs: Vec<&dyn Observation> = obs.iter().map(|o| o as &dyn Observation).collect();
+        b.iter(|| solver.solve_heap(&refs, x0).unwrap());
+    });
+    g.bench_function("stack_generic", |b| {
+        b.iter(|| solver.solve_obs(&obs, x0).unwrap());
+    });
+    g.bench_function("incremental_extension", |b| {
+        // One chain-extension solve: prior from three folded passes, one
+        // new pass entering through the information filter.
+        let mut rng = SimRng::seed_from(7);
+        let warm: Vec<Vec<DopplerMeasurement>> = (0..3)
+            .map(|pos| scenario.synthesize_pass(pos, &mut rng))
+            .collect();
+        let extension = scenario.synthesize_pass(0, &mut rng);
+        b.iter_batched(
+            || {
+                let mut loc = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+                for p in &warm {
+                    loc.add_pass(p.clone());
+                    loc.estimate_incremental().unwrap();
+                }
+                loc.add_pass(extension.clone());
+                loc
+            },
+            |mut loc| loc.estimate_incremental().unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wls_solve);
+criterion_main!(benches);

@@ -178,4 +178,45 @@ mod tests {
         let b = run_fullstack_chain(&deep_cfg(), 2, 5);
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn episode_outcomes_unchanged_under_fast_path() {
+        // Regression guard for the stack-kernel fast path: replay the
+        // episode with the identical RNG stream through the pre-PR
+        // heap/dyn estimator and demand the exact same per-iteration
+        // report (the fast path's bit-identity contract, end to end).
+        let cfg = deep_cfg();
+        for seed in [5, 11, 12] {
+            let fast = run_fullstack_chain(&cfg, 3, seed);
+
+            let mut rng = SimRng::seed_from(seed);
+            let emitter = Emitter::new(
+                GroundPoint::from_degrees(Degrees(30.0), Degrees(rng.uniform(-60.0, 60.0))),
+                400.0e6,
+            );
+            let scenario = PassScenario::new(
+                &emitter,
+                Degrees(85.0).to_radians(),
+                Minutes(cfg.theta),
+                Minutes(cfg.tc / 2.0),
+                Minutes(cfg.tr()),
+            );
+            let mut localizer = SequentialLocalizer::new(emitter.initial_guess_nearby(1.0));
+            for (pos, report) in fast.iterations.iter().enumerate() {
+                localizer.add_pass(scenario.synthesize_pass(pos, &mut rng));
+                let est = localizer.estimate_heap_dyn().expect("solvable geometry");
+                let _ = rng.exp(cfg.nu);
+                assert_eq!(
+                    est.position_error_km(&emitter.position()).to_bits(),
+                    report.actual_error_km.to_bits(),
+                    "seed {seed} pass {pos}: actual error diverged"
+                );
+                assert_eq!(
+                    est.error_radius_km().to_bits(),
+                    report.reported_error_km.to_bits(),
+                    "seed {seed} pass {pos}: reported error diverged"
+                );
+            }
+        }
+    }
 }

@@ -6,9 +6,14 @@ use oaq_orbit::units::Radians;
 use oaq_sim::SimRng;
 
 use crate::emitter::Emitter;
+use crate::error::MeasurementError;
 use crate::satstate::SatelliteState;
 use crate::wls::{Observation, STATE_DIM};
 use crate::SPEED_OF_LIGHT_KM_S;
+
+fn dot(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
 
 /// One Doppler observation: the received frequency of the emitter's carrier
 /// at a satellite whose kinematic state is known.
@@ -27,21 +32,38 @@ pub struct DopplerMeasurement {
 }
 
 impl DopplerMeasurement {
+    /// Wraps an already-measured value, validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasurementError::InvalidSigma`] if `sigma_hz` is not strictly
+    /// positive and finite (its weight `1/σ²` would be `inf`/`NaN`), and
+    /// [`MeasurementError::NonFiniteObserved`] for a NaN/infinite value.
+    pub fn try_new(
+        satellite: SatelliteState,
+        observed_hz: f64,
+        sigma_hz: f64,
+    ) -> Result<Self, MeasurementError> {
+        crate::error::validate_measurement(observed_hz, sigma_hz)?;
+        Ok(DopplerMeasurement {
+            satellite,
+            observed_hz,
+            sigma_hz,
+        })
+    }
+
     /// Wraps an already-measured value.
     ///
     /// # Panics
     ///
-    /// Panics if `sigma_hz` is not strictly positive.
+    /// Panics if `sigma_hz` is not strictly positive or the value is not
+    /// finite; see [`DopplerMeasurement::try_new`] for the non-panicking
+    /// form.
     #[must_use]
     pub fn new(satellite: SatelliteState, observed_hz: f64, sigma_hz: f64) -> Self {
-        assert!(
-            sigma_hz.is_finite() && sigma_hz > 0.0,
-            "sigma must be positive"
-        );
-        DopplerMeasurement {
-            satellite,
-            observed_hz,
-            sigma_hz,
+        match Self::try_new(satellite, observed_hz, sigma_hz) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -87,6 +109,48 @@ impl Observation for DopplerMeasurement {
 
     fn sigma(&self) -> f64 {
         self.sigma_hz
+    }
+
+    /// Closed-form gradient of `f = x₂ (1 − ρ̇/c)`: with `d = s − t(lat,lon)`
+    /// the satellite→target offset, `ρ = |d|` and `ρ̇ = v·d/ρ`,
+    ///
+    /// `∂ρ̇/∂θ = (v·d_θ)/ρ − ρ̇ (d·d_θ)/ρ²`,  `d_θ = −R ∂u/∂θ`,
+    ///
+    /// so `∂f/∂θ = −x₂ ∂ρ̇/∂θ / c` for θ ∈ {lat, lon} and
+    /// `∂f/∂f₀ = 1 − ρ̇/c`. Validated against the finite-difference
+    /// reference [`Observation::jacobian_row_fd`] by property test and in
+    /// the E19 bench.
+    fn jacobian_row(&self, x: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        let lat = x[0].clamp(
+            -std::f64::consts::FRAC_PI_2 + 1e-12,
+            std::f64::consts::FRAC_PI_2 - 1e-12,
+        );
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = x[1].sin_cos();
+        let r = EARTH_RADIUS.value();
+        let target = [r * clat * clon, r * clat * slon, r * slat];
+        // Target partials: t_θ = R ∂u/∂θ (d_θ = −t_θ).
+        let t_lat = [-r * slat * clon, -r * slat * slon, r * clat];
+        let t_lon = [-r * clat * slon, r * clat * clon, 0.0];
+        let s = &self.satellite;
+        let d = [
+            s.position_km[0] - target[0],
+            s.position_km[1] - target[1],
+            s.position_km[2] - target[2],
+        ];
+        let rho = dot(&d, &d).sqrt();
+        let v = &s.velocity_km_s;
+        let rho_dot = dot(v, &d) / rho;
+        let drho_dot = |t_q: &[f64; 3]| {
+            let d_q = [-t_q[0], -t_q[1], -t_q[2]];
+            (dot(v, &d_q) - rho_dot * dot(&d, &d_q) / rho) / rho
+        };
+        let scale = -x[2] / SPEED_OF_LIGHT_KM_S;
+        [
+            scale * drho_dot(&t_lat),
+            scale * drho_dot(&t_lon),
+            1.0 - rho_dot / SPEED_OF_LIGHT_KM_S,
+        ]
     }
 }
 
@@ -164,5 +228,36 @@ mod tests {
     fn zero_sigma_rejected() {
         let (_, sat) = setup();
         let _ = DopplerMeasurement::new(sat, 1.0, 0.0);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        use crate::error::MeasurementError;
+        let (_, sat) = setup();
+        assert!(matches!(
+            DopplerMeasurement::try_new(sat, 1.0, f64::NAN),
+            Err(MeasurementError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            DopplerMeasurement::try_new(sat, f64::INFINITY, 1.0),
+            Err(MeasurementError::NonFiniteObserved { .. })
+        ));
+        assert!(DopplerMeasurement::try_new(sat, 4.0e8, 1.0).is_ok());
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_finite_differences() {
+        let (emitter, sat) = setup();
+        let mut rng = SimRng::seed_from(7);
+        let m = DopplerMeasurement::synthesize(sat, &emitter, 1.0, &mut rng);
+        for offset in [0.1, 0.5, 1.5] {
+            let x = emitter.initial_guess_nearby(offset);
+            let analytic = m.jacobian_row(&x);
+            let fd = m.jacobian_row_fd(&x);
+            for (a, f) in analytic.iter().zip(&fd) {
+                let tol = 1e-6 * a.abs().max(f.abs()) + 1e-9;
+                assert!((a - f).abs() <= tol, "analytic {a} vs fd {f}");
+            }
+        }
     }
 }

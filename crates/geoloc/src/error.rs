@@ -1,0 +1,78 @@
+//! Typed construction errors for measurement models.
+
+/// Why a measurement could not be constructed.
+///
+/// A non-positive or non-finite σ would silently poison the WLS normal
+/// equations (`weight = 1/σ²` becomes `inf`/`NaN`), so observation
+/// constructors validate it up front and surface this typed error through
+/// the `try_new` constructors (the panicking `new` constructors wrap them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum MeasurementError {
+    /// The measurement standard deviation was zero, negative or non-finite.
+    InvalidSigma {
+        /// The rejected value.
+        sigma: f64,
+    },
+    /// The observed value was NaN or infinite.
+    NonFiniteObserved {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for MeasurementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasurementError::InvalidSigma { sigma } => {
+                write!(f, "sigma must be positive and finite, got {sigma}")
+            }
+            MeasurementError::NonFiniteObserved { value } => {
+                write!(f, "observed value must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasurementError {}
+
+/// Validates the (σ, observed) pair shared by every measurement model.
+pub(crate) fn validate_measurement(observed: f64, sigma: f64) -> Result<(), MeasurementError> {
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return Err(MeasurementError::InvalidSigma { sigma });
+    }
+    if !observed.is_finite() {
+        return Err(MeasurementError::NonFiniteObserved { value: observed });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeasurementError::InvalidSigma { sigma: -1.0 };
+        assert!(e.to_string().contains("sigma must be positive"));
+        let e = MeasurementError::NonFiniteObserved { value: f64::NAN };
+        assert!(e.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(validate_measurement(1.0, 1.0).is_ok());
+        assert!(matches!(
+            validate_measurement(1.0, 0.0),
+            Err(MeasurementError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            validate_measurement(1.0, f64::NAN),
+            Err(MeasurementError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            validate_measurement(f64::INFINITY, 1.0),
+            Err(MeasurementError::NonFiniteObserved { .. })
+        ));
+    }
+}

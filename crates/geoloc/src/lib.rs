@@ -56,6 +56,7 @@
 pub mod accuracy;
 pub mod doppler;
 pub mod emitter;
+pub mod error;
 pub mod satstate;
 pub mod scenario;
 pub mod sequential;
@@ -63,8 +64,9 @@ pub mod toa;
 pub mod wls;
 
 pub use emitter::Emitter;
+pub use error::MeasurementError;
 pub use sequential::SequentialLocalizer;
-pub use wls::{Estimate, Observation, SolveError, WlsSolver};
+pub use wls::{Estimate, FdJacobian, InformationPrior, Observation, SolveError, WlsSolver};
 
 /// Speed of light in km/s.
 pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;

@@ -5,8 +5,36 @@
 //! estimate is recomputed from the accumulated set, and the resulting
 //! *estimated error* is what termination condition TC-1 compares against an
 //! accuracy threshold.
+//!
+//! Two re-solve strategies are offered:
+//!
+//! * [`SequentialLocalizer::estimate`] — batch: re-solves over *all*
+//!   accumulated measurements (cost grows with the chain length), solving
+//!   directly over the boxed storage through the monomorphized fast path —
+//!   no per-estimate `Vec<&dyn Observation>` rebuild.
+//! * [`SequentialLocalizer::estimate_incremental`] — information-filter
+//!   style: measurements already incorporated are summarized by an
+//!   [`InformationPrior`] anchored at the previous solution, and each
+//!   chain extension solves only over the *new* measurements plus that
+//!   prior. When the solution moves further from the anchor than the
+//!   linearization can support, the localizer transparently falls back to
+//!   a full batch re-solve and rebuilds the prior (this is what happens
+//!   when a second pass collapses the single-pass ground-track ambiguity).
 
-use crate::wls::{Estimate, Observation, SolveError, WlsSolver, STATE_DIM};
+use oaq_linalg::SMat;
+
+use crate::wls::{Estimate, InformationPrior, Observation, SolveError, WlsSolver, STATE_DIM};
+
+/// Prior state carried between incremental estimates.
+#[derive(Debug, Clone, Copy)]
+struct IncrementalState {
+    /// How many leading observations are folded into `info`.
+    folded: usize,
+    /// Accumulated information `Σ w JᵀJ`, linearized at fold time.
+    info: SMat<STATE_DIM>,
+    /// The solution the information is anchored at.
+    anchor: [f64; STATE_DIM],
+}
 
 /// Accumulates measurement passes and re-estimates after each.
 ///
@@ -17,6 +45,8 @@ pub struct SequentialLocalizer {
     initial_guess: [f64; STATE_DIM],
     solver: WlsSolver,
     history: Vec<Estimate>,
+    incremental: Option<IncrementalState>,
+    relinearization_threshold: f64,
 }
 
 impl std::fmt::Debug for SequentialLocalizer {
@@ -41,6 +71,8 @@ impl SequentialLocalizer {
             initial_guess,
             solver: WlsSolver::new(),
             history: Vec::new(),
+            incremental: None,
+            relinearization_threshold: 1e-3,
         }
     }
 
@@ -48,6 +80,18 @@ impl SequentialLocalizer {
     #[must_use]
     pub fn with_solver(mut self, solver: WlsSolver) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Sets how far (in the solver's scaled step norm — radians plus
+    /// relative frequency) an incremental solution may move from the
+    /// prior's anchor before [`SequentialLocalizer::estimate_incremental`]
+    /// falls back to a full batch re-solve. The default `1e-3`
+    /// (≈ 6 km on the ground) keeps routine chain extensions incremental
+    /// while forcing relinearization on ambiguity collapses.
+    #[must_use]
+    pub fn with_relinearization_threshold(mut self, threshold: f64) -> Self {
+        self.relinearization_threshold = threshold;
         self
     }
 
@@ -76,19 +120,112 @@ impl SequentialLocalizer {
     }
 
     /// Re-solves over all accumulated measurements, warm-starting from the
-    /// previous estimate when one exists.
+    /// previous estimate when one exists. Solves directly over the boxed
+    /// storage (monomorphized fast path) — no reference-list rebuild.
     ///
     /// # Errors
     ///
     /// Propagates [`SolveError`] from the underlying WLS solve.
     pub fn estimate(&mut self) -> Result<Estimate, SolveError> {
         let start = self.history.last().map_or(self.initial_guess, |e| e.state);
+        let est = self.solver.solve_obs(&self.observations, start)?;
+        self.history.push(est.clone());
+        Ok(est)
+    }
+
+    /// Re-solves incrementally: only the measurements added since the last
+    /// incremental estimate enter the iteration; everything older is
+    /// summarized by an [`InformationPrior`] anchored at the previous
+    /// solution and folded in by rank-1 updates. Warm-starts from the
+    /// anchor.
+    ///
+    /// Falls back to a full batch re-solve (and rebuilds the prior) when
+    /// the solution moves further from the anchor than
+    /// [`SequentialLocalizer::with_relinearization_threshold`] allows, so
+    /// accuracy-critical transitions — e.g. a second pass collapsing the
+    /// single-pass ambiguity — are never served by a stale linearization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the underlying WLS solve.
+    pub fn estimate_incremental(&mut self) -> Result<Estimate, SolveError> {
+        let (est, extend) = match self.incremental {
+            // First estimate: nothing folded yet — plain batch solve.
+            None => (
+                self.solver
+                    .solve_obs(&self.observations, self.initial_guess)?,
+                false,
+            ),
+            Some(ref inc) => {
+                let prior = InformationPrior {
+                    info: inc.info,
+                    anchor: inc.anchor,
+                };
+                let est = self.solver.solve_obs_with_prior(
+                    &self.observations[inc.folded..],
+                    &prior,
+                    inc.anchor,
+                )?;
+                let step = ((est.state[0] - inc.anchor[0]).powi(2)
+                    + (est.state[1] - inc.anchor[1]).powi(2))
+                .sqrt()
+                    + (est.state[2] - inc.anchor[2]).abs() / inc.anchor[2].abs().max(1.0);
+                if step > self.relinearization_threshold {
+                    // The prior's linearization no longer covers the move:
+                    // re-solve from scratch, warm-started at the fresher of
+                    // the two states.
+                    (self.solver.solve_obs(&self.observations, est.state)?, false)
+                } else {
+                    (est, true)
+                }
+            }
+        };
+        // Rebuild / extend the information summary at the new solution.
+        let refreshed = if extend {
+            // Extend: fold only the new measurements into the prior.
+            let inc = self.incremental.as_ref().expect("extend implies a prior");
+            let mut info = inc.info;
+            for o in &self.observations[inc.folded..] {
+                info.rank1_update(o.weight(), &o.jacobian_row(&est.state));
+            }
+            IncrementalState {
+                folded: self.observations.len(),
+                info,
+                anchor: est.state,
+            }
+        } else {
+            // First solve or relinearization: fold everything.
+            let mut info = SMat::<STATE_DIM>::zeros();
+            for o in &self.observations {
+                info.rank1_update(o.weight(), &o.jacobian_row(&est.state));
+            }
+            IncrementalState {
+                folded: self.observations.len(),
+                info,
+                anchor: est.state,
+            }
+        };
+        self.incremental = Some(refreshed);
+        self.history.push(est.clone());
+        Ok(est)
+    }
+
+    /// The pre-fast-path reference behavior: rebuilds a
+    /// `Vec<&dyn Observation>` and solves through the heap/dynamic-dispatch
+    /// baseline. Kept for bench comparison and bit-identity regression
+    /// tests against [`SequentialLocalizer::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the underlying WLS solve.
+    pub fn estimate_heap_dyn(&mut self) -> Result<Estimate, SolveError> {
+        let start = self.history.last().map_or(self.initial_guess, |e| e.state);
         let refs: Vec<&dyn Observation> = self
             .observations
             .iter()
             .map(|b| b.as_ref() as &dyn Observation)
             .collect();
-        let est = self.solver.solve(&refs, start)?;
+        let est = self.solver.solve_heap(&refs, start)?;
         self.history.push(est.clone());
         Ok(est)
     }
@@ -244,5 +381,96 @@ mod tests {
         let loc = SequentialLocalizer::new([0.5, 0.5, 4.0e8]);
         let s = format!("{loc:?}");
         assert!(s.contains("SequentialLocalizer"));
+    }
+
+    #[test]
+    fn fast_estimate_is_bit_identical_to_heap_dyn_reference() {
+        // Two localizers fed identical measurement streams: the boxed
+        // fast-path estimate must reproduce the pre-PR heap/dyn reference
+        // bit for bit at every chain length.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng_a = SimRng::seed_from(5);
+        let mut rng_b = SimRng::seed_from(5);
+        let mut fast = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        let mut heap = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        for pass in 0..3 {
+            fast.add_pass(scenario.synthesize_pass(pass, &mut rng_a));
+            heap.add_pass(scenario.synthesize_pass(pass, &mut rng_b));
+            let f = fast.estimate().expect("fast solve");
+            let h = heap.estimate_heap_dyn().expect("heap solve");
+            assert_eq!(f.iterations, h.iterations);
+            assert_eq!(f.cost.to_bits(), h.cost.to_bits());
+            for (a, b) in f.state.iter().zip(&h.state) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_estimate_agrees_with_batch() {
+        // After the ambiguity-collapsing second pass (which triggers the
+        // relinearization fallback), further chain extensions are served
+        // incrementally and must stay within solver tolerance of the batch
+        // answer.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng_a = SimRng::seed_from(9);
+        let mut rng_b = SimRng::seed_from(9);
+        let mut inc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        let mut batch = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        for pass in 0..4 {
+            inc.add_pass(scenario.synthesize_pass(pass % 2, &mut rng_a));
+            batch.add_pass(scenario.synthesize_pass(pass % 2, &mut rng_b));
+            let i = inc.estimate_incremental().expect("incremental solve");
+            let b = batch.estimate().expect("batch solve");
+            // Positions agree to well under the reported error radius.
+            let d = i.position().great_circle_distance(&b.position()).value();
+            assert!(
+                d <= 0.05 * b.error_radius_km().max(0.1),
+                "pass {pass}: incremental drifted {d} km from batch \
+                 (radius {})",
+                b.error_radius_km()
+            );
+        }
+        assert_eq!(inc.history().len(), 4);
+    }
+
+    #[test]
+    fn incremental_first_pass_matches_batch_exactly() {
+        // With no prior yet, the incremental path IS the batch path.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng_a = SimRng::seed_from(13);
+        let mut rng_b = SimRng::seed_from(13);
+        let mut inc = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        let mut batch = SequentialLocalizer::new(e.initial_guess_nearby(1.0));
+        inc.add_pass(scenario.synthesize_pass(1, &mut rng_a));
+        batch.add_pass(scenario.synthesize_pass(1, &mut rng_b));
+        let i = inc.estimate_incremental().unwrap();
+        let b = batch.estimate().unwrap();
+        for (a, c) in i.state.iter().zip(&b.state) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_resolves_single_pass_ambiguity() {
+        // The scenario of `single_center_line_pass_is_ambiguous`, through
+        // the incremental path: the fallback relinearization must collapse
+        // the error just like a batch re-solve does.
+        let e = emitter();
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(42);
+        let mut loc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        loc.add_pass(scenario.synthesize_pass(0, &mut rng));
+        let one = loc.estimate_incremental().unwrap().error_radius_km();
+        loc.add_pass(scenario.synthesize_pass(1, &mut rng));
+        let two = loc.estimate_incremental().unwrap().error_radius_km();
+        assert!(one > 100.0, "degenerate geometry reports huge error: {one}");
+        assert!(
+            two < one / 10.0,
+            "fallback collapses ambiguity: {one} -> {two}"
+        );
     }
 }

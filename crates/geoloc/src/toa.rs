@@ -13,6 +13,7 @@ use oaq_orbit::units::Radians;
 use oaq_sim::SimRng;
 
 use crate::emitter::Emitter;
+use crate::error::MeasurementError;
 use crate::satstate::SatelliteState;
 use crate::wls::{Observation, STATE_DIM};
 
@@ -25,21 +26,37 @@ pub struct ToaMeasurement {
 }
 
 impl ToaMeasurement {
+    /// Wraps an already-measured range, validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasurementError::InvalidSigma`] if `sigma_km` is not strictly
+    /// positive and finite (its weight `1/σ²` would be `inf`/`NaN`), and
+    /// [`MeasurementError::NonFiniteObserved`] for a NaN/infinite range.
+    pub fn try_new(
+        satellite: SatelliteState,
+        observed_km: f64,
+        sigma_km: f64,
+    ) -> Result<Self, MeasurementError> {
+        crate::error::validate_measurement(observed_km, sigma_km)?;
+        Ok(ToaMeasurement {
+            satellite,
+            observed_km,
+            sigma_km,
+        })
+    }
+
     /// Wraps an already-measured range.
     ///
     /// # Panics
     ///
-    /// Panics if `sigma_km` is not strictly positive.
+    /// Panics if `sigma_km` is not strictly positive or the range is not
+    /// finite; see [`ToaMeasurement::try_new`] for the non-panicking form.
     #[must_use]
     pub fn new(satellite: SatelliteState, observed_km: f64, sigma_km: f64) -> Self {
-        assert!(
-            sigma_km.is_finite() && sigma_km > 0.0,
-            "sigma must be positive"
-        );
-        ToaMeasurement {
-            satellite,
-            observed_km,
-            sigma_km,
+        match Self::try_new(satellite, observed_km, sigma_km) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -74,6 +91,29 @@ impl Observation for ToaMeasurement {
 
     fn sigma(&self) -> f64 {
         self.sigma_km
+    }
+
+    /// Closed-form gradient of the slant range `ρ = |s − t(lat, lon)|`:
+    /// `∂ρ/∂θ = (d · d_θ)/ρ` with `d_θ = −R ∂u/∂θ`, and exactly zero in
+    /// the carrier-frequency component. Validated against
+    /// [`Observation::jacobian_row_fd`] by property test.
+    fn jacobian_row(&self, x: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        let lat = x[0].clamp(
+            -std::f64::consts::FRAC_PI_2 + 1e-12,
+            std::f64::consts::FRAC_PI_2 - 1e-12,
+        );
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = x[1].sin_cos();
+        let r = EARTH_RADIUS.value();
+        let target = [r * clat * clon, r * clat * slon, r * slat];
+        let t_lat = [-r * slat * clon, -r * slat * slon, r * clat];
+        let t_lon = [-r * clat * slon, r * clat * clon, 0.0];
+        let s = &self.satellite.position_km;
+        let d = [s[0] - target[0], s[1] - target[1], s[2] - target[2]];
+        let rho = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        // (d · d_θ)/ρ with d_θ = −t_θ.
+        let grad = |t_q: &[f64; 3]| -(d[0] * t_q[0] + d[1] * t_q[1] + d[2] * t_q[2]) / rho;
+        [grad(&t_lat), grad(&t_lon), 0.0]
     }
 }
 
@@ -138,5 +178,36 @@ mod tests {
     fn negative_sigma_rejected() {
         let (_, sat) = setup();
         let _ = ToaMeasurement::new(sat, 1000.0, -1.0);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        use crate::error::MeasurementError;
+        let (_, sat) = setup();
+        assert!(matches!(
+            ToaMeasurement::try_new(sat, 1000.0, 0.0),
+            Err(MeasurementError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            ToaMeasurement::try_new(sat, f64::NAN, 1.0),
+            Err(MeasurementError::NonFiniteObserved { .. })
+        ));
+        assert!(ToaMeasurement::try_new(sat, 1000.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_finite_differences() {
+        let (emitter, sat) = setup();
+        let mut rng = SimRng::seed_from(8);
+        let m = ToaMeasurement::synthesize(sat, &emitter, 0.5, &mut rng);
+        for offset in [0.1, 0.5, 1.5] {
+            let x = emitter.initial_guess_nearby(offset);
+            let analytic = m.jacobian_row(&x);
+            let fd = m.jacobian_row_fd(&x);
+            for (a, f) in analytic.iter().zip(&fd) {
+                let tol = 1e-6 * a.abs().max(f.abs()) + 1e-9;
+                assert!((a - f).abs() <= tol, "analytic {a} vs fd {f}");
+            }
+        }
     }
 }

@@ -79,4 +79,100 @@ proptest! {
             prop_assert!(shift <= e.frequency_hz() * beta_max);
         }
     }
+
+    #[test]
+    fn analytic_jacobians_track_finite_differences(
+        e in emitter_strategy(),
+        seed in any::<u64>(),
+        offset in 0.05f64..1.5,
+    ) {
+        // Doppler and TOA closed-form gradients vs the finite-difference
+        // reference: ≤ 1e-6 relative, plus the FD scheme's own roundoff
+        // floor ε·|f(x)|/step (which dominates only when a carrier-scale
+        // prediction is differenced for a low-sensitivity component).
+        let scenario = PassScenario::reference(&e);
+        let mut rng = SimRng::seed_from(seed);
+        let x = e.initial_guess_nearby(offset);
+        let doppler = scenario.synthesize_pass(0, &mut rng);
+        let toa = scenario.synthesize_toa_pass(1, 0.5, &mut rng);
+        let check = |a: &[f64; 3], fd: &[f64; 3], fx: f64, label: &str|
+            -> Result<(), TestCaseError> {
+            for j in 0..3 {
+                let floor = 8.0 * f64::EPSILON * fx.abs() / oaq_geoloc::wls::FD_STEPS[j];
+                let tol = 1e-6 * a[j].abs().max(fd[j].abs()) + floor + 1e-9;
+                prop_assert!(
+                    (a[j] - fd[j]).abs() <= tol,
+                    "{} [{}]: {} vs {}", label, j, a[j], fd[j]
+                );
+            }
+            Ok(())
+        };
+        for m in &doppler {
+            check(&m.jacobian_row(&x), &m.jacobian_row_fd(&x), m.predict(&x), "doppler")?;
+        }
+        for m in &toa {
+            check(&m.jacobian_row(&x), &m.jacobian_row_fd(&x), m.predict(&x), "toa")?;
+        }
+    }
+
+    #[test]
+    fn fast_estimate_matches_heap_dyn_reference_bitwise(
+        e in emitter_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // The monomorphized stack fast path vs the pre-PR heap/dyn
+        // reference, over real measurement chains, bit for bit.
+        let scenario = PassScenario::reference(&e);
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_b = SimRng::seed_from(seed);
+        let mut fast = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        let mut heap = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        for pass in 0..2 {
+            fast.add_pass(scenario.synthesize_pass(pass, &mut rng_a));
+            heap.add_pass(scenario.synthesize_pass(pass, &mut rng_b));
+        }
+        let f = fast.estimate().unwrap();
+        let h = heap.estimate_heap_dyn().unwrap();
+        prop_assert_eq!(f.iterations, h.iterations);
+        prop_assert_eq!(f.cost.to_bits(), h.cost.to_bits());
+        for (a, b) in f.state.iter().zip(&h.state) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert_eq!(
+                    f.covariance[(i, j)].to_bits(),
+                    h.covariance[(i, j)].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_estimates_agree_with_batch(
+        e in emitter_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Chain extensions through the information-filter path land within
+        // a small fraction of the reported uncertainty of the batch answer.
+        let scenario = PassScenario::reference(&e);
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_b = SimRng::seed_from(seed);
+        let mut inc = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        let mut batch = SequentialLocalizer::new(e.initial_guess_nearby(0.8));
+        // Pass 1 (cross-track offset) first: starting on the center-line
+        // pass can leave the single-pass system outright singular.
+        for pass in [1usize, 0, 2] {
+            inc.add_pass(scenario.synthesize_pass(pass, &mut rng_a));
+            batch.add_pass(scenario.synthesize_pass(pass, &mut rng_b));
+            let i = inc.estimate_incremental().unwrap();
+            let b = batch.estimate().unwrap();
+            let d = i.position().great_circle_distance(&b.position()).value();
+            prop_assert!(
+                d <= 0.05 * b.error_radius_km().max(0.1),
+                "pass {}: incremental drifted {} km (radius {})",
+                pass, d, b.error_radius_km()
+            );
+        }
+    }
 }

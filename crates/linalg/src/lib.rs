@@ -2,9 +2,11 @@
 //!
 //! A self-contained dense linear-algebra toolkit sized for the needs of this
 //! workspace: the iterative weighted least-squares geolocation estimator in
-//! `oaq-geoloc` (normal equations, Cholesky), and the CTMC steady-state and
-//! transient solvers in `oaq-san` (LU with partial pivoting, linear solves,
-//! and a CSR sparse type for the uniformization transient kernel).
+//! `oaq-geoloc` (normal equations, Cholesky — served zero-allocation by the
+//! const-generic [`stack`] kernels, with the heap path kept as the
+//! bit-identical reference), and the CTMC steady-state and transient solvers
+//! in `oaq-san` (LU with partial pivoting, linear solves, and a CSR sparse
+//! type for the uniformization transient kernel).
 //!
 //! No external numerical dependencies; everything is `f64`, row-major and
 //! bounds-checked.
@@ -35,6 +37,7 @@ mod lu;
 mod matrix;
 mod qr;
 mod sparse;
+pub mod stack;
 pub mod vec_ops;
 
 pub use cholesky::Cholesky;
@@ -43,3 +46,4 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use sparse::CsrMatrix;
+pub use stack::{SCholesky, SMat, SVec};

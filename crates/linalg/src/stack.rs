@@ -1,0 +1,361 @@
+//! Const-generic stack small-matrix kernels.
+//!
+//! The iterative WLS geolocation estimator in `oaq-geoloc` solves a stream
+//! of tiny (`3 × 3`) symmetric positive-definite systems — one damped
+//! normal-equation solve per Gauss–Newton inner iteration, thousands of
+//! solves per Monte-Carlo run. The heap-backed [`Matrix`] path allocates for
+//! every factor, clone and solve; these fixed-dimension kernels live
+//! entirely on the stack.
+//!
+//! **Bit-identity contract.** [`SCholesky::factor`]/[`SCholesky::solve`]
+//! perform *exactly* the operations of the heap path
+//! ([`crate::Cholesky::factor`]/[`crate::Cholesky::solve`]) in the same
+//! order — same symmetry/pivot thresholds, same summation order, same
+//! division/sqrt sequence — so for equal inputs the results are equal to
+//! the last bit, not merely close. The property tests in
+//! `tests/properties.rs` assert this over random SPD systems, and the
+//! `geoloc_kernel` bench (E19) re-asserts it end-to-end through the
+//! estimator.
+//!
+//! # Examples
+//!
+//! ```
+//! use oaq_linalg::{SCholesky, SMat};
+//!
+//! let mut a = SMat::<2>::zeros();
+//! a[(0, 0)] = 4.0;
+//! a[(0, 1)] = 2.0;
+//! a[(1, 0)] = 2.0;
+//! a[(1, 1)] = 3.0;
+//! let x = SCholesky::factor(&a).unwrap().solve(&[2.0, 1.0]);
+//! assert!((x[0] - 0.5).abs() < 1e-12);
+//! assert!(x[1].abs() < 1e-12);
+//! ```
+
+use std::ops::{Index, IndexMut};
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A stack-allocated fixed-dimension vector.
+pub type SVec<const N: usize> = [f64; N];
+
+/// A stack-allocated, row-major `N × N` matrix.
+///
+/// `N` must be at least 1 (a zero-dimension matrix is degenerate and
+/// [`SMat::to_matrix`] would have no heap counterpart).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SMat<const N: usize> {
+    data: [[f64; N]; N],
+}
+
+impl<const N: usize> Default for SMat<N> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const N: usize> SMat<N> {
+    /// The zero matrix.
+    #[must_use]
+    pub const fn zeros() -> Self {
+        SMat {
+            data: [[0.0; N]; N],
+        }
+    }
+
+    /// The identity matrix.
+    #[must_use]
+    pub fn identity() -> Self {
+        let mut m = Self::zeros();
+        for i in 0..N {
+            m.data[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros();
+        for i in 0..N {
+            for j in 0..N {
+                m.data[i][j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Copies an `N × N` heap matrix into a stack matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidShape`] if `m` is not `N × N`.
+    pub fn from_matrix(m: &Matrix) -> Result<Self, LinalgError> {
+        if m.shape() != (N, N) {
+            return Err(LinalgError::InvalidShape(format!(
+                "expected {N}x{N}, got {}x{}",
+                m.rows(),
+                m.cols()
+            )));
+        }
+        Ok(Self::from_fn(|i, j| m[(i, j)]))
+    }
+
+    /// Copies into a heap [`Matrix`] (for interop with heap-only
+    /// operations such as [`Matrix::inverse`]).
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(N, N, |i, j| self.data[i][j])
+    }
+
+    /// Resets every entry to zero (reuse as a scratch accumulator without
+    /// reconstructing).
+    pub fn set_zero(&mut self) {
+        self.data = [[0.0; N]; N];
+    }
+
+    /// Largest absolute entry, scanned in the same row-major order as
+    /// [`Matrix::max_norm`].
+    #[must_use]
+    pub fn max_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .flatten()
+            .fold(0.0, |m: f64, x| m.max(x.abs()))
+    }
+
+    /// Symmetric rank-1 update `A += w · v vᵀ`, accumulated row-major —
+    /// the same entry order the WLS normal-equation assembly uses, so an
+    /// incremental accumulation over measurements matches a batch assembly
+    /// bit for bit.
+    pub fn rank1_update(&mut self, w: f64, v: &SVec<N>) {
+        for a in 0..N {
+            for b in 0..N {
+                self.data[a][b] += w * v[a] * v[b];
+            }
+        }
+    }
+
+    /// Matrix–vector product `A x`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &SVec<N>) -> SVec<N> {
+        let mut y = [0.0; N];
+        for i in 0..N {
+            let mut sum = 0.0;
+            for j in 0..N {
+                sum += self.data[i][j] * x[j];
+            }
+            y[i] = sum;
+        }
+        y
+    }
+
+    /// Entrywise sum `A += B`.
+    pub fn add_assign(&mut self, other: &SMat<N>) {
+        for i in 0..N {
+            for j in 0..N {
+                self.data[i][j] += other.data[i][j];
+            }
+        }
+    }
+}
+
+impl<const N: usize> Index<(usize, usize)> for SMat<N> {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i][j]
+    }
+}
+
+impl<const N: usize> IndexMut<(usize, usize)> for SMat<N> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i][j]
+    }
+}
+
+/// A stack-allocated lower-triangular Cholesky factor `A = L Lᵀ`.
+///
+/// See the [module docs](self) for the bit-identity contract with the heap
+/// [`crate::Cholesky`].
+#[derive(Debug, Clone, Copy)]
+pub struct SCholesky<const N: usize> {
+    l: [[f64; N]; N],
+}
+
+impl<const N: usize> SCholesky<N> {
+    /// Factors a symmetric positive-definite matrix without allocating.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is checked to the same loose tolerance as the heap path.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is
+    /// non-positive or the matrix is visibly asymmetric — the identical
+    /// conditions (and thresholds) of [`crate::Cholesky::factor`].
+    pub fn factor(a: &SMat<N>) -> Result<Self, LinalgError> {
+        let scale = a.max_norm().max(1.0);
+        for i in 0..N {
+            for j in (i + 1)..N {
+                if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+            }
+        }
+        let mut l = [[0.0; N]; N];
+        for i in 0..N {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[i][k] * l[j][k];
+                }
+                if i == j {
+                    if sum <= 1e-14 * scale {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[i][j] = sum.sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+        Ok(SCholesky { l })
+    }
+
+    /// Solves `A x = b` by forward/back substitution without allocating.
+    ///
+    /// Infallible: the right-hand side length is enforced by the type.
+    #[must_use]
+    pub fn solve(&self, b: &SVec<N>) -> SVec<N> {
+        // L y = b
+        let mut y = [0.0; N];
+        for i in 0..N {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[i][j] * y[j];
+            }
+            y[i] = sum / self.l[i][i];
+        }
+        // Lᵀ x = y
+        let mut x = [0.0; N];
+        for i in (0..N).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..N {
+                sum -= self.l[j][i] * x[j];
+            }
+            x[i] = sum / self.l[i][i];
+        }
+        x
+    }
+
+    /// Entry `(i, j)` of the lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        self.l[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::Cholesky;
+
+    fn spd3() -> SMat<3> {
+        SMat::from_matrix(
+            &Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_matches_heap_bitwise() {
+        let s = spd3();
+        let heap = Cholesky::factor(&s.to_matrix()).unwrap();
+        let stack = SCholesky::factor(&s).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(
+                    stack.l(i, j).to_bits(),
+                    heap.factor_l()[(i, j)].to_bits(),
+                    "L[{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_heap_bitwise() {
+        let s = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let heap = Cholesky::factor(&s.to_matrix()).unwrap().solve(&b).unwrap();
+        let stack = SCholesky::factor(&s).unwrap().solve(&b);
+        for (h, st) in heap.iter().zip(&stack) {
+            assert_eq!(h.to_bits(), st.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_and_asymmetric() {
+        let mut indef = SMat::<2>::zeros();
+        indef[(0, 0)] = 1.0;
+        indef[(0, 1)] = 2.0;
+        indef[(1, 0)] = 2.0;
+        indef[(1, 1)] = 1.0;
+        assert_eq!(
+            SCholesky::factor(&indef).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        let mut asym = SMat::<2>::identity();
+        asym[(0, 1)] = 1.0;
+        assert_eq!(
+            SCholesky::factor(&asym).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rank1_update_matches_batch_assembly() {
+        // Accumulating w·vvᵀ one measurement at a time must equal the
+        // nested-loop batch assembly bit for bit (same order).
+        let rows = [[1.0, 2.0, 3.0], [0.5, -1.0, 2.0], [4.0, 0.0, -2.0]];
+        let weights = [2.0, 0.25, 1.5];
+        let mut inc = SMat::<3>::zeros();
+        for (w, v) in weights.iter().zip(&rows) {
+            inc.rank1_update(*w, v);
+        }
+        let mut batch = SMat::<3>::zeros();
+        for (w, v) in weights.iter().zip(&rows) {
+            for a in 0..3 {
+                for b in 0..3 {
+                    batch[(a, b)] += w * v[a] * v[b];
+                }
+            }
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(inc[(a, b)].to_bits(), batch[(a, b)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip_and_shape_check() {
+        let s = spd3();
+        assert_eq!(SMat::<3>::from_matrix(&s.to_matrix()).unwrap(), s);
+        assert!(SMat::<2>::from_matrix(&s.to_matrix()).is_err());
+    }
+
+    #[test]
+    fn mul_vec_and_add_assign() {
+        let mut a = SMat::<2>::identity();
+        let b = SMat::from_fn(|i, j| (i + j) as f64);
+        a.add_assign(&b);
+        let y = a.mul_vec(&[1.0, 2.0]);
+        assert_eq!(y, [3.0, 7.0]);
+        a.set_zero();
+        assert_eq!(a.max_norm(), 0.0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests of the linear-algebra kernels.
 
-use oaq_linalg::{Cholesky, CsrMatrix, Matrix, Qr};
+use oaq_linalg::{Cholesky, CsrMatrix, Matrix, Qr, SCholesky, SMat};
 use proptest::prelude::*;
 
 /// A well-conditioned square matrix: diagonally dominant by construction.
@@ -105,6 +105,62 @@ proptest! {
         for _ in 0..3 {
             let again = csr.vec_mul(&x).unwrap();
             prop_assert!(once.iter().zip(&again).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn stack_cholesky_factor_is_bit_identical_to_heap(a in dominant_matrix(4)) {
+        // AᵀA + I is symmetric positive definite.
+        let at = a.transpose();
+        let spd = (&(&at * &a).unwrap() + &Matrix::identity(4)).unwrap();
+        let heap = Cholesky::factor(&spd).unwrap();
+        let stack = SCholesky::factor(&SMat::<4>::from_matrix(&spd).unwrap()).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                prop_assert_eq!(
+                    stack.l(i, j).to_bits(),
+                    heap.factor_l()[(i, j)].to_bits(),
+                    "L[{},{}]: {} vs {}", i, j, stack.l(i, j), heap.factor_l()[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_cholesky_solve_is_bit_identical_to_heap(a in dominant_matrix(4), b in vector(4)) {
+        let at = a.transpose();
+        let spd = (&(&at * &a).unwrap() + &Matrix::identity(4)).unwrap();
+        let heap = Cholesky::factor(&spd).unwrap().solve(&b).unwrap();
+        let rhs = [b[0], b[1], b[2], b[3]];
+        let stack = SCholesky::factor(&SMat::<4>::from_matrix(&spd).unwrap())
+            .unwrap()
+            .solve(&rhs);
+        for (h, s) in heap.iter().zip(&stack) {
+            prop_assert_eq!(h.to_bits(), s.to_bits(), "{} vs {}", h, s);
+        }
+    }
+
+    #[test]
+    fn stack_rank1_accumulation_matches_heap_assembly(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 1..12),
+        weights in prop::collection::vec(0.01f64..10.0, 12),
+    ) {
+        // Incremental rank-1 accumulation (the sequential-WLS update) vs the
+        // heap-matrix batch nested-loop assembly, bit for bit.
+        let mut inc = SMat::<3>::zeros();
+        let mut batch = Matrix::zeros(3, 3);
+        for (v, w) in rows.iter().zip(&weights) {
+            inc.rank1_update(*w, &[v[0], v[1], v[2]]);
+            for a in 0..3 {
+                for b in 0..3 {
+                    batch[(a, b)] += w * v[a] * v[b];
+                }
+            }
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                prop_assert_eq!(inc[(a, b)].to_bits(), batch[(a, b)].to_bits());
+            }
         }
     }
 
