@@ -228,6 +228,30 @@ impl CliArgs {
                 .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
         })
     }
+
+    /// An option parsed as a finite, non-negative `f64`, with a default.
+    /// Serving knobs like `--fault-rate`, `--deadline-ms` and `--slo-ms`
+    /// have no meaningful negative, NaN or infinite setting, and Rust's
+    /// `f64::from_str` happily accepts `NaN` — so the validation lives
+    /// here, at the boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the flag name) when the value does not parse, is
+    /// non-finite, or is negative.
+    #[must_use]
+    pub fn get_f64_nonneg(&self, name: &str, default: f64) -> f64 {
+        self.get(name).map_or(default, |v| {
+            let x: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"));
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "bad value for {name}: {v} (must be finite and non-negative)"
+            );
+            x
+        })
+    }
 }
 
 #[cfg(test)]
@@ -316,5 +340,49 @@ mod tests {
             .unwrap()
             .args();
         let _ = p.get_u64("--seed", 0);
+    }
+
+    fn rate_spec() -> CliSpec {
+        CliSpec::new("demo").option("--fault-rate", "X", "injected fault probability")
+    }
+
+    fn parse_rate(raw: &str) -> f64 {
+        rate_spec()
+            .parse_from(&strings(&["--fault-rate", raw]))
+            .unwrap()
+            .args()
+            .get_f64_nonneg("--fault-rate", 0.0)
+    }
+
+    #[test]
+    fn f64_options_accept_the_sane_range() {
+        assert_eq!(parse_rate("0"), 0.0);
+        assert_eq!(parse_rate("0.25"), 0.25);
+        assert_eq!(parse_rate("1e-3"), 1e-3);
+        let defaulted = rate_spec()
+            .parse_from(&strings(&[]))
+            .unwrap()
+            .args()
+            .get_f64_nonneg("--fault-rate", 0.1);
+        assert_eq!(defaulted, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --fault-rate")]
+    fn f64_options_reject_nan() {
+        // f64::from_str parses "NaN" successfully — the getter must not.
+        let _ = parse_rate("NaN");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --fault-rate")]
+    fn f64_options_reject_negative() {
+        let _ = parse_rate("-0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --fault-rate")]
+    fn f64_options_reject_infinite() {
+        let _ = parse_rate("inf");
     }
 }

@@ -24,7 +24,7 @@
 use std::time::Instant;
 
 use oaq_bench::args::CliSpec;
-use oaq_engine::report::{fmt_f64, json_escape, results_json};
+use oaq_engine::report::{fmt_f64, fmt_f64_or_null, json_escape, results_json};
 use oaq_engine::{
     direct_eval, zipf_workload, Engine, EngineConfig, EngineResult, LatencySnapshot,
     MetricsSnapshot, QosQuery, WorkloadConfig,
@@ -41,22 +41,26 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+// Sub-five-sample quantiles (and empty-stage min/max) are `None`/NaN —
+// serialize those as JSON null, never a bare NaN token.
 fn latency_json(l: &LatencySnapshot) -> String {
     format!(
         "{{\"count\":{},\"mean_s\":{},\"p50_s\":{},\"p95_s\":{},\"p99_s\":{},\"max_s\":{}}}",
         l.count,
-        fmt_f64(l.mean),
-        fmt_f64(l.p50),
-        fmt_f64(l.p95),
-        fmt_f64(l.p99),
-        fmt_f64(l.max),
+        fmt_f64_or_null(l.mean),
+        fmt_f64_or_null(l.p50),
+        fmt_f64_or_null(l.p95),
+        fmt_f64_or_null(l.p99),
+        fmt_f64_or_null(l.max),
     )
 }
 
 fn metrics_json(m: &MetricsSnapshot) -> String {
     format!(
         "{{\"submitted\":{},\"served\":{},\"rejected\":{},\"result_cache_hits\":{},\
-         \"coalesced\":{},\"pk_solves\":{},\"pk_cache_hits\":{},\"batch_count\":{},\
+         \"coalesced\":{},\"pk_solves\":{},\"pk_cache_hits\":{},\"eval_panics\":{},\
+         \"worker_respawns\":{},\"deadline_expired\":{},\"quota_rejected\":{},\"shed\":{},\
+         \"shed_probability\":{},\"batch_count\":{},\
          \"mean_batch_size\":{},\"queue_wait\":{},\"solve\":{},\"end_to_end\":{}}}",
         m.submitted,
         m.served,
@@ -65,8 +69,14 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
         m.coalesced,
         m.pk_solves,
         m.pk_cache_hits,
+        m.eval_panics,
+        m.worker_respawns,
+        m.deadline_expired,
+        m.quota_rejected,
+        m.shed,
+        fmt_f64(m.shed_probability),
         m.batch_count,
-        fmt_f64(m.mean_batch_size),
+        fmt_f64_or_null(m.mean_batch_size),
         latency_json(&m.queue_wait),
         latency_json(&m.solve),
         latency_json(&m.end_to_end),

@@ -1,21 +1,28 @@
-//! The engine facade: configuration, submission, tickets, shutdown.
+//! The engine facade: configuration, submission, tickets, supervision,
+//! shutdown.
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::cache::LruCache;
-use crate::error::EngineError;
+use crate::error::{EngineError, RejectReason};
+use crate::eval::{DefaultEvaluator, Evaluator};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::query::QosQuery;
 use crate::queue::SubmitQueue;
+use crate::shed::{ShedPolicy, Shedder};
 use crate::singleflight::{Flight, SingleFlight, Slot};
-use crate::worker::{worker_loop, EngineResult, Job, Shared};
+use crate::tenant::{QuotaPolicy, TenantId, TenantSnapshot, TenantTable};
+use crate::worker::{worker_loop, EngineResult, Job, Shared, WorkerExit};
 
-/// Engine sizing knobs. `Default` gives a production-shaped engine; tests
-/// shrink the queue to exercise backpressure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Engine sizing and serving-policy knobs. `Default` gives a
+/// production-shaped engine with every fault-tolerance limit disabled
+/// (no quotas, no SLO shedding); tests shrink the queue to exercise
+/// backpressure and turn individual policies on.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available core.
     pub workers: usize,
@@ -27,6 +34,12 @@ pub struct EngineConfig {
     pub result_cache: usize,
     /// Capacity of the `P(k)` capacity-solve LRU (level 2).
     pub pk_cache: usize,
+    /// Per-tenant admission quotas (rate bucket + queue fair share).
+    pub quota: QuotaPolicy,
+    /// SLO-aware load shedding policy.
+    pub shed: ShedPolicy,
+    /// Seed of the shedder's deterministic accept/reject coin.
+    pub shed_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +50,9 @@ impl Default for EngineConfig {
             batch_size: 32,
             result_cache: 4096,
             pk_cache: 256,
+            quota: QuotaPolicy::default(),
+            shed: ShedPolicy::default(),
+            shed_seed: 0x5EED,
         }
     }
 }
@@ -94,11 +110,17 @@ impl Ticket {
 /// The in-process QoS query-serving engine.
 ///
 /// Submission flow: validate ([`crate::QuerySpec::build`]) → level-1
-/// result-cache lookup → single-flight coalescing with any identical
-/// in-flight query → bounded queue admission (typed
-/// [`RejectReason::QueueFull`](crate::error::RejectReason::QueueFull) when saturated) → batch-draining worker
-/// pool → level-2 `P(k)` cache inside the solve. Dropping the engine
-/// shuts the queue, drains what was admitted, and joins every worker.
+/// result-cache lookup (free for quotas) → per-tenant token bucket →
+/// SLO shed coin → single-flight coalescing with any identical in-flight
+/// query → per-tenant queue fair share → bounded queue admission (typed
+/// [`RejectReason::QueueFull`] when saturated) → supervised batch-draining
+/// worker pool → level-2 `P(k)` cache inside the solve.
+///
+/// Workers are supervised: an evaluator panic becomes a typed
+/// [`crate::QueryError::EvalPanicked`] answer for every waiter, and the
+/// supervisor respawns the dead worker so the pool keeps its configured
+/// size. Dropping the engine shuts the queue, drains what was admitted,
+/// and joins every worker.
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
@@ -106,10 +128,34 @@ pub struct Engine {
     supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Spawns one supervised worker thread that reports its exit (or an
+/// un-caught panic, mapped to `Panicked`) to the supervisor.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    exits: &mpsc::Sender<WorkerExit>,
+) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let exits = exits.clone();
+    std::thread::spawn(move || {
+        let exit =
+            catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).unwrap_or(WorkerExit::Panicked);
+        let _ = exits.send(exit);
+    })
+}
+
 impl Engine {
-    /// Starts an engine with `config.effective_workers()` worker threads.
+    /// Starts an engine with `config.effective_workers()` worker threads
+    /// and the production evaluator.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        Engine::with_evaluator(config, Arc::new(DefaultEvaluator))
+    }
+
+    /// Starts an engine whose leaf compute is `evaluator` — the hook the
+    /// fault-injection harness uses to wrap the real analytic stack with
+    /// seeded panics and latency spikes.
+    #[must_use]
+    pub fn with_evaluator(config: EngineConfig, evaluator: Arc<dyn Evaluator>) -> Self {
         let shared = Arc::new(Shared {
             queue: SubmitQueue::new(config.queue_capacity),
             results: Mutex::new(LruCache::new(config.result_cache)),
@@ -117,20 +163,35 @@ impl Engine {
             pk_cache: Mutex::new(LruCache::new(config.pk_cache)),
             pk_flight: SingleFlight::new(),
             metrics: Metrics::new(),
+            tenants: TenantTable::new(config.quota, config.queue_capacity),
+            shedder: Shedder::new(config.shed, config.shed_seed),
+            evaluator,
+            epoch: Instant::now(),
             batch_size: config.batch_size.max(1),
         });
         let workers = config.effective_workers();
         let pool = Arc::clone(&shared);
         let supervisor = std::thread::spawn(move || {
-            // A worker panic surfaces here as Err; the guard in the worker
-            // loop has already woken that query's followers, and the
-            // remaining workers keep draining.
-            let _ = crossbeam::scope(|s| {
-                for _ in 0..workers {
-                    let shared = Arc::clone(&pool);
-                    s.spawn(move |_| worker_loop(&shared));
+            let (tx, rx) = mpsc::channel();
+            let mut handles: Vec<_> = (0..workers).map(|_| spawn_worker(&pool, &tx)).collect();
+            let mut alive = workers;
+            while alive > 0 {
+                match rx.recv() {
+                    // A worker died with work (potentially) still flowing:
+                    // replace it so the pool heals to its configured size.
+                    Ok(WorkerExit::Panicked) if !pool.queue.is_drained() => {
+                        pool.metrics.on_worker_respawn();
+                        handles.push(spawn_worker(&pool, &tx));
+                    }
+                    // Normal wind-down, or a panic during the final drain.
+                    Ok(_) => alive -= 1,
+                    Err(_) => break, // unreachable: we hold a sender
                 }
-            });
+            }
+            drop(tx);
+            for h in handles {
+                let _ = h.join();
+            }
         });
         Engine {
             shared,
@@ -153,12 +214,20 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`EngineError::Rejected`] with [`RejectReason::QueueFull`](crate::error::RejectReason::QueueFull) when the
-    /// submission queue is at capacity, or [`RejectReason::ShuttingDown`](crate::error::RejectReason::ShuttingDown)
-    /// during teardown.
+    /// [`EngineError::Rejected`] with
+    /// [`RejectReason::QuotaExceeded`] when the query's tenant is out of
+    /// rate tokens or queue share (retryable after a refill interval),
+    /// [`RejectReason::Overloaded`] when the SLO shedder rejects new work
+    /// during a p99 breach, [`RejectReason::QueueFull`] when the
+    /// submission queue is at capacity, or [`RejectReason::ShuttingDown`]
+    /// during teardown. Cache hits are exempt from quotas and shedding —
+    /// they cost nothing to serve.
     pub fn submit(&self, query: QosQuery) -> Result<Ticket, EngineError> {
         let key = query.key();
+        let tenant = query.tenant();
+        let now_s = self.shared.now_s();
         if let Some(result) = self.shared.results.lock().get(&key) {
+            self.shared.tenants.admit(tenant, now_s, true);
             self.shared.metrics.on_submitted();
             self.shared.metrics.on_result_cache_hit();
             self.shared.metrics.on_served();
@@ -166,15 +235,45 @@ impl Engine {
                 inner: TicketInner::Ready(result.clone()),
             });
         }
+        // Quota gate: a cache-missing submission costs one rate token.
+        if !self.shared.tenants.admit(tenant, now_s, false) {
+            self.shared.metrics.on_quota_rejected();
+            self.shared.metrics.on_rejected();
+            return Err(EngineError::Rejected(RejectReason::QuotaExceeded {
+                tenant,
+            }));
+        }
+        // SLO gate: probabilistically shed new work while the end-to-end
+        // p99 breaches the configured target.
+        if self
+            .shared
+            .shedder
+            .should_shed(self.shared.metrics.e2e_p99())
+        {
+            self.shared.metrics.on_shed();
+            self.shared.metrics.on_rejected();
+            return Err(EngineError::Rejected(RejectReason::Overloaded));
+        }
         match self.shared.flight.join(key) {
             Flight::Follower(slot) => {
                 self.shared.metrics.on_submitted();
                 self.shared.metrics.on_coalesced();
+                self.shared.tenants.on_coalesced(tenant, now_s);
                 Ok(Ticket {
                     inner: TicketInner::Waiting(slot),
                 })
             }
             Flight::Leader(slot) => {
+                // Fair-share gate: the tenant must hold a queue slot
+                // within its weighted share before the global push.
+                if !self.shared.tenants.try_reserve_queue_slot(tenant, now_s) {
+                    self.shared.flight.abandon(&key, &slot);
+                    self.shared.metrics.on_quota_rejected();
+                    self.shared.metrics.on_rejected();
+                    return Err(EngineError::Rejected(RejectReason::QuotaExceeded {
+                        tenant,
+                    }));
+                }
                 let job = Job {
                     query,
                     key,
@@ -191,7 +290,9 @@ impl Engine {
                     Err((_, reason)) => {
                         // Retire the flight; any follower that slipped in
                         // during this window wakes with `WorkerLost` and
-                        // should resubmit.
+                        // should resubmit. (The rejected Job abandons the
+                        // slot on drop, before we retire the table entry.)
+                        self.shared.tenants.release_queue_slot(tenant);
                         self.shared.flight.abandon(&key, &slot);
                         self.shared.metrics.on_rejected();
                         Err(EngineError::Rejected(reason))
@@ -214,6 +315,8 @@ impl Engine {
     /// Replays a whole batch: submits every query in order — absorbing
     /// queue backpressure by yielding to the workers and retrying — then
     /// waits for every answer. Answers come back in submission order.
+    /// Quota and shed rejections are terminal here (they are the policy
+    /// speaking, not transient backpressure) and surface in the output.
     #[must_use]
     pub fn run_all(&self, queries: &[QosQuery]) -> Vec<EngineResult> {
         let mut tickets = Vec::with_capacity(queries.len());
@@ -224,9 +327,9 @@ impl Engine {
                         tickets.push(t);
                         break;
                     }
-                    Err(EngineError::Rejected(crate::error::RejectReason::QueueFull {
-                        ..
-                    })) => std::thread::yield_now(),
+                    Err(EngineError::Rejected(RejectReason::QueueFull { .. })) => {
+                        std::thread::yield_now();
+                    }
                     Err(e) => {
                         tickets.push(Ticket {
                             inner: TicketInner::Ready(Err(e)),
@@ -239,10 +342,27 @@ impl Engine {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
-    /// A consistent snapshot of the engine's counters.
+    /// A consistent snapshot of the engine's counters, including the
+    /// shedder's live rejection-probability gauge.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.shed_probability = self.shared.shedder.probability();
+        snap
+    }
+
+    /// Per-tenant admission counters, ordered by tenant id.
+    #[must_use]
+    pub fn tenant_metrics(&self) -> Vec<TenantSnapshot> {
+        self.shared.tenants.snapshot()
+    }
+
+    /// Sets a tenant's fair-share weight (default `1.0`). Non-finite or
+    /// non-positive weights are coerced back to `1.0`.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: f64) {
+        self.shared
+            .tenants
+            .set_weight(tenant, weight, self.shared.now_s());
     }
 
     /// The configuration this engine was started with.
@@ -276,8 +396,8 @@ impl Drop for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::RejectReason;
-    use crate::eval::direct_eval;
+    use crate::error::QueryError;
+    use crate::eval::{direct_eval, QosValue};
     use crate::query::{Measure, QuerySpec, Scheme};
 
     fn small_engine(workers: usize, queue: usize) -> Engine {
@@ -287,6 +407,7 @@ mod tests {
             batch_size: 4,
             result_cache: 128,
             pk_cache: 16,
+            ..EngineConfig::default()
         })
     }
 
@@ -399,5 +520,226 @@ mod tests {
         assert_eq!(m.pk_solves, 1, "τ sweep at fixed scenario: one solve");
         assert_eq!(m.pk_cache_hits, 9);
         assert_eq!(m.result_cache_hits, 0, "all ten results are distinct");
+    }
+
+    /// End-to-end supervision: a panicking evaluator yields typed
+    /// `EvalPanicked` answers for every submission, the pool respawns,
+    /// and healthy queries afterwards still get correct answers.
+    #[test]
+    fn panicking_evaluator_heals_and_keeps_serving() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Panics on every odd `P(k)` solve, counts calls.
+        struct FlakyEvaluator {
+            calls: AtomicU64,
+        }
+        impl Evaluator for FlakyEvaluator {
+            fn solve_pk(&self, query: &QosQuery) -> Result<Vec<f64>, EngineError> {
+                let n = self.calls.fetch_add(1, Ordering::SeqCst);
+                assert!(n < 1_000, "runaway respawn loop");
+                if n.is_multiple_of(2) {
+                    std::panic::panic_any(crate::INJECTED_FAULT);
+                }
+                query
+                    .capacity_params()
+                    .distribution()
+                    .map_err(EngineError::from)
+            }
+        }
+
+        crate::silence_injected_panics();
+        let engine = Engine::with_evaluator(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 32,
+                batch_size: 4,
+                result_cache: 64,
+                pk_cache: 16,
+                ..EngineConfig::default()
+            },
+            Arc::new(FlakyEvaluator {
+                calls: AtomicU64::new(0),
+            }),
+        );
+        let mut panicked = 0;
+        let mut ok = 0;
+        for i in 0..20u32 {
+            let q = y2(1e-5 + f64::from(i) * 1e-6);
+            match engine.evaluate(q) {
+                Ok(v) => {
+                    assert_eq!(v, direct_eval(&q).unwrap(), "bit-identical");
+                    ok += 1;
+                }
+                Err(EngineError::Query(QueryError::EvalPanicked))
+                | Err(EngineError::WorkerLost) => panicked += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok + panicked, 20, "every submit reaches a terminal outcome");
+        assert!(ok >= 9, "even solves succeed: {ok}");
+        assert!(panicked >= 9, "odd solves panic: {panicked}");
+        let m = engine.metrics();
+        assert!(m.eval_panics >= 9);
+        assert!(
+            m.worker_respawns >= m.eval_panics.saturating_sub(2),
+            "the pool heals after panics: {} respawns for {} panics",
+            m.worker_respawns,
+            m.eval_panics
+        );
+    }
+
+    /// An expired deadline is a typed per-query error; queries without a
+    /// deadline are untouched.
+    #[test]
+    fn deadlines_are_enforced_per_query() {
+        let engine = small_engine(1, 64);
+        // A deadline far too short for a cold CTMC solve.
+        let hurried = y2(4e-5).with_deadline_ms(1e-3).unwrap();
+        match engine.evaluate(hurried) {
+            Err(EngineError::Query(QueryError::DeadlineExceeded { waited_ms, .. })) => {
+                assert!(waited_ms >= 1e-3);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous deadline passes untouched, bit-identically.
+        let relaxed = y2(4e-5).with_deadline_ms(60_000.0).unwrap();
+        let v = engine.evaluate(relaxed).unwrap();
+        assert_eq!(v, direct_eval(&y2(4e-5)).unwrap());
+        assert!(engine.metrics().deadline_expired >= 1);
+    }
+
+    /// Quota isolation: a flooding tenant collects `QuotaExceeded` while
+    /// a polite tenant keeps being served.
+    #[test]
+    fn flooding_tenant_is_isolated_by_quota() {
+        use crate::tenant::TenantId;
+
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 16,
+            batch_size: 4,
+            result_cache: 1,
+            pk_cache: 16,
+            quota: QuotaPolicy {
+                rate_per_sec: 0.0,
+                burst: 5.0,
+                queue_share: 0.25,
+            },
+            ..EngineConfig::default()
+        });
+        let flooder = TenantId(1);
+        let polite = TenantId(2);
+        let mut flooder_rejected = 0;
+        for i in 0..50u32 {
+            let q = y2(1e-5 + f64::from(i) * 1e-6).for_tenant(flooder);
+            match engine.submit(q) {
+                Ok(t) => drop(t),
+                Err(EngineError::Rejected(RejectReason::QuotaExceeded { tenant })) => {
+                    assert_eq!(tenant, flooder);
+                    flooder_rejected += 1;
+                }
+                Err(EngineError::Rejected(RejectReason::QueueFull { .. })) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            flooder_rejected >= 45,
+            "a 5-burst bucket must reject a 50-flood: {flooder_rejected}"
+        );
+        // The polite tenant (fresh bucket) is admitted and served.
+        let q = y2(9e-5).for_tenant(polite);
+        assert!(engine.evaluate(q).is_ok(), "other tenants keep their share");
+        let snaps = engine.tenant_metrics();
+        let f = snaps.iter().find(|s| s.tenant == flooder).unwrap();
+        let p = snaps.iter().find(|s| s.tenant == polite).unwrap();
+        assert_eq!(f.quota_rejected, flooder_rejected);
+        assert_eq!(p.quota_rejected, 0);
+    }
+
+    /// The SLO shedder rejects with `Overloaded` during a breach and the
+    /// gauge surfaces in the metrics snapshot.
+    #[test]
+    fn slo_breach_sheds_with_typed_rejection() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            batch_size: 4,
+            result_cache: 1,
+            pk_cache: 16,
+            // An SLO no real solve can meet: every completion breaches.
+            shed: ShedPolicy::with_slo(1e-12),
+            ..EngineConfig::default()
+        });
+        let mut shed = 0;
+        for i in 0..400u32 {
+            let q = y2(1e-5 + f64::from(i) * 1e-6);
+            match engine.evaluate(q) {
+                Ok(_) => {}
+                Err(EngineError::Rejected(RejectReason::Overloaded)) => shed += 1,
+                Err(EngineError::Rejected(RejectReason::QueueFull { .. })) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 0, "a breached SLO must shed some work");
+        let m = engine.metrics();
+        assert_eq!(m.shed, shed);
+        assert!(m.shed_probability > 0.0, "the gauge reflects the breach");
+    }
+
+    /// The drained-engine accounting invariant survives the new gates:
+    /// submitted == served + coalesced, with rejections outside.
+    #[test]
+    fn accounting_invariant_holds_with_policies_enabled() {
+        let mut engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            batch_size: 4,
+            result_cache: 64,
+            pk_cache: 16,
+            quota: QuotaPolicy {
+                rate_per_sec: 50.0,
+                burst: 20.0,
+                queue_share: 0.5,
+            },
+            ..EngineConfig::default()
+        });
+        let mut tickets = Vec::new();
+        for i in 0..60u32 {
+            let q = y2(1e-5 + f64::from(i % 7) * 1e-6).for_tenant(TenantId(i % 3));
+            if let Ok(t) = engine.submit(q) {
+                tickets.push(t);
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        engine.shutdown();
+        let m = engine.metrics();
+        assert_eq!(
+            m.submitted,
+            m.served + m.coalesced,
+            "drained engine: submitted == served + coalesced ({m:?})"
+        );
+    }
+
+    /// `QosValue` answers delivered after supervision remain `Ok` results
+    /// from the real evaluator — the wrapper never perturbs values.
+    #[test]
+    fn supervision_does_not_perturb_values() {
+        let engine = small_engine(2, 64);
+        for i in 0..10u32 {
+            let q = y2(2e-5 + f64::from(i) * 1e-6);
+            let got = engine.evaluate(q).unwrap();
+            let QosValue::Scalar(x) = got else {
+                panic!("scalar expected")
+            };
+            let QosValue::Scalar(want) = direct_eval(&q).unwrap() else {
+                panic!("scalar expected")
+            };
+            assert!(
+                x.to_bits() == want.to_bits(),
+                "bit-identical: {x} vs {want}"
+            );
+        }
     }
 }

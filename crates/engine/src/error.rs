@@ -5,8 +5,12 @@ use std::fmt;
 use oaq_analytic::params::ParamError;
 use oaq_san::ctmc::CtmcError;
 
-/// A [`crate::QuerySpec`] that failed validation — the query never entered
-/// the engine.
+use crate::tenant::TenantId;
+
+/// A per-query failure: either the [`crate::QuerySpec`] failed validation
+/// (the query never entered the engine), or the engine accepted the query
+/// but could not produce its answer (the evaluation panicked, or the
+/// serving deadline expired before an answer was ready).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum QueryError {
@@ -20,6 +24,19 @@ pub enum QueryError {
         /// The effective delivery overhead δ_eff.
         delta_eff: f64,
     },
+    /// The worker evaluating this query panicked. Every coalesced waiter
+    /// of the query receives this error; the panicking worker is respawned
+    /// and the query may simply be resubmitted.
+    EvalPanicked,
+    /// The per-query serving deadline expired before the answer was ready
+    /// — either shed at dequeue (the solve never ran) or detected right
+    /// after the solve (the stale answer is cached but not served).
+    DeadlineExceeded {
+        /// The configured serving deadline, milliseconds.
+        deadline_ms: f64,
+        /// Submission-to-detection wall-clock time, milliseconds.
+        waited_ms: f64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -30,6 +47,16 @@ impl fmt::Display for QueryError {
                 f,
                 "delivery overhead delta_eff = {delta_eff} consumes the deadline tau = {tau}"
             ),
+            QueryError::EvalPanicked => {
+                write!(f, "evaluation panicked; the worker was respawned")
+            }
+            QueryError::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            } => write!(
+                f,
+                "serving deadline of {deadline_ms} ms exceeded after {waited_ms:.3} ms"
+            ),
         }
     }
 }
@@ -38,7 +65,7 @@ impl std::error::Error for QueryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QueryError::Param(e) => Some(e),
-            QueryError::DeadlineConsumed { .. } => None,
+            _ => None,
         }
     }
 }
@@ -49,7 +76,8 @@ impl From<ParamError> for QueryError {
     }
 }
 
-/// Why an accepted-shape query was turned away at submission.
+/// Why an accepted-shape query was turned away at submission. Every
+/// variant except [`RejectReason::ShuttingDown`] is retryable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RejectReason {
@@ -61,6 +89,17 @@ pub enum RejectReason {
     },
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The submitting tenant is over its admission quota — its token
+    /// bucket is empty or it already holds its full fair share of the
+    /// queue. Other tenants are unaffected; retry after a back-off.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+    },
+    /// The SLO-aware shedder is rejecting a fraction of new non-cached
+    /// work because the end-to-end p99 latency breached the configured
+    /// SLO. Retry after a back-off; cached answers still flow.
+    Overloaded,
 }
 
 impl fmt::Display for RejectReason {
@@ -70,6 +109,12 @@ impl fmt::Display for RejectReason {
                 write!(f, "submission queue full ({capacity} queries)")
             }
             RejectReason::ShuttingDown => write!(f, "engine is shutting down"),
+            RejectReason::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant} is over its admission quota")
+            }
+            RejectReason::Overloaded => {
+                write!(f, "shed: end-to-end p99 latency breached the SLO")
+            }
         }
     }
 }
@@ -86,6 +131,9 @@ pub enum EngineError {
     /// The computing worker disappeared without an answer (a worker
     /// panic); the query should be resubmitted.
     WorkerLost,
+    /// A per-query failure after admission: the evaluation panicked or
+    /// the serving deadline expired.
+    Query(QueryError),
 }
 
 impl fmt::Display for EngineError {
@@ -94,6 +142,7 @@ impl fmt::Display for EngineError {
             EngineError::Rejected(r) => write!(f, "rejected: {r}"),
             EngineError::Solver(e) => write!(f, "solver failure: {e}"),
             EngineError::WorkerLost => write!(f, "worker lost before completing the query"),
+            EngineError::Query(e) => write!(f, "query failed: {e}"),
         }
     }
 }
@@ -102,6 +151,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Solver(e) => Some(e),
+            EngineError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -110,6 +160,12 @@ impl std::error::Error for EngineError {
 impl From<CtmcError> for EngineError {
     fn from(e: CtmcError) -> Self {
         EngineError::Solver(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
     }
 }
 
@@ -127,6 +183,22 @@ mod tests {
             delta_eff: 5.0,
         };
         assert!(q.to_string().contains("consumes"));
+    }
+
+    #[test]
+    fn fault_errors_render_and_convert() {
+        let p = EngineError::from(QueryError::EvalPanicked);
+        assert!(p.to_string().contains("panicked"));
+        let d = EngineError::Query(QueryError::DeadlineExceeded {
+            deadline_ms: 10.0,
+            waited_ms: 12.5,
+        });
+        assert!(d.to_string().contains("10 ms"));
+        let quota = RejectReason::QuotaExceeded {
+            tenant: TenantId(3),
+        };
+        assert!(quota.to_string().contains("tenant 3"));
+        assert!(RejectReason::Overloaded.to_string().contains("SLO"));
     }
 
     #[test]

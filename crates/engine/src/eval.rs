@@ -116,6 +116,58 @@ pub fn eval_cheap(query: &QosQuery) -> QosValue {
     }
 }
 
+/// The engine's pluggable evaluation back end.
+///
+/// The engine owns admission, queueing, coalescing and both cache layers;
+/// an `Evaluator` is only the *leaf* compute — the `P(k)` solve and the
+/// two G-function evaluation paths. The default methods delegate to the
+/// real analytic stack, so implementors override exactly the behaviour
+/// they want to change. Fault-injection harnesses (the `engine_faults`
+/// bench) wrap these methods with seeded panics and latency spikes; the
+/// engine's supervision layer must convert every such fault into a typed
+/// answer without losing a query.
+///
+/// Contract: an evaluator that *returns* must return exactly what the
+/// default path returns (the bit-identity property is tested against
+/// [`direct_eval`]); injected faults must panic or delay, never perturb
+/// values.
+pub trait Evaluator: Send + Sync {
+    /// Solves the capacity distribution `P(k)` for the query's
+    /// (λ, φ, η) scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity-solver failures.
+    fn solve_pk(&self, query: &QosQuery) -> Result<Vec<f64>, EngineError> {
+        query
+            .capacity_params()
+            .distribution()
+            .map_err(EngineError::from)
+    }
+
+    /// Evaluates a capacity-dependent measure against a solved `P(k)`.
+    fn eval_with_pk(&self, query: &QosQuery, pk: &[f64]) -> QosValue {
+        eval_with_pk(query, pk)
+    }
+
+    /// Evaluates a measure that needs no capacity solve.
+    fn eval_cheap(&self, query: &QosQuery) -> QosValue {
+        eval_cheap(query)
+    }
+}
+
+impl std::fmt::Debug for dyn Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn Evaluator")
+    }
+}
+
+/// The production evaluator: the real analytic stack, no overrides.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultEvaluator;
+
+impl Evaluator for DefaultEvaluator {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,14 +1,30 @@
-//! # oaq-engine — a batched, cached, multi-worker QoS query-serving engine
+//! # oaq-engine — a batched, cached, fault-tolerant multi-tenant QoS
+//! query-serving engine
 //!
 //! Turns the closed-form stack of `oaq-analytic` into an in-process
 //! serving layer: validated [`QosQuery`] requests flow through a bounded,
-//! backpressure-aware submission queue into a worker pool, with two levels
-//! of memoization in between.
+//! backpressure-aware submission queue into a supervised worker pool,
+//! with two levels of memoization in between.
 //!
 //! * **Admission** — [`Engine::submit`] never blocks; when the bounded
 //!   queue is full it returns a typed
 //!   [`RejectReason::QueueFull`] so the caller owns its
 //!   backpressure policy.
+//! * **Multi-tenancy** — every query carries a [`TenantId`]; a
+//!   [`QuotaPolicy`] enforces per-tenant token-bucket rates and weighted
+//!   fair shares of the queue, so one flooding tenant collects retryable
+//!   [`RejectReason::QuotaExceeded`] rejections while the others keep
+//!   their latency.
+//! * **Supervision** — evaluator panics are caught per query and become
+//!   typed [`QueryError::EvalPanicked`] answers for the leader *and*
+//!   every coalesced waiter; the supervisor respawns dead workers so the
+//!   pool heals to its configured size.
+//! * **Deadlines & SLO shedding** — queries may carry a serving deadline
+//!   (checked before and after the solve —
+//!   [`QueryError::DeadlineExceeded`]), and a [`ShedPolicy`] watches the
+//!   streaming end-to-end p99 against an SLO, probabilistically shedding
+//!   new work ([`RejectReason::Overloaded`]) during a breach with
+//!   hysteretic recovery.
 //! * **Level 1, results** — an LRU of completed solves keyed by the
 //!   *bit-exact* parameter tuple. Identical in-flight queries coalesce
 //!   onto one computation (single-flight).
@@ -20,7 +36,8 @@
 //!   floating-point code ([`oaq_analytic::EvaluationConfig::qos_distribution_with_pk`]),
 //!   so a cache hit equals a recompute down to the last bit; the property
 //!   tests in `tests/properties.rs` enforce this for arbitrary seeded
-//!   workloads.
+//!   workloads. Tenant identity and deadlines are serving metadata,
+//!   excluded from cache keys — they never perturb a cached value.
 //!
 //! ## Example
 //!
@@ -46,15 +63,45 @@ pub mod metrics;
 pub mod query;
 pub mod queue;
 pub mod report;
+pub mod shed;
 pub mod singleflight;
+pub mod tenant;
 pub mod workload;
 
 mod worker;
 
 pub use engine::{Engine, EngineConfig, Ticket};
 pub use error::{EngineError, QueryError, RejectReason};
-pub use eval::{direct_eval, QosValue};
-pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use eval::{direct_eval, eval_cheap, eval_with_pk, DefaultEvaluator, Evaluator, QosValue};
+pub use metrics::{LatencySnapshot, MetricsSnapshot, RobustQuantile};
 pub use query::{Measure, QosQuery, QuerySpec, Scheme};
+pub use shed::ShedPolicy;
+pub use tenant::{QuotaPolicy, TenantId, TenantSnapshot, TokenBucket};
 pub use worker::EngineResult;
-pub use workload::{zipf_workload, WorkloadConfig};
+pub use workload::{multi_tenant_workload, zipf_workload, WorkloadConfig};
+
+/// The panic payload fault-injection harnesses throw inside an
+/// [`Evaluator`] (`std::panic::panic_any(INJECTED_FAULT)`). Payloads with
+/// this exact value are muted by [`silence_injected_panics`] so a bench
+/// sweeping thousands of injected faults does not drown its output in
+/// backtraces; the supervision path treats them like any other panic.
+pub const INJECTED_FAULT: &str = "injected evaluator fault";
+
+/// Installs (once, process-wide) a panic hook that suppresses the report
+/// for panics whose payload is exactly [`INJECTED_FAULT`] and forwards
+/// everything else to the previously installed hook. Idempotent.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| *s == INJECTED_FAULT);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -9,6 +9,68 @@
 use oaq_sim::stats::{Counter, P2Quantile, Tally};
 use parking_lot::Mutex;
 
+/// A P² quantile estimator hardened against pathological inputs.
+///
+/// The raw [`P2Quantile`] panics on NaN and lets ±∞ corrupt its marker
+/// heights, and its sub-five-sample "exact" estimate is noise for tail
+/// quantiles (the p99 of three observations is just the maximum). This
+/// wrapper ignores non-finite samples (counting them separately) and
+/// withholds the estimate (`None`) until five finite observations have
+/// arrived — callers like the SLO shedder must see *no* estimate rather
+/// than a garbage one.
+#[derive(Debug)]
+pub struct RobustQuantile {
+    inner: P2Quantile,
+    ignored: u64,
+}
+
+impl RobustQuantile {
+    /// An estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        RobustQuantile {
+            inner: P2Quantile::new(p),
+            ignored: 0,
+        }
+    }
+
+    /// Records one observation; non-finite samples are ignored (and
+    /// counted in [`Self::ignored`]) instead of poisoning the markers.
+    pub fn record(&mut self, x: f64) {
+        if x.is_finite() {
+            self.inner.record(x);
+        } else {
+            self.ignored += 1;
+        }
+    }
+
+    /// The current estimate; `None` until five finite observations.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.inner.count() < 5 {
+            None
+        } else {
+            self.inner.estimate()
+        }
+    }
+
+    /// Finite observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    /// Non-finite samples dropped so far.
+    #[must_use]
+    pub fn ignored(&self) -> u64 {
+        self.ignored
+    }
+}
+
 /// The mutable counter state, guarded by [`Metrics`].
 #[derive(Debug)]
 struct MetricsInner {
@@ -19,6 +81,11 @@ struct MetricsInner {
     coalesced: Counter,
     pk_solves: Counter,
     pk_cache_hits: Counter,
+    eval_panics: Counter,
+    worker_respawns: Counter,
+    deadline_expired: Counter,
+    quota_rejected: Counter,
+    shed: Counter,
     batch_sizes: Tally,
     queue_wait: StageLatency,
     solve: StageLatency,
@@ -29,22 +96,28 @@ struct MetricsInner {
 #[derive(Debug)]
 struct StageLatency {
     tally: Tally,
-    p50: P2Quantile,
-    p95: P2Quantile,
-    p99: P2Quantile,
+    p50: RobustQuantile,
+    p95: RobustQuantile,
+    p99: RobustQuantile,
 }
 
 impl StageLatency {
     fn new() -> Self {
         StageLatency {
             tally: Tally::new(),
-            p50: P2Quantile::new(0.50),
-            p95: P2Quantile::new(0.95),
-            p99: P2Quantile::new(0.99),
+            p50: RobustQuantile::new(0.50),
+            p95: RobustQuantile::new(0.95),
+            p99: RobustQuantile::new(0.99),
         }
     }
 
     fn record(&mut self, seconds: f64) {
+        if !seconds.is_finite() {
+            // Keep every aggregate consistent: drop the sample entirely
+            // (the quantile wrappers would drop it anyway; a non-finite
+            // value must not reach the Tally min/max/mean either).
+            return;
+        }
         self.tally.record(seconds);
         self.p50.record(seconds);
         self.p95.record(seconds);
@@ -83,6 +156,11 @@ impl Metrics {
                 coalesced: Counter::new(),
                 pk_solves: Counter::new(),
                 pk_cache_hits: Counter::new(),
+                eval_panics: Counter::new(),
+                worker_respawns: Counter::new(),
+                deadline_expired: Counter::new(),
+                quota_rejected: Counter::new(),
+                shed: Counter::new(),
                 batch_sizes: Tally::new(),
                 queue_wait: StageLatency::new(),
                 solve: StageLatency::new(),
@@ -130,6 +208,44 @@ impl Metrics {
         self.inner.lock().pk_cache_hits.increment();
     }
 
+    /// A worker caught a panic while evaluating a query; the query's
+    /// waiters received [`crate::QueryError::EvalPanicked`].
+    pub fn on_eval_panic(&self) {
+        self.inner.lock().eval_panics.increment();
+    }
+
+    /// The supervisor replaced a dead worker, healing the pool back to
+    /// its configured size.
+    pub fn on_worker_respawn(&self) {
+        self.inner.lock().worker_respawns.increment();
+    }
+
+    /// A query's serving deadline expired (shed at dequeue or detected
+    /// after the solve); its waiters received
+    /// [`crate::QueryError::DeadlineExceeded`].
+    pub fn on_deadline_expired(&self) {
+        self.inner.lock().deadline_expired.increment();
+    }
+
+    /// A submission was rejected by a per-tenant quota (rate or queue
+    /// share). Also counted under [`Self::on_rejected`].
+    pub fn on_quota_rejected(&self) {
+        self.inner.lock().quota_rejected.increment();
+    }
+
+    /// A submission was shed by the SLO breach controller. Also counted
+    /// under [`Self::on_rejected`].
+    pub fn on_shed(&self) {
+        self.inner.lock().shed.increment();
+    }
+
+    /// The current end-to-end p99 latency estimate, seconds — the SLO
+    /// shedder's input. `None` until five finite observations.
+    #[must_use]
+    pub fn e2e_p99(&self) -> Option<f64> {
+        self.inner.lock().end_to_end.p99.estimate()
+    }
+
     /// A worker drained a batch of `n` queries.
     pub fn on_batch(&self, n: usize) {
         #[allow(clippy::cast_precision_loss)]
@@ -163,6 +279,12 @@ impl Metrics {
             coalesced: inner.coalesced.count(),
             pk_solves: inner.pk_solves.count(),
             pk_cache_hits: inner.pk_cache_hits.count(),
+            eval_panics: inner.eval_panics.count(),
+            worker_respawns: inner.worker_respawns.count(),
+            deadline_expired: inner.deadline_expired.count(),
+            quota_rejected: inner.quota_rejected.count(),
+            shed: inner.shed.count(),
+            shed_probability: 0.0,
             batch_count: inner.batch_sizes.count(),
             mean_batch_size: inner.batch_sizes.mean(),
             max_batch_size: inner.batch_sizes.max().unwrap_or(0.0),
@@ -198,6 +320,22 @@ pub struct MetricsSnapshot {
     pub pk_solves: u64,
     /// Capacity distributions reused from the `P(k)` cache.
     pub pk_cache_hits: u64,
+    /// Worker panics caught during evaluation (each answered its waiters
+    /// with [`crate::QueryError::EvalPanicked`]).
+    pub eval_panics: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_respawns: u64,
+    /// Queries whose serving deadline expired before an answer was
+    /// delivered.
+    pub deadline_expired: u64,
+    /// Submissions rejected by per-tenant quotas (subset of `rejected`).
+    pub quota_rejected: u64,
+    /// Submissions shed under SLO breach (subset of `rejected`).
+    pub shed: u64,
+    /// The SLO shedder's current rejection probability (a gauge, filled
+    /// in by [`crate::Engine::metrics`]; `0.0` straight from
+    /// [`Metrics::snapshot`]).
+    pub shed_probability: f64,
     /// Number of worker batches drained.
     pub batch_count: u64,
     /// Mean batch size.
@@ -278,5 +416,71 @@ mod tests {
         assert!(s.solve.p99 >= s.solve.p95);
         assert!(s.end_to_end.max >= s.end_to_end.min);
         assert_eq!(s.queue_wait.count, 0);
+    }
+
+    #[test]
+    fn robust_quantile_withholds_small_sample_estimates() {
+        let mut q = RobustQuantile::new(0.99);
+        assert_eq!(q.estimate(), None, "empty estimator has no estimate");
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            q.record(x);
+            assert_eq!(q.estimate(), None, "below five observations: None");
+        }
+        q.record(5.0);
+        let p99 = q.estimate().expect("five observations unlock the estimate");
+        assert!((1.0..=5.0).contains(&p99));
+    }
+
+    #[test]
+    fn robust_quantile_ignores_non_finite_samples() {
+        let mut q = RobustQuantile::new(0.5);
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            q.record(x); // the raw P² estimator would panic or corrupt
+        }
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.ignored(), 3);
+        assert_eq!(q.estimate(), None);
+        for x in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            q.record(x);
+            q.record(f64::NAN);
+        }
+        assert_eq!(q.count(), 5);
+        assert_eq!(q.ignored(), 8);
+        let est = q.estimate().unwrap();
+        assert!(est.is_finite() && (10.0..=50.0).contains(&est), "{est}");
+    }
+
+    #[test]
+    fn stage_latency_survives_hostile_samples() {
+        let m = Metrics::new();
+        m.record_end_to_end(f64::NAN);
+        m.record_end_to_end(f64::INFINITY);
+        let s = m.snapshot();
+        assert_eq!(s.end_to_end.count, 0, "non-finite samples never land");
+        assert_eq!(m.e2e_p99(), None);
+        for i in 0..10 {
+            m.record_end_to_end(f64::from(i) / 100.0);
+        }
+        let p99 = m.e2e_p99().expect("enough finite samples now");
+        assert!(p99.is_finite());
+        assert!(m.snapshot().end_to_end.max <= 0.09 + 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = Metrics::new();
+        m.on_eval_panic();
+        m.on_worker_respawn();
+        m.on_deadline_expired();
+        m.on_deadline_expired();
+        m.on_quota_rejected();
+        m.on_shed();
+        let s = m.snapshot();
+        assert_eq!(s.eval_panics, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.deadline_expired, 2);
+        assert_eq!(s.quota_rejected, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.shed_probability, 0.0, "gauge is engine-filled");
     }
 }

@@ -13,6 +13,7 @@ use oaq_analytic::qos::QosParams;
 pub use oaq_analytic::Scheme;
 
 use crate::error::QueryError;
+use crate::tenant::TenantId;
 
 /// Active capacity of the reference plane (paper Section 4.1).
 pub const REFERENCE_CAPACITY: u32 = 14;
@@ -99,6 +100,19 @@ pub struct QuerySpec {
     pub delta_eff: f64,
     /// The requested measure.
     pub measure: Measure,
+    /// The submitting tenant — an admission-control identity, **not** part
+    /// of the result: two tenants asking the same question share one cache
+    /// entry and one in-flight computation, so the tenant is excluded from
+    /// [`QosQuery::key`].
+    pub tenant: TenantId,
+    /// Optional *serving* deadline, wall-clock milliseconds from
+    /// submission. Work still queued past its deadline is shed at dequeue;
+    /// work finishing late is answered
+    /// [`QueryError::DeadlineExceeded`] instead of served stale. A serving
+    /// QoS knob, not part of the answer — excluded from [`QosQuery::key`]
+    /// (when duplicate in-flight queries coalesce, the leader's deadline
+    /// governs).
+    pub deadline_ms: Option<f64>,
 }
 
 impl QuerySpec {
@@ -117,6 +131,8 @@ impl QuerySpec {
             nu: 30.0,
             delta_eff: 0.0,
             measure,
+            tenant: TenantId(0),
+            deadline_ms: None,
         }
     }
 
@@ -156,6 +172,9 @@ impl QuerySpec {
                 delta_eff: self.delta_eff,
             });
         }
+        if let Some(d) = self.deadline_ms {
+            require_positive("deadline_ms", d)?;
+        }
         self.measure.validate()?;
         Ok(QosQuery { spec: self })
     }
@@ -178,6 +197,39 @@ impl QosQuery {
     #[must_use]
     pub fn measure(&self) -> Measure {
         self.spec.measure
+    }
+
+    /// The submitting tenant.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.spec.tenant
+    }
+
+    /// The serving deadline in wall-clock milliseconds, if any.
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<f64> {
+        self.spec.deadline_ms
+    }
+
+    /// The same validated query re-addressed to `tenant`. The tenant is
+    /// an admission identity with no bearing on the answer, so no
+    /// revalidation is needed.
+    #[must_use]
+    pub fn for_tenant(mut self, tenant: TenantId) -> Self {
+        self.spec.tenant = tenant;
+        self
+    }
+
+    /// The same validated query with a serving deadline attached.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QueryError`] when `deadline_ms` is non-finite or not
+    /// strictly positive.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Result<Self, QueryError> {
+        require_positive("deadline_ms", deadline_ms)?;
+        self.spec.deadline_ms = Some(deadline_ms);
+        Ok(self)
     }
 
     /// The usable deadline `τ − δ_eff` (strictly positive by
@@ -215,7 +267,10 @@ impl QosQuery {
         }
     }
 
-    /// The exact (bit-level) memoization key of the full query.
+    /// The exact (bit-level) memoization key of the full query. Serving
+    /// knobs — tenant and deadline — are deliberately excluded: they do
+    /// not change the answer, so all tenants and deadlines share one
+    /// cache entry per parameter tuple.
     #[must_use]
     pub fn key(&self) -> QueryKey {
         QueryKey {
@@ -363,6 +418,39 @@ mod tests {
             let c = s.build().unwrap();
             assert_ne!(a.capacity_key(), c.capacity_key(), "no quantization");
         }
+    }
+
+    #[test]
+    fn tenant_and_deadline_do_not_perturb_keys() {
+        let base = paper(Y2).build().unwrap();
+        let other = base
+            .for_tenant(TenantId(42))
+            .with_deadline_ms(25.0)
+            .unwrap();
+        assert_eq!(other.tenant(), TenantId(42));
+        assert_eq!(other.deadline_ms(), Some(25.0));
+        assert_eq!(
+            base.key(),
+            other.key(),
+            "serving knobs are excluded from the result key"
+        );
+        assert_eq!(base.capacity_key(), other.capacity_key());
+    }
+
+    #[test]
+    fn degenerate_deadlines_rejected() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut s = paper(Y2);
+            s.deadline_ms = Some(bad);
+            assert!(matches!(s.build(), Err(QueryError::Param(_))), "{bad}");
+            assert!(
+                paper(Y2).build().unwrap().with_deadline_ms(bad).is_err(),
+                "{bad}"
+            );
+        }
+        let mut s = paper(Y2);
+        s.deadline_ms = Some(10.0);
+        assert_eq!(s.build().unwrap().deadline_ms(), Some(10.0));
     }
 
     #[test]

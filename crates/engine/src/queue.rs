@@ -8,9 +8,15 @@
 //! condition variable).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::error::RejectReason;
+
+/// Locks, recovering from poisoning: a worker that panicked while
+/// touching the queue must not wedge every other submitter and worker.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A bounded MPMC queue: non-blocking bounded push, blocking batched pop.
 #[derive(Debug)]
@@ -53,7 +59,7 @@ impl<T> SubmitQueue<T> {
     /// is handed back inside the tuple), [`RejectReason::ShuttingDown`]
     /// after [`Self::shutdown`].
     pub fn try_push(&self, item: T) -> Result<(), (T, RejectReason)> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = lock_ignore_poison(&self.inner);
         if inner.shutdown {
             return Err((item, RejectReason::ShuttingDown));
         }
@@ -75,7 +81,7 @@ impl<T> SubmitQueue<T> {
     /// Returns an empty vector only after [`Self::shutdown`] once the
     /// queue has fully drained — the worker's signal to exit.
     pub fn pop_batch(&self, max: usize) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = lock_ignore_poison(&self.inner);
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max.max(1));
@@ -89,23 +95,42 @@ impl<T> SubmitQueue<T> {
             if inner.shutdown {
                 return Vec::new();
             }
-            inner = self.nonempty.wait(inner).expect("queue mutex poisoned");
+            inner = self
+                .nonempty
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Stops admitting new work and wakes every blocked worker. Items
     /// already queued are still drained.
     pub fn shutdown(&self) {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = lock_ignore_poison(&self.inner);
         inner.shutdown = true;
         drop(inner);
         self.nonempty.notify_all();
     }
 
+    /// Whether [`Self::shutdown`] has been called. Used by the worker
+    /// supervisor to decide between respawning a panicked worker and
+    /// letting the pool wind down.
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        lock_ignore_poison(&self.inner).shutdown
+    }
+
+    /// Whether the queue is shut down *and* fully drained — nothing left
+    /// for a respawned worker to do.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        let inner = lock_ignore_poison(&self.inner);
+        inner.shutdown && inner.items.is_empty()
+    }
+
     /// Number of items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue mutex poisoned").items.len()
+        lock_ignore_poison(&self.inner).items.len()
     }
 
     /// Whether the queue is empty.
@@ -157,6 +182,94 @@ mod tests {
         assert_eq!(reason, RejectReason::ShuttingDown);
         assert_eq!(q.pop_batch(8), vec![10]);
         assert_eq!(q.pop_batch(8), Vec::<i32>::new());
+    }
+
+    /// Shutdown/drain semantics under concurrent submitters: across the
+    /// close, every item is either (a) rejected at push with a typed
+    /// reason, or (b) delivered to exactly one consumer — never lost,
+    /// never double-delivered.
+    #[test]
+    fn concurrent_shutdown_neither_loses_nor_duplicates() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        for round in 0..8u64 {
+            let q = Arc::new(SubmitQueue::new(32));
+            let stop = AtomicBool::new(false);
+            let (accepted, delivered) = std::thread::scope(|s| {
+                let mut producers = Vec::new();
+                for p in 0..4u64 {
+                    let q = Arc::clone(&q);
+                    let stop = &stop;
+                    producers.push(s.spawn(move || {
+                        let mut accepted = Vec::new();
+                        for i in 0..500u64 {
+                            let item = p * 10_000 + i;
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            match q.try_push(item) {
+                                Ok(()) => accepted.push(item),
+                                Err((_, RejectReason::ShuttingDown)) => break,
+                                Err((_, RejectReason::QueueFull { .. })) => {
+                                    std::thread::yield_now();
+                                }
+                                Err((_, r)) => panic!("unexpected rejection {r}"),
+                            }
+                        }
+                        accepted
+                    }));
+                }
+                let mut consumers = Vec::new();
+                for _ in 0..2 {
+                    let q = Arc::clone(&q);
+                    consumers.push(s.spawn(move || {
+                        let mut seen = Vec::new();
+                        loop {
+                            let batch = q.pop_batch(5);
+                            if batch.is_empty() {
+                                return seen;
+                            }
+                            seen.extend(batch);
+                        }
+                    }));
+                }
+                // Shut down mid-stream at a per-round staggered point.
+                for _ in 0..(round * 97) {
+                    std::hint::spin_loop();
+                }
+                q.shutdown();
+                stop.store(true, Ordering::Relaxed);
+                let mut accepted: Vec<u64> = producers
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect();
+                let mut delivered: Vec<u64> = consumers
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect();
+                accepted.sort_unstable();
+                delivered.sort_unstable();
+                (accepted, delivered)
+            });
+            assert_eq!(
+                accepted, delivered,
+                "round {round}: accepted items must be delivered exactly once"
+            );
+            assert!(q.is_drained());
+        }
+    }
+
+    #[test]
+    fn shutdown_state_is_observable() {
+        let q = SubmitQueue::new(4);
+        assert!(!q.is_shut_down());
+        assert!(!q.is_drained());
+        q.try_push(1).unwrap();
+        q.shutdown();
+        assert!(q.is_shut_down());
+        assert!(!q.is_drained(), "an item is still queued");
+        assert_eq!(q.pop_batch(4), vec![1]);
+        assert!(q.is_drained());
     }
 
     #[test]

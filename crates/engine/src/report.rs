@@ -16,6 +16,19 @@ pub fn fmt_f64(x: f64) -> String {
     format!("{x:.17e}")
 }
 
+/// One f64 as a JSON *value*: round-trip exact when finite, the literal
+/// `null` otherwise. Bare `NaN`/`inf` are not JSON; empty latency stages
+/// (e.g. a p99 with fewer than five observations) must serialize as an
+/// absent measurement, not a parse error downstream.
+#[must_use]
+pub fn fmt_f64_or_null(x: f64) -> String {
+    if x.is_finite() {
+        fmt_f64(x)
+    } else {
+        "null".to_string()
+    }
+}
+
 fn value_json(v: &QosValue) -> String {
     match v {
         QosValue::Scalar(x) => format!("{{\"scalar\":{}}}", fmt_f64(*x)),
@@ -70,6 +83,14 @@ mod tests {
             let back: f64 = printed.parse().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{printed}");
         }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(fmt_f64_or_null(f64::NAN), "null");
+        assert_eq!(fmt_f64_or_null(f64::INFINITY), "null");
+        assert_eq!(fmt_f64_or_null(f64::NEG_INFINITY), "null");
+        assert_eq!(fmt_f64_or_null(0.5), fmt_f64(0.5));
     }
 
     #[test]

@@ -5,10 +5,30 @@
 //! blocks on a shared [`Slot`] until the leader publishes. Uses
 //! `std::sync::{Mutex, Condvar}` — the vendored `parking_lot` stand-in has
 //! no condition variable.
+//!
+//! ## Fault tolerance
+//!
+//! A leader can die mid-computation (a panicking worker). Three layers
+//! keep followers from blocking forever on its corpse:
+//!
+//! 1. every lock here recovers from poisoning (a panic while holding a
+//!    slot or table mutex must not cascade `Err` panics into waiters);
+//! 2. [`Slot::abandon`] wakes every waiter empty-handed and is idempotent,
+//!    so unwind guards can call it unconditionally;
+//! 3. [`SingleFlight::join`] self-heals: a table entry whose slot is no
+//!    longer pending (a leader that died without retiring its key) is
+//!    replaced by a fresh flight instead of recruiting followers to a
+//!    dead computation.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks, recovering the guard from a poisoned mutex — a panicking leader
+/// must not propagate panics into innocent followers.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The shared cell a coalesced computation publishes into.
 #[derive(Debug)]
@@ -35,7 +55,7 @@ impl<V: Clone> Slot<V> {
 
     /// Publishes the result and wakes every waiter.
     pub fn publish(&self, value: V) {
-        let mut s = self.state.lock().expect("slot mutex poisoned");
+        let mut s = lock_ignore_poison(&self.state);
         *s = SlotState::Done(value);
         self.ready.notify_all();
     }
@@ -43,7 +63,7 @@ impl<V: Clone> Slot<V> {
     /// Marks the computation as abandoned (leader lost) and wakes every
     /// waiter; they observe `None`.
     pub fn abandon(&self) {
-        let mut s = self.state.lock().expect("slot mutex poisoned");
+        let mut s = lock_ignore_poison(&self.state);
         if matches!(*s, SlotState::Pending) {
             *s = SlotState::Abandoned;
             self.ready.notify_all();
@@ -52,10 +72,15 @@ impl<V: Clone> Slot<V> {
 
     /// Blocks until the leader publishes; `None` if it was abandoned.
     pub fn wait(&self) -> Option<V> {
-        let mut s = self.state.lock().expect("slot mutex poisoned");
+        let mut s = lock_ignore_poison(&self.state);
         loop {
             match &*s {
-                SlotState::Pending => s = self.ready.wait(s).expect("slot mutex poisoned"),
+                SlotState::Pending => {
+                    s = self
+                        .ready
+                        .wait(s)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                }
                 SlotState::Done(v) => return Some(v.clone()),
                 SlotState::Abandoned => return None,
             }
@@ -64,10 +89,16 @@ impl<V: Clone> Slot<V> {
 
     /// Non-blocking peek; `None` while still pending or abandoned.
     pub fn try_get(&self) -> Option<V> {
-        match &*self.state.lock().expect("slot mutex poisoned") {
+        match &*lock_ignore_poison(&self.state) {
             SlotState::Done(v) => Some(v.clone()),
             _ => None,
         }
+    }
+
+    /// Whether the computation is still in flight (neither published nor
+    /// abandoned).
+    pub fn is_pending(&self) -> bool {
+        matches!(*lock_ignore_poison(&self.state), SlotState::Pending)
     }
 }
 
@@ -96,42 +127,52 @@ impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
 
     /// Joins the flight for `key`: the first caller becomes the leader,
     /// later callers become followers of the same slot.
+    ///
+    /// Self-healing: a table entry whose slot already resolved (a leader
+    /// that died — or completed — without retiring its key) is *stale*;
+    /// instead of following a dead computation, the joiner replaces it
+    /// and leads a fresh flight.
     pub fn join(&self, key: K) -> Flight<V> {
-        let mut map = self.inflight.lock().expect("inflight mutex poisoned");
+        let mut map = lock_ignore_poison(&self.inflight);
         if let Some(slot) = map.get(&key) {
-            Flight::Follower(Arc::clone(slot))
-        } else {
-            let slot = Arc::new(Slot::new());
-            map.insert(key, Arc::clone(&slot));
-            Flight::Leader(slot)
+            if slot.is_pending() {
+                return Flight::Follower(Arc::clone(slot));
+            }
         }
+        let slot = Arc::new(Slot::new());
+        map.insert(key, Arc::clone(&slot));
+        Flight::Leader(slot)
     }
 
     /// Leader-side completion: publishes `value` into `slot` and retires
     /// the key so the next identical query starts a fresh flight (it will
     /// normally hit the result cache instead).
-    pub fn complete(&self, key: &K, slot: &Slot<V>, value: V) {
+    pub fn complete(&self, key: &K, slot: &Arc<Slot<V>>, value: V) {
         slot.publish(value);
-        self.inflight
-            .lock()
-            .expect("inflight mutex poisoned")
-            .remove(key);
+        self.retire(key, slot);
     }
 
     /// Leader-side failure path: retires the key and wakes followers with
     /// an abandonment signal.
-    pub fn abandon(&self, key: &K, slot: &Slot<V>) {
+    pub fn abandon(&self, key: &K, slot: &Arc<Slot<V>>) {
         slot.abandon();
-        self.inflight
-            .lock()
-            .expect("inflight mutex poisoned")
-            .remove(key);
+        self.retire(key, slot);
+    }
+
+    /// Removes the table entry for `key` only if it still refers to this
+    /// very slot — after [`Self::join`] self-healed a stale entry, a late
+    /// old leader must not retire the replacement flight.
+    fn retire(&self, key: &K, slot: &Arc<Slot<V>>) {
+        let mut map = lock_ignore_poison(&self.inflight);
+        if map.get(key).is_some_and(|live| Arc::ptr_eq(live, slot)) {
+            map.remove(key);
+        }
     }
 
     /// Number of keys currently in flight.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inflight.lock().expect("inflight mutex poisoned").len()
+        lock_ignore_poison(&self.inflight).len()
     }
 
     /// Whether no computation is in flight.
@@ -212,6 +253,77 @@ mod tests {
         };
         sf.abandon(&3, &slot);
         assert_eq!(follower.wait(), None);
+        assert!(sf.is_empty());
+    }
+
+    /// Regression (the single-flight hang hazard): a leader whose
+    /// evaluator deliberately panics — poisoning the slot mutex on the
+    /// way down — must error out its followers, not block them forever or
+    /// cascade its panic into them.
+    #[test]
+    fn panicking_leader_errors_followers_instead_of_hanging() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let sf = Arc::new(SingleFlight::<u32, u64>::new());
+        let Flight::Leader(slot) = sf.join(11) else {
+            panic!("leader expected")
+        };
+        let Flight::Follower(follower) = sf.join(11) else {
+            panic!("follower expected")
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| follower.wait());
+            // The "evaluator" panics while holding the slot's own state
+            // mutex — the worst case: the mutex is poisoned mid-update.
+            let sf_leader = Arc::clone(&sf);
+            let leader = s.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let _guard = lock_ignore_poison(&slot.state);
+                    panic!("deliberately panicking evaluator");
+                }));
+                assert!(result.is_err());
+                // The unwind guard in the worker runs abandon(); it must
+                // tolerate the poisoned mutex and wake the follower.
+                sf_leader.abandon(&11, &slot);
+            });
+            leader.join().unwrap();
+            assert_eq!(
+                waiter.join().expect("follower must not panic"),
+                None,
+                "follower observes abandonment, not a hang"
+            );
+        });
+        assert!(sf.is_empty());
+    }
+
+    /// Self-healing: a leader that died without retiring its key leaves a
+    /// stale (abandoned) table entry. The next joiner must lead a fresh
+    /// flight rather than follow the corpse.
+    #[test]
+    fn stale_table_entries_self_heal_on_join() {
+        let sf = SingleFlight::<u32, u64>::new();
+        let Flight::Leader(slot) = sf.join(5) else {
+            panic!("leader expected")
+        };
+        // Simulate a leader dropped on the floor: the slot is abandoned
+        // but the key was never removed from the table.
+        slot.abandon();
+        assert_eq!(sf.len(), 1, "the stale entry is still in the table");
+        let Flight::Leader(fresh) = sf.join(5) else {
+            panic!("a stale entry must be replaced, not followed")
+        };
+        let Flight::Follower(follower) = sf.join(5) else {
+            panic!("the fresh flight accepts followers")
+        };
+        sf.complete(&5, &fresh, 77);
+        assert_eq!(follower.wait(), Some(77));
+        // A late retire by the dead leader must not touch the live table.
+        let Flight::Leader(live) = sf.join(5) else {
+            panic!("fresh lead after completion")
+        };
+        sf.abandon(&5, &slot); // the corpse retires its old slot: no-op
+        assert_eq!(sf.len(), 1, "the live flight survives the stale retire");
+        sf.complete(&5, &live, 78);
         assert!(sf.is_empty());
     }
 }

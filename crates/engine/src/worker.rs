@@ -1,23 +1,49 @@
-//! The worker side of the engine: shared state and the batch-draining
-//! compute loop.
+//! The worker side of the engine: shared state, the batch-draining
+//! compute loop, and per-query panic supervision.
+//!
+//! ## Fault model
+//!
+//! Every query evaluation runs under `catch_unwind`: an evaluator panic
+//! is converted into a typed [`QueryError::EvalPanicked`] delivered to
+//! the leader *and* every coalesced follower — no waiter ever hangs on a
+//! dead computation. A worker that caught a panic finishes delivering
+//! its whole batch (so no dequeued job is dropped), then exits with
+//! [`WorkerExit::Panicked`]; the supervisor in [`crate::Engine`]
+//! replaces it so the pool heals back to its configured size. As a last
+//! backstop, [`Job`] abandons its slot on drop — a job discarded without
+//! delivery (teardown, an unwinding worker) still wakes its followers.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::cache::LruCache;
-use crate::error::EngineError;
-use crate::eval::{eval_cheap, eval_with_pk, QosValue};
+use crate::error::{EngineError, QueryError};
+use crate::eval::{Evaluator, QosValue};
 use crate::metrics::Metrics;
 use crate::query::{CapacityKey, QosQuery, QueryKey};
 use crate::queue::SubmitQueue;
+use crate::shed::Shedder;
 use crate::singleflight::{Flight, SingleFlight, Slot};
+use crate::tenant::TenantTable;
 
 /// The outcome delivered for a query.
 pub type EngineResult = Result<QosValue, EngineError>;
 
 type PkResult = Result<Arc<Vec<f64>>, EngineError>;
+
+/// Why a worker thread returned, reported to the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The queue shut down and drained — normal wind-down.
+    Drained,
+    /// The worker caught at least one evaluation panic this run. Its
+    /// batch was fully delivered, but the thread retires and the
+    /// supervisor respawns a replacement.
+    Panicked,
+}
 
 /// One enqueued unit of work: a query that became the leader of its
 /// single-flight and must be computed.
@@ -29,6 +55,25 @@ pub(crate) struct Job {
     pub(crate) submitted: Instant,
 }
 
+impl Job {
+    /// The serving deadline as a duration, if the query set one.
+    fn deadline(&self) -> Option<Duration> {
+        self.query
+            .deadline_ms()
+            .map(|ms| Duration::from_secs_f64(ms / 1e3))
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // Backstop: a job discarded without delivery (queue teardown, a
+        // worker unwinding between dequeue and completion) must not leave
+        // followers blocked. `abandon` is a no-op once the slot resolved,
+        // and the stale flight-table entry self-heals on the next join.
+        self.slot.abandon();
+    }
+}
+
 /// State shared between the submission side and every worker.
 #[derive(Debug)]
 pub(crate) struct Shared {
@@ -38,11 +83,23 @@ pub(crate) struct Shared {
     pub(crate) pk_cache: Mutex<LruCache<CapacityKey, Arc<Vec<f64>>>>,
     pub(crate) pk_flight: SingleFlight<CapacityKey, PkResult>,
     pub(crate) metrics: Metrics,
+    pub(crate) tenants: TenantTable,
+    pub(crate) shedder: Shedder,
+    pub(crate) evaluator: Arc<dyn Evaluator>,
+    pub(crate) epoch: Instant,
     pub(crate) batch_size: usize,
 }
 
-/// Abandons a flight when dropped without [`defuse`](Self::defuse) — the
-/// worker-panic safety net that keeps followers from blocking forever.
+impl Shared {
+    /// Seconds since the engine started — the injected clock the tenant
+    /// token buckets refill against.
+    pub(crate) fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// Abandons a flight when dropped without [`complete`](Self::complete) —
+/// the worker-panic safety net that keeps followers from blocking forever.
 struct AbandonGuard<'a, K: Eq + std::hash::Hash + Copy, V: Clone> {
     flight: &'a SingleFlight<K, V>,
     key: K,
@@ -78,6 +135,11 @@ impl<K: Eq + std::hash::Hash + Copy, V: Clone> Drop for AbandonGuard<'_, K, V> {
 /// The capacity distribution for `query`'s (λ, φ, η) scenario: LRU cache
 /// first, then single-flight so concurrent misses of the same scenario run
 /// one CTMC solve.
+///
+/// A panic inside the evaluator's solve unwinds through the leader arm;
+/// the guard abandons the pk flight so followers (other workers) observe
+/// [`EngineError::WorkerLost`] instead of blocking — a terminal, typed
+/// outcome for their queries too.
 fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
     let key = query.capacity_key();
     if let Some(pk) = shared.pk_cache.lock().get(&key) {
@@ -92,11 +154,7 @@ fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
         Flight::Leader(slot) => {
             let guard = AbandonGuard::new(&shared.pk_flight, key, slot);
             shared.metrics.on_pk_solve();
-            let result: PkResult = query
-                .capacity_params()
-                .distribution()
-                .map(Arc::new)
-                .map_err(EngineError::from);
+            let result: PkResult = shared.evaluator.solve_pk(query).map(Arc::new);
             if let Ok(pk) = &result {
                 shared.pk_cache.lock().insert(key, Arc::clone(pk));
             }
@@ -106,43 +164,93 @@ fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
     }
 }
 
-/// Computes one query, reusing the cached `P(k)` layer when the measure
-/// needs it.
+/// Computes one query through the engine's evaluator, reusing the cached
+/// `P(k)` layer when the measure needs it.
 fn compute(shared: &Shared, query: &QosQuery) -> EngineResult {
     if query.measure().needs_capacity_solve() {
         let pk = capacity_pk(shared, query)?;
-        Ok(eval_with_pk(query, &pk))
+        Ok(shared.evaluator.eval_with_pk(query, &pk))
     } else {
-        Ok(eval_cheap(query))
+        Ok(shared.evaluator.eval_cheap(query))
     }
 }
 
-/// The worker loop: drain batches until shutdown fully empties the queue.
-pub(crate) fn worker_loop(shared: &Shared) {
+/// Delivers one dequeued job: deadline gates, supervised compute, caching
+/// and metrics. Returns `true` if the evaluator panicked underneath.
+fn serve_job(shared: &Shared, job: &Job) -> bool {
+    shared.tenants.release_queue_slot(job.query.tenant());
+    let waited = job.submitted.elapsed();
+    shared.metrics.record_queue_wait(waited.as_secs_f64());
+    let guard = AbandonGuard::new(&shared.flight, job.key, Arc::clone(&job.slot));
+
+    // Deadline gate 1: shed already-late work before paying for a solve.
+    let deadline = job.deadline();
+    if let Some(d) = deadline {
+        if waited > d {
+            shared.metrics.on_deadline_expired();
+            shared.metrics.on_served();
+            shared.tenants.on_completed(job.query.tenant());
+            guard.complete(Err(EngineError::Query(QueryError::DeadlineExceeded {
+                deadline_ms: d.as_secs_f64() * 1e3,
+                waited_ms: waited.as_secs_f64() * 1e3,
+            })));
+            return false;
+        }
+    }
+
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| compute(shared, &job.query)));
+    shared.metrics.record_solve(t0.elapsed().as_secs_f64());
+    let panicked = outcome.is_err();
+    let result = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            shared.metrics.on_eval_panic();
+            Err(EngineError::Query(QueryError::EvalPanicked))
+        }
+    };
+    if result.is_ok() {
+        // Cache even when the deadline lapsed mid-solve: the work is done
+        // and the next identical query should not pay for it again.
+        shared.results.lock().insert(job.key, result.clone());
+    }
+    let elapsed = job.submitted.elapsed();
+    let result = match deadline {
+        Some(d) if elapsed > d => {
+            // Deadline gate 2: the solve finished too late to honour.
+            shared.metrics.on_deadline_expired();
+            Err(EngineError::Query(QueryError::DeadlineExceeded {
+                deadline_ms: d.as_secs_f64() * 1e3,
+                waited_ms: elapsed.as_secs_f64() * 1e3,
+            }))
+        }
+        _ => result,
+    };
+    // Count before publishing: a waiter that wakes on the publish must
+    // already observe this query in the served counters.
+    shared.metrics.on_served();
+    shared.tenants.on_completed(job.query.tenant());
+    shared.metrics.record_end_to_end(elapsed.as_secs_f64());
+    guard.complete(result);
+    panicked
+}
+
+/// The worker loop: drain batches until shutdown fully empties the queue,
+/// or until a supervised evaluation panic retires this worker (its batch
+/// is still fully delivered first).
+pub(crate) fn worker_loop(shared: &Shared) -> WorkerExit {
     loop {
         let batch = shared.queue.pop_batch(shared.batch_size);
         if batch.is_empty() {
-            return;
+            return WorkerExit::Drained;
         }
         shared.metrics.on_batch(batch.len());
+        let mut panicked = false;
         for job in batch {
-            shared
-                .metrics
-                .record_queue_wait(job.submitted.elapsed().as_secs_f64());
-            let guard = AbandonGuard::new(&shared.flight, job.key, Arc::clone(&job.slot));
-            let t0 = Instant::now();
-            let result = compute(shared, &job.query);
-            shared.metrics.record_solve(t0.elapsed().as_secs_f64());
-            if result.is_ok() {
-                shared.results.lock().insert(job.key, result.clone());
-            }
-            // Count before publishing: a waiter that wakes on the publish
-            // must already observe this query in the served counters.
-            shared.metrics.on_served();
-            shared
-                .metrics
-                .record_end_to_end(job.submitted.elapsed().as_secs_f64());
-            guard.complete(result);
+            panicked |= serve_job(shared, &job);
+        }
+        if panicked {
+            return WorkerExit::Panicked;
         }
     }
 }
@@ -150,7 +258,10 @@ pub(crate) fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::DefaultEvaluator;
     use crate::query::{Measure, QuerySpec, Scheme};
+    use crate::shed::ShedPolicy;
+    use crate::tenant::QuotaPolicy;
 
     fn shared() -> Shared {
         Shared {
@@ -160,8 +271,24 @@ mod tests {
             pk_cache: Mutex::new(LruCache::new(8)),
             pk_flight: SingleFlight::new(),
             metrics: Metrics::new(),
+            tenants: TenantTable::new(QuotaPolicy::default(), 16),
+            shedder: Shedder::new(ShedPolicy::default(), 0),
+            evaluator: Arc::new(DefaultEvaluator),
+            epoch: Instant::now(),
             batch_size: 4,
         }
+    }
+
+    fn y2(lambda: f64) -> QosQuery {
+        QuerySpec::paper_defaults(
+            lambda,
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 2,
+            },
+        )
+        .build()
+        .unwrap()
     }
 
     #[test]
@@ -186,15 +313,7 @@ mod tests {
     #[test]
     fn abandon_guard_wakes_followers_on_panic() {
         let sh = shared();
-        let q = QuerySpec::paper_defaults(
-            5e-5,
-            Measure::QosAtLeast {
-                scheme: Scheme::Baq,
-                y: 2,
-            },
-        )
-        .build()
-        .unwrap();
+        let q = y2(5e-5);
         let key = q.key();
         let Flight::Leader(slot) = sh.flight.join(key) else {
             panic!("leader expected")
@@ -210,5 +329,104 @@ mod tests {
         });
         assert_eq!(follower.wait(), None, "follower must not block forever");
         assert!(sh.flight.is_empty());
+    }
+
+    /// A panicking evaluator is converted into `EvalPanicked` for the
+    /// leader and its followers, and the worker reports `Panicked` so the
+    /// supervisor can replace it.
+    #[test]
+    fn supervised_panic_becomes_a_typed_answer() {
+        struct Bomb;
+        impl Evaluator for Bomb {
+            fn solve_pk(&self, _query: &QosQuery) -> Result<Vec<f64>, EngineError> {
+                std::panic::panic_any(crate::INJECTED_FAULT);
+            }
+        }
+
+        let mut sh = shared();
+        sh.evaluator = Arc::new(Bomb);
+        let q = y2(5e-5);
+        let key = q.key();
+        let Flight::Leader(slot) = sh.flight.join(key) else {
+            panic!("leader expected")
+        };
+        let Flight::Follower(follower) = sh.flight.join(key) else {
+            panic!("follower expected")
+        };
+        sh.queue
+            .try_push(Job {
+                query: q,
+                key,
+                slot: Arc::clone(&slot),
+                submitted: Instant::now(),
+            })
+            .unwrap();
+        sh.queue.shutdown();
+        crate::silence_injected_panics();
+        let exit = worker_loop(&sh);
+        assert_eq!(exit, WorkerExit::Panicked);
+        assert!(matches!(
+            follower.wait(),
+            Some(Err(EngineError::Query(QueryError::EvalPanicked)))
+        ));
+        let m = sh.metrics.snapshot();
+        assert_eq!(m.eval_panics, 1);
+        assert_eq!(m.served, 1, "a panicked query still counts as answered");
+        assert!(sh.flight.is_empty(), "the flight was retired");
+    }
+
+    /// A job whose deadline lapsed in the queue is shed at dequeue: its
+    /// waiters get `DeadlineExceeded` and no solve runs.
+    #[test]
+    fn expired_deadline_is_shed_before_solving() {
+        let sh = shared();
+        let q = y2(5e-5).with_deadline_ms(0.01).unwrap();
+        let key = q.key();
+        let Flight::Leader(slot) = sh.flight.join(key) else {
+            panic!("leader expected")
+        };
+        sh.queue
+            .try_push(Job {
+                query: q,
+                key,
+                slot: Arc::clone(&slot),
+                submitted: Instant::now() - Duration::from_millis(50),
+            })
+            .unwrap();
+        sh.queue.shutdown();
+        assert_eq!(worker_loop(&sh), WorkerExit::Drained);
+        match slot.wait() {
+            Some(Err(EngineError::Query(QueryError::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            }))) => {
+                assert!((deadline_ms - 0.01).abs() < 1e-9);
+                assert!(waited_ms >= 50.0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let m = sh.metrics.snapshot();
+        assert_eq!(m.deadline_expired, 1);
+        assert_eq!(m.pk_solves, 0, "late work must not pay for a solve");
+        assert_eq!(m.served, 1);
+    }
+
+    /// A dropped job (teardown path) abandons its slot so followers wake.
+    #[test]
+    fn dropped_job_wakes_its_waiters() {
+        let sh = shared();
+        let q = y2(5e-5);
+        let key = q.key();
+        let Flight::Leader(slot) = sh.flight.join(key) else {
+            panic!("leader expected")
+        };
+        let job = Job {
+            query: q,
+            key,
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        };
+        drop(job);
+        assert_eq!(slot.wait(), None, "drop abandons the pending slot");
     }
 }

@@ -11,6 +11,7 @@
 use oaq_sim::SimRng;
 
 use crate::query::{Measure, QosQuery, QuerySpec, Scheme};
+use crate::tenant::TenantId;
 
 /// Workload shape: scenario-pool size, skew and length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +100,44 @@ pub fn zipf_workload(config: &WorkloadConfig, seed: u64) -> Vec<QosQuery> {
         .collect()
 }
 
+/// Tags a Zipf workload with tenant identities drawn by relative traffic
+/// weight: `(tenant, weight)` pairs where a tenant with weight `10.0`
+/// submits ten times the traffic of a weight-`1.0` tenant — the flooding
+/// scenario the quota layer is tested against. The tenant stream is a
+/// dedicated substream of `seed`, so the *queries* are identical to
+/// [`zipf_workload`] with the same config and seed; only the tags differ.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty or the weights sum to zero.
+#[must_use]
+pub fn multi_tenant_workload(
+    config: &WorkloadConfig,
+    tenants: &[(TenantId, f64)],
+    seed: u64,
+) -> Vec<QosQuery> {
+    assert!(!tenants.is_empty(), "workload needs at least one tenant");
+    let total: f64 = tenants.iter().map(|&(_, w)| w.max(0.0)).sum();
+    assert!(total > 0.0, "tenant weights must not all vanish");
+    let mut tags = SimRng::substream(seed, 0x7e4a);
+    zipf_workload(config, seed)
+        .into_iter()
+        .map(|q| {
+            let mut u = tags.unit() * total;
+            let mut chosen = tenants[tenants.len() - 1].0;
+            for &(t, w) in tenants {
+                let w = w.max(0.0);
+                if u < w {
+                    chosen = t;
+                    break;
+                }
+                u -= w;
+            }
+            q.for_tenant(chosen)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +191,38 @@ mod tests {
             .count();
         assert!(cheap > 0, "conditional (cheap-layer) queries present");
         assert!(cheap < queries.len(), "capacity-bound queries present");
+    }
+
+    #[test]
+    fn tenant_tags_follow_weights_without_touching_queries() {
+        let cfg = WorkloadConfig {
+            scenarios: 30,
+            skew: 1.0,
+            queries: 4_000,
+        };
+        let flooder = TenantId(1);
+        let polite = TenantId(2);
+        let tagged = multi_tenant_workload(&cfg, &[(flooder, 10.0), (polite, 1.0)], 5);
+        let plain = zipf_workload(&cfg, 5);
+        assert_eq!(tagged.len(), plain.len());
+        let mut flood_count = 0usize;
+        for (t, p) in tagged.iter().zip(&plain) {
+            assert_eq!(t.key(), p.key(), "tenant tags never perturb the query");
+            if t.tenant() == flooder {
+                flood_count += 1;
+            } else {
+                assert_eq!(t.tenant(), polite);
+            }
+        }
+        // 10:1 weights → the flooder holds ≈ 90.9% of the stream.
+        assert!(
+            (0.87..=0.94).contains(&(flood_count as f64 / 4_000.0)),
+            "flooder share off: {flood_count}/4000"
+        );
+        assert_eq!(
+            multi_tenant_workload(&cfg, &[(flooder, 10.0), (polite, 1.0)], 5),
+            tagged,
+            "tagging is deterministic per seed"
+        );
     }
 }

@@ -41,6 +41,7 @@ fn engine(workers: usize, queue: usize) -> Engine {
         batch_size: 8,
         result_cache: 512,
         pk_cache: 64,
+        ..EngineConfig::default()
     })
 }
 
@@ -121,6 +122,66 @@ fn warm_replay_is_bit_identical_and_solve_free() {
         m.result_cache_hits >= cfg.queries as u64,
         "the second pass should be all cache hits: {m:?}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Supervision property: under a seeded panicking evaluator, every
+    /// submission still reaches exactly one terminal outcome, and every
+    /// `Ok` answer remains bit-identical to the direct evaluation.
+    #[test]
+    fn panics_never_lose_queries_or_perturb_answers(
+        seed in any::<u64>(),
+        workers in 1usize..4,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use oaq_engine::{Evaluator, QueryError};
+
+        /// Panics on ~1 in 6 solves, decided by a seeded counter stream.
+        struct SeededBomb {
+            seed: u64,
+            calls: AtomicU64,
+        }
+        impl Evaluator for SeededBomb {
+            fn solve_pk(&self, query: &oaq_engine::QosQuery) -> Result<Vec<f64>, EngineError> {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                if oaq_sim::SimRng::substream(self.seed, n).chance(1.0 / 6.0) {
+                    std::panic::panic_any(oaq_engine::INJECTED_FAULT);
+                }
+                query.capacity_params().distribution().map_err(EngineError::from)
+            }
+        }
+
+        oaq_engine::silence_injected_panics();
+        let workload = zipf_workload(
+            &WorkloadConfig { scenarios: 12, skew: 1.0, queries: 60 },
+            seed,
+        );
+        let eng = Engine::with_evaluator(
+            EngineConfig {
+                workers,
+                queue_capacity: 32,
+                batch_size: 4,
+                result_cache: 256,
+                pk_cache: 32,
+                ..EngineConfig::default()
+            },
+            Arc::new(SeededBomb { seed, calls: AtomicU64::new(0) }),
+        );
+        let served = replay(&eng, &workload);
+        prop_assert_eq!(served.len(), workload.len(), "no query may vanish");
+        for (q, r) in workload.iter().zip(&served) {
+            match r {
+                Ok(v) => prop_assert_eq!(v, &direct_eval(q).unwrap(), "bit-identical"),
+                Err(EngineError::Query(QueryError::EvalPanicked))
+                | Err(EngineError::WorkerLost) => {}
+                Err(e) => prop_assert!(false, "unexpected terminal outcome: {e}"),
+            }
+        }
+        let m = eng.metrics();
+        prop_assert_eq!(m.served + m.coalesced, workload.len() as u64);
+    }
 }
 
 #[test]
