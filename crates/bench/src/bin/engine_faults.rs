@@ -196,7 +196,7 @@ fn run_cell(
         fault_rate / 2.0,
         Duration::from_millis(50),
     ));
-    let mut engine = Engine::with_evaluator(
+    let engine = Engine::with_evaluator(
         EngineConfig {
             workers,
             queue_capacity: 64,
@@ -343,7 +343,7 @@ fn run_flood(
         })
         .collect();
 
-    let mut engine = Engine::new(EngineConfig {
+    let engine = Engine::new(EngineConfig {
         workers,
         queue_capacity: 64,
         batch_size: 8,

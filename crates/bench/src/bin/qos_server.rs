@@ -29,6 +29,7 @@ use oaq_engine::{
     direct_eval, zipf_workload, Engine, EngineConfig, EngineResult, LatencySnapshot,
     MetricsSnapshot, QosQuery, WorkloadConfig,
 };
+use oaq_serve::report::cache_stats_json;
 
 /// FNV-1a over the deterministic result digest, so two runs (or two
 /// machines) can compare answers without shipping the full array.
@@ -203,7 +204,8 @@ fn main() {
          \"engine_warm\": {{\"secs\": {}, \"throughput_qps\": {}}},\n  \
          \"speedup_cold_vs_naive\": {},\n  \"speedup_warm_vs_naive\": {},\n  \
          \"worker_matrix\": [{}],\n  \
-         \"engine_metrics\": {}\n}}",
+         \"engine_metrics\": {},\n  \
+         \"cache_shards\": {}\n}}",
         workload_cfg.scenarios,
         engine.config().effective_workers(),
         json_escape(&format!("{digest:016x}")),
@@ -221,6 +223,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
         metrics_json(&metrics),
+        cache_stats_json(&engine.cache_stats()),
     );
 
     if !identical {

@@ -23,6 +23,7 @@
 //! | `qos_server` | E16 (engine) — serving-engine replay of a seeded Zipf query workload: throughput vs naive recompute, latency percentiles, cache/admission counters, JSON |
 //! | `pk_kernel` | E17 (perf) — sparse shared-iterate P(k) kernel vs dense per-panel baseline, JSON |
 //! | `mc_replication` | E18 (perf) — deterministic parallel replication engine: traced vs fast-path campaign cells, worker fan-out with in-bench bit-identity assertion, JSON |
+//! | `serve_bench` | E21 (serving) — networked frontend over the wire: worker×shard scaling matrix with per-shard contention counters, open-loop (coordinated-omission-free) latency quantiles, snapshot warm-start, JSON |
 //!
 //! The Criterion benches (`benches/`) measure the computational substrates
 //! themselves (kernel, SAN solvers, WLS, analytic evaluation, protocol
@@ -33,6 +34,7 @@
 
 pub mod args;
 pub mod campaign;
+pub mod serve_report;
 
 /// Prints a TSV header row.
 pub fn tsv_header(cols: &[&str]) {

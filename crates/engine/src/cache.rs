@@ -74,6 +74,12 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         self.map.len()
     }
 
+    /// Visits every entry without perturbing recency (iteration order is
+    /// unspecified). Used by the snapshot export path.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, e)| (k, &e.value))
+    }
+
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -7,14 +7,14 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::cache::LruCache;
 use crate::error::{EngineError, RejectReason};
-use crate::eval::{DefaultEvaluator, Evaluator};
+use crate::eval::{DefaultEvaluator, Evaluator, QosValue};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::query::QosQuery;
+use crate::query::{CapacityKey, QosQuery, QueryKey};
 use crate::queue::SubmitQueue;
+use crate::shard::{resolve_shards, CacheShardStats, ShardedCache, ShardedFlight};
 use crate::shed::{ShedPolicy, Shedder};
-use crate::singleflight::{Flight, SingleFlight, Slot};
+use crate::singleflight::{Flight, Slot};
 use crate::tenant::{QuotaPolicy, TenantId, TenantSnapshot, TenantTable};
 use crate::worker::{worker_loop, EngineResult, Job, Shared, WorkerExit};
 
@@ -34,6 +34,10 @@ pub struct EngineConfig {
     pub result_cache: usize,
     /// Capacity of the `P(k)` capacity-solve LRU (level 2).
     pub pk_cache: usize,
+    /// Shard count for both cache layers and both in-flight tables; `0`
+    /// means the default (8), other values round up to a power of two
+    /// (clamped to 256). One shard reproduces the old single-lock engine.
+    pub cache_shards: usize,
     /// Per-tenant admission quotas (rate bucket + queue fair share).
     pub quota: QuotaPolicy,
     /// SLO-aware load shedding policy.
@@ -50,6 +54,7 @@ impl Default for EngineConfig {
             batch_size: 32,
             result_cache: 4096,
             pk_cache: 256,
+            cache_shards: 0,
             quota: QuotaPolicy::default(),
             shed: ShedPolicy::default(),
             shed_seed: 0x5EED,
@@ -66,6 +71,36 @@ impl EngineConfig {
         } else {
             std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
         }
+    }
+
+    /// The shard count after resolving `0` to the default and rounding to
+    /// a power of two.
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        resolve_shards(self.cache_shards, 8)
+    }
+}
+
+/// Per-shard counters of both cache layers — the observability that makes
+/// the warm-path lock split measurable (`hits`/`misses` localize the hot
+/// key space; `contended` counts lock acquisitions that had to wait).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Result-cache (level 1) shards, in shard order.
+    pub result: Vec<CacheShardStats>,
+    /// `P(k)` capacity-cache (level 2) shards, in shard order.
+    pub pk: Vec<CacheShardStats>,
+}
+
+impl CacheStatsSnapshot {
+    /// Total contended lock acquisitions across both layers.
+    #[must_use]
+    pub fn total_contended(&self) -> u64 {
+        self.result
+            .iter()
+            .chain(&self.pk)
+            .map(|s| s.contended)
+            .sum()
     }
 }
 
@@ -125,7 +160,7 @@ impl Ticket {
 pub struct Engine {
     shared: Arc<Shared>,
     config: EngineConfig,
-    supervisor: Option<std::thread::JoinHandle<()>>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// Spawns one supervised worker thread that reports its exit (or an
@@ -156,12 +191,13 @@ impl Engine {
     /// seeded panics and latency spikes.
     #[must_use]
     pub fn with_evaluator(config: EngineConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        let shards = config.effective_shards();
         let shared = Arc::new(Shared {
             queue: SubmitQueue::new(config.queue_capacity),
-            results: Mutex::new(LruCache::new(config.result_cache)),
-            flight: SingleFlight::new(),
-            pk_cache: Mutex::new(LruCache::new(config.pk_cache)),
-            pk_flight: SingleFlight::new(),
+            results: ShardedCache::new(config.result_cache, shards),
+            flight: ShardedFlight::new(shards),
+            pk_cache: ShardedCache::new(config.pk_cache, shards),
+            pk_flight: ShardedFlight::new(shards),
             metrics: Metrics::new(),
             tenants: TenantTable::new(config.quota, config.queue_capacity),
             shedder: Shedder::new(config.shed, config.shed_seed),
@@ -196,7 +232,7 @@ impl Engine {
         Engine {
             shared,
             config,
-            supervisor: Some(supervisor),
+            supervisor: Mutex::new(Some(supervisor)),
         }
     }
 
@@ -226,13 +262,13 @@ impl Engine {
         let key = query.key();
         let tenant = query.tenant();
         let now_s = self.shared.now_s();
-        if let Some(result) = self.shared.results.lock().get(&key) {
+        if let Some(result) = self.shared.results.get(&key) {
             self.shared.tenants.admit(tenant, now_s, true);
             self.shared.metrics.on_submitted();
             self.shared.metrics.on_result_cache_hit();
             self.shared.metrics.on_served();
             return Ok(Ticket {
-                inner: TicketInner::Ready(result.clone()),
+                inner: TicketInner::Ready(result),
             });
         }
         // Quota gate: a cache-missing submission costs one rate token.
@@ -377,11 +413,61 @@ impl Engine {
         self.shared.queue.len()
     }
 
+    /// Per-shard cache counters for both layers — the diagnosis surface
+    /// for warm-path lock contention.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            result: self.shared.results.stats(),
+            pk: self.shared.pk_cache.stats(),
+        }
+    }
+
+    /// Every successfully computed result currently cached, sorted by
+    /// encoded key for a deterministic snapshot order. Error outcomes are
+    /// never cached, so every exported value is a [`QosValue`].
+    #[must_use]
+    pub fn export_result_cache(&self) -> Vec<(QueryKey, QosValue)> {
+        let mut out = Vec::new();
+        self.shared.results.for_each(|k, v| {
+            if let Ok(value) = v {
+                out.push((*k, value.clone()));
+            }
+        });
+        out.sort_by_key(|(k, _)| k.encode());
+        out
+    }
+
+    /// Every cached `P(k)` capacity distribution, sorted by encoded key.
+    #[must_use]
+    pub fn export_pk_cache(&self) -> Vec<(CapacityKey, Vec<f64>)> {
+        let mut out = Vec::new();
+        self.shared.pk_cache.for_each(|k, v| {
+            out.push((*k, v.as_ref().clone()));
+        });
+        out.sort_by_key(|(k, _)| k.encode());
+        out
+    }
+
+    /// Seeds the result cache with a previously exported entry (snapshot
+    /// warm-start). Bypasses admission and metrics: preloading is
+    /// provisioning, not serving.
+    pub fn preload_result(&self, key: QueryKey, value: QosValue) {
+        self.shared.results.insert(key, Ok(value));
+    }
+
+    /// Seeds the `P(k)` cache with a previously exported entry.
+    pub fn preload_pk(&self, key: CapacityKey, pk: Vec<f64>) {
+        self.shared.pk_cache.insert(key, Arc::new(pk));
+    }
+
     /// Stops admission, drains already-admitted work, and joins every
-    /// worker. Called automatically on drop.
-    pub fn shutdown(&mut self) {
+    /// worker. Idempotent; called automatically on drop. Takes `&self` so
+    /// an `Arc<Engine>` shared across connection handlers can still be
+    /// wound down by its owner.
+    pub fn shutdown(&self) {
         self.shared.queue.shutdown();
-        if let Some(handle) = self.supervisor.take() {
+        if let Some(handle) = self.supervisor.lock().take() {
             let _ = handle.join();
         }
     }
@@ -486,7 +572,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_admitted_work() {
-        let mut engine = small_engine(2, 64);
+        let engine = small_engine(2, 64);
         let tickets: Vec<Ticket> = (0..6)
             .map(|i| engine.submit(y2(2e-5 + f64::from(i) * 1e-6)).unwrap())
             .collect();
@@ -690,7 +776,7 @@ mod tests {
     /// submitted == served + coalesced, with rejections outside.
     #[test]
     fn accounting_invariant_holds_with_policies_enabled() {
-        let mut engine = Engine::new(EngineConfig {
+        let engine = Engine::new(EngineConfig {
             workers: 2,
             queue_capacity: 8,
             batch_size: 4,

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod query;
 pub mod queue;
 pub mod report;
+pub mod shard;
 pub mod shed;
 pub mod singleflight;
 pub mod tenant;
@@ -70,11 +71,12 @@ pub mod workload;
 
 mod worker;
 
-pub use engine::{Engine, EngineConfig, Ticket};
+pub use engine::{CacheStatsSnapshot, Engine, EngineConfig, Ticket};
 pub use error::{EngineError, QueryError, RejectReason};
 pub use eval::{direct_eval, eval_cheap, eval_with_pk, DefaultEvaluator, Evaluator, QosValue};
 pub use metrics::{LatencySnapshot, MetricsSnapshot, RobustQuantile};
-pub use query::{Measure, QosQuery, QuerySpec, Scheme};
+pub use query::{CapacityKey, Measure, QosQuery, QueryKey, QuerySpec, Scheme};
+pub use shard::{shard_of, CacheShardStats};
 pub use shed::ShedPolicy;
 pub use tenant::{QuotaPolicy, TenantId, TenantSnapshot, TokenBucket};
 pub use worker::EngineResult;

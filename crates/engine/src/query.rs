@@ -51,12 +51,63 @@ pub enum Measure {
     },
 }
 
+fn scheme_code(scheme: Scheme) -> u32 {
+    match scheme {
+        Scheme::Oaq => 0,
+        Scheme::Baq => 1,
+    }
+}
+
+fn scheme_from_code(code: u32) -> Option<Scheme> {
+    match code {
+        0 => Some(Scheme::Oaq),
+        1 => Some(Scheme::Baq),
+        _ => None,
+    }
+}
+
 impl Measure {
     /// Whether answering this measure requires the (expensive) capacity
     /// CTMC solve, as opposed to the cheap G-function layer alone.
     #[must_use]
     pub fn needs_capacity_solve(&self) -> bool {
         !matches!(self, Measure::ConditionalQos { .. })
+    }
+
+    /// A fixed-width `[tag, scheme, k, y]` encoding for the wire protocol
+    /// and the cache-snapshot format. Round-trips exactly through
+    /// [`Measure::decode`].
+    #[must_use]
+    pub fn encode(self) -> [u32; 4] {
+        match self {
+            Measure::QosAtLeast { scheme, y } => [0, scheme_code(scheme), 0, u32::from(y)],
+            Measure::ConditionalQos { scheme, k, y } => [1, scheme_code(scheme), k, u32::from(y)],
+            Measure::CapacityDistribution => [2, 0, 0, 0],
+            Measure::OaqBaqGap { y } => [3, 0, 0, u32::from(y)],
+        }
+    }
+
+    /// Decodes [`Measure::encode`]'s wire form; `None` on any unknown tag,
+    /// scheme code, or out-of-`u8` level — a typed rejection point for
+    /// hostile frames, never a panic.
+    #[must_use]
+    pub fn decode(words: [u32; 4]) -> Option<Measure> {
+        let [tag, scheme, k, y] = words;
+        let y = u8::try_from(y).ok()?;
+        match tag {
+            0 => Some(Measure::QosAtLeast {
+                scheme: scheme_from_code(scheme)?,
+                y,
+            }),
+            1 => Some(Measure::ConditionalQos {
+                scheme: scheme_from_code(scheme)?,
+                k,
+                y,
+            }),
+            2 if scheme == 0 && k == 0 && y == 0 => Some(Measure::CapacityDistribution),
+            3 if scheme == 0 && k == 0 => Some(Measure::OaqBaqGap { y }),
+            _ => None,
+        }
     }
 
     fn validate(&self) -> Result<(), QueryError> {
@@ -309,12 +360,70 @@ pub struct QueryKey {
     measure: Measure,
 }
 
+impl QueryKey {
+    /// The key as eleven fixed-order words: nine parameter words followed
+    /// by the packed [`Measure::encode`] quad — the cache-snapshot wire
+    /// form. Round-trips exactly through [`QueryKey::decode`].
+    #[must_use]
+    pub fn encode(&self) -> [u64; 11] {
+        let m = self.measure.encode();
+        let mut words = [0u64; 11];
+        words[..9].copy_from_slice(&self.bits);
+        words[9] = u64::from(m[0]) << 32 | u64::from(m[1]);
+        words[10] = u64::from(m[2]) << 32 | u64::from(m[3]);
+        words
+    }
+
+    /// Decodes [`QueryKey::encode`]'s form; `None` when the measure words
+    /// are malformed. Parameter bits are *not* re-validated: a decoded key
+    /// can only ever be looked up by a freshly validated query producing
+    /// the same bits, so an unreachable key is inert cache weight, never a
+    /// correctness hazard.
+    #[must_use]
+    pub fn decode(words: [u64; 11]) -> Option<QueryKey> {
+        #[allow(clippy::cast_possible_truncation)]
+        let quad = [
+            (words[9] >> 32) as u32,
+            (words[9] & 0xFFFF_FFFF) as u32,
+            (words[10] >> 32) as u32,
+            (words[10] & 0xFFFF_FFFF) as u32,
+        ];
+        let mut bits = [0u64; 9];
+        bits.copy_from_slice(&words[..9]);
+        Some(QueryKey {
+            bits,
+            measure: Measure::decode(quad)?,
+        })
+    }
+}
+
 /// Bit-exact identity of a capacity solve (λ, φ, η).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CapacityKey {
     lambda: u64,
     phi: u64,
     eta: u32,
+}
+
+impl CapacityKey {
+    /// The key as three fixed-order words (λ bits, φ bits, η) — the
+    /// cache-snapshot wire form.
+    #[must_use]
+    pub fn encode(&self) -> [u64; 3] {
+        [self.lambda, self.phi, u64::from(self.eta)]
+    }
+
+    /// Decodes [`CapacityKey::encode`]'s form; `None` when η overflows
+    /// `u32`. See [`QueryKey::decode`] on why parameter bits are not
+    /// re-validated.
+    #[must_use]
+    pub fn decode(words: [u64; 3]) -> Option<CapacityKey> {
+        Some(CapacityKey {
+            lambda: words[0],
+            phi: words[1],
+            eta: u32::try_from(words[2]).ok()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +560,44 @@ mod tests {
         let mut s = paper(Y2);
         s.deadline_ms = Some(10.0);
         assert_eq!(s.build().unwrap().deadline_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn measure_and_key_wire_forms_round_trip() {
+        let measures = [
+            Measure::QosAtLeast {
+                scheme: Scheme::Oaq,
+                y: 2,
+            },
+            Measure::QosAtLeast {
+                scheme: Scheme::Baq,
+                y: 0,
+            },
+            Measure::ConditionalQos {
+                scheme: Scheme::Baq,
+                k: 12,
+                y: 3,
+            },
+            Measure::CapacityDistribution,
+            Measure::OaqBaqGap { y: 1 },
+        ];
+        for m in measures {
+            assert_eq!(Measure::decode(m.encode()), Some(m), "{m:?}");
+            let key = paper(m).build().unwrap().key();
+            assert_eq!(QueryKey::decode(key.encode()), Some(key), "{m:?}");
+        }
+        let ck = paper(Y2).build().unwrap().capacity_key();
+        assert_eq!(CapacityKey::decode(ck.encode()), Some(ck));
+    }
+
+    #[test]
+    fn hostile_wire_measures_decode_to_none() {
+        assert_eq!(Measure::decode([9, 0, 0, 0]), None, "unknown tag");
+        assert_eq!(Measure::decode([0, 7, 0, 2]), None, "unknown scheme");
+        assert_eq!(Measure::decode([0, 0, 0, 300]), None, "y overflows u8");
+        assert_eq!(Measure::decode([2, 1, 0, 0]), None, "nonzero padding");
+        assert_eq!(QueryKey::decode([u64::MAX; 11]), None);
+        assert_eq!(CapacityKey::decode([0, 0, u64::MAX]), None, "eta overflow");
     }
 
     #[test]

@@ -17,16 +17,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
-use crate::cache::LruCache;
 use crate::error::{EngineError, QueryError};
 use crate::eval::{Evaluator, QosValue};
 use crate::metrics::Metrics;
 use crate::query::{CapacityKey, QosQuery, QueryKey};
 use crate::queue::SubmitQueue;
+use crate::shard::{ShardedCache, ShardedFlight};
 use crate::shed::Shedder;
-use crate::singleflight::{Flight, SingleFlight, Slot};
+use crate::singleflight::{Flight, Slot};
 use crate::tenant::TenantTable;
 
 /// The outcome delivered for a query.
@@ -74,14 +72,17 @@ impl Drop for Job {
     }
 }
 
-/// State shared between the submission side and every worker.
+/// State shared between the submission side and every worker. Both cache
+/// layers and both in-flight tables are key-hash sharded so the warm path
+/// (a result-cache hit per submission) stops serializing on one mutex —
+/// see [`crate::shard`].
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) queue: SubmitQueue<Job>,
-    pub(crate) results: Mutex<LruCache<QueryKey, EngineResult>>,
-    pub(crate) flight: SingleFlight<QueryKey, EngineResult>,
-    pub(crate) pk_cache: Mutex<LruCache<CapacityKey, Arc<Vec<f64>>>>,
-    pub(crate) pk_flight: SingleFlight<CapacityKey, PkResult>,
+    pub(crate) results: ShardedCache<QueryKey, EngineResult>,
+    pub(crate) flight: ShardedFlight<QueryKey, EngineResult>,
+    pub(crate) pk_cache: ShardedCache<CapacityKey, Arc<Vec<f64>>>,
+    pub(crate) pk_flight: ShardedFlight<CapacityKey, PkResult>,
     pub(crate) metrics: Metrics,
     pub(crate) tenants: TenantTable,
     pub(crate) shedder: Shedder,
@@ -101,14 +102,14 @@ impl Shared {
 /// Abandons a flight when dropped without [`complete`](Self::complete) —
 /// the worker-panic safety net that keeps followers from blocking forever.
 struct AbandonGuard<'a, K: Eq + std::hash::Hash + Copy, V: Clone> {
-    flight: &'a SingleFlight<K, V>,
+    flight: &'a ShardedFlight<K, V>,
     key: K,
     slot: Arc<Slot<V>>,
     armed: bool,
 }
 
 impl<'a, K: Eq + std::hash::Hash + Copy, V: Clone> AbandonGuard<'a, K, V> {
-    fn new(flight: &'a SingleFlight<K, V>, key: K, slot: Arc<Slot<V>>) -> Self {
+    fn new(flight: &'a ShardedFlight<K, V>, key: K, slot: Arc<Slot<V>>) -> Self {
         AbandonGuard {
             flight,
             key,
@@ -142,9 +143,9 @@ impl<K: Eq + std::hash::Hash + Copy, V: Clone> Drop for AbandonGuard<'_, K, V> {
 /// outcome for their queries too.
 fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
     let key = query.capacity_key();
-    if let Some(pk) = shared.pk_cache.lock().get(&key) {
+    if let Some(pk) = shared.pk_cache.get(&key) {
         shared.metrics.on_pk_cache_hit();
-        return Ok(Arc::clone(pk));
+        return Ok(pk);
     }
     match shared.pk_flight.join(key) {
         Flight::Follower(slot) => {
@@ -156,7 +157,7 @@ fn capacity_pk(shared: &Shared, query: &QosQuery) -> PkResult {
             shared.metrics.on_pk_solve();
             let result: PkResult = shared.evaluator.solve_pk(query).map(Arc::new);
             if let Ok(pk) = &result {
-                shared.pk_cache.lock().insert(key, Arc::clone(pk));
+                shared.pk_cache.insert(key, Arc::clone(pk));
             }
             guard.complete(result.clone());
             result
@@ -212,7 +213,7 @@ fn serve_job(shared: &Shared, job: &Job) -> bool {
     if result.is_ok() {
         // Cache even when the deadline lapsed mid-solve: the work is done
         // and the next identical query should not pay for it again.
-        shared.results.lock().insert(job.key, result.clone());
+        shared.results.insert(job.key, result.clone());
     }
     let elapsed = job.submitted.elapsed();
     let result = match deadline {
@@ -266,10 +267,10 @@ mod tests {
     fn shared() -> Shared {
         Shared {
             queue: SubmitQueue::new(16),
-            results: Mutex::new(LruCache::new(64)),
-            flight: SingleFlight::new(),
-            pk_cache: Mutex::new(LruCache::new(8)),
-            pk_flight: SingleFlight::new(),
+            results: ShardedCache::new(64, 4),
+            flight: ShardedFlight::new(4),
+            pk_cache: ShardedCache::new(8, 4),
+            pk_flight: ShardedFlight::new(4),
             metrics: Metrics::new(),
             tenants: TenantTable::new(QuotaPolicy::default(), 16),
             shedder: Shedder::new(ShedPolicy::default(), 0),

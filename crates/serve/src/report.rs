@@ -1,0 +1,465 @@
+//! JSON emission for the serve bench and a strict validating parser.
+//!
+//! The emission side extends the workspace's hand-rolled JSON idiom
+//! (engine `report::fmt_f64` / `fmt_f64_or_null`) to the serve-side
+//! nested structures: per-shard cache counter arrays and latency
+//! percentile blocks. Every float goes through the `or_null` path so an
+//! empty stage serializes as `null`, never a bare `NaN` token.
+//!
+//! The parsing side is a small *strict* JSON reader
+//! ([`parse`]) used by the round-trip tests: the emitted
+//! `BENCH_serve.json` must parse as standard JSON — balanced structure,
+//! no trailing commas, no `NaN`/`Infinity` tokens, nothing after the
+//! top-level value. It validates; it does not aim to be a general
+//! deserializer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use oaq_engine::report::{fmt_f64, fmt_f64_or_null};
+use oaq_engine::{CacheShardStats, CacheStatsSnapshot};
+
+/// One cache shard's counters as a JSON object.
+#[must_use]
+pub fn shard_json(s: &CacheShardStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"inserts\":{},\"contended\":{},\"entries\":{}}}",
+        s.hits, s.misses, s.inserts, s.contended, s.entries
+    )
+}
+
+/// A shard array as JSON.
+#[must_use]
+pub fn shards_json(shards: &[CacheShardStats]) -> String {
+    let items: Vec<String> = shards.iter().map(shard_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Both cache layers' per-shard counters plus layer totals.
+#[must_use]
+pub fn cache_stats_json(stats: &CacheStatsSnapshot) -> String {
+    let totals = |layer: &[CacheShardStats]| {
+        let hits: u64 = layer.iter().map(|s| s.hits).sum();
+        let misses: u64 = layer.iter().map(|s| s.misses).sum();
+        let contended: u64 = layer.iter().map(|s| s.contended).sum();
+        format!("{{\"hits\":{hits},\"misses\":{misses},\"contended\":{contended}}}")
+    };
+    format!(
+        "{{\"result_total\":{},\"pk_total\":{},\"result_shards\":{},\"pk_shards\":{}}}",
+        totals(&stats.result),
+        totals(&stats.pk),
+        shards_json(&stats.result),
+        shards_json(&stats.pk),
+    )
+}
+
+/// An open-loop latency block: p50/p95/p99/p999 (seconds) plus count and
+/// max, every float through the `or_null` path.
+#[must_use]
+pub fn quantiles_json(count: usize, q: &[(&str, f64)]) -> String {
+    let mut fields = vec![format!("\"count\":{count}")];
+    for (name, value) in q {
+        fields.push(format!("\"{name}\":{}", fmt_f64_or_null(*value)));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// `secs` and derived `qps` as one JSON block.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn rate_json(queries: usize, secs: f64) -> String {
+    format!(
+        "{{\"secs\":{},\"qps\":{}}}",
+        fmt_f64(secs),
+        fmt_f64_or_null(queries as f64 / secs)
+    )
+}
+
+// ---- strict parsing ----------------------------------------------------
+
+/// A parsed JSON value (objects keep sorted keys; good enough for
+/// validation and assertions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object; `None` otherwise.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number payload; `None` otherwise.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The array payload; `None` otherwise.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            at: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| JsonParseError {
+                                    at: self.pos,
+                                    message: "non-UTF-8 \\u escape".to_string(),
+                                })?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|_| JsonParseError {
+                                at: self.pos,
+                                message: "bad \\u escape".to_string(),
+                            })?;
+                            // Surrogates would need pairing; the emitter
+                            // never writes them, so reject outright.
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("surrogate \\u escape"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str upstream, so
+                    // boundaries are valid).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        JsonParseError {
+                            at: self.pos,
+                            message: "invalid UTF-8".to_string(),
+                        }
+                    })?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return self.err("digits expected");
+        }
+        // Strict: no leading zeros like 007.
+        if self.pos - digits_from > 1 && self.bytes[digits_from] == b'0' {
+            return self.err("leading zero");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return self.err("fraction digits expected");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return self.err("exponent digits expected");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(x) => Ok(JsonValue::Number(x)),
+            Err(_) => self.err("unparseable number"),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses `input` as one strict JSON document (whole input consumed).
+///
+/// # Errors
+///
+/// A [`JsonParseError`] locating the first violation.
+pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after the document");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitters_output() {
+        let shard = CacheShardStats {
+            hits: 10,
+            misses: 2,
+            inserts: 2,
+            contended: 1,
+            entries: 2,
+        };
+        let stats = CacheStatsSnapshot {
+            result: vec![shard, shard],
+            pk: vec![shard],
+        };
+        let doc = format!(
+            "{{\"cache\":{},\"lat\":{},\"rate\":{}}}",
+            cache_stats_json(&stats),
+            quantiles_json(100, &[("p50_s", 0.5), ("p999_s", f64::NAN)]),
+            rate_json(1000, 2.0),
+        );
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("cache")
+                .and_then(|c| c.get("result_total"))
+                .and_then(|t| t.get("hits"))
+                .and_then(JsonValue::as_f64),
+            Some(20.0)
+        );
+        assert_eq!(
+            v.get("lat").and_then(|l| l.get("p999_s")),
+            Some(&JsonValue::Null),
+            "NaN quantile must serialize as null"
+        );
+        assert_eq!(
+            v.get("rate")
+                .and_then(|r| r.get("qps"))
+                .and_then(JsonValue::as_f64),
+            Some(500.0)
+        );
+        assert_eq!(
+            v.get("cache")
+                .and_then(|c| c.get("result_shards"))
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn rejects_non_strict_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,2,]",
+            "{\"a\":1,}",
+            "NaN",
+            "Infinity",
+            "{\"a\" 1}",
+            "1 2",
+            "{\"a\":007}",
+            "\"unterminated",
+            "[1] tail",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn round_trips_exact_floats() {
+        let x = 0.123_456_789_012_345_68_f64;
+        let v = parse(&fmt_f64(x)).unwrap();
+        assert_eq!(v.as_f64().map(f64::to_bits), Some(x.to_bits()));
+        assert_eq!(parse(&fmt_f64_or_null(f64::NAN)).unwrap(), JsonValue::Null);
+    }
+
+    #[test]
+    fn parses_strings_and_escapes() {
+        let v = parse(r#"{"k":"a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(
+            v.get("k"),
+            Some(&JsonValue::String("a\"b\\c\nd\u{41}".to_string()))
+        );
+        assert!(parse("\"bad \\q escape\"").is_err());
+    }
+}

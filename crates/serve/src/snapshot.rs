@@ -1,0 +1,343 @@
+//! Cache snapshots: serialize both engine cache layers to disk on
+//! shutdown, reload them on boot.
+//!
+//! A warm-start that skips the expensive `P(k)` CTMC solves is the whole
+//! point: a restarted server answers its steady-state working set from
+//! the snapshot instead of recomputing it, and E21 (`serve_bench`)
+//! measures exactly that (`pk_solves` after reload ≪ a cold run).
+//!
+//! ## On-disk format (version 1, little-endian)
+//!
+//! ```text
+//! magic    8 B   b"OAQSNAP\0"
+//! version  4 B   u32 = 1
+//! pk_n     8 B   u64   number of P(k) entries
+//! res_n    8 B   u64   number of result entries
+//! pk entries     [u64;3] capacity key ‖ u32 len ‖ len × f64 bits
+//! res entries    [u64;11] query key ‖ tag u8 (0 scalar / 1 dist) ‖ value
+//! checksum 8 B   FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Loading is total: a truncated file, wrong magic, future version,
+//! malformed key or flipped bit maps to a typed [`SnapshotError`] and the
+//! engine simply boots cold — a bad snapshot can cost a warm-start, never
+//! correctness. Values re-enter the cache exactly as the bit patterns
+//! that were exported, so a warm hit after reload equals the original
+//! computation bit for bit.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use oaq_engine::{CapacityKey, Engine, QosValue, QueryKey};
+
+/// Snapshot file magic.
+pub const MAGIC: &[u8; 8] = b"OAQSNAP\0";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+/// Upper bound on a stored distribution length (hostile-input armor).
+const MAX_DISTRIBUTION: u32 = 4096;
+/// Upper bound on stored entry counts (hostile-input armor).
+const MAX_ENTRIES: u64 = 1 << 24;
+
+/// What a save or load moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// `P(k)` capacity-cache entries.
+    pub pk_entries: usize,
+    /// Result-cache entries.
+    pub result_entries: usize,
+    /// Snapshot size on disk, bytes.
+    pub bytes: u64,
+}
+
+/// Why a snapshot could not be read (or written).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// A format version this build does not speak.
+    UnsupportedVersion(u32),
+    /// The file ends before the structure it announces.
+    Truncated,
+    /// The checksum trailer does not match the content — bit rot or a
+    /// torn write.
+    ChecksumMismatch,
+    /// A structurally valid file carrying meaningless content (bad
+    /// measure words, oversized counts).
+    Malformed,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot version {v} unsupported (speak {VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Malformed => write!(f, "snapshot content malformed"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for &x in xs {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+/// Serializes both cache layers of `engine` into the version-1 byte
+/// image (no I/O — the testable core of [`save`]).
+#[must_use]
+pub fn encode(engine: &Engine) -> Vec<u8> {
+    let pk = engine.export_pk_cache();
+    let results = engine.export_result_cache();
+    let mut out = Vec::with_capacity(64 + pk.len() * 160 + results.len() * 104);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(pk.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(results.len() as u64).to_le_bytes());
+    for (key, dist) in &pk {
+        for w in key.encode() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        put_f64s(&mut out, dist);
+    }
+    for (key, value) in &results {
+        for w in key.encode() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        match value {
+            QosValue::Scalar(x) => {
+                out.push(0);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            QosValue::Distribution(d) => {
+                out.push(1);
+                put_f64s(&mut out, d);
+            }
+        }
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// A bounds-checked reader over the snapshot image.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.u32()?;
+        if n > MAX_DISTRIBUTION {
+            return Err(SnapshotError::Malformed);
+        }
+        let mut xs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            xs.push(f64::from_bits(self.u64()?));
+        }
+        Ok(xs)
+    }
+}
+
+/// Decodes a version-1 byte image and preloads both cache layers of
+/// `engine` (the testable core of [`load`]).
+///
+/// # Errors
+///
+/// A typed [`SnapshotError`]; the engine's caches are only touched after
+/// the whole image (including the checksum) has validated, so a corrupt
+/// snapshot never half-loads.
+pub fn decode_into(bytes: &[u8], engine: &Engine) -> Result<SnapshotStats, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(if bytes.starts_with(&MAGIC[..bytes.len().min(8)]) {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::BadMagic
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    // Checksum first: decode only content that arrived intact.
+    if bytes.len() < 8 + 4 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let (content, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    if fnv1a64(content) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let mut r = Reader {
+        bytes: content,
+        pos: 12,
+    };
+    let pk_n = r.u64()?;
+    let res_n = r.u64()?;
+    if pk_n > MAX_ENTRIES || res_n > MAX_ENTRIES {
+        return Err(SnapshotError::Malformed);
+    }
+    let mut pk_entries = Vec::with_capacity(pk_n as usize);
+    for _ in 0..pk_n {
+        let words = [r.u64()?, r.u64()?, r.u64()?];
+        let key = CapacityKey::decode(words).ok_or(SnapshotError::Malformed)?;
+        pk_entries.push((key, r.f64s()?));
+    }
+    let mut result_entries = Vec::with_capacity(res_n as usize);
+    for _ in 0..res_n {
+        let mut words = [0u64; 11];
+        for w in &mut words {
+            *w = r.u64()?;
+        }
+        let key = QueryKey::decode(words).ok_or(SnapshotError::Malformed)?;
+        let value = match r.u8()? {
+            0 => QosValue::Scalar(f64::from_bits(r.u64()?)),
+            1 => QosValue::Distribution(r.f64s()?),
+            _ => return Err(SnapshotError::Malformed),
+        };
+        result_entries.push((key, value));
+    }
+    if r.pos != content.len() {
+        return Err(SnapshotError::Malformed);
+    }
+    let stats = SnapshotStats {
+        pk_entries: pk_entries.len(),
+        result_entries: result_entries.len(),
+        bytes: bytes.len() as u64,
+    };
+    for (key, dist) in pk_entries {
+        engine.preload_pk(key, dist);
+    }
+    for (key, value) in result_entries {
+        engine.preload_result(key, value);
+    }
+    Ok(stats)
+}
+
+/// Saves both cache layers of `engine` to `path` — written to a sibling
+/// temp file and renamed into place, so a crash mid-save leaves the old
+/// snapshot intact rather than a torn one.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any file operation failure.
+pub fn save(path: &Path, engine: &Engine) -> Result<SnapshotStats, SnapshotError> {
+    let image = encode(engine);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&image)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    let pk = engine.export_pk_cache().len();
+    let results = engine.export_result_cache().len();
+    Ok(SnapshotStats {
+        pk_entries: pk,
+        result_entries: results,
+        bytes: image.len() as u64,
+    })
+}
+
+/// Loads the snapshot at `path` into `engine`'s caches.
+///
+/// # Errors
+///
+/// A typed [`SnapshotError`] — including [`SnapshotError::Io`] when the
+/// file is missing. On any error the caches are untouched and the engine
+/// boots cold.
+pub fn load(path: &Path, engine: &Engine) -> Result<SnapshotStats, SnapshotError> {
+    let bytes = fs::read(path)?;
+    decode_into(&bytes, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn errors_render_and_chain() {
+        let io_err = SnapshotError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion(9),
+            SnapshotError::Truncated,
+            SnapshotError::ChecksumMismatch,
+            SnapshotError::Malformed,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+}
