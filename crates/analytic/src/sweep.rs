@@ -6,13 +6,18 @@
 //! solver (where it would panic deep in a model assertion).
 //!
 //! Every sweep also has a `*_par` sibling that fans the (embarrassingly
-//! parallel) grid out over a scoped worker pool. Each grid point's solve is
-//! independent and deterministic, and results are written into
-//! index-addressed slots, so the parallel output is **bit-identical and
-//! identically ordered** to the serial path — parallelism is purely a
-//! wall-clock lever.
+//! parallel) grid out over the [`oaq_exec`] deterministic executor. Each
+//! grid point's solve is independent and deterministic, and results are
+//! written into index-addressed slots, so the parallel output is
+//! **bit-identical and identically ordered** to the serial path —
+//! parallelism is purely a wall-clock lever. The `*_par` entry points
+//! accept `impl Into<`[`Fanout`]`>`, so a bare worker count keeps working
+//! while the bench binaries can thread an explicit `--chunk` granularity
+//! through.
 
 use oaq_san::ctmc::CtmcError;
+
+pub use oaq_exec::Fanout;
 
 use crate::capacity::CapacityParams;
 use crate::compose::{EvaluationConfig, Scheme};
@@ -71,46 +76,33 @@ fn check_axis(name: &'static str, values: &[f64]) -> Result<(), ParamError> {
 /// core, anything else is taken literally.
 #[must_use]
 pub fn effective_sweep_workers(workers: usize) -> usize {
-    if workers == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        workers
-    }
+    oaq_exec::effective_workers(workers)
 }
 
-/// Maps `f` over `items`, fanning out across `workers` scoped threads
-/// (`workers <= 1` runs the plain serial loop). Results land in
-/// index-addressed slots, so ordering — and, because every `f` is
-/// deterministic and independent, every bit of the output — matches the
-/// serial path. On failure the error with the smallest index is returned,
-/// again matching serial short-circuiting.
-fn sweep_map<T, U, F>(items: &[T], workers: usize, f: F) -> Result<Vec<U>, SweepError>
+/// Maps `f` over `items` on the [`oaq_exec`] executor (one worker runs
+/// the plain serial loop). Results land in index-addressed slots, so
+/// ordering — and, because every `f` is deterministic and independent,
+/// every bit of the output — matches the serial path. On failure the
+/// error with the smallest index is returned, again matching serial
+/// short-circuiting.
+fn sweep_map<T, U, F>(items: &[T], fanout: Fanout, f: F) -> Result<Vec<U>, SweepError>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> Result<U, SweepError> + Sync,
 {
-    let workers = effective_sweep_workers(workers).min(items.len().max(1));
+    let workers = effective_sweep_workers(fanout.workers).min(items.len().max(1));
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
-    let mut slots: Vec<Option<Result<U, SweepError>>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(workers);
-    let f = &f;
-    crossbeam::scope(|s| {
-        for (slot_chunk, item_chunk) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            s.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
+    Fanout {
+        workers,
+        chunk: fanout.chunk,
+    }
+    .executor()
+    .map_indexed(items, |item| f(item))
+    .into_iter()
+    .collect()
 }
 
 /// One row of a Figure 7 sweep: `P(K = k)` at a failure rate λ.
@@ -154,7 +146,7 @@ pub fn figure7(lambdas: &[f64], phi: f64, eta: u32) -> Result<Vec<CapacityRow>, 
     figure7_par(lambdas, phi, eta, 1)
 }
 
-/// [`figure7`] fanned out over `workers` scoped threads (`0` = all cores);
+/// [`figure7`] fanned out over the deterministic executor (`0` workers = all cores);
 /// output is bit-identical and identically ordered to the serial path.
 ///
 /// # Errors
@@ -164,12 +156,12 @@ pub fn figure7_par(
     lambdas: &[f64],
     phi: f64,
     eta: u32,
-    workers: usize,
+    fanout: impl Into<Fanout>,
 ) -> Result<Vec<CapacityRow>, SweepError> {
     check_axis("lambda", lambdas)?;
     require_positive("phi", phi)?;
     require_int_in_range("eta", eta, 1, 13)?;
-    sweep_map(lambdas, workers, |&lambda| {
+    sweep_map(lambdas, fanout.into(), |&lambda| {
         Ok(CapacityRow {
             lambda,
             p_k: CapacityParams::reference(lambda, phi, eta).distribution()?,
@@ -188,7 +180,7 @@ pub fn figure8(scheme: Scheme, mu: f64, lambdas: &[f64]) -> Result<Vec<QosRow>, 
     figure8_par(scheme, mu, lambdas, 1)
 }
 
-/// [`figure8`] fanned out over `workers` scoped threads (`0` = all cores);
+/// [`figure8`] fanned out over the deterministic executor (`0` workers = all cores);
 /// output is bit-identical and identically ordered to the serial path.
 ///
 /// # Errors
@@ -198,11 +190,11 @@ pub fn figure8_par(
     scheme: Scheme,
     mu: f64,
     lambdas: &[f64],
-    workers: usize,
+    fanout: impl Into<Fanout>,
 ) -> Result<Vec<QosRow>, SweepError> {
     require_positive("mu", mu)?;
     check_axis("lambda", lambdas)?;
-    sweep_map(lambdas, workers, |&lambda| {
+    sweep_map(lambdas, fanout.into(), |&lambda| {
         let cfg = EvaluationConfig {
             theta: 90.0,
             tc: 9.0,
@@ -229,7 +221,7 @@ pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepErro
     figure9_par(scheme, lambdas, 1)
 }
 
-/// [`figure9`] fanned out over `workers` scoped threads (`0` = all cores);
+/// [`figure9`] fanned out over the deterministic executor (`0` workers = all cores);
 /// output is bit-identical and identically ordered to the serial path.
 ///
 /// # Errors
@@ -238,10 +230,10 @@ pub fn figure9(scheme: Scheme, lambdas: &[f64]) -> Result<Vec<QosRow>, SweepErro
 pub fn figure9_par(
     scheme: Scheme,
     lambdas: &[f64],
-    workers: usize,
+    fanout: impl Into<Fanout>,
 ) -> Result<Vec<QosRow>, SweepError> {
     check_axis("lambda", lambdas)?;
-    sweep_map(lambdas, workers, |&lambda| {
+    sweep_map(lambdas, fanout.into(), |&lambda| {
         let d = EvaluationConfig::paper_defaults(lambda).qos_distribution(scheme)?;
         Ok(QosRow {
             x: lambda,
@@ -263,9 +255,9 @@ pub fn tau_sweep(scheme: Scheme, lambda: f64, taus: &[f64]) -> Result<Vec<QosRow
     tau_sweep_par(scheme, lambda, taus, 1)
 }
 
-/// [`tau_sweep`] fanned out over `workers` scoped threads (`0` = all
-/// cores); output is bit-identical and identically ordered to the serial
-/// path.
+/// [`tau_sweep`] fanned out over the deterministic executor (`0` workers =
+/// all cores); output is bit-identical and identically ordered to the
+/// serial path.
 ///
 /// # Errors
 ///
@@ -274,11 +266,11 @@ pub fn tau_sweep_par(
     scheme: Scheme,
     lambda: f64,
     taus: &[f64],
-    workers: usize,
+    fanout: impl Into<Fanout>,
 ) -> Result<Vec<QosRow>, SweepError> {
     require_positive("lambda", lambda)?;
     check_axis("tau", taus)?;
-    sweep_map(taus, workers, |&tau| {
+    sweep_map(taus, fanout.into(), |&tau| {
         let mut cfg = EvaluationConfig::paper_defaults(lambda);
         cfg.qos.tau = tau;
         let d = cfg.qos_distribution(scheme)?;
@@ -306,9 +298,9 @@ pub fn duration_sweep(
     duration_sweep_par(scheme, lambda, mean_durations, 1)
 }
 
-/// [`duration_sweep`] fanned out over `workers` scoped threads (`0` = all
-/// cores); output is bit-identical and identically ordered to the serial
-/// path.
+/// [`duration_sweep`] fanned out over the deterministic executor (`0` workers =
+/// all cores); output is bit-identical and identically ordered to the
+/// serial path.
 ///
 /// # Errors
 ///
@@ -317,11 +309,11 @@ pub fn duration_sweep_par(
     scheme: Scheme,
     lambda: f64,
     mean_durations: &[f64],
-    workers: usize,
+    fanout: impl Into<Fanout>,
 ) -> Result<Vec<QosRow>, SweepError> {
     require_positive("lambda", lambda)?;
     check_axis("mean_duration", mean_durations)?;
-    sweep_map(mean_durations, workers, |&dur| {
+    sweep_map(mean_durations, fanout.into(), |&dur| {
         let mut cfg = EvaluationConfig::paper_defaults(lambda);
         cfg.qos.mu = 1.0 / dur;
         let d = cfg.qos_distribution(scheme)?;
@@ -429,13 +421,28 @@ mod tests {
     #[test]
     fn parallel_sweeps_are_bit_identical_to_serial() {
         let grid = paper_lambda_grid();
-        for workers in [2, 4, 0] {
+        for workers in [2, 4, 8, 0] {
             assert_eq!(
                 figure7_par(&grid, 30_000.0, 10, workers).unwrap(),
                 figure7(&grid, 30_000.0, 10).unwrap(),
                 "workers = {workers}"
             );
         }
+        // An explicit chunk override changes only the executor's task
+        // slicing, never the output.
+        assert_eq!(
+            figure7_par(
+                &grid,
+                30_000.0,
+                10,
+                Fanout {
+                    workers: 3,
+                    chunk: Some(2),
+                },
+            )
+            .unwrap(),
+            figure7(&grid, 30_000.0, 10).unwrap(),
+        );
         let taus = [1.0, 3.0, 5.0, 8.0];
         assert_eq!(
             tau_sweep_par(Scheme::Oaq, 5e-5, &taus, 3).unwrap(),

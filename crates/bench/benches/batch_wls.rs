@@ -1,0 +1,28 @@
+//! Kernel bench: the structure-of-arrays batched WLS path against one
+//! `solve_obs` call per track, at small and large batch sizes — the
+//! Criterion companion to the `geoloc_batch` experiment binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_core::fullstack::{solve_tracks_batched, solve_tracks_looped, synthesize_emitter_tracks};
+use oaq_geoloc::doppler::DopplerMeasurement;
+use oaq_geoloc::BatchSolver;
+
+fn bench_batch_wls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_wls");
+    for &n in &[16u32, 256] {
+        let tracks = synthesize_emitter_tracks(90.0, 9.0, 9.0, n, 2, 22);
+        let looped_name = format!("looped/{n}");
+        g.bench_function(&looped_name, |b| {
+            b.iter(|| solve_tracks_looped(&tracks));
+        });
+        let batched_name = format!("batched/{n}");
+        g.bench_function(&batched_name, |b| {
+            let mut batch = BatchSolver::<DopplerMeasurement>::default();
+            b.iter(|| solve_tracks_batched(&tracks, &mut batch));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_wls);
+criterion_main!(benches);

@@ -252,6 +252,26 @@ impl CliArgs {
             x
         })
     }
+
+    /// The `--chunk` override: a positive episode-per-chunk count, or
+    /// `None` (adaptive chunking) when the flag is absent. Zero would make
+    /// the fan-out spin forever and `u64` parsing already rejects
+    /// negatives, `NaN` and `inf`, so the only extra check lives here.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the flag name) when the value does not parse as a
+    /// positive integer.
+    #[must_use]
+    pub fn get_chunk(&self, name: &str) -> Option<u64> {
+        self.get(name).map(|v| {
+            let chunk: u64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"));
+            assert!(chunk > 0, "bad value for {name}: {v} (must be positive)");
+            chunk
+        })
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +360,44 @@ mod tests {
             .unwrap()
             .args();
         let _ = p.get_u64("--seed", 0);
+    }
+
+    fn chunk_spec() -> CliSpec {
+        CliSpec::new("demo").option("--chunk", "N", "episodes per work chunk")
+    }
+
+    fn parse_chunk(raw: &str) -> Option<u64> {
+        chunk_spec()
+            .parse_from(&strings(&["--chunk", raw]))
+            .unwrap()
+            .args()
+            .get_chunk("--chunk")
+    }
+
+    #[test]
+    fn chunk_defaults_to_adaptive_and_accepts_positives() {
+        let absent = chunk_spec().parse_from(&strings(&[])).unwrap().args();
+        assert_eq!(absent.get_chunk("--chunk"), None);
+        assert_eq!(parse_chunk("1"), Some(1));
+        assert_eq!(parse_chunk("512"), Some(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --chunk")]
+    fn chunk_rejects_zero() {
+        let _ = parse_chunk("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --chunk")]
+    fn chunk_rejects_non_integers() {
+        let _ = parse_chunk("16.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --chunk")]
+    fn chunk_rejects_non_finite() {
+        let _ = parse_chunk("inf");
     }
 
     fn rate_spec() -> CliSpec {

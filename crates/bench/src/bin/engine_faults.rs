@@ -184,6 +184,7 @@ impl Outcomes {
 fn run_cell(
     workload: &[QosQuery],
     workers: usize,
+    batch_size: usize,
     fault_rate: f64,
     slo_s: f64,
     seed: u64,
@@ -200,7 +201,7 @@ fn run_cell(
         EngineConfig {
             workers,
             queue_capacity: 64,
-            batch_size: 8,
+            batch_size,
             result_cache: 1024,
             pk_cache: 64,
             shed: ShedPolicy::with_slo(slo_s),
@@ -307,6 +308,7 @@ fn run_cell(
 fn run_flood(
     base_queries: usize,
     workers: usize,
+    batch_size: usize,
     slo_s: f64,
     seed: u64,
     violations: &mut Vec<String>,
@@ -346,7 +348,7 @@ fn run_flood(
     let engine = Engine::new(EngineConfig {
         workers,
         queue_capacity: 64,
-        batch_size: 8,
+        batch_size,
         result_cache: 1024,
         pk_cache: 128,
         quota: QuotaPolicy {
@@ -523,6 +525,11 @@ fn main() {
         .option("--seed", "N", "base seed (default 2003)")
         .option("--queries", "N", "base workload length (default 400)")
         .option("--workers", "N", "pin the sweep to one worker count")
+        .option(
+            "--chunk",
+            "N",
+            "queries drained per worker batch (default 8)",
+        )
         .option("--fault-rate", "X", "pin the sweep to one fault rate")
         .option(
             "--deadline-ms",
@@ -538,6 +545,9 @@ fn main() {
     let quick = cli.has("--quick");
     let seed = cli.get_u64("--seed", 2003);
     let queries = cli.get_usize("--queries", if quick { 120 } else { 400 });
+    let batch_size = cli
+        .get_chunk("--chunk")
+        .map_or(8, |c| usize::try_from(c).expect("chunk fits usize"));
     let deadline_ms = cli.get_f64_nonneg("--deadline-ms", 25.0);
     let slo_ms = cli.get_f64_nonneg("--slo-ms", 50.0);
     let slo_s = slo_ms / 1e3;
@@ -591,7 +601,15 @@ fn main() {
     let mut cells = Vec::new();
     for &rate in &fault_rates {
         for &w in &worker_counts {
-            cells.push(run_cell(&workload, w, rate, slo_s, seed, &mut violations));
+            cells.push(run_cell(
+                &workload,
+                w,
+                batch_size,
+                rate,
+                slo_s,
+                seed,
+                &mut violations,
+            ));
         }
     }
 
@@ -599,6 +617,7 @@ fn main() {
     let flood_json = run_flood(
         queries,
         if quick { 2 } else { 4 },
+        batch_size,
         slo_s,
         seed,
         &mut violations,

@@ -2,22 +2,30 @@
 //! as a function of λ (τ = 5, µ = 0.2, η = 10, φ = 30000 h).
 
 use oaq_analytic::compose::Scheme;
-use oaq_analytic::sweep::{figure9_par, paper_lambda_grid};
+use oaq_analytic::sweep::{figure9_par, paper_lambda_grid, Fanout};
 use oaq_bench::args::CliSpec;
 use oaq_bench::{banner, tsv_header, tsv_row};
 
 fn main() {
     let cli = CliSpec::new("fig9")
         .option("--workers", "N", "sweep threads (default: all cores)")
+        .option(
+            "--chunk",
+            "N",
+            "grid points per work chunk (default: adaptive)",
+        )
         .parse();
-    let workers = cli.get_usize("--workers", 0);
+    let fanout = Fanout {
+        workers: cli.get_usize("--workers", 0),
+        chunk: cli.get_chunk("--chunk"),
+    };
     let grid = paper_lambda_grid();
     banner("Figure 9: P(Y>=y) vs lambda (tau=5, mu=0.2, eta=10, phi=30000h)");
     tsv_header(&[
         "lambda", "OAQ:y=1", "OAQ:y=2", "OAQ:y=3", "BAQ:y=1", "BAQ:y=2", "BAQ:y=3",
     ]);
-    let oaq = figure9_par(Scheme::Oaq, &grid, workers).expect("solves");
-    let baq = figure9_par(Scheme::Baq, &grid, workers).expect("solves");
+    let oaq = figure9_par(Scheme::Oaq, &grid, fanout).expect("solves");
+    let baq = figure9_par(Scheme::Baq, &grid, fanout).expect("solves");
     for i in 0..grid.len() {
         tsv_row(
             grid[i],

@@ -21,18 +21,18 @@
 //! contract is asserted. The fast-path speedup is algorithmic and shows
 //! up on any hardware.
 //!
-//! Usage: `mc_replication [--quick] [--seed N] [--episodes N]`
+//! Usage: `mc_replication [--quick] [--seed N] [--episodes N] [--chunk N]`
 
 use std::time::Instant;
 
 use oaq_bench::args::CliSpec;
 use oaq_bench::campaign::{
-    run_cell_traced_baseline, run_cell_workers, run_grid_workers, CellOutcome, CellSpec, LossAxis,
+    run_cell_fanout, run_cell_traced_baseline, run_grid_fanout, CellOutcome, CellSpec, LossAxis,
 };
 use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::experiment::{estimate_conditional_qos_par, MonteCarloOptions};
+use oaq_core::experiment::{estimate_conditional_qos_fanout, MonteCarloOptions};
 use oaq_engine::report::fmt_f64;
-use oaq_sim::par::DEFAULT_CHUNK;
+use oaq_sim::par::Replicator;
 
 /// Wall-clock seconds per call of `f`, averaged over `reps` calls.
 fn time_per_call<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -67,10 +67,19 @@ fn main() {
         .switch("--quick", "fewer episodes and reps (CI size)")
         .option("--seed", "N", "base RNG seed (default 1515)")
         .option("--episodes", "N", "episodes in the campaign cell")
+        .option(
+            "--chunk",
+            "N",
+            "episodes per work chunk (default: adaptive)",
+        )
         .parse();
     let quick = cli.has("--quick");
     let seed = cli.get_u64("--seed", 1515);
     let episodes = cli.get_u64("--episodes", if quick { 300 } else { 2000 });
+    let chunk = cli.get_chunk("--chunk");
+    let resolved_chunk = Replicator::new(1)
+        .with_chunk_override(chunk)
+        .resolved_chunk(episodes);
     let reps = if quick { 1 } else { 3 };
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
@@ -82,14 +91,14 @@ fn main() {
         node_failure_rate: 0.25,
         retry_budget: 1,
     };
-    let reference = run_cell_workers(&spec, episodes, seed, 1);
+    let reference = run_cell_fanout(&spec, episodes, seed, 1, chunk);
     let baseline = run_cell_traced_baseline(&spec, episodes, seed);
     if !cells_identical(&reference, &baseline) {
         eprintln!("# DIVERGENCE: fast path disagrees with the traced baseline");
         divergence = true;
     }
     let traced_secs = time_per_call(reps, || run_cell_traced_baseline(&spec, episodes, seed));
-    let fastpath_secs = time_per_call(reps, || run_cell_workers(&spec, episodes, seed, 1));
+    let fastpath_secs = time_per_call(reps, || run_cell_fanout(&spec, episodes, seed, 1, chunk));
     eprintln!(
         "# campaign_cell ({episodes} episodes): traced {:.1} ms, fastpath {:.1} ms, {:.2}x",
         traced_secs * 1e3,
@@ -101,12 +110,12 @@ fn main() {
     let curve: Vec<(usize, f64, bool)> = worker_counts
         .iter()
         .map(|&w| {
-            let out = run_cell_workers(&spec, episodes, seed, w);
+            let out = run_cell_fanout(&spec, episodes, seed, w, chunk);
             let identical = cells_identical(&out, &reference);
             if !identical {
                 eprintln!("# DIVERGENCE: {w} workers disagree with the serial cell");
             }
-            let secs = time_per_call(reps, || run_cell_workers(&spec, episodes, seed, w));
+            let secs = time_per_call(reps, || run_cell_fanout(&spec, episodes, seed, w, chunk));
             eprintln!(
                 "#   {w} workers: {:.1} ms, {:.2}x vs serial, identical={identical}",
                 secs * 1e3,
@@ -124,17 +133,21 @@ fn main() {
         mu: 0.5,
         seed,
     };
-    let qos_serial = estimate_conditional_qos_par(&cfg, &opts, 1);
-    let qos_serial_secs = time_per_call(reps, || estimate_conditional_qos_par(&cfg, &opts, 1));
+    let qos_serial = estimate_conditional_qos_fanout(&cfg, &opts, 1, chunk);
+    let qos_serial_secs = time_per_call(reps, || {
+        estimate_conditional_qos_fanout(&cfg, &opts, 1, chunk)
+    });
     let qos_curve: Vec<(usize, f64, bool)> = [2usize, 4]
         .iter()
         .map(|&w| {
-            let est = estimate_conditional_qos_par(&cfg, &opts, w);
+            let est = estimate_conditional_qos_fanout(&cfg, &opts, w, chunk);
             let identical = est == qos_serial;
             if !identical {
                 eprintln!("# DIVERGENCE: QoS estimate with {w} workers differs from serial");
             }
-            let secs = time_per_call(reps, || estimate_conditional_qos_par(&cfg, &opts, w));
+            let secs = time_per_call(reps, || {
+                estimate_conditional_qos_fanout(&cfg, &opts, w, chunk)
+            });
             (w, secs, identical)
         })
         .collect();
@@ -163,17 +176,17 @@ fn main() {
         },
     ];
     let grid_episodes = episodes / 2;
-    let grid = run_grid_workers(&grid_specs, grid_episodes, seed, 2);
+    let grid = run_grid_fanout(&grid_specs, grid_episodes, seed, 2, chunk);
     let grid_identical = grid
         .iter()
         .zip(&grid_specs)
-        .all(|(cell, s)| cells_identical(cell, &run_cell_workers(s, grid_episodes, seed, 1)));
+        .all(|(cell, s)| cells_identical(cell, &run_cell_fanout(s, grid_episodes, seed, 1, chunk)));
     if !grid_identical {
         eprintln!("# DIVERGENCE: grid fan-out disagrees with per-cell runs");
         divergence = true;
     }
     let grid_secs = time_per_call(reps, || {
-        run_grid_workers(&grid_specs, grid_episodes, seed, 2)
+        run_grid_fanout(&grid_specs, grid_episodes, seed, 2, chunk)
     });
     eprintln!(
         "# grid ({} cells x {grid_episodes} episodes, 2 workers): {:.1} ms, identical={grid_identical}",
@@ -203,7 +216,7 @@ fn main() {
         .collect();
     println!(
         "{{\n  \"experiment\": \"mc_replication\",\n  \"quick\": {quick},\n  \
-         \"cores\": {cores},\n  \"chunk\": {DEFAULT_CHUNK},\n  \"seed\": {seed},\n  \
+         \"cores\": {cores},\n  \"chunk\": {resolved_chunk},\n  \"seed\": {seed},\n  \
          \"campaign_cell\": {{\"episodes\": {episodes}, \"traced_baseline_secs\": {}, \
          \"fastpath_secs\": {}, \"fastpath_speedup\": {}, \"workers\": [{}]}},\n  \
          \"qos_estimate\": {{\"episodes\": {episodes}, \"serial_secs\": {}, \

@@ -40,9 +40,15 @@ fn main() {
             "N",
             "worker threads, 0 = all cores (default 0)",
         )
+        .option(
+            "--chunk",
+            "N",
+            "episodes per work chunk (default: adaptive)",
+        )
         .parse();
     let episodes = cli.get_u64("--episodes", 20_000);
     let workers = cli.get_usize("--workers", 0);
+    let chunk = cli.get_chunk("--chunk");
 
     banner("Membership service: group-wide detection latency (ring planes)");
     tsv_header(&["n", "analytic_bound_min", "measured_min", "messages"]);
@@ -74,7 +80,7 @@ fn main() {
         // Episode i draws its birth from substream (base_seed, i) and seeds
         // its protocol run from the same substream value (offset by one),
         // so every worker count tallies the identical counts.
-        let sink = Replicator::new(workers).run(
+        let sink = Replicator::new(workers).with_chunk_override(chunk).run(
             episodes,
             base_seed,
             RecruitSink::default,

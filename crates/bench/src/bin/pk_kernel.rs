@@ -25,7 +25,9 @@
 use std::time::Instant;
 
 use oaq_analytic::capacity::CapacityParams;
-use oaq_analytic::sweep::{effective_sweep_workers, figure7, figure7_par, paper_lambda_grid};
+use oaq_analytic::sweep::{
+    effective_sweep_workers, figure7, figure7_par, paper_lambda_grid, Fanout,
+};
 use oaq_bench::args::CliSpec;
 use oaq_engine::report::fmt_f64;
 use oaq_san::plane::{CapacitySolve, PlaneModelConfig, SparePolicy};
@@ -96,10 +98,19 @@ fn main() {
         .switch("--quick", "fewer reps and a shorter scaling axis (CI size)")
         .option("--panels", "N", "Simpson panels (default 256)")
         .option("--workers", "N", "sweep threads (default: all cores)")
+        .option(
+            "--chunk",
+            "N",
+            "grid points per work chunk (default: adaptive)",
+        )
         .parse();
     let quick = cli.has("--quick");
     let panels = cli.get_usize("--panels", 256);
     let workers = cli.get_usize("--workers", 0);
+    let fanout = Fanout {
+        workers,
+        chunk: cli.get_chunk("--chunk"),
+    };
     let reps = if quick { 3 } else { 10 };
 
     // 1. Reference plane: the exact solve `engine::eval` serves.
@@ -145,13 +156,11 @@ fn main() {
     // 3. The sweep layer fan-out on the paper's Figure 7 grid.
     let grid = paper_lambda_grid();
     let serial_rows = figure7(&grid, PHI, ETA).expect("serial sweep");
-    let parallel_rows = figure7_par(&grid, PHI, ETA, workers).expect("parallel sweep");
+    let parallel_rows = figure7_par(&grid, PHI, ETA, fanout).expect("parallel sweep");
     let sweep_identical = serial_rows == parallel_rows;
     let sweep_reps = if quick { 1 } else { 3 };
     let serial_secs = time_per_call(sweep_reps, || figure7(&grid, PHI, ETA).unwrap());
-    let parallel_secs = time_per_call(sweep_reps, || {
-        figure7_par(&grid, PHI, ETA, workers).unwrap()
-    });
+    let parallel_secs = time_per_call(sweep_reps, || figure7_par(&grid, PHI, ETA, fanout).unwrap());
     eprintln!(
         "# parallel_sweep ({} rows, {} workers): serial {:.1} ms, parallel {:.1} ms, {:.1}x, \
          identical={}",

@@ -99,11 +99,19 @@ fn main() {
         .option("--seed", "N", "workload seed (default 2003)")
         .option("--queries", "N", "workload length (default 10000)")
         .option("--workers", "N", "engine workers (default: all cores)")
+        .option(
+            "--chunk",
+            "N",
+            "queries drained per worker batch (default 32)",
+        )
         .parse();
     let quick = cli.has("--quick");
     let seed = cli.get_u64("--seed", 2003);
     let queries = cli.get_usize("--queries", if quick { 1000 } else { 10_000 });
     let workers = cli.get_usize("--workers", 0);
+    let batch_size = cli
+        .get_chunk("--chunk")
+        .map_or(32, |c| usize::try_from(c).expect("chunk fits usize"));
 
     let workload_cfg = WorkloadConfig {
         scenarios: if quick { 40 } else { 200 },
@@ -113,6 +121,7 @@ fn main() {
     let workload: Vec<QosQuery> = zipf_workload(&workload_cfg, seed);
     let engine_cfg = EngineConfig {
         workers,
+        batch_size,
         ..EngineConfig::default()
     };
     eprintln!(

@@ -15,7 +15,7 @@
 //! pool (0 = one per core); the output is bit-identical for any count.
 
 use oaq_bench::args::CliSpec;
-use oaq_bench::campaign::{campaign_json, run_grid_workers, CellSpec, LossAxis};
+use oaq_bench::campaign::{campaign_json, run_grid_fanout, CellSpec, LossAxis};
 
 fn main() {
     let cli = CliSpec::new("robustness")
@@ -27,11 +27,17 @@ fn main() {
             "N",
             "worker threads, 0 = all cores (default 1)",
         )
+        .option(
+            "--chunk",
+            "N",
+            "episodes per work chunk (default: adaptive)",
+        )
         .parse();
     let quick = cli.has("--quick");
     let base_seed = cli.get_u64("--seed", 1515);
     let episodes = cli.get_u64("--episodes", if quick { 100 } else { 1500 });
     let workers = cli.get_usize("--workers", 1);
+    let chunk = cli.get_chunk("--chunk");
 
     let losses: Vec<LossAxis> = if quick {
         vec![
@@ -83,7 +89,7 @@ fn main() {
             }
         }
     }
-    let cells = run_grid_workers(&specs, episodes, base_seed, workers);
+    let cells = run_grid_fanout(&specs, episodes, base_seed, workers, chunk);
     for (done, out) in cells.iter().enumerate() {
         eprintln!(
             "#   [{}/{total}] {} fail={} budget={}: \

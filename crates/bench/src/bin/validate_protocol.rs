@@ -4,7 +4,7 @@
 //! prints the full comparison table.)
 //!
 //! Parallelism comes from the deterministic replication engine inside
-//! [`estimate_conditional_qos_par`]: episodes fan out on counter-based
+//! [`estimate_conditional_qos_fanout`]: episodes fan out on counter-based
 //! substreams, so every worker count prints the identical table.
 //!
 //! Usage: `validate_protocol [--episodes N] [--workers N]`
@@ -14,7 +14,7 @@ use oaq_analytic::qos::{conditional_qos, QosParams, Scheme as AScheme};
 use oaq_bench::args::CliSpec;
 use oaq_bench::banner;
 use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::experiment::{estimate_conditional_qos_par, MonteCarloOptions, QosEstimate};
+use oaq_core::experiment::{estimate_conditional_qos_fanout, MonteCarloOptions, QosEstimate};
 
 fn main() {
     let cli = CliSpec::new("validate_protocol")
@@ -24,15 +24,21 @@ fn main() {
             "N",
             "worker threads, 0 = all cores (default 0)",
         )
+        .option(
+            "--chunk",
+            "N",
+            "episodes per work chunk (default: adaptive)",
+        )
         .parse();
     let episodes = cli.get_usize("--episodes", 40_000);
     let workers = cli.get_usize("--workers", 0);
+    let chunk = cli.get_chunk("--chunk");
 
     let mut collected: Vec<QosEstimate> = Vec::new();
     for scheme in [Scheme::Oaq, Scheme::Baq] {
         for mu in [0.2, 0.5] {
             for k in 9..=14u32 {
-                collected.push(estimate_conditional_qos_par(
+                collected.push(estimate_conditional_qos_fanout(
                     &ProtocolConfig::reference(k as usize, scheme),
                     &MonteCarloOptions {
                         episodes,
@@ -40,6 +46,7 @@ fn main() {
                         seed: 31 + u64::from(k),
                     },
                     workers,
+                    chunk,
                 ));
             }
         }

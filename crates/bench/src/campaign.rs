@@ -372,15 +372,37 @@ pub fn run_cell_workers(
     base_seed: u64,
     workers: usize,
 ) -> CellOutcome {
+    run_cell_fanout(spec, episodes, base_seed, workers, None)
+}
+
+/// [`run_cell_workers`] with an explicit chunk-size override (`None` =
+/// adaptive chunking). The chunk only changes how episodes are batched
+/// onto workers; the outcome is bit-identical for every chunk size.
+///
+/// # Panics
+///
+/// Panics when `chunk` is `Some(0)`.
+#[must_use]
+pub fn run_cell_fanout(
+    spec: &CellSpec,
+    episodes: u64,
+    base_seed: u64,
+    workers: usize,
+    chunk: Option<u64>,
+) -> CellOutcome {
     let cfg = cell_config(spec);
     // The engine's substream rng is deliberately unused: the campaign's
     // episode-seed scheme predates the replication engine and recorded
     // violation seeds must stay replayable, so episodes re-derive their
     // streams from `episode_seed` (the same mixing function) instead.
-    let sink =
-        Replicator::new(workers).run(episodes, base_seed, CellSink::default, |i, _rng, sink| {
+    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
+        episodes,
+        base_seed,
+        CellSink::default,
+        |i, _rng, sink| {
             run_episode(&cfg, spec, base_seed, i, sink);
-        });
+        },
+    );
     sink.into_outcome(spec, episodes)
 }
 
@@ -449,6 +471,23 @@ pub fn run_grid_workers(
     base_seed: u64,
     workers: usize,
 ) -> Vec<CellOutcome> {
+    run_grid_fanout(specs, episodes, base_seed, workers, None)
+}
+
+/// [`run_grid_workers`] with an explicit chunk-size override (`None` =
+/// adaptive chunking over the flattened `cells × episodes` index space).
+///
+/// # Panics
+///
+/// Panics when `chunk` is `Some(0)`.
+#[must_use]
+pub fn run_grid_fanout(
+    specs: &[CellSpec],
+    episodes: u64,
+    base_seed: u64,
+    workers: usize,
+    chunk: Option<u64>,
+) -> Vec<CellOutcome> {
     if episodes == 0 {
         return specs
             .iter()
@@ -457,7 +496,7 @@ pub fn run_grid_workers(
     }
     let cfgs: Vec<ProtocolConfig> = specs.iter().map(cell_config).collect();
     let total = specs.len() as u64 * episodes;
-    let sink = Replicator::new(workers).run(
+    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
         total,
         base_seed,
         || GridSink(vec![CellSink::default(); specs.len()]),
@@ -659,6 +698,20 @@ mod tests {
         for workers in [2, 4] {
             let par = run_cell_workers(&spec, 120, 11, workers);
             assert_cells_identical(&par, &reference);
+        }
+    }
+
+    #[test]
+    fn chunk_override_never_changes_a_cell() {
+        let spec = CellSpec {
+            loss: LossAxis::Iid { p: 0.2 },
+            node_failure_rate: 0.2,
+            retry_budget: 1,
+        };
+        let reference = run_cell(&spec, 120, 11);
+        for chunk in [1u64, 7, 64, 1000] {
+            let out = run_cell_fanout(&spec, 120, 11, 2, Some(chunk));
+            assert_cells_identical(&out, &reference);
         }
     }
 

@@ -60,15 +60,18 @@ impl QosEstimate {
     }
 }
 
-/// Per-chunk partial sums for the QoS estimator; integer fields merge
-/// exactly, the latency sum is order-stable (see [`oaq_sim::par`]).
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-chunk partial sums for the QoS estimator. Integer fields merge
+/// exactly; alert latencies are kept per episode (chunks concatenate in
+/// ascending replication order under the ordered merge) and summed once,
+/// sequentially, at the end — so the float reduction order is independent
+/// of both the worker count *and* the chunk size.
+#[derive(Debug, Clone, Default)]
 struct QosSink {
     counts: [u64; 4],
     timely: u64,
     detected: u64,
     messages: u64,
-    latency_sum: f64,
+    latencies: Vec<f64>,
 }
 
 impl Merge for QosSink {
@@ -77,7 +80,7 @@ impl Merge for QosSink {
         self.timely.merge(&other.timely);
         self.detected.merge(&other.detected);
         self.messages.merge(&other.messages);
-        self.latency_sum.merge(&other.latency_sum);
+        self.latencies.merge(&other.latencies);
     }
 }
 
@@ -113,10 +116,28 @@ pub fn estimate_conditional_qos_par(
     opts: &MonteCarloOptions,
     workers: usize,
 ) -> QosEstimate {
+    estimate_conditional_qos_fanout(cfg, opts, workers, None)
+}
+
+/// [`estimate_conditional_qos_par`] with an explicit chunk-size override
+/// (`None` = adaptive chunking). Chunking only changes episode batching,
+/// never the estimate.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0`, `mu <= 0`, `chunk == Some(0)`, or on
+/// invalid `cfg`.
+#[must_use]
+pub fn estimate_conditional_qos_fanout(
+    cfg: &ProtocolConfig,
+    opts: &MonteCarloOptions,
+    workers: usize,
+    chunk: Option<u64>,
+) -> QosEstimate {
     assert!(opts.episodes > 0, "need at least one episode");
     assert!(opts.mu.is_finite() && opts.mu > 0.0, "mu must be positive");
     cfg.validate();
-    let sink = Replicator::new(workers).run(
+    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
         opts.episodes as u64,
         opts.seed,
         QosSink::default,
@@ -135,7 +156,7 @@ pub fn estimate_conditional_qos_par(
                     sink.timely += 1;
                 }
                 if let Some(at) = out.delivered_at {
-                    sink.latency_sum += at - birth;
+                    sink.latencies.push(at - birth);
                 }
             }
         },
@@ -158,7 +179,8 @@ pub fn estimate_conditional_qos_par(
         mean_alert_latency: if sink.detected == 0 {
             0.0
         } else {
-            sink.latency_sum / sink.detected as f64
+            // Sequential fold in episode order: chunk- and worker-invariant.
+            sink.latencies.iter().sum::<f64>() / sink.detected as f64
         },
     }
 }
@@ -248,6 +270,16 @@ mod tests {
         for workers in [2, 4] {
             let par = estimate_conditional_qos_par(&cfg, &opts(0.5, 400), workers);
             assert_eq!(par, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn chunk_override_never_changes_the_estimate() {
+        let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+        let serial = estimate_conditional_qos(&cfg, &opts(0.5, 400));
+        for chunk in [1u64, 13, 400, 10_000] {
+            let par = estimate_conditional_qos_fanout(&cfg, &opts(0.5, 400), 2, Some(chunk));
+            assert_eq!(par, serial, "chunk {chunk}");
         }
     }
 

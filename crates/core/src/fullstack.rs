@@ -7,9 +7,12 @@
 //! least-squares track of the error — the end-to-end demonstration the
 //! examples and experiment E10 use.
 
+use oaq_geoloc::batch::BatchSolver;
+use oaq_geoloc::doppler::DopplerMeasurement;
 use oaq_geoloc::emitter::Emitter;
 use oaq_geoloc::scenario::PassScenario;
 use oaq_geoloc::sequential::SequentialLocalizer;
+use oaq_geoloc::wls::{Estimate, SolveError, WlsSolver, STATE_DIM};
 use oaq_orbit::units::{Degrees, Minutes};
 use oaq_orbit::GroundPoint;
 use oaq_sim::SimRng;
@@ -126,10 +129,166 @@ pub fn run_fullstack_chain(
     }
 }
 
+/// One emitter's synthesized observation set in the many-emitter tracking
+/// workload: everything needed to solve its track and judge the estimate.
+#[derive(Debug, Clone)]
+pub struct EmitterTrack {
+    /// Initial state handed to the solver.
+    pub x0: [f64; STATE_DIM],
+    /// All Doppler measurements across the track's passes.
+    pub observations: Vec<DopplerMeasurement>,
+    /// Where the emitter actually is.
+    pub truth: GroundPoint,
+}
+
+/// Summary of one many-emitter tracking step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmitterBatchReport {
+    /// Tracks attempted.
+    pub emitters: u32,
+    /// Tracks whose solve converged.
+    pub solved: u32,
+    /// Mean 1-σ reported error radius over solved tracks, km (the TC-1
+    /// quantity; what the engine's `EmitterTracking` measure serves).
+    pub mean_reported_error_km: f64,
+    /// Mean true great-circle error over solved tracks, km.
+    pub mean_actual_error_km: f64,
+}
+
+/// Synthesizes `emitters` independent tracks: each emitter gets its own
+/// counter-derived RNG substream (`SimRng::substream(seed, e)`), a random
+/// longitude in ±60° at latitude 30°, and `passes` successive revisits of
+/// the `(θ, Tc, revisit)` scenario — the same per-emitter construction as
+/// [`run_fullstack_chain`], minus the coordination-timing layer.
+///
+/// # Panics
+///
+/// Panics if `emitters == 0`, `passes == 0`, or the scenario geometry is
+/// invalid (non-positive revisit).
+#[must_use]
+pub fn synthesize_emitter_tracks(
+    theta: f64,
+    tc: f64,
+    revisit: f64,
+    emitters: u32,
+    passes: u32,
+    seed: u64,
+) -> Vec<EmitterTrack> {
+    assert!(emitters >= 1, "need at least one emitter");
+    assert!(passes >= 1, "need at least one pass");
+    (0..emitters)
+        .map(|e| {
+            let mut rng = SimRng::substream(seed, u64::from(e));
+            let emitter = Emitter::new(
+                GroundPoint::from_degrees(Degrees(30.0), Degrees(rng.uniform(-60.0, 60.0))),
+                400.0e6,
+            );
+            let scenario = PassScenario::new(
+                &emitter,
+                Degrees(85.0).to_radians(),
+                Minutes(theta),
+                Minutes(tc / 2.0),
+                Minutes(revisit),
+            );
+            let mut observations = Vec::new();
+            for pass in 0..passes as usize {
+                observations.extend(scenario.synthesize_pass(pass, &mut rng));
+            }
+            EmitterTrack {
+                x0: emitter.initial_guess_nearby(1.0),
+                observations,
+                truth: emitter.position(),
+            }
+        })
+        .collect()
+}
+
+/// Solves every track through the structure-of-arrays [`BatchSolver`]
+/// (clearing and refilling it, so one solver instance amortizes scratch
+/// across steps). Bit-identical to [`solve_tracks_looped`].
+pub fn solve_tracks_batched(
+    tracks: &[EmitterTrack],
+    batch: &mut BatchSolver<DopplerMeasurement>,
+) -> Vec<Result<Estimate, SolveError>> {
+    batch.clear();
+    for t in tracks {
+        batch.push_track(t.x0, t.observations.iter().copied());
+    }
+    batch.solve_all()
+}
+
+/// The looped reference: one [`WlsSolver::solve_obs`] call per track — the
+/// pre-batch per-emitter path the batch solver is bench-compared and
+/// bit-identity-checked against.
+#[must_use]
+pub fn solve_tracks_looped(tracks: &[EmitterTrack]) -> Vec<Result<Estimate, SolveError>> {
+    let solver = WlsSolver::new();
+    tracks
+        .iter()
+        .map(|t| solver.solve_obs(&t.observations, t.x0))
+        .collect()
+}
+
+/// Summarizes solve results against their tracks (means over the solved
+/// subset).
+///
+/// # Panics
+///
+/// Panics if no track solved (the reference geometry always solves; an
+/// all-failure batch indicates parameter misuse).
+#[must_use]
+pub fn summarize_tracks(
+    tracks: &[EmitterTrack],
+    results: &[Result<Estimate, SolveError>],
+) -> EmitterBatchReport {
+    let mut solved = 0u32;
+    let mut reported = 0.0;
+    let mut actual = 0.0;
+    for (t, r) in tracks.iter().zip(results) {
+        if let Ok(est) = r {
+            solved += 1;
+            reported += est.error_radius_km();
+            actual += est.position_error_km(&t.truth);
+        }
+    }
+    assert!(solved > 0, "no track solved — unsolvable scenario geometry");
+    #[allow(clippy::cast_possible_truncation)]
+    EmitterBatchReport {
+        emitters: tracks.len() as u32,
+        solved,
+        mean_reported_error_km: reported / f64::from(solved),
+        mean_actual_error_km: actual / f64::from(solved),
+    }
+}
+
+/// The many-emitter tracking workload end to end: synthesize
+/// [`synthesize_emitter_tracks`], solve through the batched SoA path, and
+/// summarize. This is what the engine's `EmitterTracking` measure
+/// evaluates.
+///
+/// # Panics
+///
+/// As [`synthesize_emitter_tracks`] and [`summarize_tracks`].
+#[must_use]
+pub fn run_emitter_batch(
+    theta: f64,
+    tc: f64,
+    revisit: f64,
+    emitters: u32,
+    passes: u32,
+    seed: u64,
+) -> EmitterBatchReport {
+    let tracks = synthesize_emitter_tracks(theta, tc, revisit, emitters, passes, seed);
+    let mut batch = BatchSolver::new(WlsSolver::new());
+    let results = solve_tracks_batched(&tracks, &mut batch);
+    summarize_tracks(&tracks, &results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Scheme;
+    use oaq_geoloc::Observation;
 
     fn deep_cfg() -> ProtocolConfig {
         let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
@@ -177,6 +336,63 @@ mod tests {
         let a = run_fullstack_chain(&deep_cfg(), 2, 5);
         let b = run_fullstack_chain(&deep_cfg(), 2, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_tracking_is_bit_identical_to_looped() {
+        // The batch solver's contract at workload level: the SoA path and
+        // the per-emitter looped path produce bit-identical estimates and
+        // summary means for the same synthesized tracks.
+        for seed in [3u64, 17, 99] {
+            let tracks = synthesize_emitter_tracks(90.0, 9.0, 9.0, 12, 3, seed);
+            let mut batch = BatchSolver::new(WlsSolver::new());
+            let batched = solve_tracks_batched(&tracks, &mut batch);
+            let looped = solve_tracks_looped(&tracks);
+            assert_eq!(batched.len(), looped.len());
+            for (b, l) in batched.iter().zip(&looped) {
+                match (b, l) {
+                    (Ok(b), Ok(l)) => {
+                        for (bs, ls) in b.state.iter().zip(&l.state) {
+                            assert_eq!(bs.to_bits(), ls.to_bits());
+                        }
+                        assert_eq!(b.error_radius_km().to_bits(), l.error_radius_km().to_bits());
+                    }
+                    (b, l) => panic!("outcome mismatch: {b:?} vs {l:?}"),
+                }
+            }
+            let br = summarize_tracks(&tracks, &batched);
+            let lr = summarize_tracks(&tracks, &looped);
+            assert_eq!(
+                br.mean_reported_error_km.to_bits(),
+                lr.mean_reported_error_km.to_bits()
+            );
+            assert_eq!(
+                br.mean_actual_error_km.to_bits(),
+                lr.mean_actual_error_km.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn emitter_batch_is_deterministic_and_substreamed() {
+        let a = run_emitter_batch(90.0, 9.0, 9.0, 8, 2, 42);
+        let b = run_emitter_batch(90.0, 9.0, 9.0, 8, 2, 42);
+        assert_eq!(a, b, "same seed, same report");
+        assert_eq!(a.emitters, 8);
+        assert_eq!(a.solved, 8, "reference geometry solves every track");
+        assert!(a.mean_reported_error_km.is_finite() && a.mean_reported_error_km > 0.0);
+        // Per-emitter substreams: a batch prefix equals the smaller batch
+        // (emitter e's track depends only on (seed, e), not on the batch
+        // size), so growing the fleet never perturbs existing tracks.
+        let small = synthesize_emitter_tracks(90.0, 9.0, 9.0, 4, 2, 42);
+        let large = synthesize_emitter_tracks(90.0, 9.0, 9.0, 8, 2, 42);
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.x0, l.x0);
+            assert_eq!(s.observations.len(), l.observations.len());
+            for (so, lo) in s.observations.iter().zip(&l.observations) {
+                assert_eq!(so.observed().to_bits(), lo.observed().to_bits());
+            }
+        }
     }
 
     #[test]

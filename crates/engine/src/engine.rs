@@ -1,11 +1,10 @@
 //! The engine facade: configuration, submission, tickets, supervision,
 //! shutdown.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use oaq_exec::{ExitKind, SupervisedPool};
 
 use crate::error::{EngineError, RejectReason};
 use crate::eval::{DefaultEvaluator, Evaluator, QosValue};
@@ -154,28 +153,15 @@ impl Ticket {
 /// Workers are supervised: an evaluator panic becomes a typed
 /// [`crate::QueryError::EvalPanicked`] answer for every waiter, and the
 /// supervisor respawns the dead worker so the pool keeps its configured
-/// size. Dropping the engine shuts the queue, drains what was admitted,
-/// and joins every worker.
+/// size. The threads themselves belong to [`oaq_exec::SupervisedPool`];
+/// this crate contributes only the semantics — the respawn predicate
+/// ("work may still be flowing") and the heal metric. Dropping the engine
+/// shuts the queue, drains what was admitted, and joins every worker.
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
     config: EngineConfig,
-    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
-}
-
-/// Spawns one supervised worker thread that reports its exit (or an
-/// un-caught panic, mapped to `Panicked`) to the supervisor.
-fn spawn_worker(
-    shared: &Arc<Shared>,
-    exits: &mpsc::Sender<WorkerExit>,
-) -> std::thread::JoinHandle<()> {
-    let shared = Arc::clone(shared);
-    let exits = exits.clone();
-    std::thread::spawn(move || {
-        let exit =
-            catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).unwrap_or(WorkerExit::Panicked);
-        let _ = exits.send(exit);
-    })
+    pool: SupervisedPool,
 }
 
 impl Engine {
@@ -206,33 +192,25 @@ impl Engine {
             batch_size: config.batch_size.max(1),
         });
         let workers = config.effective_workers();
-        let pool = Arc::clone(&shared);
-        let supervisor = std::thread::spawn(move || {
-            let (tx, rx) = mpsc::channel();
-            let mut handles: Vec<_> = (0..workers).map(|_| spawn_worker(&pool, &tx)).collect();
-            let mut alive = workers;
-            while alive > 0 {
-                match rx.recv() {
-                    // A worker died with work (potentially) still flowing:
-                    // replace it so the pool heals to its configured size.
-                    Ok(WorkerExit::Panicked) if !pool.queue.is_drained() => {
-                        pool.metrics.on_worker_respawn();
-                        handles.push(spawn_worker(&pool, &tx));
-                    }
-                    // Normal wind-down, or a panic during the final drain.
-                    Ok(_) => alive -= 1,
-                    Err(_) => break, // unreachable: we hold a sender
-                }
-            }
-            drop(tx);
-            for h in handles {
-                let _ = h.join();
-            }
-        });
+        let work_shared = Arc::clone(&shared);
+        let respawn_shared = Arc::clone(&shared);
+        let heal_shared = Arc::clone(&shared);
+        let pool = SupervisedPool::start(
+            workers,
+            move || match worker_loop(&work_shared) {
+                WorkerExit::Drained => ExitKind::Clean,
+                WorkerExit::Panicked => ExitKind::Panicked,
+            },
+            // A worker died with work (potentially) still flowing:
+            // replace it so the pool heals to its configured size. (A
+            // panic during the final drain retires the slot instead.)
+            move || !respawn_shared.queue.is_drained(),
+            move || heal_shared.metrics.on_worker_respawn(),
+        );
         Engine {
             shared,
             config,
-            supervisor: Mutex::new(Some(supervisor)),
+            pool,
         }
     }
 
@@ -467,9 +445,7 @@ impl Engine {
     /// wound down by its owner.
     pub fn shutdown(&self) {
         self.shared.queue.shutdown();
-        if let Some(handle) = self.supervisor.lock().take() {
-            let _ = handle.join();
-        }
+        self.pool.join();
     }
 }
 

@@ -91,8 +91,8 @@ pub fn eval_with_pk(query: &QosQuery, pk: &[f64]) -> QosValue {
                 .p_at_least(usize::from(y));
             QosValue::Scalar(oaq - baq)
         }
-        Measure::ConditionalQos { .. } => {
-            panic!("conditional measures bypass the capacity layer")
+        Measure::ConditionalQos { .. } | Measure::EmitterTracking { .. } => {
+            panic!("measure bypasses the capacity layer")
         }
     }
 }
@@ -112,6 +112,25 @@ pub fn eval_cheap(query: &QosQuery) -> QosValue {
                 .conditional(scheme, k)
                 .p(usize::from(y)),
         ),
+        Measure::EmitterTracking {
+            emitters,
+            passes,
+            seed,
+        } => {
+            // The tracking workload pins the plane at the replenishment
+            // threshold k = η, so the revisit interval is Tr[η] = θ/η.
+            let spec = query.spec();
+            let revisit = spec.theta / f64::from(spec.eta);
+            let report = oaq_core::fullstack::run_emitter_batch(
+                spec.theta,
+                spec.tc,
+                revisit,
+                emitters,
+                passes,
+                u64::from(seed),
+            );
+            QosValue::Scalar(report.mean_reported_error_km)
+        }
         _ => panic!("measure requires the capacity solve"),
     }
 }
@@ -236,6 +255,29 @@ mod tests {
         let baq = direct_eval(&spec.build().unwrap()).unwrap().scalar();
         assert!((oaq - 0.44).abs() < 0.01, "OAQ: {oaq}");
         assert!((baq - 0.20).abs() < 0.01, "BAQ: {baq}");
+    }
+
+    #[test]
+    fn emitter_tracking_measure_matches_fullstack_batch() {
+        let q = QuerySpec::paper_defaults(
+            5e-5,
+            Measure::EmitterTracking {
+                emitters: 6,
+                passes: 2,
+                seed: 31,
+            },
+        )
+        .build()
+        .unwrap();
+        let v = direct_eval(&q).unwrap().scalar();
+        let expected =
+            oaq_core::fullstack::run_emitter_batch(90.0, 9.0, 9.0, 6, 2, 31).mean_reported_error_km;
+        assert_eq!(
+            v.to_bits(),
+            expected.to_bits(),
+            "engine route must be bit-identical to the fullstack workload"
+        );
+        assert!(v.is_finite() && v > 0.0);
     }
 
     #[test]

@@ -49,6 +49,20 @@ pub enum Measure {
         /// QoS level `y ∈ 0..=3`.
         y: u8,
     },
+    /// The many-emitter tracking workload: `emitters` independent tracks of
+    /// `passes` revisits each, solved through the batched SoA WLS path;
+    /// answers the mean reported (TC-1) error radius in km. No capacity
+    /// solve — the track geometry is derived from the query's (θ, Tc, η)
+    /// alone.
+    EmitterTracking {
+        /// Concurrent emitter tracks, `1..=4096`.
+        emitters: u32,
+        /// Passes accumulated per track, `1..=8`.
+        passes: u32,
+        /// Base seed of the per-emitter measurement-noise substreams (part
+        /// of the cache identity: different seeds are different answers).
+        seed: u32,
+    },
 }
 
 fn scheme_code(scheme: Scheme) -> u32 {
@@ -71,7 +85,10 @@ impl Measure {
     /// CTMC solve, as opposed to the cheap G-function layer alone.
     #[must_use]
     pub fn needs_capacity_solve(&self) -> bool {
-        !matches!(self, Measure::ConditionalQos { .. })
+        !matches!(
+            self,
+            Measure::ConditionalQos { .. } | Measure::EmitterTracking { .. }
+        )
     }
 
     /// A fixed-width `[tag, scheme, k, y]` encoding for the wire protocol
@@ -84,6 +101,11 @@ impl Measure {
             Measure::ConditionalQos { scheme, k, y } => [1, scheme_code(scheme), k, u32::from(y)],
             Measure::CapacityDistribution => [2, 0, 0, 0],
             Measure::OaqBaqGap { y } => [3, 0, 0, u32::from(y)],
+            Measure::EmitterTracking {
+                emitters,
+                passes,
+                seed,
+            } => [4, emitters, passes, seed],
         }
     }
 
@@ -93,19 +115,27 @@ impl Measure {
     #[must_use]
     pub fn decode(words: [u32; 4]) -> Option<Measure> {
         let [tag, scheme, k, y] = words;
-        let y = u8::try_from(y).ok()?;
         match tag {
             0 => Some(Measure::QosAtLeast {
                 scheme: scheme_from_code(scheme)?,
-                y,
+                y: u8::try_from(y).ok()?,
             }),
             1 => Some(Measure::ConditionalQos {
                 scheme: scheme_from_code(scheme)?,
                 k,
-                y,
+                y: u8::try_from(y).ok()?,
             }),
             2 if scheme == 0 && k == 0 && y == 0 => Some(Measure::CapacityDistribution),
-            3 if scheme == 0 && k == 0 => Some(Measure::OaqBaqGap { y }),
+            3 if scheme == 0 && k == 0 => Some(Measure::OaqBaqGap {
+                y: u8::try_from(y).ok()?,
+            }),
+            // Tag 4 reuses all three operand words verbatim (the seed word
+            // deliberately spans the full u32 range).
+            4 => Some(Measure::EmitterTracking {
+                emitters: scheme,
+                passes: k,
+                seed: y,
+            }),
             _ => None,
         }
     }
@@ -120,6 +150,12 @@ impl Measure {
                 require_int_in_range("k", k, 1, REFERENCE_CAPACITY)?;
             }
             Measure::CapacityDistribution => {}
+            Measure::EmitterTracking {
+                emitters, passes, ..
+            } => {
+                require_int_in_range("emitters", emitters, 1, 4096)?;
+                require_int_in_range("passes", passes, 1, 8)?;
+            }
         }
         Ok(())
     }
@@ -580,6 +616,11 @@ mod tests {
             },
             Measure::CapacityDistribution,
             Measure::OaqBaqGap { y: 1 },
+            Measure::EmitterTracking {
+                emitters: 256,
+                passes: 3,
+                seed: u32::MAX,
+            },
         ];
         for m in measures {
             assert_eq!(Measure::decode(m.encode()), Some(m), "{m:?}");
@@ -610,5 +651,31 @@ mod tests {
         .needs_capacity_solve());
         assert!(Measure::CapacityDistribution.needs_capacity_solve());
         assert!(Measure::OaqBaqGap { y: 2 }.needs_capacity_solve());
+        assert!(!Measure::EmitterTracking {
+            emitters: 16,
+            passes: 2,
+            seed: 0
+        }
+        .needs_capacity_solve());
+    }
+
+    #[test]
+    fn emitter_tracking_bounds_enforced() {
+        let tracking = |emitters, passes| {
+            paper(Measure::EmitterTracking {
+                emitters,
+                passes,
+                seed: 7,
+            })
+            .build()
+        };
+        for (emitters, passes) in [(0, 2), (4097, 2), (16, 0), (16, 9)] {
+            assert!(
+                matches!(tracking(emitters, passes), Err(QueryError::Param(_))),
+                "emitters = {emitters}, passes = {passes}"
+            );
+        }
+        assert!(tracking(1, 1).is_ok());
+        assert!(tracking(4096, 8).is_ok());
     }
 }

@@ -322,12 +322,16 @@ mod tests {
         let Flight::Follower(follower) = sh.flight.join(key) else {
             panic!("follower expected")
         };
-        let _ = crossbeam::scope(|s| {
-            s.spawn(|_| {
-                let _guard = AbandonGuard::new(&sh.flight, key, slot);
-                panic!("worker dies mid-compute");
+        // std's scope propagates the child panic at scope exit; contain it
+        // so the test observes only the guard's effect.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _guard = AbandonGuard::new(&sh.flight, key, slot);
+                    panic!("worker dies mid-compute");
+                });
             });
-        });
+        }));
         assert_eq!(follower.wait(), None, "follower must not block forever");
         assert!(sh.flight.is_empty());
     }

@@ -1,0 +1,656 @@
+//! # oaq-exec — the one deterministic executor
+//!
+//! Every parallel substrate in this workspace (the analytic sweep fan-out,
+//! the Monte-Carlo [`Replicator`](../oaq_sim/par) and the engine worker
+//! pool) runs on the primitives in this crate. The contract, everywhere:
+//!
+//! 1. **Indexed slots.** Each task writes its result into a slot addressed
+//!    by its task index, never into a shared accumulator.
+//! 2. **Ordered merge.** Callers consume results in ascending task index;
+//!    the executor returns them already in that order.
+//! 3. **Worker-count invariance.** The worker count decides only *who*
+//!    runs a task, never *what* a task computes or the order results are
+//!    consumed in — so any worker count (including one) produces
+//!    bit-identical output.
+//!
+//! Scheduling is work-stealing: each worker owns a deque seeded with a
+//! contiguous range of task indices; it pops from the front of its own
+//! deque and, when empty, steals the back half of the fullest victim's
+//! deque. Tasks are *claimed before they run*, and no task enqueues new
+//! tasks, so "every deque empty" is a safe exit condition. Because results
+//! land in index-addressed slots, the steal schedule — inherently racy —
+//! is invisible in the output.
+//!
+//! ## Chunk granularity
+//!
+//! Two adaptive policies coexist, chosen by what the caller merges:
+//!
+//! * [`adaptive_chunk`] is a pure function of the **total item count**
+//!   (never the worker count) — for callers like the Monte-Carlo
+//!   replicator whose floating-point sinks make the chunk grouping part of
+//!   the result's identity. Targeting [`TARGET_CHUNKS`] chunks keeps
+//!   ≈ 4 chunks per worker up to 16 workers; the [`MIN_CHUNK`] floor
+//!   amortizes scheduling overhead for small runs.
+//! * [`Executor::map_indexed`] defaults to ≈ 4 chunks *per worker*, which
+//!   is legal there because indexed slots are consumed element-wise — no
+//!   merge regrouping exists for the chunk size to leak into.
+//!
+//! An explicit [`Executor::with_chunk`] (or the benches' `--chunk` flag)
+//! overrides either policy for reproducibility experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Adaptive chunking targets this many chunks regardless of worker count —
+/// ≈ 4 chunks per worker at up to 16 workers.
+pub const TARGET_CHUNKS: u64 = 64;
+
+/// Floor on the adaptive chunk size: below this, per-chunk scheduling
+/// overhead dominates the work.
+pub const MIN_CHUNK: u64 = 16;
+
+/// Resolves a worker-count request: `0` means one worker per available
+/// core, anything else is taken literally.
+#[must_use]
+pub fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+}
+
+/// The adaptive items-per-chunk granularity for a run of `total` items.
+///
+/// A pure function of `total` **only** — never the worker count — so
+/// callers whose merge regroups floating-point sums (chunk size is part of
+/// their result's identity) stay bit-identical across worker counts.
+/// Yields `ceil(total / TARGET_CHUNKS)` floored at [`MIN_CHUNK`]; for
+/// `total ≤ 1024` this equals the historical fixed chunk of 16.
+#[must_use]
+pub fn adaptive_chunk(total: u64) -> u64 {
+    total.div_ceil(TARGET_CHUNKS).max(MIN_CHUNK)
+}
+
+/// A worker/chunk fan-out request, convertible from a bare worker count.
+///
+/// Public sweep and replication entry points accept `impl Into<Fanout>`,
+/// so existing `workers: usize` call sites keep compiling while the bench
+/// binaries' `--chunk` override threads through as `Fanout { chunk, .. }`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fanout {
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+    /// Explicit items-per-chunk override (`None` = adaptive).
+    pub chunk: Option<u64>,
+}
+
+impl From<usize> for Fanout {
+    fn from(workers: usize) -> Self {
+        Fanout {
+            workers,
+            chunk: None,
+        }
+    }
+}
+
+impl Fanout {
+    /// Builds the executor this fan-out describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk override is zero.
+    #[must_use]
+    pub fn executor(self) -> Executor {
+        let exec = Executor::new(self.workers);
+        match self.chunk {
+            Some(c) => exec.with_chunk(c),
+            None => exec,
+        }
+    }
+}
+
+/// The deterministic work-stealing executor.
+///
+/// See the [module docs](self) for the three-point contract. Construction
+/// is free — an `Executor` is a worker-count plus an optional chunk
+/// override; threads are scoped to each call.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+    chunk: Option<u64>,
+}
+
+impl Executor {
+    /// An executor with `workers` worker threads (`0` = one per core) and
+    /// adaptive chunking.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers,
+            chunk: None,
+        }
+    }
+
+    /// Pins the items-per-chunk granularity used by [`map_indexed`].
+    ///
+    /// [`map_indexed`]: Executor::map_indexed
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        effective_workers(self.workers)
+    }
+
+    /// The explicit chunk override, if any.
+    #[must_use]
+    pub fn chunk_override(&self) -> Option<u64> {
+        self.chunk
+    }
+
+    /// The items-per-chunk [`map_indexed`](Executor::map_indexed) will use
+    /// for `total` items: the explicit override if pinned, else ≈ 4 chunks
+    /// per worker.
+    #[must_use]
+    pub fn resolve_chunk(&self, total: u64) -> u64 {
+        self.chunk.unwrap_or_else(|| {
+            let target = 4 * self.effective_workers() as u64;
+            total.div_ceil(target.max(1)).max(1)
+        })
+    }
+
+    /// Runs tasks `0..tasks` and returns their results in ascending task
+    /// order. `run(i)` must be a pure function of `i` (and captured
+    /// immutable state); under that contract the output is bit-identical
+    /// for any worker count.
+    ///
+    /// With one worker (or one task) this is a plain serial loop — the
+    /// bit-exact reference the parallel path is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `run` (the pool observes the first one).
+    pub fn run_indexed<S, F>(&self, tasks: u64, run: F) -> Vec<S>
+    where
+        S: Send,
+        F: Fn(u64) -> S + Sync,
+    {
+        self.run_indexed_scratch(tasks, || (), |i, ()| run(i))
+    }
+
+    /// [`run_indexed`](Executor::run_indexed) with a per-worker scratch
+    /// value built once per worker thread and lent to every task that
+    /// worker claims — reusable buffers without per-task allocation.
+    ///
+    /// Determinism contract: `run(i, scratch)`'s *result* must not depend
+    /// on what earlier tasks left in the scratch (treat it as
+    /// uninitialized capacity, not state).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `run` (the pool observes the first one).
+    pub fn run_indexed_scratch<S, C, I, F>(&self, tasks: u64, make_scratch: I, run: F) -> Vec<S>
+    where
+        S: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(u64, &mut C) -> S + Sync,
+    {
+        let workers = self
+            .effective_workers()
+            .min(usize::try_from(tasks).unwrap_or(usize::MAX))
+            .max(1);
+        if workers <= 1 {
+            let mut scratch = make_scratch();
+            return (0..tasks).map(|i| run(i, &mut scratch)).collect();
+        }
+
+        // Deques seeded with contiguous index ranges; slots addressed by
+        // task index so the steal schedule never shows in the output.
+        let per_worker = tasks.div_ceil(workers as u64);
+        let deques: Vec<Mutex<VecDeque<u64>>> = (0..workers as u64)
+            .map(|w| {
+                let lo = w * per_worker;
+                let hi = ((w + 1) * per_worker).min(tasks);
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        let mut slots: Vec<Mutex<Option<S>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+
+        {
+            let slots = &slots;
+            let deques = &deques;
+            let make_scratch = &make_scratch;
+            let run = &run;
+            crossbeam::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move |_| {
+                        let mut scratch = make_scratch();
+                        while let Some(i) = claim_task(deques, w) {
+                            let out = run(i, &mut scratch);
+                            let idx = usize::try_from(i).expect("task index fits usize");
+                            *slots[idx].lock().expect("result slot poisoned") = Some(out);
+                        }
+                    });
+                }
+            })
+            .expect("executor worker panicked");
+        }
+
+        slots
+            .drain(..)
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task was claimed and completed")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items`, slicing them into chunks of
+    /// [`resolve_chunk`](Executor::resolve_chunk) granularity, and returns
+    /// the outputs in item order — bit-identical to
+    /// `items.iter().map(f).collect()` for any worker count, since each
+    /// chunk is an independent serial sub-loop and chunks flatten in
+    /// ascending index.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let total = items.len() as u64;
+        if total == 0 {
+            return Vec::new();
+        }
+        let chunk = self.resolve_chunk(total);
+        let tasks = total.div_ceil(chunk);
+        let nested = self.run_indexed(tasks, |t| {
+            let lo = usize::try_from(t * chunk).expect("chunk offset fits usize");
+            let hi = usize::try_from(((t + 1) * chunk).min(total)).expect("offset fits usize");
+            items[lo..hi].iter().map(&f).collect::<Vec<U>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+}
+
+/// Claims the next task for worker `w`: front of its own deque, else the
+/// back half of the fullest victim. Returns `None` only when every deque
+/// is empty — safe because tasks are claimed before they run and nothing
+/// enqueues new tasks.
+fn claim_task(deques: &[Mutex<VecDeque<u64>>], w: usize) -> Option<u64> {
+    loop {
+        if let Some(i) = deques[w].lock().expect("deque poisoned").pop_front() {
+            return Some(i);
+        }
+        let mut victim = None;
+        let mut fullest = 0;
+        for (v, d) in deques.iter().enumerate() {
+            if v == w {
+                continue;
+            }
+            let len = d.lock().expect("deque poisoned").len();
+            if len > fullest {
+                fullest = len;
+                victim = Some(v);
+            }
+        }
+        let v = victim?;
+        let stolen = {
+            let mut d = deques[v].lock().expect("deque poisoned");
+            let keep = d.len() / 2;
+            d.split_off(keep)
+        };
+        if stolen.is_empty() {
+            // Lost the race to the victim's own pops; rescan.
+            continue;
+        }
+        // Own deque is empty (only its owner pushes), so this is a move,
+        // not an interleave.
+        *deques[w].lock().expect("deque poisoned") = stolen;
+    }
+}
+
+/// How a supervised worker's work function ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// The work function returned a normal wind-down; the slot retires.
+    Clean,
+    /// The work function either *reported* a fault (it observed and
+    /// contained one itself) or unwound (the payload is swallowed); the
+    /// supervisor's respawn predicate decides what happens next.
+    Panicked,
+}
+
+/// A supervised long-running worker pool: `workers` threads each run
+/// `work()` to completion; a supervisor thread watches exits and respawns
+/// faulted workers (a returned [`ExitKind::Panicked`] or an un-caught
+/// unwind) while `respawn_if()` holds, calling `on_respawn` for each
+/// heal. Join with [`SupervisedPool::join`] (idempotent; also run on
+/// drop).
+///
+/// This is the engine worker pool's substrate: the engine keeps its
+/// drain/respawn *semantics* (the predicate and the metric hook), the
+/// executor owns the threads.
+pub struct SupervisedPool {
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SupervisedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedPool").finish_non_exhaustive()
+    }
+}
+
+impl SupervisedPool {
+    /// Starts `workers` threads running `work` under a supervisor thread.
+    ///
+    /// A worker that faults (returns [`ExitKind::Panicked`] or unwinds)
+    /// is respawned iff `respawn_if()` is true at the moment the
+    /// supervisor observes the exit (`on_respawn` fires first); a
+    /// [`ExitKind::Clean`] exit retires the slot. The supervisor returns
+    /// once every slot has retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn start<W, R, H>(workers: usize, work: W, respawn_if: R, on_respawn: H) -> Self
+    where
+        W: Fn() -> ExitKind + Send + Sync + 'static,
+        R: Fn() -> bool + Send + 'static,
+        H: Fn() + Send + 'static,
+    {
+        assert!(workers > 0, "supervised pool needs at least one worker");
+        let work = Arc::new(work);
+        let (exit_tx, exit_rx) = mpsc::channel::<ExitKind>();
+        let spawn_one = move |work: &Arc<W>, exit_tx: &mpsc::Sender<ExitKind>| {
+            let work = Arc::clone(work);
+            let exit_tx = exit_tx.clone();
+            std::thread::spawn(move || {
+                let kind = catch_unwind(AssertUnwindSafe(|| work())).unwrap_or(ExitKind::Panicked);
+                // The supervisor may already be gone during teardown.
+                let _ = exit_tx.send(kind);
+            })
+        };
+
+        let supervisor = std::thread::spawn(move || {
+            let mut handles: Vec<JoinHandle<()>> =
+                (0..workers).map(|_| spawn_one(&work, &exit_tx)).collect();
+            let mut alive = workers;
+            while alive > 0 {
+                match exit_rx.recv() {
+                    Ok(ExitKind::Panicked) if respawn_if() => {
+                        on_respawn();
+                        handles.push(spawn_one(&work, &exit_tx));
+                    }
+                    Ok(_) => alive -= 1,
+                    Err(_) => break,
+                }
+            }
+            drop(exit_tx);
+            for h in handles {
+                let _ = h.join();
+            }
+        });
+
+        SupervisedPool {
+            supervisor: Mutex::new(Some(supervisor)),
+        }
+    }
+
+    /// Waits for every worker slot to retire. Idempotent; the caller is
+    /// responsible for first signalling its workers to exit (e.g. closing
+    /// the queue they drain), or this blocks forever.
+    pub fn join(&self) {
+        let handle = self
+            .supervisor
+            .lock()
+            .expect("supervisor handle poisoned")
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SupervisedPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn adaptive_chunk_is_worker_independent_and_floored() {
+        assert_eq!(adaptive_chunk(0), MIN_CHUNK);
+        assert_eq!(adaptive_chunk(500), MIN_CHUNK);
+        assert_eq!(adaptive_chunk(1024), MIN_CHUNK);
+        assert_eq!(adaptive_chunk(6400), 100);
+        assert_eq!(adaptive_chunk(6401), 101);
+    }
+
+    #[test]
+    fn fanout_converts_from_worker_count() {
+        let f: Fanout = 3usize.into();
+        assert_eq!(
+            f,
+            Fanout {
+                workers: 3,
+                chunk: None
+            }
+        );
+        let exec = Fanout {
+            workers: 2,
+            chunk: Some(5),
+        }
+        .executor();
+        assert_eq!(exec.chunk_override(), Some(5));
+        assert_eq!(exec.resolve_chunk(100), 5);
+    }
+
+    #[test]
+    fn resolve_chunk_targets_four_chunks_per_worker() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.resolve_chunk(160), 10);
+        assert_eq!(exec.resolve_chunk(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = Executor::new(1).with_chunk(0);
+    }
+
+    #[test]
+    fn run_indexed_returns_ascending_results_for_any_worker_count() {
+        let reference: Vec<u64> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 4, 8] {
+            let got = Executor::new(workers).run_indexed(97, |i| i * i);
+            assert_eq!(got, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        assert_eq!(Executor::new(4).run_indexed(0, |i| i), Vec::<u64>::new());
+        assert_eq!(Executor::new(4).run_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn scratch_is_reused_not_observed() {
+        // Results are a pure function of the index even though the scratch
+        // buffer carries garbage between tasks.
+        let sums = Executor::new(3).run_indexed_scratch(50, Vec::<u64>::new, |i, buf| {
+            buf.clear();
+            buf.extend(0..=i);
+            buf.iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..50).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_map() {
+        let items: Vec<f64> = (0..333).map(|i| f64::from(i) * 0.1).collect();
+        let reference: Vec<f64> = items.iter().map(|x| x.sin()).collect();
+        for workers in [1, 2, 4, 8] {
+            let got = Executor::new(workers).map_indexed(&items, |x| x.sin());
+            let same = got
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same && got.len() == reference.len(), "{workers} workers");
+        }
+        assert_eq!(
+            Executor::new(4).map_indexed(&Vec::<u8>::new(), |&x| x),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            Executor::new(4).run_indexed(32, |i| {
+                assert!(i != 17, "poisoned task");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn supervised_pool_respawns_while_predicate_holds() {
+        let budget = Arc::new(AtomicUsize::new(3));
+        let respawns = Arc::new(AtomicUsize::new(0));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let budget_w = Arc::clone(&budget);
+            let budget_p = Arc::clone(&budget);
+            let respawns = Arc::clone(&respawns);
+            let runs = Arc::clone(&runs);
+            SupervisedPool::start(
+                2,
+                move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    // Burn one unit of "pending work" per run; report a
+                    // fault while any remains, exit cleanly once drained.
+                    if budget_w
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                        .is_ok()
+                    {
+                        ExitKind::Panicked
+                    } else {
+                        ExitKind::Clean
+                    }
+                },
+                move || budget_p.load(Ordering::SeqCst) > 0,
+                move || {
+                    respawns.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        };
+        pool.join();
+        pool.join(); // idempotent
+        assert_eq!(budget.load(Ordering::SeqCst), 0, "work drained");
+        // Two initial workers can burn at most 2 of the 3 units, so at
+        // least one respawned worker must have run to drain the rest.
+        assert!(runs.load(Ordering::SeqCst) >= 3);
+        assert!(respawns.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn supervised_pool_maps_unwind_to_panicked() {
+        // One worker: first run unwinds with work still pending (respawn),
+        // the replacement drains the work and retires cleanly.
+        let first_run = Arc::new(AtomicUsize::new(1));
+        let pending = Arc::new(AtomicUsize::new(1));
+        let respawns = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let first_run = Arc::clone(&first_run);
+            let pending_w = Arc::clone(&pending);
+            let pending_p = Arc::clone(&pending);
+            let respawns = Arc::clone(&respawns);
+            SupervisedPool::start(
+                1,
+                move || {
+                    if first_run.swap(0, Ordering::SeqCst) == 1 {
+                        panic!("unwound worker fault");
+                    }
+                    pending_w.store(0, Ordering::SeqCst);
+                    ExitKind::Clean
+                },
+                move || pending_p.load(Ordering::SeqCst) == 1,
+                move || {
+                    respawns.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        };
+        pool.join();
+        assert_eq!(pending.load(Ordering::SeqCst), 0, "replacement drained");
+        assert_eq!(respawns.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn supervised_pool_clean_exit_retires_slots() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let runs = Arc::clone(&runs);
+            SupervisedPool::start(
+                4,
+                move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    ExitKind::Clean
+                },
+                || true,
+                || panic!("clean exits must not respawn"),
+            )
+        };
+        pool.join();
+        assert_eq!(runs.load(Ordering::SeqCst), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn executor_is_worker_count_invariant(
+            tasks in 0u64..400,
+            seed in any::<u64>(),
+        ) {
+            // A float-producing task: catches both ordering and identity
+            // bugs, since f64 bit patterns are compared exactly.
+            let work = |i: u64| {
+                let x = ((i ^ seed) as f64).sqrt().sin();
+                (i, x.to_bits())
+            };
+            let serial = Executor::new(1).run_indexed(tasks, work);
+            for workers in [2usize, 4, 8] {
+                let par = Executor::new(workers).run_indexed(tasks, work);
+                prop_assert_eq!(&par, &serial);
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@ use oaq_orbit::geo::EARTH_RADIUS;
 use oaq_orbit::units::Radians;
 use oaq_sim::SimRng;
 
+use crate::batch::{BatchObservation, SoaColumns};
 use crate::emitter::Emitter;
 use crate::error::MeasurementError;
 use crate::satstate::SatelliteState;
@@ -13,6 +14,63 @@ use crate::SPEED_OF_LIGHT_KM_S;
 
 fn dot(a: &[f64; 3], b: &[f64; 3]) -> f64 {
     a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Trial-state geometry shared by every Doppler observation of one emitter:
+/// the hypothesized target position and its partials depend only on the
+/// state `x`, not on the satellite, so the batch solver hoists them out of
+/// the per-observation loop (one trig evaluation per trial state instead of
+/// one per measurement — the dominant cost of the un-hoisted solve).
+///
+/// Bit-identity is load-bearing: `predict` builds the target through
+/// [`oaq_orbit::GroundPoint::unit_vector`] while `jacobian_row` builds it
+/// from `sin_cos` products in a different association order, and the two
+/// can differ in the last ulp. The geom therefore captures *both* values,
+/// each computed by exactly the operations of the path it replaces.
+#[derive(Debug, Clone, Copy)]
+pub struct DopplerGeom {
+    /// Target ECEF position as `predict` computes it (`GroundPoint` route,
+    /// longitude wrapped into `(-π, π]`).
+    target_predict: [f64; 3],
+    /// Target ECEF position as `jacobian_row` computes it (`sin_cos` route).
+    target: [f64; 3],
+    /// `R ∂u/∂lat` — target partial w.r.t. latitude.
+    t_lat: [f64; 3],
+    /// `R ∂u/∂lon` — target partial w.r.t. longitude.
+    t_lon: [f64; 3],
+}
+
+impl DopplerGeom {
+    /// Computes the shared geometry at trial state `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x[1]` is non-finite (exactly as `predict` does through
+    /// [`oaq_orbit::GroundPoint::new`]).
+    #[must_use]
+    pub fn for_state(x: &[f64; STATE_DIM]) -> Self {
+        // The predict route, operation for operation.
+        let lat = x[0].clamp(
+            -std::f64::consts::FRAC_PI_2 + 1e-12,
+            std::f64::consts::FRAC_PI_2 - 1e-12,
+        );
+        let p = oaq_orbit::GroundPoint::new(Radians(lat), Radians(x[1]));
+        let u = p.unit_vector();
+        let r = EARTH_RADIUS.value();
+        let target_predict = [u[0] * r, u[1] * r, u[2] * r];
+        // The jacobian_row route, operation for operation.
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = x[1].sin_cos();
+        let target = [r * clat * clon, r * clat * slon, r * slat];
+        let t_lat = [-r * slat * clon, -r * slat * slon, r * clat];
+        let t_lon = [-r * clat * slon, r * clat * clon, 0.0];
+        DopplerGeom {
+            target_predict,
+            target,
+            t_lat,
+            t_lon,
+        }
+    }
 }
 
 /// One Doppler observation: the received frequency of the emitter's carrier
@@ -154,6 +212,156 @@ impl Observation for DopplerMeasurement {
     }
 }
 
+/// The Doppler batch's structure-of-arrays columns: each queued
+/// measurement's satellite kinematics split into six contiguous `f64`
+/// columns. The batch solver's inner loops stream these columns instead of
+/// striding over 64-byte [`DopplerMeasurement`] records, and every element
+/// of the two kernels is an independent IEEE expression (no cross-element
+/// accumulation), so the compiler vectorizes the `sqrt`/`div` chains —
+/// bitwise harmless, since element-wise SIMD lanes round exactly like the
+/// scalar ops they replace.
+#[derive(Debug, Clone, Default)]
+pub struct DopplerSoa {
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
+}
+
+impl SoaColumns<DopplerMeasurement> for DopplerSoa {
+    type Geom = DopplerGeom;
+
+    fn clear(&mut self) {
+        self.px.clear();
+        self.py.clear();
+        self.pz.clear();
+        self.vx.clear();
+        self.vy.clear();
+        self.vz.clear();
+    }
+
+    fn push(&mut self, o: &DopplerMeasurement) {
+        let p = &o.satellite.position_km;
+        let v = &o.satellite.velocity_km_s;
+        self.px.push(p[0]);
+        self.py.push(p[1]);
+        self.pz.push(p[2]);
+        self.vx.push(v[0]);
+        self.vy.push(v[1]);
+        self.vz.push(v[2]);
+    }
+
+    /// `predict_hoisted` as a column kernel: per element, exactly the
+    /// operations of [`SatelliteState::range_rate_to`] (same association
+    /// order, same `r == 0` guard) followed by the frequency model.
+    fn predict_into(
+        &self,
+        lo: usize,
+        hi: usize,
+        geom: &DopplerGeom,
+        x: &[f64; STATE_DIM],
+        out: &mut [f64],
+    ) {
+        let m = hi - lo;
+        assert_eq!(out.len(), m);
+        let (px, py, pz) = (&self.px[lo..hi], &self.py[lo..hi], &self.pz[lo..hi]);
+        let (vx, vy, vz) = (&self.vx[lo..hi], &self.vy[lo..hi], &self.vz[lo..hi]);
+        let t = &geom.target_predict;
+        let x2 = x[2];
+        for k in 0..m {
+            let d0 = px[k] - t[0];
+            let d1 = py[k] - t[1];
+            let d2 = pz[k] - t[2];
+            let r = (d0 * d0 + d1 * d1 + d2 * d2).sqrt();
+            let rate = if r == 0.0 {
+                0.0
+            } else {
+                (vx[k] * d0 + vy[k] * d1 + vz[k] * d2) / r
+            };
+            out[k] = x2 * (1.0 - rate / SPEED_OF_LIGHT_KM_S);
+        }
+    }
+
+    /// `jacobian_row_hoisted` as a column kernel: the `dot` products are
+    /// expanded in the same `a₀b₀ + a₁b₁ + a₂b₂` association order, `d_q`
+    /// negations included, so every element matches the scalar row bit for
+    /// bit.
+    fn jacobian_into(
+        &self,
+        lo: usize,
+        hi: usize,
+        geom: &DopplerGeom,
+        x: &[f64; STATE_DIM],
+        row_lat: &mut [f64],
+        row_lon: &mut [f64],
+        row_f0: &mut [f64],
+    ) {
+        let m = hi - lo;
+        assert_eq!(row_lat.len(), m);
+        assert_eq!(row_lon.len(), m);
+        assert_eq!(row_f0.len(), m);
+        let (px, py, pz) = (&self.px[lo..hi], &self.py[lo..hi], &self.pz[lo..hi]);
+        let (vx, vy, vz) = (&self.vx[lo..hi], &self.vy[lo..hi], &self.vz[lo..hi]);
+        let t = &geom.target;
+        let t_lat = &geom.t_lat;
+        let t_lon = &geom.t_lon;
+        let scale = -x[2] / SPEED_OF_LIGHT_KM_S;
+        for k in 0..m {
+            let d = [px[k] - t[0], py[k] - t[1], pz[k] - t[2]];
+            let rho = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            let v = [vx[k], vy[k], vz[k]];
+            let rho_dot = (v[0] * d[0] + v[1] * d[1] + v[2] * d[2]) / rho;
+            let drho_dot = |t_q: &[f64; 3]| {
+                let d_q = [-t_q[0], -t_q[1], -t_q[2]];
+                ((v[0] * d_q[0] + v[1] * d_q[1] + v[2] * d_q[2])
+                    - rho_dot * (d[0] * d_q[0] + d[1] * d_q[1] + d[2] * d_q[2]) / rho)
+                    / rho
+            };
+            row_lat[k] = scale * drho_dot(t_lat);
+            row_lon[k] = scale * drho_dot(t_lon);
+            row_f0[k] = 1.0 - rho_dot / SPEED_OF_LIGHT_KM_S;
+        }
+    }
+}
+
+impl BatchObservation for DopplerMeasurement {
+    type Geom = DopplerGeom;
+    type Soa = DopplerSoa;
+
+    fn geom(x: &[f64; STATE_DIM]) -> DopplerGeom {
+        DopplerGeom::for_state(x)
+    }
+
+    fn predict_hoisted(&self, geom: &DopplerGeom, x: &[f64; STATE_DIM]) -> f64 {
+        let rate = self.satellite.range_rate_to(&geom.target_predict);
+        x[2] * (1.0 - rate / SPEED_OF_LIGHT_KM_S)
+    }
+
+    fn jacobian_row_hoisted(&self, geom: &DopplerGeom, x: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        let s = &self.satellite;
+        let d = [
+            s.position_km[0] - geom.target[0],
+            s.position_km[1] - geom.target[1],
+            s.position_km[2] - geom.target[2],
+        ];
+        let rho = dot(&d, &d).sqrt();
+        let v = &s.velocity_km_s;
+        let rho_dot = dot(v, &d) / rho;
+        let drho_dot = |t_q: &[f64; 3]| {
+            let d_q = [-t_q[0], -t_q[1], -t_q[2]];
+            (dot(v, &d_q) - rho_dot * dot(&d, &d_q) / rho) / rho
+        };
+        let scale = -x[2] / SPEED_OF_LIGHT_KM_S;
+        [
+            scale * drho_dot(&geom.t_lat),
+            scale * drho_dot(&geom.t_lon),
+            1.0 - rho_dot / SPEED_OF_LIGHT_KM_S,
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +451,92 @@ mod tests {
             Err(MeasurementError::NonFiniteObserved { .. })
         ));
         assert!(DopplerMeasurement::try_new(sat, 4.0e8, 1.0).is_ok());
+    }
+
+    #[test]
+    fn hoisted_kernels_are_bit_identical_to_unhoisted() {
+        // The batch-solver contract: with the trial-state geometry computed
+        // once, predict/jacobian over that geom must reproduce the
+        // per-observation paths bit for bit (including the negative-lon /
+        // wrapped-lon and clamped-lat corners).
+        let (emitter, _) = setup();
+        let orbit = CircularOrbit::new(Degrees(85.0).to_radians(), Radians(0.4), Minutes(90.0))
+            .with_earth_rotation(false);
+        let mut rng = SimRng::seed_from(11);
+        let states: Vec<[f64; STATE_DIM]> = vec![
+            emitter.initial_guess_nearby(0.3),
+            emitter.initial_guess_nearby(1.2),
+            [1.7, 3.5, 4.1e8], // lat clamp inactive, lon wraps
+            [std::f64::consts::FRAC_PI_2, -2.9, 3.9e8], // lat clamp active
+            [-0.4, -0.1, 4.0e8],
+        ];
+        for t in [2.0, 5.0, 8.0] {
+            let sat = SatelliteState::on_orbit(&orbit, Radians(0.0), Minutes(t));
+            let m = DopplerMeasurement::synthesize(sat, &emitter, 1.0, &mut rng);
+            for x in &states {
+                let geom = DopplerMeasurement::geom(x);
+                assert_eq!(
+                    m.predict_hoisted(&geom, x).to_bits(),
+                    m.predict(x).to_bits(),
+                    "predict at {x:?}"
+                );
+                let hoisted = m.jacobian_row_hoisted(&geom, x);
+                let plain = m.jacobian_row(x);
+                for (h, p) in hoisted.iter().zip(&plain) {
+                    assert_eq!(h.to_bits(), p.to_bits(), "jacobian at {x:?}: {h} vs {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_kernels_are_bit_identical_to_hoisted() {
+        // The column kernels must reproduce the per-observation hoisted
+        // paths element for element — this is what licenses the batch
+        // solver to stream SoA columns in its hot loops.
+        let (emitter, _) = setup();
+        let orbit = CircularOrbit::new(Degrees(85.0).to_radians(), Radians(0.4), Minutes(90.0))
+            .with_earth_rotation(false);
+        let mut rng = SimRng::seed_from(13);
+        let measurements: Vec<DopplerMeasurement> = (0..7)
+            .map(|i| {
+                let sat =
+                    SatelliteState::on_orbit(&orbit, Radians(0.0), Minutes(1.0 + f64::from(i)));
+                DopplerMeasurement::synthesize(sat, &emitter, 1.0, &mut rng)
+            })
+            .collect();
+        let mut soa = DopplerSoa::default();
+        for m in &measurements {
+            soa.push(m);
+        }
+        let states: Vec<[f64; STATE_DIM]> = vec![
+            emitter.initial_guess_nearby(0.3),
+            [1.7, 3.5, 4.1e8],
+            [std::f64::consts::FRAC_PI_2, -2.9, 3.9e8],
+        ];
+        // Exercise a sub-range too: the kernels index `lo..hi` within the
+        // shared columns, exactly as the batch solver's CSR slices do.
+        for (lo, hi) in [(0, measurements.len()), (2, 6)] {
+            let m = hi - lo;
+            let mut pred = vec![0.0; m];
+            let (mut lat, mut lon, mut f0) = (vec![0.0; m], vec![0.0; m], vec![0.0; m]);
+            for x in &states {
+                let geom = DopplerMeasurement::geom(x);
+                soa.predict_into(lo, hi, &geom, x, &mut pred);
+                soa.jacobian_into(lo, hi, &geom, x, &mut lat, &mut lon, &mut f0);
+                for (k, obs) in measurements[lo..hi].iter().enumerate() {
+                    assert_eq!(
+                        pred[k].to_bits(),
+                        obs.predict_hoisted(&geom, x).to_bits(),
+                        "predict at {x:?}"
+                    );
+                    let row = obs.jacobian_row_hoisted(&geom, x);
+                    assert_eq!(lat[k].to_bits(), row[0].to_bits(), "d/dlat at {x:?}");
+                    assert_eq!(lon[k].to_bits(), row[1].to_bits(), "d/dlon at {x:?}");
+                    assert_eq!(f0[k].to_bits(), row[2].to_bits(), "d/df0 at {x:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod batch;
 pub mod doppler;
 pub mod emitter;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod sequential;
 pub mod toa;
 pub mod wls;
 
+pub use batch::{BatchObservation, BatchSolver, SoaColumns};
 pub use emitter::Emitter;
 pub use error::MeasurementError;
 pub use sequential::SequentialLocalizer;

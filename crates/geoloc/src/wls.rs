@@ -26,7 +26,7 @@
 //! re-asserted in-bench by `geoloc_kernel` (E19). [`WlsSolver::solve`]
 //! (the `&dyn` API) is a thin wrapper over the fast path.
 
-use oaq_linalg::{Cholesky, LinalgError, Matrix, SCholesky, SMat};
+use oaq_linalg::{Cholesky, LinalgError, Matrix, SCholesky, SLu, SMat};
 use oaq_orbit::geo::EARTH_RADIUS;
 use oaq_orbit::GroundPoint;
 
@@ -272,9 +272,9 @@ pub struct InformationPrior {
 /// Solver configuration (builder-style setters).
 #[derive(Debug, Clone, Copy)]
 pub struct WlsSolver {
-    max_iterations: u32,
-    step_tolerance: f64,
-    initial_damping: f64,
+    pub(crate) max_iterations: u32,
+    pub(crate) step_tolerance: f64,
+    pub(crate) initial_damping: f64,
 }
 
 impl Default for WlsSolver {
@@ -426,7 +426,7 @@ impl WlsSolver {
     /// Structurally deficient systems — a non-positive diagonal entry, no
     /// information at all about some coordinate — still surface as
     /// [`SolveError::Degenerate`].
-    fn covariance_from_information(info: &Matrix) -> Result<Matrix, SolveError> {
+    pub(crate) fn covariance_from_information(info: &Matrix) -> Result<Matrix, SolveError> {
         let err = match info.inverse() {
             Ok(cov) => return Ok(cov),
             Err(e) => e,
@@ -461,6 +461,20 @@ impl WlsSolver {
             }
         }
         Err(SolveError::Degenerate(err))
+    }
+
+    /// [`WlsSolver::covariance_from_information`] over the stack
+    /// information matrix: the happy path inverts via [`oaq_linalg::SLu`]
+    /// — bit-identical to [`Matrix::inverse`], without the heap factor
+    /// and per-column solve allocations that dominate the batched solver's
+    /// per-track fixed cost. A singular information matrix (the identical
+    /// pivot threshold) falls back to the heap route and its
+    /// ridged-correlation retries.
+    pub(crate) fn covariance_from_sinfo(info: &SMat<STATE_DIM>) -> Result<Matrix, SolveError> {
+        if let Ok(lu) = SLu::factor(info) {
+            return Ok(lu.inverse().to_matrix());
+        }
+        Self::covariance_from_information(&info.to_matrix())
     }
 
     /// Shared damped Gauss–Newton core over stack kernels. With
@@ -578,7 +592,7 @@ impl WlsSolver {
         }
 
         let info = last_info.expect("at least one iteration ran");
-        let covariance = Self::covariance_from_information(&info.to_matrix())?;
+        let covariance = Self::covariance_from_sinfo(&info)?;
         Ok(Estimate {
             state: x,
             covariance,

@@ -46,4 +46,4 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use sparse::CsrMatrix;
-pub use stack::{SCholesky, SMat, SVec};
+pub use stack::{SCholesky, SLu, SMat, SVec};

@@ -25,7 +25,7 @@ pub struct Lu {
     sign: f64,
 }
 
-const PIVOT_EPS: f64 = 1e-13;
+pub(crate) const PIVOT_EPS: f64 = 1e-13;
 
 impl Lu {
     /// Factors a square matrix.

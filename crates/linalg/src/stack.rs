@@ -257,10 +257,128 @@ impl<const N: usize> SCholesky<N> {
     }
 }
 
+/// A stack-allocated packed LU factorization `P A = L U` with partial
+/// pivoting.
+///
+/// The heap [`crate::Lu`] allocates a matrix clone, a permutation vector
+/// and one `Vec` per solve; this factors and solves entirely on the stack.
+/// Same bit-identity contract as [`SCholesky`]: identical pivot selection
+/// (same `PIVOT_EPS`-vs-scale threshold), identical elimination order,
+/// identical substitution order — equal inputs give results equal to the
+/// last bit.
+#[derive(Debug, Clone, Copy)]
+pub struct SLu<const N: usize> {
+    packed: [[f64; N]; N],
+    perm: [usize; N],
+    sign: f64,
+}
+
+impl<const N: usize> SLu<N> {
+    /// Factors a stack matrix, performing exactly the operations of
+    /// [`crate::Lu::factor`] (the square-shape check is enforced by the
+    /// type instead).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] if a pivot (relative to the matrix scale)
+    /// vanishes — the identical condition and threshold of the heap path.
+    pub fn factor(a: &SMat<N>) -> Result<Self, LinalgError> {
+        let mut m = a.data;
+        let mut perm: [usize; N] = std::array::from_fn(|i| i);
+        let mut sign = 1.0;
+        let scale = a.max_norm().max(1.0);
+        for k in 0..N {
+            // Select pivot row.
+            let mut p = k;
+            let mut best = m[k][k].abs();
+            for (i, row) in m.iter().enumerate().skip(k + 1) {
+                let v = row[k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= crate::lu::PIVOT_EPS * scale {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                m.swap(k, p);
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = m[k][k];
+            for i in (k + 1)..N {
+                let factor = m[i][k] / pivot;
+                m[i][k] = factor;
+                for j in (k + 1)..N {
+                    let delta = factor * m[k][j];
+                    m[i][j] -= delta;
+                }
+            }
+        }
+        Ok(SLu {
+            packed: m,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `A x = b` using the factorization, without allocating.
+    ///
+    /// Infallible: the right-hand side length is enforced by the type.
+    #[must_use]
+    pub fn solve(&self, b: &SVec<N>) -> SVec<N> {
+        // Forward substitution on the permuted RHS (L has unit diagonal).
+        let mut y = [0.0; N];
+        for i in 0..N {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.packed[i][j] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        let mut x = [0.0; N];
+        for i in (0..N).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..N {
+                sum -= self.packed[i][j] * x[j];
+            }
+            x[i] = sum / self.packed[i][i];
+        }
+        x
+    }
+
+    /// The matrix inverse, solved column by column against the identity —
+    /// exactly the operations (and column order) of [`Matrix::inverse`],
+    /// without its per-column allocations.
+    #[must_use]
+    pub fn inverse(&self) -> SMat<N> {
+        let mut inv = SMat::zeros();
+        let mut e = [0.0; N];
+        for j in 0..N {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..N {
+                inv.data[i][j] = col[i];
+            }
+        }
+        inv
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        (0..N).fold(self.sign, |acc, i| acc * self.packed[i][i])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cholesky::Cholesky;
+    use crate::lu::Lu;
 
     fn spd3() -> SMat<3> {
         SMat::from_matrix(
@@ -339,6 +457,51 @@ mod tests {
                 assert_eq!(inc[(a, b)].to_bits(), batch[(a, b)].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn slu_factor_solve_and_det_match_heap_bitwise() {
+        // A matrix that forces a row swap, so the permutation path is
+        // exercised too.
+        let a = SMat::<3>::from_matrix(
+            &Matrix::from_rows(&[&[1e-20, 1.0, 0.0], &[1.0, 1.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap(),
+        )
+        .unwrap();
+        let heap = Lu::factor(&a.to_matrix()).unwrap();
+        let stack = SLu::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let hx = heap.solve(&b).unwrap();
+        let sx = stack.solve(&b);
+        for (h, s) in hx.iter().zip(&sx) {
+            assert_eq!(h.to_bits(), s.to_bits());
+        }
+        assert_eq!(heap.det().to_bits(), stack.det().to_bits());
+    }
+
+    #[test]
+    fn slu_inverse_matches_heap_bitwise() {
+        let a = spd3();
+        let heap = a.to_matrix().inverse().unwrap();
+        let stack = SLu::factor(&a).unwrap().inverse();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(stack[(i, j)].to_bits(), heap[(i, j)].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn slu_singular_detected_like_heap() {
+        let mut s = SMat::<2>::zeros();
+        s[(0, 0)] = 1.0;
+        s[(0, 1)] = 2.0;
+        s[(1, 0)] = 2.0;
+        s[(1, 1)] = 4.0;
+        assert_eq!(SLu::factor(&s).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            Lu::factor(&s.to_matrix()).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

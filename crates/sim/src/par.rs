@@ -10,16 +10,21 @@
 //!    [`SimRng::substream`]`(base_seed, i)` — a pure function of the seed
 //!    and the replication index, so the stream is identical no matter
 //!    which worker runs the replication.
-//! 2. **Fixed merge structure.** Replications are grouped into chunks of a
-//!    *fixed* size (configurable, independent of the worker count). Each
-//!    chunk accumulates into its own statistic sink, and chunk sinks are
-//!    merged in ascending chunk order once all workers finish.
+//! 2. **Fixed merge structure.** Replications are grouped into chunks
+//!    whose size is a function of the replication count *only* (the
+//!    adaptive default, [`oaq_exec::adaptive_chunk`]) or an explicit
+//!    override — never the worker count. Each chunk accumulates into its
+//!    own statistic sink, and chunk sinks are merged in ascending chunk
+//!    order once all workers finish.
 //!
 //! Together these make the aggregate a deterministic function of
 //! `(replications, base_seed, chunk)` alone: **running with 1, 2, 4 or 64
 //! workers produces bit-identical results**, because the worker count only
 //! decides *who* computes a chunk, never *what* a chunk contains or the
-//! order chunks are merged in.
+//! order chunks are merged in. The fan-out itself runs on the
+//! [`oaq_exec`] deterministic executor (indexed slots, ordered merge,
+//! work-stealing scheduler); this module keeps the Monte-Carlo layer —
+//! substream seeding and the [`Merge`] reduction — on top of it.
 //!
 //! For sinks whose [`Merge`] is exact — integer counters, histograms,
 //! order-preserving concatenation — the result is additionally
@@ -146,45 +151,39 @@ impl Merge for crate::stats::P2Quantile {
     }
 }
 
-/// Default replications per chunk: small enough that short CI-sized runs
-/// still fan out, large enough that merge overhead stays negligible.
-pub const DEFAULT_CHUNK: u64 = 16;
+/// The historical fixed replications-per-chunk — now the *floor* of the
+/// adaptive policy ([`oaq_exec::MIN_CHUNK`]), so runs of up to
+/// `16 × `[`oaq_exec::TARGET_CHUNKS`]` = 1024` replications resolve to
+/// exactly this value and stay bit-identical to pre-adaptive results.
+pub const DEFAULT_CHUNK: u64 = oaq_exec::MIN_CHUNK;
 
-/// Resolves a worker-count request: `0` means one worker per available
-/// core, anything else is taken literally.
-#[must_use]
-pub fn effective_workers(workers: usize) -> usize {
-    if workers == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        workers
-    }
-}
+pub use oaq_exec::effective_workers;
 
 /// A deterministic parallel replication engine.
 ///
 /// See the [module docs](self) for the determinism argument. Constructed
 /// with a worker count (`0` = all cores) and an optional chunk size; the
 /// chunk size is part of the result's "identity" (it fixes the merge
-/// grouping), the worker count is not.
+/// grouping), the worker count is not — which is why the adaptive default
+/// is a function of the replication count alone.
 #[derive(Debug, Clone)]
 pub struct Replicator {
     workers: usize,
-    chunk: u64,
+    chunk: Option<u64>,
 }
 
 impl Replicator {
-    /// An engine with `workers` worker threads (`0` = one per core) and the
-    /// default chunk size.
+    /// An engine with `workers` worker threads (`0` = one per core) and
+    /// adaptive chunking ([`oaq_exec::adaptive_chunk`]).
     #[must_use]
     pub fn new(workers: usize) -> Self {
         Replicator {
             workers,
-            chunk: DEFAULT_CHUNK,
+            chunk: None,
         }
     }
 
-    /// Overrides the replications-per-chunk granularity.
+    /// Pins the replications-per-chunk granularity.
     ///
     /// # Panics
     ///
@@ -192,8 +191,22 @@ impl Replicator {
     #[must_use]
     pub fn with_chunk(mut self, chunk: u64) -> Self {
         assert!(chunk > 0, "chunk size must be positive");
-        self.chunk = chunk;
+        self.chunk = Some(chunk);
         self
+    }
+
+    /// Pins the chunk granularity if `chunk` is `Some` (the benches'
+    /// `--chunk` flag), else keeps the adaptive default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == Some(0)`.
+    #[must_use]
+    pub fn with_chunk_override(self, chunk: Option<u64>) -> Self {
+        match chunk {
+            Some(c) => self.with_chunk(c),
+            None => self,
+        }
     }
 
     /// The resolved worker count.
@@ -202,14 +215,23 @@ impl Replicator {
         effective_workers(self.workers)
     }
 
-    /// The replications-per-chunk granularity.
+    /// The explicit chunk override, if one was pinned.
     #[must_use]
-    pub fn chunk(&self) -> u64 {
+    pub fn chunk_override(&self) -> Option<u64> {
         self.chunk
     }
 
+    /// The replications-per-chunk a run of `replications` will use: the
+    /// pinned override, else the adaptive policy (a pure function of
+    /// `replications`, never the worker count).
+    #[must_use]
+    pub fn resolved_chunk(&self, replications: u64) -> u64 {
+        self.chunk
+            .unwrap_or_else(|| oaq_exec::adaptive_chunk(replications))
+    }
+
     /// Runs `replications` independent replications, fanning chunks across
-    /// a scoped worker pool, and returns the merged sink.
+    /// the [`oaq_exec`] executor, and returns the merged sink.
     ///
     /// `init` builds an empty per-chunk sink; `body(i, rng, sink)` runs
     /// replication `i` with its dedicated substream
@@ -225,11 +247,12 @@ impl Replicator {
         I: Fn() -> S + Sync,
         F: Fn(u64, &mut SimRng, &mut S) + Sync,
     {
-        let chunks = replications.div_ceil(self.chunk);
+        let chunk = self.resolved_chunk(replications);
+        let chunks = replications.div_ceil(chunk);
         let run_chunk = |c: u64| -> S {
             let mut sink = init();
-            let lo = c * self.chunk;
-            let hi = (lo + self.chunk).min(replications);
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(replications);
             for i in lo..hi {
                 let mut rng = SimRng::substream(base_seed, i);
                 body(i, &mut rng, &mut sink);
@@ -237,38 +260,14 @@ impl Replicator {
             sink
         };
 
-        let workers = self
-            .effective_workers()
-            .min(usize::try_from(chunks).unwrap_or(usize::MAX))
-            .max(1);
-        if workers <= 1 {
-            // Same chunk structure and merge order as the parallel path, so
-            // one worker is the bit-exact reference for any worker count.
-            let mut acc = init();
-            for c in 0..chunks {
-                acc.merge(&run_chunk(c));
-            }
-            return acc;
-        }
-
-        let mut slots: Vec<Option<S>> = (0..chunks).map(|_| None).collect();
-        let per_worker = slots.len().div_ceil(workers);
-        let run_chunk = &run_chunk;
-        crossbeam::scope(|scope| {
-            for (w, slot_range) in slots.chunks_mut(per_worker).enumerate() {
-                let first = (w * per_worker) as u64;
-                scope.spawn(move |_| {
-                    for (j, slot) in slot_range.iter_mut().enumerate() {
-                        *slot = Some(run_chunk(first + j as u64));
-                    }
-                });
-            }
-        })
-        .expect("replication worker panicked");
-
+        // The executor returns chunk sinks in ascending chunk index for
+        // any worker count (its one-worker path is the bit-exact serial
+        // reference), so the ascending merge below is the whole
+        // determinism story at this layer.
+        let sinks = oaq_exec::Executor::new(self.workers).run_indexed(chunks, run_chunk);
         let mut acc = init();
-        for slot in slots {
-            acc.merge(&slot.expect("worker filled every chunk slot"));
+        for sink in &sinks {
+            acc.merge(sink);
         }
         acc
     }
@@ -366,5 +365,44 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         let _ = Replicator::new(1).with_chunk(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_override_rejected() {
+        let _ = Replicator::new(1).with_chunk_override(Some(0));
+    }
+
+    #[test]
+    fn adaptive_chunk_matches_historical_default_for_small_runs() {
+        // ≤ 1024 replications resolve to the old fixed chunk of 16, so
+        // pre-adaptive float aggregates are reproduced bit for bit.
+        let r = Replicator::new(2);
+        assert_eq!(r.chunk_override(), None);
+        assert_eq!(r.resolved_chunk(500), DEFAULT_CHUNK);
+        assert_eq!(r.resolved_chunk(1024), DEFAULT_CHUNK);
+        assert_eq!(r.resolved_chunk(64_000), 1000);
+        assert_eq!(r.with_chunk(7).resolved_chunk(64_000), 7);
+    }
+
+    #[test]
+    fn adaptive_default_is_worker_count_invariant_above_the_floor() {
+        // 5000 replications resolve to an adaptive chunk of 79 — past the
+        // floor, so this exercises the policy itself being independent of
+        // the worker count.
+        let run = |workers: usize| {
+            Replicator::new(workers).run(5000, 11, Sink::empty, |i, rng, sink| {
+                let x = rng.exp(0.7);
+                sink.count += 1;
+                sink.sum += x;
+                sink.tally.record(x);
+                sink.hist.record(x);
+                sink.order.push(i);
+            })
+        };
+        let reference = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), reference, "{workers} workers");
+        }
     }
 }

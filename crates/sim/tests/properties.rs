@@ -223,7 +223,7 @@ proptest! {
         let serial = run(1);
         prop_assert_eq!(serial.count, replications);
         prop_assert_eq!(&serial.order, &(0..replications).collect::<Vec<_>>());
-        for workers in [2usize, 4] {
+        for workers in [2usize, 4, 8] {
             prop_assert_eq!(&run(workers), &serial);
         }
     }

@@ -14,6 +14,7 @@
 //! | substrate | [`oaq_net`] | crosslink network simulation (delays, loss, fail-silence) |
 //! | extension | [`oaq_membership`] | heartbeat/gossip group membership (the paper's stated follow-on) |
 //! | serving | [`oaq_engine`] | batched, cached, multi-worker QoS query-serving engine |
+//! | substrate | [`oaq_exec`] | deterministic fork-join executor (bit-identical at any worker count) |
 //! | substrate | [`oaq_sim`] | deterministic discrete-event kernel + statistics |
 //! | substrate | [`oaq_linalg`] | dense linear algebra for the estimators and solvers |
 //!
@@ -40,6 +41,7 @@ pub mod tutorial;
 pub use oaq_analytic as analytic;
 pub use oaq_core as core;
 pub use oaq_engine as engine;
+pub use oaq_exec as exec;
 pub use oaq_geoloc as geoloc;
 pub use oaq_linalg as linalg;
 pub use oaq_membership as membership;
