@@ -14,6 +14,7 @@
 //! The transient integral is computed exactly (to solver tolerance) by
 //! uniformization over the small death-process CTMC, via `oaq-san`.
 
+use crate::params::{require_int_in_range, require_positive, ParamError};
 use oaq_san::ctmc::CtmcError;
 use oaq_san::plane::{CapacitySolve, PlaneModelConfig, SparePolicy};
 
@@ -50,6 +51,42 @@ impl CapacityParams {
         p.validate();
         p
     }
+
+    /// A generalized plane (any Walker design), validated up front — the
+    /// non-panicking constructor external callers should use.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ParamError`] naming the offending parameter: `capacity`
+    /// in `1..=` [`MAX_PLANE_CAPACITY`](Self::MAX_PLANE_CAPACITY), `eta`
+    /// in `1..capacity`, `spares` bounded by the capacity, and positive
+    /// finite λ/φ.
+    pub fn new(
+        capacity: u32,
+        spares: u32,
+        lambda: f64,
+        phi: f64,
+        eta: u32,
+    ) -> Result<Self, ParamError> {
+        require_int_in_range("capacity", capacity, 1, Self::MAX_PLANE_CAPACITY)?;
+        require_int_in_range("spares", spares, 0, Self::MAX_PLANE_CAPACITY)?;
+        require_int_in_range("eta", eta, 1, capacity - 1)?;
+        require_positive("lambda", lambda)?;
+        require_positive("phi", phi)?;
+        Ok(CapacityParams {
+            capacity,
+            spares,
+            lambda,
+            phi,
+            eta,
+        })
+    }
+
+    /// Largest per-plane active complement [`Self::new`] accepts — far
+    /// above any flown design, but small enough that the within-cycle
+    /// death chain (`capacity − eta + spares + 1` states at most) stays
+    /// comfortably inside the CTMC exploration budget.
+    pub const MAX_PLANE_CAPACITY: u32 = 4096;
 
     fn validate(&self) {
         assert!(
@@ -195,6 +232,56 @@ mod tests {
     #[should_panic(expected = "eta must be below capacity")]
     fn bad_eta_rejected() {
         let _ = CapacityParams::reference(1e-5, PHI, 20);
+    }
+
+    #[test]
+    fn typed_new_matches_reference() {
+        let typed = CapacityParams::new(14, 2, 5e-5, PHI, 10).unwrap();
+        assert_eq!(typed, CapacityParams::reference(5e-5, PHI, 10));
+    }
+
+    #[test]
+    fn typed_new_rejects_each_bad_parameter() {
+        use crate::params::ParamError;
+        assert!(matches!(
+            CapacityParams::new(0, 2, 5e-5, PHI, 10),
+            Err(ParamError::IntOutOfRange {
+                name: "capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CapacityParams::new(14, 2, 5e-5, PHI, 14),
+            Err(ParamError::IntOutOfRange { name: "eta", .. })
+        ));
+        assert!(matches!(
+            CapacityParams::new(14, 2, 0.0, PHI, 10),
+            Err(ParamError::NonPositive { name: "lambda", .. })
+        ));
+        assert!(matches!(
+            CapacityParams::new(14, 2, 5e-5, f64::NAN, 10),
+            Err(ParamError::NonFinite { name: "phi", .. })
+        ));
+        assert!(matches!(
+            CapacityParams::new(CapacityParams::MAX_PLANE_CAPACITY + 1, 2, 5e-5, PHI, 10),
+            Err(ParamError::IntOutOfRange {
+                name: "capacity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn typed_new_solves_a_non_reference_design() {
+        // A Starlink-like plane: 22 active + 2 spares, pin at 18.
+        let p = CapacityParams::new(22, 2, 5e-5, PHI, 18).unwrap();
+        let d = p.distribution().unwrap();
+        assert_eq!(d.len(), 23);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (k, &mass) in d.iter().enumerate().take(18) {
+            assert_eq!(mass, 0.0, "k = {k} unreachable under pinning");
+        }
+        assert!(d[22] > 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::capacity::CapacityParams;
 use crate::geometry::PlaneGeometry;
+use crate::params::{require_positive, ParamError};
 pub use crate::qos::Scheme;
 use crate::qos::{conditional_qos, QosParams};
 use oaq_san::ctmc::CtmcError;
@@ -71,6 +72,54 @@ impl EvaluationConfig {
             qos: QosParams::paper_defaults(0.2),
             capacity: CapacityParams::reference(lambda, 30_000.0, 10),
         }
+    }
+
+    /// A configuration for an arbitrary constellation design, validated up
+    /// front: the plane geometry `(θ, Tc)` comes from an orbit-layer
+    /// builder (e.g. a Walker preset) instead of the paper's constants.
+    ///
+    /// Every reachable capacity `k ≤ capacity` must satisfy the geometric
+    /// domain `Tr[k] = θ/k > Tc/2` (beyond it a third footprint overlaps
+    /// the same center-line point and the dual-coverage decomposition no
+    /// longer applies), so the plane capacity is bounded by `2θ/Tc`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ParamError`] for non-positive θ/Tc, `Tc ≥ θ`, or a plane
+    /// capacity outside the geometric domain.
+    pub fn for_design(
+        theta: f64,
+        tc: f64,
+        qos: QosParams,
+        capacity: CapacityParams,
+    ) -> Result<Self, ParamError> {
+        require_positive("theta", theta)?;
+        require_positive("tc", tc)?;
+        if tc >= theta {
+            return Err(ParamError::OutOfRange {
+                name: "tc",
+                value: tc,
+                min: 0.0,
+                max: theta,
+            });
+        }
+        qos.validate();
+        // Largest k with θ/k > Tc/2.
+        let max_capacity = (2.0 * theta / tc).ceil() as u32 - 1;
+        if capacity.capacity > max_capacity {
+            return Err(ParamError::IntOutOfRange {
+                name: "capacity",
+                value: capacity.capacity,
+                min: 1,
+                max: max_capacity,
+            });
+        }
+        Ok(EvaluationConfig {
+            theta,
+            tc,
+            qos,
+            capacity,
+        })
     }
 
     /// The conditional distribution `P(Y = y | k)` for this configuration.
@@ -236,6 +285,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn for_design_matches_paper_defaults() {
+        let lambda = 5e-5;
+        let built = EvaluationConfig::for_design(
+            90.0,
+            9.0,
+            QosParams::paper_defaults(0.2),
+            CapacityParams::reference(lambda, 30_000.0, 10),
+        )
+        .unwrap();
+        assert_eq!(built, EvaluationConfig::paper_defaults(lambda));
+    }
+
+    #[test]
+    fn for_design_evaluates_a_walker_preset_plane() {
+        // An Iridium-NEXT-like plane: θ = 100.4, Tc = 10, 11 active + 1
+        // spare, pin at 8. All reachable k sit inside the geometric domain
+        // (2θ/Tc ≈ 20).
+        let cfg = EvaluationConfig::for_design(
+            100.4,
+            10.0,
+            QosParams::paper_defaults(0.2),
+            CapacityParams::new(11, 1, 5e-5, 30_000.0, 8).unwrap(),
+        )
+        .unwrap();
+        let oaq = cfg.qos_distribution(Scheme::Oaq).unwrap();
+        let baq = cfg.qos_distribution(Scheme::Baq).unwrap();
+        assert!((oaq.p_at_least(0) - 1.0).abs() < 1e-9);
+        for y in 1..=3 {
+            assert!(oaq.p_at_least(y) >= baq.p_at_least(y) - 1e-12, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn for_design_rejects_out_of_domain_capacity() {
+        use crate::params::ParamError;
+        // 2θ/Tc = 20 for the reference geometry: k = 20 needs triple
+        // coverage, outside the model.
+        let err = EvaluationConfig::for_design(
+            90.0,
+            9.0,
+            QosParams::paper_defaults(0.2),
+            CapacityParams::new(20, 2, 5e-5, 30_000.0, 10).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamError::IntOutOfRange {
+                name: "capacity",
+                max: 19,
+                ..
+            }
+        ));
+        // Tc ≥ θ is geometrically meaningless.
+        assert!(matches!(
+            EvaluationConfig::for_design(
+                90.0,
+                90.0,
+                QosParams::paper_defaults(0.2),
+                CapacityParams::reference(5e-5, 30_000.0, 10),
+            ),
+            Err(ParamError::OutOfRange { name: "tc", .. })
+        ));
     }
 
     #[test]

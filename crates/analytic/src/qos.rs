@@ -45,6 +45,19 @@ impl QosParams {
         p
     }
 
+    /// Typed, non-panicking construction for externally supplied rates.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParamError`](crate::params::ParamError) naming the first of
+    /// `tau`, `mu`, `nu` that is not positive and finite.
+    pub fn try_new(tau: f64, mu: f64, nu: f64) -> Result<Self, crate::params::ParamError> {
+        crate::params::require_positive("tau", tau)?;
+        crate::params::require_positive("mu", mu)?;
+        crate::params::require_positive("nu", nu)?;
+        Ok(QosParams { tau, mu, nu })
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Panics
@@ -298,6 +311,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_accepts_and_rejects() {
+        use crate::params::ParamError;
+        assert_eq!(
+            QosParams::try_new(5.0, 0.2, 30.0).unwrap(),
+            QosParams::paper_defaults(0.2)
+        );
+        assert!(matches!(
+            QosParams::try_new(0.0, 0.2, 30.0),
+            Err(ParamError::NonPositive { name: "tau", .. })
+        ));
+        assert!(matches!(
+            QosParams::try_new(5.0, f64::NAN, 30.0),
+            Err(ParamError::NonFinite { name: "mu", .. })
+        ));
+        assert!(matches!(
+            QosParams::try_new(5.0, 0.2, -1.0),
+            Err(ParamError::NonPositive { name: "nu", .. })
+        ));
+    }
 
     /// Paper Section 4.3: P(Y=3 | k=12) with τ=5, µ=0.5, ν=30 is 0.44
     /// under OAQ and 0.20 under BAQ.

@@ -326,16 +326,19 @@ impl QosQuery {
         self.spec.tau - self.spec.delta_eff
     }
 
-    /// The capacity-model parameters of this query's scenario.
+    /// The capacity-model parameters of this query's scenario, routed
+    /// through the typed [`CapacityParams::new`] constructor so the engine
+    /// and the analytic layer enforce one domain.
     #[must_use]
     pub fn capacity_params(&self) -> CapacityParams {
-        CapacityParams {
-            capacity: REFERENCE_CAPACITY,
-            spares: REFERENCE_SPARES,
-            lambda: self.spec.lambda,
-            phi: self.spec.phi,
-            eta: self.spec.eta,
-        }
+        CapacityParams::new(
+            REFERENCE_CAPACITY,
+            REFERENCE_SPARES,
+            self.spec.lambda,
+            self.spec.phi,
+            self.spec.eta,
+        )
+        .expect("query construction already validated the scenario")
     }
 
     /// The analytic evaluation configuration of this query (deadline

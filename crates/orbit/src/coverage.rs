@@ -7,7 +7,63 @@
 
 use crate::constellation::Constellation;
 use crate::geo::GroundPoint;
+use crate::revisit::{classify, coverage_gap, overlap_fraction, revisit_time, Regime};
 use crate::units::{Degrees, Minutes};
+
+/// Per-plane geometric summary of a constellation design: the quantities
+/// the analytic QoS stack consumes (`Tr[k]`, `Tc`, regime, overlap
+/// fraction), generalized from the paper's 7 × 14 constants to whatever the
+/// builder produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignGeometry {
+    /// Plane index.
+    pub plane: usize,
+    /// Active satellites `k` in the plane.
+    pub capacity: usize,
+    /// Revisit time `Tr[k] = θ/k`.
+    pub revisit: Minutes,
+    /// Single-satellite coverage time `Tc`.
+    pub coverage_time: Minutes,
+    /// Overlapping vs underlapping.
+    pub regime: Regime,
+    /// Fraction of the revisit period with dual center-line coverage.
+    pub overlap_fraction: f64,
+    /// Center-line gap per revisit period (zero when overlapping).
+    pub coverage_gap: Minutes,
+}
+
+/// Summarizes every plane of a constellation.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_orbit::coverage::design_geometry;
+/// use oaq_orbit::revisit::Regime;
+/// use oaq_orbit::Constellation;
+/// let rows = design_geometry(&Constellation::reference());
+/// assert_eq!(rows.len(), 7);
+/// assert_eq!(rows[0].regime, Regime::Overlapping);
+/// assert!((rows[0].overlap_fraction - 0.4).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn design_geometry(c: &Constellation) -> Vec<DesignGeometry> {
+    let tc = c.coverage_time();
+    c.planes()
+        .map(|plane| {
+            let k = plane.active_count().max(1);
+            let tr = revisit_time(c.period(), k);
+            DesignGeometry {
+                plane: plane.index(),
+                capacity: plane.active_count(),
+                revisit: tr,
+                coverage_time: tc,
+                regime: classify(tr, tc),
+                overlap_fraction: overlap_fraction(tr, tc),
+                coverage_gap: coverage_gap(tr, tc),
+            }
+        })
+        .collect()
+}
 
 /// Summary of coverage over a latitude circle, averaged over sample times.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,5 +232,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_samples_rejected() {
         let _ = CoverageAnalysis::new(0, 4);
+    }
+
+    #[test]
+    fn design_geometry_follows_degradation() {
+        let mut c = Constellation::reference();
+        // First two failures consume the in-orbit spares; six more drop the
+        // active complement from 14 to 8.
+        for _ in 0..8 {
+            c.plane_mut(3).fail_one();
+        }
+        let rows = design_geometry(&c);
+        assert_eq!(rows.len(), 7);
+        // Untouched plane: k = 14, overlapping with 40% dual coverage.
+        assert_eq!(rows[0].capacity, 14);
+        assert_eq!(rows[0].regime, Regime::Overlapping);
+        assert!((rows[0].overlap_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(rows[0].coverage_gap.value(), 0.0);
+        // Degraded plane: k = 8 → Tr = 11.25 ≥ Tc = 9, underlapping.
+        assert_eq!(rows[3].capacity, 8);
+        assert_eq!(rows[3].regime, Regime::Underlapping);
+        assert_eq!(rows[3].overlap_fraction, 0.0);
+        assert!((rows[3].coverage_gap.value() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_geometry_covers_walker_presets() {
+        for preset in crate::constellation::Preset::all() {
+            let c = preset.build();
+            let rows = design_geometry(&c);
+            assert_eq!(rows.len(), c.num_planes(), "{}", preset.name());
+            for row in &rows {
+                // Every preset is chosen to sit in the overlapping regime at
+                // full strength (the analytic model's domain).
+                assert_eq!(row.regime, Regime::Overlapping, "{}", preset.name());
+                assert!(row.overlap_fraction > 0.0 && row.overlap_fraction <= 1.0);
+            }
+        }
     }
 }

@@ -46,7 +46,7 @@ pub mod revisit;
 pub mod units;
 pub mod visibility;
 
-pub use constellation::Constellation;
+pub use constellation::{Constellation, ConstellationError, Preset, WalkerConfig, WalkerPattern};
 pub use footprint::Footprint;
 pub use geo::GroundPoint;
 pub use orbit::CircularOrbit;

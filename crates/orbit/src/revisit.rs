@@ -71,6 +71,33 @@ pub fn coverage_gap(revisit: Minutes, coverage: Minutes) -> Minutes {
     Minutes((revisit.value() - coverage.value()).max(0.0))
 }
 
+/// Fraction of each revisit period during which the center line sees **two**
+/// satellites simultaneously: `(Tc − Tr)/Tr` clamped to `[0, 1]` in the
+/// overlapping regime, zero when underlapping.
+///
+/// This generalizes the paper's dual-coverage window to arbitrary plane
+/// designs — it is the geometric ceiling on the time-fraction any single
+/// plane can offer QoS level 2 on its center line.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_orbit::revisit::{overlap_fraction, revisit_time};
+/// use oaq_orbit::units::Minutes;
+/// // Reference plane at full strength: Tr = 90/14 ≈ 6.43, Tc = 9.
+/// let f = overlap_fraction(revisit_time(Minutes(90.0), 14), Minutes(9.0));
+/// assert!((f - 0.4).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn overlap_fraction(revisit: Minutes, coverage: Minutes) -> f64 {
+    let tr = revisit.value();
+    let tc = coverage.value();
+    if tr <= 0.0 {
+        return 0.0;
+    }
+    ((tc - tr) / tr).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +142,19 @@ mod tests {
     #[should_panic(expected = "k = 0")]
     fn zero_capacity_panics() {
         let _ = revisit_time(THETA, 0);
+    }
+
+    #[test]
+    fn overlap_fraction_tracks_regime() {
+        // Full reference plane: Tr = 90/14, Tc = 9 → 40% dual-coverage time.
+        let f = overlap_fraction(revisit_time(THETA, 14), TC);
+        assert!((f - 0.4).abs() < 1e-12);
+        // Underlapping (k = 9) and tangent (k = 10) designs get zero.
+        assert_eq!(overlap_fraction(revisit_time(THETA, 9), TC), 0.0);
+        assert_eq!(overlap_fraction(revisit_time(THETA, 10), TC), 0.0);
+        // A footprint dwarfing the revisit period saturates at 1.
+        assert_eq!(overlap_fraction(Minutes(1.0), Minutes(50.0)), 1.0);
+        // Degenerate revisit time is handled, not NaN.
+        assert_eq!(overlap_fraction(Minutes(0.0), TC), 0.0);
     }
 }

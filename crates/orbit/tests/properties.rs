@@ -1,11 +1,39 @@
 //! Property-based tests of geodesy and constellation geometry invariants.
 
+use std::f64::consts::TAU;
+
+use oaq_orbit::constellation::{WalkerConfig, WalkerPattern};
 use oaq_orbit::footprint::Footprint;
 use oaq_orbit::geo::GroundPoint;
 use oaq_orbit::orbit::CircularOrbit;
 use oaq_orbit::revisit::{classify, min_overlapping_capacity, revisit_time, Regime};
 use oaq_orbit::units::{Degrees, Minutes, Radians};
 use proptest::prelude::*;
+
+/// A random valid Walker configuration (small enough to build quickly).
+fn walker_config() -> impl Strategy<Value = WalkerConfig> {
+    (
+        (any::<bool>(), 1usize..12, 1usize..24),
+        (0usize..3, 0usize..12, 10.0f64..170.0, 85.0f64..150.0),
+    )
+        .prop_map(
+            |((star, planes, sats), (spares, f_raw, inc, period))| WalkerConfig {
+                pattern: if star {
+                    WalkerPattern::Star
+                } else {
+                    WalkerPattern::Delta
+                },
+                planes,
+                satellites_per_plane: sats,
+                spares_per_plane: spares,
+                phasing_factor: f_raw % planes,
+                inclination: Degrees(inc),
+                period: Minutes(period),
+                coverage_time: Minutes(period / 25.0),
+                earth_rotation: false,
+            },
+        )
+}
 
 fn ground_point() -> impl Strategy<Value = GroundPoint> {
     (-89.9f64..89.9, -180.0f64..180.0)
@@ -69,6 +97,64 @@ proptest! {
         prop_assert!(t.value() <= tc + 1e-9);
         if offset_frac >= 1.0 {
             prop_assert_eq!(t.value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn walker_total_satellite_count(cfg in walker_config()) {
+        let c = cfg.try_build().unwrap();
+        prop_assert_eq!(c.num_planes(), cfg.planes);
+        prop_assert_eq!(c.total_active(), cfg.planes * cfg.satellites_per_plane);
+        prop_assert_eq!(
+            c.total_with_spares(),
+            cfg.planes * (cfg.satellites_per_plane + cfg.spares_per_plane)
+        );
+    }
+
+    #[test]
+    fn walker_phasing_offsets_close_the_ring(cfg in walker_config()) {
+        // Consecutive planes differ by the constant Walker stagger step
+        // 2π·f/T, and the steps telescope to zero (mod 2π) around the
+        // closed ring of planes.
+        let c = cfg.try_build().unwrap();
+        let step = (TAU * cfg.phasing_factor as f64 / cfg.total_satellites() as f64)
+            .rem_euclid(TAU);
+        let phase = |p: usize| c.plane(p).satellite_phase(0).value();
+        let mut ring_sum = 0.0;
+        for p in 0..cfg.planes {
+            let next = (p + 1) % cfg.planes;
+            let d = phase(next) - phase(p);
+            ring_sum += d;
+            if next != 0 {
+                let dw = d.rem_euclid(TAU);
+                let err = (dw - step).abs().min(TAU - (dw - step).abs());
+                prop_assert!(err < 1e-9, "plane {p}: offset step {dw} vs {step}");
+            }
+        }
+        let wrapped = ring_sum.rem_euclid(TAU);
+        prop_assert!(
+            !(1e-9..=TAU - 1e-9).contains(&wrapped),
+            "ring sum {ring_sum} does not close mod 2π"
+        );
+    }
+
+    #[test]
+    fn walker_raan_spacing_and_inclination(cfg in walker_config()) {
+        // Star patterns spread ascending nodes over π, delta over 2π, in
+        // equal increments; every plane keeps the configured inclination.
+        let c = cfg.try_build().unwrap();
+        let span = match cfg.pattern {
+            WalkerPattern::Star => TAU / 2.0,
+            WalkerPattern::Delta => TAU,
+        };
+        for p in 0..cfg.planes {
+            let orbit = c.plane(p).orbit();
+            let expect = span * p as f64 / cfg.planes as f64;
+            prop_assert!((orbit.raan().value() - expect).abs() < 1e-12);
+            prop_assert!(
+                (orbit.inclination().value() - cfg.inclination.to_radians().value()).abs()
+                    < 1e-12
+            );
         }
     }
 

@@ -284,20 +284,81 @@ impl PlaneModelConfig {
         let ctmc = Ctmc::explore(&b.build(), max_states)?;
         Ok(CapacitySolve {
             ctmc,
-            active,
+            actives: vec![active],
             classes: cfg.capacity as usize + 1,
+        })
+    }
+
+    /// Builds and explores the **exact joint** within-cycle chain of
+    /// `num_planes` identical planes: one (active, spares) place pair and
+    /// one failure activity per plane, classified by the *total* active
+    /// count. The state space is the `num_planes`-fold product of the
+    /// single-plane chain (7ⁿ states at the paper's 14 + 2 design), so this
+    /// is only feasible for a handful of planes — it exists as the ground
+    /// truth the product-form decomposition ([`product_form_pk`]) is
+    /// cross-checked against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC exploration failures (state budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_planes == 0`, or unless the policy is
+    /// [`SparePolicy::PinAtThreshold`] (as [`Self::capacity_solve`]).
+    pub fn joint_capacity_solve(
+        &self,
+        num_planes: usize,
+        max_states: usize,
+    ) -> Result<CapacitySolve, CtmcError> {
+        self.validate();
+        assert!(num_planes > 0, "need at least one plane");
+        assert!(
+            self.policy == SparePolicy::PinAtThreshold,
+            "joint_capacity_solve requires the pin-at-threshold policy"
+        );
+        let cfg = *self;
+        let mut b = SanBuilder::new();
+        let mut actives = Vec::with_capacity(num_planes);
+        for p in 0..num_planes {
+            let active = b.add_place(format!("active_{p}"), cfg.capacity);
+            let spares = b.add_place(format!("spares_{p}"), cfg.spares);
+            actives.push(active);
+            let lambda = cfg.lambda;
+            b.add_activity(
+                format!("satellite_failure_{p}"),
+                Delay::exponential_with(move |m: &Marking| lambda * f64::from(m.tokens(active))),
+                move |m: &Marking| {
+                    m.tokens(active) > 0 && (m.tokens(spares) > 0 || m.tokens(active) > cfg.eta)
+                },
+                move |m: &mut Marking| {
+                    if m.tokens(spares) > 0 {
+                        m.remove_tokens(spares, 1);
+                    } else {
+                        m.remove_tokens(active, 1);
+                    }
+                },
+            );
+        }
+        let ctmc = Ctmc::explore(&b.build(), max_states)?;
+        Ok(CapacitySolve {
+            ctmc,
+            actives,
+            classes: num_planes * cfg.capacity as usize + 1,
         })
     }
 }
 
 /// A reusable capacity solve: the explored within-cycle CTMC of one plane
-/// (see [`PlaneModelConfig::capacity_solve`]). Holds no closures over
-/// external state, so it is `Send + Sync` and can back a multi-threaded
-/// serving layer; one solve answers `P(k)` for any horizon φ.
+/// (see [`PlaneModelConfig::capacity_solve`]) or of a small joint group of
+/// planes ([`PlaneModelConfig::joint_capacity_solve`], classified by total
+/// active count). Holds no closures over external state, so it is
+/// `Send + Sync` and can back a multi-threaded serving layer; one solve
+/// answers `P(k)` for any horizon φ.
 #[derive(Debug)]
 pub struct CapacitySolve {
     ctmc: Ctmc,
-    active: PlaceId,
+    actives: Vec<PlaceId>,
     classes: usize,
 }
 
@@ -367,9 +428,164 @@ impl CapacitySolve {
         Ok(self.classify(&avg))
     }
 
+    /// Number of capacity classes (`total capacity + 1`).
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Capacity distributions `P(K(tₛ) = k)` at every Simpson node of
+    /// `[0, phi]` — the per-node marginals the product-form assembly
+    /// convolves *before* integrating (the convolution is nonlinear in the
+    /// per-plane distributions, so it must happen inside the integral).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::distribution_over`].
+    fn node_class_distributions(
+        &self,
+        phi: f64,
+        panels: usize,
+        tol: f64,
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        let m = simpson_panels(phi, panels)?;
+        let h = phi / m as f64;
+        let times: Vec<f64> = (0..=m).map(|s| h * s as f64).collect();
+        let rows =
+            self.ctmc
+                .kernel()?
+                .transient_batch(&self.ctmc.initial_distribution(), &times, tol)?;
+        Ok(rows.iter().map(|r| self.classify(r)).collect())
+    }
+
     fn classify(&self, avg: &[f64]) -> Vec<f64> {
-        self.ctmc
-            .classify_distribution(avg, |m| m.tokens(self.active) as usize, self.classes)
+        self.ctmc.classify_distribution(
+            avg,
+            |m| {
+                self.actives
+                    .iter()
+                    .map(|&a| m.tokens(a) as usize)
+                    .sum::<usize>()
+            },
+            self.classes,
+        )
+    }
+}
+
+/// Validates `(phi, panels)` and returns the (even) Simpson panel count.
+fn simpson_panels(phi: f64, panels: usize) -> Result<usize, CtmcError> {
+    if !(phi.is_finite() && phi > 0.0) {
+        return Err(CtmcError::Solver(crate::solver::SolverError::InvalidInput(
+            format!("bad horizon {phi}"),
+        )));
+    }
+    if panels == 0 {
+        return Err(CtmcError::Solver(crate::solver::SolverError::InvalidInput(
+            "Simpson quadrature needs at least one panel".to_string(),
+        )));
+    }
+    Ok(panels.max(2).next_multiple_of(2))
+}
+
+/// Poisson-series tolerance of the product-form and joint P(k) paths.
+///
+/// Tighter than the 1e-12 of the time-average kernel: the product and joint
+/// paths take *different* uniformization routes (per-plane Λ vs joint Λ),
+/// so their truncation errors do not cancel in the cross-check the way the
+/// sparse/dense pair's do. Solving each transient an order of magnitude
+/// past the agreement bar keeps the assembled distributions within 1e-12 of
+/// each other.
+const PRODUCT_FORM_TOL: f64 = 1e-13;
+
+/// The constellation-level capacity distribution `P(K₁ + … + K_q = k)` over
+/// one regeneration cycle, assembled by **per-plane product form**: plane
+/// failure processes are mutually independent and restores are synchronized
+/// (one shared scheduled-deployment epoch), so at every instant `t` the
+/// joint capacity distribution is the convolution of the per-plane
+/// marginals, and
+///
+/// ```text
+/// P(K = k) = (1/φ) ∫₀^φ (p₁(t) ∗ … ∗ p_q(t))(k) dt .
+/// ```
+///
+/// Each *distinct* solve's Simpson-node marginals are computed once (one
+/// shared-iterate sweep per plane CTMC); repeated references — the
+/// homogeneous-constellation case — reuse them, so a 72-plane Starlink
+/// shell costs one 7-state solve plus convolutions instead of a 7⁷²-state
+/// joint chain. Passing a single [`PlaneModelConfig::joint_capacity_solve`]
+/// reference evaluates the exact joint chain under the *same* quadrature,
+/// which is how the decomposition is cross-checked at paper scale.
+///
+/// # Errors
+///
+/// Rejects an empty `solves` slice, `panels == 0` and non-finite /
+/// non-positive `phi` with a typed [`CtmcError::Solver`]; propagates
+/// transient-solver failures.
+pub fn product_form_pk(
+    solves: &[&CapacitySolve],
+    phi: f64,
+    panels: usize,
+) -> Result<Vec<f64>, CtmcError> {
+    if solves.is_empty() {
+        return Err(CtmcError::Solver(crate::solver::SolverError::InvalidInput(
+            "product form needs at least one plane solve".to_string(),
+        )));
+    }
+    let m = simpson_panels(phi, panels)?;
+    // One transient sweep per *distinct* solve (pointer identity): the
+    // homogeneous case solves its plane CTMC once however many planes ride.
+    let mut cache: Vec<(*const CapacitySolve, Vec<Vec<f64>>)> = Vec::new();
+    let mut node_rows: Vec<usize> = Vec::with_capacity(solves.len());
+    for &solve in solves {
+        let key = std::ptr::from_ref(solve);
+        let idx = match cache.iter().position(|(k, _)| std::ptr::eq(*k, key)) {
+            Some(i) => i,
+            None => {
+                let rows = solve.node_class_distributions(phi, m, PRODUCT_FORM_TOL)?;
+                cache.push((key, rows));
+                cache.len() - 1
+            }
+        };
+        node_rows.push(idx);
+    }
+    let total_classes: usize = solves.iter().map(|s| s.classes - 1).sum::<usize>() + 1;
+    let h = phi / m as f64;
+    let mut acc = vec![0.0; total_classes];
+    for s in 0..=m {
+        // Convolve the per-plane marginals at this node, then integrate.
+        let mut conv = cache[node_rows[0]].1[s].clone();
+        for &idx in &node_rows[1..] {
+            conv = convolve(&conv, &cache[idx].1[s]);
+        }
+        let w = simpson_weight(s, m) * h / 3.0 / phi;
+        for (a, x) in acc.iter_mut().zip(&conv) {
+            *a += w * x;
+        }
+    }
+    Ok(oaq_linalg::vec_ops::normalize_prob(&acc).unwrap_or(acc))
+}
+
+/// Discrete convolution of two probability vectors.
+fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+fn simpson_weight(s: usize, m: usize) -> f64 {
+    if s == 0 || s == m {
+        1.0
+    } else if s % 2 == 1 {
+        4.0
+    } else {
+        2.0
     }
 }
 
@@ -659,6 +875,83 @@ mod tests {
         for (k, (s, d)) in sparse.iter().zip(&dense).enumerate() {
             assert!((s - d).abs() <= 1e-12, "k={k}: sparse {s} vs dense {d}");
         }
+    }
+
+    #[test]
+    fn product_form_matches_joint_solve_at_paper_scale() {
+        // The decomposition's ground truth: 2 and 3 paper-scale planes,
+        // exact joint chain (49 / 343 states) vs per-plane convolution.
+        let cfg = PlaneModelConfig::reference(5e-5, PHI, 10);
+        let plane = cfg.capacity_solve(10_000).unwrap();
+        for planes in [2usize, 3] {
+            let joint = cfg.joint_capacity_solve(planes, 10_000).unwrap();
+            assert_eq!(joint.num_states(), 7usize.pow(planes as u32));
+            assert_eq!(joint.num_classes(), planes * 14 + 1);
+            let exact = product_form_pk(&[&joint], PHI, 64).unwrap();
+            let refs: Vec<&CapacitySolve> = (0..planes).map(|_| &plane).collect();
+            let product = product_form_pk(&refs, PHI, 64).unwrap();
+            assert_eq!(product.len(), exact.len());
+            for (k, (p, e)) in product.iter().zip(&exact).enumerate() {
+                assert!(
+                    (p - e).abs() <= 1e-12,
+                    "{planes} planes, k={k}: product {p} vs joint {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_form_single_plane_matches_time_average_path() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        let nodewise = product_form_pk(&[&solve], PHI, 256).unwrap();
+        let averaged = solve.distribution_over(PHI, 256).unwrap();
+        for (k, (a, b)) in nodewise.iter().zip(&averaged).enumerate() {
+            assert!((a - b).abs() <= 1e-12, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn product_form_is_proper_and_pinned_above_total_threshold() {
+        let cfg = PlaneModelConfig::reference(1e-4, PHI, 10);
+        let plane = cfg.capacity_solve(10_000).unwrap();
+        let pk = product_form_pk(&[&plane, &plane, &plane, &plane], PHI, 64).unwrap();
+        assert_eq!(pk.len(), 4 * 14 + 1);
+        let total: f64 = pk.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (k, &p) in pk.iter().enumerate().take(4 * 10) {
+            assert_eq!(p, 0.0, "pinning forbids total k = {k}");
+        }
+        assert!(pk[4 * 14] > 0.0);
+    }
+
+    #[test]
+    fn product_form_rejects_bad_inputs() {
+        let solve = PlaneModelConfig::reference(5e-5, PHI, 10)
+            .capacity_solve(10_000)
+            .unwrap();
+        for bad in [
+            product_form_pk(&[], PHI, 64),
+            product_form_pk(&[&solve], f64::NAN, 64),
+            product_form_pk(&[&solve], 0.0, 64),
+            product_form_pk(&[&solve], PHI, 0),
+        ] {
+            assert!(matches!(bad, Err(CtmcError::Solver(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pin-at-threshold")]
+    fn joint_solve_rejects_full_restore_policy() {
+        let cfg = PlaneModelConfig {
+            policy: SparePolicy::FullRestoreAfterDelay {
+                mean_delay_hours: 2000.0,
+                erlang_shape: 1,
+            },
+            ..PlaneModelConfig::reference(1e-5, PHI, 10)
+        };
+        let _ = cfg.joint_capacity_solve(2, 10_000);
     }
 
     #[test]

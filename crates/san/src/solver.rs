@@ -186,6 +186,10 @@ pub fn transient_distribution_dense(
     }
     // Uniformization: P = I + Q/Λ with Λ ≥ max |q_ii|.
     let lambda = uniformization_rate(q);
+    if lambda == 0.0 {
+        // Every state absorbing: the chain never leaves p0.
+        return Ok(p0.to_vec());
+    }
     let mut p_mat = Matrix::identity(n);
     for i in 0..n {
         for j in 0..n {
@@ -295,13 +299,16 @@ fn simpson_weight(s: usize, m: usize) -> f64 {
     }
 }
 
-/// The uniformization rate `Λ = 1.000001 · max(max |q_ii|, 1e-12)`.
+/// The uniformization rate `Λ = 1.000001 · max |q_ii|`.
+///
+/// A generator whose diagonal is identically zero (every state absorbing,
+/// e.g. a degenerate spare policy with no failures enabled) gets `Λ = 0`:
+/// the chain never moves, `P = I`, and `p(t) = p0` at every horizon. The
+/// old `1e-12` floor instead produced a vanishingly small positive rate
+/// whose Poisson series could run millions of identity matvecs (or hit the
+/// iteration cap) at large `t` before converging to the same answer.
 fn uniformization_rate(q: &Matrix) -> f64 {
-    (0..q.rows())
-        .map(|i| -q[(i, i)])
-        .fold(0.0_f64, f64::max)
-        .max(1e-12)
-        * 1.000_001
+    (0..q.rows()).map(|i| -q[(i, i)]).fold(0.0_f64, f64::max) * 1.000_001
 }
 
 /// A reusable sparse uniformization kernel over one generator matrix.
@@ -349,6 +356,116 @@ impl SharedStep {
             ln_k1: kf1.ln(),
             inv_k1: 1.0 / kf1,
         }
+    }
+}
+
+/// Steady-state detection checkpoint spacing: the shared iterate's
+/// displacement is measured over windows of this many matvecs.
+const STEADY_WINDOW: u64 = 128;
+/// Relative floor on the *projected remaining drift* (see
+/// [`SteadyWindow::within_floor`]) below which a time point is served
+/// early — an order of magnitude under the kernel's 1e-12 dense-agreement
+/// bar.
+const STEADY_TAIL_REL_FLOOR: f64 = 1e-13;
+/// Consecutive sub-floor windows required before declaring steady state
+/// (one coincidentally small window must not end a still-mixing chain).
+const STEADY_HITS: u32 = 2;
+
+/// Tracks convergence of the shared iterate sequence `vₖ = p₀ Pᵏ` by
+/// windowed displacement.
+///
+/// At each window boundary ([`Self::window`]) the detector measures two
+/// quantities: the displacement `D = ‖vₖ − vₖ₋W‖∞` accumulated over the
+/// last `W` steps, and the single-step difference `d = ‖vₖ − vₖ₋₁‖∞`.
+/// `D/W` bounds the recent per-step rate of *coherent* drift, and because
+/// uniformization iterates contract toward the stationary vector (drift
+/// magnitude is non-increasing at this scale), `D·R/W` bounds the coherent
+/// displacement any future iterate can still accumulate over `R` further
+/// matvecs. `d` separately bounds the amplitude of *oscillating*
+/// near-period-2 modes (the uniformization rate's `1.000001` margin maps
+/// the most negative generator eigenvalue close to −1, where a whole
+/// window's displacement aliases to nearly zero while consecutive iterates
+/// still swing), so `D·R/W + d` bounds `‖vⱼ − vₖ‖∞` for every future `j` —
+/// which in turn bounds the error of serving a time point's remaining
+/// Poisson mass (at most `R` terms) from the current iterate. A point is
+/// closed early once its projected drift sits [`STEADY_HITS`] consecutive
+/// windows below `1e-13·‖vₖ‖∞`. A plain `‖vₖ₊₁ − vₖ‖∞` floor is *not*
+/// sound here: a slow-mixing chain can creep by sub-1e-15 steps for tens
+/// of thousands of matvecs and accumulate an over-1e-12 coherent drift.
+///
+/// The measurement sequence depends only on `p₀` and `P`, and each point's
+/// `R` only on its own time, so early closure is a function of
+/// `(p₀, P, t)` alone — never of which points share the batch — and the
+/// kernel's batch-invariance guarantee survives: a point closed early in
+/// one batch closes at the same step with the same served tail in every
+/// batch.
+struct SteadyDetector {
+    enabled: bool,
+    steps: u64,
+    checkpoint: Vec<f64>,
+    prev: Vec<f64>,
+}
+
+/// One window-boundary observation: the windowed displacement `D`, the
+/// single-step difference `d`, and the iterate sup-norm, from which
+/// per-point projected drifts are formed.
+struct SteadyWindow {
+    disp: f64,
+    step_diff: f64,
+    norm: f64,
+}
+
+impl SteadyWindow {
+    /// Whether a point with `remaining` matvecs of Poisson mass left can
+    /// be served from the current iterate within the drift floor.
+    fn within_floor(&self, remaining: f64) -> bool {
+        let projected = self.disp * remaining.max(0.0) / STEADY_WINDOW as f64 + self.step_diff;
+        projected <= STEADY_TAIL_REL_FLOOR * self.norm
+    }
+}
+
+impl SteadyDetector {
+    fn new(enabled: bool, p0: &[f64]) -> Self {
+        SteadyDetector {
+            enabled,
+            steps: 0,
+            checkpoint: p0.to_vec(),
+            prev: p0.to_vec(),
+        }
+    }
+
+    /// Observes the iterate after an advance; returns the displacement
+    /// measurement at window boundaries, `None` in between (or when
+    /// detection is disabled).
+    fn window(&mut self, term: &[f64]) -> Option<SteadyWindow> {
+        if !self.enabled {
+            return None;
+        }
+        self.steps += 1;
+        let phase = self.steps % STEADY_WINDOW;
+        if phase == STEADY_WINDOW - 1 {
+            // Remember the iterate one step before the boundary, so the
+            // boundary can sample the single-step difference.
+            self.prev.copy_from_slice(term);
+            return None;
+        }
+        if phase != 0 {
+            return None;
+        }
+        let mut disp = 0.0_f64;
+        let mut step_diff = 0.0_f64;
+        let mut norm = 0.0_f64;
+        for ((c, p), &t) in self.checkpoint.iter().zip(&self.prev).zip(term) {
+            disp = disp.max((c - t).abs());
+            step_diff = step_diff.max((p - t).abs());
+            norm = norm.max(t.abs());
+        }
+        self.checkpoint.copy_from_slice(term);
+        Some(SteadyWindow {
+            disp,
+            step_diff,
+            norm,
+        })
     }
 }
 
@@ -412,13 +529,23 @@ impl TransientKernel {
         let n = q.rows();
         let lambda = uniformization_rate(q);
         let mut triplets = Vec::new();
-        for i in 0..n {
-            for j in 0..n {
-                // Same arithmetic as the dense path: identity plus Q/Λ.
-                let base = if i == j { 1.0 } else { 0.0 };
-                let v = base + q[(i, j)] / lambda;
-                if v != 0.0 {
-                    triplets.push((i, j, v));
+        if lambda == 0.0 {
+            // All-absorbing chain (zero diagonal everywhere forces a zero
+            // generator): P = I, and every Poisson series has λt = 0, so
+            // each time point closes on the k = 0 term with p(t) = p0.
+            // Dividing by Λ here would be 0/0.
+            for i in 0..n {
+                triplets.push((i, i, 1.0));
+            }
+        } else {
+            for i in 0..n {
+                for j in 0..n {
+                    // Same arithmetic as the dense path: identity plus Q/Λ.
+                    let base = if i == j { 1.0 } else { 0.0 };
+                    let v = base + q[(i, j)] / lambda;
+                    if v != 0.0 {
+                        triplets.push((i, j, v));
+                    }
                 }
             }
         }
@@ -461,7 +588,11 @@ impl TransientKernel {
     ///
     /// Each returned distribution is accurate to `tol` in total variation
     /// and independent of the rest of the batch (see the type-level
-    /// determinism note).
+    /// determinism note). Adaptive steady-state detection is on: once the
+    /// iterate sequence stops moving at rounding level (see
+    /// [`Self::transient_batch_full`]), every still-open time point is
+    /// served its remaining Poisson mass from the converged iterate, so the
+    /// matvec count is capped by the chain's mixing time instead of `λ·tₘₐₓ`.
     ///
     /// # Errors
     ///
@@ -473,6 +604,33 @@ impl TransientKernel {
         times: &[f64],
         tol: f64,
     ) -> Result<Vec<Vec<f64>>, SolverError> {
+        self.transient_batch_impl(p0, times, tol, true)
+    }
+
+    /// [`Self::transient_batch`] with steady-state detection disabled: the
+    /// Poisson series of every time point runs to its own truncation. Kept
+    /// as the pre-detection reference the detecting path is benchmarked
+    /// (`mega_pk`) and property-tested against (agreement ≤ 1e-12).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::transient_batch`].
+    pub fn transient_batch_full(
+        &self,
+        p0: &[f64],
+        times: &[f64],
+        tol: f64,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
+        self.transient_batch_impl(p0, times, tol, false)
+    }
+
+    fn transient_batch_impl(
+        &self,
+        p0: &[f64],
+        times: &[f64],
+        tol: f64,
+        detect: bool,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
         validate_p0(self.n, p0)?;
         if !(tol > 0.0 && tol < 1.0) {
             return Err(SolverError::InvalidInput(format!("bad tolerance {tol}")));
@@ -482,20 +640,23 @@ impl TransientKernel {
                 return Err(SolverError::InvalidInput(format!("bad time {t}")));
             }
         }
-        // Per-time-point accumulator: the advancing Poisson weight and the
-        // weighted iterate sum for that time point.
+        // Per-time-point accumulator: the advancing Poisson weight, the
+        // weighted iterate sum, and the steady-state hit counter.
         struct Point {
             pw: PoissonWeight,
             out: Vec<f64>,
+            hits: u32,
         }
         let mut points: Vec<Point> = times
             .iter()
             .map(|&t| Point {
                 pw: PoissonWeight::new(self.lambda * t),
                 out: vec![0.0; self.n],
+                hits: 0,
             })
             .collect();
         let mut term = p0.to_vec(); // vₖ = p₀ Pᵏ, shared by every time point
+        let mut detector = SteadyDetector::new(detect, p0);
         let mut k: u64 = 0;
         while points.iter().any(|p| !p.pw.done) {
             let shared = SharedStep::at(k);
@@ -517,6 +678,28 @@ impl TransientKernel {
                 ));
             }
             term = self.p_csr.vec_mul(&term).map_err(SolverError::Numeric)?;
+            if let Some(win) = detector.window(&term) {
+                // vⱼ ≈ v* for all j ≥ k within the projected drift: a point
+                // whose remaining series fits inside the floor is served
+                // its entire remaining Poisson mass from the current
+                // iterate and closed early.
+                for p in points.iter_mut().filter(|p| !p.pw.done) {
+                    if win.within_floor(p.pw.k_bulk - k as f64) {
+                        p.hits += 1;
+                    } else {
+                        p.hits = 0;
+                    }
+                    if p.hits >= STEADY_HITS {
+                        let tail = (1.0 - p.pw.accumulated).max(0.0);
+                        if tail > 0.0 {
+                            for (o, x) in p.out.iter_mut().zip(&term) {
+                                *o += tail * x;
+                            }
+                        }
+                        p.pw.done = true;
+                    }
+                }
+            }
         }
         Ok(points
             .into_iter()
@@ -567,6 +750,34 @@ impl TransientKernel {
         horizons: &[f64],
         intervals: usize,
     ) -> Result<Vec<Vec<f64>>, SolverError> {
+        self.time_average_many_impl(p0, horizons, intervals, true)
+    }
+
+    /// [`Self::time_average_many`] with steady-state detection disabled —
+    /// the PR 3 kernel behaviour, where every Simpson node's Poisson series
+    /// runs to its own truncation (O(λ·φₘₐₓ) matvecs on long horizons).
+    /// Kept as the baseline the detecting path is benchmarked and
+    /// property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::time_average_many`].
+    pub fn time_average_many_full(
+        &self,
+        p0: &[f64],
+        horizons: &[f64],
+        intervals: usize,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
+        self.time_average_many_impl(p0, horizons, intervals, false)
+    }
+
+    fn time_average_many_impl(
+        &self,
+        p0: &[f64],
+        horizons: &[f64],
+        intervals: usize,
+        detect: bool,
+    ) -> Result<Vec<Vec<f64>>, SolverError> {
         validate_p0(self.n, p0)?;
         for &h in horizons {
             validate_horizon(h, intervals)?;
@@ -586,6 +797,7 @@ impl TransientKernel {
         struct Node {
             pw: PoissonWeight,
             coeff: f64,
+            hits: u32,
         }
         let mut nodes: Vec<Vec<Node>> = horizons
             .iter()
@@ -595,12 +807,14 @@ impl TransientKernel {
                     .map(|s| Node {
                         pw: PoissonWeight::new(self.lambda * h * s as f64),
                         coeff: simpson_weight(s, m) * h / 3.0 / horizon,
+                        hits: 0,
                     })
                     .collect()
             })
             .collect();
         let mut accs: Vec<Vec<f64>> = vec![vec![0.0; self.n]; horizons.len()];
         let mut term = p0.to_vec(); // vₖ = p₀ Pᵏ, shared by every node
+        let mut detector = SteadyDetector::new(detect, p0);
         let mut k: u64 = 0;
         loop {
             let shared = SharedStep::at(k);
@@ -627,6 +841,29 @@ impl TransientKernel {
                 ));
             }
             term = self.p_csr.vec_mul(&term).map_err(SolverError::Numeric)?;
+            if let Some(win) = detector.window(&term) {
+                // Serve each steady node's remaining Poisson mass from the
+                // current iterate, in the same fixed node order.
+                for (row, acc) in nodes.iter_mut().zip(&mut accs) {
+                    let mut combined = 0.0;
+                    for node in row.iter_mut().filter(|nd| !nd.pw.done) {
+                        if win.within_floor(node.pw.k_bulk - k as f64) {
+                            node.hits += 1;
+                        } else {
+                            node.hits = 0;
+                        }
+                        if node.hits >= STEADY_HITS {
+                            combined += node.coeff * (1.0 - node.pw.accumulated).max(0.0);
+                            node.pw.done = true;
+                        }
+                    }
+                    if combined > 0.0 {
+                        for (a, x) in acc.iter_mut().zip(&term) {
+                            *a += combined * x;
+                        }
+                    }
+                }
+            }
         }
         // The per-node truncated tails (≤ tol each, Σ coeff = 1) are
         // discarded; renormalize each average.
@@ -812,6 +1049,88 @@ mod tests {
         let kernel = TransientKernel::new(&q).unwrap();
         assert_eq!(kernel.num_states(), 4);
         assert_eq!(kernel.nnz(), 10, "tridiagonal: 3n - 2 stored entries");
+    }
+
+    #[test]
+    fn all_absorbing_chain_returns_p0_at_every_horizon() {
+        // Regression: a zero generator (every state absorbing) used to be
+        // uniformized at the 1e-12 floor rate, spinning identity matvecs —
+        // up to the 10M iteration cap at astronomical horizons — before
+        // returning p0. With Λ = 0 the answer is immediate and exact.
+        let q = Matrix::zeros(3, 3);
+        let p0 = [0.25, 0.25, 0.5];
+        let kernel = TransientKernel::new(&q).unwrap();
+        assert_eq!(kernel.lambda(), 0.0);
+        for t in [0.0, 1.0, 30_000.0, 1e12, 1e20] {
+            assert_eq!(
+                transient_distribution(&q, &p0, t, 1e-12).unwrap(),
+                p0.to_vec(),
+                "t = {t}"
+            );
+            assert_eq!(
+                transient_distribution_dense(&q, &p0, t, 1e-12).unwrap(),
+                p0.to_vec(),
+                "dense t = {t}"
+            );
+        }
+        for horizon in [1.0, 30_000.0, 1e18] {
+            assert_eq!(
+                kernel.time_average(&p0, horizon, 64).unwrap(),
+                p0.to_vec(),
+                "horizon = {horizon}"
+            );
+        }
+    }
+
+    #[test]
+    fn partially_absorbing_generator_still_solves() {
+        // One absorbing row must not trip the zero-diagonal special case.
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let p = transient_distribution(&q, &[1.0, 0.0], 200.0, 1e-12).unwrap();
+        assert!(p[1] > 1.0 - 1e-9, "mass absorbs into state 1: {p:?}");
+    }
+
+    #[test]
+    fn steady_state_detection_agrees_with_full_iteration() {
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0, 0.0],
+            &[2.0, -3.0, 1.0, 0.0],
+            &[0.0, 2.0, -3.0, 1.0],
+            &[0.0, 0.0, 2.0, -2.0],
+        ])
+        .unwrap();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let p0 = [1.0, 0.0, 0.0, 0.0];
+        let times = [0.5, 10.0, 500.0, 20_000.0];
+        let detected = kernel.transient_batch(&p0, &times, 1e-12).unwrap();
+        let full = kernel.transient_batch_full(&p0, &times, 1e-12).unwrap();
+        for ((&t, d), f) in times.iter().zip(&detected).zip(&full) {
+            for (a, b) in d.iter().zip(f) {
+                assert!((a - b).abs() <= 1e-12, "t={t}: detected {a} vs full {b}");
+            }
+        }
+        let horizons = [5.0, 900.0, 50_000.0];
+        let avg_detected = kernel.time_average_many(&p0, &horizons, 64).unwrap();
+        let avg_full = kernel.time_average_many_full(&p0, &horizons, 64).unwrap();
+        for ((&h, d), f) in horizons.iter().zip(&avg_detected).zip(&avg_full) {
+            for (a, b) in d.iter().zip(f) {
+                assert!((a - b).abs() <= 1e-12, "phi={h}: detected {a} vs full {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_preserves_batch_invariance() {
+        // The detected-tail answer for one horizon must not depend on which
+        // longer horizons share the iterate sequence.
+        let q = two_state();
+        let kernel = TransientKernel::new(&q).unwrap();
+        let p0 = [1.0, 0.0];
+        let alone = kernel.transient(&p0, 5_000.0, 1e-12).unwrap();
+        let crowded = kernel
+            .transient_batch(&p0, &[0.2, 5_000.0, 1e9], 1e-12)
+            .unwrap();
+        assert_eq!(crowded[1], alone, "must be bit-identical, not just close");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use oaq_linalg::Matrix;
 use oaq_san::ctmc::Ctmc;
 use oaq_san::model::{Delay, SanBuilder, SanModel};
 use oaq_san::phase_type::{erlang_cdf, erlang_stage_rate};
-use oaq_san::plane::PlaneModelConfig;
+use oaq_san::plane::{product_form_pk, PlaneModelConfig, SparePolicy};
 use oaq_san::solver::{
     stationary_distribution, time_average_distribution_dense, transient_distribution,
     transient_distribution_dense, TransientKernel,
@@ -154,6 +154,78 @@ proptest! {
         if shape >= 20 {
             let at_mean = erlang_cdf(shape, rate, mean);
             prop_assert!((at_mean - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn steady_state_detection_matches_full_transient_batch(
+        q in birth_death_generator(5),
+        times in prop::collection::vec(0.0f64..50_000.0, 1..6),
+    ) {
+        // The steady-state-detecting path and the full-iteration (PR 3)
+        // path must agree to 1e-12 at every horizon, including horizons
+        // deep past mixing where detection short-circuits the loop.
+        let p0 = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let kernel = TransientKernel::new(&q).unwrap();
+        let detected = kernel.transient_batch(&p0, &times, 1e-12).unwrap();
+        let full = kernel.transient_batch_full(&p0, &times, 1e-12).unwrap();
+        for ((d_row, f_row), &t) in detected.iter().zip(&full).zip(&times) {
+            for (d, f) in d_row.iter().zip(f_row) {
+                prop_assert!((d - f).abs() <= 1e-12, "t = {t}: detected {d} vs full {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_detection_matches_full_time_average(
+        q in birth_death_generator(4),
+        horizons in prop::collection::vec(0.1f64..1000.0, 1..4),
+        intervals in 2usize..32,
+    ) {
+        // Horizons are bounded so the comparison stays meaningful: the
+        // full-iteration reference accumulates one weighted addition per
+        // matvec, so its own summation rounding grows like Λ·φ·ε and
+        // crosses 1e-12 near Λ·φ ≈ 1e4 — beyond that the detected path
+        // (which serves converged tails in one fused addition) is the
+        // *cleaner* of the two and the diff measures reference noise, not
+        // detection error.
+        let p0 = [0.0, 1.0, 0.0, 0.0];
+        let kernel = TransientKernel::new(&q).unwrap();
+        let detected = kernel.time_average_many(&p0, &horizons, intervals).unwrap();
+        let full = kernel
+            .time_average_many_full(&p0, &horizons, intervals)
+            .unwrap();
+        for ((d_row, f_row), &h) in detected.iter().zip(&full).zip(&horizons) {
+            for (d, f) in d_row.iter().zip(f_row) {
+                prop_assert!((d - f).abs() <= 1e-12, "phi = {h}: detected {d} vs full {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_form_matches_joint_solve(
+        lambda_e in 1u32..10,
+        eta in 9u32..12,
+        phi_k in 1u32..4,
+    ) {
+        // The per-plane convolution decomposition must agree with the
+        // exact joint chain over random paper-scale scenarios.
+        let phi = 10_000.0 * f64::from(phi_k);
+        let cfg = PlaneModelConfig {
+            capacity: 14,
+            spares: 2,
+            lambda: f64::from(lambda_e) * 1e-5,
+            phi,
+            eta,
+            policy: SparePolicy::PinAtThreshold,
+        };
+        let plane = cfg.capacity_solve(10_000).unwrap();
+        let joint = cfg.joint_capacity_solve(2, 10_000).unwrap();
+        let product = product_form_pk(&[&plane, &plane], phi, 64).unwrap();
+        let exact = product_form_pk(&[&joint], phi, 64).unwrap();
+        prop_assert_eq!(product.len(), exact.len());
+        for (k, (p, e)) in product.iter().zip(&exact).enumerate() {
+            prop_assert!((p - e).abs() <= 1e-12, "k = {k}: product {p} vs joint {e}");
         }
     }
 
