@@ -1,0 +1,58 @@
+//! Bench: the zero-allocation episode hot path — one protocol episode end
+//! to end, comparing the naive rebuild-everything loop against the
+//! recycled `reset` + `run_scratch` path the campaign engine uses, at
+//! paper scale (k = 9) and Starlink scale (k = 1584).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oaq_core::config::{ProtocolConfig, Scheme};
+use oaq_core::protocol::{Episode, EpisodeScratch};
+
+fn bench_episode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("episode");
+    let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+
+    // Fresh Episode + fresh scratch each iteration: the pre-optimization
+    // shape, every run pays network/protocol construction and drops every
+    // buffer on the floor.
+    g.bench_function("rebuild_k9", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut scratch = EpisodeScratch::new();
+            let mut ep = Episode::new(&cfg, seed);
+            ep.add_failure(1, 2.0);
+            ep.run_scratch(95.0, 10.0, &mut scratch)
+        });
+    });
+
+    // The campaign fast path: one Episode and one scratch for the whole
+    // loop, re-armed in place — what a per-worker replication slot does.
+    g.bench_function("recycled_k9", |b| {
+        let mut scratch = EpisodeScratch::new();
+        let mut ep = Episode::new(&cfg, 0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            ep.reset(&cfg, seed);
+            ep.add_failure(1, 2.0);
+            ep.run_scratch(95.0, 10.0, &mut scratch)
+        });
+    });
+
+    let big = ProtocolConfig::reference(1584, Scheme::Oaq);
+    g.bench_function("recycled_k1584", |b| {
+        let mut scratch = EpisodeScratch::new();
+        let mut ep = Episode::new(&big, 0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            ep.reset(&big, seed);
+            ep.add_failure(1, 2.0);
+            ep.run_scratch(95.0, 10.0, &mut scratch)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_episode);
+criterion_main!(benches);

@@ -1,0 +1,405 @@
+//! Experiment E24 — the zero-allocation episode engine at
+//! mega-constellation scale, with its performance contract enforced.
+//!
+//! Three gated sections, JSON on stdout (progress on stderr), non-zero
+//! exit on any miss:
+//!
+//! 1. **throughput_gate** — the paper-scale campaign cell (E15's reference
+//!    fault mix, k = 10) must run serially at ≥2× the per-episode
+//!    throughput the pre-optimization engine recorded in BENCH_sim.json
+//!    (3.375 µs/episode, i.e. at most 1.6875 µs/episode now). The gate
+//!    takes the *minimum* over several timed repetitions: wall-clock noise
+//!    on a shared box only ever slows a run down, so the minimum is the
+//!    honest estimate of what the engine does.
+//! 2. **bit_identity** — the campaign cell, the conditional-QoS estimator,
+//!    and a membership-assisted recruitment aggregate are each replayed
+//!    across every worker count × chunk size × forced-steal combination
+//!    and must reproduce the serial answer bit-for-bit.
+//! 3. **starlink** — a 1584-node Starlink-preset (72 × 22 delta) fault
+//!    campaign: the Walker phases define the coverage geometry, violations
+//!    stay seed-replayable (the scenario replay is run twice and compared),
+//!    the whole campaign must finish under the bench budget, and the
+//!    closed-form high-latitude ISL outage schedule is swept over one
+//!    orbit period to report cross-plane connectivity.
+//!
+//! Usage: `mc_scale [--quick] [--seed N] [--episodes N] [--chunk N]`
+
+use std::f64::consts::TAU;
+use std::time::Instant;
+
+use oaq_bench::args::CliSpec;
+use oaq_bench::campaign::{
+    replay_episode_scenario, run_cell_scenario, CellOutcome, CellSpec, LossAxis, Scenario,
+};
+use oaq_core::config::{MembershipHints, ProtocolConfig, Scheme};
+use oaq_core::experiment::{estimate_conditional_qos_stressed, MonteCarloOptions};
+use oaq_core::protocol::{Episode, EpisodeScratch};
+use oaq_core::qos_level::QosLevel;
+use oaq_core::signal::CoverageGeometry;
+use oaq_engine::report::fmt_f64;
+use oaq_net::topology::BfsScratch;
+use oaq_net::{LinkEvent, NodeId, Topology, TopologySchedule};
+use oaq_orbit::{cross_plane_outages, Degrees, Preset};
+use oaq_sim::par::{Merge, Replicator};
+use oaq_sim::rng::substream_seed;
+
+/// Per-episode fastpath cost recorded by `mc_replication` in the
+/// checked-in BENCH_sim.json before the zero-allocation engine pass
+/// (6.74975 ms / 2000 episodes). The gate requires beating half of it.
+const BASELINE_US_PER_EPISODE: f64 = 3.375;
+
+/// Wall-clock budget for the full Starlink campaign section.
+const STARLINK_BUDGET_SECS: f64 = 120.0;
+
+/// Minimum observed seconds per call of `f` over `reps` repetitions — the
+/// noise-robust point estimate for a deterministic workload.
+fn min_time_per_call<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Full bit-identity of two cell outcomes: every tally, every violation
+/// record, every trace line.
+fn cells_identical(a: &CellOutcome, b: &CellOutcome) -> bool {
+    a.episodes == b.episodes
+        && a.detected == b.detected
+        && a.timely == b.timely
+        && a.quality == b.quality
+        && a.live_detector == b.live_detector
+        && a.live_detector_timely == b.live_detector_timely
+        && a.violations.len() == b.violations.len()
+        && a.violations.iter().zip(&b.violations).all(|(x, y)| {
+            x.episode == y.episode
+                && x.seed == y.seed
+                && x.detector == y.detector
+                && x.outcome == y.outcome
+                && x.trace == y.trace
+        })
+}
+
+/// Membership-assisted recruitment tallies (all-integer → exact merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RecruitSink {
+    seq: u64,
+    missed: u64,
+    msgs: u64,
+}
+
+impl Merge for RecruitSink {
+    fn merge(&mut self, other: &Self) {
+        self.seq.merge(&other.seq);
+        self.missed.merge(&other.missed);
+        self.msgs.merge(&other.msgs);
+    }
+}
+
+/// The membership-assisted recruitment aggregate (E12's assisted variant)
+/// under an arbitrary scheduling configuration.
+fn run_membership(
+    cfg: &ProtocolConfig,
+    episodes: u64,
+    base_seed: u64,
+    workers: usize,
+    chunk: Option<u64>,
+    forced: bool,
+) -> RecruitSink {
+    Replicator::new(workers)
+        .with_chunk_override(chunk)
+        .with_forced_steals(forced)
+        .run_scratch(
+            episodes,
+            base_seed,
+            RecruitSink::default,
+            EpisodeScratch::new,
+            |i, rng, scratch, sink| {
+                let birth = 90.0 + rng.uniform(0.0, 10.0);
+                let seed = substream_seed(base_seed, i).wrapping_add(1);
+                let mut ep = Episode::new(cfg, seed);
+                ep.add_failure(1, 0.0);
+                let out = ep.run_scratch(birth, 15.0, scratch);
+                if out.level >= QosLevel::SequentialDual {
+                    sink.seq += 1;
+                }
+                if out.level == QosLevel::Missed {
+                    sink.missed += 1;
+                }
+                sink.msgs += out.messages_sent;
+            },
+        )
+}
+
+/// The Starlink shell-1 coverage geometry: satellite `(p, s)` (node
+/// `p·S + s`) reaches the target `θ·phase/2π` minutes into the period,
+/// where `phase` is the Walker builder's phase convention
+/// (`2π·F·p/T + 2π·s/S`).
+fn starlink_geometry() -> CoverageGeometry {
+    let w = Preset::Starlink.config();
+    let total = w.total_satellites();
+    let theta = w.period.value();
+    let offsets: Vec<f64> = (0..w.planes)
+        .flat_map(|p| (0..w.satellites_per_plane).map(move |s| (p, s)))
+        .map(|(p, s)| {
+            let phase = (TAU * (w.phasing_factor * p) as f64 / total as f64
+                + TAU * s as f64 / w.satellites_per_plane as f64)
+                % TAU;
+            theta * phase / TAU
+        })
+        .collect();
+    CoverageGeometry::with_offsets(offsets, theta, w.coverage_time.value())
+}
+
+fn main() {
+    let cli = CliSpec::new("mc_scale")
+        .switch("--quick", "fewer episodes and reps (CI size)")
+        .option("--seed", "N", "base RNG seed (default 1515)")
+        .option("--episodes", "N", "episodes in the gated campaign cell")
+        .option(
+            "--chunk",
+            "N",
+            "episodes per work chunk (default: adaptive)",
+        )
+        .parse();
+    let quick = cli.has("--quick");
+    let seed = cli.get_u64("--seed", 1515);
+    let episodes = cli.get_u64("--episodes", if quick { 1000 } else { 2000 });
+    let chunk = cli.get_chunk("--chunk");
+    let reps = if quick { 3 } else { 5 };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut miss = false;
+
+    // ── 1. Serial per-episode throughput gate ────────────────────────────
+    let base = ProtocolConfig::reference(10, Scheme::Oaq);
+    let spec = CellSpec {
+        loss: LossAxis::Iid { p: 0.2 },
+        node_failure_rate: 0.25,
+        retry_budget: 1,
+    };
+    let serial = Scenario::new(&base, 1);
+    // Warm the per-worker scratch (geometry, topology, buffers) once so the
+    // timed repetitions measure the steady state the campaign runs in.
+    let reference = run_cell_scenario(&serial, &spec, episodes, seed);
+    let gate_secs = min_time_per_call(reps, || run_cell_scenario(&serial, &spec, episodes, seed));
+    let gate_us = gate_secs * 1e6 / episodes as f64;
+    let required_us = BASELINE_US_PER_EPISODE / 2.0;
+    let gate_pass = gate_us <= required_us;
+    eprintln!(
+        "# throughput_gate: {gate_us:.3} us/episode (min of {reps} x {episodes} episodes), \
+         required <= {required_us:.4} ({:.2}x vs baseline {BASELINE_US_PER_EPISODE}) -> {}",
+        BASELINE_US_PER_EPISODE / gate_us,
+        if gate_pass { "PASS" } else { "MISS" },
+    );
+    if !gate_pass {
+        eprintln!("# GATE MISS: serial throughput below 2x the recorded baseline");
+        miss = true;
+    }
+
+    // ── 2. Bit-identity across every scheduling configuration ────────────
+    let qos_cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+    let qos_opts = MonteCarloOptions {
+        episodes: usize::try_from(episodes).expect("episode count fits usize"),
+        mu: 0.5,
+        seed,
+    };
+    let mut mem_cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+    mem_cfg.tau = 25.0;
+    mem_cfg.membership = Some(MembershipHints::default());
+    let mem_episodes = episodes / 2;
+
+    let qos_ref = estimate_conditional_qos_stressed(&qos_cfg, &qos_opts, 1, None, false);
+    let mem_ref = run_membership(&mem_cfg, mem_episodes, seed, 1, None, false);
+
+    let mut configs = 0u32;
+    let (mut campaign_ok, mut qos_ok, mut mem_ok) = (true, true, true);
+    for &workers in &[1usize, 2, 4, 8] {
+        for &chunk_cfg in &[None, Some(16u64), chunk.or(Some(7))] {
+            for &forced in &[false, true] {
+                configs += 1;
+                let scen = Scenario::new(&base, workers)
+                    .with_chunk(chunk_cfg)
+                    .with_forced_steals(forced);
+                if !cells_identical(&run_cell_scenario(&scen, &spec, episodes, seed), &reference) {
+                    eprintln!(
+                        "# DIVERGENCE campaign: workers={workers} chunk={chunk_cfg:?} forced={forced}"
+                    );
+                    campaign_ok = false;
+                }
+                if estimate_conditional_qos_stressed(
+                    &qos_cfg, &qos_opts, workers, chunk_cfg, forced,
+                ) != qos_ref
+                {
+                    eprintln!(
+                        "# DIVERGENCE qos: workers={workers} chunk={chunk_cfg:?} forced={forced}"
+                    );
+                    qos_ok = false;
+                }
+                if run_membership(&mem_cfg, mem_episodes, seed, workers, chunk_cfg, forced)
+                    != mem_ref
+                {
+                    eprintln!(
+                        "# DIVERGENCE membership: workers={workers} chunk={chunk_cfg:?} forced={forced}"
+                    );
+                    mem_ok = false;
+                }
+            }
+        }
+    }
+    let identity_pass = campaign_ok && qos_ok && mem_ok;
+    eprintln!(
+        "# bit_identity: {configs} scheduling configs, campaign={campaign_ok} qos={qos_ok} \
+         membership={mem_ok}"
+    );
+    if !identity_pass {
+        eprintln!("# GATE MISS: a scheduling configuration changed an answer");
+        miss = true;
+    }
+
+    // ── 3. Starlink-preset 1584-node campaign + ISL outage sweep ─────────
+    let walker = Preset::Starlink.config();
+    let nodes = walker.total_satellites();
+    let geometry = starlink_geometry();
+    let mut starlink_cfg = ProtocolConfig::reference(nodes, Scheme::Oaq);
+    starlink_cfg.theta = walker.period.value();
+    starlink_cfg.tc = walker.coverage_time.value();
+    let starlink_spec = CellSpec {
+        loss: LossAxis::Iid { p: 0.2 },
+        node_failure_rate: 0.02,
+        retry_budget: 1,
+    };
+    let starlink_episodes = if quick { 200 } else { 1000 };
+    let scen = Scenario::new(&starlink_cfg, 0).with_geometry(&geometry);
+    let t0 = Instant::now();
+    let starlink = run_cell_scenario(&scen, &starlink_spec, starlink_episodes, seed);
+    let starlink_secs = t0.elapsed().as_secs_f64();
+    let under_budget = starlink_secs <= STARLINK_BUDGET_SECS;
+    // Seed-replayability: re-derive episodes purely from
+    // (scenario, spec, seed, index) twice — trace and outcome must agree
+    // with themselves and, for a recorded violation, with its record. The
+    // guarantee holding (zero violations) is the campaign's acceptance
+    // property, so the replay contract is exercised on fixed probe episodes
+    // plus the first recorded violation when one exists.
+    let mut probes = vec![0, starlink_episodes / 2, starlink_episodes - 1];
+    if let Some(v) = starlink.violations.first() {
+        probes.push(v.episode);
+    }
+    let mut replay_ok = true;
+    for &probe in &probes {
+        let (out_a, trace_a) = replay_episode_scenario(&scen, &starlink_spec, seed, probe);
+        let (out_b, trace_b) = replay_episode_scenario(&scen, &starlink_spec, seed, probe);
+        replay_ok &= out_a == out_b && trace_a == trace_b;
+        if let Some(v) = starlink.violations.first() {
+            if v.episode == probe {
+                replay_ok &= v.outcome == format!("{out_a:?}") && v.trace == trace_a;
+            }
+        }
+    }
+    eprintln!(
+        "# starlink: {nodes} nodes, {starlink_episodes} episodes in {starlink_secs:.1} s \
+         ({:.1} us/episode), detected {}, violations {}, replay_identical={replay_ok}, \
+         under_budget={under_budget}",
+        starlink_secs * 1e6 / starlink_episodes as f64,
+        starlink.detected,
+        starlink.violations.len(),
+    );
+    if !(under_budget && replay_ok) {
+        eprintln!("# GATE MISS: Starlink campaign over budget or replay diverged");
+        miss = true;
+    }
+
+    // Cross-plane ISL outage schedule over one period: in-plane rings plus
+    // same-slot cross-plane links, seam windows from the closed form.
+    let horizon = walker.period;
+    let outages = cross_plane_outages(&walker, Degrees(48.0).to_radians(), horizon);
+    let node = |p: usize, s: usize| NodeId((p * walker.satellites_per_plane + s) as u32);
+    let mut topo = Topology::new();
+    for p in 0..walker.planes {
+        for s in 0..walker.satellites_per_plane {
+            topo.link(node(p, s), node(p, (s + 1) % walker.satellites_per_plane));
+            topo.link(node(p, s), node((p + 1) % walker.planes, s));
+        }
+    }
+    let links = walker.planes * walker.satellites_per_plane * 2;
+    let mut events = Vec::with_capacity(outages.len() * 2);
+    for o in &outages {
+        let (a, b) = (node(o.plane_a, o.slot_a), node(o.plane_b, o.slot_b));
+        events.push(LinkEvent {
+            t: o.start.value(),
+            a,
+            b,
+            up: false,
+        });
+        // Windows are clipped to the horizon, so every down edge comes back.
+        events.push(LinkEvent {
+            t: o.end.value(),
+            a,
+            b,
+            up: true,
+        });
+    }
+    let event_count = events.len();
+    let mut schedule = TopologySchedule::new(events);
+    let mut bfs = BfsScratch::new();
+    let all_alive = |_: NodeId| true;
+    let (mut min_reach, mut max_reach) = (usize::MAX, 0usize);
+    let stride = if quick { 16 } else { 1 };
+    let mut applied = 0usize;
+    while let Some(t) = schedule.next_event_time() {
+        schedule.advance(&mut topo, t);
+        applied += 1;
+        if !applied.is_multiple_of(stride) {
+            continue;
+        }
+        let reach = topo.reachable_with(node(0, 0), all_alive, &mut bfs);
+        min_reach = min_reach.min(reach);
+        max_reach = max_reach.max(reach);
+    }
+    eprintln!(
+        "# isl_schedule: {links} links, {event_count} events over one period, \
+         reachable {min_reach}..{max_reach} of {nodes}"
+    );
+
+    println!(
+        "{{\n  \"experiment\": \"mc_scale\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"seed\": {seed},\n  \
+         \"throughput_gate\": {{\"episodes\": {episodes}, \"reps\": {reps}, \
+         \"baseline_us_per_episode\": {}, \"required_us_per_episode\": {}, \
+         \"us_per_episode\": {}, \"speedup_vs_baseline\": {}, \"pass\": {gate_pass}, \
+         \"cell\": {{\"detected\": {}, \"timely\": {}, \"quality\": {}, \
+         \"live_detector\": {}}}}},\n  \
+         \"bit_identity\": {{\"configs\": {configs}, \"campaign\": {campaign_ok}, \
+         \"qos\": {qos_ok}, \"membership\": {mem_ok}, \"pass\": {identity_pass}, \
+         \"membership_tallies\": {{\"seq\": {}, \"missed\": {}, \"msgs\": {}}}}},\n  \
+         \"starlink\": {{\"nodes\": {nodes}, \"episodes\": {starlink_episodes}, \
+         \"secs\": {}, \"us_per_episode\": {}, \"detected\": {}, \"violations\": {}, \
+         \"replay_identical\": {replay_ok}, \"budget_secs\": {}, \
+         \"under_budget\": {under_budget}, \
+         \"isl_schedule\": {{\"links\": {links}, \"events\": {event_count}, \
+         \"min_reachable\": {min_reach}, \"max_reachable\": {max_reach}}}}}\n}}",
+        fmt_f64(BASELINE_US_PER_EPISODE),
+        fmt_f64(required_us),
+        fmt_f64(gate_us),
+        fmt_f64(BASELINE_US_PER_EPISODE / gate_us),
+        reference.detected,
+        reference.timely,
+        reference.quality,
+        reference.live_detector,
+        mem_ref.seq,
+        mem_ref.missed,
+        mem_ref.msgs,
+        fmt_f64(starlink_secs),
+        fmt_f64(starlink_secs * 1e6 / starlink_episodes as f64),
+        starlink.detected,
+        starlink.violations.len(),
+        fmt_f64(STARLINK_BUDGET_SECS),
+    );
+
+    if miss {
+        eprintln!("# MC_SCALE GATE FAILED");
+        std::process::exit(1);
+    }
+}

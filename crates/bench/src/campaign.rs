@@ -13,8 +13,9 @@
 //! coverage) alert by τ*, whatever the fault mix does to quality.
 
 use oaq_core::config::{ProtocolConfig, Scheme};
-use oaq_core::protocol::Episode;
+use oaq_core::protocol::{Episode, EpisodeScratch};
 use oaq_core::qos_level::{EpisodeOutcome, QosLevel};
+use oaq_core::signal::CoverageGeometry;
 use oaq_net::GilbertElliott;
 use oaq_sim::par::{Merge, Replicator};
 use oaq_sim::rng::substream_seed;
@@ -186,8 +187,14 @@ pub fn episode_seed(base: u64, episode: u64) -> u64 {
 /// `until = None` for permanent fail-silence.
 type FailurePlan = Vec<(usize, f64, Option<f64>)>;
 
-fn draw_plan(cfg: &ProtocolConfig, rate: f64, birth: f64, rng: &mut SimRng) -> FailurePlan {
-    let mut plan = Vec::new();
+fn draw_plan(
+    cfg: &ProtocolConfig,
+    rate: f64,
+    birth: f64,
+    rng: &mut SimRng,
+    plan: &mut FailurePlan,
+) {
+    plan.clear();
     for sat in 0..cfg.k {
         if !rng.chance(rate) {
             continue;
@@ -201,7 +208,6 @@ fn draw_plan(cfg: &ProtocolConfig, rate: f64, birth: f64, rng: &mut SimRng) -> F
             plan.push((sat, from, Some(from + len)));
         }
     }
-    plan
 }
 
 fn apply_plan(mut ep: Episode, plan: &FailurePlan) -> Episode {
@@ -223,12 +229,77 @@ fn stays_alive(plan: &FailurePlan, sat: usize, t0: f64, tau: f64) -> bool {
 /// The protocol configuration of one campaign cell (reference k = 10
 /// plane with the cell's fault mix applied).
 fn cell_config(spec: &CellSpec) -> ProtocolConfig {
-    let mut cfg = ProtocolConfig::reference(10, Scheme::Oaq);
+    cell_config_from(&ProtocolConfig::reference(10, Scheme::Oaq), spec)
+}
+
+/// Applies one cell's fault mix on top of an arbitrary base scenario —
+/// the generalization behind [`cell_config`] that lets a campaign sweep a
+/// Walker-preset mega-constellation instead of the reference plane.
+fn cell_config_from(base: &ProtocolConfig, spec: &CellSpec) -> ProtocolConfig {
+    let mut cfg = *base;
     spec.loss.apply(&mut cfg);
     cfg.retry_budget = spec.retry_budget;
     cfg.retry_timeout = 0.25;
     cfg.validate();
     cfg
+}
+
+/// The constellation a campaign runs against plus the scheduler knobs of
+/// one run: a base protocol configuration (each cell's fault mix is
+/// applied on top), an optional explicit coverage geometry for
+/// non-reference constellations (e.g. a Walker/Starlink preset), and the
+/// worker/chunk/steal configuration. [`run_cell_workers`] is the
+/// reference-plane shorthand for `Scenario::reference(workers)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario<'a> {
+    /// Base protocol configuration (fault-free; cells overlay their mix).
+    pub base: &'a ProtocolConfig,
+    /// Explicit coverage geometry, `None` = derive from `base` (reference
+    /// evenly-spaced plane).
+    pub geometry: Option<&'a CoverageGeometry>,
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+    /// Episodes per work chunk (`None` = adaptive).
+    pub chunk: Option<u64>,
+    /// Switch on the scheduler's forced-steal stressor (cannot change any
+    /// outcome — that is the contract the invariance tests pin down).
+    pub forced_steals: bool,
+}
+
+impl<'a> Scenario<'a> {
+    /// A scenario over `base` with default scheduling (adaptive chunks, no
+    /// forced steals).
+    #[must_use]
+    pub fn new(base: &'a ProtocolConfig, workers: usize) -> Self {
+        Scenario {
+            base,
+            geometry: None,
+            workers,
+            chunk: None,
+            forced_steals: false,
+        }
+    }
+
+    /// Attaches an explicit coverage geometry (Walker presets etc.).
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: &'a CoverageGeometry) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
+    /// Overrides the chunk size.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: Option<u64>) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Switches the forced-steal stressor on or off.
+    #[must_use]
+    pub fn with_forced_steals(mut self, forced: bool) -> Self {
+        self.forced_steals = forced;
+        self
+    }
 }
 
 /// Derives episode `i`'s `(seed, birth, duration, fault plan)` from the
@@ -240,14 +311,28 @@ fn episode_setup(
     base_seed: u64,
     i: u64,
 ) -> (u64, f64, f64, FailurePlan) {
+    let mut plan = Vec::new();
+    let (seed, birth, duration) = episode_setup_into(cfg, spec, base_seed, i, &mut plan);
+    (seed, birth, duration, plan)
+}
+
+/// [`episode_setup`] writing the fault plan into a recycled buffer, so the
+/// campaign hot loop draws each episode's plan without allocating.
+fn episode_setup_into(
+    cfg: &ProtocolConfig,
+    spec: &CellSpec,
+    base_seed: u64,
+    i: u64,
+    plan: &mut FailurePlan,
+) -> (u64, f64, f64) {
     let seed = episode_seed(base_seed, i);
     // The fault plan draws from an offset stream so it stays
     // independent of (but reproducible with) the episode's own RNG.
     let mut plan_rng = SimRng::seed_from(seed.wrapping_add(1));
     let birth = cfg.theta + plan_rng.uniform(0.0, cfg.theta);
     let duration = plan_rng.exp(0.2);
-    let plan = draw_plan(cfg, spec.node_failure_rate, birth, &mut plan_rng);
-    (seed, birth, duration, plan)
+    draw_plan(cfg, spec.node_failure_rate, birth, &mut plan_rng, plan);
+    (seed, birth, duration)
 }
 
 /// Per-chunk campaign tallies; all-integer plus an order-preserving
@@ -288,16 +373,48 @@ impl CellSink {
     }
 }
 
+/// Per-worker campaign scratch: the core episode buffers plus a recycled
+/// [`Episode`] (keeping its geometry clone and fault-list capacity) and the
+/// drawn fault plan — together they make the cell hot loop allocation-free.
+#[derive(Default)]
+struct CellScratch {
+    scratch: EpisodeScratch,
+    episode: Option<Episode>,
+    plan: FailurePlan,
+}
+
 /// Runs episode `i` of a cell on the untraced fast path and tallies it.
 ///
 /// Tracing is only needed for the (normally empty) violation set, so the
 /// hot loop skips it entirely; a violating episode is re-run traced from
 /// its recorded seed — bit-identical by construction — to capture the
 /// replayable record.
-fn run_episode(cfg: &ProtocolConfig, spec: &CellSpec, base_seed: u64, i: u64, sink: &mut CellSink) {
-    let (seed, birth, duration, plan) = episode_setup(cfg, spec, base_seed, i);
-    let ep = apply_plan(Episode::new(cfg, seed), &plan);
-    let result = ep.run(birth, duration);
+fn run_episode(
+    cfg: &ProtocolConfig,
+    geometry: Option<&CoverageGeometry>,
+    spec: &CellSpec,
+    base_seed: u64,
+    i: u64,
+    cell: &mut CellScratch,
+    sink: &mut CellSink,
+) {
+    let CellScratch {
+        scratch,
+        episode,
+        plan,
+    } = cell;
+    let (seed, birth, duration) = episode_setup_into(cfg, spec, base_seed, i, plan);
+    // One `Episode` per worker, re-armed in place each iteration: its
+    // geometry clone and fault lists persist across episodes.
+    let ep = episode.get_or_insert_with(|| build_episode(cfg, geometry, seed));
+    ep.reset(cfg, seed);
+    for &(sat, from, until) in plan.iter() {
+        match until {
+            None => ep.add_failure(sat, from),
+            Some(u) => ep.add_failure_window(sat, from, u),
+        }
+    }
+    let result = ep.run_scratch(birth, duration, scratch);
     let (Some(t0), Some(detector)) = (result.detected_at, result.detector) else {
         return;
     };
@@ -308,13 +425,13 @@ fn run_episode(cfg: &ProtocolConfig, spec: &CellSpec, base_seed: u64, i: u64, si
     if result.level >= QosLevel::SequentialDual {
         sink.quality += 1;
     }
-    if stays_alive(&plan, detector, t0, cfg.tau) {
+    if stays_alive(plan, detector, t0, cfg.tau) {
         sink.live_detector += 1;
         let guaranteed = result.deadline_met && result.level >= QosLevel::Single;
         if guaranteed {
             sink.live_detector_timely += 1;
         } else {
-            let (replayed, trace) = replay_episode(spec, base_seed, i);
+            let (replayed, trace) = replay_with(cfg, geometry, spec, base_seed, i);
             debug_assert_eq!(
                 replayed, result,
                 "traced replay must agree with the fast path"
@@ -330,6 +447,16 @@ fn run_episode(cfg: &ProtocolConfig, spec: &CellSpec, base_seed: u64, i: u64, si
     }
 }
 
+/// Builds the episode for one cell run, attaching the scenario's explicit
+/// geometry when it has one.
+fn build_episode(cfg: &ProtocolConfig, geometry: Option<&CoverageGeometry>, seed: u64) -> Episode {
+    let ep = Episode::new(cfg, seed);
+    match geometry {
+        Some(g) => ep.with_geometry(g.clone()),
+        None => ep,
+    }
+}
+
 /// Re-runs one campaign episode with full tracing enabled.
 ///
 /// This is the replay path behind every [`Violation`] record: the episode
@@ -342,9 +469,38 @@ pub fn replay_episode(
     base_seed: u64,
     episode: u64,
 ) -> (EpisodeOutcome, Vec<String>) {
-    let cfg = cell_config(spec);
-    let (seed, birth, duration, plan) = episode_setup(&cfg, spec, base_seed, episode);
-    let ep = apply_plan(Episode::new(&cfg, seed), &plan);
+    replay_with(&cell_config(spec), None, spec, base_seed, episode)
+}
+
+/// [`replay_episode`] against an arbitrary scenario: the cell config is
+/// rebuilt from `scenario.base` and the scenario's geometry (if any) is
+/// re-attached, so violations reported by a mega-constellation campaign
+/// replay bit-for-bit too.
+#[must_use]
+pub fn replay_episode_scenario(
+    scenario: &Scenario<'_>,
+    spec: &CellSpec,
+    base_seed: u64,
+    episode: u64,
+) -> (EpisodeOutcome, Vec<String>) {
+    replay_with(
+        &cell_config_from(scenario.base, spec),
+        scenario.geometry,
+        spec,
+        base_seed,
+        episode,
+    )
+}
+
+fn replay_with(
+    cfg: &ProtocolConfig,
+    geometry: Option<&CoverageGeometry>,
+    spec: &CellSpec,
+    base_seed: u64,
+    episode: u64,
+) -> (EpisodeOutcome, Vec<String>) {
+    let (seed, birth, duration, plan) = episode_setup(cfg, spec, base_seed, episode);
+    let ep = apply_plan(build_episode(cfg, geometry, seed), &plan);
     let (result, trace) = ep.run_traced(birth, duration);
     (result, trace.iter().map(ToString::to_string).collect())
 }
@@ -390,19 +546,49 @@ pub fn run_cell_fanout(
     workers: usize,
     chunk: Option<u64>,
 ) -> CellOutcome {
-    let cfg = cell_config(spec);
+    let base = ProtocolConfig::reference(10, Scheme::Oaq);
+    run_cell_scenario(
+        &Scenario::new(&base, workers).with_chunk(chunk),
+        spec,
+        episodes,
+        base_seed,
+    )
+}
+
+/// Runs one campaign cell against an arbitrary [`Scenario`] — any base
+/// configuration and coverage geometry (Walker presets included), any
+/// worker/chunk/forced-steal mix. Per-worker [`EpisodeScratch`] keeps the
+/// episode hot loop allocation-free; the outcome is bit-identical across
+/// every scheduling configuration.
+///
+/// # Panics
+///
+/// Panics when `scenario.chunk` is `Some(0)` or on an invalid base config.
+#[must_use]
+pub fn run_cell_scenario(
+    scenario: &Scenario<'_>,
+    spec: &CellSpec,
+    episodes: u64,
+    base_seed: u64,
+) -> CellOutcome {
+    let cfg = cell_config_from(scenario.base, spec);
+    let geometry = scenario.geometry;
     // The engine's substream rng is deliberately unused: the campaign's
     // episode-seed scheme predates the replication engine and recorded
     // violation seeds must stay replayable, so episodes re-derive their
     // streams from `episode_seed` (the same mixing function) instead.
-    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
-        episodes,
-        base_seed,
-        CellSink::default,
-        |i, _rng, sink| {
-            run_episode(&cfg, spec, base_seed, i, sink);
-        },
-    );
+    let sink = Replicator::new(scenario.workers)
+        .with_chunk_override(scenario.chunk)
+        .with_forced_steals(scenario.forced_steals)
+        .run_scratch(
+            episodes,
+            base_seed,
+            CellSink::default,
+            CellScratch::default,
+            |i, _rng, scratch, sink| {
+                run_episode(&cfg, geometry, spec, base_seed, i, scratch, sink);
+            },
+        );
     sink.into_outcome(spec, episodes)
 }
 
@@ -488,24 +674,63 @@ pub fn run_grid_fanout(
     workers: usize,
     chunk: Option<u64>,
 ) -> Vec<CellOutcome> {
+    let base = ProtocolConfig::reference(10, Scheme::Oaq);
+    run_grid_scenario(
+        &Scenario::new(&base, workers).with_chunk(chunk),
+        specs,
+        episodes,
+        base_seed,
+    )
+}
+
+/// [`run_grid_fanout`] against an arbitrary [`Scenario`]. Each cell's
+/// outcome is bit-identical to [`run_cell_scenario`] on that cell, for any
+/// worker count, chunk size, or steal schedule.
+///
+/// # Panics
+///
+/// Panics when `scenario.chunk` is `Some(0)` or on an invalid base config.
+#[must_use]
+pub fn run_grid_scenario(
+    scenario: &Scenario<'_>,
+    specs: &[CellSpec],
+    episodes: u64,
+    base_seed: u64,
+) -> Vec<CellOutcome> {
     if episodes == 0 {
         return specs
             .iter()
             .map(|spec| CellSink::default().into_outcome(spec, 0))
             .collect();
     }
-    let cfgs: Vec<ProtocolConfig> = specs.iter().map(cell_config).collect();
+    let cfgs: Vec<ProtocolConfig> = specs
+        .iter()
+        .map(|spec| cell_config_from(scenario.base, spec))
+        .collect();
+    let geometry = scenario.geometry;
     let total = specs.len() as u64 * episodes;
-    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
-        total,
-        base_seed,
-        || GridSink(vec![CellSink::default(); specs.len()]),
-        |g, _rng, sink| {
-            let c = (g / episodes) as usize;
-            let i = g % episodes;
-            run_episode(&cfgs[c], &specs[c], base_seed, i, &mut sink.0[c]);
-        },
-    );
+    let sink = Replicator::new(scenario.workers)
+        .with_chunk_override(scenario.chunk)
+        .with_forced_steals(scenario.forced_steals)
+        .run_scratch(
+            total,
+            base_seed,
+            || GridSink(vec![CellSink::default(); specs.len()]),
+            CellScratch::default,
+            |g, _rng, scratch, sink| {
+                let c = (g / episodes) as usize;
+                let i = g % episodes;
+                run_episode(
+                    &cfgs[c],
+                    geometry,
+                    &specs[c],
+                    base_seed,
+                    i,
+                    scratch,
+                    &mut sink.0[c],
+                );
+            },
+        );
     sink.0
         .into_iter()
         .zip(specs)
@@ -713,6 +938,68 @@ mod tests {
             let out = run_cell_fanout(&spec, 120, 11, 2, Some(chunk));
             assert_cells_identical(&out, &reference);
         }
+    }
+
+    #[test]
+    fn forced_steals_never_change_a_cell() {
+        let spec = CellSpec {
+            loss: LossAxis::Bursty {
+                marginal: 0.3,
+                burst_len: 4.0,
+            },
+            node_failure_rate: 0.3,
+            retry_budget: 1,
+        };
+        let reference = run_cell(&spec, 120, 11);
+        let base = ProtocolConfig::reference(10, Scheme::Oaq);
+        for workers in [2, 4] {
+            for chunk in [None, Some(16u64), Some(7)] {
+                let stressed = run_cell_scenario(
+                    &Scenario::new(&base, workers)
+                        .with_chunk(chunk)
+                        .with_forced_steals(true),
+                    &spec,
+                    120,
+                    11,
+                );
+                assert_cells_identical(&stressed, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_geometry_changes_outcomes_but_stays_deterministic() {
+        // A staggered two-plane geometry is a different constellation, so
+        // the tallies differ from the reference plane — but the scenario
+        // path keeps its own bit-identity across scheduling configs and
+        // its violations replay through `replay_episode_scenario`.
+        let spec = CellSpec {
+            loss: LossAxis::Iid { p: 0.2 },
+            node_failure_rate: 0.2,
+            retry_budget: 1,
+        };
+        let base = ProtocolConfig::reference(10, Scheme::Oaq);
+        let geom = CoverageGeometry::with_offsets(
+            vec![0.0, 9.0, 18.0, 27.0, 36.0, 45.0, 54.0, 63.0, 72.0, 81.0],
+            base.theta,
+            base.tc,
+        );
+        let scenario = Scenario::new(&base, 1).with_geometry(&geom);
+        let a = run_cell_scenario(&scenario, &spec, 80, 7);
+        let b = run_cell_scenario(
+            &Scenario::new(&base, 4)
+                .with_geometry(&geom)
+                .with_chunk(Some(5))
+                .with_forced_steals(true),
+            &spec,
+            80,
+            7,
+        );
+        assert_cells_identical(&a, &b);
+        let (out_a, trace_a) = replay_episode_scenario(&scenario, &spec, 7, 3);
+        let (out_b, trace_b) = replay_episode_scenario(&scenario, &spec, 7, 3);
+        assert_eq!(out_a, out_b);
+        assert_eq!(trace_a, trace_b);
     }
 
     #[test]

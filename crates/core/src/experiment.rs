@@ -9,7 +9,7 @@ use oaq_sim::par::{Merge, Replicator};
 use oaq_sim::rng::substream_seed;
 
 use crate::config::ProtocolConfig;
-use crate::protocol::Episode;
+use crate::protocol::{Episode, EpisodeScratch};
 use crate::qos_level::QosLevel;
 
 /// Monte-Carlo options.
@@ -134,33 +134,58 @@ pub fn estimate_conditional_qos_fanout(
     workers: usize,
     chunk: Option<u64>,
 ) -> QosEstimate {
+    estimate_conditional_qos_stressed(cfg, opts, workers, chunk, false)
+}
+
+/// [`estimate_conditional_qos_fanout`] with the scheduler's forced-steal
+/// stressor switched on. Stealing moves episodes between workers but each
+/// episode still runs under its own substream and per-worker
+/// [`EpisodeScratch`], so the estimate is unchanged by construction — this
+/// entry exists so invariance tests and benches can prove that.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0`, `mu <= 0`, `chunk == Some(0)`, or on
+/// invalid `cfg`.
+#[must_use]
+pub fn estimate_conditional_qos_stressed(
+    cfg: &ProtocolConfig,
+    opts: &MonteCarloOptions,
+    workers: usize,
+    chunk: Option<u64>,
+    forced_steals: bool,
+) -> QosEstimate {
     assert!(opts.episodes > 0, "need at least one episode");
     assert!(opts.mu.is_finite() && opts.mu > 0.0, "mu must be positive");
     cfg.validate();
-    let sink = Replicator::new(workers).with_chunk_override(chunk).run(
-        opts.episodes as u64,
-        opts.seed,
-        QosSink::default,
-        |i, rng, sink| {
-            // Offset births away from t = 0 so pre-birth coverage history is
-            // well-defined for every satellite.
-            let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
-            let duration = rng.exp(opts.mu);
-            let episode_seed = substream_seed(opts.seed, i).wrapping_add(1);
-            let out = Episode::new(cfg, episode_seed).run(birth, duration);
-            sink.counts[out.level.as_y()] += 1;
-            sink.messages += out.messages_sent;
-            if out.level > QosLevel::Missed {
-                sink.detected += 1;
-                if out.deadline_met {
-                    sink.timely += 1;
+    let sink = Replicator::new(workers)
+        .with_chunk_override(chunk)
+        .with_forced_steals(forced_steals)
+        .run_scratch(
+            opts.episodes as u64,
+            opts.seed,
+            QosSink::default,
+            EpisodeScratch::new,
+            |i, rng, scratch, sink| {
+                // Offset births away from t = 0 so pre-birth coverage history
+                // is well-defined for every satellite.
+                let birth = cfg.theta + rng.uniform(0.0, cfg.tr());
+                let duration = rng.exp(opts.mu);
+                let episode_seed = substream_seed(opts.seed, i).wrapping_add(1);
+                let out = Episode::new(cfg, episode_seed).run_scratch(birth, duration, scratch);
+                sink.counts[out.level.as_y()] += 1;
+                sink.messages += out.messages_sent;
+                if out.level > QosLevel::Missed {
+                    sink.detected += 1;
+                    if out.deadline_met {
+                        sink.timely += 1;
+                    }
+                    if let Some(at) = out.delivered_at {
+                        sink.latencies.push(at - birth);
+                    }
                 }
-                if let Some(at) = out.delivered_at {
-                    sink.latencies.push(at - birth);
-                }
-            }
-        },
-    );
+            },
+        );
     let n = opts.episodes as f64;
     QosEstimate {
         p: [
@@ -280,6 +305,19 @@ mod tests {
         for chunk in [1u64, 13, 400, 10_000] {
             let par = estimate_conditional_qos_fanout(&cfg, &opts(0.5, 400), 2, Some(chunk));
             assert_eq!(par, serial, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn forced_steals_never_change_the_estimate() {
+        let cfg = ProtocolConfig::reference(9, Scheme::Oaq);
+        let serial = estimate_conditional_qos(&cfg, &opts(0.5, 400));
+        for workers in [2, 4] {
+            for chunk in [None, Some(16u64), Some(7)] {
+                let stressed =
+                    estimate_conditional_qos_stressed(&cfg, &opts(0.5, 400), workers, chunk, true);
+                assert_eq!(stressed, serial, "{workers} workers, chunk {chunk:?}");
+            }
         }
     }
 

@@ -65,5 +65,5 @@ pub mod satellite;
 pub mod signal;
 
 pub use config::{ProtocolConfig, Scheme};
-pub use protocol::{Episode, TraceEntry, TraceEvent};
+pub use protocol::{Episode, EpisodeScratch, TraceEntry, TraceEvent};
 pub use qos_level::{EpisodeOutcome, QosLevel};

@@ -8,10 +8,11 @@
 //! specifies — TC-3 (signal stopped) in particular is only ever *inferred*
 //! via the wait timeout `τ − (n−1)δ`.
 
+use oaq_net::fault::FaultPlan;
 use oaq_net::link::LinkSpec;
 use oaq_net::topology::Topology;
 use oaq_net::{Envelope, Network, NodeId, ReliableLink, ReliableOutcome, SendOutcome};
-use oaq_sim::{Context, Model, SimDuration, SimTime, Simulation};
+use oaq_sim::{Context, EventQueue, Model, SimDuration, SimTime, Simulation};
 
 use crate::config::{ProtocolConfig, Scheme};
 use crate::coordination::CoordMessage;
@@ -219,23 +220,23 @@ impl EpisodeModel {
         t0 + self.cfg.tau
     }
 
-    fn alive_covering(&self, t: f64) -> Vec<usize> {
-        self.geom
-            .covering_at(t)
-            .into_iter()
-            .filter(|&j| self.alive(j, t))
-            .collect()
+    /// Count and freshest member of the set of *live* satellites covering
+    /// the target at `t` — the allocation-free equivalent of filtering
+    /// [`CoverageGeometry::covering_at`] by liveness and taking
+    /// `(len, last)`.
+    fn alive_covering_summary(&self, t: f64) -> (usize, Option<usize>) {
+        self.geom.covering_summary(t, |j| self.alive(j, t))
     }
 
     /// Records the detection and starts `S1`'s initial computation.
     fn detect(&mut self, ctx: &mut Context<Ev>) {
         let now = ctx.now().as_minutes();
-        let covering = self.alive_covering(now + COVERAGE_EPS);
-        let Some(&s1) = covering.last() else {
+        let (covering_count, freshest) = self.alive_covering_summary(now + COVERAGE_EPS);
+        let Some(s1) = freshest else {
             return;
         };
         self.detection = Some((now, s1));
-        let simultaneous = covering.len() >= 2;
+        let simultaneous = covering_count >= 2;
         self.record(
             now,
             TraceEvent::Detection {
@@ -423,11 +424,13 @@ impl EpisodeModel {
     /// Begins `sat`'s measurement + iterative computation at `now`.
     fn start_computing(&mut self, sat: usize, ctx: &mut Context<Ev>) {
         let now = ctx.now().as_minutes();
-        let mut covering = self.alive_covering(now + COVERAGE_EPS);
-        if !covering.contains(&sat) {
-            covering.push(sat);
+        let t = now + COVERAGE_EPS;
+        let (mut covering_count, _) = self.alive_covering_summary(t);
+        // `sat` itself counts even if its own window has not quite opened.
+        if !(self.geom.is_covering(sat, t) && self.alive(sat, t)) {
+            covering_count += 1;
         }
-        let simultaneous = covering.len() >= 2;
+        let simultaneous = covering_count >= 2;
         let st = &mut self.sats[sat];
         st.passes += 1;
         st.simultaneous = simultaneous;
@@ -580,7 +583,7 @@ impl EpisodeModel {
                 // Spurious wake-up (e.g. raced a failure); rescan.
                 let alive: Vec<bool> = (0..self.cfg.k).map(|j| self.alive(j, now)).collect();
                 if let Some(t) = self.geom.earliest_coverage(&alive, now, self.t_end) {
-                    let covering_next = self.alive_covering(t).last().copied();
+                    let covering_next = self.alive_covering_summary(t).1;
                     if let Some(s) = covering_next {
                         ctx.schedule_at(SimTime::new(t), Ev::Arrival { sat: s });
                     }
@@ -683,7 +686,7 @@ impl Model for EpisodeModel {
         match ev {
             Ev::SignalStart => {
                 let now = ctx.now().as_minutes();
-                if !self.alive_covering(now).is_empty() {
+                if self.alive_covering_summary(now).0 > 0 {
                     self.detect(ctx);
                 } else {
                     let alive: Vec<bool> = (0..self.cfg.k).map(|j| self.alive(j, now)).collect();
@@ -711,6 +714,48 @@ impl Model for EpisodeModel {
             Ev::WaitTimeout { sat } => self.on_wait_timeout(sat, ctx),
             Ev::RequestGaveUp { sat } => self.on_request_gave_up(sat, ctx),
         }
+    }
+}
+
+/// Identity of a cached geometry + topology pair: the evenly-phased
+/// reference construction is keyed by its parameters; a caller-supplied
+/// geometry is compared by value on reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GeomKey {
+    Reference { k: usize, theta: u64, tc: u64 },
+    Custom,
+}
+
+#[derive(Debug)]
+struct EpisodeStatics {
+    key: GeomKey,
+    max_skip: usize,
+    geom: CoverageGeometry,
+    topology: Topology,
+}
+
+/// Reusable per-worker episode buffers for [`Episode::run_scratch`].
+///
+/// Holds the coverage geometry and crosslink topology (immutable during a
+/// run, so value-identical to a fresh build) plus the per-satellite state
+/// vectors, all recycled across episodes instead of reallocated. Results
+/// are bit-identical with or without scratch reuse — the buffers are
+/// capacity, not state.
+#[derive(Debug, Default)]
+pub struct EpisodeScratch {
+    statics: Option<EpisodeStatics>,
+    sats: Vec<SatelliteState>,
+    tried: Vec<Vec<usize>>,
+    deliveries: Vec<Delivery>,
+    faults: FaultPlan,
+    queue: EventQueue<Ev>,
+}
+
+impl EpisodeScratch {
+    /// Fresh scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        EpisodeScratch::default()
     }
 }
 
@@ -764,6 +809,27 @@ impl Episode {
         self
     }
 
+    /// Re-arms the episode under a (possibly different) config and seed,
+    /// forgetting every scheduled fault while keeping the geometry override
+    /// and the fault buffers' capacity — the allocation-free way to reuse
+    /// one `Episode` across many replications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or disagrees with an attached geometry's
+    /// satellite count.
+    pub fn reset(&mut self, cfg: &ProtocolConfig, seed: u64) {
+        cfg.validate();
+        if let Some(g) = &self.geometry {
+            assert_eq!(g.k(), cfg.k, "geometry must describe exactly k satellites");
+        }
+        self.cfg = *cfg;
+        self.seed = seed;
+        self.failures.clear();
+        self.failure_windows.clear();
+        self.outages.clear();
+    }
+
     /// Schedules satellite `sat` to go fail-silent at `time` (minutes).
     ///
     /// # Panics
@@ -771,9 +837,18 @@ impl Episode {
     /// Panics if `sat >= k`.
     #[must_use]
     pub fn with_failure(mut self, sat: usize, time: f64) -> Self {
+        self.add_failure(sat, time);
+        self
+    }
+
+    /// In-place [`with_failure`](Episode::with_failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sat >= k`.
+    pub fn add_failure(&mut self, sat: usize, time: f64) {
         assert!(sat < self.cfg.k, "satellite index out of range");
         self.failures.push((sat, time));
-        self
     }
 
     /// Schedules a crash-recovery window: `sat` is down over `[from, until)`
@@ -784,10 +859,19 @@ impl Episode {
     /// Panics if `sat >= k` or `from >= until`.
     #[must_use]
     pub fn with_failure_window(mut self, sat: usize, from: f64, until: f64) -> Self {
+        self.add_failure_window(sat, from, until);
+        self
+    }
+
+    /// In-place [`with_failure_window`](Episode::with_failure_window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sat >= k` or `from >= until`.
+    pub fn add_failure_window(&mut self, sat: usize, from: f64, until: f64) {
         assert!(sat < self.cfg.k, "satellite index out of range");
         assert!(from < until, "need from < until");
         self.failure_windows.push((sat, from, until));
-        self
     }
 
     /// Schedules a transient crosslink outage between satellites `a` and
@@ -798,13 +882,22 @@ impl Episode {
     /// Panics if an index is out of range or `from >= until`.
     #[must_use]
     pub fn with_link_outage(mut self, a: usize, b: usize, from: f64, until: f64) -> Self {
+        self.add_link_outage(a, b, from, until);
+        self
+    }
+
+    /// In-place [`with_link_outage`](Episode::with_link_outage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `from >= until`.
+    pub fn add_link_outage(&mut self, a: usize, b: usize, from: f64, until: f64) {
         assert!(
             a < self.cfg.k && b < self.cfg.k,
             "satellite index out of range"
         );
         assert!(from < until, "need from < until");
         self.outages.push((a, b, from, until));
-        self
     }
 
     /// Runs the episode for a signal born at `t_birth` lasting `duration`
@@ -815,7 +908,25 @@ impl Episode {
     /// Panics on negative times.
     #[must_use]
     pub fn run(&self, t_birth: f64, duration: f64) -> EpisodeOutcome {
-        self.run_inner(t_birth, duration, false).0
+        self.run_inner(t_birth, duration, false, &mut EpisodeScratch::new())
+            .0
+    }
+
+    /// [`run`](Episode::run) with caller-provided scratch buffers, so a
+    /// worker replaying many episodes reuses the geometry, topology and
+    /// state vectors instead of rebuilding them. Bit-identical to `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative times.
+    #[must_use]
+    pub fn run_scratch(
+        &self,
+        t_birth: f64,
+        duration: f64,
+        scratch: &mut EpisodeScratch,
+    ) -> EpisodeOutcome {
+        self.run_inner(t_birth, duration, false, scratch).0
     }
 
     /// Runs the episode and also returns the full protocol trace — every
@@ -827,8 +938,63 @@ impl Episode {
     /// Panics on negative times.
     #[must_use]
     pub fn run_traced(&self, t_birth: f64, duration: f64) -> (EpisodeOutcome, Vec<TraceEntry>) {
-        let (outcome, trace) = self.run_inner(t_birth, duration, true);
+        let (outcome, trace) = self.run_inner(t_birth, duration, true, &mut EpisodeScratch::new());
         (outcome, trace.expect("trace requested"))
+    }
+
+    /// The geometry + topology for this episode: recycled from the scratch
+    /// when its cached pair was built from identical inputs, else built
+    /// fresh. Both are immutable during a run, so a cache hit is
+    /// value-identical to a rebuild.
+    fn statics(
+        &self,
+        scratch: &mut EpisodeScratch,
+        max_skip: usize,
+    ) -> (CoverageGeometry, Topology) {
+        let key = match &self.geometry {
+            Some(_) => GeomKey::Custom,
+            None => GeomKey::Reference {
+                k: self.cfg.k,
+                theta: self.cfg.theta.to_bits(),
+                tc: self.cfg.tc.to_bits(),
+            },
+        };
+        if let Some(st) = scratch.statics.take() {
+            let usable = st.max_skip == max_skip
+                && match &self.geometry {
+                    Some(g) => st.key == GeomKey::Custom && st.geom == *g,
+                    None => st.key == key,
+                };
+            if usable {
+                return (st.geom, st.topology);
+            }
+        }
+        let geom = self
+            .geometry
+            .clone()
+            .unwrap_or_else(|| CoverageGeometry::new(self.cfg.k, self.cfg.theta, self.cfg.tc));
+        // Crosslinks follow *visit order* (identical to index order for the
+        // evenly-phased single plane): each satellite links to the peers it
+        // hands coordination to and receives it from, plus chords when
+        // membership-assisted recruitment may skip dead peers.
+        let topology = if self.cfg.k < 2 {
+            // A degenerate single-node "ring": no links.
+            Topology::new()
+        } else {
+            let order = geom.visit_order();
+            let k = self.cfg.k;
+            let mut t = Topology::new();
+            for i in 0..k {
+                for skip in 1..=max_skip {
+                    t.link(
+                        NodeId(order[i] as u32),
+                        NodeId(order[(i + skip) % k] as u32),
+                    );
+                }
+            }
+            t
+        };
+        (geom, topology)
     }
 
     fn run_inner(
@@ -836,6 +1002,7 @@ impl Episode {
         t_birth: f64,
         duration: f64,
         traced: bool,
+        scratch: &mut EpisodeScratch,
     ) -> (EpisodeOutcome, Option<Vec<TraceEntry>>) {
         assert!(
             t_birth >= 0.0 && duration >= 0.0,
@@ -851,114 +1018,143 @@ impl Episode {
                 .with_loss(self.cfg.message_loss)
                 .expect("loss validated by config"),
         };
-        let geom = self
-            .geometry
-            .clone()
-            .unwrap_or_else(|| CoverageGeometry::new(self.cfg.k, self.cfg.theta, self.cfg.tc));
-        // Crosslinks follow *visit order* (identical to index order for the
-        // evenly-phased single plane): each satellite links to the peers it
-        // hands coordination to and receives it from, plus chords when
-        // membership-assisted recruitment may skip dead peers.
-        let topology = if self.cfg.k < 2 {
-            // A degenerate single-node "ring": no links.
-            Topology::new()
+        let max_skip = if self.cfg.k < 2 {
+            0
         } else {
-            let order = geom.visit_order();
-            let k = self.cfg.k;
-            let max_skip = self.cfg.membership.map_or(1, |h| h.max_skip.min(k - 1));
-            let mut t = Topology::new();
-            for i in 0..k {
-                for skip in 1..=max_skip {
-                    t.link(
-                        NodeId(order[i] as u32),
-                        NodeId(order[(i + skip) % k] as u32),
-                    );
-                }
-            }
-            t
+            self.cfg
+                .membership
+                .map_or(1, |h| h.max_skip.min(self.cfg.k - 1))
         };
-        let mut net = Network::new(topology, link);
+        let (geom, topology) = self.statics(scratch, max_skip);
+        let statics_key = match &self.geometry {
+            Some(_) => GeomKey::Custom,
+            None => GeomKey::Reference {
+                k: self.cfg.k,
+                theta: self.cfg.theta.to_bits(),
+                tc: self.cfg.tc.to_bits(),
+            },
+        };
+        // The fault plan is recycled from the scratch: cleared (keeping its
+        // buffers) and repopulated from this episode's schedule.
+        let mut faults = std::mem::take(&mut scratch.faults);
+        faults.clear();
         for &(sat, time) in &self.failures {
-            net.faults_mut()
-                .fail_at(NodeId(sat as u32), SimTime::new(time));
+            faults.fail_at(NodeId(sat as u32), SimTime::new(time));
         }
         for &(sat, from, until) in &self.failure_windows {
-            net.faults_mut().fail_between(
-                NodeId(sat as u32),
-                SimTime::new(from),
-                SimTime::new(until),
-            );
+            faults.fail_between(NodeId(sat as u32), SimTime::new(from), SimTime::new(until));
         }
         for &(a, b, from, until) in &self.outages {
-            net.faults_mut().outage_between(
+            faults.outage_between(
                 NodeId(a as u32),
                 NodeId(b as u32),
                 SimTime::new(from),
                 SimTime::new(until),
             );
         }
+        let net = Network::new(topology, link).with_faults(faults);
+        // Per-satellite vectors recycled from the scratch: cleared and
+        // re-initialized in place, keeping their capacity.
+        let mut sats = std::mem::take(&mut scratch.sats);
+        sats.clear();
+        sats.resize(self.cfg.k, SatelliteState::new());
+        let mut tried = std::mem::take(&mut scratch.tried);
+        for v in &mut tried {
+            v.clear();
+        }
+        tried.resize_with(self.cfg.k, Vec::new);
+        let mut deliveries = std::mem::take(&mut scratch.deliveries);
+        deliveries.clear();
+
         let model = EpisodeModel {
             geom,
             net,
             reliable: ReliableLink::new(self.cfg.retry_policy()),
             delta_eff: self.cfg.delta_eff(),
-            sats: vec![SatelliteState::new(); self.cfg.k],
-            tried: vec![Vec::new(); self.cfg.k],
+            sats,
+            tried,
             t_start: t_birth,
             t_end: t_birth + duration,
             detection: None,
-            deliveries: Vec::new(),
+            deliveries,
             s1_released_at: None,
             trace: if traced { Some(Vec::new()) } else { None },
             cfg: self.cfg,
         };
-        let mut sim = Simulation::new(model, self.seed);
+        let mut sim = Simulation::with_queue(model, self.seed, std::mem::take(&mut scratch.queue));
         sim.schedule_at(SimTime::new(t_birth), Ev::SignalStart);
         sim.run_to_completion();
-        let m = sim.into_model();
+        let (model, queue) = sim.into_parts();
+        scratch.queue = queue;
+        let EpisodeModel {
+            geom,
+            net,
+            sats,
+            tried,
+            detection,
+            mut deliveries,
+            s1_released_at,
+            trace,
+            ..
+        } = model;
 
-        let Some((t0, s1)) = m.detection else {
-            return (EpisodeOutcome::missed(), m.trace);
-        };
-        let deadline = t0 + m.cfg.tau;
-        let messages = m.net.stats().attempts;
-        let in_time: Option<&Delivery> = m
-            .deliveries
-            .iter()
-            .filter(|d| d.at <= deadline + 1e-9)
-            .max_by(|a, b| a.level.cmp(&b.level));
-        let chosen = in_time.or_else(|| {
-            m.deliveries
-                .iter()
-                .min_by(|a, b| a.at.partial_cmp(&b.at).expect("finite"))
+        let messages = net.stats().attempts;
+        // Hand the long-lived buffers back to the scratch for the next
+        // episode (deliveries follow once the outcome is computed).
+        scratch.sats = sats;
+        scratch.tried = tried;
+        let (topology, faults) = net.into_parts();
+        scratch.faults = faults;
+        scratch.statics = Some(EpisodeStatics {
+            key: statics_key,
+            max_skip,
+            geom,
+            topology,
         });
-        let outcome = match chosen {
-            Some(d) => EpisodeOutcome {
-                level: d.level,
-                delivered_at: Some(d.at),
-                deadline_met: d.at <= deadline + 1e-9,
-                chain_length: d.chain_length,
-                messages_sent: messages,
-                s1_released: m.s1_released_at.is_some(),
-                reported_error_km: Some(d.reported_error_km),
-                detected_at: Some(t0),
-                detector: Some(s1),
-            },
-            None => EpisodeOutcome {
-                // Detected but nothing ever reached the ground (e.g. the
-                // only involved satellite went fail-silent).
-                level: QosLevel::Missed,
-                delivered_at: None,
-                deadline_met: false,
-                chain_length: 0,
-                messages_sent: messages,
-                s1_released: m.s1_released_at.is_some(),
-                reported_error_km: None,
-                detected_at: Some(t0),
-                detector: Some(s1),
-            },
+
+        let outcome = if let Some((t0, s1)) = detection {
+            let deadline = t0 + self.cfg.tau;
+            let in_time: Option<&Delivery> = deliveries
+                .iter()
+                .filter(|d| d.at <= deadline + 1e-9)
+                .max_by(|a, b| a.level.cmp(&b.level));
+            let chosen = in_time.or_else(|| {
+                deliveries
+                    .iter()
+                    .min_by(|a, b| a.at.partial_cmp(&b.at).expect("finite"))
+            });
+            match chosen {
+                Some(d) => EpisodeOutcome {
+                    level: d.level,
+                    delivered_at: Some(d.at),
+                    deadline_met: d.at <= deadline + 1e-9,
+                    chain_length: d.chain_length,
+                    messages_sent: messages,
+                    s1_released: s1_released_at.is_some(),
+                    reported_error_km: Some(d.reported_error_km),
+                    detected_at: Some(t0),
+                    detector: Some(s1),
+                },
+                None => EpisodeOutcome {
+                    // Detected but nothing ever reached the ground (e.g. the
+                    // only involved satellite went fail-silent).
+                    level: QosLevel::Missed,
+                    delivered_at: None,
+                    deadline_met: false,
+                    chain_length: 0,
+                    messages_sent: messages,
+                    s1_released: s1_released_at.is_some(),
+                    reported_error_km: None,
+                    detected_at: Some(t0),
+                    detector: Some(s1),
+                },
+            }
+        } else {
+            EpisodeOutcome::missed()
         };
-        (outcome, m.trace)
+        deliveries.clear();
+        scratch.deliveries = deliveries;
+        (outcome, trace)
     }
 }
 

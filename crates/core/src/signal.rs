@@ -24,6 +24,11 @@ pub struct CoverageGeometry {
     /// Per-satellite `(window start offset, window duration)`.
     windows: Vec<(f64, f64)>,
     theta: f64,
+    /// Satellite indices sorted by (offset, index) — precomputed once so
+    /// the per-recruit visit-order queries are allocation-free.
+    order: Vec<usize>,
+    /// Inverse of `order`: `pos[sat]` is `sat`'s rank in the sweep.
+    pos: Vec<usize>,
 }
 
 impl CoverageGeometry {
@@ -66,7 +71,7 @@ impl CoverageGeometry {
     pub fn with_windows(windows: Vec<(f64, f64)>, theta: f64) -> Self {
         assert!(!windows.is_empty(), "need at least one satellite");
         assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
-        let windows = windows
+        let windows: Vec<(f64, f64)> = windows
             .into_iter()
             .map(|(o, d)| {
                 assert!(o.is_finite(), "offsets must be finite");
@@ -78,7 +83,24 @@ impl CoverageGeometry {
                 (if w < 0.0 { w + theta } else { w }, d)
             })
             .collect();
-        CoverageGeometry { windows, theta }
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        order.sort_by(|&a, &b| {
+            windows[a]
+                .0
+                .partial_cmp(&windows[b].0)
+                .expect("offsets are finite")
+                .then(a.cmp(&b))
+        });
+        let mut pos = vec![0usize; windows.len()];
+        for (rank, &sat) in order.iter().enumerate() {
+            pos[sat] = rank;
+        }
+        CoverageGeometry {
+            windows,
+            theta,
+            order,
+            pos,
+        }
     }
 
     /// Number of satellites.
@@ -140,6 +162,36 @@ impl CoverageGeometry {
         // arrival is last.
         sats.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("phases are finite"));
         sats.into_iter().map(|(_, j)| j).collect()
+    }
+
+    /// Count and freshest member of the covering set at `t`, restricted to
+    /// satellites accepted by `keep` — equivalent to filtering
+    /// [`covering_at`](CoverageGeometry::covering_at)`(t)` by `keep` and
+    /// taking `(len, last)`, but without allocating. "Freshest" is the most
+    /// recently arrived satellite: smallest phase, ties resolved to the
+    /// highest index (matching `covering_at`'s stable descending sort).
+    #[must_use]
+    pub fn covering_summary<F: Fn(usize) -> bool>(
+        &self,
+        t: f64,
+        keep: F,
+    ) -> (usize, Option<usize>) {
+        let mut count = 0usize;
+        let mut best: Option<(f64, usize)> = None;
+        for j in 0..self.k() {
+            // Geometry first: it is cheaper than a typical `keep` (fault
+            // query), and only covering satellites pay for the filter.
+            if !self.is_covering(j, t) || !keep(j) {
+                continue;
+            }
+            count += 1;
+            let p = self.phase(j, t);
+            best = match best {
+                Some((bp, bj)) if p > bp => Some((bp, bj)),
+                _ => Some((p, j)),
+            };
+        }
+        (count, best.map(|(_, j)| j))
     }
 
     /// The start of satellite `j`'s first coverage window at or after `t`.
@@ -210,27 +262,16 @@ impl CoverageGeometry {
     /// Panics if `sat >= k`.
     #[must_use]
     pub fn visitor_at(&self, sat: usize, steps: usize) -> usize {
-        let order = self.visit_order();
-        let pos = order
-            .iter()
-            .position(|&j| j == sat)
-            .expect("sat must be in the visit order");
-        order[(pos + steps) % order.len()]
+        assert!(sat < self.k(), "sat must be in the visit order");
+        self.order[(self.pos[sat] + steps) % self.order.len()]
     }
 
     /// Satellite indices in the order their windows sweep the target
-    /// (ascending offset; ties by index).
+    /// (ascending offset; ties by index). Precomputed at construction, so
+    /// this is a free borrow.
     #[must_use]
-    pub fn visit_order(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.k()).collect();
-        order.sort_by(|&a, &b| {
-            self.windows[a]
-                .0
-                .partial_cmp(&self.windows[b].0)
-                .expect("offsets are finite")
-                .then(a.cmp(&b))
-        });
-        order
+    pub fn visit_order(&self) -> &[usize] {
+        &self.order
     }
 
     /// The previous visitor before `sat` in visit order.
@@ -378,5 +419,23 @@ mod tests {
         let g = reference(14); // heavy overlap: Tr ≈ 6.43, Tc = 9
         let c = g.covering_at(7.0); // sat 0 [0,9), sat 1 [6.43, 15.43)
         assert_eq!(c, vec![0, 1]);
+    }
+
+    #[test]
+    fn covering_summary_matches_filtered_covering_at() {
+        // Tie-heavy case: interleaved equal offsets force the tie-break
+        // (highest index among equal phases) to matter.
+        let g = CoverageGeometry::with_offsets(vec![0.0, 20.0, 0.0, 20.0, 40.0], 90.0, 25.0);
+        for step in 0..180 {
+            let t = step as f64 * 0.5;
+            for mask in 0u32..32 {
+                let keep = |j: usize| mask & (1 << j) != 0;
+                let filtered: Vec<usize> =
+                    g.covering_at(t).into_iter().filter(|&j| keep(j)).collect();
+                let (count, freshest) = g.covering_summary(t, keep);
+                assert_eq!(count, filtered.len(), "t={t} mask={mask:b}");
+                assert_eq!(freshest, filtered.last().copied(), "t={t} mask={mask:b}");
+            }
+        }
     }
 }

@@ -13,13 +13,19 @@
 //!    consumed in — so any worker count (including one) produces
 //!    bit-identical output.
 //!
-//! Scheduling is work-stealing: each worker owns a deque seeded with a
-//! contiguous range of task indices; it pops from the front of its own
-//! deque and, when empty, steals the back half of the fullest victim's
-//! deque. Tasks are *claimed before they run*, and no task enqueues new
-//! tasks, so "every deque empty" is a safe exit condition. Because results
-//! land in index-addressed slots, the steal schedule — inherently racy —
-//! is invisible in the output.
+//! Scheduling is work-stealing over packed atomic range cursors: each
+//! worker owns one `AtomicU64` holding `(cursor, end)` — a contiguous
+//! range of unclaimed task indices. The owner claims the front with a
+//! CAS bumping `cursor`; an idle worker steals the back half of the
+//! fullest victim's range with a CAS lowering `end`, and installs the
+//! stolen window as its own. Tasks are *claimed before they run*, no task
+//! enqueues new tasks, and the ranges partition the unclaimed indices at
+//! all times, so "every range empty" is a safe exit condition and no
+//! locks are taken anywhere on the claim path. Because each worker
+//! returns its `(index, result)` pairs and the caller reassembles them in
+//! ascending index order, the steal schedule — inherently racy — is
+//! invisible in the output; [`Executor::with_forced_steals`] deliberately
+//! maximizes stealing to let tests assert exactly that.
 //!
 //! ## Chunk granularity
 //!
@@ -41,8 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -125,6 +131,7 @@ impl Fanout {
 pub struct Executor {
     workers: usize,
     chunk: Option<u64>,
+    forced_steals: bool,
 }
 
 impl Executor {
@@ -135,7 +142,25 @@ impl Executor {
         Executor {
             workers,
             chunk: None,
+            forced_steals: false,
         }
+    }
+
+    /// Seeds *all* tasks to worker 0's range so every other worker must
+    /// steal its entire workload — a scheduling stressor for invariance
+    /// tests. By the executor contract the steal schedule cannot affect
+    /// results, so this knob changes timing only, never output.
+    #[must_use]
+    pub fn with_forced_steals(mut self, forced: bool) -> Self {
+        self.forced_steals = forced;
+        self
+    }
+
+    /// `true` when this executor maximizes stealing (see
+    /// [`Executor::with_forced_steals`]).
+    #[must_use]
+    pub fn forced_steals(&self) -> bool {
+        self.forced_steals
     }
 
     /// Pins the items-per-chunk granularity used by [`map_indexed`].
@@ -220,46 +245,61 @@ impl Executor {
             return (0..tasks).map(|i| run(i, &mut scratch)).collect();
         }
 
-        // Deques seeded with contiguous index ranges; slots addressed by
-        // task index so the steal schedule never shows in the output.
-        let per_worker = tasks.div_ceil(workers as u64);
-        let deques: Vec<Mutex<VecDeque<u64>>> = (0..workers as u64)
+        // Packed (cursor, end) range per worker; ranges partition the
+        // unclaimed indices at all times, so claims are single CASes and
+        // the steal schedule never shows in the output.
+        let tasks32 = u32::try_from(tasks).expect("parallel runs are bounded by u32 task indices");
+        let per_worker = tasks32.div_ceil(workers as u32);
+        let ranges: Vec<AtomicU64> = (0..workers as u32)
             .map(|w| {
-                let lo = w * per_worker;
-                let hi = ((w + 1) * per_worker).min(tasks);
-                Mutex::new((lo..hi).collect())
+                if self.forced_steals {
+                    // Everything starts on worker 0: all other workers
+                    // must steal their entire workload.
+                    if w == 0 {
+                        AtomicU64::new(pack_range(0, tasks32))
+                    } else {
+                        AtomicU64::new(pack_range(0, 0))
+                    }
+                } else {
+                    let lo = w * per_worker;
+                    let hi = ((w + 1) * per_worker).min(tasks32);
+                    AtomicU64::new(pack_range(lo, hi.max(lo)))
+                }
             })
             .collect();
-        let mut slots: Vec<Mutex<Option<S>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
 
-        {
-            let slots = &slots;
-            let deques = &deques;
+        let worker_outputs = {
+            let ranges = &ranges;
             let make_scratch = &make_scratch;
             let run = &run;
             crossbeam::scope(|scope| {
-                for w in 0..workers {
-                    scope.spawn(move |_| {
-                        let mut scratch = make_scratch();
-                        while let Some(i) = claim_task(deques, w) {
-                            let out = run(i, &mut scratch);
-                            let idx = usize::try_from(i).expect("task index fits usize");
-                            *slots[idx].lock().expect("result slot poisoned") = Some(out);
-                        }
-                    });
-                }
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move |_| {
+                            let mut scratch = make_scratch();
+                            let mut out: Vec<(u64, S)> = Vec::new();
+                            while let Some(i) = claim_task(ranges, w) {
+                                out.push((u64::from(i), run(u64::from(i), &mut scratch)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
             })
-            .expect("executor worker panicked");
-        }
+            .expect("executor scope failed")
+        };
 
-        slots
-            .drain(..)
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every task was claimed and completed")
-            })
-            .collect()
+        let mut pairs: Vec<(u64, S)> = Vec::with_capacity(usize::try_from(tasks).expect("fits"));
+        for joined in worker_outputs {
+            match joined {
+                Ok(out) => pairs.extend(out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        debug_assert_eq!(pairs.len() as u64, tasks, "every task claimed exactly once");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, s)| s).collect()
     }
 
     /// Maps `f` over `items`, slicing them into chunks of
@@ -293,40 +333,85 @@ impl Executor {
     }
 }
 
-/// Claims the next task for worker `w`: front of its own deque, else the
-/// back half of the fullest victim. Returns `None` only when every deque
-/// is empty — safe because tasks are claimed before they run and nothing
-/// enqueues new tasks.
-fn claim_task(deques: &[Mutex<VecDeque<u64>>], w: usize) -> Option<u64> {
+/// Packs a `[cursor, end)` task-index range into one atomic word.
+#[inline]
+fn pack_range(cursor: u32, end: u32) -> u64 {
+    (u64::from(cursor) << 32) | u64::from(end)
+}
+
+/// Unpacks a range word into `(cursor, end)`.
+#[inline]
+fn unpack_range(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Claims the next task for worker `w`: the front of its own range via a
+/// cursor-bump CAS, else the back half of the fullest victim's range via
+/// an end-lowering CAS (the stolen window becomes `w`'s new range).
+/// Returns `None` only when every visible range is empty — safe because
+/// tasks are claimed before they run and nothing enqueues new tasks.
+///
+/// ABA is harmless here: a successful CAS means the victim's range held
+/// exactly the snapshotted `(cursor, end)` window at that instant, and
+/// ranges only ever contain unclaimed indices, so the stolen window is
+/// valid regardless of interleaving history.
+fn claim_task(ranges: &[AtomicU64], w: usize) -> Option<u32> {
+    // Fast path: pop the front of our own range.
+    let own = &ranges[w];
+    let mut word = own.load(Ordering::SeqCst);
     loop {
-        if let Some(i) = deques[w].lock().expect("deque poisoned").pop_front() {
-            return Some(i);
+        let (cursor, end) = unpack_range(word);
+        if cursor >= end {
+            break;
         }
-        let mut victim = None;
-        let mut fullest = 0;
-        for (v, d) in deques.iter().enumerate() {
+        match own.compare_exchange(
+            word,
+            pack_range(cursor + 1, end),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Some(cursor),
+            Err(actual) => word = actual,
+        }
+    }
+
+    // Own range drained: steal half of the fullest victim.
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        let mut fullest = 0u32;
+        for (v, r) in ranges.iter().enumerate() {
             if v == w {
                 continue;
             }
-            let len = d.lock().expect("deque poisoned").len();
-            if len > fullest {
-                fullest = len;
-                victim = Some(v);
+            let snap = r.load(Ordering::SeqCst);
+            let (cursor, end) = unpack_range(snap);
+            let remaining = end.saturating_sub(cursor);
+            if remaining > fullest {
+                fullest = remaining;
+                best = Some((v, snap));
             }
         }
-        let v = victim?;
-        let stolen = {
-            let mut d = deques[v].lock().expect("deque poisoned");
-            let keep = d.len() / 2;
-            d.split_off(keep)
-        };
-        if stolen.is_empty() {
-            // Lost the race to the victim's own pops; rescan.
-            continue;
+        let (victim, snap) = best?;
+        let (cursor, end) = unpack_range(snap);
+        // Leave the victim the front half, take `[split, end)`.
+        let split = cursor + (end - cursor) / 2;
+        if ranges[victim]
+            .compare_exchange(
+                snap,
+                pack_range(cursor, split),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            // Our own range is empty and thieves only target non-empty
+            // ranges, so nobody else writes our slot: a plain store
+            // installs the stolen window, minus the task we run now.
+            own.store(pack_range(split + 1, end), Ordering::SeqCst);
+            return Some(split);
         }
-        // Own deque is empty (only its owner pushes), so this is a move,
-        // not an interleave.
-        *deques[w].lock().expect("deque poisoned") = stolen;
+        // Lost the race to the victim's own claims (or another thief);
+        // rescan.
     }
 }
 
@@ -544,6 +629,34 @@ mod tests {
     }
 
     #[test]
+    fn forced_steals_cannot_change_results() {
+        let reference: Vec<u64> = (0u64..137).map(|i| i.wrapping_mul(i) ^ 0xABCD).collect();
+        for workers in [2, 4, 8] {
+            let got = Executor::new(workers)
+                .with_forced_steals(true)
+                .run_indexed(137, |i| i.wrapping_mul(i) ^ 0xABCD);
+            assert_eq!(got, reference, "{workers} workers, forced steals");
+        }
+    }
+
+    #[test]
+    fn forced_steals_with_scratch_matches_serial() {
+        let serial = Executor::new(1).run_indexed_scratch(73, Vec::<u64>::new, |i, buf| {
+            buf.clear();
+            buf.extend(0..=i);
+            buf.iter().sum::<u64>()
+        });
+        let stolen = Executor::new(6)
+            .with_forced_steals(true)
+            .run_indexed_scratch(73, Vec::<u64>::new, |i, buf| {
+                buf.clear();
+                buf.extend(0..=i);
+                buf.iter().sum::<u64>()
+            });
+        assert_eq!(stolen, serial);
+    }
+
+    #[test]
     fn supervised_pool_respawns_while_predicate_holds() {
         let budget = Arc::new(AtomicUsize::new(3));
         let respawns = Arc::new(AtomicUsize::new(0));
@@ -648,8 +761,12 @@ mod tests {
             };
             let serial = Executor::new(1).run_indexed(tasks, work);
             for workers in [2usize, 4, 8] {
-                let par = Executor::new(workers).run_indexed(tasks, work);
-                prop_assert_eq!(&par, &serial);
+                for forced in [false, true] {
+                    let par = Executor::new(workers)
+                        .with_forced_steals(forced)
+                        .run_indexed(tasks, work);
+                    prop_assert_eq!(&par, &serial, "workers {} forced {}", workers, forced);
+                }
             }
         }
     }

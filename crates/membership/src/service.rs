@@ -103,6 +103,10 @@ struct MembershipModel {
     net: Network<Heartbeat>,
     views: Vec<crate::view::MembershipView>,
     horizon: f64,
+    /// Reused per-tick peer list: heartbeat fan-out needs `net` mutably
+    /// while iterating the borrowed neighbor slice, so the ids are staged
+    /// here instead of allocating a fresh `Vec` per tick.
+    neighbor_buf: Vec<NodeId>,
 }
 
 impl MembershipModel {
@@ -116,7 +120,7 @@ impl MembershipModel {
     fn check_silence(&mut self, node: usize, now: f64) {
         let timeout = self.cfg.suspicion_timeout();
         let neighbors = self.net.topology().neighbors(NodeId(node as u32));
-        for nb in neighbors {
+        for &nb in neighbors {
             let peer = nb.0 as usize;
             if let Some(last) = self.views[node].last_direct(peer) {
                 if now - last > timeout && !self.views[node].is_suspected(peer) {
@@ -140,8 +144,10 @@ impl Model for MembershipModel {
                 if self.alive(node, now) {
                     let suspicions = self.views[node].suspicions();
                     let evidence = self.views[node].evidence();
-                    let neighbors = self.net.topology().neighbors(NodeId(node as u32));
-                    for nb in neighbors {
+                    let mut peers = std::mem::take(&mut self.neighbor_buf);
+                    peers.clear();
+                    peers.extend_from_slice(self.net.topology().neighbors(NodeId(node as u32)));
+                    for &nb in &peers {
                         let outcome = self.net.send(
                             NodeId(node as u32),
                             nb,
@@ -157,6 +163,7 @@ impl Model for MembershipModel {
                             ctx.schedule_at(at, Ev::Deliver { env });
                         }
                     }
+                    self.neighbor_buf = peers;
                     // Re-arm the heartbeat and the local silence check.
                     ctx.schedule_at(SimTime::new(now + self.cfg.interval), Ev::Tick { node });
                     ctx.schedule_at(
@@ -233,6 +240,7 @@ impl MembershipSim {
             net,
             views: vec![crate::view::MembershipView::new(); cfg.n],
             horizon: f64::MAX,
+            neighbor_buf: Vec::new(),
         };
         let mut sim = Simulation::new(model, seed);
         // Stagger start-up across one period.

@@ -1,8 +1,6 @@
 //! Fault injection: fail-silent nodes, crash-recovery windows, and
 //! transient per-edge link outages.
 
-use std::collections::HashMap;
-
 use oaq_sim::SimTime;
 
 use crate::message::NodeId;
@@ -68,10 +66,18 @@ struct Outage {
 /// assert!(plan.is_failed(NodeId(4), SimTime::new(3.0)));
 /// assert!(!plan.is_failed(NodeId(4), SimTime::new(5.0))); // recovered
 /// ```
+/// Fault queries sit on the protocol's per-event hot path (`alive()` asks
+/// `is_failed` for every satellite a coverage scan touches), so the plan
+/// stores flat vectors sorted by node (edge) and answers with a binary
+/// search instead of hashing — campaign plans hold a handful of entries and
+/// the lookup is a couple of comparisons, with no per-query hashing cost.
+/// Flat storage also lets [`FaultPlan::clear`] keep every buffer's capacity,
+/// so a recycled plan schedules a fresh episode's faults without touching
+/// the allocator.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    windows: HashMap<NodeId, Vec<FailureWindow>>,
-    outages: HashMap<(NodeId, NodeId), Vec<Outage>>,
+    windows: Vec<(NodeId, FailureWindow)>,
+    outages: Vec<((NodeId, NodeId), Outage)>,
 }
 
 /// Normalizes an undirected edge key.
@@ -90,17 +96,38 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// Forgets every scheduled fault while keeping the buffers' capacity,
+    /// so a recycled plan is allocation-free to repopulate.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+        self.outages.clear();
+    }
+
+    /// The index range of `node`'s windows in the sorted flat vector.
+    fn node_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let lo = self.windows.partition_point(|e| e.0 .0 < node.0);
+        let hi = lo + self.windows[lo..].partition_point(|e| e.0 .0 == node.0);
+        lo..hi
+    }
+
     /// Schedules `node` to go fail-silent at `at`, permanently. If the node
     /// already has a permanent failure the earlier one wins.
     pub fn fail_at(&mut self, node: NodeId, at: SimTime) {
-        let windows = self.windows.entry(node).or_default();
-        if let Some(w) = windows.iter_mut().find(|w| w.until.is_none()) {
-            w.from = w.from.min(at);
+        let range = self.node_range(node);
+        let end = range.end;
+        if let Some(e) = self.windows[range].iter_mut().find(|e| e.1.until.is_none()) {
+            e.1.from = e.1.from.min(at);
         } else {
-            windows.push(FailureWindow {
-                from: at,
-                until: None,
-            });
+            self.windows.insert(
+                end,
+                (
+                    node,
+                    FailureWindow {
+                        from: at,
+                        until: None,
+                    },
+                ),
+            );
         }
     }
 
@@ -112,10 +139,17 @@ impl FaultPlan {
     /// Panics unless `from < until`.
     pub fn fail_between(&mut self, node: NodeId, from: SimTime, until: SimTime) {
         assert!(from < until, "failure window must have from < until");
-        self.windows.entry(node).or_default().push(FailureWindow {
-            from,
-            until: Some(until),
-        });
+        let at = self.node_range(node).end;
+        self.windows.insert(
+            at,
+            (
+                node,
+                FailureWindow {
+                    from,
+                    until: Some(until),
+                },
+            ),
+        );
     }
 
     /// Schedules a transient outage of the undirected edge `{a, b}` during
@@ -127,26 +161,31 @@ impl FaultPlan {
     /// Panics unless `from < until`.
     pub fn outage_between(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
         assert!(from < until, "outage window must have from < until");
-        self.outages
-            .entry(edge(a, b))
-            .or_default()
-            .push(Outage { from, until });
+        let key = edge(a, b);
+        let at = self
+            .outages
+            .partition_point(|e| (e.0 .0 .0, e.0 .1 .0) <= (key.0 .0, key.1 .0));
+        self.outages.insert(at, (key, Outage { from, until }));
     }
 
     /// `true` if any of `node`'s failure windows covers `now`.
     #[must_use]
     pub fn is_failed(&self, node: NodeId, now: SimTime) -> bool {
-        self.windows
-            .get(&node)
-            .is_some_and(|ws| ws.iter().any(|w| w.covers(now)))
+        let range = self.node_range(node);
+        self.windows[range].iter().any(|e| e.1.covers(now))
     }
 
     /// `true` if the undirected edge `{a, b}` is in an outage at `now`.
     #[must_use]
     pub fn is_outaged(&self, a: NodeId, b: NodeId, now: SimTime) -> bool {
-        self.outages
-            .get(&edge(a, b))
-            .is_some_and(|os| os.iter().any(|o| o.from <= now && now < o.until))
+        let key = (edge(a, b).0 .0, edge(a, b).1 .0);
+        let lo = self
+            .outages
+            .partition_point(|e| (e.0 .0 .0, e.0 .1 .0) < key);
+        self.outages[lo..]
+            .iter()
+            .take_while(|e| (e.0 .0 .0, e.0 .1 .0) == key)
+            .any(|e| e.1.from <= now && now < e.1.until)
     }
 
     /// `true` if a failure-detection service with detection latency
@@ -167,27 +206,34 @@ impl FaultPlan {
     /// The earliest failure onset of `node`, if any window is scheduled.
     #[must_use]
     pub fn failure_time(&self, node: NodeId) -> Option<SimTime> {
-        self.windows
-            .get(&node)
-            .and_then(|ws| ws.iter().map(|w| w.from).min())
+        let range = self.node_range(node);
+        self.windows[range].iter().map(|e| e.1.from).min()
     }
 
-    /// The failure windows of `node` (empty slice when none scheduled).
-    #[must_use]
-    pub fn failure_windows(&self, node: NodeId) -> &[FailureWindow] {
-        self.windows.get(&node).map_or(&[], Vec::as_slice)
+    /// The failure windows of `node` (empty iterator when none scheduled).
+    pub fn failure_windows(&self, node: NodeId) -> impl Iterator<Item = &FailureWindow> {
+        let range = self.node_range(node);
+        self.windows[range].iter().map(|e| &e.1)
     }
 
     /// Number of nodes with at least one scheduled failure window.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.windows.len()
+        let mut n = 0;
+        let mut prev = None;
+        for e in &self.windows {
+            if prev != Some(e.0 .0) {
+                n += 1;
+                prev = Some(e.0 .0);
+            }
+        }
+        n
     }
 
     /// Number of scheduled edge outages.
     #[must_use]
     pub fn outage_count(&self) -> usize {
-        self.outages.values().map(Vec::len).sum()
+        self.outages.len()
     }
 
     /// `true` when neither node failures nor edge outages are scheduled.
@@ -245,7 +291,7 @@ mod tests {
         assert!(plan.is_failed(NodeId(1), SimTime::new(1.5)));
         assert!(!plan.is_failed(NodeId(1), SimTime::new(2.5)));
         assert!(plan.is_failed(NodeId(1), SimTime::new(3.5)));
-        assert_eq!(plan.failure_windows(NodeId(1)).len(), 2);
+        assert_eq!(plan.failure_windows(NodeId(1)).count(), 2);
         assert_eq!(plan.len(), 1);
     }
 

@@ -54,9 +54,12 @@ pub mod link;
 pub mod message;
 pub mod network;
 pub mod reliable;
+pub mod schedule;
 pub mod topology;
 
 pub use link::{validate_loss_probability, GilbertElliott, InvalidLossProbability, LossModel};
 pub use message::{Envelope, NodeId};
 pub use network::{Network, NetworkStats, SendOutcome};
 pub use reliable::{ReliableLink, ReliableOutcome, ReliableStats, RetryPolicy};
+pub use schedule::{LinkEvent, TopologySchedule};
+pub use topology::{BfsScratch, Topology};

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use oaq_sim::{SimRng, SimTime};
 
 use crate::fault::FaultPlan;
-use crate::link::{LinkSpec, LossState};
+use crate::link::{LinkSpec, LossModel, LossState};
 use crate::message::{Envelope, NodeId};
 use crate::topology::Topology;
 
@@ -124,6 +124,20 @@ impl<P> Network<P> {
         &mut self.topology
     }
 
+    /// Consumes the network, returning its topology so callers can recycle
+    /// the adjacency buffers across episodes.
+    #[must_use]
+    pub fn into_topology(self) -> Topology {
+        self.topology
+    }
+
+    /// Consumes the network, returning the topology *and* the fault plan so
+    /// callers can recycle both sets of buffers across episodes.
+    #[must_use]
+    pub fn into_parts(self) -> (Topology, FaultPlan) {
+        (self.topology, self.faults)
+    }
+
     /// The link model shared by all links.
     #[must_use]
     pub fn link(&self) -> &LinkSpec {
@@ -151,6 +165,13 @@ impl<P> Network<P> {
     /// that edge's burst chain when the link model is bursty. Also used by
     /// the reliable layer to model ACK loss on the reverse path.
     pub(crate) fn sample_edge_loss(&mut self, a: NodeId, b: NodeId, rng: &mut SimRng) -> bool {
+        // I.i.d. loss carries no per-edge state, so the hot path skips the
+        // map probe; the RNG draw discipline is identical to
+        // `LossState::sample` in i.i.d. mode (at most one draw, none when
+        // `p == 0`).
+        if let LossModel::Iid { p } = *self.link.loss_model() {
+            return p > 0.0 && rng.chance(p);
+        }
         let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
         let state = self.loss_states.entry(key).or_default();
         state.sample(self.link.loss_model(), rng)
@@ -271,7 +292,7 @@ impl<P> Network<P> {
         let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
         let mut frontier = VecDeque::from([src]);
         while let Some(node) = frontier.pop_front() {
-            for nb in self.topology.neighbors(node) {
+            for &nb in self.topology.neighbors(node) {
                 if nb == src || parent.contains_key(&nb) || self.faults.is_failed(nb, now) {
                     continue;
                 }

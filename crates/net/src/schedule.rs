@@ -1,0 +1,220 @@
+//! Sparse time-varying topology: a precomputed schedule of link up/down
+//! events applied lazily to a [`Topology`].
+//!
+//! Mega-constellation inter-satellite links are not static — cross-plane
+//! ISLs shut down while either endpoint crosses the high-latitude seam
+//! where relative geometry changes too fast to track. Those windows are
+//! computable in closed form from the orbital elements (`oaq-orbit`), so
+//! instead of rebuilding adjacency per timestep the simulation carries a
+//! [`TopologySchedule`]: a time-sorted event list with a cursor, advanced
+//! to the query time with amortized O(1) `link`/`unlink` edits.
+//!
+//! Determinism: the event list is sorted by `(t, a, b, up)` with a total
+//! order on the timestamps, so the applied edit sequence — and therefore
+//! the topology at every query time — is a pure function of the schedule,
+//! independent of how the advance calls are batched.
+
+use crate::message::NodeId;
+use crate::topology::Topology;
+
+/// One link state change: at time `t`, the undirected edge `{a, b}` comes
+/// up (`up == true`) or goes down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEvent {
+    /// Event time, in simulation minutes.
+    pub t: f64,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// `true` to link, `false` to unlink.
+    pub up: bool,
+}
+
+/// A time-sorted list of [`LinkEvent`]s with an advance cursor.
+///
+/// # Examples
+///
+/// ```
+/// use oaq_net::{LinkEvent, NodeId, Topology, TopologySchedule};
+/// let mut topo = Topology::ring(4);
+/// topo.link(NodeId(0), NodeId(2));
+/// let mut sched = TopologySchedule::new(vec![
+///     LinkEvent { t: 1.0, a: NodeId(0), b: NodeId(2), up: false },
+///     LinkEvent { t: 3.0, a: NodeId(0), b: NodeId(2), up: true },
+/// ]);
+/// sched.advance(&mut topo, 2.0);
+/// assert!(!topo.are_linked(NodeId(0), NodeId(2)));
+/// sched.advance(&mut topo, 5.0);
+/// assert!(topo.are_linked(NodeId(0), NodeId(2)));
+/// // Rewind the cursor to replay the same schedule on the restored topology.
+/// sched.reset();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TopologySchedule {
+    events: Vec<LinkEvent>,
+    cursor: usize,
+}
+
+impl TopologySchedule {
+    /// Builds a schedule, sorting events by `(t, a, b, up)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event time is NaN.
+    #[must_use]
+    pub fn new(mut events: Vec<LinkEvent>) -> Self {
+        assert!(
+            events.iter().all(|e| !e.t.is_nan()),
+            "event times must not be NaN"
+        );
+        events.sort_by(|x, y| {
+            x.t.total_cmp(&y.t)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+                .then(x.up.cmp(&y.up))
+        });
+        TopologySchedule { events, cursor: 0 }
+    }
+
+    /// Applies every not-yet-applied event with `event.t <= t` to `topo`,
+    /// in schedule order, and advances the cursor past them.
+    pub fn advance(&mut self, topo: &mut Topology, t: f64) {
+        while let Some(e) = self.events.get(self.cursor) {
+            if e.t > t {
+                break;
+            }
+            if e.up {
+                topo.link(e.a, e.b);
+            } else {
+                topo.unlink(e.a, e.b);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Rewinds the cursor so the schedule can replay. The caller is
+    /// responsible for restoring the topology's base state first — a
+    /// schedule whose every down window closes (an `up` event follows
+    /// every `down` for the same edge) restores it by construction once
+    /// fully advanced.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Time of the next unapplied event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.events.get(self.cursor).map(|e| e.t)
+    }
+
+    /// Number of events not yet applied.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Total number of events in the schedule.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the schedule holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The full sorted event list.
+    #[must_use]
+    pub fn events(&self) -> &[LinkEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, a: u32, b: u32, up: bool) -> LinkEvent {
+        LinkEvent {
+            t,
+            a: NodeId(a),
+            b: NodeId(b),
+            up,
+        }
+    }
+
+    #[test]
+    fn events_sort_and_apply_in_order() {
+        let mut topo = Topology::ring(4);
+        // Down at 2.0, up at 5.0 — supplied out of order.
+        let mut s = TopologySchedule::new(vec![ev(5.0, 0, 1, true), ev(2.0, 0, 1, false)]);
+        assert_eq!(s.len(), 2);
+        s.advance(&mut topo, 1.0);
+        assert!(topo.are_linked(NodeId(0), NodeId(1)));
+        s.advance(&mut topo, 2.0); // inclusive boundary
+        assert!(!topo.are_linked(NodeId(0), NodeId(1)));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next_event_time(), Some(5.0));
+        s.advance(&mut topo, 10.0);
+        assert!(topo.are_linked(NodeId(0), NodeId(1)));
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.next_event_time(), None);
+    }
+
+    #[test]
+    fn closed_windows_restore_base_topology() {
+        let base = Topology::constellation_grid(3, 4);
+        let mut topo = base.clone();
+        let mut s = TopologySchedule::new(vec![
+            ev(1.0, 0, 4, false),
+            ev(2.0, 0, 4, true),
+            ev(1.5, 4, 8, false),
+            ev(3.0, 4, 8, true),
+        ]);
+        s.advance(&mut topo, 1.6);
+        assert!(!topo.are_linked(NodeId(0), NodeId(4)));
+        assert!(!topo.are_linked(NodeId(4), NodeId(8)));
+        s.advance(&mut topo, 100.0);
+        // Every window closed, so adjacency matches the base grid again.
+        for &n in base.nodes() {
+            assert_eq!(topo.neighbors(n), base.neighbors(n));
+        }
+        // Replay is a cursor rewind.
+        s.reset();
+        s.advance(&mut topo, 1.6);
+        assert!(!topo.are_linked(NodeId(0), NodeId(4)));
+        s.advance(&mut topo, 100.0);
+        assert!(topo.are_linked(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn batching_does_not_change_outcome() {
+        let events = vec![
+            ev(1.0, 0, 1, false),
+            ev(2.0, 1, 2, false),
+            ev(2.5, 0, 1, true),
+            ev(4.0, 1, 2, true),
+        ];
+        let mut one = Topology::ring(4);
+        let mut s1 = TopologySchedule::new(events.clone());
+        s1.advance(&mut one, 3.0);
+
+        let mut two = Topology::ring(4);
+        let mut s2 = TopologySchedule::new(events);
+        for t in [0.5, 1.0, 1.7, 2.0, 2.2, 3.0] {
+            s2.advance(&mut two, t);
+        }
+        for &n in one.nodes() {
+            assert_eq!(one.neighbors(n), two.neighbors(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_times_rejected() {
+        let _ = TopologySchedule::new(vec![ev(f64::NAN, 0, 1, false)]);
+    }
+}

@@ -1,6 +1,13 @@
 //! Crosslink topologies.
+//!
+//! [`Topology`] stores the undirected adjacency structure in CSR style:
+//! a sorted id table plus one sorted neighbor row per node. Lookups are
+//! binary searches and the hot accessors ([`Topology::neighbors`],
+//! [`Topology::nodes`]) return borrowed slices, so BFS and protocol loops
+//! run without per-call allocation. The historical `Vec`-returning API
+//! survives as `*_vec` compatibility wrappers.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::message::NodeId;
 
@@ -17,7 +24,10 @@ use crate::message::NodeId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
-    adjacency: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// Known node ids, ascending. Slot `s` owns `adj[s]`.
+    ids: Vec<NodeId>,
+    /// Neighbor rows, each ascending. Indexed by slot, not by id.
+    adj: Vec<Vec<NodeId>>,
 }
 
 impl Topology {
@@ -87,77 +97,205 @@ impl Topology {
         t
     }
 
+    /// Slot of `id` in the CSR tables, if known.
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Slot of `id`, inserting an empty row at the sorted position if new.
+    fn slot_or_insert(&mut self, id: NodeId) -> usize {
+        match self.ids.binary_search(&id) {
+            Ok(s) => s,
+            Err(s) => {
+                self.ids.insert(s, id);
+                self.adj.insert(s, Vec::new());
+                s
+            }
+        }
+    }
+
     /// Adds an undirected link (idempotent; self-links are ignored).
     pub fn link(&mut self, a: NodeId, b: NodeId) {
         if a == b {
             return;
         }
-        self.adjacency.entry(a).or_default().insert(b);
-        self.adjacency.entry(b).or_default().insert(a);
+        self.slot_or_insert(a);
+        self.slot_or_insert(b);
+        // Re-resolve both slots: inserting `b`'s id may have shifted `a`'s.
+        let sa = self.slot(a).expect("just inserted");
+        let sb = self.slot(b).expect("just inserted");
+        if let Err(pos) = self.adj[sa].binary_search(&b) {
+            self.adj[sa].insert(pos, b);
+        }
+        if let Err(pos) = self.adj[sb].binary_search(&a) {
+            self.adj[sb].insert(pos, a);
+        }
     }
 
-    /// Removes a link if present.
+    /// Removes a link if present. Nodes stay known even with no links left.
     pub fn unlink(&mut self, a: NodeId, b: NodeId) {
-        if let Some(s) = self.adjacency.get_mut(&a) {
-            s.remove(&b);
+        if let Some(sa) = self.slot(a) {
+            if let Ok(pos) = self.adj[sa].binary_search(&b) {
+                self.adj[sa].remove(pos);
+            }
         }
-        if let Some(s) = self.adjacency.get_mut(&b) {
-            s.remove(&a);
+        if let Some(sb) = self.slot(b) {
+            if let Ok(pos) = self.adj[sb].binary_search(&a) {
+                self.adj[sb].remove(pos);
+            }
         }
     }
 
     /// `true` when `a` and `b` share a link.
     #[must_use]
     pub fn are_linked(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency.get(&a).is_some_and(|s| s.contains(&b))
+        self.slot(a)
+            .is_some_and(|s| self.adj[s].binary_search(&b).is_ok())
     }
 
-    /// Neighbors of `a` in ascending id order.
+    /// Neighbors of `a` in ascending id order, as a borrowed slice.
+    /// Unknown nodes have no neighbors.
     #[must_use]
-    pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
-        self.adjacency
-            .get(&a)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+    pub fn neighbors(&self, a: NodeId) -> &[NodeId] {
+        self.slot(a).map_or(&[], |s| &self.adj[s])
     }
 
-    /// All nodes that appear in any link.
+    /// Neighbors of `a` as an owned `Vec` (compatibility wrapper around
+    /// [`Topology::neighbors`]).
     #[must_use]
-    pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.adjacency.keys().copied().collect();
-        v.sort_unstable();
-        v
+    pub fn neighbors_vec(&self, a: NodeId) -> Vec<NodeId> {
+        self.neighbors(a).to_vec()
+    }
+
+    /// All nodes that appear in any link, ascending, as a borrowed slice.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// All nodes as an owned `Vec` (compatibility wrapper around
+    /// [`Topology::nodes`]).
+    #[must_use]
+    pub fn nodes_vec(&self) -> Vec<NodeId> {
+        self.ids.clone()
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.ids.len()
     }
 
     /// Hop count of the shortest path from `a` to `b` (BFS), or `None` when
     /// disconnected or either node is unknown.
     #[must_use]
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
-        if !self.adjacency.contains_key(&a) || !self.adjacency.contains_key(&b) {
-            return None;
-        }
+        self.hop_distance_with(a, b, &mut BfsScratch::new())
+    }
+
+    /// [`Topology::hop_distance`] with a caller-provided workspace, so
+    /// repeated queries reuse the visit marks and frontier queue.
+    #[must_use]
+    pub fn hop_distance_with(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        scratch: &mut BfsScratch,
+    ) -> Option<usize> {
+        let sa = self.slot(a)?;
+        self.slot(b)?;
         if a == b {
             return Some(0);
         }
-        let mut seen: HashSet<NodeId> = HashSet::from([a]);
-        let mut frontier = VecDeque::from([(a, 0usize)]);
-        while let Some((node, d)) = frontier.pop_front() {
-            for &n in &self.adjacency[&node] {
+        scratch.begin(self.ids.len());
+        scratch.visit(sa);
+        scratch.frontier.push_back((sa, 0));
+        while let Some((slot, d)) = scratch.frontier.pop_front() {
+            for &n in &self.adj[slot] {
                 if n == b {
                     return Some(d + 1);
                 }
-                if seen.insert(n) {
-                    frontier.push_back((n, d + 1));
+                // Neighbor rows only hold known ids, so the slot exists.
+                let ns = self.slot(n).expect("neighbor id is a known node");
+                if !scratch.visited(ns) {
+                    scratch.visit(ns);
+                    scratch.frontier.push_back((ns, d + 1));
                 }
             }
         }
         None
+    }
+
+    /// Number of nodes reachable from `from` over links whose endpoints all
+    /// satisfy `alive`, counting `from` itself. Returns 0 when `from` is
+    /// unknown or not alive.
+    #[must_use]
+    pub fn reachable_with<F: Fn(NodeId) -> bool>(
+        &self,
+        from: NodeId,
+        alive: F,
+        scratch: &mut BfsScratch,
+    ) -> usize {
+        let Some(start) = self.slot(from) else {
+            return 0;
+        };
+        if !alive(from) {
+            return 0;
+        }
+        scratch.begin(self.ids.len());
+        scratch.visit(start);
+        scratch.frontier.push_back((start, 0));
+        let mut count = 1;
+        while let Some((slot, _)) = scratch.frontier.pop_front() {
+            for &n in &self.adj[slot] {
+                let ns = self.slot(n).expect("neighbor id is a known node");
+                if !scratch.visited(ns) && alive(n) {
+                    scratch.visit(ns);
+                    scratch.frontier.push_back((ns, 0));
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Reusable BFS workspace for [`Topology::hop_distance_with`] and
+/// [`Topology::reachable_with`]: epoch-stamped visit marks (cleared in O(1)
+/// per query) plus the frontier queue.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    frontier: VecDeque<(usize, usize)>,
+}
+
+impl BfsScratch {
+    /// A fresh workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// Prepares the workspace for a traversal over `slots` nodes.
+    fn begin(&mut self, slots: usize) {
+        self.frontier.clear();
+        if self.stamp.len() < slots {
+            self.stamp.resize(slots, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn visit(&mut self, slot: usize) {
+        self.stamp[slot] = self.epoch;
+    }
+
+    fn visited(&self, slot: usize) -> bool {
+        self.stamp[slot] == self.epoch
     }
 }
 
@@ -208,6 +346,18 @@ mod tests {
     }
 
     #[test]
+    fn unlink_keeps_nodes_known() {
+        let mut t = Topology::new();
+        t.link(NodeId(0), NodeId(1));
+        t.unlink(NodeId(0), NodeId(1));
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.nodes(), vec![NodeId(0), NodeId(1)]);
+        assert!(t.neighbors(NodeId(0)).is_empty());
+        // Known but disconnected: hop distance is None, not a panic.
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
     fn hop_distance_on_ring() {
         let t = Topology::ring(8);
         assert_eq!(t.hop_distance(NodeId(0), NodeId(0)), Some(0));
@@ -223,6 +373,34 @@ mod tests {
         t.link(NodeId(2), NodeId(3));
         assert_eq!(t.hop_distance(NodeId(0), NodeId(3)), None);
         assert_eq!(t.hop_distance(NodeId(0), NodeId(9)), None);
+    }
+
+    #[test]
+    fn hop_distance_with_reuses_scratch() {
+        let t = Topology::ring(16);
+        let mut scratch = BfsScratch::new();
+        for i in 0..16u32 {
+            let want = t.hop_distance(NodeId(0), NodeId(i));
+            assert_eq!(
+                t.hop_distance_with(NodeId(0), NodeId(i), &mut scratch),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_counts_alive_component() {
+        let t = Topology::ring(8);
+        let mut scratch = BfsScratch::new();
+        assert_eq!(t.reachable_with(NodeId(0), |_| true, &mut scratch), 8);
+        // Knock out nodes 2 and 6: 0 sits in the arc {7, 0, 1} plus the
+        // far side is cut off, so the alive component of 0 is {7, 0, 1}.
+        let alive = |n: NodeId| n != NodeId(2) && n != NodeId(6);
+        assert_eq!(t.reachable_with(NodeId(0), alive, &mut scratch), 3);
+        // A dead start point reaches nothing.
+        assert_eq!(t.reachable_with(NodeId(2), alive, &mut scratch), 0);
+        // Unknown start point reaches nothing.
+        assert_eq!(t.reachable_with(NodeId(99), alive, &mut scratch), 0);
     }
 
     #[test]
@@ -249,5 +427,12 @@ mod tests {
     fn nodes_sorted() {
         let t = Topology::ring(4);
         assert_eq!(t.nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn vec_wrappers_match_slices() {
+        let t = Topology::constellation_grid(2, 3);
+        assert_eq!(t.neighbors_vec(NodeId(0)), t.neighbors(NodeId(0)).to_vec());
+        assert_eq!(t.nodes_vec(), t.nodes().to_vec());
     }
 }

@@ -22,7 +22,7 @@ proptest! {
     #[test]
     fn grid_degree_is_bounded(planes in 2u32..6, per in 3u32..8) {
         let t = Topology::constellation_grid(planes, per);
-        for node in t.nodes() {
+        for &node in t.nodes() {
             let deg = t.neighbors(node).len();
             // 2 in-plane + up to 2 cross-plane.
             prop_assert!((2..=4).contains(&deg), "degree {deg}");
@@ -88,5 +88,77 @@ proptest! {
         }
         let min = times.iter().copied().fold(f64::MAX, f64::min);
         prop_assert_eq!(plan.failure_time(NodeId(9)), Some(SimTime::new(min)));
+    }
+
+    // The CSR topology must be behavior-identical to the straightforward
+    // HashMap-of-BTreeSets model it replaced, on arbitrary link/unlink
+    // sequences over a bounded id space.
+    #[test]
+    fn csr_matches_hashmap_reference(
+        ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 0..120),
+    ) {
+        use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+        let mut t = Topology::new();
+        let mut reference: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+        for &(is_link, a, b) in &ops {
+            if is_link {
+                t.link(NodeId(a), NodeId(b));
+                if a != b {
+                    reference.entry(a).or_default().insert(b);
+                    reference.entry(b).or_default().insert(a);
+                }
+            } else {
+                t.unlink(NodeId(a), NodeId(b));
+                if let Some(s) = reference.get_mut(&a) {
+                    s.remove(&b);
+                }
+                if let Some(s) = reference.get_mut(&b) {
+                    s.remove(&a);
+                }
+            }
+        }
+
+        let mut want_nodes: Vec<u32> = reference.keys().copied().collect();
+        want_nodes.sort_unstable();
+        let got_nodes: Vec<u32> = t.nodes().iter().map(|n| n.0).collect();
+        prop_assert_eq!(got_nodes, want_nodes);
+        prop_assert_eq!(t.node_count(), reference.len());
+
+        let ref_distance = |a: u32, b: u32| -> Option<usize> {
+            if !reference.contains_key(&a) || !reference.contains_key(&b) {
+                return None;
+            }
+            if a == b {
+                return Some(0);
+            }
+            let mut seen = HashSet::from([a]);
+            let mut frontier = VecDeque::from([(a, 0usize)]);
+            while let Some((node, d)) = frontier.pop_front() {
+                for &n in &reference[&node] {
+                    if n == b {
+                        return Some(d + 1);
+                    }
+                    if seen.insert(n) {
+                        frontier.push_back((n, d + 1));
+                    }
+                }
+            }
+            None
+        };
+
+        for a in 0u32..13 {
+            let want: Vec<u32> = reference
+                .get(&a)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            let got: Vec<u32> = t.neighbors(NodeId(a)).iter().map(|n| n.0).collect();
+            prop_assert_eq!(got, want);
+            for b in 0u32..13 {
+                let linked = reference.get(&a).is_some_and(|s| s.contains(&b));
+                prop_assert_eq!(t.are_linked(NodeId(a), NodeId(b)), linked);
+                prop_assert_eq!(t.hop_distance(NodeId(a), NodeId(b)), ref_distance(a, b));
+            }
+        }
     }
 }

@@ -1,0 +1,374 @@
+//! High-latitude inter-satellite-link (ISL) outage windows.
+//!
+//! Cross-plane crosslinks in a Walker constellation are hardest to hold
+//! at high latitudes: plane spacing collapses toward the seam, relative
+//! slew rates peak, and real systems (Iridium among them) simply switch
+//! the cross-plane links off above a latitude threshold. On the circular-
+//! orbit model the satellite latitude is a pure sinusoid of the argument
+//! of latitude `u`,
+//!
+//! ```text
+//! sin(lat(t)) = sin(i) · sin(u(t)),    u(t) = φ0 + 2π t / θ,
+//! ```
+//!
+//! so `|lat| > L` holds exactly while `|sin u| > sin L / sin i` — two
+//! closed-form windows per orbit period, centered on the ascending and
+//! descending latitude maxima. No sampling, no root finding.
+//!
+//! [`cross_plane_outages`] turns those per-satellite windows into the
+//! up/down schedule of every cross-plane link of a [`WalkerConfig`]: a
+//! link is down while *either* endpoint is above the threshold. The
+//! output is plain data — `(plane, slot)` endpoints and `[start, end)`
+//! minutes — so a network layer can bridge it to whatever event type it
+//! uses (the bench campaigns feed it to `oaq-net`'s topology schedule).
+
+use std::f64::consts::{PI, TAU};
+
+use crate::constellation::WalkerConfig;
+use crate::units::{Minutes, Radians};
+
+/// One closed interval `[start, end)` (minutes) during which a satellite
+/// sits above the latitude threshold, clipped to the requested horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatWindow {
+    /// Window start, minutes.
+    pub start: Minutes,
+    /// Window end, minutes (`start < end`).
+    pub end: Minutes,
+}
+
+/// One cross-plane link outage: the link between satellite `slot_a` of
+/// `plane_a` and `slot_b` of `plane_b` is down over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslOutage {
+    /// First endpoint's plane index.
+    pub plane_a: usize,
+    /// First endpoint's in-plane slot.
+    pub slot_a: usize,
+    /// Second endpoint's plane index.
+    pub plane_b: usize,
+    /// Second endpoint's in-plane slot.
+    pub slot_b: usize,
+    /// Outage start, minutes.
+    pub start: Minutes,
+    /// Outage end, minutes.
+    pub end: Minutes,
+}
+
+/// The windows within `[0, horizon)` during which a satellite with phase
+/// reference `phase0` on an orbit of inclination `inclination` and period
+/// `period` has `|latitude| > threshold`.
+///
+/// Closed form: per period the orbit spends `u ∈ (a, π−a)` over the
+/// northern maximum and `u ∈ (π+a, 2π−a)` over the southern one, with
+/// `a = asin(sin threshold / sin inclination)`. Returns an empty vector
+/// when the orbit never reaches the threshold latitude, and one window
+/// covering the whole horizon when the threshold is zero or negative
+/// (the satellite is always strictly above the equator except at
+/// isolated instants).
+///
+/// Windows are returned sorted, disjoint, and clipped to `[0, horizon)`.
+///
+/// # Panics
+///
+/// Panics if `period` or `horizon` is non-positive or any input is
+/// non-finite.
+#[must_use]
+pub fn high_latitude_windows(
+    inclination: Radians,
+    phase0: Radians,
+    period: Minutes,
+    threshold: Radians,
+    horizon: Minutes,
+) -> Vec<LatWindow> {
+    let theta = period.value();
+    let h = horizon.value();
+    assert!(
+        theta.is_finite() && theta > 0.0,
+        "period must be positive, got {period:?}"
+    );
+    assert!(
+        h.is_finite() && h > 0.0,
+        "horizon must be positive, got {horizon:?}"
+    );
+    assert!(
+        inclination.is_finite() && phase0.is_finite() && threshold.is_finite(),
+        "non-finite angle"
+    );
+
+    // sin(i) > 0 for every orbit that is not equatorial; an equatorial
+    // orbit never leaves latitude zero.
+    let sin_i = inclination.value().sin().abs();
+    let ratio = threshold.value().sin() / sin_i.max(f64::EPSILON);
+    if ratio >= 1.0 || sin_i <= f64::EPSILON {
+        return Vec::new();
+    }
+    if ratio <= 0.0 {
+        return vec![LatWindow {
+            start: Minutes(0.0),
+            end: horizon,
+        }];
+    }
+
+    let a = ratio.asin();
+    // The two |sin u| > ratio arcs of one cycle, in argument of latitude.
+    let arcs = [(a, PI - a), (PI + a, TAU - a)];
+
+    let mut windows = Vec::new();
+    // Earliest cycle whose windows can still intersect [0, h): the cycle
+    // containing u(0) = phase0 starts one period before t = 0 at worst.
+    let cycles = (h / theta).ceil() as i64 + 1;
+    for n in -1..=cycles {
+        for &(u0, u1) in &arcs {
+            // u(t) = phase0 + 2π t / θ  ⇒  t = (u − phase0) θ / 2π.
+            let t0 = (u0 + TAU * n as f64 - phase0.value()) * theta / TAU;
+            let t1 = (u1 + TAU * n as f64 - phase0.value()) * theta / TAU;
+            let (s, e) = (t0.max(0.0), t1.min(h));
+            if s < e {
+                windows.push(LatWindow {
+                    start: Minutes(s),
+                    end: Minutes(e),
+                });
+            }
+        }
+    }
+    windows.sort_by(|x, y| x.start.value().total_cmp(&y.start.value()));
+    windows
+}
+
+/// Merges two sorted window lists into a minimal sorted disjoint union.
+fn union_windows(mut all: Vec<LatWindow>) -> Vec<LatWindow> {
+    all.sort_by(|x, y| x.start.value().total_cmp(&y.start.value()));
+    let mut merged: Vec<LatWindow> = Vec::with_capacity(all.len());
+    for w in all {
+        match merged.last_mut() {
+            Some(last) if w.start.value() <= last.end.value() => {
+                if w.end.value() > last.end.value() {
+                    last.end = w.end;
+                }
+            }
+            _ => merged.push(w),
+        }
+    }
+    merged
+}
+
+/// The full cross-plane outage schedule of a Walker constellation over
+/// `[0, horizon)`.
+///
+/// Every satellite `(p, s)` holds one cross-plane link to the same slot
+/// of the next plane, `(p+1 mod P, s)` — the standard Walker "right
+/// neighbor" mesh (for a star pattern the seam pair `P−1 → 0` is a
+/// counter-rotating link, exactly the one real systems drop first). The
+/// link is down while either endpoint is above `threshold` latitude;
+/// each link's windows are merged so the schedule is minimal.
+///
+/// Outages are sorted by `(plane_a, slot_a, start)`.
+///
+/// # Panics
+///
+/// Panics on an invalid config (`validate`), a non-positive horizon, or a
+/// non-finite threshold.
+#[must_use]
+pub fn cross_plane_outages(
+    cfg: &WalkerConfig,
+    threshold: Radians,
+    horizon: Minutes,
+) -> Vec<IslOutage> {
+    cfg.validate().expect("walker config must be valid");
+    let planes = cfg.planes;
+    let per_plane = cfg.satellites_per_plane;
+    let total = cfg.total_satellites();
+    let inc = cfg.inclination.to_radians();
+
+    // Phase of satellite (p, s) under the builder's convention:
+    // plane stagger 2π·F·p/T plus the in-plane spread 2π·s/S.
+    let phase = |p: usize, s: usize| {
+        Radians(
+            TAU * (cfg.phasing_factor * p) as f64 / total as f64
+                + TAU * s as f64 / per_plane as f64,
+        )
+        .wrap_two_pi()
+    };
+
+    // Per-satellite windows, computed once and reused by both links that
+    // touch the satellite.
+    let windows: Vec<Vec<LatWindow>> = (0..planes)
+        .flat_map(|p| (0..per_plane).map(move |s| (p, s)))
+        .map(|(p, s)| high_latitude_windows(inc, phase(p, s), cfg.period, threshold, horizon))
+        .collect();
+
+    let mut outages = Vec::new();
+    for p in 0..planes {
+        let q = (p + 1) % planes;
+        if q == p {
+            continue; // single-plane constellations have no cross-plane links
+        }
+        for s in 0..per_plane {
+            let mut both = windows[p * per_plane + s].clone();
+            both.extend_from_slice(&windows[q * per_plane + s]);
+            for w in union_windows(both) {
+                outages.push(IslOutage {
+                    plane_a: p,
+                    slot_a: s,
+                    plane_b: q,
+                    slot_b: s,
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+        }
+    }
+    outages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Preset;
+    use crate::orbit::CircularOrbit;
+    use crate::units::Degrees;
+
+    fn orbit(inc_deg: f64, period: f64) -> CircularOrbit {
+        CircularOrbit::new(Degrees(inc_deg).to_radians(), Radians(0.0), Minutes(period))
+    }
+
+    #[test]
+    fn windows_match_sampled_latitude() {
+        let inc = Degrees(53.0).to_radians();
+        let period = Minutes(95.6);
+        let threshold = Degrees(45.0).to_radians();
+        let horizon = Minutes(2.0 * 95.6);
+        for phase0 in [0.0, 1.3, 4.0] {
+            let windows = high_latitude_windows(inc, Radians(phase0), period, threshold, horizon);
+            assert!(!windows.is_empty());
+            let orb = orbit(53.0, 95.6);
+            let above = |t: f64| {
+                let lat = orb
+                    .subsatellite_point(Radians(phase0), Minutes(t))
+                    .lat()
+                    .value()
+                    .abs();
+                lat > threshold.value()
+            };
+            // Sample well inside/outside each window (away from edges the
+            // closed form and the sampled latitude must agree exactly).
+            let eps = 0.25;
+            for w in &windows {
+                let mid = 0.5 * (w.start.value() + w.end.value());
+                assert!(above(mid), "mid of {w:?} must be above threshold");
+                if w.start.value() > eps {
+                    assert!(!above(w.start.value() - eps), "before {w:?}");
+                }
+                if w.end.value() + eps < horizon.value() {
+                    assert!(!above(w.end.value() + eps), "after {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_threshold_has_no_windows() {
+        let w = high_latitude_windows(
+            Degrees(53.0).to_radians(),
+            Radians(0.0),
+            Minutes(95.6),
+            Degrees(60.0).to_radians(),
+            Minutes(200.0),
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_covers_the_horizon() {
+        let w = high_latitude_windows(
+            Degrees(53.0).to_radians(),
+            Radians(0.0),
+            Minutes(95.6),
+            Radians(0.0),
+            Minutes(200.0),
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start.value(), 0.0);
+        assert_eq!(w[0].end.value(), 200.0);
+    }
+
+    #[test]
+    fn windows_cover_about_the_analytic_fraction() {
+        // Over a whole number of periods the above-threshold dwell is
+        // exactly 2·(π − 2a)/2π of the time, independent of phase.
+        let inc = Degrees(53.0).to_radians();
+        let threshold = Degrees(40.0).to_radians();
+        let period = Minutes(95.6);
+        let horizon = Minutes(10.0 * 95.6);
+        let a = (threshold.value().sin() / inc.value().sin()).asin();
+        let expect = (PI - 2.0 * a) / PI;
+        let w = high_latitude_windows(inc, Radians(2.1), period, threshold, horizon);
+        let dwell: f64 = w.iter().map(|w| w.end.value() - w.start.value()).sum();
+        let frac = dwell / horizon.value();
+        assert!(
+            (frac - expect).abs() < 1e-9,
+            "dwell fraction {frac} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn cross_plane_outages_are_sane_for_starlink() {
+        let cfg = Preset::Starlink.config();
+        let horizon = Minutes(cfg.period.value());
+        let outages = cross_plane_outages(&cfg, Degrees(48.0).to_radians(), horizon);
+        assert!(!outages.is_empty());
+        for o in &outages {
+            assert!(o.start.value() < o.end.value());
+            assert!(o.end.value() <= horizon.value());
+            assert_eq!(o.plane_b, (o.plane_a + 1) % cfg.planes);
+            assert_eq!(o.slot_a, o.slot_b);
+            assert!(o.slot_a < cfg.satellites_per_plane);
+        }
+        // Every link must be down for part of the period (48° < 53° peak)
+        // and up for part of it (the windows are strictly inside).
+        let links: std::collections::HashSet<(usize, usize)> =
+            outages.iter().map(|o| (o.plane_a, o.slot_a)).collect();
+        assert_eq!(links.len(), cfg.planes * cfg.satellites_per_plane);
+        for o in &outages {
+            assert!(o.end.value() - o.start.value() < cfg.period.value());
+        }
+    }
+
+    #[test]
+    fn link_outage_is_the_union_of_endpoint_windows() {
+        let cfg = Preset::IridiumNext.config();
+        let threshold = Degrees(70.0).to_radians();
+        let horizon = Minutes(cfg.period.value() * 1.5);
+        let outages = cross_plane_outages(&cfg, threshold, horizon);
+        // Pick one link and verify against independently recomputed
+        // endpoint windows.
+        let total = cfg.total_satellites();
+        let phase = |p: usize, s: usize| {
+            Radians(
+                TAU * (cfg.phasing_factor * p) as f64 / total as f64
+                    + TAU * s as f64 / cfg.satellites_per_plane as f64,
+            )
+            .wrap_two_pi()
+        };
+        let inc = cfg.inclination.to_radians();
+        let mut both = high_latitude_windows(inc, phase(2, 3), cfg.period, threshold, horizon);
+        both.extend(high_latitude_windows(
+            inc,
+            phase(3, 3),
+            cfg.period,
+            threshold,
+            horizon,
+        ));
+        let expect = union_windows(both);
+        let got: Vec<LatWindow> = outages
+            .iter()
+            .filter(|o| o.plane_a == 2 && o.slot_a == 3)
+            .map(|o| LatWindow {
+                start: o.start,
+                end: o.end,
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+}

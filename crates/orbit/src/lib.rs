@@ -40,6 +40,7 @@ pub mod constellation;
 pub mod coverage;
 pub mod footprint;
 pub mod geo;
+pub mod isl;
 pub mod orbit;
 pub mod plane;
 pub mod revisit;
@@ -49,6 +50,7 @@ pub mod visibility;
 pub use constellation::{Constellation, ConstellationError, Preset, WalkerConfig, WalkerPattern};
 pub use footprint::Footprint;
 pub use geo::GroundPoint;
+pub use isl::{cross_plane_outages, high_latitude_windows, IslOutage, LatWindow};
 pub use orbit::CircularOrbit;
 pub use plane::OrbitalPlane;
 pub use units::{Degrees, Km, Minutes, Radians};

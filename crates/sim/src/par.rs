@@ -170,6 +170,7 @@ pub use oaq_exec::effective_workers;
 pub struct Replicator {
     workers: usize,
     chunk: Option<u64>,
+    forced_steals: bool,
 }
 
 impl Replicator {
@@ -180,7 +181,17 @@ impl Replicator {
         Replicator {
             workers,
             chunk: None,
+            forced_steals: false,
         }
+    }
+
+    /// Forwards [`oaq_exec::Executor::with_forced_steals`] — a scheduling
+    /// stressor that makes every worker but one steal its whole workload.
+    /// Cannot change results; exists so invariance tests can prove it.
+    #[must_use]
+    pub fn with_forced_steals(mut self, forced: bool) -> Self {
+        self.forced_steals = forced;
+        self
     }
 
     /// Pins the replications-per-chunk granularity.
@@ -247,15 +258,50 @@ impl Replicator {
         I: Fn() -> S + Sync,
         F: Fn(u64, &mut SimRng, &mut S) + Sync,
     {
+        self.run_scratch(
+            replications,
+            base_seed,
+            init,
+            || (),
+            |i, rng, _scratch, sink| body(i, rng, sink),
+        )
+    }
+
+    /// [`run`](Replicator::run) with a per-*worker* scratch value built
+    /// once per worker thread and lent to every replication that worker
+    /// executes — reusable episode buffers without per-replication
+    /// allocation. Sinks stay per-*chunk* (the merge grouping is part of
+    /// the result's identity); scratch is per-worker because it is, by
+    /// contract, invisible in the result: `body`'s output must be a pure
+    /// function of `(i, rng)`, treating the scratch as uninitialized
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `body` (the pool observes the first one).
+    pub fn run_scratch<S, C, I, M, F>(
+        &self,
+        replications: u64,
+        base_seed: u64,
+        init: I,
+        make_scratch: M,
+        body: F,
+    ) -> S
+    where
+        S: Merge + Send,
+        I: Fn() -> S + Sync,
+        M: Fn() -> C + Sync,
+        F: Fn(u64, &mut SimRng, &mut C, &mut S) + Sync,
+    {
         let chunk = self.resolved_chunk(replications);
         let chunks = replications.div_ceil(chunk);
-        let run_chunk = |c: u64| -> S {
+        let run_chunk = |c: u64, scratch: &mut C| -> S {
             let mut sink = init();
             let lo = c * chunk;
             let hi = (lo + chunk).min(replications);
             for i in lo..hi {
                 let mut rng = SimRng::substream(base_seed, i);
-                body(i, &mut rng, &mut sink);
+                body(i, &mut rng, scratch, &mut sink);
             }
             sink
         };
@@ -264,7 +310,9 @@ impl Replicator {
         // any worker count (its one-worker path is the bit-exact serial
         // reference), so the ascending merge below is the whole
         // determinism story at this layer.
-        let sinks = oaq_exec::Executor::new(self.workers).run_indexed(chunks, run_chunk);
+        let sinks = oaq_exec::Executor::new(self.workers)
+            .with_forced_steals(self.forced_steals)
+            .run_indexed_scratch(chunks, make_scratch, run_chunk);
         let mut acc = init();
         for sink in &sinks {
             acc.merge(sink);
@@ -383,6 +431,36 @@ mod tests {
         assert_eq!(r.resolved_chunk(1024), DEFAULT_CHUNK);
         assert_eq!(r.resolved_chunk(64_000), 1000);
         assert_eq!(r.with_chunk(7).resolved_chunk(64_000), 7);
+    }
+
+    #[test]
+    fn scratch_and_forced_steals_cannot_change_the_answer() {
+        let reference = run(1, DEFAULT_CHUNK);
+        for workers in [2, 4, 8] {
+            for forced in [false, true] {
+                let got = Replicator::new(workers)
+                    .with_chunk(DEFAULT_CHUNK)
+                    .with_forced_steals(forced)
+                    .run_scratch(
+                        500,
+                        99,
+                        Sink::empty,
+                        Vec::<f64>::new,
+                        |i, rng, scratch, sink| {
+                            // Stage the draw through the worker scratch to
+                            // prove leftover contents are invisible.
+                            scratch.push(rng.exp(0.3));
+                            let x = *scratch.last().expect("just pushed");
+                            sink.count += 1;
+                            sink.sum += x;
+                            sink.tally.record(x);
+                            sink.hist.record(x);
+                            sink.order.push(i);
+                        },
+                    );
+                assert_eq!(got, reference, "{workers} workers, forced={forced}");
+            }
+        }
     }
 
     #[test]

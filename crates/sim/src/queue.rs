@@ -6,7 +6,7 @@
 //! heap but is skipped when popped.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::clock::SimTime;
 
@@ -59,7 +59,11 @@ impl<E> PartialOrd for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Sequence numbers of cancelled-but-not-yet-skipped entries, sorted.
+    /// Every pop and peek consults this set, so it is a sorted vector — the
+    /// membership probe is a binary search over a handful of entries (free
+    /// when empty, the overwhelmingly common case) instead of a hash.
+    cancelled: Vec<u64>,
     next_seq: u64,
 }
 
@@ -69,9 +73,18 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// Empties the queue and invalidates all outstanding handles, keeping
+    /// the allocated capacity — a recycled queue behaves exactly like
+    /// [`EventQueue::new`] without touching the allocator.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.next_seq = 0;
     }
 
     /// Schedules `payload` at `time`, returning a cancellation handle.
@@ -90,14 +103,21 @@ impl<E> EventQueue<E> {
         if handle.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(handle.0)
+        match self.cancelled.binary_search(&handle.0) {
+            Ok(_) => false,
+            Err(i) => {
+                self.cancelled.insert(i, handle.0);
+                true
+            }
+        }
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if let Ok(i) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(i);
                 continue;
             }
             return Some((entry.time, entry.payload));
@@ -109,8 +129,8 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
             let seq = self.heap.peek()?.seq;
-            if self.cancelled.contains(&seq) {
-                self.cancelled.remove(&seq);
+            if let Ok(i) = self.cancelled.binary_search(&seq) {
+                self.cancelled.remove(i);
                 self.heap.pop();
                 continue;
             }

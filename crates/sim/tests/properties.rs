@@ -210,21 +210,32 @@ proptest! {
                 self.order.merge(&other.order);
             }
         }
-        let run = |workers: usize| {
-            Replicator::new(workers).run(replications, seed, Sink::default, |i, rng, sink| {
-                let x = rng.exp(0.4);
-                sink.count += 1;
-                sink.hist
-                    .get_or_insert_with(|| Histogram::new(0.0, 20.0, 32))
-                    .record(x);
-                sink.order.push(i);
-            })
+        let run = |workers: usize, chunk: Option<u64>, forced: bool| {
+            Replicator::new(workers)
+                .with_chunk_override(chunk)
+                .with_forced_steals(forced)
+                .run(replications, seed, Sink::default, |i, rng, sink| {
+                    let x = rng.exp(0.4);
+                    sink.count += 1;
+                    sink.hist
+                        .get_or_insert_with(|| Histogram::new(0.0, 20.0, 32))
+                        .record(x);
+                    sink.order.push(i);
+                })
         };
-        let serial = run(1);
+        let serial = run(1, None, false);
         prop_assert_eq!(serial.count, replications);
         prop_assert_eq!(&serial.order, &(0..replications).collect::<Vec<_>>());
+        // Every worker count x chunk override x forced-steal interleaving
+        // must reproduce the serial aggregate bit-for-bit: the schedule
+        // decides which worker computes a replication, never its substream
+        // or the chunk-ascending merge order.
         for workers in [2usize, 4, 8] {
-            prop_assert_eq!(&run(workers), &serial);
+            for chunk in [None, Some(16u64), Some(7), Some(1)] {
+                for forced in [false, true] {
+                    prop_assert_eq!(&run(workers, chunk, forced), &serial);
+                }
+            }
         }
     }
 }
